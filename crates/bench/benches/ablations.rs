@@ -1,0 +1,162 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! slice-bin size, fiber-split threshold, HB-CSF classification policy,
+//! simulator latency-hiding sensitivity, and atomic-conflict accounting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::CostModel;
+use mttkrp::gpu::{self, GpuContext};
+use mttkrp::reference::random_factors;
+use sptensor::synth::{standin, SynthConfig};
+use sptensor::{mode_orientation, CooTensor};
+use tensor_formats::{Bcsf, BcsfOptions, Hbcsf};
+
+const BENCH_NNZ: usize = 60_000;
+
+fn data(name: &str) -> (CooTensor, Vec<dense::Matrix>) {
+    let t = standin(name)
+        .unwrap()
+        .generate(&SynthConfig::default().with_nnz(BENCH_NNZ));
+    let f = random_factors(&t, 32, 7);
+    (t, f)
+}
+
+/// Ablation 1: slice-bin size (nonzeros per thread block) around the
+/// paper's 512 default.
+fn ablation_slice_bin(c: &mut Criterion) {
+    let ctx = GpuContext::default();
+    let (t, f) = data("darpa");
+    let perm = mode_orientation(3, 0);
+    let mut g = c.benchmark_group("ablation_slice_bin_darpa");
+    g.sample_size(10);
+    for bin in [128usize, 256, 512, 1024, 4096] {
+        let opts = BcsfOptions {
+            slice_nnz_per_block: bin,
+            ..Default::default()
+        };
+        let bcsf = Bcsf::build(&t, &perm, opts);
+        g.bench_with_input(BenchmarkId::from_parameter(bin), &bcsf, |b, x| {
+            b.iter(|| gpu::bcsf::run(&ctx, x, &f))
+        });
+    }
+    g.finish();
+}
+
+/// Ablation 2: fiber-split threshold around the paper's empirical best 128.
+fn ablation_fiber_threshold(c: &mut Criterion) {
+    let ctx = GpuContext::default();
+    let (t, f) = data("darpa");
+    let perm = mode_orientation(3, 0);
+    let mut g = c.benchmark_group("ablation_fiber_threshold_darpa");
+    g.sample_size(10);
+    for thr in [16usize, 64, 128, 512, 4096] {
+        let opts = BcsfOptions {
+            fiber_split_threshold: thr,
+            ..Default::default()
+        };
+        let bcsf = Bcsf::build(&t, &perm, opts);
+        g.bench_with_input(BenchmarkId::from_parameter(thr), &bcsf, |b, x| {
+            b.iter(|| gpu::bcsf::run(&ctx, x, &f))
+        });
+    }
+    g.finish();
+}
+
+/// Ablation 3: HB-CSF classification — 3-way (paper) vs B-CSF-only vs
+/// CSL-only, on a CSL-friendly tensor. (CSL-only is an interesting
+/// non-paper point: it packs everything but forfeits fiber factoring.)
+fn ablation_classification(c: &mut Criterion) {
+    let ctx = GpuContext::default();
+    let (t, f) = data("fr_m");
+    let perm = mode_orientation(3, 0);
+    let hb = Hbcsf::build(&t, &perm, BcsfOptions::default());
+    let bcsf = Bcsf::build(&t, &perm, BcsfOptions::default());
+    let csl = tensor_formats::Csl::build(&t, &perm);
+    let mut g = c.benchmark_group("ablation_classification_fr_m");
+    g.sample_size(10);
+    g.bench_function("hybrid-3way", |b| b.iter(|| gpu::hbcsf::run(&ctx, &hb, &f)));
+    g.bench_function("bcsf-only", |b| b.iter(|| gpu::bcsf::run(&ctx, &bcsf, &f)));
+    g.bench_function("csl-only", |b| b.iter(|| gpu::csl::run(&ctx, &csl, &f)));
+    g.finish();
+}
+
+/// Ablation 4: simulator sensitivity to the latency-hiding factor
+/// (`warp_mlp`) — the ordering B-CSF > GPU-CSF must not depend on it.
+fn ablation_latency_hiding(c: &mut Criterion) {
+    let (t, f) = data("darpa");
+    let perm = mode_orientation(3, 0);
+    let split = Bcsf::build(&t, &perm, BcsfOptions::default());
+    let unsplit = Bcsf::build(&t, &perm, BcsfOptions::unsplit());
+    let mut g = c.benchmark_group("ablation_latency_hiding_darpa");
+    g.sample_size(10);
+    for mlp in [1.0f64, 1.5, 4.0, 8.0] {
+        let ctx = GpuContext {
+            cost: CostModel {
+                warp_mlp: mlp,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        // Assert the headline ordering holds at every setting, then bench
+        // the split kernel under it.
+        let a = gpu::bcsf::run(&ctx, &split, &f);
+        let b = gpu::bcsf::run(&ctx, &unsplit, &f);
+        assert!(
+            a.sim.makespan_cycles < b.sim.makespan_cycles,
+            "splitting must win at warp_mlp={mlp}"
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(mlp), &mlp, |bch, _| {
+            bch.iter(|| gpu::bcsf::run(&ctx, &split, &f))
+        });
+    }
+    g.finish();
+}
+
+/// Ablation 5: atomic-conflict surcharge on the ParTI-COO baseline.
+fn ablation_atomic_conflicts(c: &mut Criterion) {
+    let (t, f) = data("nell2");
+    let mut g = c.benchmark_group("ablation_atomic_conflicts_nell2");
+    g.sample_size(10);
+    for surcharge in [0.0f64, 18.0, 72.0] {
+        let ctx = GpuContext {
+            cost: CostModel {
+                atomic_conflict_cycles: surcharge,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(surcharge as u64),
+            &surcharge,
+            |b, _| b.iter(|| gpu::parti_coo::run(&ctx, &t, &f, 0)),
+        );
+    }
+    g.finish();
+}
+
+/// Ablation 6: SPLATT ONEMODE (one tree, internal-mode algorithm with
+/// atomics) vs ALLMODE (N trees, exclusive rows) on a non-root mode.
+fn ablation_onemode_vs_allmode(c: &mut Criterion) {
+    use mttkrp::cpu::onemode::SplattOneMode;
+    use mttkrp::cpu::splatt::{SplattAllMode, SplattOptions};
+    let (t, f) = data("uber");
+    let one = SplattOneMode::build_default_root(&t);
+    let all = SplattAllMode::build(&t, SplattOptions::nontiled());
+    // A mode that is NOT the single tree's root: the interesting case.
+    let mode = (one.root_mode + 1) % t.order();
+    let mut g = c.benchmark_group("ablation_onemode_uber");
+    g.sample_size(10);
+    g.bench_function("allmode", |b| b.iter(|| all.mttkrp(&f, mode)));
+    g.bench_function("onemode", |b| b.iter(|| one.mttkrp(&f, mode)));
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablation_slice_bin,
+    ablation_fiber_threshold,
+    ablation_classification,
+    ablation_latency_hiding,
+    ablation_atomic_conflicts,
+    ablation_onemode_vs_allmode
+);
+criterion_main!(ablations);

@@ -1,0 +1,303 @@
+//! `sptk` — sparse tensor toolkit.
+//!
+//! A downstream-user command line over the reproduction's library stack:
+//!
+//! ```text
+//! sptk gen darpa darpa.spt --nnz 500000        # write a stand-in dataset
+//! sptk info darpa.spt                          # stats per mode
+//! sptk convert darpa.spt darpa.tns             # binary <-> FROSTT text
+//! sptk mttkrp darpa.spt --kernel hbcsf         # one simulated-GPU MTTKRP
+//! sptk mttkrp darpa.spt --kernel splatt        # one measured CPU MTTKRP
+//! sptk cpd darpa.spt --rank 8 --iters 10       # CPD-ALS end to end
+//! ```
+//!
+//! File format by extension: `.tns` = FROSTT text, anything else = the
+//! crate's `SPT1` binary.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use mttkrp::cpd::{cpd_als, cpd_als_nonneg, CpdOptions};
+use mttkrp::cpu::splatt::{SplattCsf, SplattOptions};
+use mttkrp::gpu::{self, GpuContext};
+use mttkrp::reference::random_factors;
+use sptensor::stats::ModeStats;
+use sptensor::{io as tio, mode_orientation, CooTensor};
+use tensor_formats::{BcsfOptions, Csf, Csl, Fcoo, Hbcsf, Hicoo, IndexBytes};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
+        Some("mttkrp") => cmd_mttkrp(&args[1..]),
+        Some("cpd") => cmd_cpd(&args[1..]),
+        _ => {
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("sptk — sparse tensor toolkit");
+    eprintln!("usage:");
+    eprintln!("  sptk gen <dataset> <out> [--nnz N] [--seed S]");
+    eprintln!("  sptk info <file> ");
+    eprintln!("  sptk convert <in> <out>");
+    eprintln!("  sptk mttkrp <file> [--mode N] [--rank R] [--kernel K] [--device p100|v100]");
+    eprintln!("      kernels: hbcsf bcsf csf csl coo fcoo splatt splatt-tiled hicoo dfacto");
+    eprintln!("  sptk cpd <file> [--rank R] [--iters K] [--nonneg]");
+    eprintln!("datasets: {}", sptensor::synth::standins().iter().map(|s| s.name).collect::<Vec<_>>().join(" "));
+}
+
+type Result<T> = std::result::Result<T, String>;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn flag_parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("{name} wants a number, got '{v}'")),
+    }
+}
+
+fn load(path: &str) -> Result<CooTensor> {
+    let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let t = if path.ends_with(".tns") {
+        tio::read_tns(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))?
+    } else {
+        tio::read_bin(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))?
+    };
+    Ok(t)
+}
+
+fn save(t: &CooTensor, path: &str) -> Result<()> {
+    let f = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    let w = BufWriter::new(f);
+    if path.ends_with(".tns") {
+        tio::write_tns(t, w).map_err(|e| format!("{path}: {e}"))
+    } else {
+        tio::write_bin(t, w).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn cmd_gen(args: &[String]) -> Result<()> {
+    let name = args.first().ok_or("gen: missing dataset name")?;
+    let out = args.get(1).ok_or("gen: missing output path")?;
+    let nnz = flag_parse(args, "--nnz", 200_000usize)?;
+    let seed = flag_parse(args, "--seed", sptensor::synth::SynthConfig::default().seed)?;
+    let spec = sptensor::synth::standin(name).ok_or_else(|| format!("unknown dataset '{name}'"))?;
+    let t = spec.generate(
+        &sptensor::synth::SynthConfig::default()
+            .with_nnz(nnz)
+            .with_seed(seed),
+    );
+    save(&t, out)?;
+    println!("wrote {out}: {:?}, {} nonzeros", t.dims(), t.nnz());
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<()> {
+    let path = args.first().ok_or("info: missing file")?;
+    let t = load(path)?;
+    println!(
+        "{path}: order {}, dims {:?}, {} nonzeros, density {:.3e}",
+        t.order(),
+        t.dims(),
+        t.nnz(),
+        t.density()
+    );
+    println!(
+        "{:>5} {:>10} {:>10} {:>12} {:>12} {:>9} {:>9}",
+        "mode", "slices", "fibers", "stdev/slc", "stdev/fbr", "1nnz slc%", "1nnz fbr%"
+    );
+    for mode in 0..t.order() {
+        let s = ModeStats::compute(&t, mode);
+        println!(
+            "{:>5} {:>10} {:>10} {:>12.2} {:>12.2} {:>9.1} {:>9.1}",
+            mode + 1,
+            s.num_slices,
+            s.num_fibers,
+            s.nnz_per_slice.stdev,
+            s.nnz_per_fiber.stdev,
+            100.0 * s.singleton_slice_fraction,
+            100.0 * s.singleton_fiber_fraction
+        );
+    }
+    // Storage footprint per format, mode-1 orientation.
+    let perm = mode_orientation(t.order(), 0);
+    println!("\nindex storage (mode-1 orientation):");
+    let rows: Vec<(&str, u64)> = vec![
+        ("COO", t.index_bytes()),
+        ("CSF", Csf::build(&t, &perm).index_bytes()),
+        ("CSL", Csl::build(&t, &perm).index_bytes()),
+        ("F-COO", Fcoo::build(&t, &perm, 8).index_bytes()),
+        ("HiCOO", Hicoo::build(&t, Hicoo::DEFAULT_BLOCK_BITS).index_bytes()),
+        (
+            "HB-CSF",
+            Hbcsf::build(&t, &perm, BcsfOptions::unsplit()).index_bytes(),
+        ),
+    ];
+    for (fmt, bytes) in rows {
+        println!("  {fmt:<7} {bytes:>12} bytes ({:.2}/nnz)", bytes as f64 / t.nnz().max(1) as f64);
+    }
+    Ok(())
+}
+
+fn cmd_convert(args: &[String]) -> Result<()> {
+    let input = args.first().ok_or("convert: missing input")?;
+    let output = args.get(1).ok_or("convert: missing output")?;
+    let t = load(input)?;
+    save(&t, output)?;
+    println!("{input} -> {output} ({} nonzeros)", t.nnz());
+    Ok(())
+}
+
+fn cmd_mttkrp(args: &[String]) -> Result<()> {
+    let path = args.first().ok_or("mttkrp: missing file")?;
+    let t = load(path)?;
+    let mode = flag_parse(args, "--mode", 1usize)? - 1; // 1-based like the paper
+    if mode >= t.order() {
+        return Err(format!("--mode out of range (tensor has {} modes)", t.order()));
+    }
+    let rank = flag_parse(args, "--rank", 32usize)?;
+    let kernel = flag(args, "--kernel").unwrap_or_else(|| "hbcsf".into());
+    let device = flag(args, "--device").unwrap_or_else(|| "p100".into());
+    let ctx = GpuContext {
+        device: match device.as_str() {
+            "p100" => gpu_sim::DeviceProfile::p100(),
+            "v100" => gpu_sim::DeviceProfile::v100(),
+            other => return Err(format!("unknown device '{other}'")),
+        },
+        ..GpuContext::default()
+    };
+    let factors = random_factors(&t, rank, 42);
+    let flops = t.order() as f64 * t.nnz() as f64 * rank as f64;
+
+    if matches!(kernel.as_str(), "coo" | "fcoo" | "dfacto") && t.order() != 3 {
+        return Err(format!(
+            "kernel '{kernel}' supports third-order tensors only (this one is order {})",
+            t.order()
+        ));
+    }
+
+    let checksum = |y: &dense::Matrix| y.fro_norm();
+    match kernel.as_str() {
+        "splatt" | "splatt-tiled" => {
+            let opts = if kernel == "splatt" {
+                SplattOptions::nontiled()
+            } else {
+                SplattOptions::tiled()
+            };
+            let s = SplattCsf::build(&t, mode, opts);
+            let start = Instant::now();
+            let y = s.mttkrp(&factors);
+            let secs = start.elapsed().as_secs_f64();
+            println!(
+                "{kernel} (CPU): {:.3} ms wall, {:.2} GFLOPs, ||Y|| = {:.6e}",
+                secs * 1e3,
+                flops / secs / 1e9,
+                checksum(&y)
+            );
+        }
+        "hicoo" => {
+            let h = Hicoo::build(&t, Hicoo::DEFAULT_BLOCK_BITS);
+            let start = Instant::now();
+            let y = mttkrp::cpu::hicoo::mttkrp(&h, &factors, mode);
+            let secs = start.elapsed().as_secs_f64();
+            println!(
+                "hicoo (CPU): {:.3} ms wall, {:.2} GFLOPs, ||Y|| = {:.6e}",
+                secs * 1e3,
+                flops / secs / 1e9,
+                checksum(&y)
+            );
+        }
+        "dfacto" => {
+            let d = mttkrp::cpu::dfacto::Dfacto::build(&t, mode);
+            let start = Instant::now();
+            let y = d.mttkrp(&factors);
+            let secs = start.elapsed().as_secs_f64();
+            println!(
+                "dfacto (CPU): {:.3} ms wall, {:.2} GFLOPs, ||Y|| = {:.6e}",
+                secs * 1e3,
+                flops / secs / 1e9,
+                checksum(&y)
+            );
+        }
+        gpu_kernel => {
+            let run = match gpu_kernel {
+                "hbcsf" => gpu::hbcsf::build_and_run(&ctx, &t, &factors, mode, BcsfOptions::default()),
+                "bcsf" => gpu::bcsf::build_and_run(&ctx, &t, &factors, mode, BcsfOptions::default()),
+                "csf" => gpu::csf::build_and_run(&ctx, &t, &factors, mode),
+                "csl" => gpu::csl::build_and_run(&ctx, &t, &factors, mode),
+                "coo" => gpu::parti_coo::run(&ctx, &t, &factors, mode),
+                "fcoo" => gpu::fcoo::build_and_run(&ctx, &t, &factors, mode, 8),
+                other => return Err(format!("unknown kernel '{other}'")),
+            };
+            println!(
+                "{gpu_kernel} (simulated {}): {:.3} ms, {:.2} GFLOPs, sm_eff {:.1}%, occ {:.1}%, \
+                 L2 {:.1}%, {} atomics, ||Y|| = {:.6e}",
+                ctx.device.name,
+                run.sim.time_s * 1e3,
+                flops / run.sim.time_s.max(1e-30) / 1e9,
+                run.sim.sm_efficiency,
+                run.sim.achieved_occupancy,
+                run.sim.l2_hit_rate,
+                run.sim.atomic_ops,
+                checksum(&run.y)
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_cpd(args: &[String]) -> Result<()> {
+    let path = args.first().ok_or("cpd: missing file")?;
+    let t = load(path)?;
+    let rank = flag_parse(args, "--rank", 8usize)?;
+    let iters = flag_parse(args, "--iters", 15usize)?;
+    let nonneg = args.iter().any(|a| a == "--nonneg");
+    let ctx = GpuContext::default();
+    let formats: Vec<Hbcsf> = (0..t.order())
+        .map(|m| Hbcsf::build(&t, &mode_orientation(t.order(), m), BcsfOptions::default()))
+        .collect();
+    let opts = CpdOptions {
+        rank,
+        max_iters: iters,
+        tol: 1e-6,
+        seed: 42,
+    };
+    let backend = |factors: &[dense::Matrix], mode: usize| gpu::hbcsf::run(&ctx, &formats[mode], factors).y;
+    let start = Instant::now();
+    let res = if nonneg {
+        cpd_als_nonneg(&t, &opts, backend)
+    } else {
+        cpd_als(&t, &opts, backend)
+    };
+    println!(
+        "{} CPD rank {rank}: fit {:.4} after {} iterations ({:.2}s host)",
+        if nonneg { "non-negative" } else { "standard" },
+        res.final_fit(),
+        res.iterations,
+        start.elapsed().as_secs_f64()
+    );
+    for (i, fit) in res.fits.iter().enumerate() {
+        println!("  iter {:>2}: fit {fit:.5}", i + 1);
+    }
+    Ok(())
+}

@@ -1,0 +1,98 @@
+//! Khatri–Rao product — verification-scale only.
+//!
+//! The paper's whole point is that materializing `C ⊙ B` (a `JK × R` dense
+//! matrix, Eq. (4)) is infeasible for real tensors; MTTKRP kernels avoid it.
+//! This explicit implementation exists so tiny differential tests can check
+//! every kernel against the textbook definition `Y = X₍ₙ₎ (⊙ₘ≠ₙ Aₘ)`.
+
+use crate::Matrix;
+
+/// Khatri–Rao (column-wise Kronecker) product of `mats` in the given order:
+/// row `(i₀, i₁, …)` of the result — with the **first** matrix's index
+/// slowest — is the elementwise product of the corresponding rows.
+///
+/// # Panics
+/// If `mats` is empty or column counts disagree.
+pub fn khatri_rao(mats: &[&Matrix]) -> Matrix {
+    assert!(!mats.is_empty(), "khatri_rao needs at least one matrix");
+    let r = mats[0].cols();
+    assert!(
+        mats.iter().all(|m| m.cols() == r),
+        "all factors must share the rank dimension"
+    );
+    let total_rows: usize = mats.iter().map(|m| m.rows()).product();
+    let mut out = Matrix::zeros(total_rows, r);
+    let mut idx = vec![0usize; mats.len()];
+    for row in 0..total_rows {
+        {
+            let orow = out.row_mut(row);
+            orow.fill(1.0);
+            for (m, &i) in mats.iter().zip(&idx) {
+                for (o, &v) in orow.iter_mut().zip(m.row(i)) {
+                    *o *= v;
+                }
+            }
+        }
+        // Odometer increment, last matrix fastest.
+        for d in (0..mats.len()).rev() {
+            idx[d] += 1;
+            if idx[d] < mats[d].rows() {
+                break;
+            }
+            idx[d] = 0;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kr_of_single_matrix_is_identity_op() {
+        let a = Matrix::random(3, 2, 1);
+        assert_eq!(khatri_rao(&[&a]), a);
+    }
+
+    #[test]
+    fn kr_dimensions() {
+        let a = Matrix::random(3, 4, 1);
+        let b = Matrix::random(5, 4, 2);
+        let k = khatri_rao(&[&a, &b]);
+        assert_eq!(k.rows(), 15);
+        assert_eq!(k.cols(), 4);
+    }
+
+    #[test]
+    fn kr_known_values() {
+        // a = [[1],[2]], b = [[3],[4]] -> rows (a0 b0, a0 b1, a1 b0, a1 b1)
+        let a = Matrix::from_vec(2, 1, vec![1.0, 2.0]);
+        let b = Matrix::from_vec(2, 1, vec![3.0, 4.0]);
+        let k = khatri_rao(&[&a, &b]);
+        assert_eq!(k.data(), &[3.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn kr_row_ordering_first_matrix_slowest() {
+        let a = Matrix::from_vec(2, 1, vec![10.0, 20.0]);
+        let b = Matrix::from_vec(3, 1, vec![1.0, 2.0, 3.0]);
+        let k = khatri_rao(&[&a, &b]);
+        // Row index = i*3 + j.
+        assert_eq!(k.data(), &[10.0, 20.0, 30.0, 20.0, 40.0, 60.0]);
+    }
+
+    #[test]
+    fn kr_three_way() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 1.0, 2.0, 1.0]);
+        let b = Matrix::from_vec(2, 2, vec![1.0, 3.0, 1.0, 1.0]);
+        let c = Matrix::from_vec(2, 2, vec![1.0, 1.0, 5.0, 1.0]);
+        let k = khatri_rao(&[&a, &b, &c]);
+        assert_eq!(k.rows(), 8);
+        // Element at (i,j,k) = (1,0,1), column 0: a=2, b=1, c=5 -> 10.
+        let row = 4 + 1;
+        assert_eq!(k.get(row, 0), 10.0);
+        // Column 1: a=1, b=3, c=1 -> 3.
+        assert_eq!(k.get(row, 1), 3.0);
+    }
+}

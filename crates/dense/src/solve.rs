@@ -1,0 +1,247 @@
+//! Solvers for the `R × R` normal-equations step of CPD-ALS.
+//!
+//! Equation (3) of the paper updates a factor as
+//! `Ã = X₍₁₎ (C ⊙ B) (BᵀB ∗ CᵀC)†`. The Gram/Hadamard part is a small
+//! symmetric positive-semidefinite matrix, so the pseudo-inverse is computed
+//! by a cyclic Jacobi eigendecomposition (robust for rank-deficient `V`),
+//! with a Cholesky fast path available for well-conditioned systems.
+
+use crate::Matrix;
+
+/// Jacobi eigendecomposition of a symmetric matrix.
+///
+/// Returns `(eigenvalues, eigenvectors)` where column `c` of the returned
+/// matrix is the eigenvector for `eigenvalues[c]`. Computation is in `f64`.
+///
+/// # Panics
+/// If the matrix is not square.
+pub fn symmetric_eigen(m: &Matrix) -> (Vec<f64>, Matrix) {
+    assert_eq!(m.rows(), m.cols(), "symmetric_eigen needs a square matrix");
+    let n = m.rows();
+    let mut a: Vec<f64> = m.data().iter().map(|&v| v as f64).collect();
+    let mut v = vec![0.0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+    let at = |a: &Vec<f64>, i: usize, j: usize| a[i * n + j];
+
+    // Cyclic Jacobi sweeps; n ≤ 64 in practice so this is immediate.
+    for _sweep in 0..100 {
+        let mut off = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += at(&a, i, j).abs();
+            }
+        }
+        if off < 1e-14 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[p * n + q];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = a[p * n + p];
+                let aqq = a[q * n + q];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/cols p and q of `a`.
+                for k in 0..n {
+                    let akp = a[k * n + p];
+                    let akq = a[k * n + q];
+                    a[k * n + p] = c * akp - s * akq;
+                    a[k * n + q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p * n + k];
+                    let aqk = a[q * n + k];
+                    a[p * n + k] = c * apk - s * aqk;
+                    a[q * n + k] = s * apk + c * aqk;
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    let eigenvalues: Vec<f64> = (0..n).map(|i| a[i * n + i]).collect();
+    let mut vecs = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            vecs.set(i, j, v[i * n + j] as f32);
+        }
+    }
+    (eigenvalues, vecs)
+}
+
+/// Moore–Penrose pseudo-inverse of a symmetric PSD matrix, the `†` of
+/// Eq. (3). Eigenvalues below `max_eig * n * 1e-7` are treated as zero.
+pub fn pseudo_inverse(m: &Matrix) -> Matrix {
+    let n = m.rows();
+    let (eigs, vecs) = symmetric_eigen(m);
+    let max_eig = eigs.iter().cloned().fold(0.0f64, |a, b| a.max(b.abs()));
+    let tol = max_eig * n as f64 * 1e-7;
+    // pinv = V diag(1/λ or 0) Vᵀ
+    let mut out = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for (k, &lam) in eigs.iter().enumerate() {
+                if lam.abs() > tol {
+                    acc += vecs.get(i, k) as f64 * vecs.get(j, k) as f64 / lam;
+                }
+            }
+            out.set(i, j, acc as f32);
+        }
+    }
+    out
+}
+
+/// Solves `A · X = B` for symmetric positive-definite `A` via Cholesky.
+/// Returns `None` if `A` is not positive definite (caller should fall back
+/// to [`pseudo_inverse`]).
+pub fn cholesky_solve(a: &Matrix, b: &Matrix) -> Option<Matrix> {
+    assert_eq!(a.rows(), a.cols(), "cholesky needs a square matrix");
+    assert_eq!(a.rows(), b.rows(), "rhs row mismatch");
+    let n = a.rows();
+    // Factor A = L Lᵀ in f64.
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j) as f64;
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i * n + i] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    // Solve L y = b, then Lᵀ x = y, column by column.
+    let cols = b.cols();
+    let mut x = Matrix::zeros(n, cols);
+    let mut y = vec![0.0f64; n];
+    for c in 0..cols {
+        for i in 0..n {
+            let mut sum = b.get(i, c) as f64;
+            for k in 0..i {
+                sum -= l[i * n + k] * y[k];
+            }
+            y[i] = sum / l[i * n + i];
+        }
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= l[k * n + i] * x.get(k, c) as f64;
+            }
+            x.set(i, c, (sum / l[i * n + i]) as f32);
+        }
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd(n: usize, seed: u64) -> Matrix {
+        // AᵀA + n·I is comfortably positive definite.
+        let a = Matrix::random(n + 2, n, seed);
+        let mut g = a.gram();
+        for i in 0..n {
+            g.set(i, i, g.get(i, i) + n as f32);
+        }
+        g
+    }
+
+    #[test]
+    fn eigen_of_diagonal() {
+        let m = Matrix::from_vec(2, 2, vec![3.0, 0.0, 0.0, 1.0]);
+        let (mut eigs, _) = symmetric_eigen(&m);
+        eigs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((eigs[0] - 1.0).abs() < 1e-9);
+        assert!((eigs[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eigen_reconstructs_matrix() {
+        let m = spd(5, 1);
+        let (eigs, v) = symmetric_eigen(&m);
+        // M ≈ V diag(λ) Vᵀ
+        let mut recon = Matrix::zeros(5, 5);
+        for i in 0..5 {
+            for j in 0..5 {
+                let mut acc = 0.0f64;
+                for (k, &lam) in eigs.iter().enumerate() {
+                    acc += v.get(i, k) as f64 * lam * v.get(j, k) as f64;
+                }
+                recon.set(i, j, acc as f32);
+            }
+        }
+        assert!(m.rel_fro_diff(&recon) < 1e-5, "diff {}", m.rel_fro_diff(&recon));
+    }
+
+    #[test]
+    fn pinv_inverts_nonsingular() {
+        let m = spd(4, 2);
+        let p = pseudo_inverse(&m);
+        let prod = m.matmul(&p);
+        assert!(prod.rel_fro_diff(&Matrix::identity(4)) < 1e-4);
+    }
+
+    #[test]
+    fn pinv_of_rank_deficient_satisfies_penrose() {
+        // Rank-1 symmetric: x xᵀ.
+        let x = [1.0f32, 2.0, 3.0];
+        let mut m = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                m.set(i, j, x[i] * x[j]);
+            }
+        }
+        let p = pseudo_inverse(&m);
+        // Penrose condition 1: M P M = M.
+        let mpm = m.matmul(&p).matmul(&m);
+        assert!(mpm.rel_fro_diff(&m) < 1e-4);
+        // Penrose condition 2: P M P = P.
+        let pmp = p.matmul(&m).matmul(&p);
+        assert!(pmp.rel_fro_diff(&p) < 1e-4);
+    }
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        let a = spd(6, 3);
+        let x_true = Matrix::random(6, 2, 4);
+        let b = a.matmul(&x_true);
+        let x = cholesky_solve(&a, &b).expect("SPD system must factor");
+        assert!(x.rel_fro_diff(&x_true) < 1e-3, "diff {}", x.rel_fro_diff(&x_true));
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]); // eigenvalues 3, -1
+        assert!(cholesky_solve(&m, &Matrix::identity(2)).is_none());
+    }
+
+    #[test]
+    fn pinv_agrees_with_cholesky_on_spd() {
+        let a = spd(5, 7);
+        let b = Matrix::random(5, 3, 8);
+        let x1 = cholesky_solve(&a, &b).unwrap();
+        let x2 = pseudo_inverse(&a).matmul(&b);
+        assert!(x1.rel_fro_diff(&x2) < 1e-3);
+    }
+}

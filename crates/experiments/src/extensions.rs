@@ -1,0 +1,245 @@
+//! Extension experiments beyond the paper's evaluation section:
+//! the "future work" its conclusion sketches (reordering) plus sweeps the
+//! reproduction makes cheap (rank, SM scaling, ONEMODE-vs-ALLMODE).
+
+use mttkrp::cpu::onemode::SplattOneMode;
+use mttkrp::cpu::splatt::{SplattAllMode, SplattOptions};
+use mttkrp::gpu::{self, GpuContext};
+use mttkrp::reference::random_factors;
+use serde_json::{json, Value};
+use sptensor::reorder;
+use sptensor::{mode_orientation, CooTensor};
+use tensor_formats::{Bcsf, BcsfOptions, Hbcsf, IndexBytes};
+
+use crate::common::ExpConfig;
+use crate::report::{f, print_table};
+
+/// **ext-reorder** — the conclusion's "complementary reordering methods":
+/// (a) heavy-first slice relabeling as LPT block scheduling for B-CSF;
+/// (b) Morton (Z-order) sorting of nonzeros for the COO kernel's locality.
+pub fn ext_reorder(cfg: &ExpConfig) -> Value {
+    let ctx = cfg.gpu();
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for name in ["darpa", "nell2", "deli"] {
+        let t = cfg.gen(name);
+        let factors = cfg.factors(&t);
+        let perm = mode_orientation(3, 0);
+
+        // (a) Slice-order ablation on B-CSF.
+        let time_of = |tensor: &CooTensor, factors: &[dense::Matrix]| {
+            let b = Bcsf::build(tensor, &perm, BcsfOptions::default());
+            gpu::bcsf::run(&ctx, &b, factors).sim.time_s
+        };
+        let base = time_of(&t, &factors);
+        let (heavy, map) = reorder::relabel_mode_heavy_first(&t, 0);
+        let heavy_factors = permuted_factors(&factors, 0, &map);
+        let t_heavy = time_of(&heavy, &heavy_factors);
+        let (rand_t, rmap) = reorder::relabel_mode_random(&t, 0, cfg.seed);
+        let rand_factors = permuted_factors(&factors, 0, &rmap);
+        let t_rand = time_of(&rand_t, &rand_factors);
+
+        // (b) Nonzero-order ablation on the COO kernel's L2 behaviour.
+        let morton = reorder::morton_sort(&t);
+        let coo_base = gpu::parti_coo::run(&ctx, &t, &factors, 0);
+        let coo_morton = gpu::parti_coo::run(&ctx, &morton, &factors, 0);
+
+        rows.push(vec![
+            name.to_string(),
+            f(base / t_heavy),
+            f(base / t_rand),
+            f(coo_base.sim.l2_hit_rate),
+            f(coo_morton.sim.l2_hit_rate),
+        ]);
+        out.push(json!({
+            "name": name,
+            "bcsf_speedup_heavy_first": base / t_heavy,
+            "bcsf_speedup_random_relabel": base / t_rand,
+            "coo_l2_hit_sorted": coo_base.sim.l2_hit_rate,
+            "coo_l2_hit_morton": coo_morton.sim.l2_hit_rate,
+        }));
+    }
+    print_table(
+        "Ext-reorder: heavy-first slice relabeling (B-CSF speedup vs original order) \
+         and Morton sorting (COO kernel L2 hit %)",
+        &["tensor", "heavy-first", "random", "L2% sorted", "L2% morton"],
+        &rows,
+    );
+    json!({ "rows": out })
+}
+
+fn permuted_factors(
+    factors: &[dense::Matrix],
+    mode: usize,
+    map: &[sptensor::Index],
+) -> Vec<dense::Matrix> {
+    factors
+        .iter()
+        .enumerate()
+        .map(|(m, fm)| {
+            if m != mode {
+                return fm.clone();
+            }
+            let mut out = dense::Matrix::zeros(fm.rows(), fm.cols());
+            for i in 0..fm.rows() {
+                out.row_mut(map[i] as usize).copy_from_slice(fm.row(i));
+            }
+            out
+        })
+        .collect()
+}
+
+/// **ext-rank** — rank sweep: HB-CSF throughput as `R` grows (the paper
+/// fixes R=32; rows widen to multiple segments above 32).
+pub fn ext_rank(cfg: &ExpConfig) -> Value {
+    let ctx = cfg.gpu();
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for name in ["deli", "darpa"] {
+        let t = cfg.gen(name);
+        let perm = mode_orientation(3, 0);
+        let h = Hbcsf::build(&t, &perm, BcsfOptions::default());
+        for r in [8usize, 16, 32, 64, 128] {
+            let factors = random_factors(&t, r, cfg.seed ^ 0xFAC7);
+            let run = gpu::hbcsf::run(&ctx, &h, &factors);
+            let gflops = (3.0 * t.nnz() as f64 * r as f64) / run.sim.time_s.max(1e-30) / 1e9;
+            rows.push(vec![name.to_string(), r.to_string(), f(gflops)]);
+            out.push(json!({ "name": name, "rank": r, "gflops": gflops }));
+        }
+    }
+    print_table(
+        "Ext-rank: HB-CSF GFLOPs vs decomposition rank",
+        &["tensor", "R", "GFLOPs"],
+        &rows,
+    );
+    json!({ "rows": out })
+}
+
+/// **ext-scaling** — strong scaling over SM count: does HB-CSF keep the
+/// device busy as parallelism grows (and GPU-CSF fail to)?
+pub fn ext_scaling(cfg: &ExpConfig) -> Value {
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    let t = cfg.gen("darpa");
+    let factors = cfg.factors(&t);
+    let perm = mode_orientation(3, 0);
+    let h = Hbcsf::build(&t, &perm, BcsfOptions::default());
+    let plain = Bcsf::build(&t, &perm, BcsfOptions::unsplit());
+    let base = GpuContext::default();
+    let mut first: Option<(f64, f64)> = None;
+    for sms in [14usize, 28, 56, 112, 224] {
+        let mut ctx = base.clone();
+        ctx.device.num_sms = sms;
+        let th = gpu::hbcsf::run(&ctx, &h, &factors).sim.time_s;
+        let tc = gpu::bcsf::run(&ctx, &plain, &factors).sim.time_s;
+        let (h0, c0) = *first.get_or_insert((th, tc));
+        let sh = h0 / th * 14.0 / sms as f64; // parallel efficiency vs 14 SMs
+        let sc = c0 / tc * 14.0 / sms as f64;
+        rows.push(vec![
+            sms.to_string(),
+            f(th * 1e3),
+            f(100.0 * sh),
+            f(tc * 1e3),
+            f(100.0 * sc),
+        ]);
+        out.push(json!({
+            "sms": sms,
+            "hbcsf_ms": th * 1e3,
+            "hbcsf_efficiency_pct": 100.0 * sh,
+            "gpucsf_ms": tc * 1e3,
+            "gpucsf_efficiency_pct": 100.0 * sc,
+        }));
+    }
+    print_table(
+        "Ext-scaling (darpa): strong scaling over SM count — HB-CSF stays efficient, \
+         unsplit GPU-CSF cannot use added SMs",
+        &["SMs", "HB-CSF ms", "HB-CSF eff%", "GPU-CSF ms", "GPU-CSF eff%"],
+        &rows,
+    );
+    json!({ "rows": out })
+}
+
+/// **ext-onemode** — SPLATT ONEMODE vs ALLMODE: per-mode CPU time and
+/// index memory (the trade the paper cites when picking ALLMODE).
+pub fn ext_onemode(cfg: &ExpConfig) -> Value {
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for name in ["deli", "uber"] {
+        let t = cfg.gen(name);
+        let factors = cfg.factors(&t);
+        let one = SplattOneMode::build_default_root(&t);
+        let all = SplattAllMode::build(&t, SplattOptions::nontiled());
+        let all_bytes: u64 = all
+            .per_mode
+            .iter()
+            .flat_map(|s| s.tiles.iter())
+            .map(|c| c.index_bytes())
+            .sum();
+        let mut modes = Vec::new();
+        for mode in 0..t.order() {
+            let (_, t_one) = cfg.time_cpu(|| one.mttkrp(&factors, mode));
+            let (_, t_all) = cfg.time_cpu(|| all.mttkrp(&factors, mode));
+            rows.push(vec![
+                name.to_string(),
+                (mode + 1).to_string(),
+                f(t_all * 1e3),
+                f(t_one * 1e3),
+                f(t_one / t_all),
+            ]);
+            modes.push(json!({ "mode": mode, "allmode_ms": t_all * 1e3, "onemode_ms": t_one * 1e3 }));
+        }
+        out.push(json!({
+            "name": name,
+            "onemode_index_bytes": one.csf.index_bytes(),
+            "allmode_index_bytes": all_bytes,
+            "modes": modes,
+        }));
+    }
+    print_table(
+        "Ext-onemode: SPLATT ONEMODE (1 tree, internal-mode algorithm) vs ALLMODE (N trees)",
+        &["tensor", "mode", "ALLMODE ms", "ONEMODE ms", "slowdown"],
+        &rows,
+    );
+    json!({ "rows": out })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ext_scaling_hbcsf_scales_better_than_gpucsf() {
+        let v = ext_scaling(&ExpConfig::smoke());
+        let rows = v["rows"].as_array().unwrap();
+        let last = rows.last().unwrap();
+        assert!(
+            last["hbcsf_efficiency_pct"].as_f64().unwrap()
+                > last["gpucsf_efficiency_pct"].as_f64().unwrap(),
+            "HB-CSF must scale better than unsplit GPU-CSF at max SM count"
+        );
+    }
+
+    #[test]
+    fn ext_reorder_runs_and_reports() {
+        let v = ext_reorder(&ExpConfig::smoke());
+        for row in v["rows"].as_array().unwrap() {
+            assert!(row["bcsf_speedup_heavy_first"].as_f64().unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn ext_rank_gflops_grow_with_rank() {
+        // Wider rows amortize indices/metadata: GFLOPs at R=128 must
+        // exceed GFLOPs at R=8.
+        let v = ext_rank(&ExpConfig::smoke());
+        let rows = v["rows"].as_array().unwrap();
+        let get = |name: &str, r: u64| {
+            rows.iter()
+                .find(|x| x["name"] == name && x["rank"] == r)
+                .unwrap()["gflops"]
+                .as_f64()
+                .unwrap()
+        };
+        assert!(get("deli", 128) > get("deli", 8));
+    }
+}

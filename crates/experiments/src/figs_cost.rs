@@ -1,0 +1,183 @@
+//! Figures 9, 10, 16: preprocessing cost, amortization, and storage.
+
+use mttkrp::cpu::splatt::{SplattAllMode, SplattOptions};
+use mttkrp::preprocess;
+use serde_json::{json, Value};
+use sptensor::mode_orientation;
+use tensor_formats::{Bcsf, BcsfOptions, Csf, Fcoo, Hbcsf, IndexBytes};
+
+use crate::common::{names_all, ExpConfig};
+use crate::report::{f, print_table};
+
+/// **Fig. 9** — preprocessing (format construction, ALLMODE) time of
+/// B-CSF, HB-CSF and SPLATT-tiled, normalized to SPLATT-nontiled.
+pub fn fig9(cfg: &ExpConfig) -> Value {
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for name in names_all() {
+        let t = cfg.gen(name);
+        let (_, base) = cfg.time_cpu(|| {
+            std::hint::black_box(SplattAllMode::build(&t, SplattOptions::nontiled()))
+        });
+        let bcsf = preprocess::bcsf_allmode_seconds(&t, BcsfOptions::default());
+        let hbcsf = preprocess::hbcsf_allmode_seconds(&t, BcsfOptions::default());
+        let (_, tiled) = cfg.time_cpu(|| {
+            std::hint::black_box(SplattAllMode::build(&t, SplattOptions::tiled()))
+        });
+        let ratio = |v: f64| if base > 0.0 { v / base } else { 0.0 };
+        rows.push(vec![
+            name.to_string(),
+            f(ratio(bcsf)),
+            f(ratio(hbcsf)),
+            f(ratio(tiled)),
+        ]);
+        out.push(json!({
+            "name": name,
+            "splatt_nontiled_s": base,
+            "bcsf_ratio": ratio(bcsf),
+            "hbcsf_ratio": ratio(hbcsf),
+            "splatt_tiled_ratio": ratio(tiled),
+        }));
+    }
+    print_table(
+        "Fig. 9: preprocessing time relative to SPLATT-nontiled (ALLMODE builds)",
+        &["tensor", "B-CSF", "HB-CSF", "SPLATT-tiled"],
+        &rows,
+    );
+    json!({ "rows": out })
+}
+
+/// **Fig. 10** — iterations of CPD (one MTTKRP per mode each) needed for
+/// B-CSF / HB-CSF to beat SPLATT-nontiled end to end, preprocessing
+/// included.
+pub fn fig10(cfg: &ExpConfig) -> Value {
+    let ctx = cfg.gpu();
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for name in names_all() {
+        let t = cfg.gen(name);
+        let factors = cfg.factors(&t);
+        let order = t.order();
+
+        // Baseline: SPLATT-nontiled build + per-iteration (all modes) time.
+        let (splatt, pre_base_raw) =
+            cfg.time_cpu(|| SplattAllMode::build(&t, SplattOptions::nontiled()));
+        let pre_base = cfg.cpu_equiv_secs(pre_base_raw);
+        let mut iter_base = 0.0;
+        for mode in 0..order {
+            let (_, s) = cfg.time_cpu(|| splatt.mttkrp(&factors, mode));
+            iter_base += cfg.cpu_equiv_secs(s);
+        }
+
+        // B-CSF and HB-CSF: build time (wall clock) + simulated iteration.
+        let mut pre_b = 0.0;
+        let mut iter_b = 0.0;
+        let mut pre_h = 0.0;
+        let mut iter_h = 0.0;
+        for mode in 0..order {
+            let perm = mode_orientation(order, mode);
+            let (b, tb) = preprocess::timed(|| Bcsf::build(&t, &perm, BcsfOptions::default()));
+            pre_b += cfg.cpu_equiv_secs(tb);
+            iter_b += mttkrp::gpu::bcsf::run(&ctx, &b, &factors).sim.time_s;
+            let (h, th) = preprocess::timed(|| Hbcsf::build(&t, &perm, BcsfOptions::default()));
+            pre_h += cfg.cpu_equiv_secs(th);
+            iter_h += mttkrp::gpu::hbcsf::run(&ctx, &h, &factors).sim.time_s;
+        }
+
+        let n_b = preprocess::iterations_to_outperform(pre_b, iter_b, pre_base, iter_base);
+        let n_h = preprocess::iterations_to_outperform(pre_h, iter_h, pre_base, iter_base);
+        let show = |n: Option<u64>| n.map_or("never".to_string(), |v| v.to_string());
+        rows.push(vec![name.to_string(), show(n_b), show(n_h)]);
+        out.push(json!({
+            "name": name,
+            "bcsf_iterations": n_b,
+            "hbcsf_iterations": n_h,
+            "pre_base_s": pre_base,
+            "iter_base_s": iter_base,
+            "pre_bcsf_s": pre_b,
+            "iter_bcsf_s": iter_b,
+            "pre_hbcsf_s": pre_h,
+            "iter_hbcsf_s": iter_h,
+        }));
+    }
+    print_table(
+        "Fig. 10: iterations to outperform SPLATT-nontiled (preprocessing + execution)",
+        &["tensor", "B-CSF", "HB-CSF"],
+        &rows,
+    );
+    json!({ "rows": out })
+}
+
+/// **Fig. 16** — index storage of F-COO, CSF, and HB-CSF (sum over the `N`
+/// strong-mode-orientation representations each framework keeps).
+pub fn fig16(cfg: &ExpConfig) -> Value {
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for name in names_all() {
+        let t = cfg.gen(name);
+        let order = t.order();
+        let (mut fcoo_b, mut csf_b, mut hb_b) = (0u64, 0u64, 0u64);
+        for mode in 0..order {
+            let perm = mode_orientation(order, mode);
+            fcoo_b += Fcoo::build(&t, &perm, 8).index_bytes();
+            csf_b += Csf::build(&t, &perm).index_bytes();
+            hb_b += Hbcsf::build(&t, &perm, BcsfOptions::unsplit()).index_bytes();
+        }
+        let mib = |b: u64| b as f64 / (1024.0 * 1024.0);
+        rows.push(vec![
+            name.to_string(),
+            f(mib(fcoo_b)),
+            f(mib(csf_b)),
+            f(mib(hb_b)),
+        ]);
+        out.push(json!({
+            "name": name,
+            "fcoo_bytes": fcoo_b,
+            "csf_bytes": csf_b,
+            "hbcsf_bytes": hb_b,
+        }));
+    }
+    print_table(
+        "Fig. 16: index storage (MiB, sum of N mode-oriented representations)",
+        &["tensor", "F-COO", "CSF", "HB-CSF"],
+        &rows,
+    );
+    json!({ "rows": out })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig16_hbcsf_never_exceeds_csf() {
+        let v = fig16(&ExpConfig::smoke());
+        for row in v["rows"].as_array().unwrap() {
+            let csf = row["csf_bytes"].as_u64().unwrap();
+            let hb = row["hbcsf_bytes"].as_u64().unwrap();
+            assert!(hb <= csf, "{}: HB-CSF {hb} > CSF {csf}", row["name"]);
+        }
+    }
+
+    #[test]
+    fn fig16_fcoo_wins_on_singleton_tensors() {
+        let v = fig16(&ExpConfig::smoke());
+        let rows = v["rows"].as_array().unwrap();
+        for name in ["fr_m", "fr_s"] {
+            let row = rows.iter().find(|r| r["name"] == name).unwrap();
+            assert!(
+                row["fcoo_bytes"].as_u64().unwrap() < row["csf_bytes"].as_u64().unwrap(),
+                "{name}: F-COO should undercut CSF when S≈F≈M"
+            );
+        }
+    }
+
+    #[test]
+    fn fig9_reports_positive_ratios() {
+        let v = fig9(&ExpConfig::smoke());
+        for row in v["rows"].as_array().unwrap() {
+            assert!(row["bcsf_ratio"].as_f64().unwrap() > 0.0);
+            assert!(row["hbcsf_ratio"].as_f64().unwrap() > 0.0);
+        }
+    }
+}

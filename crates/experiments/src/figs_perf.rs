@@ -1,0 +1,238 @@
+//! Figures 5-8: the performance effects of splitting and hybridization.
+
+use mttkrp::cpu::splatt::{SplattCsf, SplattOptions};
+use serde_json::{json, Value};
+use tensor_formats::{Bcsf, BcsfOptions};
+
+use crate::common::{names_3d, ExpConfig};
+use crate::report::{f, print_table};
+
+/// **Fig. 5** — B-CSF mode-1 GFLOPs as the two splitting optimizations are
+/// enabled: none (plain GPU-CSF), fbr-split, fbr-split + slc-split.
+pub fn fig5(cfg: &ExpConfig) -> Value {
+    let ctx = cfg.gpu();
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for name in names_3d() {
+        let t = cfg.gen(name);
+        let factors = cfg.factors(&t);
+        let mut gf = Vec::new();
+        for opts in [
+            BcsfOptions::unsplit(),
+            BcsfOptions::fiber_split_only(),
+            BcsfOptions::default(),
+        ] {
+            let run = mttkrp::gpu::bcsf::build_and_run(&ctx, &t, &factors, 0, opts);
+            gf.push(cfg.gflops(&t, run.sim.time_s));
+        }
+        let speedup = if gf[0] > 0.0 { gf[2] / gf[0] } else { 0.0 };
+        rows.push(vec![
+            name.to_string(),
+            f(gf[0]),
+            f(gf[1]),
+            f(gf[2]),
+            format!("{:.1}x", speedup),
+        ]);
+        out.push(json!({
+            "name": name,
+            "gflops_unsplit": gf[0],
+            "gflops_fbr_split": gf[1],
+            "gflops_fbr_slc_split": gf[2],
+            "speedup_full_vs_unsplit": speedup,
+        }));
+    }
+    print_table(
+        "Fig. 5: B-CSF mode-1 GFLOPs with fiber-split and slice-split",
+        &["tensor", "no split", "fbr-split", "fbr+slc-split", "speedup"],
+        &rows,
+    );
+    json!({ "rows": out })
+}
+
+/// **Fig. 6** — GFLOPs rises as the fiber-length standard deviation falls:
+/// threshold sweep on the freebase stand-ins, short-mode orientation
+/// (where their fibers are long and skewed).
+pub fn fig6(cfg: &ExpConfig) -> Value {
+    let ctx = cfg.gpu();
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    // usize::MAX = no splitting (the "original stdev" starting point).
+    let thresholds = [usize::MAX, 1024, 512, 256, 128, 64, 32];
+    for name in ["fr_m", "fr_s"] {
+        let t = cfg.gen(name);
+        let factors = cfg.factors(&t);
+        // Orientation [2, 1, 0]: root = the short date mode, middle =
+        // artists, leaves = users. Fibers are then (date, artist) pairs
+        // whose lengths follow artist popularity — the skewed fiber-length
+        // distribution Fig. 6 sweeps — while the root level stays coarse
+        // enough that block-dispatch overheads do not mask the warp-level
+        // effect. (In the default mode-0 orientation freebase fibers are
+        // all singletons and there is nothing to split.)
+        let perm = vec![2usize, 1, 0];
+        let mut series = Vec::new();
+        for &thr in &thresholds {
+            let opts = BcsfOptions {
+                fiber_split_threshold: thr,
+                ..Default::default()
+            };
+            let bcsf = Bcsf::build(&t, &perm, opts);
+            let lengths = bcsf.csf.fiber_lengths();
+            let stdev = sptensor::stats::SummaryStats::of(&lengths).stdev;
+            let run = mttkrp::gpu::bcsf::run(&ctx, &bcsf, &factors);
+            let gflops = cfg.gflops(&t, run.sim.time_s);
+            let thr_label = if thr == usize::MAX {
+                "orig".to_string()
+            } else {
+                thr.to_string()
+            };
+            rows.push(vec![name.to_string(), thr_label.clone(), f(stdev), f(gflops)]);
+            series.push(json!({
+                "threshold": thr_label,
+                "stdev_nnz_per_fiber": stdev,
+                "gflops": gflops,
+            }));
+        }
+        out.push(json!({ "name": name, "series": series }));
+    }
+    print_table(
+        "Fig. 6: GFLOPs vs stdev of nonzeros per fiber (threshold sweep, short-mode orientation)",
+        &["tensor", "fbr threshold", "stdev nnz/fbr", "GFLOPs"],
+        &rows,
+    );
+    json!({ "rows": out })
+}
+
+/// **Fig. 7** — SPLATT-CSF (CPU) vs B-CSF (GPU) GFLOPs on each tensor's
+/// shortest (7a) and longest (7b) mode: the short-mode scalability story.
+pub fn fig7(cfg: &ExpConfig) -> Value {
+    let ctx = cfg.gpu();
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for name in names_3d() {
+        let t = cfg.gen(name);
+        let factors = cfg.factors(&t);
+        let dims = t.dims();
+        let shortest = (0..3).min_by_key(|&m| dims[m]).unwrap();
+        let longest = (0..3).max_by_key(|&m| dims[m]).unwrap();
+        let mut entry = json!({ "name": name });
+        for (label, mode) in [("shortest", shortest), ("longest", longest)] {
+            let splatt = SplattCsf::build(&t, mode, SplattOptions::nontiled());
+            let (_, secs) = cfg.time_cpu(|| splatt.mttkrp(&factors));
+            let cpu_gflops = cfg.gflops(&t, cfg.cpu_equiv_secs(secs));
+            let run =
+                mttkrp::gpu::bcsf::build_and_run(&ctx, &t, &factors, mode, BcsfOptions::default());
+            let gpu_gflops = cfg.gflops(&t, run.sim.time_s);
+            rows.push(vec![
+                name.to_string(),
+                format!("{label} (mode {})", mode + 1),
+                f(cpu_gflops),
+                f(gpu_gflops),
+            ]);
+            entry[label] = json!({
+                "mode": mode,
+                "splatt_cpu_gflops": cpu_gflops,
+                "bcsf_gpu_gflops": gpu_gflops,
+            });
+        }
+        out.push(entry);
+    }
+    print_table(
+        "Fig. 7: SPLATT-CSF (CPU) vs B-CSF (simulated GPU), shortest and longest modes",
+        &["tensor", "mode", "SPLATT GFLOPs", "B-CSF GFLOPs"],
+        &rows,
+    );
+    json!({ "rows": out })
+}
+
+/// **Fig. 8** — ParTI-COO-GPU vs B-CSF vs HB-CSF, mode 1: where plain COO
+/// wins (singleton-fiber tensors) and how the hybrid recovers everywhere.
+pub fn fig8(cfg: &ExpConfig) -> Value {
+    let ctx = cfg.gpu();
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for name in names_3d() {
+        let t = cfg.gen(name);
+        let factors = cfg.factors(&t);
+        let coo = mttkrp::gpu::parti_coo::run(&ctx, &t, &factors, 0);
+        let bcsf =
+            mttkrp::gpu::bcsf::build_and_run(&ctx, &t, &factors, 0, BcsfOptions::default());
+        let hb =
+            mttkrp::gpu::hbcsf::build_and_run(&ctx, &t, &factors, 0, BcsfOptions::default());
+        let g = [
+            cfg.gflops(&t, coo.sim.time_s),
+            cfg.gflops(&t, bcsf.sim.time_s),
+            cfg.gflops(&t, hb.sim.time_s),
+        ];
+        rows.push(vec![name.to_string(), f(g[0]), f(g[1]), f(g[2])]);
+        out.push(json!({
+            "name": name,
+            "parti_coo_gflops": g[0],
+            "bcsf_gflops": g[1],
+            "hbcsf_gflops": g[2],
+        }));
+    }
+    print_table(
+        "Fig. 8: ParTI-COO-GPU vs B-CSF vs HB-CSF (mode 1, simulated P100)",
+        &["tensor", "COO (ParTI)", "B-CSF", "HB-CSF"],
+        &rows,
+    );
+    json!({ "rows": out })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_darpa_gains_most_from_splitting() {
+        let v = fig5(&ExpConfig::smoke());
+        let rows = v["rows"].as_array().unwrap();
+        let speedup = |n: &str| {
+            rows.iter()
+                .find(|r| r["name"] == n)
+                .unwrap()["speedup_full_vs_unsplit"]
+                .as_f64()
+                .unwrap()
+        };
+        for n in ["deli", "flick-3d", "fr_m", "fr_s"] {
+            assert!(
+                speedup("darpa") > speedup(n),
+                "darpa ({}) should gain more than {n} ({})",
+                speedup("darpa"),
+                speedup(n)
+            );
+        }
+        assert!(speedup("darpa") > 1.5, "darpa speedup {}", speedup("darpa"));
+    }
+
+    #[test]
+    fn fig6_stdev_decreases_along_sweep() {
+        let v = fig6(&ExpConfig::smoke());
+        for ds in v["rows"].as_array().unwrap() {
+            let series = ds["series"].as_array().unwrap();
+            let stdevs: Vec<f64> = series
+                .iter()
+                .map(|p| p["stdev_nnz_per_fiber"].as_f64().unwrap())
+                .collect();
+            for w in stdevs.windows(2) {
+                assert!(w[1] <= w[0] + 1e-9, "stdev must fall: {stdevs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig8_hbcsf_is_never_far_behind_the_best() {
+        let v = fig8(&ExpConfig::smoke());
+        for row in v["rows"].as_array().unwrap() {
+            let coo = row["parti_coo_gflops"].as_f64().unwrap();
+            let bcsf = row["bcsf_gflops"].as_f64().unwrap();
+            let hb = row["hbcsf_gflops"].as_f64().unwrap();
+            let best = coo.max(bcsf);
+            assert!(
+                hb > 0.5 * best,
+                "{}: hbcsf {hb} too far behind best {best}",
+                row["name"]
+            );
+        }
+    }
+}

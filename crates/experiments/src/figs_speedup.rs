@@ -1,0 +1,199 @@
+//! Figures 11-15: HB-CSF speedup over every baseline framework.
+//!
+//! Speedup per dataset is the geometric mean over modes of
+//! `baseline_time(mode) / hbcsf_time(mode)` (per-mode values are in the
+//! JSON output). CPU baselines are wall-clock; GPU baselines share the
+//! simulated P100; CPU-vs-GPU ratios therefore carry the documented clock
+//! calibration (EXPERIMENTS.md).
+
+use dense::Matrix;
+use mttkrp::cpu::splatt::{SplattAllMode, SplattOptions};
+use mttkrp::gpu::GpuContext;
+use serde_json::{json, Value};
+use sptensor::mode_orientation;
+use sptensor::CooTensor;
+use tensor_formats::{BcsfOptions, Hbcsf, Hicoo};
+
+use crate::common::{geomean, names_all, ExpConfig};
+use crate::report::print_table;
+
+/// Per-mode HB-CSF (simulated) seconds for a tensor.
+fn hbcsf_seconds(ctx: &GpuContext, t: &CooTensor, factors: &[Matrix]) -> Vec<f64> {
+    (0..t.order())
+        .map(|mode| {
+            let perm = mode_orientation(t.order(), mode);
+            let h = Hbcsf::build(t, &perm, BcsfOptions::default());
+            mttkrp::gpu::hbcsf::run(ctx, &h, factors).sim.time_s
+        })
+        .collect()
+}
+
+/// Shared driver: computes per-mode baseline seconds with `baseline` (None
+/// = unsupported mode/tensor, reproducing the paper's missing bars) and
+/// renders a speedup figure.
+fn speedup_figure(
+    cfg: &ExpConfig,
+    title: &str,
+    key: &str,
+    mut baseline: impl FnMut(&CooTensor, &[Matrix], usize) -> Option<f64>,
+) -> Value {
+    let ctx = cfg.gpu();
+    println!(
+        "(CPU platform factor: {:.1} — host wall-clock scaled to the paper's 28-core Broadwell)",
+        cfg.cpu_platform_factor()
+    );
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    let mut means = Vec::new();
+    for name in names_all() {
+        let t = cfg.gen(name);
+        let factors = cfg.factors(&t);
+        let hb = hbcsf_seconds(&ctx, &t, &factors);
+        let mut per_mode = Vec::new();
+        let mut speedups = Vec::new();
+        for mode in 0..t.order() {
+            match baseline(&t, &factors, mode) {
+                Some(base_s) if hb[mode] > 0.0 => {
+                    let s = base_s / hb[mode];
+                    speedups.push(s);
+                    per_mode.push(json!({ "mode": mode, "speedup": s, "baseline_s": base_s, "hbcsf_s": hb[mode] }));
+                }
+                _ => per_mode.push(json!({ "mode": mode, "speedup": Value::Null })),
+            }
+        }
+        let gm = geomean(&speedups);
+        if gm > 0.0 {
+            means.push(gm);
+        }
+        let cell = if speedups.is_empty() {
+            "n/a".to_string()
+        } else {
+            format!("{gm:.1}x")
+        };
+        rows.push(vec![name.to_string(), cell]);
+        out.push(json!({ "name": name, "geomean_speedup": gm, "modes": per_mode }));
+    }
+    rows.push(vec!["(geomean)".into(), format!("{:.1}x", geomean(&means))]);
+    print_table(title, &["tensor", "speedup"], &rows);
+    json!({ key: out, "overall_geomean": geomean(&means) })
+}
+
+/// **Fig. 11** — speedup over SPLATT-CPU with tiling enabled.
+pub fn fig11(cfg: &ExpConfig) -> Value {
+    splatt_speedup(cfg, SplattOptions::tiled(), "Fig. 11: HB-CSF speedup over SPLATT-CPU-tiled")
+}
+
+/// **Fig. 12** — speedup over SPLATT-CPU without tiling.
+pub fn fig12(cfg: &ExpConfig) -> Value {
+    splatt_speedup(
+        cfg,
+        SplattOptions::nontiled(),
+        "Fig. 12: HB-CSF speedup over SPLATT-CPU-nontiled",
+    )
+}
+
+fn splatt_speedup(cfg: &ExpConfig, opts: SplattOptions, title: &str) -> Value {
+    // Build each dataset's ALLMODE representation once, outside the timer.
+    let mut cache: std::collections::HashMap<String, SplattAllMode> = Default::default();
+    speedup_figure(cfg, title, "rows", |t, factors, mode| {
+        let key = format!("{:?}-{}", t.dims(), t.nnz());
+        let splatt = cache
+            .entry(key)
+            .or_insert_with(|| SplattAllMode::build(t, opts));
+        let (_, s) = cfg.time_cpu(|| splatt.mttkrp(factors, mode));
+        Some(cfg.cpu_equiv_secs(s))
+    })
+}
+
+/// **Fig. 13** — speedup over HiCOO-CPU.
+pub fn fig13(cfg: &ExpConfig) -> Value {
+    let mut cache: std::collections::HashMap<String, Hicoo> = Default::default();
+    speedup_figure(
+        cfg,
+        "Fig. 13: HB-CSF speedup over HiCOO-CPU",
+        "rows",
+        |t, factors, mode| {
+            let key = format!("{:?}-{}", t.dims(), t.nnz());
+            let h = cache
+                .entry(key)
+                .or_insert_with(|| Hicoo::build(t, Hicoo::DEFAULT_BLOCK_BITS));
+            let (_, s) = cfg.time_cpu(|| mttkrp::cpu::hicoo::mttkrp(h, factors, mode));
+            Some(cfg.cpu_equiv_secs(s))
+        },
+    )
+}
+
+/// **Fig. 14** — speedup over ParTI-GPU (third-order only; 4-D rows show
+/// `n/a`, the paper's missing bars).
+pub fn fig14(cfg: &ExpConfig) -> Value {
+    let ctx = cfg.gpu();
+    speedup_figure(
+        cfg,
+        "Fig. 14: HB-CSF speedup over ParTI-GPU",
+        "rows",
+        |t, factors, mode| {
+            if t.order() != 3 {
+                return None;
+            }
+            Some(mttkrp::gpu::parti_coo::run(&ctx, t, factors, mode).sim.time_s)
+        },
+    )
+}
+
+/// **Fig. 15** — speedup over F-COO-GPU (third-order only).
+pub fn fig15(cfg: &ExpConfig) -> Value {
+    let ctx = cfg.gpu();
+    speedup_figure(
+        cfg,
+        "Fig. 15: HB-CSF speedup over FCOO-GPU",
+        "rows",
+        |t, factors, mode| {
+            if t.order() != 3 {
+                return None;
+            }
+            Some(
+                mttkrp::gpu::fcoo::build_and_run(
+                    &ctx,
+                    t,
+                    factors,
+                    mode,
+                    mttkrp::gpu::fcoo::DEFAULT_THREADLEN,
+                )
+                .sim
+                .time_s,
+            )
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig14_skips_4d_and_beats_parti_on_average() {
+        let v = fig14(&ExpConfig::smoke());
+        let rows = v["rows"].as_array().unwrap();
+        assert_eq!(rows.len(), 12);
+        // 4-D tensors report no speedup (missing bars).
+        for name in ["nips", "enron", "ch-cr", "flick-4d", "uber"] {
+            let row = rows.iter().find(|r| r["name"] == name).unwrap();
+            assert_eq!(row["geomean_speedup"].as_f64().unwrap(), 0.0, "{name}");
+        }
+        assert!(
+            v["overall_geomean"].as_f64().unwrap() > 1.0,
+            "HB-CSF should beat ParTI on average: {}",
+            v["overall_geomean"]
+        );
+    }
+
+    #[test]
+    fn fig15_beats_fcoo_on_average() {
+        let v = fig15(&ExpConfig::smoke());
+        assert!(
+            v["overall_geomean"].as_f64().unwrap() > 1.0,
+            "HB-CSF should beat F-COO on average: {}",
+            v["overall_geomean"]
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Plain-text table rendering for the experiment harness.
+
+/// Prints a titled, column-aligned table to stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(ncols) {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (c, cell) in cells.iter().enumerate().take(ncols) {
+            s.push_str(&format!("{:<width$}  ", cell, width = widths[c]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&widths
+        .iter()
+        .map(|w| "-".repeat(*w))
+        .collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Compact float formatting for table cells.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_by_magnitude() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(1234.5), "1234");
+        assert_eq!(f(12.345), "12.35");
+        assert_eq!(f(0.01234), "0.0123");
+    }
+
+    #[test]
+    fn table_prints_without_panic() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "two".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! # gpu-sim — a deterministic GPU execution-model simulator
+//!
+//! The paper's contribution is a *scheduling* result: MTTKRP on a GPU is
+//! slow when heavy fibers stall warps and heavy slices stall thread blocks,
+//! and fast when work is rebalanced. Those phenomena live in the execution
+//! model — warps in lockstep, blocks scheduled onto SMs, memory served in
+//! coalesced 128-byte segments through a shared L2 — not in silicon. This
+//! crate implements that execution model so the paper's kernels can be
+//! "run" without CUDA hardware and report the same metrics nvprof does:
+//!
+//! * [`DeviceProfile`] — machine parameters (SM count, warp slots, L2
+//!   geometry, clock); [`DeviceProfile::p100`] mirrors the paper's Tesla
+//!   P100.
+//! * [`grid`] — the work description a kernel emits: a grid of
+//!   [`BlockWork`]s, each a set of [`WarpWork`] instruction streams over
+//!   synthetic addresses from an [`AddressSpace`].
+//! * [`L2Cache`] — a set-associative LRU model producing the Table II
+//!   `L2 hit rate` column.
+//! * [`simulate`] — the two-level scheduler: a roofline-style block cost
+//!   (compute throughput vs. memory throughput vs. the critical warp) and
+//!   greedy list scheduling of blocks onto SMs. Returns a [`SimResult`]
+//!   with makespan, `sm_efficiency`, `achieved_occupancy`, L2 hit rate and
+//!   GFLOPs.
+//!
+//! ## Fidelity envelope
+//!
+//! The model is throughput-calibrated, not cycle-accurate: absolute GFLOPs
+//! depend on the [`CostModel`] constants (documented calibration in
+//! EXPERIMENTS.md), but *orderings* between kernels and the response to
+//! load imbalance — the quantities every figure of the paper reports — are
+//! structural properties of the scheduler. Everything is deterministic:
+//! same launch, same cycle counts.
+
+pub mod cache;
+pub mod cost;
+pub mod device;
+pub mod grid;
+pub mod sched;
+
+pub use cache::L2Cache;
+pub use cost::CostModel;
+pub use device::DeviceProfile;
+pub use grid::{AddressSpace, ArraySpan, BlockWork, KernelLaunch, Op, WarpWork};
+pub use sched::{co_resident_makespan, simulate, simulate_with_timeline, SimResult, Timeline};

@@ -1,0 +1,595 @@
+//! The two-level scheduler and metric computation.
+//!
+//! **Warp level.** Each warp's instruction stream is folded into three
+//! numbers: compute cycles, memory-latency cycles (its serial critical
+//! path), and memory-throughput cycles (segment-cycles consumed on the
+//! SM's load/store path, L2-aware).
+//!
+//! **Block level.** A block's duration is a roofline-style max of
+//! (a) total compute / the SM's warp issue width, (b) total memory
+//! throughput cycles, and (c) the critical (slowest) warp. (c) is where
+//! *inter-warp* imbalance appears: one heavy fiber makes one warp's latency
+//! chain dominate the whole block — the paper's Section IV-B pathology.
+//!
+//! **Grid level.** Blocks are greedily list-scheduled onto SMs in launch
+//! order. *Inter-thread-block* imbalance appears here: one heavy slice
+//! keeps one SM busy long after the rest drained — the Section IV-A
+//! pathology, visible as low `sm_efficiency`.
+//!
+//! Atomic updates carry a serialization surcharge proportional to the
+//! number of *other* blocks that update the same output row, which is what
+//! makes unsplit COO kernels (ParTI) pay for hot rows and makes slc-split's
+//! extra atomics "well tolerated" (few writers per row).
+
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+use crate::cache::L2Cache;
+use crate::cost::CostModel;
+use crate::device::DeviceProfile;
+use crate::grid::{KernelLaunch, Op};
+
+/// Simulation output: the nvprof-style metrics Table II reports, plus
+/// derived throughput.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SimResult {
+    pub kernel: String,
+    pub makespan_cycles: f64,
+    /// Seconds at the device clock.
+    pub time_s: f64,
+    /// Percentage of time the average SM was busy (nvprof `sm_efficiency`).
+    pub sm_efficiency: f64,
+    /// Active warps per active cycle / max warps, in percent
+    /// (nvprof `achieved_occupancy`).
+    pub achieved_occupancy: f64,
+    /// L2 hit rate in percent.
+    pub l2_hit_rate: f64,
+    /// Useful floating-point operations executed (FMA = 2 flops).
+    pub total_flops: u64,
+    pub gflops: f64,
+    pub num_blocks: usize,
+    pub num_warps: usize,
+    pub mem_segments: u64,
+    pub atomic_ops: u64,
+    pub max_block_cycles: f64,
+    pub mean_block_cycles: f64,
+}
+
+/// Per-SM busy intervals of a simulated launch: `spans[sm]` is the ordered
+/// list of `(start_cycle, end_cycle)` of each block that SM executed.
+/// Produced by [`simulate_with_timeline`]; the raw material for Gantt-style
+/// load-balance visualizations (see the `balance_viz` example).
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    pub spans: Vec<Vec<(f64, f64)>>,
+}
+
+impl Timeline {
+    /// Fraction of `[0, makespan]` during which SM `sm` was busy.
+    pub fn busy_fraction(&self, sm: usize, makespan: f64) -> f64 {
+        if makespan <= 0.0 {
+            return 0.0;
+        }
+        self.spans[sm].iter().map(|(s, e)| e - s).sum::<f64>() / makespan
+    }
+
+    /// Busy fraction of SM `sm` within the window `[t0, t1)`.
+    pub fn busy_in_window(&self, sm: usize, t0: f64, t1: f64) -> f64 {
+        if t1 <= t0 {
+            return 0.0;
+        }
+        let overlap: f64 = self.spans[sm]
+            .iter()
+            .map(|&(s, e)| (e.min(t1) - s.max(t0)).max(0.0))
+            .sum();
+        overlap / (t1 - t0)
+    }
+}
+
+/// Shared first half of the machine model: replay the launch through the
+/// L2 in launch order, apply the instruction cost model, and fold every
+/// block into its roofline cost. Both schedulers ([`simulate`] and
+/// [`co_resident_makespan`]) consume this.
+struct CostPass {
+    block_cycles: Vec<f64>,
+    block_warps: Vec<usize>,
+    total_flops: u64,
+    mem_segments: u64,
+    atomic_ops: u64,
+    num_warps: usize,
+    l2_hit_rate: f64,
+}
+
+fn compute_block_costs(dev: &DeviceProfile, cost: &CostModel, launch: &KernelLaunch) -> CostPass {
+    assert_eq!(
+        dev.line_bytes as u64,
+        crate::grid::SEG_BYTES,
+        "device line size must match the coalescing segment size"
+    );
+    let mut cache = L2Cache::new(dev.l2_bytes, dev.line_bytes, dev.l2_assoc);
+
+    // ---- Pass 1: distinct writer blocks per atomic output row. ----
+    let mut writers: HashMap<u32, (u32, u32)> = HashMap::new(); // row -> (last block, count)
+    for (b, block) in launch.blocks.iter().enumerate() {
+        for warp in &block.warps {
+            for op in &warp.ops {
+                if let Op::AtomicAdd { row, .. } = op {
+                    let e = writers.entry(*row).or_insert((u32::MAX, 0));
+                    if e.0 != b as u32 {
+                        *e = (b as u32, e.1 + 1);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- Pass 2: per-block costs (cache replayed in launch order). ----
+    let mut block_cycles: Vec<f64> = Vec::with_capacity(launch.blocks.len());
+    let mut block_warps: Vec<usize> = Vec::with_capacity(launch.blocks.len());
+    let mut total_flops: u64 = 0;
+    let mut mem_segments: u64 = 0;
+    let mut atomic_ops: u64 = 0;
+    let mut num_warps = 0usize;
+
+    for block in &launch.blocks {
+        let mut sum_compute = 0.0f64;
+        let mut sum_tp = 0.0f64;
+        let mut max_warp = 0.0f64;
+        let mut warps_in_block = 0usize;
+        for warp in &block.warps {
+            if warp.is_empty() {
+                continue;
+            }
+            warps_in_block += 1;
+            let mut compute = 0.0f64;
+            let mut latency = 0.0f64;
+            for op in &warp.ops {
+                match *op {
+                    Op::Fma(n) => {
+                        compute += n as f64 * cost.fma_cycles;
+                        total_flops += n as u64 * dev.warp_size as u64 * 2;
+                    }
+                    Op::Alu(n) => compute += n as f64,
+                    Op::Load(seg) | Op::Store(seg) => {
+                        let hit = cache.access(seg);
+                        latency += cost.mem_latency(hit);
+                        sum_tp += cost.mem_throughput(hit);
+                        mem_segments += 1;
+                    }
+                    Op::AtomicAdd { row, seg } => {
+                        let hit = cache.access(seg);
+                        let conflict =
+                            cost.conflict_surcharge(writers.get(&row).map_or(1, |e| e.1));
+                        latency += cost.mem_latency(hit) + cost.atomic_latency + conflict;
+                        sum_tp += cost.mem_throughput(hit) + cost.atomic_throughput + conflict;
+                        mem_segments += 1;
+                        atomic_ops += 1;
+                    }
+                    Op::Replay(n) => {
+                        // Extra transactions against resident lines: pure
+                        // LSU pressure plus pipelined-hit latency.
+                        latency += n as f64 * cost.mem_latency(true);
+                        sum_tp += n as f64 * cost.l2_hit_throughput;
+                        mem_segments += n as u64;
+                    }
+                    Op::Sync(n) => {
+                        compute += n as f64;
+                    }
+                }
+            }
+            let warp_cost = compute + latency;
+            sum_compute += compute;
+            max_warp = max_warp.max(warp_cost);
+        }
+        if warps_in_block == 0 {
+            continue;
+        }
+        num_warps += warps_in_block;
+        let cycles = (sum_compute / dev.compute_width_warps)
+            .max(sum_tp)
+            .max(max_warp)
+            + cost.block_overhead_cycles;
+        block_cycles.push(cycles);
+        block_warps.push(warps_in_block);
+    }
+
+    CostPass {
+        block_cycles,
+        block_warps,
+        total_flops,
+        mem_segments,
+        atomic_ops,
+        num_warps,
+        l2_hit_rate: cache.hit_rate(),
+    }
+}
+
+/// Runs a kernel launch through the machine model. Deterministic.
+///
+/// ```
+/// use gpu_sim::{simulate, BlockWork, CostModel, DeviceProfile, KernelLaunch, Op, WarpWork};
+///
+/// let mut launch = KernelLaunch::new("demo");
+/// let mut block = BlockWork::new();
+/// let mut warp = WarpWork::new();
+/// warp.push(Op::Fma(10));      // 10 warp-wide FMAs = 640 flops
+/// warp.load_span(0, 256);      // two 128-B segments
+/// block.warps.push(warp);
+/// launch.blocks.push(block);
+///
+/// let r = simulate(&DeviceProfile::p100(), &CostModel::zero_overhead(), &launch);
+/// assert_eq!(r.total_flops, 10 * 32 * 2);
+/// assert_eq!(r.mem_segments, 2);
+/// assert!(r.makespan_cycles > 0.0);
+/// ```
+pub fn simulate(dev: &DeviceProfile, cost: &CostModel, launch: &KernelLaunch) -> SimResult {
+    simulate_with_timeline(dev, cost, launch).0
+}
+
+/// Like [`simulate`] but also returns the per-SM busy timeline.
+pub fn simulate_with_timeline(
+    dev: &DeviceProfile,
+    cost: &CostModel,
+    launch: &KernelLaunch,
+) -> (SimResult, Timeline) {
+    let CostPass {
+        block_cycles,
+        block_warps,
+        total_flops,
+        mem_segments,
+        atomic_ops,
+        num_warps,
+        l2_hit_rate,
+    } = compute_block_costs(dev, cost, launch);
+
+    // ---- Pass 3: greedy list scheduling of blocks onto SMs. ----
+    #[derive(PartialEq)]
+    struct SmSlot(f64, usize); // (available time, sm id) — min-heap
+    impl Eq for SmSlot {}
+    impl Ord for SmSlot {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Reverse for a min-heap; times are finite and non-negative.
+            other
+                .0
+                .partial_cmp(&self.0)
+                .unwrap()
+                .then(other.1.cmp(&self.1))
+        }
+    }
+    impl PartialOrd for SmSlot {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut heap: BinaryHeap<SmSlot> = (0..dev.num_sms).map(|i| SmSlot(0.0, i)).collect();
+    let mut busy = vec![0.0f64; dev.num_sms];
+    let mut timeline = Timeline {
+        spans: vec![Vec::new(); dev.num_sms],
+    };
+    let mut occ_num = 0.0f64; // Σ active warps × cycles
+    // Occupancy accounts for block co-residency: while the launch queue is
+    // deep, each SM hosts roughly queue_depth/num_sms blocks concurrently
+    // (bounded by hardware block slots). The makespan itself stays a
+    // one-block-per-SM list schedule — co-residency hides latency, which
+    // the roofline block cost already credits via its throughput terms.
+    let co_res = (block_cycles.len() as f64 / dev.num_sms as f64)
+        .floor()
+        .clamp(1.0, dev.max_blocks_per_sm as f64);
+    for (&cycles, &warps) in block_cycles.iter().zip(&block_warps) {
+        let SmSlot(t, sm) = heap.pop().unwrap();
+        busy[sm] += cycles;
+        timeline.spans[sm].push((t, t + cycles));
+        occ_num += (warps as f64 * co_res).min(dev.max_warps_per_sm as f64) * cycles;
+        heap.push(SmSlot(t + cycles, sm));
+    }
+    let makespan = heap.iter().map(|s| s.0).fold(0.0f64, f64::max);
+    let busy_total: f64 = busy.iter().sum();
+
+    let sm_efficiency = if makespan > 0.0 {
+        100.0 * busy_total / (dev.num_sms as f64 * makespan)
+    } else {
+        0.0
+    };
+    let achieved_occupancy = if busy_total > 0.0 {
+        100.0 * occ_num / (dev.max_warps_per_sm as f64 * busy_total)
+    } else {
+        0.0
+    };
+    let time_s = makespan / (dev.clock_ghz * 1e9);
+    let gflops = if time_s > 0.0 {
+        total_flops as f64 / time_s / 1e9
+    } else {
+        0.0
+    };
+    let max_block_cycles = block_cycles.iter().cloned().fold(0.0f64, f64::max);
+    let mean_block_cycles = if block_cycles.is_empty() {
+        0.0
+    } else {
+        block_cycles.iter().sum::<f64>() / block_cycles.len() as f64
+    };
+
+    let result = SimResult {
+        kernel: launch.name.clone(),
+        makespan_cycles: makespan,
+        time_s,
+        sm_efficiency,
+        achieved_occupancy,
+        l2_hit_rate,
+        total_flops,
+        gflops,
+        num_blocks: block_cycles.len(),
+        num_warps,
+        mem_segments,
+        atomic_ops,
+        max_block_cycles,
+        mean_block_cycles,
+    };
+    (result, timeline)
+}
+
+/// The *co-resident* makespan bound: blocks list-scheduled onto
+/// `num_sms × k` virtual executors, where `k` is the SM's block slot count
+/// under a `nominal_warps`-per-block footprint (CUDA blocks reserve their
+/// full warp footprint even when most warps are idle).
+///
+/// The default schedule ([`simulate`]) serializes blocks per SM — a
+/// pessimistic bound where co-residency hides nothing; this function is the
+/// optimistic bound where co-resident blocks overlap for free. Real
+/// hardware sits between the two. Model-robustness tests check that the
+/// paper's orderings (split > unsplit, hybrid ≥ pure) hold at *both*
+/// bounds, so no conclusion hinges on the scheduler's pessimism.
+pub fn co_resident_makespan(
+    dev: &DeviceProfile,
+    cost: &CostModel,
+    launch: &KernelLaunch,
+    nominal_warps: usize,
+) -> f64 {
+    let k = (dev.max_warps_per_sm / nominal_warps.max(1))
+        .clamp(1, dev.max_blocks_per_sm)
+        .max(1);
+    let executors = dev.num_sms * k;
+    let pass = compute_block_costs(dev, cost, launch);
+    let mut finish_times = vec![0.0f64; executors];
+    let mut heap: BinaryHeap<std::cmp::Reverse<(u64, usize)>> =
+        (0..executors).map(|i| std::cmp::Reverse((0, i))).collect();
+    for &cycles in &pass.block_cycles {
+        let std::cmp::Reverse((_, ex)) = heap.pop().unwrap();
+        finish_times[ex] += cycles;
+        heap.push(std::cmp::Reverse((finish_times[ex].to_bits(), ex)));
+    }
+    finish_times.iter().cloned().fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{BlockWork, WarpWork};
+
+    fn dev() -> DeviceProfile {
+        DeviceProfile::tiny() // 4 SMs
+    }
+
+    fn compute_block(fmas: u32, warps: usize) -> BlockWork {
+        let mut b = BlockWork::new();
+        for _ in 0..warps {
+            let mut w = WarpWork::new();
+            w.push(Op::Fma(fmas));
+            b.warps.push(w);
+        }
+        b
+    }
+
+    #[test]
+    fn single_block_uses_one_sm() {
+        let mut launch = KernelLaunch::new("t");
+        launch.blocks.push(compute_block(100, 1));
+        let r = simulate(&dev(), &CostModel::zero_overhead(), &launch);
+        assert_eq!(r.num_blocks, 1);
+        // One of 4 SMs busy the whole time.
+        assert!((r.sm_efficiency - 25.0).abs() < 1e-9);
+        assert!((r.makespan_cycles - 100.0).abs() < 1e-9);
+        assert_eq!(r.total_flops, 100 * 32 * 2);
+    }
+
+    #[test]
+    fn balanced_blocks_fill_all_sms() {
+        let mut launch = KernelLaunch::new("t");
+        for _ in 0..8 {
+            launch.blocks.push(compute_block(50, 1));
+        }
+        let r = simulate(&dev(), &CostModel::zero_overhead(), &launch);
+        assert!((r.sm_efficiency - 100.0).abs() < 1e-9);
+        assert!((r.makespan_cycles - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_heavy_block_tanks_sm_efficiency() {
+        let mut launch = KernelLaunch::new("t");
+        launch.blocks.push(compute_block(1000, 1));
+        for _ in 0..3 {
+            launch.blocks.push(compute_block(10, 1));
+        }
+        let r = simulate(&dev(), &CostModel::zero_overhead(), &launch);
+        assert!((r.makespan_cycles - 1000.0).abs() < 1e-9);
+        assert!(r.sm_efficiency < 30.0, "sm_eff {}", r.sm_efficiency);
+
+        // Splitting the heavy block 4-ways restores balance.
+        let mut split = KernelLaunch::new("t");
+        for _ in 0..4 {
+            split.blocks.push(compute_block(250, 1));
+        }
+        for _ in 0..3 {
+            split.blocks.push(compute_block(10, 1));
+        }
+        let r2 = simulate(&dev(), &CostModel::zero_overhead(), &split);
+        assert!(r2.makespan_cycles < r.makespan_cycles / 3.0);
+        assert!(r2.sm_efficiency > 2.0 * r.sm_efficiency);
+    }
+
+    #[test]
+    fn heavy_warp_dominates_block() {
+        // 4 warps: one with 1000 FMAs, three with 10. On a device with
+        // issue width 2 the throughput bound is (1030/2) = 515, so the
+        // critical warp (1000) rules — inter-warp imbalance made visible.
+        let mut b = BlockWork::new();
+        for fmas in [1000u32, 10, 10, 10] {
+            let mut w = WarpWork::new();
+            w.push(Op::Fma(fmas));
+            b.warps.push(w);
+        }
+        let mut launch = KernelLaunch::new("t");
+        launch.blocks.push(b);
+        let r = simulate(&DeviceProfile::p100(), &CostModel::zero_overhead(), &launch);
+        assert!((r.makespan_cycles - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn occupancy_scales_with_warps_per_block() {
+        let mut thin = KernelLaunch::new("thin");
+        thin.blocks.push(compute_block(100, 1));
+        let mut wide = KernelLaunch::new("wide");
+        wide.blocks.push(compute_block(100, 8));
+        let d = dev(); // max 16 warps/SM
+        let c = CostModel::zero_overhead();
+        let r1 = simulate(&d, &c, &thin);
+        let r2 = simulate(&d, &c, &wide);
+        assert!(r2.achieved_occupancy > 4.0 * r1.achieved_occupancy);
+        assert!((r1.achieved_occupancy - 100.0 / 16.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn l2_reuse_raises_hit_rate() {
+        let mut reuse = KernelLaunch::new("reuse");
+        let mut stream = KernelLaunch::new("stream");
+        for i in 0..4u64 {
+            let mut br = BlockWork::new();
+            let mut wr = WarpWork::new();
+            let mut bs = BlockWork::new();
+            let mut ws = WarpWork::new();
+            for j in 0..100u64 {
+                wr.push(Op::Load(j % 4)); // 4 hot segments
+                ws.push(Op::Load(i * 1000 + j * 7)); // all distinct
+            }
+            br.warps.push(wr);
+            reuse.blocks.push(br);
+            bs.warps.push(ws);
+            stream.blocks.push(bs);
+        }
+        let d = dev();
+        let c = CostModel::zero_overhead();
+        let r1 = simulate(&d, &c, &reuse);
+        let r2 = simulate(&d, &c, &stream);
+        assert!(r1.l2_hit_rate > 90.0);
+        assert!(r2.l2_hit_rate < 5.0);
+        // Hits are also faster.
+        assert!(r1.makespan_cycles < r2.makespan_cycles);
+    }
+
+    #[test]
+    fn atomic_conflicts_cost_cycles() {
+        // 4 blocks all hammering the same output row vs. disjoint rows.
+        let build = |shared: bool| {
+            let mut l = KernelLaunch::new("a");
+            for b in 0..4u32 {
+                let mut blk = BlockWork::new();
+                let mut w = WarpWork::new();
+                for i in 0..50u64 {
+                    let row = if shared { 0 } else { b };
+                    w.push(Op::AtomicAdd {
+                        row,
+                        seg: 10_000 + row as u64 * 100 + i % 2,
+                    });
+                }
+                blk.warps.push(w);
+                l.blocks.push(blk);
+            }
+            l
+        };
+        let d = dev();
+        let c = CostModel::zero_overhead();
+        let hot = simulate(&d, &c, &build(true));
+        let cold = simulate(&d, &c, &build(false));
+        assert!(
+            hot.makespan_cycles > 1.5 * cold.makespan_cycles,
+            "hot {} vs cold {}",
+            hot.makespan_cycles,
+            cold.makespan_cycles
+        );
+        assert_eq!(hot.atomic_ops, 200);
+    }
+
+    #[test]
+    fn replay_charges_lsu_without_cache_probes() {
+        let mut plain = KernelLaunch::new("plain");
+        let mut replayed = KernelLaunch::new("replayed");
+        for launch in [&mut plain, &mut replayed] {
+            let mut b = BlockWork::new();
+            let mut w = WarpWork::new();
+            w.push(Op::Load(1));
+            if launch.name == "replayed" {
+                w.push(Op::Replay(7));
+            }
+            b.warps.push(w);
+            launch.blocks.push(b);
+        }
+        let d = dev();
+        let c = CostModel::zero_overhead();
+        let a = simulate(&d, &c, &plain);
+        let b = simulate(&d, &c, &replayed);
+        assert!(b.makespan_cycles > a.makespan_cycles);
+        assert_eq!(b.mem_segments, a.mem_segments + 7);
+        // Replays never touch the cache model: hit rates stay comparable
+        // (here: both runs have exactly one cold miss).
+        assert_eq!(a.l2_hit_rate, b.l2_hit_rate);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut launch = KernelLaunch::new("t");
+        for i in 0..10 {
+            launch.blocks.push(compute_block(10 + i, 2));
+        }
+        let d = dev();
+        let c = CostModel::zero_overhead();
+        let a = simulate(&d, &c, &launch);
+        let b = simulate(&d, &c, &launch);
+        assert_eq!(a.makespan_cycles, b.makespan_cycles);
+        assert_eq!(a.l2_hit_rate, b.l2_hit_rate);
+    }
+
+    #[test]
+    fn co_resident_bound_is_never_slower() {
+        let mut launch = KernelLaunch::new("t");
+        for i in 0..40 {
+            launch.blocks.push(compute_block(10 + i, 2));
+        }
+        let d = dev();
+        let c = CostModel::zero_overhead();
+        let serial = simulate(&d, &c, &launch).makespan_cycles;
+        let co = co_resident_makespan(&d, &c, &launch, 2);
+        assert!(co <= serial + 1e-9, "co {co} vs serial {serial}");
+        // With footprint = whole SM, the bounds coincide.
+        let full = co_resident_makespan(&d, &c, &launch, d.max_warps_per_sm);
+        assert!((full - serial).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_launch_is_zero() {
+        let launch = KernelLaunch::new("empty");
+        let r = simulate(&dev(), &CostModel::zero_overhead(), &launch);
+        assert_eq!(r.makespan_cycles, 0.0);
+        assert_eq!(r.gflops, 0.0);
+        assert_eq!(r.num_blocks, 0);
+    }
+
+    #[test]
+    fn throughput_bound_when_many_warps() {
+        // 16 warps × 100 FMAs in one block: compute-throughput bound
+        // (16*100/1 = 1600) exceeds the critical warp (100).
+        let mut launch = KernelLaunch::new("t");
+        launch.blocks.push(compute_block(100, 16));
+        let r = simulate(&dev(), &CostModel::zero_overhead(), &launch);
+        assert!((r.makespan_cycles - 1600.0).abs() < 1e-9);
+    }
+}

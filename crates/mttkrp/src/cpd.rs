@@ -1,0 +1,536 @@
+//! CPD-ALS — paper Algorithm 1, generic over the MTTKRP backend.
+//!
+//! Each iteration updates every factor in turn:
+//! `Aₙ ← MTTKRP(X, n) · (∗ₘ≠ₙ AₘᵀAₘ)†`, then normalizes the updated
+//! factor's columns into `λ`. The MTTKRP is supplied as a closure so any
+//! kernel in this crate (CPU or simulated-GPU) can drive a full
+//! decomposition — MTTKRP being "a common bottleneck for CPD" is the
+//! paper's entire motivation.
+
+use dense::{pseudo_inverse, Matrix};
+use sptensor::CooTensor;
+
+use crate::reference::random_factors;
+
+/// CPD-ALS configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CpdOptions {
+    /// Decomposition rank `R`.
+    pub rank: usize,
+    /// Maximum ALS iterations (paper term: `outer_iters`).
+    pub max_iters: usize,
+    /// Stop when the fit improves by less than this.
+    pub tol: f64,
+    /// Factor initialization seed.
+    pub seed: u64,
+}
+
+impl Default for CpdOptions {
+    fn default() -> Self {
+        CpdOptions {
+            rank: 16,
+            max_iters: 25,
+            tol: 1e-5,
+            seed: 0xC9D,
+        }
+    }
+}
+
+/// Decomposition output.
+#[derive(Debug, Clone)]
+pub struct CpdResult {
+    /// Normalized factor matrices, one per mode.
+    pub factors: Vec<Matrix>,
+    /// Column weights (norms absorbed from the last-updated factor).
+    pub lambda: Vec<f32>,
+    /// Fit after each iteration: `1 − ‖X − X̃‖ / ‖X‖`.
+    pub fits: Vec<f64>,
+    /// Iterations actually executed.
+    pub iterations: usize,
+}
+
+impl CpdResult {
+    /// Final fit (0 when no iterations ran).
+    pub fn final_fit(&self) -> f64 {
+        self.fits.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// Runs CPD-ALS on `t` using `mttkrp(factors, mode)` as the kernel.
+///
+/// The closure must return `X₍ₙ₎ ⨀ₘ≠ₙ factors[m]` exactly like
+/// [`crate::reference::mttkrp`] — every backend in this crate qualifies.
+///
+/// ```
+/// use mttkrp::cpd::{cpd_als, CpdOptions};
+/// use mttkrp::reference;
+/// use sptensor::synth::uniform_random;
+///
+/// let t = uniform_random(&[6, 7, 8], 100, 1);
+/// let opts = CpdOptions { rank: 3, max_iters: 5, tol: 0.0, seed: 2 };
+/// let res = cpd_als(&t, &opts, |factors, mode| reference::mttkrp(&t, factors, mode));
+/// assert_eq!(res.iterations, 5);
+/// assert_eq!(res.factors.len(), 3);
+/// assert!(res.final_fit() > 0.0);
+/// ```
+pub fn cpd_als(
+    t: &CooTensor,
+    opts: &CpdOptions,
+    mut mttkrp: impl FnMut(&[Matrix], usize) -> Matrix,
+) -> CpdResult {
+    let order = t.order();
+    let mut factors = random_factors(t, opts.rank, opts.seed);
+    let mut lambda = vec![1.0f32; opts.rank];
+    let mut grams: Vec<Matrix> = factors.iter().map(Matrix::gram).collect();
+    let norm_x = t
+        .values()
+        .iter()
+        .map(|&v| (v as f64) * (v as f64))
+        .sum::<f64>()
+        .sqrt();
+
+    let mut fits = Vec::new();
+    let mut prev_fit = 0.0f64;
+    let mut iterations = 0;
+
+    for _iter in 0..opts.max_iters {
+        for mode in 0..order {
+            let y = mttkrp(&factors, mode);
+            // V = ∗_{m≠n} AₘᵀAₘ  (Eq. 3's gram-Hadamard), folded from an
+            // all-ones seed so any number of modes composes uniformly.
+            let mut v = Matrix::from_vec(
+                opts.rank,
+                opts.rank,
+                vec![1.0; opts.rank * opts.rank],
+            );
+            for (m, g) in grams.iter().enumerate() {
+                if m != mode {
+                    v = v.hadamard(g);
+                }
+            }
+            let mut a_new = y.matmul(&pseudo_inverse(&v));
+            lambda = a_new.normalize_columns();
+            // Guard against zero columns collapsing the decomposition.
+            for l in &mut lambda {
+                if *l == 0.0 {
+                    *l = 1e-30;
+                }
+            }
+            grams[mode] = a_new.gram();
+            factors[mode] = a_new;
+        }
+        iterations += 1;
+
+        let fit = compute_fit(t, &factors, &lambda, &grams, norm_x);
+        fits.push(fit);
+        if iterations > 1 && (fit - prev_fit).abs() < opts.tol {
+            break;
+        }
+        prev_fit = fit;
+    }
+
+    CpdResult {
+        factors,
+        lambda,
+        fits,
+        iterations,
+    }
+}
+
+/// Non-negative CPD via multiplicative updates (Lee–Seung generalized to
+/// tensors): `Aₙ ← Aₙ ∗ MTTKRP(X, n) ⊘ (Aₙ · Vₙ)` with
+/// `Vₙ = ∗ₘ≠ₙ AₘᵀAₘ`. Keeps every factor entry ≥ 0 — the constraint the
+/// paper's motivating applications (e.g. Marble's high-throughput
+/// phenotyping from health records) impose on CPD. The tensor's values
+/// must be non-negative.
+///
+/// Shares the MTTKRP-backend contract with [`cpd_als`], so the same
+/// simulated-GPU kernels drive it.
+pub fn cpd_als_nonneg(
+    t: &CooTensor,
+    opts: &CpdOptions,
+    mut mttkrp: impl FnMut(&[Matrix], usize) -> Matrix,
+) -> CpdResult {
+    assert!(
+        t.values().iter().all(|&v| v >= 0.0),
+        "non-negative CPD requires a non-negative tensor"
+    );
+    const EPS: f32 = 1e-12;
+    let order = t.order();
+    let mut factors = random_factors(t, opts.rank, opts.seed);
+    let mut grams: Vec<Matrix> = factors.iter().map(Matrix::gram).collect();
+    let norm_x = t
+        .values()
+        .iter()
+        .map(|&v| (v as f64) * (v as f64))
+        .sum::<f64>()
+        .sqrt();
+
+    let mut fits = Vec::new();
+    let mut prev_fit = 0.0f64;
+    let mut iterations = 0;
+    for _iter in 0..opts.max_iters {
+        for mode in 0..order {
+            let y = mttkrp(&factors, mode);
+            let mut v = Matrix::from_vec(opts.rank, opts.rank, vec![1.0; opts.rank * opts.rank]);
+            for (m, g) in grams.iter().enumerate() {
+                if m != mode {
+                    v = v.hadamard(g);
+                }
+            }
+            // Denominator A·V, then the multiplicative update.
+            let denom = factors[mode].matmul(&v);
+            let a = &mut factors[mode];
+            for i in 0..a.rows() {
+                for c in 0..opts.rank {
+                    let upd = a.get(i, c) * y.get(i, c) / (denom.get(i, c) + EPS);
+                    a.set(i, c, upd.max(0.0));
+                }
+            }
+            grams[mode] = factors[mode].gram();
+        }
+        iterations += 1;
+        let lambda_ones = vec![1.0f32; opts.rank];
+        let fit = compute_fit(t, &factors, &lambda_ones, &grams, norm_x);
+        fits.push(fit);
+        if iterations > 1 && (fit - prev_fit).abs() < opts.tol {
+            break;
+        }
+        prev_fit = fit;
+    }
+
+    // Absorb column norms into λ at the end (updates stay unnormalized).
+    let mut lambda = vec![1.0f32; opts.rank];
+    if let Some(last) = factors.last_mut() {
+        lambda = last.normalize_columns();
+        for l in &mut lambda {
+            if *l == 0.0 {
+                *l = 1e-30;
+            }
+        }
+    }
+    CpdResult {
+        factors,
+        lambda,
+        fits,
+        iterations,
+    }
+}
+
+/// Fit = `1 − ‖X − X̃‖ / ‖X‖`, computed without materializing `X̃`:
+/// `‖X − X̃‖² = ‖X‖² − 2⟨X, X̃⟩ + ‖X̃‖²` with
+/// `⟨X, X̃⟩ = Σ_z val_z Σ_r λ_r Π_m Aₘ(i_m, r)` and
+/// `‖X̃‖² = Σ_{r,s} λ_r λ_s Π_m (AₘᵀAₘ)_{r,s}`.
+fn compute_fit(
+    t: &CooTensor,
+    factors: &[Matrix],
+    lambda: &[f32],
+    grams: &[Matrix],
+    norm_x: f64,
+) -> f64 {
+    let r = lambda.len();
+    let order = t.order();
+    // ⟨X, X̃⟩
+    let mut inner = 0.0f64;
+    let mut prod = vec![0.0f32; r];
+    for z in 0..t.nnz() {
+        for (c, p) in prod.iter_mut().enumerate() {
+            *p = lambda[c];
+        }
+        for m in 0..order {
+            let row = factors[m].row(t.mode_indices(m)[z] as usize);
+            for (p, &f) in prod.iter_mut().zip(row) {
+                *p *= f;
+            }
+        }
+        inner += t.values()[z] as f64 * prod.iter().map(|&p| p as f64).sum::<f64>();
+    }
+    // ‖X̃‖²
+    let mut model_sq = 0.0f64;
+    for a in 0..r {
+        for b in 0..r {
+            let mut g = lambda[a] as f64 * lambda[b] as f64;
+            for gram in grams {
+                g *= gram.get(a, b) as f64;
+            }
+            model_sq += g;
+        }
+    }
+    let resid_sq = (norm_x * norm_x - 2.0 * inner + model_sq).max(0.0);
+    if norm_x == 0.0 {
+        return 1.0;
+    }
+    1.0 - resid_sq.sqrt() / norm_x
+}
+
+/// Factor match score between two decompositions: greedy one-to-one
+/// matching of components by the product of per-mode column cosines
+/// (1.0 = identical up to column permutation and scaling). The standard
+/// metric for "did CPD recover the planted factors".
+pub fn factor_match_score(a: &[Matrix], b: &[Matrix]) -> f64 {
+    assert_eq!(a.len(), b.len(), "factor sets must have the same order");
+    let r = a[0].cols();
+    assert!(
+        b.iter().all(|m| m.cols() == r) && a.iter().all(|m| m.cols() == r),
+        "factor sets must share the rank"
+    );
+    let cosine = |m1: &Matrix, m2: &Matrix, c1: usize, c2: usize| -> f64 {
+        let (mut dot, mut n1, mut n2) = (0.0f64, 0.0f64, 0.0f64);
+        for i in 0..m1.rows() {
+            let (x, y) = (m1.get(i, c1) as f64, m2.get(i, c2) as f64);
+            dot += x * y;
+            n1 += x * x;
+            n2 += y * y;
+        }
+        if n1 == 0.0 || n2 == 0.0 {
+            0.0
+        } else {
+            (dot / (n1.sqrt() * n2.sqrt())).abs()
+        }
+    };
+    // Pairwise component scores = product of per-mode cosines.
+    let mut score = vec![vec![0.0f64; r]; r];
+    for (ca, row) in score.iter_mut().enumerate() {
+        for (cb, s) in row.iter_mut().enumerate() {
+            *s = a
+                .iter()
+                .zip(b)
+                .map(|(ma, mb)| cosine(ma, mb, ca, cb))
+                .product();
+        }
+    }
+    // Greedy assignment (r is small; Hungarian is overkill here).
+    let mut used = vec![false; r];
+    let mut total = 0.0;
+    for row in score.iter() {
+        let best = (0..r)
+            .filter(|&cb| !used[cb])
+            .max_by(|&x, &y| row[x].partial_cmp(&row[y]).unwrap());
+        if let Some(cb) = best {
+            used[cb] = true;
+            total += row[cb];
+        }
+    }
+    total / r as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use sptensor::CooTensor;
+
+    /// A tensor that *is* rank-1: CPD must fit it almost exactly.
+    fn rank_one_tensor() -> CooTensor {
+        let a = [1.0f32, 2.0, 0.5, 1.5];
+        let b = [0.5f32, 1.0, 2.0];
+        let c = [1.0f32, 3.0];
+        let mut t = CooTensor::new(vec![4, 3, 2]);
+        for (i, &ai) in a.iter().enumerate() {
+            for (j, &bj) in b.iter().enumerate() {
+                for (k, &ck) in c.iter().enumerate() {
+                    t.push(&[i as u32, j as u32, k as u32], ai * bj * ck);
+                }
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn recovers_rank_one_tensor() {
+        let t = rank_one_tensor();
+        let opts = CpdOptions {
+            rank: 2,
+            max_iters: 40,
+            tol: 1e-9,
+            seed: 7,
+        };
+        let res = cpd_als(&t, &opts, |f, m| reference::mttkrp(&t, f, m));
+        assert!(
+            res.final_fit() > 0.999,
+            "fit {} after {} iters",
+            res.final_fit(),
+            res.iterations
+        );
+    }
+
+    #[test]
+    fn fit_is_monotonically_non_decreasing() {
+        let t = sptensor::synth::uniform_random(&[8, 9, 10], 200, 3);
+        let opts = CpdOptions {
+            rank: 4,
+            max_iters: 15,
+            tol: 0.0,
+            seed: 11,
+        };
+        let res = cpd_als(&t, &opts, |f, m| reference::mttkrp(&t, f, m));
+        for w in res.fits.windows(2) {
+            assert!(
+                w[1] >= w[0] - 1e-4,
+                "fit decreased: {} -> {} ({:?})",
+                w[0],
+                w[1],
+                res.fits
+            );
+        }
+    }
+
+    #[test]
+    fn converges_and_stops_early() {
+        let t = rank_one_tensor();
+        let opts = CpdOptions {
+            rank: 2,
+            max_iters: 100,
+            tol: 1e-7,
+            seed: 5,
+        };
+        let res = cpd_als(&t, &opts, |f, m| reference::mttkrp(&t, f, m));
+        assert!(res.iterations < 100, "should converge before max_iters");
+    }
+
+    #[test]
+    fn backends_agree() {
+        // CPD driven by the SPLATT backend lands at the same fit as the
+        // reference backend.
+        let t = sptensor::synth::uniform_random(&[10, 12, 14], 300, 9);
+        let opts = CpdOptions {
+            rank: 3,
+            max_iters: 10,
+            tol: 0.0,
+            seed: 21,
+        };
+        let r_ref = cpd_als(&t, &opts, |f, m| reference::mttkrp(&t, f, m));
+        let r_splatt = cpd_als(&t, &opts, |f, m| {
+            crate::cpu::splatt::mttkrp(&t, f, m, crate::cpu::splatt::SplattOptions::nontiled())
+        });
+        assert!(
+            (r_ref.final_fit() - r_splatt.final_fit()).abs() < 1e-3,
+            "ref {} vs splatt {}",
+            r_ref.final_fit(),
+            r_splatt.final_fit()
+        );
+    }
+
+    #[test]
+    fn fms_identical_is_one_and_permutation_invariant() {
+        let a = vec![
+            Matrix::random(6, 3, 1),
+            Matrix::random(7, 3, 2),
+            Matrix::random(8, 3, 3),
+        ];
+        assert!((factor_match_score(&a, &a) - 1.0).abs() < 1e-9);
+        // Permute columns consistently: score stays 1.
+        let perm = [2usize, 0, 1];
+        let b: Vec<Matrix> = a
+            .iter()
+            .map(|m| {
+                let mut out = Matrix::zeros(m.rows(), 3);
+                for i in 0..m.rows() {
+                    for (c_new, &c_old) in perm.iter().enumerate() {
+                        out.set(i, c_new, m.get(i, c_old));
+                    }
+                }
+                out
+            })
+            .collect();
+        assert!((factor_match_score(&a, &b) - 1.0).abs() < 1e-6);
+        // Column scaling is also invisible (cosines are scale-free).
+        let c: Vec<Matrix> = a
+            .iter()
+            .map(|m| {
+                let mut out = m.clone();
+                for i in 0..out.rows() {
+                    let v = out.get(i, 0) * 5.0;
+                    out.set(i, 0, v);
+                }
+                out
+            })
+            .collect();
+        assert!((factor_match_score(&a, &c) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fms_unrelated_factors_score_low() {
+        let a = vec![Matrix::random(50, 4, 10), Matrix::random(60, 4, 11)];
+        let b = vec![Matrix::random(50, 4, 20), Matrix::random(60, 4, 21)];
+        let s = factor_match_score(&a, &b);
+        // Random positive matrices are not orthogonal, but the per-mode
+        // product suppresses the score well below a true match.
+        assert!(s < 0.9, "unrelated factors scored {s}");
+    }
+
+    #[test]
+    fn cpd_recovery_measured_by_fms() {
+        // CPD on a rank-1 tensor must recover the planted factors.
+        let t = rank_one_tensor();
+        let opts = CpdOptions {
+            rank: 1,
+            max_iters: 40,
+            tol: 1e-9,
+            seed: 3,
+        };
+        let res = cpd_als(&t, &opts, |f, m| reference::mttkrp(&t, f, m));
+        let planted = vec![
+            Matrix::from_vec(4, 1, vec![1.0, 2.0, 0.5, 1.5]),
+            Matrix::from_vec(3, 1, vec![0.5, 1.0, 2.0]),
+            Matrix::from_vec(2, 1, vec![1.0, 3.0]),
+        ];
+        let s = factor_match_score(&res.factors, &planted);
+        assert!(s > 0.999, "recovered factors score {s}");
+    }
+
+    #[test]
+    fn nonneg_factors_stay_nonnegative_and_fit_improves() {
+        let t = sptensor::synth::uniform_random(&[8, 9, 10], 250, 13);
+        let opts = CpdOptions {
+            rank: 4,
+            max_iters: 20,
+            tol: 0.0,
+            seed: 14,
+        };
+        let res = cpd_als_nonneg(&t, &opts, |f, m| reference::mttkrp(&t, f, m));
+        for f in &res.factors {
+            assert!(f.data().iter().all(|&v| v >= 0.0), "negative factor entry");
+        }
+        assert!(
+            res.fits.last().unwrap() > res.fits.first().unwrap(),
+            "fit did not improve: {:?}",
+            res.fits
+        );
+    }
+
+    #[test]
+    fn nonneg_recovers_nonneg_rank_one() {
+        let t = rank_one_tensor(); // strictly positive by construction
+        let opts = CpdOptions {
+            rank: 2,
+            max_iters: 120,
+            tol: 1e-10,
+            seed: 15,
+        };
+        let res = cpd_als_nonneg(&t, &opts, |f, m| reference::mttkrp(&t, f, m));
+        assert!(
+            res.final_fit() > 0.99,
+            "fit {} after {} iters",
+            res.final_fit(),
+            res.iterations
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn nonneg_rejects_negative_tensor() {
+        let mut t = rank_one_tensor();
+        t.values_mut()[0] = -1.0;
+        let opts = CpdOptions::default();
+        let _ = cpd_als_nonneg(&t, &opts, |f, m| reference::mttkrp(&t, f, m));
+    }
+
+    #[test]
+    fn empty_tensor_is_fit_one() {
+        let t = CooTensor::new(vec![3, 3, 3]);
+        let opts = CpdOptions::default();
+        let res = cpd_als(&t, &opts, |f, m| reference::mttkrp(&t, f, m));
+        assert!(res.final_fit() >= 1.0 - 1e-12);
+    }
+}

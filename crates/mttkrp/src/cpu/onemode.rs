@@ -1,0 +1,306 @@
+//! SPLATT's ONEMODE configuration: one CSF tree serves every mode.
+//!
+//! ALLMODE (the paper's benchmark setting) stores `N` CSF trees, one per
+//! output mode, so every MTTKRP has its output mode at the root and needs
+//! no synchronization. ONEMODE stores a *single* tree and computes the
+//! other modes' MTTKRPs on it with the internal-node algorithm (Smith &
+//! Karypis): for output mode at tree depth `d`, each depth-`d` node
+//! contributes
+//!
+//! ```text
+//! Y(c_d, :) += (Π_{l<d} F_l(c_l, :)) ∗ (Σ_subtree val · Π_{l>d} F_l(c_l, :))
+//! ```
+//!
+//! — the product of its ancestors' factor rows (top-down) Hadamard the
+//! factored sum of its subtree (bottom-up, shared with Algorithm 3's
+//! `accumulate`). Different slices can now update the same output row, so
+//! updates are atomic; that extra synchronization plus the lost factoring
+//! is the "performance degradation" the paper cites when explaining why
+//! it benchmarks SPLATT in ALLMODE. This module exists to make that
+//! trade-off measurable (see the `onemode_vs_allmode` bench).
+
+use std::sync::atomic::AtomicU32;
+
+use dense::Matrix;
+use rayon::prelude::*;
+use sptensor::dims::mode_orientation;
+use sptensor::CooTensor;
+use tensor_formats::Csf;
+
+use super::coo::atomic_add_f32;
+use super::row_writer::RowWriter;
+use super::splatt::accumulate;
+use crate::reference::check_shapes;
+
+/// A single-tree SPLATT representation serving all modes.
+#[derive(Debug, Clone)]
+pub struct SplattOneMode {
+    /// The mode at the tree root (SPLATT picks the longest mode by
+    /// default; any choice is valid).
+    pub root_mode: usize,
+    pub csf: Csf,
+}
+
+impl SplattOneMode {
+    /// Builds the single tree with `root_mode` at the root.
+    pub fn build(t: &CooTensor, root_mode: usize) -> SplattOneMode {
+        let perm = mode_orientation(t.order(), root_mode);
+        SplattOneMode {
+            root_mode,
+            csf: Csf::build(t, &perm),
+        }
+    }
+
+    /// Builds with SPLATT's default root heuristic: the longest mode
+    /// (maximizes compression of the leaf levels).
+    pub fn build_default_root(t: &CooTensor) -> SplattOneMode {
+        let root = (0..t.order())
+            .max_by_key(|&m| t.dims()[m])
+            .expect("tensor has at least one mode");
+        SplattOneMode::build(t, root)
+    }
+
+    /// Mode-`mode` MTTKRP on the single tree.
+    ///
+    /// # Panics
+    /// If factor shapes disagree with the tensor.
+    pub fn mttkrp(&self, factors: &[Matrix], mode: usize) -> Matrix {
+        let order = self.csf.order();
+        assert!(mode < order, "mode out of range");
+        let r = factors[0].cols();
+        for (m, f) in factors.iter().enumerate() {
+            assert_eq!(f.rows(), self.csf.dims[m] as usize, "factor {m} rows");
+            assert_eq!(f.cols(), r, "factor {m} rank");
+        }
+        let depth = self
+            .csf
+            .perm
+            .iter()
+            .position(|&m| m == mode)
+            .expect("mode must appear in the permutation");
+        if depth == 0 {
+            self.mttkrp_root(factors, r)
+        } else {
+            self.mttkrp_internal(factors, r, depth)
+        }
+    }
+
+    /// Root-mode path: identical to Algorithm 3 (exclusive output rows).
+    fn mttkrp_root(&self, factors: &[Matrix], r: usize) -> Matrix {
+        let csf = &self.csf;
+        let order = csf.order();
+        let rows = csf.dims[csf.perm[0]] as usize;
+        let mut y = Matrix::zeros(rows, r);
+        {
+            let writer = RowWriter::new(y.data_mut(), rows, r);
+            let facs: Vec<&Matrix> = (1..order).map(|l| &factors[csf.perm[l]]).collect();
+            (0..csf.num_slices()).into_par_iter().for_each_init(
+                || vec![vec![0.0f32; r]; order - 1],
+                |scratch, s| {
+                    scratch[0].fill(0.0);
+                    accumulate(csf, 0, s, &facs, scratch);
+                    let i = csf.level_idx[0][s] as usize;
+                    // SAFETY: root-level indices are unique per slice.
+                    let out = unsafe { writer.row_mut(i) };
+                    for (o, &v) in out.iter_mut().zip(&scratch[0]) {
+                        *o += v;
+                    }
+                },
+            );
+        }
+        y
+    }
+
+    /// Internal/leaf-mode path: top-down ancestor products meet bottom-up
+    /// subtree sums at depth `depth`; output rows repeat across slices, so
+    /// updates are atomic.
+    fn mttkrp_internal(&self, factors: &[Matrix], r: usize, depth: usize) -> Matrix {
+        let csf = &self.csf;
+        let order = csf.order();
+        let out_mode = csf.perm[depth];
+        let rows = csf.dims[out_mode] as usize;
+        let y: Vec<AtomicU32> = (0..rows * r).map(|_| AtomicU32::new(0)).collect();
+
+        // Factor of the mode stored at each tree level.
+        let level_facs: Vec<&Matrix> = (0..order).map(|l| &factors[csf.perm[l]]).collect();
+        // Factors below `depth`, as `accumulate` expects (facs[0] = level
+        // depth+1's factor).
+        let below: Vec<&Matrix> = (depth + 1..order).map(|l| &factors[csf.perm[l]]).collect();
+
+        (0..csf.num_slices()).into_par_iter().for_each_init(
+            || Scratch {
+                top: vec![vec![0.0f32; r]; depth + 1],
+                bottom: vec![vec![0.0f32; r]; (order - 1 - depth).max(1)],
+            },
+            |scr, s| {
+                // π at level 0 = the root's own factor row.
+                let root_row = level_facs[0].row(csf.level_idx[0][s] as usize);
+                scr.top[0].copy_from_slice(root_row);
+                walk(csf, 1, csf.children(0, s), depth, &level_facs, &below, scr, &y, r);
+            },
+        );
+
+        let data = y
+            .into_iter()
+            .map(|a| f32::from_bits(a.into_inner()))
+            .collect();
+        Matrix::from_vec(rows, r, data)
+    }
+}
+
+struct Scratch {
+    /// `top[l]` = Π of factor rows of levels `0..=l-1`... indexed so that
+    /// `top[l-1]` holds the product of ancestors of a level-`l` node.
+    top: Vec<Vec<f32>>,
+    bottom: Vec<Vec<f32>>,
+}
+
+/// Descends from `level` (whose parent product is `scr.top[level-1]`)
+/// towards `depth`, then combines with the bottom-up subtree sum.
+#[allow(clippy::too_many_arguments)]
+fn walk(
+    csf: &Csf,
+    level: usize,
+    groups: std::ops::Range<usize>,
+    depth: usize,
+    level_facs: &[&Matrix],
+    below: &[&Matrix],
+    scr: &mut Scratch,
+    y: &[AtomicU32],
+    r: usize,
+) {
+    let order = csf.order();
+    let nlev = order - 1;
+    if level == depth {
+        if depth == order - 1 {
+            // Leaf output mode: `groups` are leaf indices.
+            for z in groups {
+                let pi = &scr.top[depth - 1];
+                let k = csf.leaf_idx[z] as usize;
+                let v = csf.vals[z];
+                for c in 0..r {
+                    atomic_add_f32(&y[k * r + c], v * pi[c]);
+                }
+            }
+        } else {
+            for g in groups {
+                // Bottom-up factored sum of g's subtree.
+                scr.bottom[0].fill(0.0);
+                accumulate(csf, depth, g, below, &mut scr.bottom);
+                let pi = &scr.top[depth - 1];
+                let i = csf.level_idx[depth][g] as usize;
+                for c in 0..r {
+                    atomic_add_f32(&y[i * r + c], pi[c] * scr.bottom[0][c]);
+                }
+            }
+        }
+        return;
+    }
+    for g in groups {
+        // Extend the ancestor product with this node's factor row.
+        let row = level_facs[level].row(csf.level_idx[level][g] as usize);
+        let (upper, lower) = scr.top.split_at_mut(level);
+        for ((t, &p), &f) in lower[0].iter_mut().zip(&upper[level - 1]).zip(row) {
+            *t = p * f;
+        }
+        let children = if level < nlev {
+            csf.children(level, g)
+        } else {
+            unreachable!("walk never descends past the fiber level")
+        };
+        walk(csf, level + 1, children, depth, level_facs, below, scr, y, r);
+    }
+}
+
+/// Convenience one-shot.
+pub fn mttkrp(t: &CooTensor, factors: &[Matrix], mode: usize, root_mode: usize) -> Matrix {
+    check_shapes(t, factors, mode);
+    SplattOneMode::build(t, root_mode).mttkrp(factors, mode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use sptensor::synth::{standin, uniform_random, SynthConfig};
+
+    #[test]
+    fn matches_reference_every_mode_and_root_3d() {
+        let t = uniform_random(&[14, 18, 22], 900, 71);
+        let factors = reference::random_factors(&t, 6, 17);
+        for root in 0..3 {
+            let om = SplattOneMode::build(&t, root);
+            for mode in 0..3 {
+                let y = om.mttkrp(&factors, mode);
+                let expected = reference::mttkrp(&t, &factors, mode);
+                assert!(
+                    crate::outputs_match(&y, &expected),
+                    "root {root} mode {mode} diff {}",
+                    y.rel_fro_diff(&expected)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_every_mode_and_root_4d() {
+        let t = uniform_random(&[8, 10, 12, 9], 700, 72);
+        let factors = reference::random_factors(&t, 4, 18);
+        for root in 0..4 {
+            let om = SplattOneMode::build(&t, root);
+            for mode in 0..4 {
+                let y = om.mttkrp(&factors, mode);
+                let expected = reference::mttkrp(&t, &factors, mode);
+                assert!(crate::outputs_match(&y, &expected), "root {root} mode {mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_root_is_longest_mode() {
+        let t = uniform_random(&[5, 50, 10], 200, 73);
+        let om = SplattOneMode::build_default_root(&t);
+        assert_eq!(om.root_mode, 1);
+    }
+
+    #[test]
+    fn correct_on_skewed_standin() {
+        let t = standin("darpa").unwrap().generate(&SynthConfig::tiny());
+        let factors = reference::random_factors(&t, 8, 19);
+        let om = SplattOneMode::build_default_root(&t);
+        for mode in 0..3 {
+            let y = om.mttkrp(&factors, mode);
+            let expected = reference::mttkrp(&t, &factors, mode);
+            assert!(crate::outputs_match(&y, &expected), "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn empty_tensor() {
+        let t = CooTensor::new(vec![3, 4, 5]);
+        let factors = reference::random_factors(&t, 4, 20);
+        let om = SplattOneMode::build(&t, 0);
+        for mode in 0..3 {
+            let y = om.mttkrp(&factors, mode);
+            assert!(y.data().iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn single_tree_memory_is_one_nth_of_allmode() {
+        use tensor_formats::IndexBytes;
+        let t = uniform_random(&[20, 20, 20], 2_000, 74);
+        let om = SplattOneMode::build(&t, 0);
+        let all = super::super::splatt::SplattAllMode::build(
+            &t,
+            super::super::splatt::SplattOptions::nontiled(),
+        );
+        let all_bytes: u64 = all
+            .per_mode
+            .iter()
+            .flat_map(|s| s.tiles.iter())
+            .map(|c| c.index_bytes())
+            .sum();
+        assert!(om.csf.index_bytes() * 2 < all_bytes);
+    }
+}

@@ -1,0 +1,85 @@
+//! Shared-output helper for kernels whose parallel tasks write disjoint
+//! rows (the SPLATT/HiCOO no-atomics strategy).
+
+use std::marker::PhantomData;
+
+/// A `Sync` view over a row-major `f32` buffer that hands out mutable rows.
+///
+/// # Safety contract
+/// Concurrent callers must access **disjoint row indices**. Both CPU
+/// kernels that use this satisfy it structurally: SPLATT tasks own distinct
+/// CSF slices (level-0 indices are strictly increasing, hence unique), and
+/// HiCOO groups own distinct output-block row ranges.
+pub struct RowWriter<'a> {
+    ptr: *mut f32,
+    rows: usize,
+    cols: usize,
+    _pd: PhantomData<&'a mut [f32]>,
+}
+
+unsafe impl Send for RowWriter<'_> {}
+unsafe impl Sync for RowWriter<'_> {}
+
+impl<'a> RowWriter<'a> {
+    /// Wraps a matrix buffer of `rows × cols`.
+    ///
+    /// # Panics
+    /// If the buffer length disagrees with the shape.
+    pub fn new(buf: &'a mut [f32], rows: usize, cols: usize) -> RowWriter<'a> {
+        assert_eq!(buf.len(), rows * cols, "buffer shape mismatch");
+        RowWriter {
+            ptr: buf.as_mut_ptr(),
+            rows,
+            cols,
+            _pd: PhantomData,
+        }
+    }
+
+    /// Mutable access to row `r`.
+    ///
+    /// # Safety
+    /// No other thread may hold row `r` concurrently (see type docs).
+    ///
+    /// # Panics
+    /// If `r` is out of range.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn row_mut(&self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of range {}", self.rows);
+        std::slice::from_raw_parts_mut(self.ptr.add(r * self.cols), self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn disjoint_parallel_rows_write_correctly() {
+        let rows = 64;
+        let cols = 8;
+        let mut buf = vec![0.0f32; rows * cols];
+        {
+            let w = RowWriter::new(&mut buf, rows, cols);
+            (0..rows).into_par_iter().for_each(|r| {
+                let row = unsafe { w.row_mut(r) };
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v = (r * cols + c) as f32;
+                }
+            });
+        }
+        for (i, &v) in buf.iter().enumerate() {
+            assert_eq!(v, i as f32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_row() {
+        let mut buf = vec![0.0f32; 4];
+        let w = RowWriter::new(&mut buf, 2, 2);
+        unsafe {
+            let _ = w.row_mut(2);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Tensor-Toolbox-style MTTKRP — the `3MR`-operation baseline of Bader &
+//! Kolda that the paper's related-work section opens with ("Tensor Toolbox
+//! and Tensorlab provide COO-MTTKRP implementations, which are computed as
+//! a series of sparse tensor-vector products … uses 3MR operations and M
+//! words of intermediate storage").
+//!
+//! Column `r` of the output is assembled in two passes over the nonzeros:
+//! an `M`-long intermediate holds each nonzero's product of non-output
+//! factor entries at rank `r`, which a mode-`n` sparse accumulation then
+//! folds into `Y(:, r)`. Mathematically identical to
+//! [`crate::reference::mttkrp`]; kept as a distinct implementation because
+//! its *cost shape* (column-at-a-time, `M` words of intermediate) is what
+//! the paper contrasts CSF's `R`-word factoring against.
+
+use dense::Matrix;
+use sptensor::CooTensor;
+
+use crate::reference::check_shapes;
+
+/// Mode-`mode` MTTKRP, one output column at a time with an `M`-word
+/// intermediate (the Tensor Toolbox formulation).
+pub fn mttkrp(t: &CooTensor, factors: &[Matrix], mode: usize) -> Matrix {
+    let (order, r) = check_shapes(t, factors, mode);
+    let m = t.nnz();
+    let rows = t.dims()[mode] as usize;
+    let mut y = Matrix::zeros(rows, r);
+    // The "M words of intermediate storage".
+    let mut intermediate = vec![0.0f32; m];
+
+    for c in 0..r {
+        // Pass 1: per-nonzero Hadamard product at rank c.
+        intermediate.copy_from_slice(t.values());
+        for mm in 0..order {
+            if mm == mode {
+                continue;
+            }
+            let idx = t.mode_indices(mm);
+            let fac = &factors[mm];
+            for (w, &i) in intermediate.iter_mut().zip(idx) {
+                *w *= fac.get(i as usize, c);
+            }
+        }
+        // Pass 2: sparse accumulation into column c.
+        let out_idx = t.mode_indices(mode);
+        for (&w, &i) in intermediate.iter().zip(out_idx) {
+            let v = y.get(i as usize, c) + w;
+            y.set(i as usize, c, v);
+        }
+    }
+    y
+}
+
+/// The formulation's operation count: `N·M·R` (per column: `(N-1)·M`
+/// multiplies + `M` adds).
+pub fn op_count(t: &CooTensor, r: usize) -> u64 {
+    t.order() as u64 * t.nnz() as u64 * r as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use sptensor::synth::uniform_random;
+
+    #[test]
+    fn matches_reference_all_modes_and_orders() {
+        for dims in [vec![10u32, 12, 14], vec![6, 7, 8, 9]] {
+            let t = uniform_random(&dims, 600, 61);
+            let factors = reference::random_factors(&t, 6, 31);
+            for mode in 0..t.order() {
+                let y = mttkrp(&t, &factors, mode);
+                let expected = reference::mttkrp(&t, &factors, mode);
+                assert!(
+                    crate::outputs_match(&y, &expected),
+                    "dims {dims:?} mode {mode}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn op_count_is_nmr() {
+        let t = uniform_random(&[5, 6, 7], 100, 62);
+        assert_eq!(op_count(&t, 8), 3 * t.nnz() as u64 * 8);
+    }
+
+    #[test]
+    fn empty_tensor() {
+        let t = sptensor::CooTensor::new(vec![3, 3, 3]);
+        let factors = reference::random_factors(&t, 4, 63);
+        let y = mttkrp(&t, &factors, 0);
+        assert!(y.data().iter().all(|&v| v == 0.0));
+    }
+}

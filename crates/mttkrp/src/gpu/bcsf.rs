@@ -1,0 +1,295 @@
+//! B-CSF GPU MTTKRP kernel — paper Section IV.
+//!
+//! Work mapping: one thread block per [`BlockAssignment`] (a slice, or a
+//! binned piece of a heavy slice), fiber-segments dealt round-robin to the
+//! block's warps, rank across lanes. Per fiber-segment a warp reduces its
+//! leaves against the leaf-mode factor (Algorithm 3 line 11), folds the
+//! result through the fiber's ancestor-chain factor rows (line 13), and
+//! accumulates into the block's output-row partial (shared memory). The
+//! block commits the partial with a plain store when it owns its slice, or
+//! an `atomicAdd` when slc-split shared the slice across blocks — the
+//! "extra atomic operations … well tolerated" trade of Section IV-A.
+//!
+//! With [`BcsfOptions::unsplit`] this same kernel *is* the naive GPU-CSF of
+//! Table II (see [`crate::gpu::csf`]).
+
+use dense::Matrix;
+use gpu_sim::{AddressSpace, ArraySpan, BlockWork, KernelLaunch, Op, WarpWork};
+use sptensor::Index;
+use tensor_formats::{Bcsf, BcsfOptions};
+
+use super::common::{axpy_into, load_u32s, scale_by, FactorAddrs, GpuContext, GpuRun};
+
+/// Synthetic addresses of the B-CSF arrays.
+pub(crate) struct BcsfSpans {
+    pub level_ptr: Vec<ArraySpan>,
+    pub level_idx: Vec<ArraySpan>,
+    pub leaf_idx: ArraySpan,
+    pub vals: ArraySpan,
+}
+
+impl BcsfSpans {
+    pub fn alloc(space: &mut AddressSpace, b: &Bcsf) -> BcsfSpans {
+        BcsfSpans {
+            level_ptr: b
+                .csf
+                .level_ptr
+                .iter()
+                .map(|p| space.alloc_elems(p.len(), 4))
+                .collect(),
+            level_idx: b
+                .csf
+                .level_idx
+                .iter()
+                .map(|i| space.alloc_elems(i.len(), 4))
+                .collect(),
+            leaf_idx: space.alloc_elems(b.csf.leaf_idx.len(), 4),
+            vals: space.alloc_elems(b.csf.vals.len(), 4),
+        }
+    }
+}
+
+/// Runs the B-CSF kernel; the output mode is `bcsf.csf.perm[0]`.
+pub fn run(ctx: &GpuContext, bcsf: &Bcsf, factors: &[Matrix]) -> GpuRun {
+    run_named(ctx, bcsf, factors, "b-csf")
+}
+
+pub(crate) fn run_named(
+    ctx: &GpuContext,
+    bcsf: &Bcsf,
+    factors: &[Matrix],
+    name: &str,
+) -> GpuRun {
+    let r = factors[0].cols();
+    let mode = bcsf.csf.perm[0];
+    let mut space = AddressSpace::new();
+    let fa = FactorAddrs::layout(&mut space, &bcsf.csf.dims, r, mode);
+    let spans = BcsfSpans::alloc(&mut space, bcsf);
+    let mut y = Matrix::zeros(bcsf.csf.dims[mode] as usize, r);
+    let mut launch = KernelLaunch::new(name);
+    emit(ctx, bcsf, factors, &fa, &spans, &mut y, &mut launch);
+    let sim = ctx.simulate(&launch);
+    GpuRun { y, sim }
+}
+
+/// Emits the kernel's blocks into `launch` and accumulates the real output
+/// into `y` (callable from the HB-CSF composite kernel).
+pub(crate) fn emit(
+    ctx: &GpuContext,
+    bcsf: &Bcsf,
+    factors: &[Matrix],
+    fa: &FactorAddrs,
+    spans: &BcsfSpans,
+    y: &mut Matrix,
+    launch: &mut KernelLaunch,
+) {
+    let csf = &bcsf.csf;
+    let order = csf.order();
+    let fl = order - 2;
+    let r = factors[0].cols();
+    let leaf_mode = csf.perm[order - 1];
+    let anc = fiber_ancestors(bcsf);
+
+    let mut leafsum = vec![0.0f32; r];
+    for asg in &bcsf.blocks {
+        let mut block = BlockWork::new();
+        let i = csf.level_idx[0][asg.slice as usize] as usize;
+        let fibers = asg.fibers();
+        let nfibers = fibers.len();
+        let nwarps = ctx.warps_per_block.min(nfibers).max(1);
+        let per_warp = nfibers.div_ceil(nwarps);
+        let mut warps: Vec<WarpWork> = Vec::with_capacity(nwarps);
+
+        // Contiguous fiber ranges per warp: metadata and leaf streams are
+        // then coalesced exactly as the CUDA kernel's batched loads are.
+        for chunk_start in (fibers.start..fibers.end).step_by(per_warp) {
+            let chunk_end = (chunk_start + per_warp).min(fibers.end);
+            let mut w = WarpWork::new();
+            // One batched fetch of this warp's fiber pointers + indices.
+            load_u32s(&mut w, spans.level_ptr[fl], chunk_start, chunk_end - chunk_start + 1);
+            load_u32s(&mut w, spans.level_idx[fl], chunk_start, chunk_end - chunk_start);
+            // One streamed fetch of the warp's whole leaf range.
+            let leaf_lo = csf.level_ptr[fl][chunk_start] as usize;
+            let leaf_hi = csf.level_ptr[fl][chunk_end] as usize;
+            load_u32s(&mut w, spans.leaf_idx, leaf_lo, leaf_hi - leaf_lo);
+            load_u32s(&mut w, spans.vals, leaf_lo, leaf_hi - leaf_lo);
+
+            for f in chunk_start..chunk_end {
+                let lo = csf.level_ptr[fl][f] as usize;
+                let hi = csf.level_ptr[fl][f + 1] as usize;
+                // Leaf reduction against the last-mode factor (rank on
+                // lanes, Alg. 3 line 11).
+                leafsum.fill(0.0);
+                for z in lo..hi {
+                    let k = csf.leaf_idx[z] as usize;
+                    fa.load_row(&mut w, leaf_mode, k);
+                    w.push(Op::Fma(fa.rank_steps));
+                    axpy_into(&mut leafsum, csf.vals[z], factors[leaf_mode].row(k));
+                }
+                // Fold through the fiber's own row and its ancestors' rows
+                // (Alg. 3 line 13, generalized to order N).
+                let j = csf.level_idx[fl][f] as usize;
+                fa.load_row(&mut w, csf.perm[fl], j);
+                w.push(Op::Fma(fa.rank_steps));
+                scale_by(&mut leafsum, factors[csf.perm[fl]].row(j));
+                for l in (1..fl).rev() {
+                    let c = anc[l - 1][f] as usize;
+                    fa.load_row(&mut w, csf.perm[l], c);
+                    w.push(Op::Fma(fa.rank_steps));
+                    scale_by(&mut leafsum, factors[csf.perm[l]].row(c));
+                }
+                axpy_into(y.row_mut(i), 1.0, &leafsum);
+            }
+            warps.push(w);
+        }
+
+        // Cross-warp reduction of the slice partial, committed by warp 0.
+        let commit = &mut warps[0];
+        commit.push(Op::Sync(2 * nwarps as u32 * fa.rank_steps));
+        if asg.needs_atomic {
+            fa.atomic_y(commit, i);
+        } else {
+            fa.store_y(commit, i);
+        }
+        block.warps = warps;
+        launch.blocks.push(block);
+    }
+}
+
+/// `anc[l-1][f]` = the level-`l` coordinate above fiber `f`, for internal
+/// levels `1 <= l < fiber level` (empty for third-order tensors).
+fn fiber_ancestors(bcsf: &Bcsf) -> Vec<Vec<Index>> {
+    let csf = &bcsf.csf;
+    let order = csf.order();
+    let fl = order - 2;
+    let num_fibers = csf.level_idx[fl].len();
+    let mut anc: Vec<Vec<Index>> = Vec::new();
+    for l in 1..fl {
+        let mut arr = vec![0 as Index; num_fibers];
+        for g in 0..csf.level_idx[l].len() {
+            // Fiber range under group g: descend pointers to the fiber level.
+            let (mut lo, mut hi) = (g, g + 1);
+            for ll in l..fl {
+                lo = csf.level_ptr[ll][lo] as usize;
+                hi = csf.level_ptr[ll][hi] as usize;
+            }
+            let c = csf.level_idx[l][g];
+            for a in &mut arr[lo..hi] {
+                *a = c;
+            }
+        }
+        anc.push(arr);
+    }
+    anc
+}
+
+/// Emits the B-CSF kernel launch without simulating it — for tools that
+/// want to drive [`gpu_sim::simulate_with_timeline`] themselves (e.g. the
+/// `balance_viz` example). The semantic output is discarded.
+pub fn emit_launch(ctx: &GpuContext, bcsf: &Bcsf, factors: &[Matrix]) -> KernelLaunch {
+    let r = factors[0].cols();
+    let mode = bcsf.csf.perm[0];
+    let mut space = AddressSpace::new();
+    let fa = FactorAddrs::layout(&mut space, &bcsf.csf.dims, r, mode);
+    let spans = BcsfSpans::alloc(&mut space, bcsf);
+    let mut y = Matrix::zeros(bcsf.csf.dims[mode] as usize, r);
+    let mut launch = KernelLaunch::new("b-csf");
+    emit(ctx, bcsf, factors, &fa, &spans, &mut y, &mut launch);
+    launch
+}
+
+/// Builds B-CSF with `opts` and runs the kernel (convenience for
+/// experiments; construction cost excluded from the simulation).
+pub fn build_and_run(
+    ctx: &GpuContext,
+    t: &sptensor::CooTensor,
+    factors: &[Matrix],
+    mode: usize,
+    opts: BcsfOptions,
+) -> GpuRun {
+    let perm = sptensor::mode_orientation(t.order(), mode);
+    let bcsf = Bcsf::build(t, &perm, opts);
+    run(ctx, &bcsf, factors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use sptensor::synth::{standin, uniform_random, SynthConfig};
+
+    #[test]
+    fn matches_reference_all_modes_3d() {
+        let ctx = GpuContext::tiny();
+        let t = uniform_random(&[20, 24, 28], 1_200, 61);
+        let factors = reference::random_factors(&t, 8, 31);
+        for mode in 0..3 {
+            for opts in [BcsfOptions::default(), BcsfOptions::unsplit()] {
+                let run = build_and_run(&ctx, &t, &factors, mode, opts);
+                let seq = reference::mttkrp(&t, &factors, mode);
+                assert!(
+                    crate::outputs_match(&run.y, &seq),
+                    "mode {mode} {opts:?} diff {}",
+                    run.y.rel_fro_diff(&seq)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_order4() {
+        let ctx = GpuContext::tiny();
+        let t = uniform_random(&[10, 12, 8, 14], 900, 62);
+        let factors = reference::random_factors(&t, 6, 32);
+        for mode in 0..4 {
+            let run = build_and_run(&ctx, &t, &factors, mode, BcsfOptions::default());
+            let seq = reference::mttkrp(&t, &factors, mode);
+            assert!(crate::outputs_match(&run.y, &seq), "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn splitting_improves_skewed_tensor() {
+        let ctx = GpuContext::tiny();
+        let t = standin("darpa").unwrap().generate(&SynthConfig::tiny().with_nnz(20_000));
+        let factors = reference::random_factors(&t, 8, 33);
+        let unsplit = build_and_run(&ctx, &t, &factors, 0, BcsfOptions::unsplit());
+        let split = build_and_run(&ctx, &t, &factors, 0, BcsfOptions::default());
+        assert!(crate::outputs_match(&split.y, &unsplit.y));
+        assert!(
+            split.sim.makespan_cycles < unsplit.sim.makespan_cycles,
+            "split {} should beat unsplit {}",
+            split.sim.makespan_cycles,
+            unsplit.sim.makespan_cycles
+        );
+        assert!(split.sim.sm_efficiency > unsplit.sim.sm_efficiency);
+    }
+
+    #[test]
+    fn split_slices_use_atomics_unsplit_do_not() {
+        let ctx = GpuContext::tiny();
+        let mut t = sptensor::CooTensor::new(vec![4, 64, 128]);
+        for j in 0..64u32 {
+            for k in 0..32u32 {
+                t.push(&[0, j, k], 1.0); // heavy slice: 2048 nnz
+            }
+        }
+        t.push(&[1, 0, 0], 1.0);
+        let factors = reference::random_factors(&t, 4, 34);
+        let split = build_and_run(&ctx, &t, &factors, 0, BcsfOptions::default());
+        assert!(split.sim.atomic_ops > 0);
+        let unsplit = build_and_run(&ctx, &t, &factors, 0, BcsfOptions::unsplit());
+        assert_eq!(unsplit.sim.atomic_ops, 0);
+        assert!(crate::outputs_match(&split.y, &unsplit.y));
+    }
+
+    #[test]
+    fn empty_tensor() {
+        let ctx = GpuContext::tiny();
+        let t = sptensor::CooTensor::new(vec![3, 3, 3]);
+        let factors = reference::random_factors(&t, 4, 35);
+        let run = build_and_run(&ctx, &t, &factors, 0, BcsfOptions::default());
+        assert!(run.y.data().iter().all(|&v| v == 0.0));
+        assert_eq!(run.sim.num_blocks, 0);
+    }
+}

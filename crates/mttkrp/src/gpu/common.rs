@@ -1,0 +1,183 @@
+//! Shared machinery for the simulated GPU kernels: context, address
+//! layout, and the lane-layout conventions every kernel follows.
+//!
+//! **Lane layout.** All structured kernels put the rank dimension across
+//! the 32 lanes of a warp (lane `l` owns rank elements `l, l+32, …`), the
+//! standard layout for MTTKRP with `R ≥ 32`: a factor-row access is then a
+//! fully coalesced load of `ceil(R/32)` segments and a per-nonzero
+//! multiply-accumulate is `ceil(R/32)` warp-wide FMA instructions.
+
+use dense::Matrix;
+use gpu_sim::{simulate, AddressSpace, ArraySpan, CostModel, DeviceProfile, KernelLaunch, SimResult, WarpWork};
+use sptensor::Index;
+
+/// Device + cost-model bundle passed to every GPU kernel.
+#[derive(Debug, Clone)]
+pub struct GpuContext {
+    pub device: DeviceProfile,
+    pub cost: CostModel,
+    /// Warps per thread block for the structured kernels (paper: 512
+    /// threads = 16 warps).
+    pub warps_per_block: usize,
+}
+
+impl Default for GpuContext {
+    fn default() -> Self {
+        GpuContext {
+            device: DeviceProfile::p100(),
+            cost: CostModel::default(),
+            warps_per_block: 16,
+        }
+    }
+}
+
+impl GpuContext {
+    /// A small-device context for fast unit tests.
+    pub fn tiny() -> GpuContext {
+        GpuContext {
+            device: DeviceProfile::tiny(),
+            cost: CostModel::default(),
+            warps_per_block: 4,
+        }
+    }
+
+    /// Runs a launch through the simulator.
+    pub fn simulate(&self, launch: &KernelLaunch) -> SimResult {
+        simulate(&self.device, &self.cost, launch)
+    }
+}
+
+/// A kernel's outcome: the (real) MTTKRP output and the simulation metrics.
+#[derive(Debug, Clone)]
+pub struct GpuRun {
+    pub y: Matrix,
+    pub sim: SimResult,
+}
+
+/// Synthetic device addresses of the factor matrices and the output.
+#[derive(Debug, Clone)]
+pub struct FactorAddrs {
+    /// One span per mode (the output mode's span doubles as `Y`'s input-
+    /// factor slot and is unused).
+    pub factors: Vec<ArraySpan>,
+    /// Output matrix `Y` (`dims[mode] × R`).
+    pub y: ArraySpan,
+    /// Bytes per factor/output row (`R × 4`).
+    pub row_bytes: u64,
+    /// Warp-wide instructions per row operation: `ceil(R / 32)`.
+    pub rank_steps: u32,
+}
+
+impl FactorAddrs {
+    /// Reserves address space for all factors and the mode-`mode` output.
+    pub fn layout(space: &mut AddressSpace, dims: &[Index], r: usize, mode: usize) -> FactorAddrs {
+        let row_bytes = r as u64 * 4;
+        let factors = dims
+            .iter()
+            .map(|&d| space.alloc(d as u64 * row_bytes))
+            .collect();
+        let y = space.alloc(dims[mode] as u64 * row_bytes);
+        FactorAddrs {
+            factors,
+            y,
+            row_bytes,
+            rank_steps: (r as u32).div_ceil(32),
+        }
+    }
+
+    /// Emits the coalesced load of one factor row.
+    #[inline]
+    pub fn load_row(&self, w: &mut WarpWork, mode: usize, row: usize) {
+        w.load_span(self.factors[mode].row(row, self.row_bytes), self.row_bytes);
+    }
+
+    /// Emits a plain store of output row `i`.
+    #[inline]
+    pub fn store_y(&self, w: &mut WarpWork, i: usize) {
+        w.store_span(self.y.row(i, self.row_bytes), self.row_bytes);
+    }
+
+    /// Emits an atomic accumulate into output row `i`.
+    #[inline]
+    pub fn atomic_y(&self, w: &mut WarpWork, i: usize) {
+        w.atomic_span(i as u32, self.y.row(i, self.row_bytes), self.row_bytes);
+    }
+}
+
+/// Emits the coalesced load of `count` consecutive `u32` entries starting
+/// at element `start` of `span` (index/pointer array streaming).
+#[inline]
+pub fn load_u32s(w: &mut WarpWork, span: ArraySpan, start: usize, count: usize) {
+    if count > 0 {
+        w.load_span(span.elem(start, 4), count as u64 * 4);
+    }
+}
+
+/// Semantic helper: `acc[c] (op)= v * row[c]` for the two accumulation
+/// patterns kernels need.
+#[inline]
+pub fn axpy_into(acc: &mut [f32], v: f32, row: &[f32]) {
+    for (a, &f) in acc.iter_mut().zip(row) {
+        *a += v * f;
+    }
+}
+
+/// Semantic helper: `acc[c] *= row[c]`.
+#[inline]
+pub fn scale_by(acc: &mut [f32], row: &[f32]) {
+    for (a, &f) in acc.iter_mut().zip(row) {
+        *a *= f;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::Op;
+
+    #[test]
+    fn layout_is_disjoint_and_rank_steps_correct() {
+        let mut space = AddressSpace::new();
+        let fa = FactorAddrs::layout(&mut space, &[10, 20, 30], 32, 0);
+        assert_eq!(fa.factors.len(), 3);
+        assert_eq!(fa.row_bytes, 128);
+        assert_eq!(fa.rank_steps, 1);
+        // Factor spans do not overlap.
+        assert!(fa.factors[0].base + 10 * 128 <= fa.factors[1].base);
+        assert!(fa.factors[1].base + 20 * 128 <= fa.factors[2].base);
+        assert!(fa.factors[2].base + 30 * 128 <= fa.y.base);
+
+        let fa64 = FactorAddrs::layout(&mut AddressSpace::new(), &[4, 4, 4], 64, 0);
+        assert_eq!(fa64.rank_steps, 2);
+        assert_eq!(fa64.row_bytes, 256);
+    }
+
+    #[test]
+    fn row_ops_emit_expected_segments() {
+        let mut space = AddressSpace::new();
+        let fa = FactorAddrs::layout(&mut space, &[10, 10, 10], 32, 0);
+        let mut w = WarpWork::new();
+        fa.load_row(&mut w, 1, 3);
+        assert_eq!(w.ops.len(), 1); // 128-B row = 1 segment
+        fa.store_y(&mut w, 2);
+        fa.atomic_y(&mut w, 2);
+        assert_eq!(w.ops.len(), 3);
+        match w.ops[2] {
+            Op::AtomicAdd { row, .. } => assert_eq!(row, 2),
+            ref other => panic!("expected atomic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn u32_loads_coalesce() {
+        let mut space = AddressSpace::new();
+        let span = space.alloc_elems(1000, 4);
+        let mut w = WarpWork::new();
+        load_u32s(&mut w, span, 0, 32); // 128 B = 1 segment
+        assert_eq!(w.ops.len(), 1);
+        load_u32s(&mut w, span, 31, 2); // straddles a boundary
+        assert_eq!(w.ops.len(), 3);
+        load_u32s(&mut w, span, 0, 0);
+        assert_eq!(w.ops.len(), 3);
+    }
+}

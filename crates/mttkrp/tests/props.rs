@@ -1,0 +1,102 @@
+//! Property-based differential tests: every kernel equals the sequential
+//! reference on arbitrary random tensors, factors, and modes — plus
+//! algebraic properties of MTTKRP itself.
+
+use dense::Matrix;
+use mttkrp::cpu::splatt::{self, SplattOptions};
+use mttkrp::gpu::{self, GpuContext};
+use mttkrp::{outputs_match, reference};
+use proptest::prelude::*;
+use sptensor::dims::identity_perm;
+use sptensor::{CooTensor, Entry};
+use tensor_formats::{BcsfOptions, Hicoo};
+
+fn arb_case() -> impl Strategy<Value = (CooTensor, u64, usize)> {
+    (3usize..=4)
+        .prop_flat_map(|order| {
+            proptest::collection::vec(2u32..12, order).prop_flat_map(move |dims| {
+                let one = (
+                    dims.iter().map(|&d| (0..d).boxed()).collect::<Vec<_>>(),
+                    0.1f32..2.0,
+                )
+                    .prop_map(|(c, v)| Entry { coords: c, val: v });
+                (
+                    proptest::collection::vec(one, 0..60),
+                    any::<u64>(),
+                    0usize..order,
+                )
+                    .prop_map(move |(es, seed, mode)| {
+                        let mut t = CooTensor::from_entries(dims.clone(), es);
+                        t.sort_by_perm(&identity_perm(dims.len()));
+                        t.fold_duplicates();
+                        (t, seed, mode)
+                    })
+            })
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_backends_equal_reference((t, seed, mode) in arb_case()) {
+        let factors = reference::random_factors(&t, 5, seed);
+        let expected = reference::mttkrp(&t, &factors, mode);
+        let ctx = GpuContext::tiny();
+
+        let y = mttkrp::cpu::coo::mttkrp(&t, &factors, mode);
+        prop_assert!(outputs_match(&y, &expected), "cpu-coo");
+        let y = splatt::mttkrp(&t, &factors, mode, SplattOptions::nontiled());
+        prop_assert!(outputs_match(&y, &expected), "splatt");
+        let y = mttkrp::cpu::hicoo::mttkrp(&Hicoo::build(&t, 3), &factors, mode);
+        prop_assert!(outputs_match(&y, &expected), "hicoo");
+        let y = gpu::bcsf::build_and_run(&ctx, &t, &factors, mode, BcsfOptions::default()).y;
+        prop_assert!(outputs_match(&y, &expected), "bcsf");
+        let y = gpu::hbcsf::build_and_run(&ctx, &t, &factors, mode, BcsfOptions::default()).y;
+        prop_assert!(outputs_match(&y, &expected), "hbcsf");
+        let y = gpu::csl::build_and_run(&ctx, &t, &factors, mode).y;
+        prop_assert!(outputs_match(&y, &expected), "csl");
+        if t.order() == 3 {
+            let y = gpu::parti_coo::run(&ctx, &t, &factors, mode).y;
+            prop_assert!(outputs_match(&y, &expected), "parti");
+            let y = gpu::fcoo::build_and_run(&ctx, &t, &factors, mode, 4).y;
+            prop_assert!(outputs_match(&y, &expected), "fcoo");
+        }
+    }
+
+    #[test]
+    fn mttkrp_is_linear_in_tensor_values((t, seed, mode) in arb_case()) {
+        // MTTKRP(2X) = 2 · MTTKRP(X): linearity in the tensor.
+        let factors = reference::random_factors(&t, 4, seed);
+        let y1 = reference::mttkrp(&t, &factors, mode);
+        let mut t2 = t.clone();
+        for v in t2.values_mut() {
+            *v *= 2.0;
+        }
+        let y2 = reference::mttkrp(&t2, &factors, mode);
+        let mut y1x2 = Matrix::zeros(y1.rows(), y1.cols());
+        for i in 0..y1.rows() {
+            for c in 0..y1.cols() {
+                y1x2.set(i, c, 2.0 * y1.get(i, c));
+            }
+        }
+        prop_assert!(y2.rel_fro_diff(&y1x2) < 1e-5);
+    }
+
+    #[test]
+    fn output_row_support_matches_mode_indices((t, seed, mode) in arb_case()) {
+        // Rows of Y not touched by any nonzero stay exactly zero.
+        let factors = reference::random_factors(&t, 4, seed);
+        let y = reference::mttkrp(&t, &factors, mode);
+        let mut touched = vec![false; y.rows()];
+        for &i in t.mode_indices(mode) {
+            touched[i as usize] = true;
+        }
+        for (i, &was_touched) in touched.iter().enumerate() {
+            if !was_touched {
+                prop_assert!(y.row(i).iter().all(|&v| v == 0.0), "row {i} dirty");
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Edge-of-the-rank-dimension tests: the lane layout puts rank across 32
+//! warp lanes, so R = 1, R = 31/32/33 and R = 64 exercise partial rows,
+//! exact single-segment rows, and multi-segment rows respectively.
+
+use mttkrp::cpu::splatt::{self, SplattOptions};
+use mttkrp::gpu::{self, GpuContext};
+use mttkrp::{outputs_match, reference};
+use sptensor::synth::uniform_random;
+use tensor_formats::BcsfOptions;
+
+fn check_rank(r: usize) {
+    let t = uniform_random(&[12, 14, 16], 600, 91 + r as u64);
+    let factors = reference::random_factors(&t, r, 17);
+    let ctx = GpuContext::tiny();
+    for mode in 0..3 {
+        let expected = reference::mttkrp(&t, &factors, mode);
+        let y = gpu::hbcsf::build_and_run(&ctx, &t, &factors, mode, BcsfOptions::default()).y;
+        assert!(outputs_match(&y, &expected), "hbcsf R={r} mode {mode}");
+        let y = gpu::parti_coo::run(&ctx, &t, &factors, mode).y;
+        assert!(outputs_match(&y, &expected), "parti R={r} mode {mode}");
+        let y = splatt::mttkrp(&t, &factors, mode, SplattOptions::nontiled());
+        assert!(outputs_match(&y, &expected), "splatt R={r} mode {mode}");
+    }
+}
+
+#[test]
+fn rank_one() {
+    check_rank(1);
+}
+
+#[test]
+fn rank_31_32_33_boundary() {
+    check_rank(31);
+    check_rank(32);
+    check_rank(33);
+}
+
+#[test]
+fn rank_64_multi_segment_rows() {
+    check_rank(64);
+}
+
+#[test]
+fn wide_rank_rows_cost_more_segments() {
+    // R=64 rows are two 128-B segments; the kernel must move ~2x the
+    // factor traffic of R=32.
+    let t = uniform_random(&[20, 30, 40], 2_000, 99);
+    let ctx = GpuContext::tiny();
+    let f32_ = reference::random_factors(&t, 32, 3);
+    let f64_ = reference::random_factors(&t, 64, 3);
+    let a = gpu::hbcsf::build_and_run(&ctx, &t, &f32_, 0, BcsfOptions::default());
+    let b = gpu::hbcsf::build_and_run(&ctx, &t, &f64_, 0, BcsfOptions::default());
+    let ratio = b.sim.mem_segments as f64 / a.sim.mem_segments as f64;
+    assert!(
+        (1.5..2.5).contains(&ratio),
+        "segment ratio {ratio} should be ~2 for doubled rank"
+    );
+}

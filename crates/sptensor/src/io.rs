@@ -1,0 +1,267 @@
+//! FROSTT `.tns` text format I/O.
+//!
+//! The paper's datasets come from FROSTT and HaTen2 in the `.tns` format:
+//! one nonzero per line, whitespace-separated **1-based** indices followed
+//! by the value. Lines starting with `#` are comments. There is no header;
+//! the mode extents are the per-mode maxima. This reproduction runs on
+//! synthetic stand-ins by default, but real data can be dropped in through
+//! this module.
+
+use std::io::{self, BufRead, Write};
+
+use crate::{CooTensor, Index, Value};
+
+/// Reads a tensor from `.tns` text. Order is inferred from the first data
+/// line; extents are per-mode maxima (so empty trailing hyperplanes are not
+/// representable, same as FROSTT itself).
+pub fn read_tns<R: BufRead>(reader: R) -> io::Result<CooTensor> {
+    let mut inds: Vec<Vec<Index>> = Vec::new();
+    let mut vals: Vec<Value> = Vec::new();
+    let mut order: Option<usize> = None;
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let toks: Vec<&str> = trimmed.split_whitespace().collect();
+        if toks.len() < 2 {
+            return Err(bad_line(lineno, "need at least one index and a value"));
+        }
+        let n = toks.len() - 1;
+        match order {
+            None => {
+                order = Some(n);
+                inds = vec![Vec::new(); n];
+            }
+            Some(o) if o != n => {
+                return Err(bad_line(lineno, "inconsistent number of columns"));
+            }
+            _ => {}
+        }
+        for (m, tok) in toks[..n].iter().enumerate() {
+            let idx: u64 = tok
+                .parse()
+                .map_err(|_| bad_line(lineno, "invalid index"))?;
+            if idx == 0 {
+                return Err(bad_line(lineno, "indices are 1-based; got 0"));
+            }
+            if idx > u64::from(Index::MAX) {
+                return Err(bad_line(lineno, "index exceeds u32 range"));
+            }
+            inds[m].push((idx - 1) as Index);
+        }
+        let v: Value = toks[n]
+            .parse()
+            .map_err(|_| bad_line(lineno, "invalid value"))?;
+        vals.push(v);
+    }
+
+    let order = order.ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidData, "no data lines in .tns input")
+    })?;
+    let dims: Vec<Index> = (0..order)
+        .map(|m| inds[m].iter().copied().max().unwrap_or(0) + 1)
+        .collect();
+    Ok(CooTensor::from_parts(dims, inds, vals))
+}
+
+/// Writes a tensor in `.tns` text (1-based indices).
+pub fn write_tns<W: Write>(t: &CooTensor, mut writer: W) -> io::Result<()> {
+    let order = t.order();
+    let mut buf = String::new();
+    for z in 0..t.nnz() {
+        buf.clear();
+        for m in 0..order {
+            buf.push_str(&(t.mode_indices(m)[z] + 1).to_string());
+            buf.push(' ');
+        }
+        buf.push_str(&format!("{}", t.values()[z]));
+        buf.push('\n');
+        writer.write_all(buf.as_bytes())?;
+    }
+    Ok(())
+}
+
+fn bad_line(lineno: usize, msg: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!(".tns line {}: {}", lineno + 1, msg),
+    )
+}
+
+/// Magic prefix of the binary tensor format.
+pub const BIN_MAGIC: &[u8; 4] = b"SPT1";
+
+/// Writes a tensor in the crate's little-endian binary format:
+/// `"SPT1"`, `u8` order, `order × u32` extents, `u64` nonzero count, the
+/// mode index arrays (`u32` each), then the values (`f32`). Roughly 10×
+/// faster to load than `.tns` text — useful for caching generated
+/// stand-ins between experiment runs.
+pub fn write_bin<W: Write>(t: &CooTensor, mut w: W) -> io::Result<()> {
+    w.write_all(BIN_MAGIC)?;
+    w.write_all(&[t.order() as u8])?;
+    for &d in t.dims() {
+        w.write_all(&d.to_le_bytes())?;
+    }
+    w.write_all(&(t.nnz() as u64).to_le_bytes())?;
+    for m in 0..t.order() {
+        for &i in t.mode_indices(m) {
+            w.write_all(&i.to_le_bytes())?;
+        }
+    }
+    for &v in t.values() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a tensor written by [`write_bin`].
+pub fn read_bin<R: io::Read>(mut r: R) -> io::Result<CooTensor> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != BIN_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not an SPT1 binary tensor",
+        ));
+    }
+    let mut b1 = [0u8; 1];
+    r.read_exact(&mut b1)?;
+    let order = b1[0] as usize;
+    if order == 0 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "zero order"));
+    }
+    let mut u32buf = [0u8; 4];
+    let mut dims = Vec::with_capacity(order);
+    for _ in 0..order {
+        r.read_exact(&mut u32buf)?;
+        dims.push(u32::from_le_bytes(u32buf));
+    }
+    let mut u64buf = [0u8; 8];
+    r.read_exact(&mut u64buf)?;
+    let nnz = u64::from_le_bytes(u64buf) as usize;
+    let mut inds: Vec<Vec<Index>> = Vec::with_capacity(order);
+    for _ in 0..order {
+        let mut arr = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            r.read_exact(&mut u32buf)?;
+            arr.push(u32::from_le_bytes(u32buf));
+        }
+        inds.push(arr);
+    }
+    let mut vals = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        r.read_exact(&mut u32buf)?;
+        vals.push(f32::from_le_bytes(u32buf));
+    }
+    // from_parts validates ranges; map the panic to an IO error instead.
+    for (m, arr) in inds.iter().enumerate() {
+        if let Some(&bad) = arr.iter().find(|&&i| i >= dims[m]) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("mode {m} index {bad} out of range"),
+            ));
+        }
+    }
+    Ok(CooTensor::from_parts(dims, inds, vals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn round_trip() {
+        let mut t = CooTensor::new(vec![3, 4, 5]);
+        t.push(&[0, 1, 2], 1.5);
+        t.push(&[2, 3, 4], -2.0);
+        let mut out = Vec::new();
+        write_tns(&t, &mut out).unwrap();
+        let back = read_tns(BufReader::new(&out[..])).unwrap();
+        assert_eq!(back.nnz(), 2);
+        assert_eq!(back.dims(), &[3, 4, 5]);
+        assert_eq!(back.coords_of(1), vec![2, 3, 4]);
+        assert_eq!(back.values(), &[1.5, -2.0]);
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = "# a comment\n\n1 1 1 3.0\n2 2 2 4.0\n";
+        let t = read_tns(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(t.nnz(), 2);
+        assert_eq!(t.dims(), &[2, 2, 2]);
+    }
+
+    #[test]
+    fn rejects_zero_index() {
+        let text = "0 1 1 3.0\n";
+        assert!(read_tns(BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let text = "1 1 1 3.0\n1 1 4.0\n";
+        assert!(read_tns(BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        let text = "# only comments\n";
+        assert!(read_tns(BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn parses_scientific_values() {
+        let text = "1 2 3 1e-3\n";
+        let t = read_tns(BufReader::new(text.as_bytes())).unwrap();
+        assert!((t.values()[0] - 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let t = crate::synth::uniform_random(&[20, 30, 40, 7], 500, 9);
+        let mut buf = Vec::new();
+        write_bin(&t, &mut buf).unwrap();
+        let back = read_bin(&buf[..]).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let buf = b"NOPE\x03".to_vec();
+        assert!(read_bin(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let t = crate::synth::uniform_random(&[5, 5, 5], 50, 10);
+        let mut buf = Vec::new();
+        write_bin(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_bin(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_out_of_range_index() {
+        let t = crate::synth::uniform_random(&[4, 4], 10, 11);
+        let mut buf = Vec::new();
+        write_bin(&t, &mut buf).unwrap();
+        // Corrupt a mode-0 index to 255 (> extent 4). Header is
+        // 4 (magic) + 1 (order) + 8 (dims) + 8 (nnz) = 21 bytes.
+        buf[21] = 255;
+        assert!(read_bin(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn binary_empty_tensor() {
+        let t = CooTensor::new(vec![3, 3]);
+        let mut buf = Vec::new();
+        write_bin(&t, &mut buf).unwrap();
+        let back = read_bin(&buf[..]).unwrap();
+        assert_eq!(back.nnz(), 0);
+        assert_eq!(back.dims(), &[3, 3]);
+    }
+}

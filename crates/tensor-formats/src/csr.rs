@@ -1,0 +1,288 @@
+//! CSR and DCSR sparse matrices — the lineage CSF descends from.
+//!
+//! The paper introduces CSF through its matrix ancestors (Section III-B):
+//! CSR compresses row indices to pointers; for hyper-sparse matrices,
+//! "where a significant number of rows could be empty", Buluc & Gilbert's
+//! DCSR also compresses away the empty rows by storing indices only for
+//! non-empty ones — and "CSF is an extension of DCSR to tensors". These
+//! types exist both to make that lineage concrete (DCSR *is* the order-2
+//! CSF, tested below) and as the substrate for the DFacTo baseline
+//! (`mttkrp::cpu::dfacto`), which computes MTTKRP as a sequence of SpMVs.
+
+use sptensor::{CooTensor, Index, Value};
+
+/// Compressed sparse row matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    pub rows: Index,
+    pub cols: Index,
+    /// `row_ptr[r] .. row_ptr[r+1]` = entries of row `r` (length rows+1).
+    pub row_ptr: Vec<u32>,
+    pub col_idx: Vec<Index>,
+    pub vals: Vec<Value>,
+}
+
+impl Csr {
+    /// Builds CSR from triplets (need not be sorted; duplicates summed).
+    pub fn from_triplets(
+        rows: Index,
+        cols: Index,
+        triplets: impl IntoIterator<Item = (Index, Index, Value)>,
+    ) -> Csr {
+        let mut entries: Vec<(Index, Index, Value)> = triplets.into_iter().collect();
+        for &(r, c, _) in &entries {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of range");
+        }
+        entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        // Fold duplicates.
+        let mut folded: Vec<(Index, Index, Value)> = Vec::with_capacity(entries.len());
+        for (r, c, v) in entries {
+            match folded.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => folded.push((r, c, v)),
+            }
+        }
+        let mut row_ptr = vec![0u32; rows as usize + 1];
+        for &(r, _, _) in &folded {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..rows as usize {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        Csr {
+            rows,
+            cols,
+            row_ptr,
+            col_idx: folded.iter().map(|&(_, c, _)| c).collect(),
+            vals: folded.iter().map(|&(_, _, v)| v).collect(),
+        }
+    }
+
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Entry range of row `r`.
+    #[inline]
+    pub fn row_range(&self, r: usize) -> std::ops::Range<usize> {
+        self.row_ptr[r] as usize..self.row_ptr[r + 1] as usize
+    }
+
+    /// Sparse matrix–dense vector product `y = A x`.
+    pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols as usize, "x length mismatch");
+        let mut y = vec![0.0f32; self.rows as usize];
+        for r in 0..self.rows as usize {
+            let mut acc = 0.0f32;
+            for e in self.row_range(r) {
+                acc += self.vals[e] * x[self.col_idx[e] as usize];
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    /// Number of non-empty rows (DCSR's compression target).
+    pub fn non_empty_rows(&self) -> usize {
+        (0..self.rows as usize)
+            .filter(|&r| !self.row_range(r).is_empty())
+            .count()
+    }
+
+    /// Index storage in bytes: `(rows + 1)` pointers + `nnz` column ids.
+    pub fn index_bytes(&self) -> u64 {
+        4 * (self.row_ptr.len() as u64 + self.nnz() as u64)
+    }
+}
+
+/// Doubly compressed sparse row: pointers + indices for non-empty rows only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dcsr {
+    pub rows: Index,
+    pub cols: Index,
+    /// Indices of the non-empty rows, ascending.
+    pub row_idx: Vec<Index>,
+    /// `row_ptr[i] .. row_ptr[i+1]` = entries of row `row_idx[i]`.
+    pub row_ptr: Vec<u32>,
+    pub col_idx: Vec<Index>,
+    pub vals: Vec<Value>,
+}
+
+impl Dcsr {
+    /// Compresses a CSR matrix (drops empty-row pointers).
+    pub fn from_csr(csr: &Csr) -> Dcsr {
+        let mut row_idx = Vec::new();
+        let mut row_ptr = vec![0u32];
+        for r in 0..csr.rows as usize {
+            let range = csr.row_range(r);
+            if !range.is_empty() {
+                row_idx.push(r as Index);
+                row_ptr.push(range.end as u32);
+            }
+        }
+        Dcsr {
+            rows: csr.rows,
+            cols: csr.cols,
+            row_idx,
+            row_ptr,
+            col_idx: csr.col_idx.clone(),
+            vals: csr.vals.clone(),
+        }
+    }
+
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// `y = A x`, iterating non-empty rows only.
+    pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols as usize, "x length mismatch");
+        let mut y = vec![0.0f32; self.rows as usize];
+        for (i, &r) in self.row_idx.iter().enumerate() {
+            let mut acc = 0.0f32;
+            for e in self.row_ptr[i] as usize..self.row_ptr[i + 1] as usize {
+                acc += self.vals[e] * x[self.col_idx[e] as usize];
+            }
+            y[r as usize] = acc;
+        }
+        y
+    }
+
+    /// Index storage in bytes: per non-empty row one pointer + one index,
+    /// plus `nnz` column ids — the paper's "2S + M" pattern for matrices.
+    pub fn index_bytes(&self) -> u64 {
+        4 * (2 * self.row_idx.len() as u64 + self.nnz() as u64)
+    }
+}
+
+/// Mode-`n` matricization `X(n)` of a sparse tensor as CSR: row `i` is the
+/// mode-`n` index; the column is the flattened index of the remaining
+/// modes, *last mode fastest* and skipping mode `n` — matching
+/// `dense::khatri_rao`'s row ordering, so `X(n) · kr(...)` is exactly
+/// MTTKRP (used by the DFacTo baseline and its tests).
+pub fn matricize(t: &CooTensor, mode: usize) -> Csr {
+    let order = t.order();
+    assert!(mode < order, "mode out of range");
+    let others: Vec<usize> = (0..order).filter(|&m| m != mode).collect();
+    let flat_cols: u64 = others.iter().map(|&m| t.dims()[m] as u64).product();
+    assert!(flat_cols <= u32::MAX as u64, "matricization too wide for u32");
+    let triplets = (0..t.nnz()).map(|z| {
+        let mut col: u64 = 0;
+        for &m in &others {
+            col = col * t.dims()[m] as u64 + t.mode_indices(m)[z] as u64;
+        }
+        (t.mode_indices(mode)[z], col as Index, t.values()[z])
+    });
+    Csr::from_triplets(t.dims()[mode], flat_cols as Index, triplets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sptensor::synth::uniform_random;
+    use tensor_formats_test_support::*;
+
+    // Local helper namespace to keep the tests readable.
+    mod tensor_formats_test_support {
+        pub fn dense_of(csr: &super::Csr) -> Vec<Vec<f32>> {
+            let mut d = vec![vec![0.0; csr.cols as usize]; csr.rows as usize];
+            for r in 0..csr.rows as usize {
+                for e in csr.row_range(r) {
+                    d[r][csr.col_idx[e] as usize] += csr.vals[e];
+                }
+            }
+            d
+        }
+    }
+
+    #[test]
+    fn from_triplets_sorts_and_folds() {
+        let csr = Csr::from_triplets(
+            3,
+            4,
+            vec![(2, 1, 1.0), (0, 3, 2.0), (2, 1, 0.5), (0, 0, 1.0)],
+        );
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.row_ptr, vec![0, 2, 2, 3]);
+        assert_eq!(csr.col_idx, vec![0, 3, 1]);
+        assert_eq!(csr.vals, vec![1.0, 2.0, 1.5]);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let csr = Csr::from_triplets(
+            3,
+            3,
+            vec![(0, 0, 2.0), (0, 2, 1.0), (1, 1, -1.0), (2, 0, 3.0)],
+        );
+        let x = vec![1.0, 2.0, 3.0];
+        let y = csr.spmv(&x);
+        let d = dense_of(&csr);
+        for r in 0..3 {
+            let want: f32 = (0..3).map(|c| d[r][c] * x[c]).sum();
+            assert!((y[r] - want).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn dcsr_matches_csr_and_compresses_empty_rows() {
+        // Hyper-sparse: 100 rows, 3 non-empty.
+        let csr = Csr::from_triplets(
+            100,
+            10,
+            vec![(5, 1, 1.0), (50, 2, 2.0), (99, 3, 3.0)],
+        );
+        let dcsr = Dcsr::from_csr(&csr);
+        assert_eq!(dcsr.row_idx, vec![5, 50, 99]);
+        let x = vec![1.0f32; 10];
+        assert_eq!(csr.spmv(&x), dcsr.spmv(&x));
+        // The paper's storage argument: DCSR wins when most rows are empty.
+        assert!(dcsr.index_bytes() < csr.index_bytes());
+    }
+
+    #[test]
+    fn dcsr_is_order2_csf() {
+        // "CSF is an extension of DCSR to tensors": an order-2 CSF tree has
+        // exactly DCSR's arrays.
+        let t = uniform_random(&[30, 20], 60, 5);
+        let csf = crate::Csf::build(&t, &sptensor::identity_perm(2));
+        let mut coo_trip = Vec::new();
+        for e in t.iter_entries() {
+            coo_trip.push((e.coords[0], e.coords[1], e.val));
+        }
+        let dcsr = Dcsr::from_csr(&Csr::from_triplets(30, 20, coo_trip));
+        assert_eq!(csf.level_idx[0], dcsr.row_idx);
+        assert_eq!(csf.leaf_idx, dcsr.col_idx);
+        assert_eq!(csf.vals, dcsr.vals);
+        // Pointer arrays agree up to DCSR's leading 0 convention.
+        let csf_ends: Vec<u32> = csf.level_ptr[0][1..].to_vec();
+        assert_eq!(csf_ends, dcsr.row_ptr[1..].to_vec());
+    }
+
+    #[test]
+    fn matricize_flattens_with_last_mode_fastest() {
+        let mut t = sptensor::CooTensor::new(vec![2, 3, 4]);
+        t.push(&[1, 2, 3], 5.0);
+        let m = matricize(&t, 0);
+        assert_eq!(m.rows, 2);
+        assert_eq!(m.cols, 12);
+        // col = j * K + k = 2*4 + 3 = 11.
+        assert_eq!(m.row_range(1).len(), 1);
+        assert_eq!(m.col_idx[0], 11);
+        // Mode-1 matricization: col = i * K + k = 1*4 + 3 = 7.
+        let m1 = matricize(&t, 1);
+        assert_eq!(m1.cols, 8);
+        assert_eq!(m1.col_idx[0], 7);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let csr = Csr::from_triplets(4, 4, Vec::<(u32, u32, f32)>::new());
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.spmv(&[0.0; 4]), vec![0.0; 4]);
+        let dcsr = Dcsr::from_csr(&csr);
+        assert!(dcsr.row_idx.is_empty());
+    }
+}

@@ -1,0 +1,366 @@
+//! HB-CSF (Hybrid B-CSF) — paper Section V, Algorithm 5.
+//!
+//! B-CSF fixes the heavy-slice/heavy-fiber end of the distribution; HB-CSF
+//! fixes the other end, where CSF's slice and fiber pointers are pure
+//! overhead. Slices are classified into three groups:
+//!
+//! 1. **COO** — slices with a single nonzero: both pointer levels are
+//!    redundant; store the full coordinate tuple.
+//! 2. **CSL** — slices whose fibers all hold exactly one nonzero: the fiber
+//!    level is redundant; store slice pointers directly over nonzeros.
+//! 3. **B-CSF** — everything else keeps the full (balanced) CSF tree.
+//!
+//! The MTTKRP kernel then runs the three specialized sub-kernels
+//! (Algorithm 5 lines 18-20), each with the minimal operation count for its
+//! group — this is why HB-CSF beats both plain COO and B-CSF on tensors
+//! like flick-3d and fr_s (Fig. 8).
+
+use sptensor::dims::{invert_perm, ModePerm};
+use sptensor::{CooTensor, Index, Value};
+
+use crate::bcsf::{Bcsf, BcsfOptions};
+use crate::csf::Csf;
+use crate::csl::Csl;
+
+/// Which storage group a slice landed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceClass {
+    /// Single-nonzero slice → coordinate storage.
+    Coo,
+    /// All-singleton-fiber slice (with ≥ 2 nonzeros) → CSL.
+    Csl,
+    /// Everything else → (balanced) CSF.
+    Csf,
+}
+
+/// A tensor partitioned into COO + CSL + B-CSF groups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hbcsf {
+    /// Extents in original mode order.
+    pub dims: Vec<Index>,
+    pub perm: ModePerm,
+    pub options: BcsfOptions,
+    /// Classification of each slice of the *original* CSF tree, in slice
+    /// order (diagnostics / tests; kernels use the three parts directly).
+    pub classes: Vec<SliceClass>,
+    /// COO group: `coo_coord[l][e]` is the level-`l` (mode `perm[l]`)
+    /// coordinate of entry `e`. One entry per single-nonzero slice.
+    pub coo_coord: Vec<Vec<Index>>,
+    pub coo_vals: Vec<Value>,
+    /// CSL group.
+    pub csl: Csl,
+    /// B-CSF group (with splitting applied per `options`).
+    pub bcsf: Bcsf,
+}
+
+impl Hbcsf {
+    /// Builds HB-CSF for `t` under `perm` (sorts a working copy).
+    ///
+    /// ```
+    /// use sptensor::{CooTensor, mode_orientation};
+    /// use tensor_formats::{Hbcsf, BcsfOptions, SliceClass};
+    ///
+    /// let mut t = CooTensor::new(vec![3, 5, 6]);
+    /// t.push(&[0, 4, 2], 1.0);                    // 1 nonzero  -> COO
+    /// t.push(&[1, 0, 3], 2.0);                    // singleton fibers
+    /// t.push(&[1, 1, 0], 3.0);                    //            -> CSL
+    /// t.push(&[2, 2, 0], 4.0);                    // 2-leaf fiber
+    /// t.push(&[2, 2, 4], 5.0);                    //            -> CSF
+    ///
+    /// let hb = Hbcsf::build(&t, &mode_orientation(3, 0), BcsfOptions::default());
+    /// assert_eq!(hb.classes,
+    ///            vec![SliceClass::Coo, SliceClass::Csl, SliceClass::Csf]);
+    /// assert_eq!(hb.group_nnz(), (1, 2, 2));
+    /// ```
+    pub fn build(t: &CooTensor, perm: &ModePerm, options: BcsfOptions) -> Hbcsf {
+        let mut work = t.clone();
+        work.sort_by_perm(perm);
+        Hbcsf::build_from_sorted(&work, perm, options)
+    }
+
+    /// Builds from a tensor already sorted under `perm`. Mirrors
+    /// Algorithm 5: evaluate slice patterns on a CSF tree, partition, then
+    /// re-encode each group.
+    pub fn build_from_sorted(t: &CooTensor, perm: &ModePerm, options: BcsfOptions) -> Hbcsf {
+        let csf = Csf::build_from_sorted(t, perm);
+        Hbcsf::from_csf(csf, options)
+    }
+
+    /// Partitions an existing CSF tree.
+    pub fn from_csf(csf: Csf, options: BcsfOptions) -> Hbcsf {
+        let order = csf.order();
+        assert!(order >= 3, "HB-CSF is defined for order >= 3 tensors");
+        let fl = order - 2;
+
+        let mut classes = Vec::with_capacity(csf.num_slices());
+        let mut coo_slices = Vec::new();
+        let mut csl_slices = Vec::new();
+        let mut csf_slices = Vec::new();
+        for s in 0..csf.num_slices() {
+            let nnz = csf.slice_nnz(s);
+            let class = if nnz == 1 {
+                SliceClass::Coo
+            } else if slice_fibers_all_singleton(&csf, s, fl) {
+                SliceClass::Csl
+            } else {
+                SliceClass::Csf
+            };
+            classes.push(class);
+            match class {
+                SliceClass::Coo => coo_slices.push(s),
+                SliceClass::Csl => csl_slices.push(s),
+                SliceClass::Csf => csf_slices.push(s),
+            }
+        }
+
+        // COO group: one entry per slice; flatten via the CSL extractor.
+        let coo_as_csl = Csl::from_csf_slices(&csf, &coo_slices);
+        let mut coo_coord: Vec<Vec<Index>> = Vec::with_capacity(order);
+        coo_coord.push(coo_as_csl.slice_idx.clone());
+        for arr in &coo_as_csl.coord {
+            coo_coord.push(arr.clone());
+        }
+        let coo_vals = coo_as_csl.vals.clone();
+
+        let csl = Csl::from_csf_slices(&csf, &csl_slices);
+        let bcsf_csf = extract_slices(&csf, &csf_slices);
+        let bcsf = Bcsf::from_csf(bcsf_csf, options);
+
+        Hbcsf {
+            dims: csf.dims.clone(),
+            perm: csf.perm.clone(),
+            options,
+            classes,
+            coo_coord,
+            coo_vals,
+            csl,
+            bcsf,
+        }
+    }
+
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// Total nonzeros across the three groups.
+    pub fn nnz(&self) -> usize {
+        self.coo_vals.len() + self.csl.nnz() + self.bcsf.nnz()
+    }
+
+    /// Nonzero counts per group `(coo, csl, bcsf)`.
+    pub fn group_nnz(&self) -> (usize, usize, usize) {
+        (self.coo_vals.len(), self.csl.nnz(), self.bcsf.nnz())
+    }
+
+    /// Reconstructs COO with coordinates in original mode order (entries in
+    /// group order, not globally sorted).
+    pub fn to_coo(&self) -> CooTensor {
+        let order = self.order();
+        let inv = invert_perm(&self.perm);
+        let mut out = CooTensor::new(self.dims.clone());
+        // COO group.
+        let mut coord = vec![0 as Index; order];
+        for e in 0..self.coo_vals.len() {
+            for mode in 0..order {
+                coord[mode] = self.coo_coord[inv[mode]][e];
+            }
+            out.push(&coord, self.coo_vals[e]);
+        }
+        // CSL group.
+        let csl_coo = self.csl.to_coo();
+        for e in csl_coo.iter_entries() {
+            out.push(&e.coords, e.val);
+        }
+        // B-CSF group.
+        let bcsf_coo = self.bcsf.csf.to_coo();
+        for e in bcsf_coo.iter_entries() {
+            out.push(&e.coords, e.val);
+        }
+        out
+    }
+
+    /// Structural invariants: groups are disjoint, cover everything, and
+    /// each group satisfies its defining property.
+    pub fn validate(&self) -> Result<(), String> {
+        self.csl.validate()?;
+        self.bcsf.validate()?;
+        if self.coo_coord.len() != self.order() {
+            return Err("COO group must store all coordinates".into());
+        }
+        for arr in &self.coo_coord {
+            if arr.len() != self.coo_vals.len() {
+                return Err("COO group array length mismatch".into());
+            }
+        }
+        // Every CSL slice: all fibers singleton means nnz per (slice,
+        // middle-coords) combination is 1 — verified by uniqueness of the
+        // leading order-1 coordinates within each slice.
+        for s in 0..self.csl.num_slices() {
+            let r = self.csl.slice_range(s);
+            let mut seen = std::collections::HashSet::new();
+            for z in r {
+                let key: Vec<Index> = self.csl.coord[..self.order() - 2]
+                    .iter()
+                    .map(|arr| arr[z])
+                    .collect();
+                if !seen.insert(key) {
+                    return Err(format!("CSL slice {s} has a non-singleton fiber"));
+                }
+            }
+        }
+        // Class counts must match group sizes.
+        let coo_n = self
+            .classes
+            .iter()
+            .filter(|&&c| c == SliceClass::Coo)
+            .count();
+        if coo_n != self.coo_vals.len() {
+            return Err("COO class count mismatch".into());
+        }
+        let csl_n = self
+            .classes
+            .iter()
+            .filter(|&&c| c == SliceClass::Csl)
+            .count();
+        if csl_n != self.csl.num_slices() {
+            return Err("CSL class count mismatch".into());
+        }
+        let csf_n = self
+            .classes
+            .iter()
+            .filter(|&&c| c == SliceClass::Csf)
+            .count();
+        if csf_n != self.bcsf.csf.num_slices() {
+            return Err("CSF class count mismatch".into());
+        }
+        Ok(())
+    }
+}
+
+/// True when every fiber of slice `s` has exactly one leaf.
+fn slice_fibers_all_singleton(csf: &Csf, s: usize, fl: usize) -> bool {
+    let (mut lo, mut hi) = (s, s + 1);
+    for l in 0..fl {
+        lo = csf.level_ptr[l][lo] as usize;
+        hi = csf.level_ptr[l][hi] as usize;
+    }
+    (lo..hi).all(|f| csf.level_ptr[fl][f + 1] - csf.level_ptr[fl][f] == 1)
+}
+
+/// Rebuilds a CSF containing only the given slices (ascending order).
+fn extract_slices(csf: &Csf, slices: &[usize]) -> Csf {
+    // Flatten the chosen subtrees to COO (already sorted under the CSF's
+    // permutation since slices ascend and subtree order is tree order),
+    // then rebuild — simple and reuses the audited constructor.
+    let coo = Csl::from_csf_slices(csf, slices).to_coo();
+    debug_assert!(coo.is_sorted_by_perm(&csf.perm));
+    Csf::build_from_sorted(&coo, &csf.perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sptensor::dims::identity_perm;
+    use sptensor::synth::{standin, uniform_random, SynthConfig};
+
+    /// Slice 0: one nonzero (COO). Slice 1: three singleton fibers (CSL).
+    /// Slice 2: a 3-leaf fiber (CSF).
+    fn mixed() -> CooTensor {
+        let mut t = CooTensor::new(vec![3, 5, 6]);
+        t.push(&[0, 4, 2], 1.0);
+        t.push(&[1, 0, 3], 2.0);
+        t.push(&[1, 1, 0], 3.0);
+        t.push(&[1, 3, 5], 4.0);
+        t.push(&[2, 2, 0], 5.0);
+        t.push(&[2, 2, 1], 6.0);
+        t.push(&[2, 2, 4], 7.0);
+        t
+    }
+
+    #[test]
+    fn classification_matches_algorithm5() {
+        let t = mixed();
+        let h = Hbcsf::build(&t, &identity_perm(3), BcsfOptions::default());
+        h.validate().unwrap();
+        assert_eq!(
+            h.classes,
+            vec![SliceClass::Coo, SliceClass::Csl, SliceClass::Csf]
+        );
+        assert_eq!(h.group_nnz(), (1, 3, 3));
+    }
+
+    #[test]
+    fn groups_partition_the_tensor() {
+        let t = mixed();
+        let h = Hbcsf::build(&t, &identity_perm(3), BcsfOptions::default());
+        assert_eq!(h.nnz(), t.nnz());
+        let mut back = h.to_coo();
+        back.sort_by_perm(&identity_perm(3));
+        let mut orig = t.clone();
+        orig.sort_by_perm(&identity_perm(3));
+        assert_eq!(back, orig);
+    }
+
+    #[test]
+    fn random_tensors_round_trip_all_modes() {
+        let t = uniform_random(&[8, 9, 10], 300, 5);
+        for mode in 0..3 {
+            let perm = sptensor::mode_orientation(3, mode);
+            let h = Hbcsf::build(&t, &perm, BcsfOptions::default());
+            h.validate().unwrap();
+            assert_eq!(h.nnz(), t.nnz());
+            let mut back = h.to_coo();
+            back.sort_by_perm(&identity_perm(3));
+            let mut orig = t.clone();
+            orig.sort_by_perm(&identity_perm(3));
+            assert_eq!(back, orig);
+        }
+    }
+
+    #[test]
+    fn order4_partition() {
+        let t = uniform_random(&[6, 5, 4, 7], 250, 8);
+        let h = Hbcsf::build(&t, &identity_perm(4), BcsfOptions::default());
+        h.validate().unwrap();
+        assert_eq!(h.nnz(), t.nnz());
+    }
+
+    #[test]
+    fn freebase_standin_is_mostly_csl_or_coo() {
+        // fr_m: all fibers singleton -> no slice should land in B-CSF.
+        let t = standin("fr_m").unwrap().generate(&SynthConfig::tiny());
+        let h = Hbcsf::build(&t, &identity_perm(3), BcsfOptions::default());
+        h.validate().unwrap();
+        let (coo, csl, bcsf) = h.group_nnz();
+        // Nearly all fibers are singletons; only the rare artist-collision
+        // slices may land in the B-CSF group.
+        assert!(
+            (bcsf as f64) < 0.05 * t.nnz() as f64,
+            "fr_m should have almost no CSF-class nonzeros, got {bcsf}"
+        );
+        assert_eq!(coo + csl + bcsf, t.nnz());
+        assert!(csl > 0, "multi-fiber singleton slices should be CSL");
+    }
+
+    #[test]
+    fn dense_standin_is_mostly_csf() {
+        let t = standin("nell2").unwrap().generate(&SynthConfig::tiny());
+        let h = Hbcsf::build(&t, &identity_perm(3), BcsfOptions::default());
+        let (_, _, bcsf) = h.group_nnz();
+        assert!(
+            bcsf as f64 > 0.5 * t.nnz() as f64,
+            "nell2 should be dominated by CSF-class slices ({bcsf} of {})",
+            t.nnz()
+        );
+    }
+
+    #[test]
+    fn empty_tensor() {
+        let t = CooTensor::new(vec![2, 2, 2]);
+        let h = Hbcsf::build(&t, &identity_perm(3), BcsfOptions::default());
+        h.validate().unwrap();
+        assert_eq!(h.nnz(), 0);
+        assert_eq!(h.classes.len(), 0);
+    }
+}

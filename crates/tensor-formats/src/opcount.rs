@@ -1,0 +1,117 @@
+//! Floating-point operation counts per format — the paper's Section III
+//! analysis as executable formulas.
+//!
+//! The paper's asymptotic claims (for a third-order tensor):
+//!
+//! ```text
+//! COO:    3·M·R                    (Alg. 2: two multiplies + one add per nonzero)
+//! CSF:    2R(S + M) ≈ 2MR   when S, F ≪ M     (factored, Alg. 3)
+//!                    ≈ 4MR   when S ≈ F ≈ M
+//! CSL:    3·M·R  minus the per-fiber additions  (Alg. 4)
+//! HB-CSF: 2MR … 3MR          (mix of the above)
+//! DFacTo: 2R(M + F)
+//! ```
+//!
+//! These functions count exactly from the built structures, so tests can
+//! pin the formulas' limit cases instead of trusting the prose.
+
+use crate::csf::Csf;
+use crate::csl::Csl;
+use crate::hbcsf::Hbcsf;
+use sptensor::CooTensor;
+
+/// COO MTTKRP (Algorithm 2): per nonzero, `N-1` Hadamard multiplies and one
+/// accumulation, each `R` wide → `N·M·R`.
+pub fn coo_ops(t: &CooTensor, r: usize) -> u64 {
+    t.order() as u64 * t.nnz() as u64 * r as u64
+}
+
+/// Factored CSF MTTKRP (Algorithm 3, generalized): leaves cost `2R` each
+/// (multiply by the leaf factor row + accumulate into the fiber buffer);
+/// every internal non-root group costs `2R` (multiply by its factor row +
+/// accumulate into its parent). The root level only writes.
+pub fn csf_ops(csf: &Csf, r: usize) -> u64 {
+    let internal_groups: u64 = csf.level_idx[1..]
+        .iter()
+        .map(|l| l.len() as u64)
+        .sum();
+    2 * r as u64 * (csf.nnz() as u64 + internal_groups)
+}
+
+/// CSL MTTKRP (Algorithm 4): per nonzero, `N-1` multiplies plus the final
+/// accumulate — identical per-nonzero cost to COO (`N·M·R`), the win being
+/// storage and scheduling, "as the local reduction across nonzeros of each
+/// fiber is now avoided" relative to a redundant CSF encoding.
+pub fn csl_ops(csl: &Csl, r: usize) -> u64 {
+    csl.order() as u64 * csl.nnz() as u64 * r as u64
+}
+
+/// HB-CSF: the sum of its three groups' counts.
+pub fn hbcsf_ops(h: &Hbcsf, r: usize) -> u64 {
+    let coo = h.order() as u64 * h.coo_vals.len() as u64 * r as u64;
+    coo + csl_ops(&h.csl, r) + csf_ops(&h.bcsf.csf, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bcsf::BcsfOptions;
+    use sptensor::dims::identity_perm;
+    use sptensor::synth::uniform_random;
+    use sptensor::CooTensor;
+
+    #[test]
+    fn coo_formula_is_nmr() {
+        let t = uniform_random(&[8, 9, 10], 200, 61);
+        assert_eq!(coo_ops(&t, 16), 3 * t.nnz() as u64 * 16);
+        let t4 = uniform_random(&[5, 6, 7, 8], 200, 62);
+        assert_eq!(coo_ops(&t4, 16), 4 * t4.nnz() as u64 * 16);
+    }
+
+    #[test]
+    fn csf_limit_compressed_is_2mr() {
+        // Long fibers: one slice, one fiber, M leaves → 2R(M + 1) ≈ 2MR.
+        let mut t = CooTensor::new(vec![2, 2, 600]);
+        for k in 0..500u32 {
+            t.push(&[0, 0, k], 1.0);
+        }
+        let csf = Csf::build(&t, &identity_perm(3));
+        let ops = csf_ops(&csf, 8);
+        assert_eq!(ops, 2 * 8 * (500 + 1));
+        assert!((ops as f64) < 2.1 * 500.0 * 8.0);
+    }
+
+    #[test]
+    fn csf_limit_hypersparse_is_4mr() {
+        // Every nonzero its own slice and fiber: S = F = M → 2R(M + F) = 4MR.
+        let mut t = CooTensor::new(vec![100, 100, 100]);
+        for d in 0..100u32 {
+            t.push(&[d, d, d], 1.0);
+        }
+        let csf = Csf::build(&t, &identity_perm(3));
+        assert_eq!(csf_ops(&csf, 8), 4 * 100 * 8);
+    }
+
+    #[test]
+    fn hbcsf_stays_between_2mr_and_3mr() {
+        // Paper: "HB-CSF operations = 2MR ∼ 3MR" — the hybrid never does
+        // worse than COO and never better than perfectly-factored CSF.
+        for seed in [1u64, 2, 3] {
+            let t = uniform_random(&[12, 14, 16], 700, seed);
+            let h = Hbcsf::build(&t, &identity_perm(3), BcsfOptions::unsplit());
+            let ops = hbcsf_ops(&h, 32);
+            let m = t.nnz() as u64 * 32;
+            assert!(ops >= 2 * m, "ops {ops} below 2MR {}", 2 * m);
+            // Internal groups can exceed paper's loose bound only via the
+            // fiber level; 3MR + slice overhead is the hard ceiling.
+            assert!(ops <= 3 * m + 2 * 32 * h.bcsf.csf.num_slices() as u64);
+        }
+    }
+
+    #[test]
+    fn csl_matches_coo_per_nonzero() {
+        let t = uniform_random(&[10, 10, 10], 300, 4);
+        let csl = Csl::build(&t, &identity_perm(3));
+        assert_eq!(csl_ops(&csl, 8), coo_ops(&t, 8));
+    }
+}

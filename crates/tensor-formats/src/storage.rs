@@ -1,0 +1,185 @@
+//! Index-storage accounting — paper Section III formulas and Fig. 16.
+//!
+//! Following the paper, only *index* metadata is counted ("we account only
+//! for the indices, since the numerical values always have the same storage
+//! needs in all storage methods"). Indices are 4-byte words; F-COO's flag
+//! arrays are one bit per nonzero.
+
+use sptensor::CooTensor;
+
+use crate::bcsf::Bcsf;
+use crate::csf::Csf;
+use crate::csl::Csl;
+use crate::fcoo::Fcoo;
+use crate::hbcsf::Hbcsf;
+use crate::hicoo::Hicoo;
+
+/// Bytes of index metadata a format instance occupies.
+pub trait IndexBytes {
+    fn index_bytes(&self) -> u64;
+}
+
+const WORD: u64 = 4;
+
+impl IndexBytes for CooTensor {
+    /// Paper: `COO_storage = 4 × N × M` bytes.
+    fn index_bytes(&self) -> u64 {
+        WORD * self.order() as u64 * self.nnz() as u64
+    }
+}
+
+impl IndexBytes for Csf {
+    /// Paper (order 3): `4 × (2S + 2F + M)` — one pointer and one index per
+    /// group at every internal level, plus the leaf coordinates.
+    fn index_bytes(&self) -> u64 {
+        let internal: u64 = self
+            .level_idx
+            .iter()
+            .map(|idx| 2 * idx.len() as u64)
+            .sum();
+        WORD * (internal + self.nnz() as u64)
+    }
+}
+
+impl IndexBytes for Csl {
+    /// Fig. 3: `slicePtr[S]`, `sliceInds[S]`, plus `N-1` coordinate arrays
+    /// of length `M` → `4 × (2S + (N-1)M)`.
+    fn index_bytes(&self) -> u64 {
+        let s = self.num_slices() as u64;
+        WORD * (2 * s + (self.order() as u64 - 1) * self.nnz() as u64)
+    }
+}
+
+impl IndexBytes for Bcsf {
+    /// The split CSF tree; slc-split is implicit (a launch-geometry choice,
+    /// not stored data), so only the fiber-segmented tree counts.
+    fn index_bytes(&self) -> u64 {
+        self.csf.index_bytes()
+    }
+}
+
+impl IndexBytes for Hbcsf {
+    /// Sum of the three groups: full-coordinate COO entries, CSL, B-CSF.
+    fn index_bytes(&self) -> u64 {
+        let coo = WORD * self.order() as u64 * self.coo_vals.len() as u64;
+        coo + self.csl.index_bytes() + self.bcsf.index_bytes()
+    }
+}
+
+impl IndexBytes for Fcoo {
+    /// `N-1` product-mode index arrays, two 1-bit flag arrays, the distinct
+    /// slice ids, and one start-ordinal word per thread chunk.
+    fn index_bytes(&self) -> u64 {
+        let m = self.nnz() as u64;
+        WORD * (self.order() as u64 - 1) * m
+            + self.slice_flag.storage_bytes()
+            + self.fiber_flag.storage_bytes()
+            + WORD * self.slice_ids.len() as u64
+            + WORD * self.num_chunks() as u64
+    }
+}
+
+impl IndexBytes for Hicoo {
+    /// Per block: one pointer word and `N` block-coordinate words; per
+    /// nonzero: `N` one-byte offsets.
+    fn index_bytes(&self) -> u64 {
+        let nb = self.num_blocks() as u64;
+        let n = self.order() as u64;
+        WORD * nb * (1 + n) + n * self.nnz() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bcsf::BcsfOptions;
+    use sptensor::dims::identity_perm;
+    use sptensor::synth::{standin, uniform_random, SynthConfig};
+    use sptensor::CooTensor;
+
+    #[test]
+    fn coo_formula() {
+        let t = uniform_random(&[10, 10, 10], 100, 1);
+        assert_eq!(t.index_bytes(), 4 * 3 * t.nnz() as u64);
+    }
+
+    #[test]
+    fn csf_formula_matches_paper_example() {
+        // Fig. 4's tensor: S=3, F=5, M=8 -> CSF words = 2*3 + 2*5 + 8 = 24.
+        let mut t = CooTensor::new(vec![3, 4, 5]);
+        // slice 0: single nonzero.
+        t.push(&[0, 1, 2], 1.0);
+        // slice 1: two singleton fibers.
+        t.push(&[1, 0, 1], 1.0);
+        t.push(&[1, 2, 3], 1.0);
+        // slice 2: two fibers with 2 and 3 leaves.
+        t.push(&[2, 0, 0], 1.0);
+        t.push(&[2, 0, 4], 1.0);
+        t.push(&[2, 3, 0], 1.0);
+        t.push(&[2, 3, 2], 1.0);
+        t.push(&[2, 3, 4], 1.0);
+        let csf = Csf::build(&t, &identity_perm(3));
+        assert_eq!(csf.num_slices(), 3);
+        assert_eq!(csf.num_fibers(), 5);
+        assert_eq!(csf.index_bytes(), 4 * 24);
+        // COO needs the same 24 words here — exactly the paper's example.
+        assert_eq!(t.index_bytes(), 4 * 24);
+        // HB-CSF: slice 0 in COO (3), slice 1 in CSL (2*1 + 2*2 = 6),
+        // slice 2 in CSF (2*1 + 2*2 + 5 = 11) -> 20 words.
+        // (The paper quotes 19 by counting the CSL group's slice metadata
+        // slightly differently; the ordering COO = CSF > HB-CSF holds.)
+        let h = Hbcsf::build(&t, &identity_perm(3), BcsfOptions::unsplit());
+        assert_eq!(h.index_bytes(), 4 * 20);
+    }
+
+    #[test]
+    fn hbcsf_never_exceeds_csf() {
+        let cfg = SynthConfig::tiny();
+        for name in ["deli", "nell2", "flick-3d", "fr_m", "darpa"] {
+            let t = standin(name).unwrap().generate(&cfg);
+            let csf = Csf::build(&t, &identity_perm(3));
+            let h = Hbcsf::build(&t, &identity_perm(3), BcsfOptions::unsplit());
+            assert!(
+                h.index_bytes() <= csf.index_bytes(),
+                "{name}: HB-CSF {} > CSF {}",
+                h.index_bytes(),
+                csf.index_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn fcoo_beats_csf_on_singleton_fiber_tensors() {
+        // When S ≈ F ≈ M, CSF stores ~5M words while F-COO stores ~2M words
+        // plus bits — the paper's Fig. 16 observation for fr_m / fr_s.
+        let t = standin("fr_m").unwrap().generate(&SynthConfig::tiny());
+        let csf = Csf::build(&t, &identity_perm(3));
+        let f = Fcoo::build(&t, &identity_perm(3), 8);
+        assert!(
+            f.index_bytes() < csf.index_bytes(),
+            "F-COO {} should beat CSF {}",
+            f.index_bytes(),
+            csf.index_bytes()
+        );
+    }
+
+    #[test]
+    fn hicoo_compresses_clustered_tensors() {
+        let mut t = CooTensor::new(vec![1024, 1024, 1024]);
+        for d in 0..500u32 {
+            t.push(&[d % 100, (d * 7) % 100, (d * 13) % 100], 1.0);
+        }
+        let h = Hicoo::build(&t, 7);
+        assert!(h.index_bytes() < t.index_bytes());
+    }
+
+    #[test]
+    fn bcsf_splitting_costs_bounded_storage() {
+        // Splitting adds fiber-segments; storage grows but stays < COO+CSF.
+        let t = standin("darpa").unwrap().generate(&SynthConfig::tiny());
+        let plain = Bcsf::build(&t, &identity_perm(3), BcsfOptions::unsplit());
+        let split = Bcsf::build(&t, &identity_perm(3), BcsfOptions::default());
+        assert!(split.index_bytes() >= plain.index_bytes());
+        assert!(split.index_bytes() <= 2 * plain.index_bytes());
+    }
+}

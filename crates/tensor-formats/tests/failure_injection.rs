@@ -1,0 +1,162 @@
+//! Failure injection: corrupt each format's invariants one at a time and
+//! assert `validate()` rejects the damage. These are the checks downstream
+//! code (kernels, experiments) relies on after any hand-built or
+//! deserialized structure.
+
+use sptensor::dims::identity_perm;
+use sptensor::synth::uniform_random;
+use tensor_formats::{Bcsf, BcsfOptions, Csf, Csl, Fcoo, Hbcsf, Hicoo};
+
+fn tensor() -> sptensor::CooTensor {
+    uniform_random(&[10, 12, 14], 400, 77)
+}
+
+#[test]
+fn csf_detects_nonmonotone_pointers() {
+    let mut csf = Csf::build(&tensor(), &identity_perm(3));
+    assert!(csf.validate().is_ok());
+    let mid = csf.level_ptr[0].len() / 2;
+    csf.level_ptr[0][mid] = csf.level_ptr[0][mid].wrapping_add(1000);
+    assert!(csf.validate().is_err());
+}
+
+#[test]
+fn csf_detects_out_of_range_coordinates() {
+    let mut csf = Csf::build(&tensor(), &identity_perm(3));
+    csf.level_idx[1][0] = 9999;
+    assert!(csf.validate().is_err());
+
+    let mut csf2 = Csf::build(&tensor(), &identity_perm(3));
+    csf2.leaf_idx[0] = 9999;
+    assert!(csf2.validate().is_err());
+}
+
+#[test]
+fn csf_detects_truncated_values() {
+    let mut csf = Csf::build(&tensor(), &identity_perm(3));
+    csf.vals.pop();
+    assert!(csf.validate().is_err());
+}
+
+#[test]
+fn csf_detects_bad_endpoints() {
+    let mut csf = Csf::build(&tensor(), &identity_perm(3));
+    *csf.level_ptr[1].last_mut().unwrap() += 1;
+    assert!(csf.validate().is_err());
+}
+
+#[test]
+fn csl_detects_damage() {
+    let t = tensor();
+    let mut csl = Csl::build(&t, &identity_perm(3));
+    assert!(csl.validate().is_ok());
+    csl.slice_ptr[1] = u32::MAX;
+    assert!(csl.validate().is_err());
+
+    let mut csl2 = Csl::build(&t, &identity_perm(3));
+    csl2.coord[0][0] = 9999;
+    assert!(csl2.validate().is_err());
+
+    let mut csl3 = Csl::build(&t, &identity_perm(3));
+    csl3.slice_idx.pop();
+    assert!(csl3.validate().is_err());
+}
+
+#[test]
+fn bcsf_detects_oversized_fiber_segment() {
+    let t = tensor();
+    let mut b = Bcsf::build(&t, &identity_perm(3), BcsfOptions {
+        fiber_split_threshold: 4,
+        ..Default::default()
+    });
+    assert!(b.validate().is_ok());
+    // Merge two segments by deleting a fiber boundary: lengths can exceed
+    // the threshold.
+    let fl = b.csf.order() - 2;
+    b.csf.level_ptr[fl].remove(1);
+    b.csf.level_idx[fl].remove(1);
+    assert!(b.validate().is_err());
+}
+
+#[test]
+fn bcsf_detects_block_coverage_gaps() {
+    let t = tensor();
+    let mut b = Bcsf::build(&t, &identity_perm(3), BcsfOptions::default());
+    assert!(b.validate().is_ok());
+    b.blocks.remove(0);
+    assert!(b.validate().is_err());
+
+    let mut b2 = Bcsf::build(&t, &identity_perm(3), BcsfOptions::default());
+    b2.blocks[0].needs_atomic = !b2.blocks[0].needs_atomic;
+    assert!(b2.validate().is_err());
+}
+
+#[test]
+fn hbcsf_detects_group_inconsistency() {
+    let t = tensor();
+    let mut h = Hbcsf::build(&t, &identity_perm(3), BcsfOptions::default());
+    assert!(h.validate().is_ok());
+    // Drop a COO entry: class counts no longer match group sizes.
+    if !h.coo_vals.is_empty() {
+        h.coo_vals.pop();
+        for arr in &mut h.coo_coord {
+            arr.pop();
+        }
+        assert!(h.validate().is_err());
+    }
+}
+
+#[test]
+fn hbcsf_detects_non_singleton_fiber_in_csl_group() {
+    let t = tensor();
+    let mut h = Hbcsf::build(&t, &identity_perm(3), BcsfOptions::default());
+    // Force a duplicate middle coordinate inside one CSL slice (if the CSL
+    // group has a slice with >= 2 nonzeros).
+    let mut damaged = false;
+    for s in 0..h.csl.num_slices() {
+        let r = h.csl.slice_range(s);
+        if r.len() >= 2 {
+            let (a, b) = (r.start, r.start + 1);
+            h.csl.coord[0][b] = h.csl.coord[0][a];
+            damaged = true;
+            break;
+        }
+    }
+    if damaged {
+        assert!(h.validate().is_err());
+    }
+}
+
+#[test]
+fn fcoo_detects_flag_damage() {
+    let t = tensor();
+    let mut f = Fcoo::build(&t, &identity_perm(3), 8);
+    assert!(f.validate().is_ok());
+    // Slice start without fiber start is impossible.
+    for z in 0..f.nnz() {
+        if !f.slice_flag.get(z) {
+            f.slice_flag.set(z, true);
+            f.fiber_flag.set(z, false);
+            break;
+        }
+    }
+    assert!(f.validate().is_err());
+
+    let mut f2 = Fcoo::build(&t, &identity_perm(3), 8);
+    f2.slice_ids.pop();
+    assert!(f2.validate().is_err());
+}
+
+#[test]
+fn hicoo_detects_damage() {
+    let t = tensor();
+    let mut h = Hicoo::build(&t, 3);
+    assert!(h.validate().is_ok());
+    h.bptr[1] = 0; // duplicate start -> not strictly increasing
+    assert!(h.validate().is_err());
+
+    let mut h2 = Hicoo::build(&t, 3);
+    // Out-of-range reconstructed coordinate via a corrupt block id.
+    h2.bidx[0][0] = 9999;
+    assert!(h2.validate().is_err());
+}

@@ -1,0 +1,126 @@
+//! Property-based invariants of the storage formats: every format is a
+//! lossless re-encoding, splitting respects its bounds, classification
+//! partitions, and the storage formulas match the built arrays.
+
+use proptest::prelude::*;
+use sptensor::dims::{identity_perm, mode_orientation};
+use sptensor::{CooTensor, Entry};
+use tensor_formats::{Bcsf, BcsfOptions, Csf, Csl, Fcoo, Hbcsf, Hicoo, IndexBytes, SliceClass};
+
+fn arb_tensor(order_min: usize) -> impl Strategy<Value = CooTensor> {
+    (order_min..=4usize)
+        .prop_flat_map(|order| {
+            proptest::collection::vec(2u32..14, order).prop_flat_map(move |dims| {
+                let one = (
+                    dims.iter().map(|&d| (0..d).boxed()).collect::<Vec<_>>(),
+                    0.1f32..5.0,
+                )
+                    .prop_map(|(c, v)| Entry { coords: c, val: v });
+                proptest::collection::vec(one, 0..80).prop_map(move |es| {
+                    let mut t = CooTensor::from_entries(dims.clone(), es);
+                    t.sort_by_perm(&identity_perm(dims.len()));
+                    t.fold_duplicates();
+                    t
+                })
+            })
+        })
+        .boxed()
+}
+
+/// Order-insensitive entry multiset.
+fn entry_set(t: &CooTensor) -> Vec<(Vec<u32>, u32)> {
+    let mut v: Vec<_> = t
+        .iter_entries()
+        .map(|e| (e.coords, e.val.to_bits()))
+        .collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csf_round_trips_any_orientation(t in arb_tensor(2), mode_sel in 0usize..4) {
+        let mode = mode_sel % t.order();
+        let perm = mode_orientation(t.order(), mode);
+        let csf = Csf::build(&t, &perm);
+        csf.validate().unwrap();
+        prop_assert_eq!(entry_set(&csf.to_coo()), entry_set(&t));
+        // Storage formula matches the constructed arrays.
+        let words: u64 = csf.level_idx.iter().map(|l| 2 * l.len() as u64).sum::<u64>()
+            + csf.nnz() as u64;
+        prop_assert_eq!(csf.index_bytes(), 4 * words);
+    }
+
+    #[test]
+    fn csl_round_trips(t in arb_tensor(2)) {
+        let perm = identity_perm(t.order());
+        let csl = Csl::build(&t, &perm);
+        csl.validate().unwrap();
+        prop_assert_eq!(entry_set(&csl.to_coo()), entry_set(&t));
+    }
+
+    #[test]
+    fn bcsf_split_respects_threshold_and_preserves_tensor(
+        t in arb_tensor(3),
+        thr in 1usize..8,
+        bin in 1usize..16,
+    ) {
+        let perm = identity_perm(t.order());
+        let opts = BcsfOptions {
+            fiber_split_threshold: thr,
+            slice_nnz_per_block: bin,
+            fiber_split: true,
+            slice_split: true,
+        };
+        let b = Bcsf::build(&t, &perm, opts);
+        b.validate().unwrap();
+        prop_assert!(b.csf.fiber_lengths().iter().all(|&l| l <= thr));
+        prop_assert_eq!(entry_set(&b.csf.to_coo()), entry_set(&t));
+        // Blocks cover every nonzero exactly once.
+        let covered: usize = b.blocks.iter().map(|blk| b.block_nnz(blk)).sum();
+        prop_assert_eq!(covered, t.nnz());
+    }
+
+    #[test]
+    fn hbcsf_partitions_and_classifies(t in arb_tensor(3)) {
+        let perm = identity_perm(t.order());
+        let h = Hbcsf::build(&t, &perm, BcsfOptions::default());
+        h.validate().unwrap();
+        let (coo, csl, bcsf) = h.group_nnz();
+        prop_assert_eq!(coo + csl + bcsf, t.nnz());
+        prop_assert_eq!(entry_set(&h.to_coo()), entry_set(&t));
+        // COO class slices have exactly one nonzero each.
+        let n_coo = h.classes.iter().filter(|&&c| c == SliceClass::Coo).count();
+        prop_assert_eq!(n_coo, coo);
+        // Storage never exceeds plain CSF's.
+        let csf = Csf::build(&t, &perm);
+        let h_unsplit = Hbcsf::build(&t, &perm, BcsfOptions::unsplit());
+        prop_assert!(h_unsplit.index_bytes() <= csf.index_bytes());
+    }
+
+    #[test]
+    fn fcoo_round_trips(t in arb_tensor(2), tl in 1usize..20) {
+        let perm = identity_perm(t.order());
+        let f = Fcoo::build(&t, &perm, tl);
+        f.validate().unwrap();
+        prop_assert_eq!(entry_set(&f.to_coo()), entry_set(&t));
+        // One slice-flag per distinct leading index.
+        let distinct = {
+            let mut ids: Vec<u32> = t.mode_indices(0).to_vec();
+            ids.sort_unstable();
+            ids.dedup();
+            ids.len()
+        };
+        prop_assert_eq!(f.num_slices(), distinct);
+    }
+
+    #[test]
+    fn hicoo_round_trips(t in arb_tensor(2), bits in 1u32..=8) {
+        let h = Hicoo::build(&t, bits);
+        h.validate().unwrap();
+        prop_assert_eq!(entry_set(&h.to_coo()), entry_set(&t));
+        prop_assert_eq!(h.nnz(), t.nnz());
+    }
+}

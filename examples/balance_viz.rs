@@ -1,0 +1,93 @@
+//! Load-balance visualization: ASCII Gantt charts of the simulated SM
+//! schedule, before and after B-CSF's splitting — the paper's Figure 2
+//! ("construction phases of B-CSF") rendered from real schedules instead
+//! of a hand diagram.
+//!
+//! ```text
+//! cargo run --release --example balance_viz -- darpa
+//! ```
+//! Each row is one SM; time runs left to right up to the kernel's
+//! makespan; darkness tracks the SM's busy fraction in that time window.
+
+use mttkrp_repro::gpu_sim::{simulate_with_timeline, Timeline};
+use mttkrp_repro::mttkrp::gpu::{bcsf::emit_launch, GpuContext};
+use mttkrp_repro::mttkrp::reference::random_factors;
+use mttkrp_repro::sptensor::{mode_orientation, synth};
+use mttkrp_repro::tensor_formats::{Bcsf, BcsfOptions};
+
+const WIDTH: usize = 100;
+const SHOW_SMS: usize = 14; // render a subset of the 56 SMs
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(String::as_str).unwrap_or("darpa");
+    let nnz: usize = args
+        .get(1)
+        .map(|s| s.parse().expect("nnz must be an integer"))
+        .unwrap_or(60_000);
+
+    let spec = synth::standin(name).unwrap_or_else(|| {
+        eprintln!("unknown dataset '{name}'");
+        std::process::exit(2);
+    });
+    let t = spec.generate(&synth::SynthConfig::default().with_nnz(nnz));
+    let factors = random_factors(&t, 32, 7);
+    let ctx = GpuContext::default();
+    let perm = mode_orientation(t.order(), 0);
+
+    println!(
+        "{name}: {:?}, {} nonzeros — SM schedules on the simulated P100\n",
+        t.dims(),
+        t.nnz()
+    );
+
+    let mut makespans = Vec::new();
+    for (label, opts) in [
+        ("GPU-CSF (no splitting)", BcsfOptions::unsplit()),
+        ("B-CSF (fbr-split + slc-split)", BcsfOptions::default()),
+    ] {
+        let bcsf = Bcsf::build(&t, &perm, opts);
+        let launch = emit_launch(&ctx, &bcsf, &factors);
+        let (sim, timeline) = simulate_with_timeline(&ctx.device, &ctx.cost, &launch);
+        println!(
+            "— {label}: makespan {:.0}k cycles, sm_efficiency {:.0}%, {} blocks",
+            sim.makespan_cycles / 1e3,
+            sim.sm_efficiency,
+            sim.num_blocks
+        );
+        render(&timeline, sim.makespan_cycles);
+        println!();
+        makespans.push(sim.makespan_cycles);
+    }
+    println!(
+        "splitting shortened the makespan {:.1}x",
+        makespans[0] / makespans[1].max(1.0)
+    );
+}
+
+/// Renders the [`SHOW_SMS`] busiest SMs as time rows (the busiest first,
+/// so the straggler that determines the makespan is always visible).
+fn render(timeline: &Timeline, makespan: f64) {
+    let shades = [' ', '.', ':', '+', '#'];
+    let mut by_busy: Vec<usize> = (0..timeline.spans.len()).collect();
+    by_busy.sort_by(|&a, &b| {
+        timeline
+            .busy_fraction(b, makespan)
+            .partial_cmp(&timeline.busy_fraction(a, makespan))
+            .unwrap()
+    });
+    for &sm in by_busy.iter().take(SHOW_SMS) {
+        let mut row = String::with_capacity(WIDTH + 8);
+        for w in 0..WIDTH {
+            let t0 = makespan * w as f64 / WIDTH as f64;
+            let t1 = makespan * (w + 1) as f64 / WIDTH as f64;
+            let f = timeline.busy_in_window(sm, t0, t1);
+            let idx = ((f * (shades.len() - 1) as f64).round() as usize).min(shades.len() - 1);
+            row.push(shades[idx]);
+        }
+        println!("SM{sm:>2} |{row}|");
+    }
+    if timeline.spans.len() > SHOW_SMS {
+        println!("      ... ({} more SMs)", timeline.spans.len() - SHOW_SMS);
+    }
+}

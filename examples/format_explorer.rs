@@ -1,0 +1,107 @@
+//! Format explorer: inspect a dataset's nonzero distribution, HB-CSF
+//! classification, and per-format index storage — the quantities that
+//! decide which kernel wins in the paper.
+//!
+//! ```text
+//! cargo run --release --example format_explorer -- darpa
+//! cargo run --release --example format_explorer -- fr_m 500000
+//! ```
+//! (defaults: dataset `deli`, 100k nonzeros; any Table III abbreviation
+//! works: deli nell1 nell2 flick-3d fr_m fr_s darpa nips enron ch-cr
+//! flick-4d uber)
+
+use mttkrp_repro::sptensor::stats::ModeStats;
+use mttkrp_repro::sptensor::{mode_orientation, synth};
+use mttkrp_repro::tensor_formats::{
+    BcsfOptions, Csf, Csl, Fcoo, Hbcsf, Hicoo, IndexBytes,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(String::as_str).unwrap_or("deli");
+    let nnz: usize = args
+        .get(1)
+        .map(|s| s.parse().expect("nnz must be an integer"))
+        .unwrap_or(100_000);
+
+    let spec = synth::standin(name).unwrap_or_else(|| {
+        eprintln!("unknown dataset '{name}'; see Table III for names");
+        std::process::exit(2);
+    });
+    let t = spec.generate(&synth::SynthConfig::default().with_nnz(nnz));
+    println!(
+        "{name}: order {}, dims {:?}, {} nonzeros, density {:.2e}",
+        t.order(),
+        t.dims(),
+        t.nnz(),
+        t.density()
+    );
+
+    println!("\nper-mode distribution (the paper's Table II columns):");
+    println!(
+        "{:>5} {:>10} {:>10} {:>12} {:>12} {:>10} {:>10}",
+        "mode", "slices", "fibers", "nnz/slc dev", "nnz/fbr dev", "1-nnz slc%", "1-nnz fbr%"
+    );
+    for mode in 0..t.order() {
+        let s = ModeStats::compute(&t, mode);
+        println!(
+            "{:>5} {:>10} {:>10} {:>12.1} {:>12.2} {:>10.1} {:>10.1}",
+            mode + 1,
+            s.num_slices,
+            s.num_fibers,
+            s.nnz_per_slice.stdev,
+            s.nnz_per_fiber.stdev,
+            100.0 * s.singleton_slice_fraction,
+            100.0 * s.singleton_fiber_fraction,
+        );
+    }
+
+    // Log-bucketed histogram of slice volumes — the shape that decides
+    // between the three HB-CSF classes.
+    {
+        let perm = mode_orientation(t.order(), 0);
+        let mut sorted = t.clone();
+        sorted.sort_by_perm(&perm);
+        let volumes =
+            mttkrp_repro::sptensor::stats::group_sizes(&sorted, &perm, 1);
+        println!("\nmode-1 slice-volume histogram (log2 buckets):");
+        let hist = mttkrp_repro::sptensor::stats::Log2Histogram::of(&volumes);
+        print!("{}", hist.render(50));
+    }
+
+    let perm = mode_orientation(t.order(), 0);
+    let hb = Hbcsf::build(&t, &perm, BcsfOptions::default());
+    let (coo, csl, bcsf) = hb.group_nnz();
+    println!("\nHB-CSF classification (mode 1, Algorithm 5):");
+    println!("  COO group   : {:>9} nonzeros ({:.1}%)", coo, pct(coo, t.nnz()));
+    println!("  CSL group   : {:>9} nonzeros ({:.1}%)", csl, pct(csl, t.nnz()));
+    println!("  B-CSF group : {:>9} nonzeros ({:.1}%)", bcsf, pct(bcsf, t.nnz()));
+    println!("  thread blocks for B-CSF group: {}", hb.bcsf.num_blocks());
+
+    println!("\nindex storage, mode-1 representation (Fig. 16's quantities):");
+    let csf = Csf::build(&t, &perm);
+    let rows: Vec<(&str, u64)> = vec![
+        ("COO", t.index_bytes()),
+        ("CSF", csf.index_bytes()),
+        ("CSL", Csl::build(&t, &perm).index_bytes()),
+        ("F-COO", Fcoo::build(&t, &perm, 8).index_bytes()),
+        ("HiCOO", Hicoo::build(&t, Hicoo::DEFAULT_BLOCK_BITS).index_bytes()),
+        ("HB-CSF", hb.index_bytes()),
+    ];
+    for (fmt, bytes) in rows {
+        println!(
+            "  {:<7}: {:>10} bytes ({:.2} bytes/nnz)",
+            fmt,
+            bytes,
+            bytes as f64 / t.nnz() as f64
+        );
+    }
+}
+
+fn pct(part: usize, whole: usize) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}

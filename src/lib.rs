@@ -1,0 +1,20 @@
+//! # mttkrp-repro
+//!
+//! Umbrella crate for the reproduction of *"Load-Balanced Sparse MTTKRP on
+//! GPUs"* (Nisa et al., IPDPS 2019). It re-exports the workspace crates so
+//! examples and downstream users need a single dependency:
+//!
+//! * [`sptensor`] — COO sparse tensors, statistics, synthetic datasets, I/O.
+//! * [`dense`] — small dense linear algebra used by CPD-ALS.
+//! * [`tensor_formats`] — CSF, CSL, B-CSF, HB-CSF, F-COO, HiCOO.
+//! * [`gpu_sim`] — the deterministic GPU execution-model simulator.
+//! * [`mttkrp`] — MTTKRP kernels (CPU + simulated GPU) and the CPD-ALS driver.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+pub use dense;
+pub use gpu_sim;
+pub use mttkrp;
+pub use sptensor;
+pub use tensor_formats;

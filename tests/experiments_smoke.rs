@@ -1,0 +1,57 @@
+//! Smoke-runs every experiment of the harness at miniature scale and
+//! checks the structural sanity of the emitted JSON — the same code paths
+//! `experiments all` exercises at full scale.
+
+use experiments::{all_experiment_ids, run_experiment, ExpConfig};
+
+#[test]
+fn every_experiment_runs_and_reports() {
+    let cfg = ExpConfig::smoke();
+    for id in all_experiment_ids() {
+        let v = run_experiment(id, &cfg).unwrap_or_else(|| panic!("unknown id {id}"));
+        let rows = v["rows"]
+            .as_array()
+            .unwrap_or_else(|| panic!("{id}: no rows array"));
+        assert!(!rows.is_empty(), "{id}: empty rows");
+    }
+}
+
+#[test]
+fn unknown_experiment_is_rejected() {
+    assert!(run_experiment("fig99", &ExpConfig::smoke()).is_none());
+}
+
+#[test]
+fn table2_reports_all_metrics() {
+    let v = run_experiment("table2", &ExpConfig::smoke()).unwrap();
+    for row in v["rows"].as_array().unwrap() {
+        for key in [
+            "gflops",
+            "achieved_occupancy",
+            "sm_efficiency",
+            "l2_hit_rate",
+            "stdev_nnz_per_slice",
+            "stdev_nnz_per_fiber",
+        ] {
+            let x = row[key].as_f64().unwrap_or_else(|| panic!("missing {key}"));
+            assert!(x.is_finite() && x >= 0.0, "{key} = {x}");
+        }
+        let occ = row["achieved_occupancy"].as_f64().unwrap();
+        assert!(occ <= 100.0 + 1e-9, "occupancy {occ} over 100%");
+        let eff = row["sm_efficiency"].as_f64().unwrap();
+        assert!(eff <= 100.0 + 1e-9, "sm_efficiency {eff} over 100%");
+    }
+}
+
+#[test]
+fn speedup_figures_mark_unsupported_4d() {
+    for id in ["fig14", "fig15"] {
+        let v = run_experiment(id, &ExpConfig::smoke()).unwrap();
+        let rows = v["rows"].as_array().unwrap();
+        let count_4d_nulls = rows
+            .iter()
+            .filter(|r| r["geomean_speedup"].as_f64() == Some(0.0))
+            .count();
+        assert_eq!(count_4d_nulls, 5, "{id}: five 4-D tensors must be n/a");
+    }
+}

@@ -1,0 +1,87 @@
+//! Cross-crate differential tests: every MTTKRP backend — CPU and
+//! simulated-GPU, every storage format — must agree with the sequential
+//! COO reference on every dataset stand-in and every mode.
+
+use mttkrp_repro::mttkrp::cpu::splatt::{self, SplattOptions};
+use mttkrp_repro::mttkrp::gpu::{self, GpuContext};
+use mttkrp_repro::mttkrp::{self, outputs_match, reference};
+use mttkrp_repro::sptensor::synth::{standins, SynthConfig};
+use mttkrp_repro::sptensor::CooTensor;
+use mttkrp_repro::tensor_formats::{BcsfOptions, Hicoo};
+
+fn cases() -> Vec<(String, CooTensor)> {
+    let cfg = SynthConfig::tiny();
+    standins()
+        .into_iter()
+        .map(|s| (s.name.to_string(), s.generate(&cfg)))
+        .collect()
+}
+
+#[test]
+fn cpu_backends_match_reference_on_all_standins() {
+    for (name, t) in cases() {
+        let factors = reference::random_factors(&t, 8, 1);
+        let hicoo = Hicoo::build(&t, Hicoo::DEFAULT_BLOCK_BITS);
+        for mode in 0..t.order() {
+            let expected = reference::mttkrp(&t, &factors, mode);
+            let coo = mttkrp::cpu::coo::mttkrp(&t, &factors, mode);
+            assert!(outputs_match(&coo, &expected), "{name} mode {mode}: cpu-coo");
+            let sp = splatt::mttkrp(&t, &factors, mode, SplattOptions::nontiled());
+            assert!(outputs_match(&sp, &expected), "{name} mode {mode}: splatt");
+            let spt = splatt::mttkrp(&t, &factors, mode, SplattOptions::tiled());
+            assert!(outputs_match(&spt, &expected), "{name} mode {mode}: splatt-tiled");
+            let hc = mttkrp::cpu::hicoo::mttkrp(&hicoo, &factors, mode);
+            assert!(outputs_match(&hc, &expected), "{name} mode {mode}: hicoo");
+        }
+    }
+}
+
+#[test]
+fn gpu_backends_match_reference_on_all_standins() {
+    let ctx = GpuContext::tiny();
+    for (name, t) in cases() {
+        let factors = reference::random_factors(&t, 8, 2);
+        for mode in 0..t.order() {
+            let expected = reference::mttkrp(&t, &factors, mode);
+            let check = |label: &str, y: &mttkrp_repro::dense::Matrix| {
+                assert!(
+                    outputs_match(y, &expected),
+                    "{name} mode {mode}: {label} diff {}",
+                    y.rel_fro_diff(&expected)
+                );
+            };
+            check(
+                "gpu-csf",
+                &gpu::csf::build_and_run(&ctx, &t, &factors, mode).y,
+            );
+            check(
+                "b-csf",
+                &gpu::bcsf::build_and_run(&ctx, &t, &factors, mode, BcsfOptions::default()).y,
+            );
+            check("csl", &gpu::csl::build_and_run(&ctx, &t, &factors, mode).y);
+            check(
+                "hb-csf",
+                &gpu::hbcsf::build_and_run(&ctx, &t, &factors, mode, BcsfOptions::default()).y,
+            );
+            if t.order() == 3 {
+                check("parti-coo", &gpu::parti_coo::run(&ctx, &t, &factors, mode).y);
+                check(
+                    "f-coo",
+                    &gpu::fcoo::build_and_run(&ctx, &t, &factors, mode, 8).y,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn gpu_kernels_are_deterministic() {
+    let ctx = GpuContext::tiny();
+    let t = standins()[0].generate(&SynthConfig::tiny());
+    let factors = reference::random_factors(&t, 8, 3);
+    let a = gpu::hbcsf::build_and_run(&ctx, &t, &factors, 0, BcsfOptions::default());
+    let b = gpu::hbcsf::build_and_run(&ctx, &t, &factors, 0, BcsfOptions::default());
+    assert_eq!(a.sim.makespan_cycles, b.sim.makespan_cycles);
+    assert_eq!(a.sim.l2_hit_rate, b.sim.l2_hit_rate);
+    assert_eq!(a.y, b.y);
+}
