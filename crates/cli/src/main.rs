@@ -14,12 +14,14 @@
 //! File format by extension: `.tns` = FROSTT text, anything else = the
 //! crate's `SPT1` binary.
 
+use std::cell::RefCell;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
-use mttkrp::cpd::{cpd_als, cpd_als_nonneg, CpdOptions};
+use mttkrp::cpd::{cpd_als, cpd_als_nonneg, cpd_als_nonneg_profiled, cpd_als_profiled, CpdOptions};
 use mttkrp::cpu::splatt::{SplattCsf, SplattOptions};
 use mttkrp::gpu::{self, GpuContext};
 use mttkrp::reference::random_factors;
@@ -55,10 +57,19 @@ fn usage() {
     eprintln!("  sptk gen <dataset> <out> [--nnz N] [--seed S]");
     eprintln!("  sptk info <file> ");
     eprintln!("  sptk convert <in> <out>");
-    eprintln!("  sptk mttkrp <file> [--mode N] [--rank R] [--kernel K] [--device p100|v100]");
+    eprintln!("  sptk mttkrp <file> [--mode N] [--rank R] [--kernel K] [--device p100|v100] [--profile DIR]");
     eprintln!("      kernels: hbcsf bcsf csf csl coo fcoo splatt splatt-tiled hicoo dfacto");
-    eprintln!("  sptk cpd <file> [--rank R] [--iters K] [--nonneg]");
-    eprintln!("datasets: {}", sptensor::synth::standins().iter().map(|s| s.name).collect::<Vec<_>>().join(" "));
+    eprintln!("  sptk cpd <file> [--rank R] [--iters K] [--nonneg] [--profile DIR]");
+    eprintln!("  --profile DIR writes trace.json (Perfetto), nvprof_table.txt, counters.json,");
+    eprintln!("      and (for cpd) manifest.json into DIR; simulated-GPU kernels only");
+    eprintln!(
+        "datasets: {}",
+        sptensor::synth::standins()
+            .iter()
+            .map(|s| s.name)
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
 }
 
 type Result<T> = std::result::Result<T, String>;
@@ -72,7 +83,9 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 fn flag_parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T> {
     match flag(args, name) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("{name} wants a number, got '{v}'")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{name} wants a number, got '{v}'")),
     }
 }
 
@@ -147,14 +160,20 @@ fn cmd_info(args: &[String]) -> Result<()> {
         ("CSF", Csf::build(&t, &perm).index_bytes()),
         ("CSL", Csl::build(&t, &perm).index_bytes()),
         ("F-COO", Fcoo::build(&t, &perm, 8).index_bytes()),
-        ("HiCOO", Hicoo::build(&t, Hicoo::DEFAULT_BLOCK_BITS).index_bytes()),
+        (
+            "HiCOO",
+            Hicoo::build(&t, Hicoo::DEFAULT_BLOCK_BITS).index_bytes(),
+        ),
         (
             "HB-CSF",
             Hbcsf::build(&t, &perm, BcsfOptions::unsplit()).index_bytes(),
         ),
     ];
     for (fmt, bytes) in rows {
-        println!("  {fmt:<7} {bytes:>12} bytes ({:.2}/nnz)", bytes as f64 / t.nnz().max(1) as f64);
+        println!(
+            "  {fmt:<7} {bytes:>12} bytes ({:.2}/nnz)",
+            bytes as f64 / t.nnz().max(1) as f64
+        );
     }
     Ok(())
 }
@@ -173,12 +192,16 @@ fn cmd_mttkrp(args: &[String]) -> Result<()> {
     let t = load(path)?;
     let mode = flag_parse(args, "--mode", 1usize)? - 1; // 1-based like the paper
     if mode >= t.order() {
-        return Err(format!("--mode out of range (tensor has {} modes)", t.order()));
+        return Err(format!(
+            "--mode out of range (tensor has {} modes)",
+            t.order()
+        ));
     }
     let rank = flag_parse(args, "--rank", 32usize)?;
     let kernel = flag(args, "--kernel").unwrap_or_else(|| "hbcsf".into());
     let device = flag(args, "--device").unwrap_or_else(|| "p100".into());
-    let ctx = GpuContext {
+    let profile_dir = flag(args, "--profile").map(PathBuf::from);
+    let mut ctx = GpuContext {
         device: match device.as_str() {
             "p100" => gpu_sim::DeviceProfile::p100(),
             "v100" => gpu_sim::DeviceProfile::v100(),
@@ -186,6 +209,9 @@ fn cmd_mttkrp(args: &[String]) -> Result<()> {
         },
         ..GpuContext::default()
     };
+    if profile_dir.is_some() {
+        ctx = ctx.with_profiling();
+    }
     let factors = random_factors(&t, rank, 42);
     let flops = t.order() as f64 * t.nnz() as f64 * rank as f64;
 
@@ -193,6 +219,16 @@ fn cmd_mttkrp(args: &[String]) -> Result<()> {
         return Err(format!(
             "kernel '{kernel}' supports third-order tensors only (this one is order {})",
             t.order()
+        ));
+    }
+
+    let is_cpu_kernel = matches!(
+        kernel.as_str(),
+        "splatt" | "splatt-tiled" | "hicoo" | "dfacto"
+    );
+    if profile_dir.is_some() && is_cpu_kernel {
+        return Err(format!(
+            "--profile supports the simulated GPU kernels only ('{kernel}' is a CPU kernel)"
         ));
     }
 
@@ -241,8 +277,12 @@ fn cmd_mttkrp(args: &[String]) -> Result<()> {
         }
         gpu_kernel => {
             let run = match gpu_kernel {
-                "hbcsf" => gpu::hbcsf::build_and_run(&ctx, &t, &factors, mode, BcsfOptions::default()),
-                "bcsf" => gpu::bcsf::build_and_run(&ctx, &t, &factors, mode, BcsfOptions::default()),
+                "hbcsf" => {
+                    gpu::hbcsf::build_and_run(&ctx, &t, &factors, mode, BcsfOptions::default())
+                }
+                "bcsf" => {
+                    gpu::bcsf::build_and_run(&ctx, &t, &factors, mode, BcsfOptions::default())
+                }
                 "csf" => gpu::csf::build_and_run(&ctx, &t, &factors, mode),
                 "csl" => gpu::csl::build_and_run(&ctx, &t, &factors, mode),
                 "coo" => gpu::parti_coo::run(&ctx, &t, &factors, mode),
@@ -261,8 +301,45 @@ fn cmd_mttkrp(args: &[String]) -> Result<()> {
                 run.sim.atomic_ops,
                 checksum(&run.y)
             );
+            if let Some(dir) = &profile_dir {
+                let profile = run
+                    .profile
+                    .as_ref()
+                    .expect("profiling context keeps the profile");
+                write_kernel_profile(dir, &ctx, &run.sim, profile)?;
+                println!(
+                    "profile: {} (trace.json, nvprof_table.txt, counters.json)",
+                    dir.display()
+                );
+            }
         }
     }
+    Ok(())
+}
+
+/// Writes one simulated kernel's observability artifacts into `dir`:
+/// a Perfetto-openable Chrome trace, the nvprof-style metric table, and
+/// the registry counters (with per-output-row atomic charges).
+fn write_kernel_profile(
+    dir: &Path,
+    ctx: &GpuContext,
+    sim: &gpu_sim::SimResult,
+    profile: &gpu_sim::SimProfile,
+) -> Result<()> {
+    let io_err = |e: std::io::Error| format!("{}: {e}", dir.display());
+    gpu_sim::chrome_trace(sim, profile)
+        .write_to(&dir.join("trace.json"))
+        .map_err(io_err)?;
+    let table = simprof::nvprof_table("nvprof metrics (simulated)", &[sim.metric_row()]);
+    std::fs::create_dir_all(dir).map_err(io_err)?;
+    std::fs::write(dir.join("nvprof_table.txt"), table).map_err(io_err)?;
+    let mut snapshot = ctx.registry.snapshot_json();
+    snapshot["atomic_rows"] = serde_json::to_value(&profile.atomic_rows);
+    std::fs::write(
+        dir.join("counters.json"),
+        serde_json::to_string_pretty(&snapshot).expect("counters serialize"),
+    )
+    .map_err(io_err)?;
     Ok(())
 }
 
@@ -272,22 +349,55 @@ fn cmd_cpd(args: &[String]) -> Result<()> {
     let rank = flag_parse(args, "--rank", 8usize)?;
     let iters = flag_parse(args, "--iters", 15usize)?;
     let nonneg = args.iter().any(|a| a == "--nonneg");
-    let ctx = GpuContext::default();
-    let formats: Vec<Hbcsf> = (0..t.order())
-        .map(|m| Hbcsf::build(&t, &mode_orientation(t.order(), m), BcsfOptions::default()))
-        .collect();
+    let profile_dir = flag(args, "--profile").map(PathBuf::from);
+    let mut ctx = GpuContext::default();
+    if profile_dir.is_some() {
+        ctx = ctx.with_profiling();
+    }
     let opts = CpdOptions {
         rank,
         max_iters: iters,
         tol: 1e-6,
         seed: 42,
     };
-    let backend = |factors: &[dense::Matrix], mode: usize| gpu::hbcsf::run(&ctx, &formats[mode], factors).y;
+    let mut manifest = simprof::RunManifest::new(
+        if nonneg { "hbcsf-nonneg" } else { "hbcsf" },
+        path,
+        opts.rank,
+        opts.max_iters,
+        opts.tol,
+        opts.seed,
+    );
+    let formats: Vec<Hbcsf> = (0..t.order())
+        .map(|m| {
+            let start = Instant::now();
+            let h = Hbcsf::build(&t, &mode_orientation(t.order(), m), BcsfOptions::default());
+            manifest.push_phase(
+                &format!("build hbcsf mode {}", m + 1),
+                start.elapsed().as_secs_f64(),
+            );
+            h
+        })
+        .collect();
+    // The last profiled MTTKRP run of each mode, kept so the profile
+    // artifacts show a representative launch per mode.
+    let last_runs: RefCell<Vec<Option<gpu::GpuRun>>> = RefCell::new(vec![None; t.order()]);
+    let backend = |factors: &[dense::Matrix], mode: usize| {
+        let run = gpu::hbcsf::run(&ctx, &formats[mode], factors);
+        if run.profile.is_some() {
+            let y = run.y.clone();
+            last_runs.borrow_mut()[mode] = Some(run);
+            y
+        } else {
+            run.y
+        }
+    };
     let start = Instant::now();
-    let res = if nonneg {
-        cpd_als_nonneg(&t, &opts, backend)
-    } else {
-        cpd_als(&t, &opts, backend)
+    let res = match (nonneg, profile_dir.is_some()) {
+        (false, false) => cpd_als(&t, &opts, backend),
+        (true, false) => cpd_als_nonneg(&t, &opts, backend),
+        (false, true) => cpd_als_profiled(&t, &opts, backend, &mut manifest),
+        (true, true) => cpd_als_nonneg_profiled(&t, &opts, backend, &mut manifest),
     };
     println!(
         "{} CPD rank {rank}: fit {:.4} after {} iterations ({:.2}s host)",
@@ -299,5 +409,49 @@ fn cmd_cpd(args: &[String]) -> Result<()> {
     for (i, fit) in res.fits.iter().enumerate() {
         println!("  iter {:>2}: fit {fit:.5}", i + 1);
     }
+    if let Some(dir) = &profile_dir {
+        write_cpd_profile(dir, &ctx, &manifest, &last_runs.into_inner())?;
+        println!(
+            "profile: {} (manifest.json, trace.json, nvprof_table.txt, counters.json)",
+            dir.display()
+        );
+    }
+    Ok(())
+}
+
+/// Writes a CPD run's observability artifacts: the run manifest, one
+/// Chrome-trace process per mode's final MTTKRP, the per-mode nvprof
+/// table, and the aggregated registry counters.
+fn write_cpd_profile(
+    dir: &Path,
+    ctx: &GpuContext,
+    manifest: &simprof::RunManifest,
+    last_runs: &[Option<gpu::GpuRun>],
+) -> Result<()> {
+    let io_err = |e: std::io::Error| format!("{}: {e}", dir.display());
+    manifest
+        .write_to(&dir.join("manifest.json"))
+        .map_err(io_err)?;
+    let mut trace = simprof::ChromeTrace::new();
+    let mut rows = Vec::new();
+    for (mode, run) in last_runs.iter().enumerate() {
+        let Some(run) = run else { continue };
+        let profile = run.profile.as_ref().expect("profiled runs keep profiles");
+        gpu_sim::append_chrome_trace(&mut trace, mode as u64, &run.sim, profile);
+        let mut row = run.sim.metric_row();
+        row.kernel = format!("{} mode {}", row.kernel, mode + 1);
+        rows.push(row);
+    }
+    trace.write_to(&dir.join("trace.json")).map_err(io_err)?;
+    let table = simprof::nvprof_table(
+        "nvprof metrics per mode (simulated, final iteration)",
+        &rows,
+    );
+    std::fs::write(dir.join("nvprof_table.txt"), table).map_err(io_err)?;
+    std::fs::write(
+        dir.join("counters.json"),
+        serde_json::to_string_pretty(&ctx.registry.snapshot_json()).expect("counters serialize"),
+    )
+    .map_err(io_err)?;
     Ok(())
 }

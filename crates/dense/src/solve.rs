@@ -191,7 +191,11 @@ mod tests {
                 recon.set(i, j, acc as f32);
             }
         }
-        assert!(m.rel_fro_diff(&recon) < 1e-5, "diff {}", m.rel_fro_diff(&recon));
+        assert!(
+            m.rel_fro_diff(&recon) < 1e-5,
+            "diff {}",
+            m.rel_fro_diff(&recon)
+        );
     }
 
     #[test]
@@ -227,7 +231,11 @@ mod tests {
         let x_true = Matrix::random(6, 2, 4);
         let b = a.matmul(&x_true);
         let x = cholesky_solve(&a, &b).expect("SPD system must factor");
-        assert!(x.rel_fro_diff(&x_true) < 1e-3, "diff {}", x.rel_fro_diff(&x_true));
+        assert!(
+            x.rel_fro_diff(&x_true) < 1e-3,
+            "diff {}",
+            x.rel_fro_diff(&x_true)
+        );
     }
 
     #[test]

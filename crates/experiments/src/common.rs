@@ -1,6 +1,9 @@
 //! Shared experiment plumbing: configuration, dataset generation, timing,
 //! and the normalized GFLOPs metric.
 
+use std::path::PathBuf;
+use std::sync::Arc;
+
 use dense::Matrix;
 use mttkrp::gpu::GpuContext;
 use mttkrp::reference::random_factors;
@@ -18,6 +21,12 @@ pub struct ExpConfig {
     pub rank: usize,
     /// Wall-clock repetitions for CPU kernels (minimum is reported).
     pub cpu_reps: usize,
+    /// When set (`--profile DIR`), profiling artifacts are written here
+    /// after the run.
+    pub profile_dir: Option<PathBuf>,
+    /// Profiling sink shared by every [`GpuContext`] the run hands out.
+    /// Disabled by default, so simulated launches record nothing.
+    pub registry: Arc<simprof::Registry>,
 }
 
 impl Default for ExpConfig {
@@ -27,6 +36,8 @@ impl Default for ExpConfig {
             seed: SynthConfig::default().seed,
             rank: mttkrp::PAPER_RANK,
             cpu_reps: 3,
+            profile_dir: None,
+            registry: Arc::new(simprof::Registry::disabled()),
         }
     }
 }
@@ -73,9 +84,38 @@ impl ExpConfig {
         random_factors(t, self.rank, self.seed ^ 0xFAC7)
     }
 
-    /// The GPU context every simulated kernel uses (paper's P100).
+    /// The GPU context every simulated kernel uses (paper's P100). All
+    /// contexts share the config's registry, so one `--profile` run
+    /// aggregates counters across every experiment.
     pub fn gpu(&self) -> GpuContext {
-        GpuContext::default()
+        GpuContext {
+            registry: Arc::clone(&self.registry),
+            ..GpuContext::default()
+        }
+    }
+
+    /// Turns profiling on: launches through [`ExpConfig::gpu`] contexts
+    /// record into a fresh enabled registry, and artifacts land in `dir`.
+    pub fn with_profiling(mut self, dir: PathBuf) -> ExpConfig {
+        self.profile_dir = Some(dir);
+        self.registry = Arc::new(simprof::Registry::new());
+        self
+    }
+
+    /// Writes the aggregated profiling artifacts (`counters.json` plus a
+    /// host-span `trace.json`) if `--profile` was given.
+    pub fn write_profile(&self) -> std::io::Result<()> {
+        let Some(dir) = &self.profile_dir else {
+            return Ok(());
+        };
+        std::fs::create_dir_all(dir)?;
+        let snapshot = self.registry.snapshot_json();
+        let text = serde_json::to_string_pretty(&snapshot).expect("counters serialize");
+        std::fs::write(dir.join("counters.json"), text)?;
+        let trace = simprof::ChromeTrace::from_spans("experiments", &self.registry.spans());
+        trace.write_to(&dir.join("trace.json"))?;
+        println!("profile: {} (counters.json, trace.json)", dir.display());
+        Ok(())
     }
 
     /// Paper-convention normalized GFLOPs: `N·M·R` useful operations over

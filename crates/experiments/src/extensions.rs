@@ -62,7 +62,13 @@ pub fn ext_reorder(cfg: &ExpConfig) -> Value {
     print_table(
         "Ext-reorder: heavy-first slice relabeling (B-CSF speedup vs original order) \
          and Morton sorting (COO kernel L2 hit %)",
-        &["tensor", "heavy-first", "random", "L2% sorted", "L2% morton"],
+        &[
+            "tensor",
+            "heavy-first",
+            "random",
+            "L2% sorted",
+            "L2% morton",
+        ],
         &rows,
     );
     json!({ "rows": out })
@@ -153,7 +159,13 @@ pub fn ext_scaling(cfg: &ExpConfig) -> Value {
     print_table(
         "Ext-scaling (darpa): strong scaling over SM count — HB-CSF stays efficient, \
          unsplit GPU-CSF cannot use added SMs",
-        &["SMs", "HB-CSF ms", "HB-CSF eff%", "GPU-CSF ms", "GPU-CSF eff%"],
+        &[
+            "SMs",
+            "HB-CSF ms",
+            "HB-CSF eff%",
+            "GPU-CSF ms",
+            "GPU-CSF eff%",
+        ],
         &rows,
     );
     json!({ "rows": out })
@@ -186,7 +198,9 @@ pub fn ext_onemode(cfg: &ExpConfig) -> Value {
                 f(t_one * 1e3),
                 f(t_one / t_all),
             ]);
-            modes.push(json!({ "mode": mode, "allmode_ms": t_all * 1e3, "onemode_ms": t_one * 1e3 }));
+            modes.push(
+                json!({ "mode": mode, "allmode_ms": t_all * 1e3, "onemode_ms": t_one * 1e3 }),
+            );
         }
         out.push(json!({
             "name": name,

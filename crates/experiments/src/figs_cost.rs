@@ -16,14 +16,12 @@ pub fn fig9(cfg: &ExpConfig) -> Value {
     let mut out = Vec::new();
     for name in names_all() {
         let t = cfg.gen(name);
-        let (_, base) = cfg.time_cpu(|| {
-            std::hint::black_box(SplattAllMode::build(&t, SplattOptions::nontiled()))
-        });
+        let (_, base) = cfg
+            .time_cpu(|| std::hint::black_box(SplattAllMode::build(&t, SplattOptions::nontiled())));
         let bcsf = preprocess::bcsf_allmode_seconds(&t, BcsfOptions::default());
         let hbcsf = preprocess::hbcsf_allmode_seconds(&t, BcsfOptions::default());
-        let (_, tiled) = cfg.time_cpu(|| {
-            std::hint::black_box(SplattAllMode::build(&t, SplattOptions::tiled()))
-        });
+        let (_, tiled) =
+            cfg.time_cpu(|| std::hint::black_box(SplattAllMode::build(&t, SplattOptions::tiled())));
         let ratio = |v: f64| if base > 0.0 { v / base } else { 0.0 };
         rows.push(vec![
             name.to_string(),

@@ -43,7 +43,13 @@ pub fn fig5(cfg: &ExpConfig) -> Value {
     }
     print_table(
         "Fig. 5: B-CSF mode-1 GFLOPs with fiber-split and slice-split",
-        &["tensor", "no split", "fbr-split", "fbr+slc-split", "speedup"],
+        &[
+            "tensor",
+            "no split",
+            "fbr-split",
+            "fbr+slc-split",
+            "speedup",
+        ],
         &rows,
     );
     json!({ "rows": out })
@@ -85,7 +91,12 @@ pub fn fig6(cfg: &ExpConfig) -> Value {
             } else {
                 thr.to_string()
             };
-            rows.push(vec![name.to_string(), thr_label.clone(), f(stdev), f(gflops)]);
+            rows.push(vec![
+                name.to_string(),
+                thr_label.clone(),
+                f(stdev),
+                f(gflops),
+            ]);
             series.push(json!({
                 "threshold": thr_label,
                 "stdev_nnz_per_fiber": stdev,
@@ -154,10 +165,8 @@ pub fn fig8(cfg: &ExpConfig) -> Value {
         let t = cfg.gen(name);
         let factors = cfg.factors(&t);
         let coo = mttkrp::gpu::parti_coo::run(&ctx, &t, &factors, 0);
-        let bcsf =
-            mttkrp::gpu::bcsf::build_and_run(&ctx, &t, &factors, 0, BcsfOptions::default());
-        let hb =
-            mttkrp::gpu::hbcsf::build_and_run(&ctx, &t, &factors, 0, BcsfOptions::default());
+        let bcsf = mttkrp::gpu::bcsf::build_and_run(&ctx, &t, &factors, 0, BcsfOptions::default());
+        let hb = mttkrp::gpu::hbcsf::build_and_run(&ctx, &t, &factors, 0, BcsfOptions::default());
         let g = [
             cfg.gflops(&t, coo.sim.time_s),
             cfg.gflops(&t, bcsf.sim.time_s),
@@ -188,9 +197,7 @@ mod tests {
         let v = fig5(&ExpConfig::smoke());
         let rows = v["rows"].as_array().unwrap();
         let speedup = |n: &str| {
-            rows.iter()
-                .find(|r| r["name"] == n)
-                .unwrap()["speedup_full_vs_unsplit"]
+            rows.iter().find(|r| r["name"] == n).unwrap()["speedup_full_vs_unsplit"]
                 .as_f64()
                 .unwrap()
         };

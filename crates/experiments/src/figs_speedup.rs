@@ -80,7 +80,11 @@ fn speedup_figure(
 
 /// **Fig. 11** — speedup over SPLATT-CPU with tiling enabled.
 pub fn fig11(cfg: &ExpConfig) -> Value {
-    splatt_speedup(cfg, SplattOptions::tiled(), "Fig. 11: HB-CSF speedup over SPLATT-CPU-tiled")
+    splatt_speedup(
+        cfg,
+        SplattOptions::tiled(),
+        "Fig. 11: HB-CSF speedup over SPLATT-CPU-tiled",
+    )
 }
 
 /// **Fig. 12** — speedup over SPLATT-CPU without tiling.
@@ -135,7 +139,11 @@ pub fn fig14(cfg: &ExpConfig) -> Value {
             if t.order() != 3 {
                 return None;
             }
-            Some(mttkrp::gpu::parti_coo::run(&ctx, t, factors, mode).sim.time_s)
+            Some(
+                mttkrp::gpu::parti_coo::run(&ctx, t, factors, mode)
+                    .sim
+                    .time_s,
+            )
         },
     )
 }

@@ -1,6 +1,6 @@
 //! CLI entry point: `experiments <id>... [--nnz N] [--seed S] [--rank R]
-//! [--reps K] [--json PATH]`, where `<id>` is `all` or any of
-//! `table2 table3 fig5 ... fig16`.
+//! [--reps K] [--json PATH] [--profile DIR]`, where `<id>` is `all` or
+//! any of `table2 table3 fig5 ... fig16`.
 
 use std::io::Write;
 
@@ -16,6 +16,7 @@ fn main() {
     let mut cfg = ExpConfig::default();
     let mut ids: Vec<String> = Vec::new();
     let mut json_path: Option<String> = None;
+    let mut profile_dir: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         let a = args[i].clone();
@@ -34,19 +35,24 @@ fn main() {
             "--rank" => cfg.rank = take(&mut i).parse().expect("--rank wants an integer"),
             "--reps" => cfg.cpu_reps = take(&mut i).parse().expect("--reps wants an integer"),
             "--json" => json_path = Some(take(&mut i)),
+            "--profile" => profile_dir = Some(take(&mut i)),
             other => ids.push(other.to_string()),
         }
         i += 1;
     }
+    if let Some(dir) = profile_dir {
+        cfg = cfg.with_profiling(dir.into());
+    }
     if ids.iter().any(|s| s == "all") {
         ids = all_experiment_ids().iter().map(|s| s.to_string()).collect();
     } else if ids.iter().any(|s| s == "ext") {
-        ids = experiments::extension_ids().iter().map(|s| s.to_string()).collect();
+        ids = experiments::extension_ids()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
     }
 
-    println!(
-        "# Reproduction of 'Load-Balanced Sparse MTTKRP on GPUs' (Nisa et al., IPDPS 2019)"
-    );
+    println!("# Reproduction of 'Load-Balanced Sparse MTTKRP on GPUs' (Nisa et al., IPDPS 2019)");
     println!(
         "# config: nnz={} seed={} rank={} cpu_reps={} device=simulated P100",
         cfg.nnz, cfg.seed, cfg.rank, cfg.cpu_reps
@@ -82,10 +88,15 @@ fn main() {
             .expect("cannot write --json file");
         println!("\nwrote {path}");
     }
+
+    cfg.write_profile()
+        .expect("cannot write --profile artifacts");
 }
 
 fn usage() {
-    eprintln!("usage: experiments <id>... [--nnz N] [--seed S] [--rank R] [--reps K] [--json PATH]");
+    eprintln!(
+        "usage: experiments <id>... [--nnz N] [--seed S] [--rank R] [--reps K] [--json PATH] [--profile DIR]"
+    );
     eprintln!("  ids: all {}", all_experiment_ids().join(" "));
     eprintln!("       ext {}", experiments::extension_ids().join(" "));
 }

@@ -18,10 +18,7 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         println!("{}", s.trim_end());
     };
     line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
-    line(&widths
-        .iter()
-        .map(|w| "-".repeat(*w))
-        .collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for row in rows {
         line(row);
     }
@@ -57,7 +54,10 @@ mod tests {
         print_table(
             "demo",
             &["a", "b"],
-            &[vec!["1".into(), "two".into()], vec!["333".into(), "4".into()]],
+            &[
+                vec!["1".into(), "two".into()],
+                vec!["333".into(), "4".into()],
+            ],
         );
     }
 }

@@ -45,7 +45,14 @@ pub fn table3(cfg: &ExpConfig) -> Value {
     }
     print_table(
         "Table III: sparse tensor datasets (stand-ins)",
-        &["tensor", "order", "paper dims", "scaled dims", "#nonzeros", "density"],
+        &[
+            "tensor",
+            "order",
+            "paper dims",
+            "scaled dims",
+            "#nonzeros",
+            "density",
+        ],
         &rows,
     );
     json!({ "rows": out })
@@ -116,9 +123,7 @@ mod tests {
         let rows = v["rows"].as_array().unwrap();
         assert_eq!(rows.len(), 7);
         let get = |n: &str, k: &str| {
-            rows.iter()
-                .find(|r| r["name"] == n)
-                .unwrap()[k]
+            rows.iter().find(|r| r["name"] == n).unwrap()[k]
                 .as_f64()
                 .unwrap()
         };

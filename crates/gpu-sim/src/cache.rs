@@ -23,7 +23,10 @@ impl L2Cache {
     /// If the geometry does not divide evenly.
     pub fn new(capacity_bytes: usize, line_bytes: usize, assoc: usize) -> L2Cache {
         let lines = capacity_bytes / line_bytes;
-        assert!(lines >= assoc && lines.is_multiple_of(assoc), "bad cache geometry");
+        assert!(
+            lines >= assoc && lines.is_multiple_of(assoc),
+            "bad cache geometry"
+        );
         let num_sets = lines / assoc;
         L2Cache {
             sets: vec![Vec::with_capacity(assoc); num_sets],

@@ -85,7 +85,11 @@ impl CostModel {
     /// Latency contribution of one segment access.
     #[inline]
     pub fn mem_latency(&self, hit: bool) -> f64 {
-        let raw = if hit { self.l2_hit_latency } else { self.dram_latency };
+        let raw = if hit {
+            self.l2_hit_latency
+        } else {
+            self.dram_latency
+        };
         raw / self.warp_mlp
     }
 

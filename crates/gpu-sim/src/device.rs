@@ -102,7 +102,11 @@ mod tests {
 
     #[test]
     fn l2_geometry_is_consistent() {
-        for d in [DeviceProfile::p100(), DeviceProfile::v100(), DeviceProfile::tiny()] {
+        for d in [
+            DeviceProfile::p100(),
+            DeviceProfile::v100(),
+            DeviceProfile::tiny(),
+        ] {
             let lines = d.l2_bytes / d.line_bytes;
             assert_eq!(lines % d.l2_assoc, 0, "{}: sets must be integral", d.name);
         }

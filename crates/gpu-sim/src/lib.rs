@@ -36,9 +36,14 @@ pub mod cost;
 pub mod device;
 pub mod grid;
 pub mod sched;
+pub mod trace;
 
 pub use cache::L2Cache;
 pub use cost::CostModel;
 pub use device::DeviceProfile;
 pub use grid::{AddressSpace, ArraySpan, BlockWork, KernelLaunch, Op, WarpWork};
-pub use sched::{co_resident_makespan, simulate, simulate_with_timeline, SimResult, Timeline};
+pub use sched::{
+    co_resident_makespan, simulate, simulate_profiled, simulate_with_timeline, AtomicRowCharge,
+    BlockCost, BlockPlacement, SimProfile, SimResult, StallReason, Timeline,
+};
+pub use trace::{append_chrome_trace, chrome_trace};

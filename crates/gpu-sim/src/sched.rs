@@ -24,6 +24,8 @@
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
 
+use simprof::Registry;
+
 use crate::cache::L2Cache;
 use crate::cost::CostModel;
 use crate::device::DeviceProfile;
@@ -31,7 +33,7 @@ use crate::grid::{KernelLaunch, Op};
 
 /// Simulation output: the nvprof-style metrics Table II reports, plus
 /// derived throughput.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct SimResult {
     pub kernel: String,
     pub makespan_cycles: f64,
@@ -66,19 +68,29 @@ pub struct Timeline {
 
 impl Timeline {
     /// Fraction of `[0, makespan]` during which SM `sm` was busy.
+    /// An out-of-range `sm` (or an empty/degenerate window) is 0.0, never
+    /// a panic: callers probe SM indices from configs that may not match
+    /// the device that produced the timeline.
     pub fn busy_fraction(&self, sm: usize, makespan: f64) -> f64 {
         if makespan <= 0.0 {
             return 0.0;
         }
-        self.spans[sm].iter().map(|(s, e)| e - s).sum::<f64>() / makespan
+        match self.spans.get(sm) {
+            Some(spans) => spans.iter().map(|(s, e)| e - s).sum::<f64>() / makespan,
+            None => 0.0,
+        }
     }
 
-    /// Busy fraction of SM `sm` within the window `[t0, t1)`.
+    /// Busy fraction of SM `sm` within the window `[t0, t1)`. Out-of-range
+    /// `sm` or an empty window yields 0.0.
     pub fn busy_in_window(&self, sm: usize, t0: f64, t1: f64) -> f64 {
         if t1 <= t0 {
             return 0.0;
         }
-        let overlap: f64 = self.spans[sm]
+        let Some(spans) = self.spans.get(sm) else {
+            return 0.0;
+        };
+        let overlap: f64 = spans
             .iter()
             .map(|&(s, e)| (e.min(t1) - s.max(t0)).max(0.0))
             .sum();
@@ -86,21 +98,127 @@ impl Timeline {
     }
 }
 
+/// Which leg of the roofline `max` determined a block's duration — the
+/// per-block answer to "why was this block slow".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum StallReason {
+    /// Aggregate compute over the SM's warp issue width was the ceiling.
+    ComputeBound,
+    /// Segment-cycles on the load/store path were the ceiling.
+    MemoryThroughputBound,
+    /// One slow warp's serial latency chain was the ceiling — the paper's
+    /// inter-warp (fiber) imbalance pathology.
+    CriticalWarpBound,
+}
+
+impl StallReason {
+    /// Kebab-case label, used as the Chrome-trace `cat` so Perfetto can
+    /// color slices by bottleneck.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StallReason::ComputeBound => "compute-bound",
+            StallReason::MemoryThroughputBound => "memory-throughput-bound",
+            StallReason::CriticalWarpBound => "critical-warp-bound",
+        }
+    }
+}
+
+/// The roofline decomposition of one scheduled block: every leg of the
+/// cost `max`, plus the block's share of the launch-wide counters.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct BlockCost {
+    /// Aggregate compute cycles / SM issue width (roofline leg a).
+    pub compute_cycles: f64,
+    /// Memory-throughput segment-cycles (roofline leg b).
+    pub mem_throughput_cycles: f64,
+    /// The critical (slowest) warp's compute+latency chain (roofline leg c).
+    pub critical_warp_cycles: f64,
+    /// Fixed launch/drain overhead added on top of the max.
+    pub overhead_cycles: f64,
+    /// Total block duration: `max(a, b, c) + overhead`.
+    pub cycles: f64,
+    pub warps: usize,
+    pub flops: u64,
+    pub mem_segments: u64,
+    pub atomic_ops: u64,
+    /// Atomic serialization surcharge cycles charged to this block
+    /// (accumulated over its atomics' conflict terms).
+    pub atomic_conflict_cycles: f64,
+}
+
+impl BlockCost {
+    /// Which roofline leg won the `max` (ties resolve compute over
+    /// memory over critical-warp, matching the order of the cost terms).
+    pub fn stall_reason(&self) -> StallReason {
+        if self.compute_cycles >= self.mem_throughput_cycles
+            && self.compute_cycles >= self.critical_warp_cycles
+        {
+            StallReason::ComputeBound
+        } else if self.mem_throughput_cycles >= self.critical_warp_cycles {
+            StallReason::MemoryThroughputBound
+        } else {
+            StallReason::CriticalWarpBound
+        }
+    }
+}
+
+/// Where one block ran: produced by the list scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct BlockPlacement {
+    /// Index into [`SimProfile::blocks`] (scheduled-block order).
+    pub block: usize,
+    pub sm: usize,
+    /// Start cycle on that SM.
+    pub start: f64,
+    /// End cycle (`start + cycles`).
+    pub end: f64,
+}
+
+/// Atomic serialization charges attributed to one output row.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct AtomicRowCharge {
+    pub row: u32,
+    /// Distinct thread blocks updating this row.
+    pub writer_blocks: u32,
+    /// Atomic operations issued against this row.
+    pub ops: u64,
+    /// Total conflict-surcharge cycles charged for this row.
+    pub conflict_cycles: f64,
+}
+
+/// Everything [`simulate_profiled`] knows beyond the [`SimResult`]: the
+/// per-SM timeline, per-block cost decompositions, block→SM placements,
+/// and per-output-row atomic serialization charges (hottest rows first).
+#[derive(Debug, Clone)]
+pub struct SimProfile {
+    pub timeline: Timeline,
+    pub blocks: Vec<BlockCost>,
+    pub placements: Vec<BlockPlacement>,
+    pub atomic_rows: Vec<AtomicRowCharge>,
+}
+
 /// Shared first half of the machine model: replay the launch through the
 /// L2 in launch order, apply the instruction cost model, and fold every
 /// block into its roofline cost. Both schedulers ([`simulate`] and
 /// [`co_resident_makespan`]) consume this.
 struct CostPass {
-    block_cycles: Vec<f64>,
-    block_warps: Vec<usize>,
+    blocks: Vec<BlockCost>,
     total_flops: u64,
     mem_segments: u64,
     atomic_ops: u64,
     num_warps: usize,
     l2_hit_rate: f64,
+    /// Per-row atomic charges, hottest first. Only populated when the
+    /// pass runs with `detail = true`; empty otherwise.
+    atomic_rows: Vec<AtomicRowCharge>,
 }
 
-fn compute_block_costs(dev: &DeviceProfile, cost: &CostModel, launch: &KernelLaunch) -> CostPass {
+fn compute_block_costs(
+    dev: &DeviceProfile,
+    cost: &CostModel,
+    launch: &KernelLaunch,
+    detail: bool,
+) -> CostPass {
     assert_eq!(
         dev.line_bytes as u64,
         crate::grid::SEG_BYTES,
@@ -124,18 +242,23 @@ fn compute_block_costs(dev: &DeviceProfile, cost: &CostModel, launch: &KernelLau
     }
 
     // ---- Pass 2: per-block costs (cache replayed in launch order). ----
-    let mut block_cycles: Vec<f64> = Vec::with_capacity(launch.blocks.len());
-    let mut block_warps: Vec<usize> = Vec::with_capacity(launch.blocks.len());
+    let mut blocks: Vec<BlockCost> = Vec::with_capacity(launch.blocks.len());
     let mut total_flops: u64 = 0;
     let mut mem_segments: u64 = 0;
     let mut atomic_ops: u64 = 0;
     let mut num_warps = 0usize;
+    // row -> (ops, conflict cycles); filled only when detail is requested.
+    let mut row_charges: HashMap<u32, (u64, f64)> = HashMap::new();
 
     for block in &launch.blocks {
         let mut sum_compute = 0.0f64;
         let mut sum_tp = 0.0f64;
         let mut max_warp = 0.0f64;
         let mut warps_in_block = 0usize;
+        let mut block_flops: u64 = 0;
+        let mut block_segments: u64 = 0;
+        let mut block_atomics: u64 = 0;
+        let mut block_conflict = 0.0f64;
         for warp in &block.warps {
             if warp.is_empty() {
                 continue;
@@ -147,14 +270,14 @@ fn compute_block_costs(dev: &DeviceProfile, cost: &CostModel, launch: &KernelLau
                 match *op {
                     Op::Fma(n) => {
                         compute += n as f64 * cost.fma_cycles;
-                        total_flops += n as u64 * dev.warp_size as u64 * 2;
+                        block_flops += n as u64 * dev.warp_size as u64 * 2;
                     }
                     Op::Alu(n) => compute += n as f64,
                     Op::Load(seg) | Op::Store(seg) => {
                         let hit = cache.access(seg);
                         latency += cost.mem_latency(hit);
                         sum_tp += cost.mem_throughput(hit);
-                        mem_segments += 1;
+                        block_segments += 1;
                     }
                     Op::AtomicAdd { row, seg } => {
                         let hit = cache.access(seg);
@@ -162,15 +285,21 @@ fn compute_block_costs(dev: &DeviceProfile, cost: &CostModel, launch: &KernelLau
                             cost.conflict_surcharge(writers.get(&row).map_or(1, |e| e.1));
                         latency += cost.mem_latency(hit) + cost.atomic_latency + conflict;
                         sum_tp += cost.mem_throughput(hit) + cost.atomic_throughput + conflict;
-                        mem_segments += 1;
-                        atomic_ops += 1;
+                        block_segments += 1;
+                        block_atomics += 1;
+                        block_conflict += conflict;
+                        if detail {
+                            let e = row_charges.entry(row).or_insert((0, 0.0));
+                            e.0 += 1;
+                            e.1 += conflict;
+                        }
                     }
                     Op::Replay(n) => {
                         // Extra transactions against resident lines: pure
                         // LSU pressure plus pipelined-hit latency.
                         latency += n as f64 * cost.mem_latency(true);
                         sum_tp += n as f64 * cost.l2_hit_throughput;
-                        mem_segments += n as u64;
+                        block_segments += n as u64;
                     }
                     Op::Sync(n) => {
                         compute += n as f64;
@@ -181,26 +310,53 @@ fn compute_block_costs(dev: &DeviceProfile, cost: &CostModel, launch: &KernelLau
             sum_compute += compute;
             max_warp = max_warp.max(warp_cost);
         }
+        total_flops += block_flops;
+        mem_segments += block_segments;
+        atomic_ops += block_atomics;
         if warps_in_block == 0 {
             continue;
         }
         num_warps += warps_in_block;
-        let cycles = (sum_compute / dev.compute_width_warps)
-            .max(sum_tp)
-            .max(max_warp)
-            + cost.block_overhead_cycles;
-        block_cycles.push(cycles);
-        block_warps.push(warps_in_block);
+        let compute_leg = sum_compute / dev.compute_width_warps;
+        let cycles = compute_leg.max(sum_tp).max(max_warp) + cost.block_overhead_cycles;
+        blocks.push(BlockCost {
+            compute_cycles: compute_leg,
+            mem_throughput_cycles: sum_tp,
+            critical_warp_cycles: max_warp,
+            overhead_cycles: cost.block_overhead_cycles,
+            cycles,
+            warps: warps_in_block,
+            flops: block_flops,
+            mem_segments: block_segments,
+            atomic_ops: block_atomics,
+            atomic_conflict_cycles: block_conflict,
+        });
     }
 
+    let mut atomic_rows: Vec<AtomicRowCharge> = row_charges
+        .into_iter()
+        .map(|(row, (ops, conflict_cycles))| AtomicRowCharge {
+            row,
+            writer_blocks: writers.get(&row).map_or(0, |e| e.1),
+            ops,
+            conflict_cycles,
+        })
+        .collect();
+    atomic_rows.sort_by(|a, b| {
+        b.conflict_cycles
+            .partial_cmp(&a.conflict_cycles)
+            .unwrap()
+            .then(a.row.cmp(&b.row))
+    });
+
     CostPass {
-        block_cycles,
-        block_warps,
+        blocks,
         total_flops,
         mem_segments,
         atomic_ops,
         num_warps,
         l2_hit_rate: cache.hit_rate(),
+        atomic_rows,
     }
 }
 
@@ -232,15 +388,37 @@ pub fn simulate_with_timeline(
     cost: &CostModel,
     launch: &KernelLaunch,
 ) -> (SimResult, Timeline) {
+    let (result, profile) = simulate_profiled(dev, cost, launch, &Registry::disabled());
+    (result, profile.timeline)
+}
+
+/// [`simulate`] with full observability: returns the per-block/per-SM
+/// [`SimProfile`] and, when `registry` is enabled, records the launch's
+/// aggregate counters (`sim.*`, including the stall-reason breakdown and
+/// atomic serialization charges) plus a host-time span into it. With a
+/// disabled registry the extra cost is one relaxed atomic load — the
+/// simulated numbers are bit-for-bit those of [`simulate`] either way.
+pub fn simulate_profiled(
+    dev: &DeviceProfile,
+    cost: &CostModel,
+    launch: &KernelLaunch,
+    registry: &Registry,
+) -> (SimResult, SimProfile) {
+    let profiling = registry.enabled();
+    let _span = if profiling {
+        Some(registry.span(&format!("simulate {}", launch.name), "sim"))
+    } else {
+        None
+    };
     let CostPass {
-        block_cycles,
-        block_warps,
+        blocks,
         total_flops,
         mem_segments,
         atomic_ops,
         num_warps,
         l2_hit_rate,
-    } = compute_block_costs(dev, cost, launch);
+        atomic_rows,
+    } = compute_block_costs(dev, cost, launch, profiling);
 
     // ---- Pass 3: greedy list scheduling of blocks onto SMs. ----
     #[derive(PartialEq)]
@@ -268,19 +446,27 @@ pub fn simulate_with_timeline(
         spans: vec![Vec::new(); dev.num_sms],
     };
     let mut occ_num = 0.0f64; // Σ active warps × cycles
-    // Occupancy accounts for block co-residency: while the launch queue is
-    // deep, each SM hosts roughly queue_depth/num_sms blocks concurrently
-    // (bounded by hardware block slots). The makespan itself stays a
-    // one-block-per-SM list schedule — co-residency hides latency, which
-    // the roofline block cost already credits via its throughput terms.
-    let co_res = (block_cycles.len() as f64 / dev.num_sms as f64)
+                              // Occupancy accounts for block co-residency: while the launch queue is
+                              // deep, each SM hosts roughly queue_depth/num_sms blocks concurrently
+                              // (bounded by hardware block slots). The makespan itself stays a
+                              // one-block-per-SM list schedule — co-residency hides latency, which
+                              // the roofline block cost already credits via its throughput terms.
+    let co_res = (blocks.len() as f64 / dev.num_sms as f64)
         .floor()
         .clamp(1.0, dev.max_blocks_per_sm as f64);
-    for (&cycles, &warps) in block_cycles.iter().zip(&block_warps) {
+    let mut placements: Vec<BlockPlacement> = Vec::with_capacity(blocks.len());
+    for (b, block) in blocks.iter().enumerate() {
+        let cycles = block.cycles;
         let SmSlot(t, sm) = heap.pop().unwrap();
         busy[sm] += cycles;
         timeline.spans[sm].push((t, t + cycles));
-        occ_num += (warps as f64 * co_res).min(dev.max_warps_per_sm as f64) * cycles;
+        placements.push(BlockPlacement {
+            block: b,
+            sm,
+            start: t,
+            end: t + cycles,
+        });
+        occ_num += (block.warps as f64 * co_res).min(dev.max_warps_per_sm as f64) * cycles;
         heap.push(SmSlot(t + cycles, sm));
     }
     let makespan = heap.iter().map(|s| s.0).fold(0.0f64, f64::max);
@@ -302,11 +488,11 @@ pub fn simulate_with_timeline(
     } else {
         0.0
     };
-    let max_block_cycles = block_cycles.iter().cloned().fold(0.0f64, f64::max);
-    let mean_block_cycles = if block_cycles.is_empty() {
+    let max_block_cycles = blocks.iter().map(|b| b.cycles).fold(0.0f64, f64::max);
+    let mean_block_cycles = if blocks.is_empty() {
         0.0
     } else {
-        block_cycles.iter().sum::<f64>() / block_cycles.len() as f64
+        blocks.iter().map(|b| b.cycles).sum::<f64>() / blocks.len() as f64
     };
 
     let result = SimResult {
@@ -318,14 +504,43 @@ pub fn simulate_with_timeline(
         l2_hit_rate,
         total_flops,
         gflops,
-        num_blocks: block_cycles.len(),
+        num_blocks: blocks.len(),
         num_warps,
         mem_segments,
         atomic_ops,
         max_block_cycles,
         mean_block_cycles,
     };
-    (result, timeline)
+
+    if profiling {
+        registry.add("sim.launches", 1);
+        registry.add("sim.blocks", blocks.len() as u64);
+        registry.add("sim.warps", num_warps as u64);
+        registry.add("sim.flops", total_flops);
+        registry.add("sim.mem_segments", mem_segments);
+        registry.add("sim.atomic_ops", atomic_ops);
+        let mut conflict_cycles = 0.0f64;
+        for b in &blocks {
+            conflict_cycles += b.atomic_conflict_cycles;
+            registry.add(
+                match b.stall_reason() {
+                    StallReason::ComputeBound => "sim.stall.compute_bound",
+                    StallReason::MemoryThroughputBound => "sim.stall.memory_throughput_bound",
+                    StallReason::CriticalWarpBound => "sim.stall.critical_warp_bound",
+                },
+                1,
+            );
+        }
+        registry.add("sim.atomic_conflict_cycles", conflict_cycles.round() as u64);
+    }
+
+    let profile = SimProfile {
+        timeline,
+        blocks,
+        placements,
+        atomic_rows,
+    };
+    (result, profile)
 }
 
 /// The *co-resident* makespan bound: blocks list-scheduled onto
@@ -349,11 +564,12 @@ pub fn co_resident_makespan(
         .clamp(1, dev.max_blocks_per_sm)
         .max(1);
     let executors = dev.num_sms * k;
-    let pass = compute_block_costs(dev, cost, launch);
+    let pass = compute_block_costs(dev, cost, launch, false);
     let mut finish_times = vec![0.0f64; executors];
     let mut heap: BinaryHeap<std::cmp::Reverse<(u64, usize)>> =
         (0..executors).map(|i| std::cmp::Reverse((0, i))).collect();
-    for &cycles in &pass.block_cycles {
+    for block in &pass.blocks {
+        let cycles = block.cycles;
         let std::cmp::Reverse((_, ex)) = heap.pop().unwrap();
         finish_times[ex] += cycles;
         heap.push(std::cmp::Reverse((finish_times[ex].to_bits(), ex)));
@@ -591,5 +807,225 @@ mod tests {
         launch.blocks.push(compute_block(100, 16));
         let r = simulate(&dev(), &CostModel::zero_overhead(), &launch);
         assert!((r.makespan_cycles - 1600.0).abs() < 1e-9);
+    }
+
+    /// A mixed launch exercising every op kind: compute, loads with reuse,
+    /// atomics with a hot row, and a heavy-warp block.
+    fn mixed_launch() -> KernelLaunch {
+        let mut launch = KernelLaunch::new("mixed");
+        for b in 0..6u32 {
+            let mut blk = BlockWork::new();
+            for wi in 0..3u32 {
+                let mut w = WarpWork::new();
+                w.push(Op::Fma(20 + 40 * wi * (b % 2)));
+                for j in 0..8u64 {
+                    w.push(Op::Load(b as u64 * 16 + j % 4));
+                }
+                w.push(Op::AtomicAdd {
+                    row: b % 3,
+                    seg: 50_000 + (b % 3) as u64,
+                });
+                blk.warps.push(w);
+            }
+            launch.blocks.push(blk);
+        }
+        launch
+    }
+
+    #[test]
+    fn timeline_out_of_range_sm_is_zero_not_panic() {
+        let mut launch = KernelLaunch::new("t");
+        launch.blocks.push(compute_block(100, 1));
+        let (r, tl) = simulate_with_timeline(&dev(), &CostModel::zero_overhead(), &launch);
+        // In range: the single busy SM reports 1.0.
+        assert!((tl.busy_fraction(0, r.makespan_cycles) - 1.0).abs() < 1e-9);
+        // Out of range (device has 4 SMs): 0.0, not a panic.
+        assert_eq!(tl.busy_fraction(100, r.makespan_cycles), 0.0);
+        assert_eq!(tl.busy_in_window(100, 0.0, r.makespan_cycles), 0.0);
+        assert_eq!(tl.busy_fraction(4, r.makespan_cycles), 0.0);
+    }
+
+    #[test]
+    fn timeline_window_overlap_edge_cases() {
+        // One block on SM 0 occupying [0, 100].
+        let mut launch = KernelLaunch::new("t");
+        launch.blocks.push(compute_block(100, 1));
+        let (_, tl) = simulate_with_timeline(&dev(), &CostModel::zero_overhead(), &launch);
+        // Full overlap.
+        assert!((tl.busy_in_window(0, 0.0, 100.0) - 1.0).abs() < 1e-9);
+        // Half overlap from either side.
+        assert!((tl.busy_in_window(0, 50.0, 150.0) - 0.5).abs() < 1e-9);
+        assert!((tl.busy_in_window(0, -100.0, 100.0) - 0.5).abs() < 1e-9);
+        // Window fully after / fully before the span.
+        assert_eq!(tl.busy_in_window(0, 100.0, 200.0), 0.0);
+        assert_eq!(tl.busy_in_window(0, -50.0, 0.0), 0.0);
+        // Degenerate and inverted windows.
+        assert_eq!(tl.busy_in_window(0, 50.0, 50.0), 0.0);
+        assert_eq!(tl.busy_in_window(0, 60.0, 40.0), 0.0);
+        // Idle SM within range reports zero busy.
+        assert_eq!(tl.busy_in_window(1, 0.0, 100.0), 0.0);
+        // Degenerate makespan.
+        assert_eq!(tl.busy_fraction(0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn metrics_stay_in_percent_range() {
+        let d = dev();
+        let c = CostModel::default();
+        for launch in [mixed_launch(), KernelLaunch::new("empty")] {
+            let r = simulate(&d, &c, &launch);
+            for (name, v) in [
+                ("sm_efficiency", r.sm_efficiency),
+                ("achieved_occupancy", r.achieved_occupancy),
+                ("l2_hit_rate", r.l2_hit_rate),
+            ] {
+                assert!(
+                    (0.0..=100.0).contains(&v),
+                    "{name} out of range: {v} ({})",
+                    launch.name
+                );
+            }
+            assert!(r.makespan_cycles >= 0.0);
+            assert!(r.gflops >= 0.0);
+        }
+    }
+
+    #[test]
+    fn identical_launches_are_bit_for_bit_identical() {
+        let d = dev();
+        let c = CostModel::default();
+        let launch = mixed_launch();
+        let a = simulate(&d, &c, &launch);
+        let b = simulate(&d, &c, &launch);
+        // Full-struct equality: every field, including every f64, must be
+        // bit-for-bit reproducible between two simulate calls.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn profiled_result_matches_unprofiled() {
+        let d = dev();
+        let c = CostModel::default();
+        let launch = mixed_launch();
+        let plain = simulate(&d, &c, &launch);
+        let reg = Registry::new();
+        let (profiled, profile) = simulate_profiled(&d, &c, &launch, &reg);
+        assert_eq!(plain, profiled, "profiling must not perturb the model");
+        // Block decomposition is consistent: every block's total equals
+        // max(legs) + overhead, and the placement matches the timeline.
+        assert_eq!(profile.blocks.len(), plain.num_blocks);
+        assert_eq!(profile.placements.len(), plain.num_blocks);
+        for p in &profile.placements {
+            let b = &profile.blocks[p.block];
+            let legs = b
+                .compute_cycles
+                .max(b.mem_throughput_cycles)
+                .max(b.critical_warp_cycles);
+            assert!((b.cycles - (legs + b.overhead_cycles)).abs() < 1e-9);
+            assert!((p.end - p.start - b.cycles).abs() < 1e-9);
+            assert!(profile.timeline.spans[p.sm].contains(&(p.start, p.end)));
+        }
+    }
+
+    #[test]
+    fn profiled_run_records_registry_counters() {
+        let d = dev();
+        let c = CostModel::default();
+        let launch = mixed_launch();
+        let reg = Registry::new();
+        let (r, profile) = simulate_profiled(&d, &c, &launch, &reg);
+        assert_eq!(reg.counter("sim.launches"), 1);
+        assert_eq!(reg.counter("sim.blocks"), r.num_blocks as u64);
+        assert_eq!(reg.counter("sim.warps"), r.num_warps as u64);
+        assert_eq!(reg.counter("sim.flops"), r.total_flops);
+        assert_eq!(reg.counter("sim.atomic_ops"), r.atomic_ops);
+        // Stall-reason breakdown partitions the blocks.
+        let stalls = reg.counter("sim.stall.compute_bound")
+            + reg.counter("sim.stall.memory_throughput_bound")
+            + reg.counter("sim.stall.critical_warp_bound");
+        assert_eq!(stalls, r.num_blocks as u64);
+        // The host-time span of the simulate call was recorded.
+        let spans = reg.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "simulate mixed");
+        // Atomic charges per output row: 3 rows, each hit by 2 blocks.
+        assert_eq!(profile.atomic_rows.len(), 3);
+        for row in &profile.atomic_rows {
+            assert_eq!(row.writer_blocks, 2);
+            assert_eq!(row.ops, 6); // 2 blocks × 3 warps × 1 atomic
+            assert!(row.conflict_cycles > 0.0);
+        }
+        // Hottest-first ordering.
+        for pair in profile.atomic_rows.windows(2) {
+            assert!(pair[0].conflict_cycles >= pair[1].conflict_cycles);
+        }
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing_and_skips_detail() {
+        let d = dev();
+        let c = CostModel::default();
+        let launch = mixed_launch();
+        let reg = Registry::disabled();
+        let (r, profile) = simulate_profiled(&d, &c, &launch, &reg);
+        assert!(r.atomic_ops > 0);
+        assert!(reg.counters().is_empty());
+        assert!(reg.spans().is_empty());
+        // Per-row attribution is detail-gated; the rest of the profile
+        // (timeline, blocks, placements) is always available.
+        assert!(profile.atomic_rows.is_empty());
+        assert_eq!(profile.blocks.len(), r.num_blocks);
+    }
+
+    #[test]
+    fn stall_reasons_label_the_winning_leg() {
+        // Critical-warp bound: one 1000-FMA warp among light ones on a
+        // wide-issue device.
+        let mut b = BlockWork::new();
+        for fmas in [1000u32, 10, 10, 10] {
+            let mut w = WarpWork::new();
+            w.push(Op::Fma(fmas));
+            b.warps.push(w);
+        }
+        let mut launch = KernelLaunch::new("crit");
+        launch.blocks.push(b);
+        let reg = Registry::new();
+        let (_, profile) = simulate_profiled(
+            &DeviceProfile::p100(),
+            &CostModel::zero_overhead(),
+            &launch,
+            &reg,
+        );
+        assert_eq!(
+            profile.blocks[0].stall_reason(),
+            StallReason::CriticalWarpBound
+        );
+        assert_eq!(reg.counter("sim.stall.critical_warp_bound"), 1);
+
+        // Compute-throughput bound: 16 equal warps on the narrow device.
+        let mut launch = KernelLaunch::new("comp");
+        launch.blocks.push(compute_block(100, 16));
+        let reg = Registry::new();
+        let (_, profile) = simulate_profiled(&dev(), &CostModel::zero_overhead(), &launch, &reg);
+        assert_eq!(profile.blocks[0].stall_reason(), StallReason::ComputeBound);
+
+        // Memory-throughput bound: 16 streaming warps whose aggregate
+        // segment-cycles (16×200×18) dwarf any single warp's latency chain.
+        let mut blk = BlockWork::new();
+        for wi in 0..16u64 {
+            let mut w = WarpWork::new();
+            for j in 0..200u64 {
+                w.push(Op::Load(wi * 10_000 + j * 7));
+            }
+            blk.warps.push(w);
+        }
+        let mut launch = KernelLaunch::new("mem");
+        launch.blocks.push(blk);
+        let reg = Registry::new();
+        let (_, profile) = simulate_profiled(&dev(), &CostModel::default(), &launch, &reg);
+        assert_eq!(
+            profile.blocks[0].stall_reason(),
+            StallReason::MemoryThroughputBound
+        );
     }
 }

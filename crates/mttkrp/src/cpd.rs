@@ -7,7 +7,10 @@
 //! decomposition — MTTKRP being "a common bottleneck for CPD" is the
 //! paper's entire motivation.
 
+use std::time::Instant;
+
 use dense::{pseudo_inverse, Matrix};
+use simprof::{ModeTiming, RunManifest};
 use sptensor::CooTensor;
 
 use crate::reference::random_factors;
@@ -76,8 +79,43 @@ impl CpdResult {
 pub fn cpd_als(
     t: &CooTensor,
     opts: &CpdOptions,
-    mut mttkrp: impl FnMut(&[Matrix], usize) -> Matrix,
+    mttkrp: impl FnMut(&[Matrix], usize) -> Matrix,
 ) -> CpdResult {
+    cpd_als_impl(t, opts, mttkrp, None)
+}
+
+/// [`cpd_als`] with iteration telemetry: per-mode MTTKRP wall time, fit
+/// trajectory, and total run time are appended to `manifest` (one
+/// [`IterationRecord`](simprof::IterationRecord) per ALS iteration). The
+/// manifest's `rank`/`max_iters`/`tol`/`seed` are overwritten from `opts`
+/// so the written document always describes the run that produced it.
+pub fn cpd_als_profiled(
+    t: &CooTensor,
+    opts: &CpdOptions,
+    mttkrp: impl FnMut(&[Matrix], usize) -> Matrix,
+    manifest: &mut RunManifest,
+) -> CpdResult {
+    cpd_als_impl(t, opts, mttkrp, Some(manifest))
+}
+
+/// Stamps `opts` into the manifest so the document matches the run.
+fn sync_manifest(manifest: &mut RunManifest, opts: &CpdOptions) {
+    manifest.rank = opts.rank;
+    manifest.max_iters = opts.max_iters;
+    manifest.tol = opts.tol;
+    manifest.seed = opts.seed;
+}
+
+fn cpd_als_impl(
+    t: &CooTensor,
+    opts: &CpdOptions,
+    mut mttkrp: impl FnMut(&[Matrix], usize) -> Matrix,
+    mut manifest: Option<&mut RunManifest>,
+) -> CpdResult {
+    let run_start = Instant::now();
+    if let Some(m) = manifest.as_deref_mut() {
+        sync_manifest(m, opts);
+    }
     let order = t.order();
     let mut factors = random_factors(t, opts.rank, opts.seed);
     let mut lambda = vec![1.0f32; opts.rank];
@@ -94,15 +132,20 @@ pub fn cpd_als(
     let mut iterations = 0;
 
     for _iter in 0..opts.max_iters {
+        let iter_start = Instant::now();
+        let mut mode_timings: Vec<ModeTiming> = Vec::new();
         for mode in 0..order {
+            let mttkrp_start = Instant::now();
             let y = mttkrp(&factors, mode);
+            if manifest.is_some() {
+                mode_timings.push(ModeTiming {
+                    mode,
+                    mttkrp_seconds: mttkrp_start.elapsed().as_secs_f64(),
+                });
+            }
             // V = ∗_{m≠n} AₘᵀAₘ  (Eq. 3's gram-Hadamard), folded from an
             // all-ones seed so any number of modes composes uniformly.
-            let mut v = Matrix::from_vec(
-                opts.rank,
-                opts.rank,
-                vec![1.0; opts.rank * opts.rank],
-            );
+            let mut v = Matrix::from_vec(opts.rank, opts.rank, vec![1.0; opts.rank * opts.rank]);
             for (m, g) in grams.iter().enumerate() {
                 if m != mode {
                     v = v.hadamard(g);
@@ -123,10 +166,16 @@ pub fn cpd_als(
 
         let fit = compute_fit(t, &factors, &lambda, &grams, norm_x);
         fits.push(fit);
+        if let Some(m) = manifest.as_deref_mut() {
+            m.push_iteration(fit, mode_timings, iter_start.elapsed().as_secs_f64());
+        }
         if iterations > 1 && (fit - prev_fit).abs() < opts.tol {
             break;
         }
         prev_fit = fit;
+    }
+    if let Some(m) = manifest {
+        m.total_seconds = run_start.elapsed().as_secs_f64();
     }
 
     CpdResult {
@@ -149,8 +198,32 @@ pub fn cpd_als(
 pub fn cpd_als_nonneg(
     t: &CooTensor,
     opts: &CpdOptions,
-    mut mttkrp: impl FnMut(&[Matrix], usize) -> Matrix,
+    mttkrp: impl FnMut(&[Matrix], usize) -> Matrix,
 ) -> CpdResult {
+    cpd_als_nonneg_impl(t, opts, mttkrp, None)
+}
+
+/// [`cpd_als_nonneg`] with the same iteration telemetry as
+/// [`cpd_als_profiled`].
+pub fn cpd_als_nonneg_profiled(
+    t: &CooTensor,
+    opts: &CpdOptions,
+    mttkrp: impl FnMut(&[Matrix], usize) -> Matrix,
+    manifest: &mut RunManifest,
+) -> CpdResult {
+    cpd_als_nonneg_impl(t, opts, mttkrp, Some(manifest))
+}
+
+fn cpd_als_nonneg_impl(
+    t: &CooTensor,
+    opts: &CpdOptions,
+    mut mttkrp: impl FnMut(&[Matrix], usize) -> Matrix,
+    mut manifest: Option<&mut RunManifest>,
+) -> CpdResult {
+    let run_start = Instant::now();
+    if let Some(m) = manifest.as_deref_mut() {
+        sync_manifest(m, opts);
+    }
     assert!(
         t.values().iter().all(|&v| v >= 0.0),
         "non-negative CPD requires a non-negative tensor"
@@ -170,8 +243,17 @@ pub fn cpd_als_nonneg(
     let mut prev_fit = 0.0f64;
     let mut iterations = 0;
     for _iter in 0..opts.max_iters {
+        let iter_start = Instant::now();
+        let mut mode_timings: Vec<ModeTiming> = Vec::new();
         for mode in 0..order {
+            let mttkrp_start = Instant::now();
             let y = mttkrp(&factors, mode);
+            if manifest.is_some() {
+                mode_timings.push(ModeTiming {
+                    mode,
+                    mttkrp_seconds: mttkrp_start.elapsed().as_secs_f64(),
+                });
+            }
             let mut v = Matrix::from_vec(opts.rank, opts.rank, vec![1.0; opts.rank * opts.rank]);
             for (m, g) in grams.iter().enumerate() {
                 if m != mode {
@@ -193,10 +275,16 @@ pub fn cpd_als_nonneg(
         let lambda_ones = vec![1.0f32; opts.rank];
         let fit = compute_fit(t, &factors, &lambda_ones, &grams, norm_x);
         fits.push(fit);
+        if let Some(m) = manifest.as_deref_mut() {
+            m.push_iteration(fit, mode_timings, iter_start.elapsed().as_secs_f64());
+        }
         if iterations > 1 && (fit - prev_fit).abs() < opts.tol {
             break;
         }
         prev_fit = fit;
+    }
+    if let Some(m) = manifest {
+        m.total_seconds = run_start.elapsed().as_secs_f64();
     }
 
     // Absorb column norms into λ at the end (updates stay unnormalized).
@@ -524,6 +612,58 @@ mod tests {
         t.values_mut()[0] = -1.0;
         let opts = CpdOptions::default();
         let _ = cpd_als_nonneg(&t, &opts, |f, m| reference::mttkrp(&t, f, m));
+    }
+
+    #[test]
+    fn profiled_run_fills_manifest_and_matches_unprofiled() {
+        let t = sptensor::synth::uniform_random(&[8, 9, 10], 200, 3);
+        let opts = CpdOptions {
+            rank: 4,
+            max_iters: 6,
+            tol: 0.0,
+            seed: 11,
+        };
+        let plain = cpd_als(&t, &opts, |f, m| reference::mttkrp(&t, f, m));
+        let mut manifest = RunManifest::new("reference", "uniform-200", 0, 0, 0.0, 0);
+        let prof = cpd_als_profiled(&t, &opts, |f, m| reference::mttkrp(&t, f, m), &mut manifest);
+        // Telemetry is observational: the math is unchanged.
+        assert_eq!(plain.fits, prof.fits);
+        assert_eq!(plain.iterations, prof.iterations);
+        // Options were stamped into the manifest.
+        assert_eq!(manifest.rank, 4);
+        assert_eq!(manifest.max_iters, 6);
+        assert_eq!(manifest.seed, 11);
+        // One record per iteration, one timing per mode, fits verbatim.
+        assert_eq!(manifest.iterations_run, prof.iterations);
+        assert_eq!(manifest.iterations.len(), prof.iterations);
+        for (rec, &fit) in manifest.iterations.iter().zip(&prof.fits) {
+            assert_eq!(rec.fit, fit);
+            assert_eq!(rec.modes.len(), 3);
+            for (mi, mt) in rec.modes.iter().enumerate() {
+                assert_eq!(mt.mode, mi);
+                assert!(mt.mttkrp_seconds >= 0.0);
+            }
+            assert!(rec.seconds >= 0.0);
+        }
+        assert_eq!(manifest.final_fit, prof.final_fit());
+        assert!(manifest.total_seconds > 0.0);
+    }
+
+    #[test]
+    fn nonneg_profiled_fills_manifest() {
+        let t = sptensor::synth::uniform_random(&[6, 7, 8], 150, 5);
+        let opts = CpdOptions {
+            rank: 3,
+            max_iters: 4,
+            tol: 0.0,
+            seed: 9,
+        };
+        let mut manifest = RunManifest::new("reference-nonneg", "uniform-150", 0, 0, 0.0, 0);
+        let prof =
+            cpd_als_nonneg_profiled(&t, &opts, |f, m| reference::mttkrp(&t, f, m), &mut manifest);
+        assert_eq!(manifest.iterations_run, prof.iterations);
+        assert_eq!(manifest.final_fit, prof.final_fit());
+        assert!(manifest.iterations.iter().all(|rec| rec.modes.len() == 3));
     }
 
     #[test]

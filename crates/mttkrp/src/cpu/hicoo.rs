@@ -30,7 +30,8 @@ pub fn mttkrp(h: &Hicoo, factors: &[Matrix], mode: usize) -> Matrix {
     let mut y = Matrix::zeros(rows, r);
 
     // Group blocks by output-mode block coordinate.
-    let mut groups: std::collections::BTreeMap<Index, Vec<usize>> = std::collections::BTreeMap::new();
+    let mut groups: std::collections::BTreeMap<Index, Vec<usize>> =
+        std::collections::BTreeMap::new();
     for b in 0..h.num_blocks() {
         groups.entry(h.bidx[mode][b]).or_default().push(b);
     }

@@ -21,8 +21,8 @@
 
 pub mod coo;
 pub mod dfacto;
-pub mod onemode;
 pub mod hicoo;
+pub mod onemode;
 pub mod splatt;
 pub mod toolbox;
 

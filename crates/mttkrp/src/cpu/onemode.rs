@@ -136,7 +136,17 @@ impl SplattOneMode {
                 // π at level 0 = the root's own factor row.
                 let root_row = level_facs[0].row(csf.level_idx[0][s] as usize);
                 scr.top[0].copy_from_slice(root_row);
-                walk(csf, 1, csf.children(0, s), depth, &level_facs, &below, scr, &y, r);
+                walk(
+                    csf,
+                    1,
+                    csf.children(0, s),
+                    depth,
+                    &level_facs,
+                    &below,
+                    scr,
+                    &y,
+                    r,
+                );
             },
         );
 
@@ -208,7 +218,17 @@ fn walk(
         } else {
             unreachable!("walk never descends past the fiber level")
         };
-        walk(csf, level + 1, children, depth, level_facs, below, scr, y, r);
+        walk(
+            csf,
+            level + 1,
+            children,
+            depth,
+            level_facs,
+            below,
+            scr,
+            y,
+            r,
+        );
     }
 }
 
@@ -251,7 +271,10 @@ mod tests {
             for mode in 0..4 {
                 let y = om.mttkrp(&factors, mode);
                 let expected = reference::mttkrp(&t, &factors, mode);
-                assert!(crate::outputs_match(&y, &expected), "root {root} mode {mode}");
+                assert!(
+                    crate::outputs_match(&y, &expected),
+                    "root {root} mode {mode}"
+                );
             }
         }
     }

@@ -123,24 +123,21 @@ impl SplattCsf {
             let writer = RowWriter::new(y.data_mut(), rows, r);
             for csf in &self.tiles {
                 // Factor of the mode at each level below the root.
-                let facs: Vec<&Matrix> =
-                    (1..order).map(|l| &factors[csf.perm[l]]).collect();
-                (0..csf.num_slices())
-                    .into_par_iter()
-                    .for_each_init(
-                        || vec![vec![0.0f32; r]; order - 1],
-                        |scratch, s| {
-                            scratch[0].fill(0.0);
-                            accumulate(csf, 0, s, &facs, scratch);
-                            let i = csf.level_idx[0][s] as usize;
-                            // SAFETY: slice root indices are unique within a
-                            // tile, and tiles run sequentially.
-                            let out = unsafe { writer.row_mut(i) };
-                            for (o, &v) in out.iter_mut().zip(&scratch[0]) {
-                                *o += v;
-                            }
-                        },
-                    );
+                let facs: Vec<&Matrix> = (1..order).map(|l| &factors[csf.perm[l]]).collect();
+                (0..csf.num_slices()).into_par_iter().for_each_init(
+                    || vec![vec![0.0f32; r]; order - 1],
+                    |scratch, s| {
+                        scratch[0].fill(0.0);
+                        accumulate(csf, 0, s, &facs, scratch);
+                        let i = csf.level_idx[0][s] as usize;
+                        // SAFETY: slice root indices are unique within a
+                        // tile, and tiles run sequentially.
+                        let out = unsafe { writer.row_mut(i) };
+                        for (o, &v) in out.iter_mut().zip(&scratch[0]) {
+                            *o += v;
+                        }
+                    },
+                );
             }
         }
         y

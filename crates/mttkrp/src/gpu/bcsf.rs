@@ -54,12 +54,7 @@ pub fn run(ctx: &GpuContext, bcsf: &Bcsf, factors: &[Matrix]) -> GpuRun {
     run_named(ctx, bcsf, factors, "b-csf")
 }
 
-pub(crate) fn run_named(
-    ctx: &GpuContext,
-    bcsf: &Bcsf,
-    factors: &[Matrix],
-    name: &str,
-) -> GpuRun {
+pub(crate) fn run_named(ctx: &GpuContext, bcsf: &Bcsf, factors: &[Matrix], name: &str) -> GpuRun {
     let r = factors[0].cols();
     let mode = bcsf.csf.perm[0];
     let mut space = AddressSpace::new();
@@ -68,8 +63,7 @@ pub(crate) fn run_named(
     let mut y = Matrix::zeros(bcsf.csf.dims[mode] as usize, r);
     let mut launch = KernelLaunch::new(name);
     emit(ctx, bcsf, factors, &fa, &spans, &mut y, &mut launch);
-    let sim = ctx.simulate(&launch);
-    GpuRun { y, sim }
+    ctx.finish(y, &launch)
 }
 
 /// Emits the kernel's blocks into `launch` and accumulates the real output
@@ -106,8 +100,18 @@ pub(crate) fn emit(
             let chunk_end = (chunk_start + per_warp).min(fibers.end);
             let mut w = WarpWork::new();
             // One batched fetch of this warp's fiber pointers + indices.
-            load_u32s(&mut w, spans.level_ptr[fl], chunk_start, chunk_end - chunk_start + 1);
-            load_u32s(&mut w, spans.level_idx[fl], chunk_start, chunk_end - chunk_start);
+            load_u32s(
+                &mut w,
+                spans.level_ptr[fl],
+                chunk_start,
+                chunk_end - chunk_start + 1,
+            );
+            load_u32s(
+                &mut w,
+                spans.level_idx[fl],
+                chunk_start,
+                chunk_end - chunk_start,
+            );
             // One streamed fetch of the warp's whole leaf range.
             let leaf_lo = csf.level_ptr[fl][chunk_start] as usize;
             let leaf_hi = csf.level_ptr[fl][chunk_end] as usize;
@@ -251,7 +255,9 @@ mod tests {
     #[test]
     fn splitting_improves_skewed_tensor() {
         let ctx = GpuContext::tiny();
-        let t = standin("darpa").unwrap().generate(&SynthConfig::tiny().with_nnz(20_000));
+        let t = standin("darpa")
+            .unwrap()
+            .generate(&SynthConfig::tiny().with_nnz(20_000));
         let factors = reference::random_factors(&t, 8, 33);
         let unsplit = build_and_run(&ctx, &t, &factors, 0, BcsfOptions::unsplit());
         let split = build_and_run(&ctx, &t, &factors, 0, BcsfOptions::default());

@@ -7,11 +7,17 @@
 //! fully coalesced load of `ceil(R/32)` segments and a per-nonzero
 //! multiply-accumulate is `ceil(R/32)` warp-wide FMA instructions.
 
+use std::sync::Arc;
+
 use dense::Matrix;
-use gpu_sim::{simulate, AddressSpace, ArraySpan, CostModel, DeviceProfile, KernelLaunch, SimResult, WarpWork};
+use gpu_sim::{
+    simulate, simulate_profiled, AddressSpace, ArraySpan, CostModel, DeviceProfile, KernelLaunch,
+    SimProfile, SimResult, WarpWork,
+};
 use sptensor::Index;
 
-/// Device + cost-model bundle passed to every GPU kernel.
+/// Device + cost-model bundle passed to every GPU kernel, plus the
+/// profiling sink every launch records into.
 #[derive(Debug, Clone)]
 pub struct GpuContext {
     pub device: DeviceProfile,
@@ -19,6 +25,10 @@ pub struct GpuContext {
     /// Warps per thread block for the structured kernels (paper: 512
     /// threads = 16 warps).
     pub warps_per_block: usize,
+    /// Profiling sink. Disabled by default: every recording call then
+    /// costs one relaxed atomic load. Enable via [`GpuContext::with_profiling`]
+    /// to collect per-launch counters/spans and per-block [`SimProfile`]s.
+    pub registry: Arc<simprof::Registry>,
 }
 
 impl Default for GpuContext {
@@ -27,6 +37,7 @@ impl Default for GpuContext {
             device: DeviceProfile::p100(),
             cost: CostModel::default(),
             warps_per_block: 16,
+            registry: Arc::new(simprof::Registry::disabled()),
         }
     }
 }
@@ -38,12 +49,33 @@ impl GpuContext {
             device: DeviceProfile::tiny(),
             cost: CostModel::default(),
             warps_per_block: 4,
+            ..Default::default()
         }
     }
 
-    /// Runs a launch through the simulator.
+    /// Same context with an enabled profiling registry.
+    pub fn with_profiling(mut self) -> GpuContext {
+        self.registry = Arc::new(simprof::Registry::new());
+        self
+    }
+
+    /// Whether launches through this context collect profiles.
+    pub fn profiling(&self) -> bool {
+        self.registry.enabled()
+    }
+
+    /// Runs a launch through the simulator (metrics only).
     pub fn simulate(&self, launch: &KernelLaunch) -> SimResult {
         simulate(&self.device, &self.cost, launch)
+    }
+
+    /// Completes a kernel: simulates `launch`, records into the context's
+    /// registry, and pairs the metrics with the computed output. The
+    /// per-block [`SimProfile`] is kept only when profiling is enabled.
+    pub fn finish(&self, y: Matrix, launch: &KernelLaunch) -> GpuRun {
+        let (sim, profile) = simulate_profiled(&self.device, &self.cost, launch, &self.registry);
+        let profile = self.profiling().then_some(profile);
+        GpuRun { y, sim, profile }
     }
 }
 
@@ -52,6 +84,9 @@ impl GpuContext {
 pub struct GpuRun {
     pub y: Matrix,
     pub sim: SimResult,
+    /// Per-block/per-SM attribution; `Some` only when the context was
+    /// profiling (see [`GpuContext::with_profiling`]).
+    pub profile: Option<SimProfile>,
 }
 
 /// Synthetic device addresses of the factor matrices and the output.
@@ -166,6 +201,31 @@ mod tests {
             Op::AtomicAdd { row, .. } => assert_eq!(row, 2),
             ref other => panic!("expected atomic, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn profiling_context_yields_profiles_and_counters() {
+        use sptensor::synth::uniform_random;
+
+        let t = uniform_random(&[10, 12, 14], 400, 17);
+        let factors = crate::reference::random_factors(&t, 8, 18);
+
+        let plain_ctx = GpuContext::tiny();
+        let plain = crate::gpu::parti_coo::run(&plain_ctx, &t, &factors, 0);
+        assert!(plain.profile.is_none(), "profiling off by default");
+        assert!(plain_ctx.registry.counters().is_empty());
+
+        let ctx = GpuContext::tiny().with_profiling();
+        let run = crate::gpu::parti_coo::run(&ctx, &t, &factors, 0);
+        assert_eq!(plain.sim, run.sim, "profiling must not perturb metrics");
+        let profile = run.profile.expect("profiling context keeps the profile");
+        assert_eq!(profile.blocks.len(), run.sim.num_blocks);
+        assert_eq!(ctx.registry.counter("sim.launches"), 1);
+        assert_eq!(
+            ctx.registry.counter("sim.blocks"),
+            run.sim.num_blocks as u64
+        );
+        assert_eq!(ctx.registry.spans().len(), 1);
     }
 
     #[test]

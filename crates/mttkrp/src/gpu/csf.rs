@@ -17,12 +17,7 @@ pub fn run(ctx: &GpuContext, csf: &Csf, factors: &[Matrix]) -> GpuRun {
 }
 
 /// Builds the mode-`mode` CSF and runs the kernel.
-pub fn build_and_run(
-    ctx: &GpuContext,
-    t: &CooTensor,
-    factors: &[Matrix],
-    mode: usize,
-) -> GpuRun {
+pub fn build_and_run(ctx: &GpuContext, t: &CooTensor, factors: &[Matrix], mode: usize) -> GpuRun {
     let perm = sptensor::mode_orientation(t.order(), mode);
     let csf = Csf::build(t, &perm);
     run(ctx, &csf, factors)

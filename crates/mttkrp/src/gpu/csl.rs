@@ -89,8 +89,7 @@ pub fn run(ctx: &GpuContext, csl: &Csl, factors: &[Matrix]) -> GpuRun {
     let mut y = Matrix::zeros(csl.dims[mode] as usize, r);
     let mut launch = KernelLaunch::new("csl");
     emit(ctx, csl, factors, &fa, &spans, &mut y, &mut launch);
-    let sim = ctx.simulate(&launch);
-    GpuRun { y, sim }
+    ctx.finish(y, &launch)
 }
 
 /// Emits the CSL kernel into `launch`, accumulating the real output.

@@ -79,7 +79,10 @@ pub fn run(ctx: &GpuContext, fcoo: &Fcoo, factors: &[Matrix]) -> GpuRun {
             let mut w = WarpWork::new();
 
             // Flag bits for the span (tiny, coalesced).
-            w.load_span(flag_span.base + warp_base as u64 / 8, ((warp_end - warp_base) as u64).div_ceil(8));
+            w.load_span(
+                flag_span.base + warp_base as u64 / 8,
+                ((warp_end - warp_base) as u64).div_ceil(8),
+            );
 
             // Strided index/value loads: one pass per of the `threadlen`
             // per-thread steps, lanes `threadlen` entries apart.
@@ -156,10 +159,7 @@ pub fn run(ctx: &GpuContext, fcoo: &Fcoo, factors: &[Matrix]) -> GpuRun {
                     if ordinal == first_ordinal || ordinal == last_ordinal {
                         // Boundary partial: spill one R-wide row per end.
                         let slot = 2 * warp_id + usize::from(ordinal == last_ordinal);
-                        w.store_span(
-                            partials_span.base + (slot * r * 4) as u64,
-                            fa.row_bytes,
-                        );
+                        w.store_span(partials_span.base + (slot * r * 4) as u64, fa.row_bytes);
                         boundary_rows.push(i as u32);
                     } else {
                         fa.store_y(&mut w, i);
@@ -187,7 +187,10 @@ pub fn run(ctx: &GpuContext, fcoo: &Fcoo, factors: &[Matrix]) -> GpuRun {
             let end = (idx + 32).min(boundary_rows.len());
             let mut w = WarpWork::new();
             for (off, &row) in boundary_rows[idx..end].iter().enumerate() {
-                w.load_span(partials_span.base + ((idx + off) * r * 4) as u64, fa.row_bytes);
+                w.load_span(
+                    partials_span.base + ((idx + off) * r * 4) as u64,
+                    fa.row_bytes,
+                );
                 fa.atomic_y(&mut w, row as usize);
             }
             block.warps.push(w);
@@ -196,8 +199,7 @@ pub fn run(ctx: &GpuContext, fcoo: &Fcoo, factors: &[Matrix]) -> GpuRun {
         launch.blocks.push(block);
     }
 
-    let sim = ctx.simulate(&launch);
-    GpuRun { y, sim }
+    ctx.finish(y, &launch)
 }
 
 /// Emits the segments touched when 32 lanes read 4-byte entries at

@@ -42,10 +42,18 @@ pub fn run(ctx: &GpuContext, h: &Hbcsf, factors: &[Matrix]) -> GpuRun {
     // which is the standard heavy-first heuristic a real launch order uses.
     super::bcsf::emit(ctx, &h.bcsf, factors, &fa, &bcsf_spans, &mut y, &mut launch);
     super::csl::emit(ctx, &h.csl, factors, &fa, &csl_spans, &mut y, &mut launch);
-    emit_coo_group(ctx, h, factors, &fa, &coo_spans, coo_vals_span, &mut y, &mut launch);
+    emit_coo_group(
+        ctx,
+        h,
+        factors,
+        &fa,
+        &coo_spans,
+        coo_vals_span,
+        &mut y,
+        &mut launch,
+    );
 
-    let sim = ctx.simulate(&launch);
-    GpuRun { y, sim }
+    ctx.finish(y, &launch)
 }
 
 /// COO group: warps of 32 single-nonzero slices, plain stores.

@@ -73,8 +73,7 @@ pub fn run(ctx: &GpuContext, t: &CooTensor, factors: &[Matrix], mode: usize) -> 
         launch.blocks.push(block);
     }
 
-    let sim = ctx.simulate(&launch);
-    GpuRun { y, sim }
+    ctx.finish(y, &launch)
 }
 
 #[cfg(test)]

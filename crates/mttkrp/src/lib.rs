@@ -34,7 +34,10 @@ pub mod preprocess;
 pub mod reference;
 pub mod ttm;
 
-pub use cpd::{cpd_als, cpd_als_nonneg, factor_match_score, CpdOptions, CpdResult};
+pub use cpd::{
+    cpd_als, cpd_als_nonneg, cpd_als_nonneg_profiled, cpd_als_profiled, factor_match_score,
+    CpdOptions, CpdResult,
+};
 pub use reference::mttkrp as mttkrp_reference;
 
 /// Default rank used throughout the paper's evaluation ("R is 32 for all

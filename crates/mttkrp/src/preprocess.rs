@@ -91,7 +91,12 @@ mod tests {
         let st = splatt_allmode_seconds(&t, SplattOptions::tiled());
         let b = bcsf_allmode_seconds(&t, BcsfOptions::default());
         let h = hbcsf_allmode_seconds(&t, BcsfOptions::default());
-        for (name, v) in [("splatt", s), ("splatt-tiled", st), ("bcsf", b), ("hbcsf", h)] {
+        for (name, v) in [
+            ("splatt", s),
+            ("splatt-tiled", st),
+            ("bcsf", b),
+            ("hbcsf", h),
+        ] {
             assert!(v > 0.0, "{name} reported zero time");
             assert!(v < 60.0, "{name} took implausibly long: {v}");
         }

@@ -1,0 +1,215 @@
+//! Chrome trace-event ("Trace Event Format") JSON export.
+//!
+//! Emits the JSON object form `{"traceEvents": [...]}` that both
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) open
+//! directly. Two event kinds are used: metadata events (`ph: "M"`) to
+//! name process/thread tracks, and complete events (`ph: "X"`) for
+//! slices. The simulator maps SMs to threads (`tid`) and kernels to
+//! processes (`pid`), giving one horizontal track per SM with one slice
+//! per scheduled block.
+
+use serde_json::{json, Value};
+
+/// One trace event. `ts`/`dur` are microseconds, per the format spec;
+/// the simulator feeds cycles through a cycles→µs scale so the Perfetto
+/// timeline reads in simulated time.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct TraceEvent {
+    pub name: String,
+    pub cat: String,
+    /// Phase: `"X"` = complete slice, `"M"` = metadata.
+    pub ph: String,
+    pub ts: f64,
+    pub dur: f64,
+    pub pid: u64,
+    pub tid: u64,
+    pub args: Value,
+}
+
+/// An append-only trace document.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTrace {
+    pub events: Vec<TraceEvent>,
+}
+
+impl ChromeTrace {
+    pub fn new() -> Self {
+        ChromeTrace::default()
+    }
+
+    /// Names the process track `pid` (shows as a group header in the UI).
+    pub fn name_process(&mut self, pid: u64, name: &str) {
+        self.events.push(TraceEvent {
+            name: "process_name".into(),
+            cat: "__metadata".into(),
+            ph: "M".into(),
+            ts: 0.0,
+            dur: 0.0,
+            pid,
+            tid: 0,
+            args: json!({ "name": name }),
+        });
+    }
+
+    /// Names the thread track `(pid, tid)` — e.g. `"SM 3"`.
+    pub fn name_track(&mut self, pid: u64, tid: u64, name: &str) {
+        self.events.push(TraceEvent {
+            name: "thread_name".into(),
+            cat: "__metadata".into(),
+            ph: "M".into(),
+            ts: 0.0,
+            dur: 0.0,
+            pid,
+            tid,
+            args: json!({ "name": name }),
+        });
+    }
+
+    /// Adds a complete slice (`ph: "X"`) on track `(pid, tid)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn slice(
+        &mut self,
+        name: &str,
+        cat: &str,
+        pid: u64,
+        tid: u64,
+        ts_us: f64,
+        dur_us: f64,
+        args: Value,
+    ) {
+        self.events.push(TraceEvent {
+            name: name.into(),
+            cat: cat.into(),
+            ph: "X".into(),
+            ts: ts_us,
+            dur: dur_us,
+            pid,
+            tid,
+            args,
+        });
+    }
+
+    /// The slice events only (excludes metadata), e.g. for assertions.
+    pub fn slices(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(|e| e.ph == "X")
+    }
+
+    /// A trace of host wall-clock spans (e.g. a
+    /// [`Registry`](crate::Registry) snapshot): one process named
+    /// `process`, one `host` track, one slice per span record.
+    pub fn from_spans(process: &str, spans: &[crate::SpanRecord]) -> ChromeTrace {
+        let mut t = ChromeTrace::new();
+        t.name_process(0, process);
+        t.name_track(0, 0, "host");
+        for s in spans {
+            t.slice(&s.name, &s.cat, 0, 0, s.start_us, s.dur_us, Value::Null);
+        }
+        t
+    }
+
+    /// The document as a JSON tree: `{"traceEvents": [...]}`.
+    pub fn to_json(&self) -> Value {
+        json!({ "traceEvents": self.events })
+    }
+
+    /// Pretty-printed JSON text of [`ChromeTrace::to_json`].
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(&self.to_json()).expect("trace serialization cannot fail")
+    }
+
+    /// Writes the trace to `path`, creating parent directories as needed.
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ChromeTrace {
+        let mut t = ChromeTrace::new();
+        t.name_process(0, "kernel: hbcsf");
+        t.name_track(0, 0, "SM 0");
+        t.name_track(0, 1, "SM 1");
+        t.slice(
+            "block 0",
+            "compute-bound",
+            0,
+            0,
+            0.0,
+            10.0,
+            json!({ "cycles": 100u64 }),
+        );
+        t.slice(
+            "block 1",
+            "memory-bound",
+            0,
+            1,
+            0.0,
+            4.0,
+            json!({ "cycles": 40u64 }),
+        );
+        t.slice(
+            "block 2",
+            "compute-bound",
+            0,
+            0,
+            10.0,
+            2.5,
+            json!({ "cycles": 25u64 }),
+        );
+        t
+    }
+
+    #[test]
+    fn document_round_trips_through_parser() {
+        let t = sample();
+        let text = t.to_json_string();
+        let back = serde_json::from_str(&text).expect("trace must be valid JSON");
+        let events = back["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), t.events.len());
+        // Slices carry their timing and args through the round trip.
+        let slices: Vec<_> = events.iter().filter(|e| e["ph"] == "X").collect();
+        assert_eq!(slices.len(), 3);
+        assert_eq!(slices[0]["name"], "block 0");
+        assert_eq!(slices[0]["dur"].as_f64(), Some(10.0));
+        assert_eq!(slices[0]["args"]["cycles"].as_u64(), Some(100));
+    }
+
+    #[test]
+    fn metadata_names_tracks() {
+        let t = sample();
+        let v = t.to_json();
+        let events = v["traceEvents"].as_array().unwrap();
+        let meta: Vec<_> = events.iter().filter(|e| e["ph"] == "M").collect();
+        assert_eq!(meta.len(), 3);
+        assert_eq!(meta[0]["name"], "process_name");
+        assert_eq!(meta[0]["args"]["name"], "kernel: hbcsf");
+        assert_eq!(meta[1]["name"], "thread_name");
+        assert_eq!(meta[1]["args"]["name"], "SM 0");
+    }
+
+    #[test]
+    fn slices_iterator_excludes_metadata() {
+        let t = sample();
+        assert_eq!(t.slices().count(), 3);
+        assert!(t.slices().all(|e| e.ph == "X"));
+    }
+
+    #[test]
+    fn write_to_creates_parents() {
+        let dir = std::env::temp_dir().join("simprof_chrome_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("trace.json");
+        sample().write_to(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(serde_json::from_str(&text).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,35 @@
+//! # simprof — observability for the MTTKRP reproduction
+//!
+//! The paper's whole argument rests on profiler evidence: Table II is
+//! nvprof counters (`sm_efficiency`, `achieved_occupancy`, L2 hit rate)
+//! explaining *why* B-CSF/HB-CSF win. This crate is the reproduction's
+//! profiler: a lightweight event/counter layer the simulator and kernels
+//! record into, plus exporters that turn those records into artifacts a
+//! human (or CI) can read:
+//!
+//! - [`Registry`] — thread-safe monotonic counters and scoped wall-clock
+//!   spans. Every recording call is behind a relaxed atomic `enabled`
+//!   check, so a disabled registry costs one load per call site and
+//!   touches no lock.
+//! - [`ChromeTrace`] — the Chrome trace-event JSON format
+//!   (`chrome://tracing`, [Perfetto](https://ui.perfetto.dev)): per-SM
+//!   tracks, one complete slice per scheduled block, slice args carrying
+//!   the roofline cost legs.
+//! - [`MetricRow`] / [`nvprof_table`] — an nvprof-style text table in the
+//!   paper's Table II column layout for any set of kernels.
+//! - [`RunManifest`] — machine-readable CPD-ALS telemetry: per-mode
+//!   MTTKRP time per iteration, format-construction time, and the fit
+//!   trajectory.
+//!
+//! `simprof` deliberately knows nothing about `gpu-sim` or `mttkrp`; those
+//! crates depend on it and feed it data, never the reverse.
+
+pub mod chrome;
+pub mod manifest;
+pub mod registry;
+pub mod table;
+
+pub use chrome::{ChromeTrace, TraceEvent};
+pub use manifest::{IterationRecord, ModeTiming, PhaseTiming, RunManifest};
+pub use registry::{Registry, ScopedSpan, SpanRecord};
+pub use table::{nvprof_table, MetricRow};

@@ -1,0 +1,188 @@
+//! CPD-ALS run manifests: machine-readable telemetry for a whole
+//! decomposition run.
+//!
+//! A [`RunManifest`] records what the paper's end-to-end evaluation
+//! needs per run: how long each format construction took, how long each
+//! per-mode MTTKRP took inside every ALS iteration, and the fit
+//! trajectory. Emitted as pretty-printed JSON next to the trace so a run
+//! is fully reconstructible from its output directory.
+
+use std::path::Path;
+
+/// A named one-off phase, e.g. building the mode-2 HB-CSF.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct PhaseTiming {
+    pub label: String,
+    pub seconds: f64,
+}
+
+/// Timing of one MTTKRP inside one ALS iteration.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct ModeTiming {
+    pub mode: usize,
+    pub mttkrp_seconds: f64,
+}
+
+/// One ALS iteration: per-mode MTTKRP times, the fit after the iteration,
+/// and the iteration's total wall time.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct IterationRecord {
+    /// 1-based iteration number.
+    pub iteration: usize,
+    pub fit: f64,
+    pub modes: Vec<ModeTiming>,
+    pub seconds: f64,
+}
+
+/// Telemetry of a full CPD-ALS run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct RunManifest {
+    /// MTTKRP backend used, e.g. `"hbcsf"`.
+    pub kernel: String,
+    /// Dataset name or file path.
+    pub dataset: String,
+    pub rank: usize,
+    pub max_iters: usize,
+    pub tol: f64,
+    pub seed: u64,
+    /// Format-construction phases, in execution order.
+    pub format_construction: Vec<PhaseTiming>,
+    pub iterations: Vec<IterationRecord>,
+    pub total_seconds: f64,
+    pub final_fit: f64,
+    pub iterations_run: usize,
+}
+
+impl RunManifest {
+    /// An empty manifest for a run about to start; phases and iterations
+    /// are pushed as they complete.
+    pub fn new(
+        kernel: &str,
+        dataset: &str,
+        rank: usize,
+        max_iters: usize,
+        tol: f64,
+        seed: u64,
+    ) -> Self {
+        RunManifest {
+            kernel: kernel.to_string(),
+            dataset: dataset.to_string(),
+            rank,
+            max_iters,
+            tol,
+            seed,
+            format_construction: Vec::new(),
+            iterations: Vec::new(),
+            total_seconds: 0.0,
+            final_fit: 0.0,
+            iterations_run: 0,
+        }
+    }
+
+    pub fn push_phase(&mut self, label: &str, seconds: f64) {
+        self.format_construction.push(PhaseTiming {
+            label: label.to_string(),
+            seconds,
+        });
+    }
+
+    /// Records a finished iteration and updates the trailing summary
+    /// fields (`final_fit`, `iterations_run`).
+    pub fn push_iteration(&mut self, fit: f64, modes: Vec<ModeTiming>, seconds: f64) {
+        let iteration = self.iterations.len() + 1;
+        self.iterations.push(IterationRecord {
+            iteration,
+            fit,
+            modes,
+            seconds,
+        });
+        self.final_fit = fit;
+        self.iterations_run = iteration;
+    }
+
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(self).expect("manifest serialization cannot fail")
+    }
+
+    /// Writes the manifest to `path`, creating parent directories.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunManifest {
+        let mut m = RunManifest::new("hbcsf", "synthetic-nell2", 16, 50, 1e-4, 42);
+        m.push_phase("build hbcsf mode 0", 0.011);
+        m.push_phase("build hbcsf mode 1", 0.012);
+        m.push_phase("build hbcsf mode 2", 0.013);
+        for it in 0..3 {
+            m.push_iteration(
+                0.5 + 0.1 * it as f64,
+                (0..3)
+                    .map(|mode| ModeTiming {
+                        mode,
+                        mttkrp_seconds: 0.002 * (mode + 1) as f64,
+                    })
+                    .collect(),
+                0.02,
+            );
+        }
+        m.total_seconds = 0.1;
+        m
+    }
+
+    #[test]
+    fn summary_fields_track_iterations() {
+        let m = sample();
+        assert_eq!(m.iterations_run, 3);
+        assert!((m.final_fit - 0.7).abs() < 1e-12);
+        assert_eq!(m.iterations[0].iteration, 1);
+        assert_eq!(m.iterations[2].iteration, 3);
+    }
+
+    #[test]
+    fn manifest_round_trips_as_json() {
+        let m = sample();
+        let text = m.to_json_string();
+        let v = serde_json::from_str(&text).expect("manifest must be valid JSON");
+        assert_eq!(v["kernel"], "hbcsf");
+        assert_eq!(v["rank"].as_u64(), Some(16));
+        assert_eq!(v["seed"].as_u64(), Some(42));
+        let iters = v["iterations"].as_array().unwrap();
+        assert_eq!(iters.len(), 3);
+        // Per-iteration, per-mode timings and fit values are all present.
+        for (i, it) in iters.iter().enumerate() {
+            assert_eq!(it["iteration"].as_u64(), Some(i as u64 + 1));
+            assert!(it["fit"].as_f64().is_some());
+            let modes = it["modes"].as_array().unwrap();
+            assert_eq!(modes.len(), 3);
+            for (mi, mt) in modes.iter().enumerate() {
+                assert_eq!(mt["mode"].as_u64(), Some(mi as u64));
+                assert!(mt["mttkrp_seconds"].as_f64().unwrap() > 0.0);
+            }
+        }
+        let phases = v["format_construction"].as_array().unwrap();
+        assert_eq!(phases.len(), 3);
+        assert_eq!(phases[0]["label"], "build hbcsf mode 0");
+    }
+
+    #[test]
+    fn write_to_emits_file() {
+        let dir = std::env::temp_dir().join("simprof_manifest_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("manifest.json");
+        sample().write_to(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(serde_json::from_str(&text).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,179 @@
+//! nvprof-style metric tables.
+//!
+//! Reproduces the column layout of the paper's Table II — GFLOPs,
+//! achieved occupancy, SM efficiency, L2 hit rate — as fixed-width text
+//! for any set of kernels, with the simulator's scheduling counters
+//! appended. This is the human-readable counterpart of the Chrome trace:
+//! the trace answers "where did the time go", the table answers "what did
+//! the counters say".
+
+/// One table row: the nvprof-visible metrics of a single kernel run.
+/// Field values are taken verbatim from the simulator's result so the
+/// table always matches the machine-readable output numerically.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct MetricRow {
+    pub kernel: String,
+    pub gflops: f64,
+    /// Percent, 0–100 (`achieved_occupancy` in nvprof).
+    pub achieved_occupancy: f64,
+    /// Percent, 0–100 (`sm_efficiency` in nvprof).
+    pub sm_efficiency: f64,
+    /// Percent, 0–100 (`l2_tex_read_hit_rate` in nvprof).
+    pub l2_hit_rate: f64,
+    pub makespan_cycles: f64,
+    pub time_ms: f64,
+    pub num_blocks: usize,
+    pub num_warps: usize,
+    pub atomic_ops: u64,
+    pub mem_segments: u64,
+}
+
+const HEADERS: [&str; 11] = [
+    "kernel",
+    "GFLOPs",
+    "achieved_occupancy(%)",
+    "sm_efficiency(%)",
+    "l2_hit_rate(%)",
+    "makespan(cyc)",
+    "time(ms)",
+    "blocks",
+    "warps",
+    "atomics",
+    "mem_segs",
+];
+
+impl MetricRow {
+    fn cells(&self) -> [String; 11] {
+        [
+            self.kernel.clone(),
+            format!("{:.2}", self.gflops),
+            format!("{:.2}", self.achieved_occupancy),
+            format!("{:.2}", self.sm_efficiency),
+            format!("{:.2}", self.l2_hit_rate),
+            format!("{:.0}", self.makespan_cycles),
+            format!("{:.4}", self.time_ms),
+            self.num_blocks.to_string(),
+            self.num_warps.to_string(),
+            self.atomic_ops.to_string(),
+            self.mem_segments.to_string(),
+        ]
+    }
+}
+
+/// Renders rows as an aligned text table under `title`, nvprof/Table II
+/// style: one line per kernel, metrics as columns.
+pub fn nvprof_table(title: &str, rows: &[MetricRow]) -> String {
+    let cells: Vec<[String; 11]> = rows.iter().map(MetricRow::cells).collect();
+    let mut widths: Vec<usize> = HEADERS.iter().map(|h| h.len()).collect();
+    for row in &cells {
+        for (w, c) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(c.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (HEADERS.len() - 1);
+    out.push_str(&"=".repeat(total));
+    out.push('\n');
+    for (i, (h, w)) in HEADERS.iter().zip(&widths).enumerate() {
+        if i > 0 {
+            out.push_str("  ");
+        }
+        // Left-align the kernel name, right-align numeric columns.
+        if i == 0 {
+            out.push_str(&format!("{h:<w$}"));
+        } else {
+            out.push_str(&format!("{h:>w$}"));
+        }
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in &cells {
+        for (i, (c, w)) in row.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            if i == 0 {
+                out.push_str(&format!("{c:<w$}"));
+            } else {
+                out.push_str(&format!("{c:>w$}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str) -> MetricRow {
+        MetricRow {
+            kernel: name.into(),
+            gflops: 12.345,
+            achieved_occupancy: 61.7,
+            sm_efficiency: 88.25,
+            l2_hit_rate: 74.0,
+            makespan_cycles: 123456.0,
+            time_ms: 0.0875,
+            num_blocks: 420,
+            num_warps: 6720,
+            atomic_ops: 9000,
+            mem_segments: 31337,
+        }
+    }
+
+    #[test]
+    fn table_contains_all_metrics_verbatim() {
+        let text = nvprof_table("Table II (reproduction)", &[row("csf"), row("hbcsf")]);
+        assert!(text.starts_with("Table II (reproduction)\n"));
+        for needle in [
+            "kernel",
+            "GFLOPs",
+            "achieved_occupancy(%)",
+            "sm_efficiency(%)",
+            "l2_hit_rate(%)",
+            "csf",
+            "hbcsf",
+            "12.35",
+            "61.70",
+            "88.25",
+            "74.00",
+            "123456",
+            "0.0875",
+            "420",
+            "6720",
+            "9000",
+            "31337",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn columns_stay_aligned() {
+        let text = nvprof_table("t", &[row("a-very-long-kernel-name"), row("x")]);
+        let lines: Vec<&str> = text.lines().collect();
+        // Header + separator + 2 rows + title + rule.
+        assert_eq!(lines.len(), 6);
+        let header = lines[2];
+        let row_a = lines[4];
+        let row_b = lines[5];
+        assert_eq!(header.len(), row_a.len());
+        assert_eq!(row_a.len(), row_b.len());
+        // The GFLOPs column ends at the same offset in every line.
+        let pos = header.find("GFLOPs").unwrap() + "GFLOPs".len();
+        assert_eq!(&row_a[pos - 5..pos], "12.35");
+        assert_eq!(&row_b[pos - 5..pos], "12.35");
+    }
+
+    #[test]
+    fn empty_table_still_renders_headers() {
+        let text = nvprof_table("empty", &[]);
+        assert!(text.contains("kernel"));
+        assert_eq!(text.lines().count(), 4);
+    }
+}

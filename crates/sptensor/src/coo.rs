@@ -168,7 +168,10 @@ impl CooTensor {
     /// # Panics
     /// If `perm` is not a permutation of the modes.
     pub fn sort_by_perm(&mut self, perm: &ModePerm) {
-        assert!(is_valid_perm(perm, self.order()), "invalid mode permutation");
+        assert!(
+            is_valid_perm(perm, self.order()),
+            "invalid mode permutation"
+        );
         let n = self.nnz();
         let mut order: Vec<u32> = (0..n as u32).collect();
         {
@@ -244,7 +247,10 @@ impl CooTensor {
     /// `out.dims()[l] == self.dims()[perm[l]]` and each nonzero's coordinate
     /// tuple reordered to match. Useful for testing mode-generic code.
     pub fn permute_modes(&self, perm: &ModePerm) -> CooTensor {
-        assert!(is_valid_perm(perm, self.order()), "invalid mode permutation");
+        assert!(
+            is_valid_perm(perm, self.order()),
+            "invalid mode permutation"
+        );
         let dims = perm.iter().map(|&m| self.dims[m]).collect();
         let inds = perm.iter().map(|&m| self.inds[m].clone()).collect();
         CooTensor {

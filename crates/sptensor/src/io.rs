@@ -41,9 +41,7 @@ pub fn read_tns<R: BufRead>(reader: R) -> io::Result<CooTensor> {
             _ => {}
         }
         for (m, tok) in toks[..n].iter().enumerate() {
-            let idx: u64 = tok
-                .parse()
-                .map_err(|_| bad_line(lineno, "invalid index"))?;
+            let idx: u64 = tok.parse().map_err(|_| bad_line(lineno, "invalid index"))?;
             if idx == 0 {
                 return Err(bad_line(lineno, "indices are 1-based; got 0"));
             }
@@ -58,9 +56,8 @@ pub fn read_tns<R: BufRead>(reader: R) -> io::Result<CooTensor> {
         vals.push(v);
     }
 
-    let order = order.ok_or_else(|| {
-        io::Error::new(io::ErrorKind::InvalidData, "no data lines in .tns input")
-    })?;
+    let order = order
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no data lines in .tns input"))?;
     let dims: Vec<Index> = (0..order)
         .map(|m| inds[m].iter().copied().max().unwrap_or(0) + 1)
         .collect();

@@ -187,7 +187,7 @@ mod tests {
         }
         let (r, map) = relabel_mode_heavy_first(&t, 0);
         assert_eq!(map, vec![2, 0, 3, 1]); // new labels per old index
-        // New volumes must be non-increasing.
+                                           // New volumes must be non-increasing.
         let mut vol = vec![0u32; 4];
         for &i in r.mode_indices(0) {
             vol[i as usize] += 1;

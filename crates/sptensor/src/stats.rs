@@ -90,9 +90,7 @@ impl TensorStats {
     /// Computes stats for all `N` orientations (sorts a working copy per
     /// orientation).
     pub fn compute(t: &CooTensor) -> TensorStats {
-        let per_mode = (0..t.order())
-            .map(|m| ModeStats::compute(t, m))
-            .collect();
+        let per_mode = (0..t.order()).map(|m| ModeStats::compute(t, m)).collect();
         TensorStats { per_mode }
     }
 }
@@ -146,7 +144,10 @@ fn frac(num: usize, den: usize) -> f64 {
 /// `depth = 1` gives slice volumes; `depth = order - 1` gives fiber lengths.
 /// Requires the tensor sorted under `perm`.
 pub fn group_sizes(t: &CooTensor, perm: &ModePerm, depth: usize) -> Vec<usize> {
-    assert!(depth >= 1 && depth < perm.len().max(2), "depth out of range");
+    assert!(
+        depth >= 1 && depth < perm.len().max(2),
+        "depth out of range"
+    );
     let n = t.nnz();
     if n == 0 {
         return Vec::new();

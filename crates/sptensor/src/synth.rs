@@ -592,7 +592,9 @@ impl Zipf {
     pub fn sample(&self, rng: &mut ChaCha8Rng) -> usize {
         let u: f64 = rng.gen();
         // partition_point: first index with cdf > u.
-        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
     }
 }
 
@@ -618,7 +620,10 @@ impl PowerLawLen {
 
     pub fn sample(&self, rng: &mut ChaCha8Rng) -> usize {
         let u: f64 = rng.gen();
-        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1) + 1
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
+            + 1
     }
 }
 
@@ -752,12 +757,14 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let flat = Zipf::new(1000, 0.1);
         let steep = Zipf::new(1000, 2.0);
-        let count_low = |z: &Zipf, rng: &mut ChaCha8Rng| {
-            (0..5000).filter(|_| z.sample(rng) < 10).count()
-        };
+        let count_low =
+            |z: &Zipf, rng: &mut ChaCha8Rng| (0..5000).filter(|_| z.sample(rng) < 10).count();
         let f = count_low(&flat, &mut rng);
         let s = count_low(&steep, &mut rng);
-        assert!(s > 4 * f, "steep zipf should concentrate: flat={f}, steep={s}");
+        assert!(
+            s > 4 * f,
+            "steep zipf should concentrate: flat={f}, steep={s}"
+        );
     }
 
     #[test]

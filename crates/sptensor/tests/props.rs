@@ -10,15 +10,10 @@ fn arb_tensor() -> impl Strategy<Value = CooTensor> {
         .prop_flat_map(|order| {
             let dims = proptest::collection::vec(1u32..12, order);
             dims.prop_flat_map(move |dims| {
-                let entry = dims
-                    .iter()
-                    .map(|&d| (0..d).boxed())
-                    .collect::<Vec<_>>();
+                let entry = dims.iter().map(|&d| (0..d).boxed()).collect::<Vec<_>>();
                 let coords = entry;
                 let one = (
-                    coords
-                        .into_iter()
-                        .collect::<Vec<BoxedStrategy<u32>>>(),
+                    coords.into_iter().collect::<Vec<BoxedStrategy<u32>>>(),
                     -10.0f32..10.0,
                 )
                     .prop_map(|(c, v)| Entry { coords: c, val: v });

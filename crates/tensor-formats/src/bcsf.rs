@@ -164,7 +164,10 @@ impl Bcsf {
         let mut next = 0u32;
         for (i, b) in self.blocks.iter().enumerate() {
             if b.fiber_begin != next {
-                return Err(format!("block {i} starts at {} expected {next}", b.fiber_begin));
+                return Err(format!(
+                    "block {i} starts at {} expected {next}",
+                    b.fiber_begin
+                ));
             }
             if b.fiber_end <= b.fiber_begin {
                 return Err(format!("block {i} empty"));
@@ -338,12 +341,7 @@ mod tests {
         b.validate().unwrap();
         assert!(b.csf.fiber_lengths().iter().all(|&l| l <= 128));
         // 500-nnz fiber -> 4 segments (128*3 + 116).
-        let seg0: Vec<_> = b
-            .csf
-            .level_idx[1]
-            .iter()
-            .filter(|&&j| j == 0)
-            .collect();
+        let seg0: Vec<_> = b.csf.level_idx[1].iter().filter(|&&j| j == 0).collect();
         assert_eq!(seg0.len(), 4);
     }
 
@@ -375,7 +373,11 @@ mod tests {
         let b = Bcsf::build(&t, &identity_perm(3), BcsfOptions::default());
         // Slice 0 has 540 nnz > 512 -> at least 2 blocks, all atomic.
         let s0: Vec<_> = b.blocks.iter().filter(|blk| blk.slice == 0).collect();
-        assert!(s0.len() >= 2, "expected slice 0 split, got {} blocks", s0.len());
+        assert!(
+            s0.len() >= 2,
+            "expected slice 0 split, got {} blocks",
+            s0.len()
+        );
         assert!(s0.iter().all(|blk| blk.needs_atomic));
         // Light slices get exactly one non-atomic block.
         let s1: Vec<_> = b.blocks.iter().filter(|blk| blk.slice == 1).collect();

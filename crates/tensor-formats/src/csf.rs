@@ -98,7 +98,11 @@ impl Csf {
             vals.push(t.values()[z]);
         }
         for l in 0..nlev {
-            let end = if l + 1 < nlev { level_idx[l + 1].len() } else { m };
+            let end = if l + 1 < nlev {
+                level_idx[l + 1].len()
+            } else {
+                m
+            };
             level_ptr[l].push(end as u32);
         }
 

@@ -285,7 +285,8 @@ mod tests {
         orig.sort_by_perm(&perm);
         for e in back.iter_entries() {
             assert!(
-                orig.iter_entries().any(|o| o.coords == e.coords && o.val == e.val),
+                orig.iter_entries()
+                    .any(|o| o.coords == e.coords && o.val == e.val),
                 "entry {:?} missing from original",
                 e
             );

@@ -167,7 +167,10 @@ pub fn matricize(t: &CooTensor, mode: usize) -> Csr {
     assert!(mode < order, "mode out of range");
     let others: Vec<usize> = (0..order).filter(|&m| m != mode).collect();
     let flat_cols: u64 = others.iter().map(|&m| t.dims()[m] as u64).product();
-    assert!(flat_cols <= u32::MAX as u64, "matricization too wide for u32");
+    assert!(
+        flat_cols <= u32::MAX as u64,
+        "matricization too wide for u32"
+    );
     let triplets = (0..t.nnz()).map(|z| {
         let mut col: u64 = 0;
         for &m in &others {
@@ -229,11 +232,7 @@ mod tests {
     #[test]
     fn dcsr_matches_csr_and_compresses_empty_rows() {
         // Hyper-sparse: 100 rows, 3 non-empty.
-        let csr = Csr::from_triplets(
-            100,
-            10,
-            vec![(5, 1, 1.0), (50, 2, 2.0), (99, 3, 3.0)],
-        );
+        let csr = Csr::from_triplets(100, 10, vec![(5, 1, 1.0), (50, 2, 2.0), (99, 3, 3.0)]);
         let dcsr = Dcsr::from_csr(&csr);
         assert_eq!(dcsr.row_idx, vec![5, 50, 99]);
         let x = vec![1.0f32; 10];

@@ -30,8 +30,8 @@
 pub mod bcsf;
 pub mod bitvec;
 pub mod csf;
-pub mod csr;
 pub mod csl;
+pub mod csr;
 pub mod fcoo;
 pub mod hbcsf;
 pub mod hicoo;
@@ -41,8 +41,8 @@ pub mod storage;
 pub use bcsf::{Bcsf, BcsfOptions, BlockAssignment};
 pub use bitvec::BitVec;
 pub use csf::Csf;
-pub use csr::{matricize, Csr, Dcsr};
 pub use csl::Csl;
+pub use csr::{matricize, Csr, Dcsr};
 pub use fcoo::Fcoo;
 pub use hbcsf::{Hbcsf, SliceClass};
 pub use hicoo::Hicoo;

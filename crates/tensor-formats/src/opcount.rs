@@ -31,10 +31,7 @@ pub fn coo_ops(t: &CooTensor, r: usize) -> u64 {
 /// every internal non-root group costs `2R` (multiply by its factor row +
 /// accumulate into its parent). The root level only writes.
 pub fn csf_ops(csf: &Csf, r: usize) -> u64 {
-    let internal_groups: u64 = csf.level_idx[1..]
-        .iter()
-        .map(|l| l.len() as u64)
-        .sum();
+    let internal_groups: u64 = csf.level_idx[1..].iter().map(|l| l.len() as u64).sum();
     2 * r as u64 * (csf.nnz() as u64 + internal_groups)
 }
 

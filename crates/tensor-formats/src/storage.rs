@@ -32,11 +32,7 @@ impl IndexBytes for Csf {
     /// Paper (order 3): `4 × (2S + 2F + M)` — one pointer and one index per
     /// group at every internal level, plus the leaf coordinates.
     fn index_bytes(&self) -> u64 {
-        let internal: u64 = self
-            .level_idx
-            .iter()
-            .map(|idx| 2 * idx.len() as u64)
-            .sum();
+        let internal: u64 = self.level_idx.iter().map(|idx| 2 * idx.len() as u64).sum();
         WORD * (internal + self.nnz() as u64)
     }
 }

@@ -65,10 +65,14 @@ fn csl_detects_damage() {
 #[test]
 fn bcsf_detects_oversized_fiber_segment() {
     let t = tensor();
-    let mut b = Bcsf::build(&t, &identity_perm(3), BcsfOptions {
-        fiber_split_threshold: 4,
-        ..Default::default()
-    });
+    let mut b = Bcsf::build(
+        &t,
+        &identity_perm(3),
+        BcsfOptions {
+            fiber_split_threshold: 4,
+            ..Default::default()
+        },
+    );
     assert!(b.validate().is_ok());
     // Merge two segments by deleting a fiber boundary: lengths can exceed
     // the threshold.

@@ -8,10 +8,13 @@
 //! ```
 //! Each row is one SM; time runs left to right up to the kernel's
 //! makespan; darkness tracks the SM's busy fraction in that time window.
+//! The same two schedules are also written to `balance_trace.json` in
+//! Chrome-trace format (one process per variant) for Perfetto.
 
-use mttkrp_repro::gpu_sim::{simulate_with_timeline, Timeline};
+use mttkrp_repro::gpu_sim::{append_chrome_trace, simulate_profiled, Timeline};
 use mttkrp_repro::mttkrp::gpu::{bcsf::emit_launch, GpuContext};
 use mttkrp_repro::mttkrp::reference::random_factors;
+use mttkrp_repro::simprof::{ChromeTrace, Registry};
 use mttkrp_repro::sptensor::{mode_orientation, synth};
 use mttkrp_repro::tensor_formats::{Bcsf, BcsfOptions};
 
@@ -41,28 +44,39 @@ fn main() {
         t.nnz()
     );
 
+    let registry = Registry::disabled();
+    let mut trace = ChromeTrace::new();
     let mut makespans = Vec::new();
-    for (label, opts) in [
+    for (pid, (label, opts)) in [
         ("GPU-CSF (no splitting)", BcsfOptions::unsplit()),
         ("B-CSF (fbr-split + slc-split)", BcsfOptions::default()),
-    ] {
+    ]
+    .into_iter()
+    .enumerate()
+    {
         let bcsf = Bcsf::build(&t, &perm, opts);
         let launch = emit_launch(&ctx, &bcsf, &factors);
-        let (sim, timeline) = simulate_with_timeline(&ctx.device, &ctx.cost, &launch);
+        let (sim, profile) = simulate_profiled(&ctx.device, &ctx.cost, &launch, &registry);
         println!(
             "— {label}: makespan {:.0}k cycles, sm_efficiency {:.0}%, {} blocks",
             sim.makespan_cycles / 1e3,
             sim.sm_efficiency,
             sim.num_blocks
         );
-        render(&timeline, sim.makespan_cycles);
+        render(&profile.timeline, sim.makespan_cycles);
         println!();
         makespans.push(sim.makespan_cycles);
+        append_chrome_trace(&mut trace, pid as u64, &sim, &profile);
+        trace.name_process(pid as u64, label); // variant label over the kernel name
     }
     println!(
         "splitting shortened the makespan {:.1}x",
         makespans[0] / makespans[1].max(1.0)
     );
+
+    let out = std::path::Path::new("balance_trace.json");
+    trace.write_to(out).expect("cannot write trace");
+    println!("wrote {} (open in https://ui.perfetto.dev)", out.display());
 }
 
 /// Renders the [`SHOW_SMS`] busiest SMs as time rows (the busiest first,

@@ -59,12 +59,7 @@ fn main() {
     );
 
     // The component weights rank the discovered conversation clusters.
-    let mut weights: Vec<(usize, f32)> = result
-        .lambda
-        .iter()
-        .copied()
-        .enumerate()
-        .collect();
+    let mut weights: Vec<(usize, f32)> = result.lambda.iter().copied().enumerate().collect();
     weights.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     println!("\ntop components by weight:");
     for (r, w) in weights.iter().take(4) {

@@ -12,9 +12,7 @@
 
 use mttkrp_repro::sptensor::stats::ModeStats;
 use mttkrp_repro::sptensor::{mode_orientation, synth};
-use mttkrp_repro::tensor_formats::{
-    BcsfOptions, Csf, Csl, Fcoo, Hbcsf, Hicoo, IndexBytes,
-};
+use mttkrp_repro::tensor_formats::{BcsfOptions, Csf, Csl, Fcoo, Hbcsf, Hicoo, IndexBytes};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -62,8 +60,7 @@ fn main() {
         let perm = mode_orientation(t.order(), 0);
         let mut sorted = t.clone();
         sorted.sort_by_perm(&perm);
-        let volumes =
-            mttkrp_repro::sptensor::stats::group_sizes(&sorted, &perm, 1);
+        let volumes = mttkrp_repro::sptensor::stats::group_sizes(&sorted, &perm, 1);
         println!("\nmode-1 slice-volume histogram (log2 buckets):");
         let hist = mttkrp_repro::sptensor::stats::Log2Histogram::of(&volumes);
         print!("{}", hist.render(50));
@@ -73,9 +70,21 @@ fn main() {
     let hb = Hbcsf::build(&t, &perm, BcsfOptions::default());
     let (coo, csl, bcsf) = hb.group_nnz();
     println!("\nHB-CSF classification (mode 1, Algorithm 5):");
-    println!("  COO group   : {:>9} nonzeros ({:.1}%)", coo, pct(coo, t.nnz()));
-    println!("  CSL group   : {:>9} nonzeros ({:.1}%)", csl, pct(csl, t.nnz()));
-    println!("  B-CSF group : {:>9} nonzeros ({:.1}%)", bcsf, pct(bcsf, t.nnz()));
+    println!(
+        "  COO group   : {:>9} nonzeros ({:.1}%)",
+        coo,
+        pct(coo, t.nnz())
+    );
+    println!(
+        "  CSL group   : {:>9} nonzeros ({:.1}%)",
+        csl,
+        pct(csl, t.nnz())
+    );
+    println!(
+        "  B-CSF group : {:>9} nonzeros ({:.1}%)",
+        bcsf,
+        pct(bcsf, t.nnz())
+    );
     println!("  thread blocks for B-CSF group: {}", hb.bcsf.num_blocks());
 
     println!("\nindex storage, mode-1 representation (Fig. 16's quantities):");
@@ -85,7 +94,10 @@ fn main() {
         ("CSF", csf.index_bytes()),
         ("CSL", Csl::build(&t, &perm).index_bytes()),
         ("F-COO", Fcoo::build(&t, &perm, 8).index_bytes()),
-        ("HiCOO", Hicoo::build(&t, Hicoo::DEFAULT_BLOCK_BITS).index_bytes()),
+        (
+            "HiCOO",
+            Hicoo::build(&t, Hicoo::DEFAULT_BLOCK_BITS).index_bytes(),
+        ),
         ("HB-CSF", hb.index_bytes()),
     ];
     for (fmt, bytes) in rows {

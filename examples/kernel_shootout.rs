@@ -45,17 +45,26 @@ fn main() {
     );
 
     let runs: Vec<(&str, gpu::GpuRun)> = vec![
-        ("parti-coo (atomics)", gpu::parti_coo::run(&ctx, &t, &factors, 0)),
+        (
+            "parti-coo (atomics)",
+            gpu::parti_coo::run(&ctx, &t, &factors, 0),
+        ),
         (
             "f-coo (seg-scan)",
             gpu::fcoo::build_and_run(&ctx, &t, &factors, 0, gpu::fcoo::DEFAULT_THREADLEN),
         ),
-        ("gpu-csf (unsplit)", gpu::csf::build_and_run(&ctx, &t, &factors, 0)),
+        (
+            "gpu-csf (unsplit)",
+            gpu::csf::build_and_run(&ctx, &t, &factors, 0),
+        ),
         (
             "b-csf (fbr+slc split)",
             gpu::bcsf::build_and_run(&ctx, &t, &factors, 0, BcsfOptions::default()),
         ),
-        ("csl (packed warps)", gpu::csl::build_and_run(&ctx, &t, &factors, 0)),
+        (
+            "csl (packed warps)",
+            gpu::csl::build_and_run(&ctx, &t, &factors, 0),
+        ),
         (
             "hb-csf (hybrid)",
             gpu::hbcsf::build_and_run(&ctx, &t, &factors, 0, BcsfOptions::default()),

@@ -9,6 +9,8 @@
 //! * [`tensor_formats`] — CSF, CSL, B-CSF, HB-CSF, F-COO, HiCOO.
 //! * [`gpu_sim`] — the deterministic GPU execution-model simulator.
 //! * [`mttkrp`] — MTTKRP kernels (CPU + simulated GPU) and the CPD-ALS driver.
+//! * [`simprof`] — profiling/tracing: counters, spans, Chrome-trace and
+//!   nvprof-style exporters, CPD run manifests.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
@@ -16,5 +18,6 @@
 pub use dense;
 pub use gpu_sim;
 pub use mttkrp;
+pub use simprof;
 pub use sptensor;
 pub use tensor_formats;

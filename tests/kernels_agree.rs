@@ -25,11 +25,17 @@ fn cpu_backends_match_reference_on_all_standins() {
         for mode in 0..t.order() {
             let expected = reference::mttkrp(&t, &factors, mode);
             let coo = mttkrp::cpu::coo::mttkrp(&t, &factors, mode);
-            assert!(outputs_match(&coo, &expected), "{name} mode {mode}: cpu-coo");
+            assert!(
+                outputs_match(&coo, &expected),
+                "{name} mode {mode}: cpu-coo"
+            );
             let sp = splatt::mttkrp(&t, &factors, mode, SplattOptions::nontiled());
             assert!(outputs_match(&sp, &expected), "{name} mode {mode}: splatt");
             let spt = splatt::mttkrp(&t, &factors, mode, SplattOptions::tiled());
-            assert!(outputs_match(&spt, &expected), "{name} mode {mode}: splatt-tiled");
+            assert!(
+                outputs_match(&spt, &expected),
+                "{name} mode {mode}: splatt-tiled"
+            );
             let hc = mttkrp::cpu::hicoo::mttkrp(&hicoo, &factors, mode);
             assert!(outputs_match(&hc, &expected), "{name} mode {mode}: hicoo");
         }
@@ -64,7 +70,10 @@ fn gpu_backends_match_reference_on_all_standins() {
                 &gpu::hbcsf::build_and_run(&ctx, &t, &factors, mode, BcsfOptions::default()).y,
             );
             if t.order() == 3 {
-                check("parti-coo", &gpu::parti_coo::run(&ctx, &t, &factors, mode).y);
+                check(
+                    "parti-coo",
+                    &gpu::parti_coo::run(&ctx, &t, &factors, mode).y,
+                );
                 check(
                     "f-coo",
                     &gpu::fcoo::build_and_run(&ctx, &t, &factors, mode, 8).y,

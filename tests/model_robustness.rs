@@ -7,8 +7,8 @@
 use mttkrp_repro::gpu_sim::co_resident_makespan;
 use mttkrp_repro::mttkrp::gpu::{bcsf::emit_launch, GpuContext};
 use mttkrp_repro::mttkrp::reference::random_factors;
-use mttkrp_repro::sptensor::synth::{standin, SynthConfig};
 use mttkrp_repro::sptensor::mode_orientation;
+use mttkrp_repro::sptensor::synth::{standin, SynthConfig};
 use mttkrp_repro::tensor_formats::{Bcsf, BcsfOptions};
 
 fn both_bounds(ctx: &GpuContext, launch: &mttkrp_repro::gpu_sim::KernelLaunch) -> (f64, f64) {
@@ -25,13 +25,27 @@ fn splitting_wins_at_both_scheduling_bounds() {
         .generate(&SynthConfig::tiny().with_nnz(20_000));
     let factors = random_factors(&t, 16, 1);
     let perm = mode_orientation(3, 0);
-    let unsplit = emit_launch(&ctx, &Bcsf::build(&t, &perm, BcsfOptions::unsplit()), &factors);
-    let split = emit_launch(&ctx, &Bcsf::build(&t, &perm, BcsfOptions::default()), &factors);
+    let unsplit = emit_launch(
+        &ctx,
+        &Bcsf::build(&t, &perm, BcsfOptions::unsplit()),
+        &factors,
+    );
+    let split = emit_launch(
+        &ctx,
+        &Bcsf::build(&t, &perm, BcsfOptions::default()),
+        &factors,
+    );
 
     let (us, uc) = both_bounds(&ctx, &unsplit);
     let (ss, sc) = both_bounds(&ctx, &split);
-    assert!(ss < us, "pessimistic bound: split {ss} must beat unsplit {us}");
-    assert!(sc < uc, "optimistic bound: split {sc} must beat unsplit {uc}");
+    assert!(
+        ss < us,
+        "pessimistic bound: split {ss} must beat unsplit {us}"
+    );
+    assert!(
+        sc < uc,
+        "optimistic bound: split {sc} must beat unsplit {uc}"
+    );
     // And the bounds bracket sanely.
     assert!(sc <= ss + 1e-6);
     assert!(uc <= us + 1e-6);
@@ -48,7 +62,11 @@ fn balanced_launches_are_insensitive_to_the_bound() {
         .generate(&SynthConfig::tiny().with_nnz(20_000));
     let factors = random_factors(&t, 16, 2);
     let perm = mode_orientation(3, 0);
-    let split = emit_launch(&ctx, &Bcsf::build(&t, &perm, BcsfOptions::default()), &factors);
+    let split = emit_launch(
+        &ctx,
+        &Bcsf::build(&t, &perm, BcsfOptions::default()),
+        &factors,
+    );
     let (ss, sc) = both_bounds(&ctx, &split);
     assert!(
         ss / sc.max(1.0) < 4.5,

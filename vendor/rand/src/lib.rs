@@ -1,0 +1,314 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to the crates-io registry, so this
+//! workspace vendors the *subset* of `rand`'s API it actually uses: the
+//! [`RngCore`]/[`Rng`]/[`SeedableRng`] traits, uniform sampling for the
+//! primitive types, [`seq::SliceRandom::shuffle`], and
+//! [`seq::index::sample`]. The traits mirror `rand` 0.8's signatures so the
+//! depending code would compile unchanged against the real crate; the
+//! generated *streams* are not guaranteed to match upstream `rand`
+//! bit-for-bit (nothing in this workspace depends on that — determinism
+//! per seed is what matters, and that is preserved).
+
+use std::ops::Range;
+
+/// Core entropy source: 32/64-bit words plus byte filling.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+
+    fn next_u64(&mut self) -> u64 {
+        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let word = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+/// Deterministic construction from a seed.
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with SplitMix64 (the same scheme
+    /// `rand_core` documents for this method).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = sm.next().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64 — seed expansion and the engine behind small helper RNGs.
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniformly random value of a primitive type (floats in `[0, 1)`).
+    fn gen<T>(&mut self) -> T
+    where
+        T: SampleStandard,
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// A uniform draw from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types [`Rng::gen`] can produce.
+pub trait SampleStandard {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty => $via:ident),* $(,)?) => {$(
+        impl SampleStandard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
+              i8 => next_u32, i16 => next_u32, i32 => next_u32,
+              u64 => next_u64, i64 => next_u64, usize => next_u64, isize => next_u64);
+
+impl SampleStandard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl SampleStandard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 mantissa-width bits -> [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl SampleStandard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 mantissa-width bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! range_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                // Modulo bias is < 2^-64 for every span this workspace uses.
+                self.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                assert!(s <= e, "cannot sample empty range");
+                let span = (e as u128).wrapping_sub(s as u128) + 1;
+                s.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! range_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                self.start + <$t>::sample_standard(rng) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+range_float!(f32, f64);
+
+pub mod seq {
+    //! Sequence helpers: in-place shuffling and distinct-index sampling.
+
+    use super::RngCore;
+
+    /// Slice shuffling (Fisher–Yates).
+    pub trait SliceRandom {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+
+    pub mod index {
+        //! Distinct-index sampling without replacement.
+
+        use super::super::RngCore;
+
+        /// The result of [`sample`]: `amount` distinct indices in
+        /// `0..length`.
+        #[derive(Debug, Clone)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+                self.0.iter().copied()
+            }
+
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::vec::IntoIter<usize>;
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        /// Samples `amount` distinct indices from `0..length` (Floyd's
+        /// algorithm — `O(amount)` regardless of `length`).
+        pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(
+                amount <= length,
+                "cannot sample {amount} distinct indices from 0..{length}"
+            );
+            let mut chosen: Vec<usize> = Vec::with_capacity(amount);
+            for j in length - amount..length {
+                let t = (rng.next_u64() % (j as u64 + 1)) as usize;
+                if chosen.contains(&t) {
+                    chosen.push(j);
+                } else {
+                    chosen.push(t);
+                }
+            }
+            IndexVec(chosen)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::index::sample;
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[derive(Clone)]
+    struct TestRng(SplitMix64);
+    impl RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.0.next() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0.next()
+        }
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut rng = TestRng(SplitMix64(7));
+        for _ in 0..1000 {
+            let x: f32 = rng.gen();
+            let y: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng(SplitMix64(8));
+        for _ in 0..1000 {
+            let a = rng.gen_range(3u32..10);
+            assert!((3..10).contains(&a));
+            let b = rng.gen_range(0.1f64..1.0);
+            assert!((0.1..1.0).contains(&b));
+            let c = rng.gen_range(0usize..=4);
+            assert!(c <= 4);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = TestRng(SplitMix64(9));
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle should move something");
+    }
+
+    #[test]
+    fn sample_yields_distinct_in_range() {
+        let mut rng = TestRng(SplitMix64(10));
+        for amount in [0usize, 1, 5, 50] {
+            let picks = sample(&mut rng, 50, amount);
+            let mut v: Vec<usize> = picks.iter().collect();
+            assert_eq!(v.len(), amount);
+            v.sort_unstable();
+            v.dedup();
+            assert_eq!(v.len(), amount, "indices must be distinct");
+            assert!(v.iter().all(|&i| i < 50));
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Exposes the `par_iter`/`into_par_iter`/`par_chunks_mut` API surface this
+//! workspace uses, executed *sequentially* on the calling thread. The
+//! depending code is written against rayon's semantics (no cross-item
+//! ordering assumptions, `for_each_init` per-"thread" state), so swapping
+//! the real crate back in requires no source changes — only restoring the
+//! registry dependency.
+
+/// A "parallel" iterator: a thin adapter over a sequential one.
+pub struct ParIter<I> {
+    inner: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Minimum split length hint. Meaningless for sequential execution.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Maximum split length hint. Meaningless for sequential execution.
+    pub fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+
+    pub fn for_each<F: FnMut(I::Item)>(self, mut f: F) {
+        for item in self.inner {
+            f(item);
+        }
+    }
+
+    /// Runs `f` per item with state built once per worker thread — here,
+    /// exactly once.
+    pub fn for_each_init<T, INIT, F>(self, mut init: INIT, mut f: F)
+    where
+        INIT: FnMut() -> T,
+        F: FnMut(&mut T, I::Item),
+    {
+        let mut state = init();
+        for item in self.inner {
+            f(&mut state, item);
+        }
+    }
+
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter {
+            inner: self.inner.map(f),
+        }
+    }
+
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter {
+            inner: self.inner.enumerate(),
+        }
+    }
+
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter {
+            inner: self.inner.filter(f),
+        }
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.inner.sum()
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.inner.collect()
+    }
+
+    pub fn count(self) -> usize {
+        self.inner.count()
+    }
+}
+
+/// Entry point mirroring `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    type Iter: Iterator<Item = Self::Item>;
+    type Item;
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Iter = T::IntoIter;
+    type Item = T::Item;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+/// Entry point mirroring `rayon::iter::IntoParallelRefIterator`:
+/// `collection.par_iter()` borrows the collection.
+pub trait IntoParallelRefIterator<'data> {
+    type Iter: Iterator<Item = Self::Item>;
+    type Item: 'data;
+    fn par_iter(&'data self) -> ParIter<Self::Iter>;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+{
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+    type Item = <&'data C as IntoIterator>::Item;
+    fn par_iter(&'data self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+/// Mutable slice chunking, mirroring `rayon::slice::ParallelSliceMut`.
+pub trait ParallelSliceMut<T> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter {
+            inner: self.chunks_mut(chunk_size),
+        }
+    }
+}
+
+/// Sequential stand-in runs everything on the calling thread.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+pub mod iter {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+pub mod slice {
+    pub use super::ParallelSliceMut;
+}
+
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn for_each_init_accumulates() {
+        let mut hits = vec![0u32; 8];
+        let slot = std::cell::RefCell::new(&mut hits);
+        (0..8usize).into_par_iter().with_min_len(2).for_each(|i| {
+            slot.borrow_mut()[i] += 1;
+        });
+        assert!(hits.iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v = vec![1u64, 2, 3];
+        let mut total = 0u64;
+        v.par_iter().for_each(|&x| total += x);
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn chunks_mut_and_enumerate() {
+        let mut data = [0f32; 12];
+        data.par_chunks_mut(4).enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x = i as f32;
+            }
+        });
+        assert_eq!(data[0], 0.0);
+        assert_eq!(data[5], 1.0);
+        assert_eq!(data[11], 2.0);
+    }
+}

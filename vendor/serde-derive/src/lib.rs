@@ -1,0 +1,206 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for the two shapes this workspace
+//! uses — named-field structs and unit-variant enums — by walking the raw
+//! `proc_macro` token stream directly (no `syn`/`quote`, which are
+//! unreachable registry crates in this environment) and emitting the impl
+//! as a parsed string. Generics, tuple structs, and payload-carrying enum
+//! variants are rejected with a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    match generate(&tokens) {
+        Ok(code) => code.parse().expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn generate(tokens: &[TokenTree]) -> Result<String, String> {
+    let mut i = 0;
+    // Skip outer attributes and visibility ahead of the `struct`/`enum`
+    // keyword (doc comments arrive as #[doc = ...] and are covered too).
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break id.to_string();
+            }
+            Some(_) => i += 1,
+            None => return Err("derive(Serialize): no struct or enum found".into()),
+        }
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("derive(Serialize): missing type name".into()),
+    };
+    i += 1;
+    // Anything between the name and the brace body other than the body
+    // itself means generics or a tuple struct — unsupported here.
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "derive(Serialize): tuple struct `{name}` is not supported by the vendored serde_derive"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!(
+                    "derive(Serialize): generic type `{name}` is not supported by the vendored serde_derive"
+                ));
+            }
+            Some(_) => i += 1,
+            None => {
+                return Err(format!(
+                "derive(Serialize): `{name}` has no braced body (unit structs are not supported)"
+            ))
+            }
+        }
+    };
+    let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    if kind == "struct" {
+        gen_struct(&name, &body_tokens)
+    } else {
+        gen_enum(&name, &body_tokens)
+    }
+}
+
+/// Collects the field names of a named-field struct body, then emits a
+/// `Serialize` impl building a `serde::Map` in declaration order.
+fn gen_struct(name: &str, body: &[TokenTree]) -> Result<String, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        // Per-field attributes and visibility.
+        while let Some(TokenTree::Punct(p)) = body.get(i) {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        if let Some(TokenTree::Ident(id)) = body.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = body.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let field = match body.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(t) => {
+                return Err(format!(
+                    "derive(Serialize): unexpected token `{t}` in `{name}`"
+                ))
+            }
+        };
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => {
+                return Err(format!(
+                    "derive(Serialize): expected `:` after field `{field}` in `{name}`"
+                ))
+            }
+        }
+        fields.push(field);
+        // Skip the field's type: angle brackets are bare puncts (not
+        // groups), so track their depth to find the *field-separating*
+        // comma rather than one inside `Map<String, u64>`.
+        let mut angle_depth = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    let mut inserts = String::new();
+    for f in &fields {
+        inserts.push_str(&format!(
+            "m.insert(::std::string::String::from({f:?}), ::serde::Serialize::serialize(&self.{f}));\n"
+        ));
+    }
+    Ok(format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{\n\
+                 let mut m = ::serde::Map::new();\n\
+                 {inserts}\
+                 ::serde::Value::Object(m)\n\
+             }}\n\
+         }}"
+    ))
+}
+
+/// Emits a `Serialize` impl mapping each unit variant to its name as a
+/// JSON string.
+fn gen_enum(name: &str, body: &[TokenTree]) -> Result<String, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        while let Some(TokenTree::Punct(p)) = body.get(i) {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        let variant = match body.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(t) => {
+                return Err(format!(
+                    "derive(Serialize): unexpected token `{t}` in enum `{name}`"
+                ))
+            }
+        };
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            Some(_) => {
+                return Err(format!(
+                "derive(Serialize): variant `{name}::{variant}` carries data or a discriminant; \
+                     only unit variants are supported by the vendored serde_derive"
+            ))
+            }
+        }
+        variants.push(variant);
+    }
+    let mut arms = String::new();
+    for v in &variants {
+        arms.push_str(&format!("{name}::{v} => {v:?},\n"));
+    }
+    Ok(format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{\n\
+                 let s = match self {{\n{arms}}};\n\
+                 ::serde::Value::String(::std::string::String::from(s))\n\
+             }}\n\
+         }}"
+    ))
+}

@@ -1,0 +1,382 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Re-exports the [`Value`]/[`Map`] tree from the vendored `serde`, and
+//! adds the pieces this workspace uses on top: the [`json!`] macro,
+//! [`to_string`]/[`to_string_pretty`] printers, and a strict [`from_str`]
+//! parser (used by tests to prove emitted traces/manifests round-trip).
+
+pub use serde::{Map, Number, Value};
+
+/// Converts any [`serde::Serialize`] into a [`Value`] tree. (`json!` and
+/// the printers are built on this.)
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize()
+}
+
+/// Normalizes a `json!` object key into a `String`; keys may be string
+/// literals or any expression convertible to one.
+#[doc(hidden)]
+pub fn __key<S: Into<String>>(key: S) -> String {
+    key.into()
+}
+
+/// Builds a [`Value`] from JSON-looking syntax. Supports the shapes this
+/// workspace uses: `json!(null)`, `json!([a, b, ...])`, and
+/// `json!({ key: expr, ... })` where `key` is a string literal or a
+/// `&str`-valued expression, plus `json!(expr)` for any `Serialize` type.
+/// Unlike the real macro, nested containers must recurse explicitly:
+/// `json!({ "outer": json!({ "inner": 1 }) })`, and an array value of
+/// mixed types is `json!([a, b])`, not a bare `[a, b]`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:tt : $value:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut m = $crate::Map::new();
+        $( m.insert($crate::__key($key), $crate::to_value(&$value)); )*
+        $crate::Value::Object(m)
+    }};
+    ([ $($value:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$value) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Compact JSON encoding.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(to_value(value).__to_json(None))
+}
+
+/// Human-readable JSON encoding (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(to_value(value).__to_json(Some(2)))
+}
+
+/// A parse (or, in principle, encode) failure with byte position context.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+    pos: usize,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.pos)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Parses a complete JSON document into a [`Value`]. Trailing non-space
+/// input is an error, making this suitable for round-trip assertions.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error {
+            msg: msg.to_string(),
+            pos: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("invalid literal (expected `{word}`)")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{08}'),
+                        Some(b'f') => s.push('\u{0c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            // Decode surrogate pairs; lone surrogates are
+                            // rejected.
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.hex4()?;
+                                    let code =
+                                        0x10000 + ((hi - 0xD800) << 10) + (lo.wrapping_sub(0xDC00));
+                                    char::from_u32(code)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            match c {
+                                Some(c) => s.push(c),
+                                None => return Err(self.err("invalid \\u escape")),
+                            }
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input came from &str,
+                    // so boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let ch = std::str::from_utf8(rest)
+                        .map_err(|_| self.err("invalid UTF-8"))?
+                        .chars()
+                        .next()
+                        .unwrap();
+                    s.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let mut is_float = false;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::U64(u)));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::I64(i)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::F64(f)))
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let name = "deli";
+        let key = "rows";
+        let v = json!({ key: [1u32, 2, 3], "name": name, "nested": json!({ "x": 0.5 }), "none": Value::Null });
+        assert_eq!(v["rows"].as_array().unwrap().len(), 3);
+        assert_eq!(v["name"], "deli");
+        assert_eq!(v["nested"]["x"].as_f64(), Some(0.5));
+        assert!(v["none"].is_null());
+        assert!(json!(null).is_null());
+        assert_eq!(json!(3.25f64).as_f64(), Some(3.25));
+    }
+
+    #[test]
+    fn round_trip_compact_and_pretty() {
+        let v = json!({
+            "s": "a \"quoted\"\nline",
+            "neg": -17i64,
+            "big": u64::MAX,
+            "f": 0.1f64,
+            "arr": json!([true, false, Value::Null]),
+            "empty_obj": Map::new(),
+            "unicode": "π ≈ 3.14159",
+        });
+        for s in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            let back = from_str(&s).expect("emitted JSON must re-parse");
+            assert_eq!(back, v, "round-trip through {s}");
+        }
+    }
+
+    #[test]
+    fn floats_keep_full_precision() {
+        let x = 0.123_456_789_012_345_67_f64;
+        let s = to_string(&json!({ "x": x })).unwrap();
+        let back = from_str(&s).unwrap();
+        assert_eq!(back["x"].as_f64(), Some(x));
+    }
+
+    #[test]
+    fn whole_floats_reparse_as_floats() {
+        let s = to_string(&json!({ "x": 2.0f64 })).unwrap();
+        assert!(s.contains("2.0"), "got {s}");
+        assert!(matches!(
+            from_str(&s).unwrap()["x"],
+            Value::Number(Number::F64(_))
+        ));
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        let s = to_string(&json!({ "a": f64::NAN, "b": f64::INFINITY })).unwrap();
+        let back = from_str(&s).unwrap();
+        assert!(back["a"].is_null());
+        assert!(back["b"].is_null());
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "nul", "1 2", "\"\\u12\""] {
+            assert!(from_str(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn escapes_and_surrogates() {
+        let v = from_str(r#"{"s": "tab\there \ud83d\ude00 done"}"#).unwrap();
+        assert_eq!(v["s"].as_str().unwrap(), "tab\there 😀 done");
+    }
+}
