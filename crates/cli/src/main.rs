@@ -21,7 +21,12 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
-use mttkrp::cpd::{cpd_als, cpd_als_nonneg, cpd_als_nonneg_profiled, cpd_als_profiled, CpdOptions};
+use gpu_sim::FaultPlan;
+use mttkrp::abft::{run_verified, AbftOptions};
+use mttkrp::cpd::{
+    cpd_als, cpd_als_nonneg, cpd_als_nonneg_profiled, cpd_als_profiled, cpd_als_resilient,
+    CpdOptions, ResilienceOptions,
+};
 use mttkrp::cpu::splatt::{SplattCsf, SplattOptions};
 use mttkrp::gpu::{self, GpuContext};
 use mttkrp::reference::random_factors;
@@ -59,9 +64,14 @@ fn usage() {
     eprintln!("  sptk convert <in> <out>");
     eprintln!("  sptk mttkrp <file> [--mode N] [--rank R] [--kernel K] [--device p100|v100] [--profile DIR]");
     eprintln!("      kernels: hbcsf bcsf csf csl coo fcoo splatt splatt-tiled hicoo dfacto");
-    eprintln!("  sptk cpd <file> [--rank R] [--iters K] [--nonneg] [--profile DIR]");
+    eprintln!(
+        "  sptk cpd <file> [--rank R] [--iters K] [--nonneg] [--profile DIR] [--expect-fit F]"
+    );
     eprintln!("  --profile DIR writes trace.json (Perfetto), nvprof_table.txt, counters.json,");
     eprintln!("      and (for cpd) manifest.json into DIR; simulated-GPU kernels only");
+    eprintln!("  --faults SPEC [--fault-seed S] injects deterministic faults into simulated-GPU");
+    eprintln!("      kernels with ABFT detection and recovery; SPEC is comma-separated kind:rate");
+    eprintln!("      terms, e.g. bitflip:1e-3,abort:1e-4,straggler:0.05,slowdown:2.5 (or 'none')");
     eprintln!(
         "datasets: {}",
         sptensor::synth::standins()
@@ -87,6 +97,17 @@ fn flag_parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> 
             .parse()
             .map_err(|_| format!("{name} wants a number, got '{v}'")),
     }
+}
+
+/// Parses `--faults SPEC [--fault-seed S]` into an active plan (or `None`
+/// when the flag is absent or the spec is `none`).
+fn parse_faults(args: &[String]) -> Result<Option<FaultPlan>> {
+    let Some(spec) = flag(args, "--faults") else {
+        return Ok(None);
+    };
+    let seed = flag_parse(args, "--fault-seed", 0xFA17u64)?;
+    let plan = FaultPlan::parse(&spec, seed).map_err(|e| format!("--faults: {e}"))?;
+    Ok(plan.is_active().then_some(plan))
 }
 
 fn load(path: &str) -> Result<CooTensor> {
@@ -212,6 +233,10 @@ fn cmd_mttkrp(args: &[String]) -> Result<()> {
     if profile_dir.is_some() {
         ctx = ctx.with_profiling();
     }
+    let faults = parse_faults(args)?;
+    if let Some(plan) = &faults {
+        ctx = ctx.with_faults(plan.clone());
+    }
     let factors = random_factors(&t, rank, 42);
     let flops = t.order() as f64 * t.nnz() as f64 * rank as f64;
 
@@ -229,6 +254,11 @@ fn cmd_mttkrp(args: &[String]) -> Result<()> {
     if profile_dir.is_some() && is_cpu_kernel {
         return Err(format!(
             "--profile supports the simulated GPU kernels only ('{kernel}' is a CPU kernel)"
+        ));
+    }
+    if faults.is_some() && is_cpu_kernel {
+        return Err(format!(
+            "--faults supports the simulated GPU kernels only ('{kernel}' is a CPU kernel)"
         ));
     }
 
@@ -276,19 +306,37 @@ fn cmd_mttkrp(args: &[String]) -> Result<()> {
             );
         }
         gpu_kernel => {
-            let run = match gpu_kernel {
-                "hbcsf" => {
-                    gpu::hbcsf::build_and_run(&ctx, &t, &factors, mode, BcsfOptions::default())
-                }
-                "bcsf" => {
-                    gpu::bcsf::build_and_run(&ctx, &t, &factors, mode, BcsfOptions::default())
-                }
-                "csf" => gpu::csf::build_and_run(&ctx, &t, &factors, mode),
-                "csl" => gpu::csl::build_and_run(&ctx, &t, &factors, mode),
-                "coo" => gpu::parti_coo::run(&ctx, &t, &factors, mode),
-                "fcoo" => gpu::fcoo::build_and_run(&ctx, &t, &factors, mode, 8),
-                other => return Err(format!("unknown kernel '{other}'")),
+            if !matches!(
+                gpu_kernel,
+                "hbcsf" | "bcsf" | "csf" | "csl" | "coo" | "fcoo"
+            ) {
+                return Err(format!("unknown kernel '{gpu_kernel}'"));
+            }
+            // ABFT wrapper: with no fault plan this is exactly one plain
+            // execution; under faults it verifies, retries, and degrades.
+            let run_one = |c: &GpuContext| match gpu_kernel {
+                "hbcsf" => gpu::hbcsf::build_and_run(c, &t, &factors, mode, BcsfOptions::default()),
+                "bcsf" => gpu::bcsf::build_and_run(c, &t, &factors, mode, BcsfOptions::default()),
+                "csf" => gpu::csf::build_and_run(c, &t, &factors, mode),
+                "csl" => gpu::csl::build_and_run(c, &t, &factors, mode),
+                "coo" => gpu::parti_coo::run(c, &t, &factors, mode),
+                _ => gpu::fcoo::build_and_run(c, &t, &factors, mode, 8),
             };
+            let (run, report) =
+                run_verified(&ctx, &t, &factors, mode, &AbftOptions::default(), run_one);
+            if ctx.fault_plan().is_some() {
+                println!(
+                    "faults: {} injected ({} flips landed), {} rows corrupted, {} detected; \
+                     {} retries, {} rows recovered, {} degraded to CPU",
+                    report.faults_injected,
+                    report.flips_applied,
+                    report.corrupted_rows.len(),
+                    report.detected_rows.len(),
+                    report.retries,
+                    report.recovered_rows,
+                    report.degraded_rows
+                );
+            }
             println!(
                 "{gpu_kernel} (simulated {}): {:.3} ms, {:.2} GFLOPs, sm_eff {:.1}%, occ {:.1}%, \
                  L2 {:.1}%, {} atomics, ||Y|| = {:.6e}",
@@ -350,9 +398,25 @@ fn cmd_cpd(args: &[String]) -> Result<()> {
     let iters = flag_parse(args, "--iters", 15usize)?;
     let nonneg = args.iter().any(|a| a == "--nonneg");
     let profile_dir = flag(args, "--profile").map(PathBuf::from);
+    let faults = parse_faults(args)?;
+    let expect_fit = match flag(args, "--expect-fit") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<f64>()
+                .map_err(|_| format!("--expect-fit wants a number, got '{v}'"))?,
+        ),
+    };
+    if faults.is_some() && nonneg {
+        return Err(
+            "--faults drives the resilient standard ALS; combine it without --nonneg".into(),
+        );
+    }
     let mut ctx = GpuContext::default();
     if profile_dir.is_some() {
         ctx = ctx.with_profiling();
+    }
+    if let Some(plan) = &faults {
+        ctx = ctx.with_faults(plan.clone());
     }
     let opts = CpdOptions {
         rank,
@@ -392,13 +456,44 @@ fn cmd_cpd(args: &[String]) -> Result<()> {
             run.y
         }
     };
-    let start = Instant::now();
-    let res = match (nonneg, profile_dir.is_some()) {
-        (false, false) => cpd_als(&t, &opts, backend),
-        (true, false) => cpd_als_nonneg(&t, &opts, backend),
-        (false, true) => cpd_als_profiled(&t, &opts, backend, &mut manifest),
-        (true, true) => cpd_als_nonneg_profiled(&t, &opts, backend, &mut manifest),
+    // Under a fault plan every per-mode MTTKRP goes through the ABFT
+    // verify/retry/degrade wrapper, and kernel-level recovery events are
+    // accumulated for the manifest's resilience record.
+    let kernel_events: RefCell<simprof::ResilienceRecord> = RefCell::new(Default::default());
+    let fault_backend = |factors: &[dense::Matrix], mode: usize| {
+        let (run, report) = run_verified(&ctx, &t, factors, mode, &AbftOptions::default(), |c| {
+            gpu::hbcsf::run(c, &formats[mode], factors)
+        });
+        {
+            let mut rec = kernel_events.borrow_mut();
+            rec.faults_injected += report.faults_injected;
+            rec.rows_detected += report.detected_rows.len() as u64;
+            rec.kernel_retries += u64::from(report.retries);
+            rec.degraded_rows += report.degraded_rows;
+        }
+        let y = run.y.clone();
+        last_runs.borrow_mut()[mode] = Some(run);
+        y
     };
+    let start = Instant::now();
+    let res = if faults.is_some() {
+        let (res, _stats) = cpd_als_resilient(
+            &t,
+            &opts,
+            &ResilienceOptions::default(),
+            fault_backend,
+            Some(&mut manifest),
+        );
+        res
+    } else {
+        match (nonneg, profile_dir.is_some()) {
+            (false, false) => cpd_als(&t, &opts, backend),
+            (true, false) => cpd_als_nonneg(&t, &opts, backend),
+            (false, true) => cpd_als_profiled(&t, &opts, backend, &mut manifest),
+            (true, true) => cpd_als_nonneg_profiled(&t, &opts, backend, &mut manifest),
+        }
+    };
+    manifest.resilience.merge(&kernel_events.into_inner());
     println!(
         "{} CPD rank {rank}: fit {:.4} after {} iterations ({:.2}s host)",
         if nonneg { "non-negative" } else { "standard" },
@@ -408,6 +503,31 @@ fn cmd_cpd(args: &[String]) -> Result<()> {
     );
     for (i, fit) in res.fits.iter().enumerate() {
         println!("  iter {:>2}: fit {fit:.5}", i + 1);
+    }
+    if faults.is_some() {
+        let r = &manifest.resilience;
+        println!(
+            "resilience: {} faults injected, {} rows detected, {} kernel retries, \
+             {} rows degraded to CPU, {} rollbacks, {} nan resets, {} tikhonov fallbacks, \
+             {} checkpoints",
+            r.faults_injected,
+            r.rows_detected,
+            r.kernel_retries,
+            r.degraded_rows,
+            r.rollbacks,
+            r.nan_resets,
+            r.tikhonov_fallbacks,
+            r.checkpoints
+        );
+    }
+    if let Some(min) = expect_fit {
+        if res.final_fit() < min {
+            return Err(format!(
+                "final fit {:.4} below --expect-fit {min}",
+                res.final_fit()
+            ));
+        }
+        println!("fit check: {:.4} >= {min} ok", res.final_fit());
     }
     if let Some(dir) = &profile_dir {
         write_cpd_profile(dir, &ctx, &manifest, &last_runs.into_inner())?;

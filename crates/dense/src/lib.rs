@@ -22,4 +22,4 @@ pub mod solve;
 
 pub use kr::khatri_rao;
 pub use matrix::Matrix;
-pub use solve::{cholesky_solve, pseudo_inverse, symmetric_eigen};
+pub use solve::{cholesky_solve, pseudo_inverse, spd_condition, symmetric_eigen};

@@ -105,6 +105,27 @@ pub fn pseudo_inverse(m: &Matrix) -> Matrix {
     out
 }
 
+/// Spectral condition number estimate of a symmetric PSD matrix:
+/// `λ_max / λ_min` over the eigenvalue magnitudes. Returns `f64::INFINITY`
+/// for singular (or numerically singular) matrices — the signal CPD-ALS's
+/// self-healing path uses to trigger its Tikhonov fallback before the
+/// pseudo-inverse starts amplifying noise.
+///
+/// # Panics
+/// If the matrix is not square.
+pub fn spd_condition(m: &Matrix) -> f64 {
+    let (eigs, _) = symmetric_eigen(m);
+    let max_eig = eigs.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+    let min_eig = eigs.iter().fold(f64::INFINITY, |a, &b| a.min(b.abs()));
+    if max_eig == 0.0 {
+        return f64::INFINITY;
+    }
+    if min_eig <= max_eig * 1e-300 {
+        return f64::INFINITY;
+    }
+    max_eig / min_eig
+}
+
 /// Solves `A · X = B` for symmetric positive-definite `A` via Cholesky.
 /// Returns `None` if `A` is not positive definite (caller should fall back
 /// to [`pseudo_inverse`]).
@@ -223,6 +244,23 @@ mod tests {
         // Penrose condition 2: P M P = P.
         let pmp = p.matmul(&m).matmul(&p);
         assert!(pmp.rel_fro_diff(&p) < 1e-4);
+    }
+
+    #[test]
+    fn condition_number_tracks_spectrum() {
+        let m = Matrix::from_vec(2, 2, vec![100.0, 0.0, 0.0, 1.0]);
+        let c = spd_condition(&m);
+        assert!((c - 100.0).abs() < 1e-6, "cond {c}");
+        // Rank-deficient: condition must be infinite.
+        let x = [1.0f32, 2.0, 3.0];
+        let mut s = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                s.set(i, j, x[i] * x[j]);
+            }
+        }
+        assert!(spd_condition(&s).is_infinite());
+        assert!(spd_condition(&Matrix::zeros(3, 3)).is_infinite());
     }
 
     #[test]

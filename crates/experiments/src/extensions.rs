@@ -2,6 +2,9 @@
 //! the "future work" its conclusion sketches (reordering) plus sweeps the
 //! reproduction makes cheap (rank, SM scaling, ONEMODE-vs-ALLMODE).
 
+use gpu_sim::FaultPlan;
+use mttkrp::abft::{run_verified, AbftOptions};
+use mttkrp::cpd::{cpd_als, cpd_als_resilient, CpdOptions, ResilienceOptions};
 use mttkrp::cpu::onemode::SplattOneMode;
 use mttkrp::cpu::splatt::{SplattAllMode, SplattOptions};
 use mttkrp::gpu::{self, GpuContext};
@@ -217,6 +220,102 @@ pub fn ext_onemode(cfg: &ExpConfig) -> Value {
     json!({ "rows": out })
 }
 
+/// **ext-resilience** — the simfault sweep: transient bit-flip rates vs
+/// ABFT detection, recovery cost, and end-to-end CPD fit. Per rate the
+/// table reports one mode-1 HB-CSF MTTKRP under [`run_verified`]
+/// (injected/corrupted/detected/retried/degraded rows, detection %, and
+/// an execution-overhead estimate `attempts × faulted-time / clean-time`)
+/// plus a short resilient CPD-ALS run's final fit against the fault-free
+/// fit — the "converges within 1% under rate ≤ 1e-3" acceptance claim.
+pub fn ext_resilience(cfg: &ExpConfig) -> Value {
+    let name = "darpa";
+    let t = cfg.gen(name);
+    let factors = cfg.factors(&t);
+    let formats: Vec<Hbcsf> = (0..t.order())
+        .map(|m| Hbcsf::build(&t, &mode_orientation(t.order(), m), BcsfOptions::default()))
+        .collect();
+    let clean_ctx = cfg.gpu();
+    let clean = gpu::hbcsf::run(&clean_ctx, &formats[0], &factors);
+    let opts = CpdOptions {
+        rank: cfg.rank.min(8),
+        max_iters: 5,
+        tol: 0.0,
+        seed: cfg.seed,
+    };
+    let clean_fit = {
+        let ctx = cfg.gpu();
+        cpd_als(&t, &opts, |f, m| gpu::hbcsf::run(&ctx, &formats[m], f).y).final_fit()
+    };
+
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for rate in [0.0, 1e-4, 1e-3, 1e-2] {
+        let ctx = cfg
+            .gpu()
+            .with_faults(FaultPlan::bitflips(rate, cfg.seed ^ 0xFA17));
+
+        // One verified MTTKRP: detection and recovery accounting.
+        let (run, report) = run_verified(&ctx, &t, &factors, 0, &AbftOptions::default(), |c| {
+            gpu::hbcsf::run(c, &formats[0], &factors)
+        });
+        let overhead = f64::from(report.attempts) * run.sim.time_s / clean.sim.time_s.max(1e-30);
+        let out_diff = run.y.rel_fro_diff(&clean.y);
+
+        // End-to-end resilient CPD under the same plan.
+        let fit = cpd_als_resilient(
+            &t,
+            &opts,
+            &ResilienceOptions::default(),
+            |f, m| {
+                run_verified(&ctx, &t, f, m, &AbftOptions::default(), |c| {
+                    gpu::hbcsf::run(c, &formats[m], f)
+                })
+                .0
+                .y
+            },
+            None,
+        )
+        .0
+        .final_fit();
+
+        rows.push(vec![
+            format!("{rate:.0e}"),
+            report.faults_injected.to_string(),
+            report.corrupted_rows.len().to_string(),
+            report.detected_rows.len().to_string(),
+            f(100.0 * report.detection_rate()),
+            report.retries.to_string(),
+            report.degraded_rows.to_string(),
+            f(overhead),
+            f(fit),
+            f(clean_fit - fit),
+        ]);
+        out.push(json!({
+            "rate": rate,
+            "faults_injected": report.faults_injected,
+            "corrupted_rows": report.corrupted_rows.len(),
+            "detected_rows": report.detected_rows.len(),
+            "detection_rate": report.detection_rate(),
+            "retries": report.retries,
+            "degraded_rows": report.degraded_rows,
+            "overhead_x": overhead,
+            "output_rel_diff": out_diff,
+            "cpd_fit": fit,
+            "clean_cpd_fit": clean_fit,
+        }));
+    }
+    print_table(
+        "Ext-resilience (darpa): bit-flip rate vs ABFT detection, recovery, and CPD fit \
+         (overhead = attempts x faulted/clean kernel time; fit vs fault-free baseline)",
+        &[
+            "rate", "inject", "corrupt", "detect", "det%", "retry", "degrade", "ovhd x", "fit",
+            "fit loss",
+        ],
+        &rows,
+    );
+    json!({ "rows": out })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +330,30 @@ mod tests {
                 > last["gpucsf_efficiency_pct"].as_f64().unwrap(),
             "HB-CSF must scale better than unsplit GPU-CSF at max SM count"
         );
+    }
+
+    #[test]
+    fn ext_resilience_detects_and_recovers() {
+        let v = ext_resilience(&ExpConfig::smoke());
+        let rows = v["rows"].as_array().unwrap();
+        assert_eq!(rows.len(), 4);
+        // Rate 0 row: nothing injected, output identical, full fit.
+        assert_eq!(rows[0]["faults_injected"].as_u64(), Some(0));
+        assert_eq!(rows[0]["output_rel_diff"].as_f64(), Some(0.0));
+        let clean_fit = rows[0]["clean_cpd_fit"].as_f64().unwrap();
+        for row in rows {
+            // Repaired MTTKRP output stays tight to the clean output.
+            assert!(row["output_rel_diff"].as_f64().unwrap() < 1e-4);
+            // Detection over ground truth stays >= 99% at every rate.
+            assert!(row["detection_rate"].as_f64().unwrap() >= 0.99);
+            // CPD under faults converges within 1% of the fault-free fit.
+            let fit = row["cpd_fit"].as_f64().unwrap();
+            assert!(
+                (clean_fit - fit).abs() <= 0.01 * clean_fit.abs().max(1e-12),
+                "rate {} fit {fit} vs clean {clean_fit}",
+                row["rate"]
+            );
+        }
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub fn run_experiment(id: &str, cfg: &ExpConfig) -> Option<serde_json::Value> {
         "ext-rank" => extensions::ext_rank(cfg),
         "ext-scaling" => extensions::ext_scaling(cfg),
         "ext-onemode" => extensions::ext_onemode(cfg),
+        "ext-resilience" => extensions::ext_resilience(cfg),
         _ => return None,
     };
     Some(v)
@@ -70,5 +71,11 @@ pub fn all_experiment_ids() -> Vec<&'static str> {
 /// Extension experiments beyond the paper (conclusion's future work plus
 /// sweeps the reproduction makes cheap). `experiments ext` runs them.
 pub fn extension_ids() -> Vec<&'static str> {
-    vec!["ext-reorder", "ext-rank", "ext-scaling", "ext-onemode"]
+    vec![
+        "ext-reorder",
+        "ext-rank",
+        "ext-scaling",
+        "ext-onemode",
+        "ext-resilience",
+    ]
 }

@@ -1,0 +1,320 @@
+//! simfault: deterministic, seed-driven fault injection.
+//!
+//! A [`FaultPlan`] describes *which* transient faults a launch suffers:
+//! bit flips in per-block accumulation results, block aborts that force an
+//! ECC-style re-execution, and straggler SMs running at a reduced clock.
+//! Every draw is a pure hash of `(seed, kernel, attempt, site)` — no RNG
+//! state — so the same plan replayed over the same launch injects the
+//! same faults, two independent observers of the same site (the scheduler
+//! charging time, the kernel corrupting data) agree on what happened, and
+//! bumping `attempt` (a retry) re-rolls every draw.
+//!
+//! With all rates zero the plan is inert: fault-aware code paths are
+//! skipped entirely and results are bit-for-bit those of a fault-free run.
+
+#![deny(clippy::unwrap_used)]
+
+/// Bits eligible for injection: the f32 exponent byte (bits 23..=30).
+/// Exponent flips change a value's magnitude by at least 2×, which is what
+/// makes them *detectable* above f32 summation noise — low-order mantissa
+/// flips perturb results below checksum resolution and below numerical
+/// materiality, so injecting them would only measure the tolerance, not
+/// the recovery machinery.
+pub const FLIP_BIT_LO: u32 = 23;
+/// One past the highest eligible flip bit (exclusive).
+pub const FLIP_BIT_HI: u32 = 31;
+
+/// A transient bit flip drawn for one thread block: which bit of which
+/// (hash-selected) element of the block's committed accumulation flips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct BitFlip {
+    /// Flipped bit position in the f32 word, in `FLIP_BIT_LO..FLIP_BIT_HI`.
+    pub bit: u32,
+    /// Hash used by the kernel to pick *which* element of the block's
+    /// accumulation is corrupted (e.g. `lane % rank` selects the column).
+    pub lane: u64,
+}
+
+/// What kind of fault hit a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Silent data corruption of the block's committed accumulation.
+    BitFlip { bit: u32 },
+    /// The block aborted and was ECC-retried: its result is correct but it
+    /// paid for two executions.
+    Abort,
+    /// The block landed on a straggler SM running at a reduced clock.
+    Straggler { sm: usize },
+}
+
+// The vendored serde derive handles named-field structs and unit enums
+// only, so the payload-carrying `FaultKind` is serialized by hand as a
+// tagged object.
+impl serde::Serialize for FaultKind {
+    fn serialize(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        let kind = match self {
+            FaultKind::BitFlip { bit } => {
+                m.insert("bit".to_string(), serde::Serialize::serialize(bit));
+                "bitflip"
+            }
+            FaultKind::Abort => "abort",
+            FaultKind::Straggler { sm } => {
+                m.insert("sm".to_string(), serde::Serialize::serialize(sm));
+                "straggler"
+            }
+        };
+        m.insert("kind".to_string(), serde::Value::String(kind.to_string()));
+        serde::Value::Object(m)
+    }
+}
+
+/// One injected fault, attributed to a scheduled block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct InjectedFault {
+    /// Index in scheduled-block order (matches `SimProfile::blocks`).
+    pub block: usize,
+    pub kind: FaultKind,
+}
+
+/// A deterministic, serializable fault-injection plan.
+///
+/// Rates are per-site probabilities: `bitflip_rate`/`abort_rate` per
+/// thread block, `straggler_rate` per SM per launch. `attempt` is mixed
+/// into every draw so a retried kernel sees fresh faults — exactly how a
+/// transient fault behaves on re-execution.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct FaultPlan {
+    pub seed: u64,
+    /// Probability a block's committed accumulation suffers one exponent
+    /// bit flip.
+    pub bitflip_rate: f64,
+    /// Probability a block aborts and is ECC-retried (timing-only fault).
+    pub abort_rate: f64,
+    /// Probability an SM is a straggler for the whole launch.
+    pub straggler_rate: f64,
+    /// Cycle multiplier applied to blocks placed on straggler SMs.
+    pub straggler_slowdown: f64,
+    /// Retry attempt number; mixed into every draw.
+    pub attempt: u32,
+}
+
+impl FaultPlan {
+    /// An inert plan: all rates zero, nothing is injected.
+    pub fn disabled() -> Self {
+        FaultPlan {
+            seed: 0,
+            bitflip_rate: 0.0,
+            abort_rate: 0.0,
+            straggler_rate: 0.0,
+            straggler_slowdown: 2.0,
+            attempt: 0,
+        }
+    }
+
+    /// A plan injecting only bit flips at `rate`, seeded with `seed`.
+    pub fn bitflips(rate: f64, seed: u64) -> Self {
+        FaultPlan {
+            bitflip_rate: rate,
+            seed,
+            ..FaultPlan::disabled()
+        }
+    }
+
+    /// Whether any fault can ever fire. Inactive plans take the exact
+    /// fault-free code paths.
+    pub fn is_active(&self) -> bool {
+        self.bitflip_rate > 0.0 || self.abort_rate > 0.0 || self.straggler_rate > 0.0
+    }
+
+    /// The same plan with a different retry attempt (re-rolls all draws).
+    pub fn with_attempt(&self, attempt: u32) -> Self {
+        FaultPlan {
+            attempt,
+            ..self.clone()
+        }
+    }
+
+    /// Parses a CLI fault spec: comma-separated `kind:rate` terms, e.g.
+    /// `bitflip:1e-3,abort:1e-4,straggler:0.05,slowdown:2.5`, or `none`.
+    pub fn parse(spec: &str, seed: u64) -> Result<Self, String> {
+        let mut plan = FaultPlan {
+            seed,
+            ..FaultPlan::disabled()
+        };
+        if spec.trim() == "none" {
+            return Ok(plan);
+        }
+        for term in spec.split(',') {
+            let term = term.trim();
+            if term.is_empty() {
+                continue;
+            }
+            let (key, val) = term
+                .split_once(':')
+                .ok_or_else(|| format!("fault term '{term}' is not 'kind:rate'"))?;
+            let v: f64 = val
+                .trim()
+                .parse()
+                .map_err(|_| format!("fault term '{term}': bad number '{val}'"))?;
+            if !(0.0..=1e6).contains(&v) {
+                return Err(format!("fault term '{term}': rate out of range"));
+            }
+            match key.trim() {
+                "bitflip" => plan.bitflip_rate = v,
+                "abort" => plan.abort_rate = v,
+                "straggler" => plan.straggler_rate = v,
+                "slowdown" => plan.straggler_slowdown = v,
+                other => return Err(format!("unknown fault kind '{other}'")),
+            }
+        }
+        for rate in [plan.bitflip_rate, plan.abort_rate, plan.straggler_rate] {
+            if rate > 1.0 {
+                return Err("fault rates are probabilities; must be <= 1".to_string());
+            }
+        }
+        if plan.straggler_slowdown < 1.0 {
+            return Err("straggler slowdown must be >= 1".to_string());
+        }
+        Ok(plan)
+    }
+
+    /// The bit flip (if any) hitting block `block` of kernel `kernel`.
+    pub fn block_bitflip(&self, kernel: &str, block: usize) -> Option<BitFlip> {
+        if self.bitflip_rate <= 0.0 {
+            return None;
+        }
+        let h = self.site_hash(kernel, 0x1, block as u64);
+        if u01(h) >= self.bitflip_rate {
+            return None;
+        }
+        let h2 = splitmix64(h ^ 0x9e37_79b9_7f4a_7c15);
+        Some(BitFlip {
+            bit: FLIP_BIT_LO + (h2 % u64::from(FLIP_BIT_HI - FLIP_BIT_LO)) as u32,
+            lane: splitmix64(h2),
+        })
+    }
+
+    /// Whether block `block` of kernel `kernel` aborts and is ECC-retried.
+    pub fn block_aborts(&self, kernel: &str, block: usize) -> bool {
+        self.abort_rate > 0.0 && u01(self.site_hash(kernel, 0x2, block as u64)) < self.abort_rate
+    }
+
+    /// Whether SM `sm` is a straggler for this kernel launch.
+    pub fn sm_straggler(&self, kernel: &str, sm: usize) -> bool {
+        self.straggler_rate > 0.0
+            && u01(self.site_hash(kernel, 0x3, sm as u64)) < self.straggler_rate
+    }
+
+    /// One hash per (plan, kernel, stream, site): the whole entropy source.
+    fn site_hash(&self, kernel: &str, stream: u64, site: u64) -> u64 {
+        let mut h = self.seed ^ fnv1a(kernel.as_bytes());
+        h = splitmix64(h ^ (u64::from(self.attempt) << 32) ^ stream);
+        splitmix64(h ^ site)
+    }
+}
+
+/// SplitMix64: a full-period 64-bit mixer — the standard way to turn a
+/// counter into well-distributed bits.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over bytes, for mixing kernel names into the seed.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Maps a hash to a uniform float in `[0, 1)` (53-bit mantissa).
+fn u01(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_fires() {
+        let p = FaultPlan::disabled();
+        assert!(!p.is_active());
+        for b in 0..1000 {
+            assert!(p.block_bitflip("k", b).is_none());
+            assert!(!p.block_aborts("k", b));
+            assert!(!p.sm_straggler("k", b));
+        }
+    }
+
+    #[test]
+    fn draws_are_deterministic_and_seed_sensitive() {
+        let p = FaultPlan::bitflips(0.3, 42);
+        let a: Vec<_> = (0..200).map(|b| p.block_bitflip("bcsf", b)).collect();
+        let b: Vec<_> = (0..200).map(|b| p.block_bitflip("bcsf", b)).collect();
+        assert_eq!(a, b, "same plan, same draws");
+        let q = FaultPlan::bitflips(0.3, 43);
+        let c: Vec<_> = (0..200).map(|b| q.block_bitflip("bcsf", b)).collect();
+        assert_ne!(a, c, "different seed, different draws");
+        let d: Vec<_> = (0..200).map(|b| p.block_bitflip("csl", b)).collect();
+        assert_ne!(a, d, "different kernel, different draws");
+        let e: Vec<_> = (0..200)
+            .map(|b| p.with_attempt(1).block_bitflip("bcsf", b))
+            .collect();
+        assert_ne!(a, e, "retry attempt re-rolls the faults");
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let p = FaultPlan::bitflips(0.1, 7);
+        let hits = (0..20_000)
+            .filter(|&b| p.block_bitflip("k", b).is_some())
+            .count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((0.08..0.12).contains(&frac), "hit rate {frac}");
+    }
+
+    #[test]
+    fn flip_bits_stay_in_exponent_byte() {
+        let p = FaultPlan::bitflips(1.0, 3);
+        for b in 0..500 {
+            let f = p.block_bitflip("k", b).expect("rate 1 always fires");
+            assert!((FLIP_BIT_LO..FLIP_BIT_HI).contains(&f.bit));
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_the_spec_language() {
+        let p = FaultPlan::parse("bitflip:1e-3,abort:1e-4,straggler:0.05,slowdown:2.5", 9)
+            .expect("valid spec");
+        assert_eq!(p.seed, 9);
+        assert!((p.bitflip_rate - 1e-3).abs() < 1e-12);
+        assert!((p.abort_rate - 1e-4).abs() < 1e-12);
+        assert!((p.straggler_rate - 0.05).abs() < 1e-12);
+        assert!((p.straggler_slowdown - 2.5).abs() < 1e-12);
+        assert!(p.is_active());
+
+        assert!(!FaultPlan::parse("none", 0)
+            .expect("none is valid")
+            .is_active());
+        assert!(FaultPlan::parse("bitflip", 0).is_err());
+        assert!(FaultPlan::parse("gamma:0.1", 0).is_err());
+        assert!(FaultPlan::parse("bitflip:2.0", 0).is_err());
+        assert!(FaultPlan::parse("bitflip:nope", 0).is_err());
+        assert!(FaultPlan::parse("slowdown:0.5", 0).is_err());
+    }
+
+    #[test]
+    fn plan_serializes() {
+        let p = FaultPlan::bitflips(1e-3, 7);
+        let js = serde_json::to_string(&p).expect("serialize");
+        assert!(js.contains("\"bitflip_rate\":0.001"));
+        assert!(js.contains("\"seed\":7"));
+    }
+}

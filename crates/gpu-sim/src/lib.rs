@@ -34,6 +34,7 @@
 pub mod cache;
 pub mod cost;
 pub mod device;
+pub mod fault;
 pub mod grid;
 pub mod sched;
 pub mod trace;
@@ -41,9 +42,10 @@ pub mod trace;
 pub use cache::L2Cache;
 pub use cost::CostModel;
 pub use device::DeviceProfile;
+pub use fault::{BitFlip, FaultKind, FaultPlan, InjectedFault};
 pub use grid::{AddressSpace, ArraySpan, BlockWork, KernelLaunch, Op, WarpWork};
 pub use sched::{
-    co_resident_makespan, simulate, simulate_profiled, simulate_with_timeline, AtomicRowCharge,
-    BlockCost, BlockPlacement, SimProfile, SimResult, StallReason, Timeline,
+    co_resident_makespan, simulate, simulate_faulted, simulate_profiled, simulate_with_timeline,
+    AtomicRowCharge, BlockCost, BlockPlacement, SimProfile, SimResult, StallReason, Timeline,
 };
 pub use trace::{append_chrome_trace, chrome_trace};

@@ -29,6 +29,7 @@ use simprof::Registry;
 use crate::cache::L2Cache;
 use crate::cost::CostModel;
 use crate::device::DeviceProfile;
+use crate::fault::{FaultKind, FaultPlan, InjectedFault};
 use crate::grid::{KernelLaunch, Op};
 
 /// Simulation output: the nvprof-style metrics Table II reports, plus
@@ -195,6 +196,10 @@ pub struct SimProfile {
     pub blocks: Vec<BlockCost>,
     pub placements: Vec<BlockPlacement>,
     pub atomic_rows: Vec<AtomicRowCharge>,
+    /// Faults injected into this launch, per block, in scheduling order.
+    /// Always empty without an active [`FaultPlan`] (see
+    /// [`simulate_faulted`]).
+    pub faults: Vec<InjectedFault>,
 }
 
 /// Shared first half of the machine model: replay the launch through the
@@ -404,6 +409,34 @@ pub fn simulate_profiled(
     launch: &KernelLaunch,
     registry: &Registry,
 ) -> (SimResult, SimProfile) {
+    simulate_inner(dev, cost, launch, registry, None)
+}
+
+/// [`simulate_profiled`] under a [`FaultPlan`]: straggler SMs stretch the
+/// blocks placed on them, aborted blocks pay for an ECC re-execution, and
+/// drawn bit flips are reported per block in [`SimProfile::faults`] (the
+/// timing model itself is not perturbed by a flip — it is silent data
+/// corruption; kernels consult the same plan to corrupt their data).
+/// An inactive plan (all rates zero) takes exactly the fault-free code
+/// path: results are bit-for-bit those of [`simulate_profiled`].
+pub fn simulate_faulted(
+    dev: &DeviceProfile,
+    cost: &CostModel,
+    launch: &KernelLaunch,
+    registry: &Registry,
+    plan: &FaultPlan,
+) -> (SimResult, SimProfile) {
+    let plan = if plan.is_active() { Some(plan) } else { None };
+    simulate_inner(dev, cost, launch, registry, plan)
+}
+
+fn simulate_inner(
+    dev: &DeviceProfile,
+    cost: &CostModel,
+    launch: &KernelLaunch,
+    registry: &Registry,
+    plan: Option<&FaultPlan>,
+) -> (SimResult, SimProfile) {
     let profiling = registry.enabled();
     let _span = if profiling {
         Some(registry.span(&format!("simulate {}", launch.name), "sim"))
@@ -455,9 +488,48 @@ pub fn simulate_profiled(
         .floor()
         .clamp(1.0, dev.max_blocks_per_sm as f64);
     let mut placements: Vec<BlockPlacement> = Vec::with_capacity(blocks.len());
+    // Per-SM straggler decisions are drawn once per launch; block-level
+    // faults are drawn as each block is placed. With no active plan none
+    // of this runs and `cycles` is untouched — bit-for-bit fault-free.
+    let stragglers: Vec<bool> = match plan {
+        Some(p) => (0..dev.num_sms)
+            .map(|sm| p.sm_straggler(&launch.name, sm))
+            .collect(),
+        None => Vec::new(),
+    };
+    let mut faults: Vec<InjectedFault> = Vec::new();
+    let mut fault_extra_cycles = 0.0f64;
     for (b, block) in blocks.iter().enumerate() {
-        let cycles = block.cycles;
+        let mut cycles = block.cycles;
+        if let Some(p) = plan {
+            if p.block_aborts(&launch.name, b) {
+                // ECC retire: the first execution is wasted, the retry
+                // lands on the same SM right after.
+                faults.push(InjectedFault {
+                    block: b,
+                    kind: FaultKind::Abort,
+                });
+                fault_extra_cycles += cycles;
+                cycles *= 2.0;
+            }
+        }
         let SmSlot(t, sm) = heap.pop().unwrap();
+        if let Some(p) = plan {
+            if stragglers[sm] {
+                faults.push(InjectedFault {
+                    block: b,
+                    kind: FaultKind::Straggler { sm },
+                });
+                fault_extra_cycles += cycles * (p.straggler_slowdown - 1.0);
+                cycles *= p.straggler_slowdown;
+            }
+            if let Some(flip) = p.block_bitflip(&launch.name, b) {
+                faults.push(InjectedFault {
+                    block: b,
+                    kind: FaultKind::BitFlip { bit: flip.bit },
+                });
+            }
+        }
         busy[sm] += cycles;
         timeline.spans[sm].push((t, t + cycles));
         placements.push(BlockPlacement {
@@ -532,6 +604,20 @@ pub fn simulate_profiled(
             );
         }
         registry.add("sim.atomic_conflict_cycles", conflict_cycles.round() as u64);
+        if plan.is_some() {
+            let count =
+                |k: fn(&FaultKind) -> bool| faults.iter().filter(|f| k(&f.kind)).count() as u64;
+            registry.add(
+                "sim.fault.bitflips",
+                count(|k| matches!(k, FaultKind::BitFlip { .. })),
+            );
+            registry.add("sim.fault.aborts", count(|k| matches!(k, FaultKind::Abort)));
+            registry.add(
+                "sim.fault.straggler_blocks",
+                count(|k| matches!(k, FaultKind::Straggler { .. })),
+            );
+            registry.add("sim.fault.extra_cycles", fault_extra_cycles.round() as u64);
+        }
     }
 
     let profile = SimProfile {
@@ -539,6 +625,7 @@ pub fn simulate_profiled(
         blocks,
         placements,
         atomic_rows,
+        faults,
     };
     (result, profile)
 }
@@ -975,6 +1062,77 @@ mod tests {
         // (timeline, blocks, placements) is always available.
         assert!(profile.atomic_rows.is_empty());
         assert_eq!(profile.blocks.len(), r.num_blocks);
+    }
+
+    #[test]
+    fn inactive_fault_plan_is_bit_for_bit_fault_free() {
+        let d = dev();
+        let c = CostModel::default();
+        let launch = mixed_launch();
+        let plain = simulate(&d, &c, &launch);
+        let plan = FaultPlan::disabled();
+        let (faulted, profile) = simulate_faulted(&d, &c, &launch, &Registry::disabled(), &plan);
+        assert_eq!(plain, faulted);
+        assert!(profile.faults.is_empty());
+        // A zero-rate parsed spec behaves identically.
+        let plan = FaultPlan::parse("bitflip:0,abort:0,straggler:0", 7).expect("valid");
+        let (faulted, profile) = simulate_faulted(&d, &c, &launch, &Registry::disabled(), &plan);
+        assert_eq!(plain, faulted);
+        assert!(profile.faults.is_empty());
+    }
+
+    #[test]
+    fn aborts_and_stragglers_cost_cycles_and_are_reported() {
+        let d = dev();
+        let c = CostModel::default();
+        let launch = mixed_launch();
+        let plain = simulate(&d, &c, &launch);
+
+        // Every block aborts: makespan doubles exactly (serial per-SM
+        // schedule, every block re-executed in place).
+        let plan = FaultPlan::parse("abort:1.0", 1).expect("valid");
+        let reg = Registry::new();
+        let (aborted, profile) = simulate_faulted(&d, &c, &launch, &reg, &plan);
+        assert!((aborted.makespan_cycles - 2.0 * plain.makespan_cycles).abs() < 1e-6);
+        assert_eq!(profile.faults.len(), plain.num_blocks);
+        assert_eq!(reg.counter("sim.fault.aborts"), plain.num_blocks as u64);
+        assert!(reg.counter("sim.fault.extra_cycles") > 0);
+
+        // Every SM a straggler at 3x: makespan triples.
+        let plan = FaultPlan::parse("straggler:1.0,slowdown:3.0", 1).expect("valid");
+        let (slow, _) = simulate_faulted(&d, &c, &launch, &Registry::disabled(), &plan);
+        assert!((slow.makespan_cycles - 3.0 * plain.makespan_cycles).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bitflips_are_reported_but_do_not_perturb_timing() {
+        let d = dev();
+        let c = CostModel::default();
+        let launch = mixed_launch();
+        let plain = simulate(&d, &c, &launch);
+        let plan = FaultPlan::bitflips(1.0, 5);
+        let reg = Registry::new();
+        let (flipped, profile) = simulate_faulted(&d, &c, &launch, &reg, &plan);
+        // Silent corruption: identical timing, every block reported hit.
+        assert_eq!(plain, flipped);
+        assert_eq!(profile.faults.len(), plain.num_blocks);
+        assert!(profile
+            .faults
+            .iter()
+            .all(|f| matches!(f.kind, FaultKind::BitFlip { .. })));
+        assert_eq!(reg.counter("sim.fault.bitflips"), plain.num_blocks as u64);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let d = dev();
+        let c = CostModel::default();
+        let launch = mixed_launch();
+        let plan = FaultPlan::parse("bitflip:0.3,abort:0.3,straggler:0.3", 11).expect("valid");
+        let (a, pa) = simulate_faulted(&d, &c, &launch, &Registry::disabled(), &plan);
+        let (b, pb) = simulate_faulted(&d, &c, &launch, &Registry::disabled(), &plan);
+        assert_eq!(a, b);
+        assert_eq!(pa.faults, pb.faults);
     }
 
     #[test]

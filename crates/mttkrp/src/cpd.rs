@@ -9,8 +9,8 @@
 
 use std::time::Instant;
 
-use dense::{pseudo_inverse, Matrix};
-use simprof::{ModeTiming, RunManifest};
+use dense::{pseudo_inverse, spd_condition, Matrix};
+use simprof::{ModeTiming, ResilienceRecord, RunManifest};
 use sptensor::CooTensor;
 
 use crate::reference::random_factors;
@@ -184,6 +184,231 @@ fn cpd_als_impl(
         fits,
         iterations,
     }
+}
+
+/// Self-healing policy for [`cpd_als_resilient`].
+#[derive(Debug, Clone, Copy)]
+pub struct ResilienceOptions {
+    /// Take a factor checkpoint every this many ALS iterations (the last
+    /// non-regressed state rollbacks return to).
+    pub checkpoint_every: usize,
+    /// A fit drop larger than this (vs. the best fit seen) triggers a
+    /// rollback to the last checkpoint.
+    pub fit_drop_tol: f64,
+    /// Rollbacks allowed before regressions are accepted as-is (prevents
+    /// livelock under a persistently hostile fault plan).
+    pub max_rollbacks: u64,
+    /// Gram-Hadamard condition number above which the normal equations are
+    /// Tikhonov-regularized before inversion.
+    pub cond_limit: f64,
+    /// Relative ridge weight for the Tikhonov fallback: the diagonal gets
+    /// `ridge × trace(V)/R` added.
+    pub ridge: f32,
+}
+
+impl Default for ResilienceOptions {
+    fn default() -> Self {
+        ResilienceOptions {
+            checkpoint_every: 2,
+            fit_drop_tol: 1e-3,
+            max_rollbacks: 3,
+            cond_limit: 1e8,
+            ridge: 1e-4,
+        }
+    }
+}
+
+/// What the self-healing machinery did during a [`cpd_als_resilient`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Non-finite entries scrubbed from MTTKRP outputs and factor updates.
+    pub nan_resets: u64,
+    /// Normal-equations solves that took the Tikhonov-regularized path.
+    pub tikhonov_fallbacks: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Rollbacks to a checkpoint after a fit regression.
+    pub rollbacks: u64,
+}
+
+/// Replaces non-finite entries with zero; returns how many were scrubbed.
+fn scrub_nonfinite(m: &mut Matrix) -> u64 {
+    let mut n = 0u64;
+    for v in m.data_mut() {
+        if !v.is_finite() {
+            *v = 0.0;
+            n += 1;
+        }
+    }
+    n
+}
+
+/// A rollback target: everything ALS needs to resume from an iteration
+/// (grams are recomputed after the rollback jitter, so not stored).
+#[derive(Clone)]
+struct Checkpoint {
+    factors: Vec<Matrix>,
+    lambda: Vec<f32>,
+    fit: f64,
+}
+
+/// [`cpd_als`] hardened against faulty MTTKRP backends — the CPD layer of
+/// the simfault stack. Three independent guards:
+///
+/// 1. **NaN/Inf scrubbing** — non-finite entries in a kernel's output or
+///    in the updated factor are replaced with zero (then repaired by later
+///    iterations) instead of poisoning the whole decomposition.
+/// 2. **Tikhonov fallback** — when the Gram-Hadamard matrix `V` is
+///    ill-conditioned (corrupted factors routinely degenerate it), a
+///    relative ridge is added before the pseudo-inverse.
+/// 3. **Checkpoint & rollback** — factors are checkpointed every
+///    [`ResilienceOptions::checkpoint_every`] iterations; a fit regression
+///    beyond [`ResilienceOptions::fit_drop_tol`] rolls back to the last
+///    checkpoint and re-jitters the factors (deterministically, from
+///    `opts.seed` and the rollback count) so the re-run does not retrace
+///    the corrupted trajectory.
+///
+/// Every event is counted in the returned [`ResilienceStats`] and — when a
+/// manifest is supplied — merged into [`RunManifest::resilience`]. With a
+/// fault-free backend every guard is inert: the result equals
+/// [`cpd_als`]'s exactly.
+pub fn cpd_als_resilient(
+    t: &CooTensor,
+    opts: &CpdOptions,
+    ropts: &ResilienceOptions,
+    mut mttkrp: impl FnMut(&[Matrix], usize) -> Matrix,
+    mut manifest: Option<&mut RunManifest>,
+) -> (CpdResult, ResilienceStats) {
+    let run_start = Instant::now();
+    if let Some(m) = manifest.as_deref_mut() {
+        sync_manifest(m, opts);
+    }
+    let order = t.order();
+    let mut factors = random_factors(t, opts.rank, opts.seed);
+    let mut lambda = vec![1.0f32; opts.rank];
+    let mut grams: Vec<Matrix> = factors.iter().map(Matrix::gram).collect();
+    let norm_x = t
+        .values()
+        .iter()
+        .map(|&v| (v as f64) * (v as f64))
+        .sum::<f64>()
+        .sqrt();
+
+    let mut stats = ResilienceStats::default();
+    let mut checkpoint: Option<Checkpoint> = None;
+    let mut best_fit = f64::NEG_INFINITY;
+    let mut fits = Vec::new();
+    let mut prev_fit = 0.0f64;
+    let mut iterations = 0;
+
+    for _iter in 0..opts.max_iters {
+        let iter_start = Instant::now();
+        let mut mode_timings: Vec<ModeTiming> = Vec::new();
+        for mode in 0..order {
+            let mttkrp_start = Instant::now();
+            let mut y = mttkrp(&factors, mode);
+            if manifest.is_some() {
+                mode_timings.push(ModeTiming {
+                    mode,
+                    mttkrp_seconds: mttkrp_start.elapsed().as_secs_f64(),
+                });
+            }
+            stats.nan_resets += scrub_nonfinite(&mut y);
+            let mut v = Matrix::from_vec(opts.rank, opts.rank, vec![1.0; opts.rank * opts.rank]);
+            for (m, g) in grams.iter().enumerate() {
+                if m != mode {
+                    v = v.hadamard(g);
+                }
+            }
+            stats.nan_resets += scrub_nonfinite(&mut v);
+            if spd_condition(&v) > ropts.cond_limit {
+                // Relative ridge: λI scaled to the matrix's own magnitude.
+                let trace: f32 = (0..opts.rank).map(|i| v.get(i, i)).sum();
+                let mu = ropts.ridge * (trace / opts.rank as f32).max(f32::MIN_POSITIVE);
+                for i in 0..opts.rank {
+                    v.set(i, i, v.get(i, i) + mu);
+                }
+                stats.tikhonov_fallbacks += 1;
+            }
+            let mut a_new = y.matmul(&pseudo_inverse(&v));
+            stats.nan_resets += scrub_nonfinite(&mut a_new);
+            lambda = a_new.normalize_columns();
+            for l in &mut lambda {
+                if *l == 0.0 || !l.is_finite() {
+                    *l = 1e-30;
+                }
+            }
+            grams[mode] = a_new.gram();
+            factors[mode] = a_new;
+        }
+        iterations += 1;
+
+        let fit = compute_fit(t, &factors, &lambda, &grams, norm_x);
+        fits.push(fit);
+        if let Some(m) = manifest.as_deref_mut() {
+            m.push_iteration(fit, mode_timings, iter_start.elapsed().as_secs_f64());
+        }
+
+        let regressed = fit.is_nan() || fit < best_fit - ropts.fit_drop_tol;
+        let rollback_target = if regressed && stats.rollbacks < ropts.max_rollbacks {
+            checkpoint.as_ref()
+        } else {
+            None
+        };
+        if let Some(cp) = rollback_target {
+            // Roll back and re-jitter so the retried trajectory draws
+            // different fault sites than the one that regressed.
+            factors = cp.factors.clone();
+            lambda = cp.lambda.clone();
+            prev_fit = cp.fit;
+            stats.rollbacks += 1;
+            let jitter_seed = opts.seed.wrapping_add(0x5EED).wrapping_add(stats.rollbacks);
+            for (m, f) in factors.iter_mut().enumerate() {
+                let noise = Matrix::random(f.rows(), f.cols(), jitter_seed + m as u64);
+                for (v, &nz) in f.data_mut().iter_mut().zip(noise.data()) {
+                    *v += 1e-3 * nz;
+                }
+            }
+            grams = factors.iter().map(Matrix::gram).collect();
+            continue;
+        }
+        if fit.is_finite() && fit > best_fit {
+            best_fit = fit;
+        }
+        if ropts.checkpoint_every > 0 && iterations % ropts.checkpoint_every == 0 && fit.is_finite()
+        {
+            checkpoint = Some(Checkpoint {
+                factors: factors.clone(),
+                lambda: lambda.clone(),
+                fit,
+            });
+            stats.checkpoints += 1;
+        }
+        if iterations > 1 && (fit - prev_fit).abs() < opts.tol {
+            break;
+        }
+        prev_fit = fit;
+    }
+    if let Some(m) = manifest {
+        m.total_seconds = run_start.elapsed().as_secs_f64();
+        m.resilience.merge(&ResilienceRecord {
+            rollbacks: stats.rollbacks,
+            nan_resets: stats.nan_resets,
+            tikhonov_fallbacks: stats.tikhonov_fallbacks,
+            checkpoints: stats.checkpoints,
+            ..ResilienceRecord::default()
+        });
+    }
+
+    (
+        CpdResult {
+            factors,
+            lambda,
+            fits,
+            iterations,
+        },
+        stats,
+    )
 }
 
 /// Non-negative CPD via multiplicative updates (Lee–Seung generalized to
@@ -664,6 +889,106 @@ mod tests {
         assert_eq!(manifest.iterations_run, prof.iterations);
         assert_eq!(manifest.final_fit, prof.final_fit());
         assert!(manifest.iterations.iter().all(|rec| rec.modes.len() == 3));
+    }
+
+    #[test]
+    fn resilient_matches_plain_on_clean_backend() {
+        let t = sptensor::synth::uniform_random(&[10, 12, 14], 300, 9);
+        let opts = CpdOptions {
+            rank: 3,
+            max_iters: 8,
+            tol: 0.0,
+            seed: 21,
+        };
+        let plain = cpd_als(&t, &opts, |f, m| reference::mttkrp(&t, f, m));
+        let (res, stats) = cpd_als_resilient(
+            &t,
+            &opts,
+            &ResilienceOptions::default(),
+            |f, m| reference::mttkrp(&t, f, m),
+            None,
+        );
+        assert_eq!(plain.fits, res.fits, "clean backend: guards must be inert");
+        assert_eq!(stats.nan_resets, 0);
+        assert_eq!(stats.rollbacks, 0);
+        assert_eq!(stats.tikhonov_fallbacks, 0);
+        assert!(stats.checkpoints > 0);
+    }
+
+    #[test]
+    fn resilient_scrubs_nan_poisoned_mttkrp() {
+        let t = sptensor::synth::uniform_random(&[10, 12, 14], 300, 9);
+        let opts = CpdOptions {
+            rank: 3,
+            max_iters: 8,
+            tol: 0.0,
+            seed: 21,
+        };
+        // Every 5th MTTKRP output has one entry poisoned with NaN.
+        let calls = std::cell::Cell::new(0usize);
+        let poisoned = |f: &[Matrix], m: usize| {
+            let mut y = reference::mttkrp(&t, f, m);
+            let n = calls.get();
+            calls.set(n + 1);
+            if n % 5 == 4 {
+                y.set(0, 0, f32::NAN);
+            }
+            y
+        };
+        let (res, stats) =
+            cpd_als_resilient(&t, &opts, &ResilienceOptions::default(), poisoned, None);
+        assert!(stats.nan_resets > 0, "poisoned entries must be scrubbed");
+        assert!(
+            res.final_fit().is_finite() && res.final_fit() > 0.0,
+            "fit {} must stay finite",
+            res.final_fit()
+        );
+    }
+
+    #[test]
+    fn resilient_rolls_back_on_fit_regression() {
+        let t = sptensor::synth::uniform_random(&[10, 12, 14], 400, 31);
+        let opts = CpdOptions {
+            rank: 3,
+            max_iters: 10,
+            tol: 0.0,
+            seed: 33,
+        };
+        let clean = cpd_als(&t, &opts, |f, m| reference::mttkrp(&t, f, m));
+        // One catastrophic kernel execution mid-run (iteration 4, mode 0):
+        // a third of the output entries sign-flipped and blown up 30× —
+        // structural corruption normalization cannot absorb.
+        let calls = std::cell::Cell::new(0usize);
+        let corrupting = |f: &[Matrix], m: usize| {
+            let mut y = reference::mttkrp(&t, f, m);
+            let n = calls.get();
+            calls.set(n + 1);
+            if n == 9 {
+                for (idx, v) in y.data_mut().iter_mut().enumerate() {
+                    if idx % 3 == 0 {
+                        *v *= -30.0;
+                    }
+                }
+            }
+            y
+        };
+        let mut manifest = RunManifest::new("reference", "uniform-400", 0, 0, 0.0, 0);
+        let (res, stats) = cpd_als_resilient(
+            &t,
+            &opts,
+            &ResilienceOptions::default(),
+            corrupting,
+            Some(&mut manifest),
+        );
+        assert!(stats.rollbacks >= 1, "regression must trigger a rollback");
+        assert_eq!(manifest.resilience.rollbacks, stats.rollbacks);
+        assert_eq!(manifest.resilience.checkpoints, stats.checkpoints);
+        assert!(
+            (res.final_fit() - clean.final_fit()).abs() < 0.01,
+            "healed fit {} vs clean {}",
+            res.final_fit(),
+            clean.final_fit()
+        );
     }
 
     #[test]

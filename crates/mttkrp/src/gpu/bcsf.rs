@@ -18,7 +18,7 @@ use gpu_sim::{AddressSpace, ArraySpan, BlockWork, KernelLaunch, Op, WarpWork};
 use sptensor::Index;
 use tensor_formats::{Bcsf, BcsfOptions};
 
-use super::common::{axpy_into, load_u32s, scale_by, FactorAddrs, GpuContext, GpuRun};
+use super::common::{axpy_into, load_u32s, scale_by, AbftSink, FactorAddrs, GpuContext, GpuRun};
 
 /// Synthetic addresses of the B-CSF arrays.
 pub(crate) struct BcsfSpans {
@@ -62,12 +62,23 @@ pub(crate) fn run_named(ctx: &GpuContext, bcsf: &Bcsf, factors: &[Matrix], name:
     let spans = BcsfSpans::alloc(&mut space, bcsf);
     let mut y = Matrix::zeros(bcsf.csf.dims[mode] as usize, r);
     let mut launch = KernelLaunch::new(name);
-    emit(ctx, bcsf, factors, &fa, &spans, &mut y, &mut launch);
-    ctx.finish(y, &launch)
+    let mut sink = ctx.abft_sink(name, y.rows());
+    emit(
+        ctx,
+        bcsf,
+        factors,
+        &fa,
+        &spans,
+        &mut y,
+        &mut launch,
+        &mut sink,
+    );
+    ctx.finish_abft(y, &launch, sink)
 }
 
 /// Emits the kernel's blocks into `launch` and accumulates the real output
 /// into `y` (callable from the HB-CSF composite kernel).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn emit(
     ctx: &GpuContext,
     bcsf: &Bcsf,
@@ -76,6 +87,7 @@ pub(crate) fn emit(
     spans: &BcsfSpans,
     y: &mut Matrix,
     launch: &mut KernelLaunch,
+    sink: &mut AbftSink,
 ) {
     let csf = &bcsf.csf;
     let order = csf.order();
@@ -86,6 +98,7 @@ pub(crate) fn emit(
 
     let mut leafsum = vec![0.0f32; r];
     for asg in &bcsf.blocks {
+        sink.begin_block(y, launch.blocks.len());
         let mut block = BlockWork::new();
         let i = csf.level_idx[0][asg.slice as usize] as usize;
         let fibers = asg.fibers();
@@ -142,7 +155,7 @@ pub(crate) fn emit(
                     w.push(Op::Fma(fa.rank_steps));
                     scale_by(&mut leafsum, factors[csf.perm[l]].row(c));
                 }
-                axpy_into(y.row_mut(i), 1.0, &leafsum);
+                sink.contribute(y, i, &leafsum);
             }
             warps.push(w);
         }
@@ -198,7 +211,17 @@ pub fn emit_launch(ctx: &GpuContext, bcsf: &Bcsf, factors: &[Matrix]) -> KernelL
     let spans = BcsfSpans::alloc(&mut space, bcsf);
     let mut y = Matrix::zeros(bcsf.csf.dims[mode] as usize, r);
     let mut launch = KernelLaunch::new("b-csf");
-    emit(ctx, bcsf, factors, &fa, &spans, &mut y, &mut launch);
+    let mut sink = AbftSink::inactive();
+    emit(
+        ctx,
+        bcsf,
+        factors,
+        &fa,
+        &spans,
+        &mut y,
+        &mut launch,
+        &mut sink,
+    );
     launch
 }
 

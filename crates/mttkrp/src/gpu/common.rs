@@ -11,8 +11,8 @@ use std::sync::Arc;
 
 use dense::Matrix;
 use gpu_sim::{
-    simulate, simulate_profiled, AddressSpace, ArraySpan, CostModel, DeviceProfile, KernelLaunch,
-    SimProfile, SimResult, WarpWork,
+    simulate, simulate_faulted, simulate_profiled, AddressSpace, ArraySpan, BitFlip, CostModel,
+    DeviceProfile, FaultPlan, KernelLaunch, SimProfile, SimResult, WarpWork,
 };
 use sptensor::Index;
 
@@ -29,6 +29,10 @@ pub struct GpuContext {
     /// costs one relaxed atomic load. Enable via [`GpuContext::with_profiling`]
     /// to collect per-launch counters/spans and per-block [`SimProfile`]s.
     pub registry: Arc<simprof::Registry>,
+    /// Optional fault-injection plan. `None` (or an inactive plan) keeps
+    /// every kernel on the exact fault-free code path — bit-for-bit
+    /// identical output and timing. Set via [`GpuContext::with_faults`].
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for GpuContext {
@@ -38,6 +42,7 @@ impl Default for GpuContext {
             cost: CostModel::default(),
             warps_per_block: 16,
             registry: Arc::new(simprof::Registry::disabled()),
+            faults: None,
         }
     }
 }
@@ -59,9 +64,28 @@ impl GpuContext {
         self
     }
 
+    /// Same context with a fault-injection plan. Inactive plans (all rates
+    /// zero) are dropped so the fault-free fast path stays in force.
+    pub fn with_faults(mut self, plan: FaultPlan) -> GpuContext {
+        self.faults = plan.is_active().then_some(plan);
+        self
+    }
+
     /// Whether launches through this context collect profiles.
     pub fn profiling(&self) -> bool {
         self.registry.enabled()
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().filter(|p| p.is_active())
+    }
+
+    /// An ABFT sink for a kernel named `kernel` producing `rows` output
+    /// rows. Active (checksumming + injecting) only when this context
+    /// carries an active fault plan; otherwise a zero-cost pass-through.
+    pub fn abft_sink(&self, kernel: &str, rows: usize) -> AbftSink {
+        AbftSink::new(self.fault_plan().cloned(), kernel, rows)
     }
 
     /// Runs a launch through the simulator (metrics only).
@@ -73,9 +97,41 @@ impl GpuContext {
     /// registry, and pairs the metrics with the computed output. The
     /// per-block [`SimProfile`] is kept only when profiling is enabled.
     pub fn finish(&self, y: Matrix, launch: &KernelLaunch) -> GpuRun {
-        let (sim, profile) = simulate_profiled(&self.device, &self.cost, launch, &self.registry);
-        let profile = self.profiling().then_some(profile);
-        GpuRun { y, sim, profile }
+        self.finish_abft(y, launch, AbftSink::inactive())
+    }
+
+    /// [`GpuContext::finish`] for kernels that routed their output commits
+    /// through an [`AbftSink`]: flushes the sink's last pending fault into
+    /// `y`, simulates under the fault plan (when active), and attaches the
+    /// ABFT checksum data to the run. With no active plan this is exactly
+    /// the historical `finish` path.
+    pub fn finish_abft(&self, mut y: Matrix, launch: &KernelLaunch, mut sink: AbftSink) -> GpuRun {
+        sink.flush(&mut y);
+        match self.fault_plan() {
+            Some(plan) => {
+                let (sim, profile) =
+                    simulate_faulted(&self.device, &self.cost, launch, &self.registry, plan);
+                // Faulted runs always keep the profile: the injected-fault
+                // ledger lives there and resilience reporting needs it.
+                GpuRun {
+                    y,
+                    sim,
+                    profile: Some(profile),
+                    abft: sink.into_data(),
+                }
+            }
+            None => {
+                let (sim, profile) =
+                    simulate_profiled(&self.device, &self.cost, launch, &self.registry);
+                let profile = self.profiling().then_some(profile);
+                GpuRun {
+                    y,
+                    sim,
+                    profile,
+                    abft: None,
+                }
+            }
+        }
     }
 }
 
@@ -84,9 +140,176 @@ impl GpuContext {
 pub struct GpuRun {
     pub y: Matrix,
     pub sim: SimResult,
-    /// Per-block/per-SM attribution; `Some` only when the context was
-    /// profiling (see [`GpuContext::with_profiling`]).
+    /// Per-block/per-SM attribution; `Some` when the context was profiling
+    /// (see [`GpuContext::with_profiling`]) or carried an active fault plan.
     pub profile: Option<SimProfile>,
+    /// ABFT checksums and injection ground truth; `Some` only when the
+    /// context carried an active fault plan.
+    pub abft: Option<AbftData>,
+}
+
+/// ABFT column-checksum record of one kernel execution, plus the injection
+/// ground truth needed to *measure* detection (never consulted by
+/// detection itself — [`crate::abft::verify`] sees only `check`/`abs`).
+#[derive(Debug, Clone)]
+pub struct AbftData {
+    /// Kernel (launch) name the checksums belong to.
+    pub kernel: String,
+    /// Per output row: the `f64` sum of every committed contribution
+    /// across all columns — what `Σ_c Y[i,c]` must equal up to `f32`
+    /// rounding.
+    pub check: Vec<f64>,
+    /// Per output row: the `f64` sum of absolute contribution values,
+    /// the scale against which the detection tolerance is set.
+    pub abs: Vec<f64>,
+    /// Ground truth: rows whose committed accumulation was corrupted by an
+    /// injected flip (sorted, deduplicated).
+    pub corrupted_rows: Vec<u32>,
+    /// Number of bit flips actually applied to data (a drawn flip lands
+    /// only if its block commits at least one contribution).
+    pub flips_applied: u64,
+}
+
+/// A fault latched onto one block's accumulation: the block's running
+/// partial for one `(row, col)` cell, corrupted at block retirement.
+#[derive(Debug, Clone, Copy)]
+struct InflightFlip {
+    row: usize,
+    col: usize,
+    bit: u32,
+    /// The block's accumulated (true) contribution to `y[row][col]`.
+    partial: f32,
+}
+
+/// Routes every kernel output commit, maintaining ABFT column checksums
+/// and applying the fault plan's bit flips to per-block accumulations.
+///
+/// Kernels call [`AbftSink::begin_block`] when they start emitting a
+/// thread block and [`AbftSink::contribute`] instead of a bare
+/// `axpy_into(y.row_mut(i), ..)` at every output commit. An inactive sink
+/// (no fault plan) reduces each call to exactly the historical `axpy_into`
+/// — the fault-free path stays bit-for-bit identical.
+///
+/// A drawn [`BitFlip`] corrupts the *block's accumulated partial* for one
+/// output cell (the first cell the block commits to): the flip is modeled
+/// as hitting the block's accumulator register before write-back, so the
+/// injected error scales with the block's whole contribution — the
+/// "bit flips in per-block accumulation" fault class.
+#[derive(Debug)]
+pub struct AbftSink {
+    plan: Option<FaultPlan>,
+    kernel: String,
+    check: Vec<f64>,
+    abs: Vec<f64>,
+    /// Flip drawn for the current block, not yet latched to a cell.
+    pending: Option<BitFlip>,
+    /// Flip latched to a cell, accumulating the block's partial.
+    inflight: Option<InflightFlip>,
+    corrupted_rows: Vec<u32>,
+    flips_applied: u64,
+}
+
+impl AbftSink {
+    /// A permanently inactive sink (pure pass-through).
+    pub fn inactive() -> AbftSink {
+        AbftSink::new(None, "", 0)
+    }
+
+    fn new(plan: Option<FaultPlan>, kernel: &str, rows: usize) -> AbftSink {
+        let n = if plan.is_some() { rows } else { 0 };
+        AbftSink {
+            plan,
+            kernel: kernel.to_string(),
+            check: vec![0.0; n],
+            abs: vec![0.0; n],
+            pending: None,
+            inflight: None,
+            corrupted_rows: Vec::new(),
+            flips_applied: 0,
+        }
+    }
+
+    /// Whether this sink checksums and injects (i.e. a fault plan is set).
+    #[inline]
+    pub fn active(&self) -> bool {
+        self.plan.is_some()
+    }
+
+    /// Marks the start of thread block `block` (index in launch emission
+    /// order, which matches the scheduler's block order): retires the
+    /// previous block — applying its latched flip, if any — and draws this
+    /// block's flip from the plan.
+    #[inline]
+    pub fn begin_block(&mut self, y: &mut Matrix, block: usize) {
+        if let Some(plan) = &self.plan {
+            let flip = plan.block_bitflip(&self.kernel, block);
+            self.flush(y);
+            self.pending = flip;
+        }
+    }
+
+    /// Commits one output contribution: `y[i] += acc`, recording the `f64`
+    /// checksum and latching/accumulating the block's fault partial.
+    #[inline]
+    pub fn contribute(&mut self, y: &mut Matrix, i: usize, acc: &[f32]) {
+        if self.plan.is_none() {
+            axpy_into(y.row_mut(i), 1.0, acc);
+            return;
+        }
+        let (mut sum, mut abs) = (0.0f64, 0.0f64);
+        for &a in acc {
+            sum += f64::from(a);
+            abs += f64::from(a).abs();
+        }
+        self.check[i] += sum;
+        self.abs[i] += abs;
+        axpy_into(y.row_mut(i), 1.0, acc);
+        if let Some(flip) = self.pending {
+            let col = flip.lane as usize % acc.len().max(1);
+            match &mut self.inflight {
+                // Latch the flip onto the block's first committed cell.
+                None => {
+                    self.inflight = Some(InflightFlip {
+                        row: i,
+                        col,
+                        bit: flip.bit,
+                        partial: acc[col],
+                    })
+                }
+                // Same cell again: the block's partial keeps accumulating.
+                Some(fl) if fl.row == i => fl.partial += acc[col],
+                // Block moved to another row: the latched cell is final.
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Retires the in-flight block: replaces its latched cell's true
+    /// partial with the bit-flipped partial (`y[r][c] += flip(p) − p`).
+    fn flush(&mut self, y: &mut Matrix) {
+        self.pending = None;
+        if let Some(fl) = self.inflight.take() {
+            let corrupted = f32::from_bits(fl.partial.to_bits() ^ (1u32 << fl.bit));
+            y.row_mut(fl.row)[fl.col] += corrupted - fl.partial;
+            self.flips_applied += 1;
+            self.corrupted_rows.push(fl.row as u32);
+        }
+    }
+
+    /// The finished checksum record (`None` for inactive sinks). Callers
+    /// must have flushed the final block first (`finish_abft` does).
+    fn into_data(mut self) -> Option<AbftData> {
+        self.plan.as_ref()?;
+        self.corrupted_rows.sort_unstable();
+        self.corrupted_rows.dedup();
+        Some(AbftData {
+            kernel: self.kernel,
+            check: self.check,
+            abs: self.abs,
+            corrupted_rows: self.corrupted_rows,
+            flips_applied: self.flips_applied,
+        })
+    }
 }
 
 /// Synthetic device addresses of the factor matrices and the output.

@@ -12,7 +12,7 @@ use dense::Matrix;
 use gpu_sim::{AddressSpace, ArraySpan, BlockWork, KernelLaunch, Op, WarpWork};
 use tensor_formats::Csl;
 
-use super::common::{axpy_into, load_u32s, scale_by, FactorAddrs, GpuContext, GpuRun};
+use super::common::{load_u32s, scale_by, AbftSink, FactorAddrs, GpuContext, GpuRun};
 
 /// Target nonzeros per warp. One 32-wide chunk keeps CSL's block
 /// granularity (16 warps × 32 = 512 nonzeros) identical to B-CSF's binning,
@@ -88,11 +88,22 @@ pub fn run(ctx: &GpuContext, csl: &Csl, factors: &[Matrix]) -> GpuRun {
     let spans = CslSpans::alloc(&mut space, csl);
     let mut y = Matrix::zeros(csl.dims[mode] as usize, r);
     let mut launch = KernelLaunch::new("csl");
-    emit(ctx, csl, factors, &fa, &spans, &mut y, &mut launch);
-    ctx.finish(y, &launch)
+    let mut sink = ctx.abft_sink("csl", y.rows());
+    emit(
+        ctx,
+        csl,
+        factors,
+        &fa,
+        &spans,
+        &mut y,
+        &mut launch,
+        &mut sink,
+    );
+    ctx.finish_abft(y, &launch, sink)
 }
 
 /// Emits the CSL kernel into `launch`, accumulating the real output.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn emit(
     ctx: &GpuContext,
     csl: &Csl,
@@ -101,6 +112,7 @@ pub(crate) fn emit(
     spans: &CslSpans,
     y: &mut Matrix,
     launch: &mut KernelLaunch,
+    sink: &mut AbftSink,
 ) {
     let order = csl.order();
     let r = factors[0].cols();
@@ -108,6 +120,7 @@ pub(crate) fn emit(
     let mut acc = vec![0.0f32; r];
 
     for block_jobs in jobs.chunks(ctx.warps_per_block) {
+        sink.begin_block(y, launch.blocks.len());
         let mut block = BlockWork::new();
         for job in block_jobs {
             let mut w = WarpWork::new();
@@ -137,7 +150,7 @@ pub(crate) fn emit(
                         w.push(Op::Fma(fa.rank_steps));
                         scale_by(&mut acc, factors[*span_mode].row(c));
                     }
-                    axpy_into(y.row_mut(i), 1.0, &acc);
+                    sink.contribute(y, i, &acc);
                 }
                 if atomic {
                     fa.atomic_y(&mut w, i);

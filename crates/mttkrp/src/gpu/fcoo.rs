@@ -23,7 +23,7 @@ use dense::Matrix;
 use gpu_sim::{AddressSpace, ArraySpan, BlockWork, KernelLaunch, Op, WarpWork};
 use tensor_formats::Fcoo;
 
-use super::common::{axpy_into, scale_by, FactorAddrs, GpuContext, GpuRun};
+use super::common::{scale_by, FactorAddrs, GpuContext, GpuRun};
 
 /// Default per-thread chunk length (the framework's tuning sweet spot in
 /// our packing; the paper tunes over {8, 16, 32, 64}).
@@ -64,9 +64,11 @@ pub fn run(ctx: &GpuContext, fcoo: &Fcoo, factors: &[Matrix]) -> GpuRun {
     let warp_span = 32 * tl;
     let mut acc = vec![0.0f32; r];
 
+    let mut sink = ctx.abft_sink("f-coo-gpu", y.rows());
     let mut warp_base = 0usize;
     let mut boundary_rows: Vec<u32> = Vec::new();
     'outer: loop {
+        sink.begin_block(&mut y, launch.blocks.len());
         let mut block = BlockWork::new();
         for _ in 0..ctx.warps_per_block {
             if warp_base >= fcoo.nnz() {
@@ -154,7 +156,7 @@ pub fn run(ctx: &GpuContext, fcoo: &Fcoo, factors: &[Matrix]) -> GpuRun {
                 for (l, &pm) in fcoo.perm[1..].iter().enumerate() {
                     scale_by(&mut acc, factors[pm].row(fcoo.coord[l][z] as usize));
                 }
-                axpy_into(y.row_mut(i), 1.0, &acc);
+                sink.contribute(&mut y, i, &acc);
                 if ordinal != committed {
                     if ordinal == first_ordinal || ordinal == last_ordinal {
                         // Boundary partial: spill one R-wide row per end.
@@ -177,8 +179,12 @@ pub fn run(ctx: &GpuContext, fcoo: &Fcoo, factors: &[Matrix]) -> GpuRun {
     // ---- Pass 2: global segmented reduction of the spilled boundary
     // partials (F-COO's second kernel): load each partial row, fold it
     // into Y atomically.
+    // These reduction blocks commit no semantic contributions through the
+    // sink, so a flip drawn for one of them lands in dead state — the
+    // realistic fate of a flip hitting a block with no live accumulator.
     let mut idx = 0usize;
     while idx < boundary_rows.len() {
+        sink.begin_block(&mut y, launch.blocks.len());
         let mut block = BlockWork::new();
         for _ in 0..ctx.warps_per_block {
             if idx >= boundary_rows.len() {
@@ -199,7 +205,7 @@ pub fn run(ctx: &GpuContext, fcoo: &Fcoo, factors: &[Matrix]) -> GpuRun {
         launch.blocks.push(block);
     }
 
-    ctx.finish(y, &launch)
+    ctx.finish_abft(y, &launch, sink)
 }
 
 /// Emits the segments touched when 32 lanes read 4-byte entries at

@@ -17,7 +17,7 @@ use sptensor::CooTensor;
 use tensor_formats::{BcsfOptions, Hbcsf};
 
 use super::bcsf::BcsfSpans;
-use super::common::{axpy_into, load_u32s, scale_by, FactorAddrs, GpuContext, GpuRun};
+use super::common::{load_u32s, scale_by, AbftSink, FactorAddrs, GpuContext, GpuRun};
 use super::csl::CslSpans;
 
 /// Runs the composite kernel; output mode is `h.perm[0]`.
@@ -37,11 +37,32 @@ pub fn run(ctx: &GpuContext, h: &Hbcsf, factors: &[Matrix]) -> GpuRun {
 
     let mut y = Matrix::zeros(h.dims[mode] as usize, r);
     let mut launch = KernelLaunch::new("hb-csf");
+    // One sink across all three groups: fault draws key on the fused
+    // launch's name and launch-wide block index, matching the scheduler.
+    let mut sink = ctx.abft_sink("hb-csf", y.rows());
 
     // Heavy group first: the longest blocks enter the SM schedule earliest,
     // which is the standard heavy-first heuristic a real launch order uses.
-    super::bcsf::emit(ctx, &h.bcsf, factors, &fa, &bcsf_spans, &mut y, &mut launch);
-    super::csl::emit(ctx, &h.csl, factors, &fa, &csl_spans, &mut y, &mut launch);
+    super::bcsf::emit(
+        ctx,
+        &h.bcsf,
+        factors,
+        &fa,
+        &bcsf_spans,
+        &mut y,
+        &mut launch,
+        &mut sink,
+    );
+    super::csl::emit(
+        ctx,
+        &h.csl,
+        factors,
+        &fa,
+        &csl_spans,
+        &mut y,
+        &mut launch,
+        &mut sink,
+    );
     emit_coo_group(
         ctx,
         h,
@@ -51,9 +72,10 @@ pub fn run(ctx: &GpuContext, h: &Hbcsf, factors: &[Matrix]) -> GpuRun {
         coo_vals_span,
         &mut y,
         &mut launch,
+        &mut sink,
     );
 
-    ctx.finish(y, &launch)
+    ctx.finish_abft(y, &launch, sink)
 }
 
 /// COO group: warps of 32 single-nonzero slices, plain stores.
@@ -67,12 +89,14 @@ fn emit_coo_group(
     vals_span: gpu_sim::ArraySpan,
     y: &mut Matrix,
     launch: &mut KernelLaunch,
+    sink: &mut AbftSink,
 ) {
     let r = factors[0].cols();
     let m = h.coo_vals.len();
     let per_block = 32 * ctx.warps_per_block;
     let mut acc = vec![0.0f32; r];
     for block_start in (0..m).step_by(per_block) {
+        sink.begin_block(y, launch.blocks.len());
         let mut block = BlockWork::new();
         let block_end = (block_start + per_block).min(m);
         for warp_start in (block_start..block_end).step_by(32) {
@@ -97,7 +121,7 @@ fn emit_coo_group(
                 let i = h.coo_coord[0][e] as usize;
                 // Single-nonzero slice: the row is written exactly once.
                 fa.store_y(&mut w, i);
-                axpy_into(y.row_mut(i), 1.0, &acc);
+                sink.contribute(y, i, &acc);
             }
             block.warps.push(w);
         }

@@ -29,4 +29,4 @@ pub mod fcoo;
 pub mod hbcsf;
 pub mod parti_coo;
 
-pub use common::{GpuContext, GpuRun};
+pub use common::{AbftData, AbftSink, GpuContext, GpuRun};

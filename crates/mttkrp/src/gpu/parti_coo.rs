@@ -10,7 +10,7 @@ use dense::Matrix;
 use gpu_sim::{AddressSpace, BlockWork, KernelLaunch, Op, WarpWork};
 use sptensor::CooTensor;
 
-use super::common::{axpy_into, load_u32s, scale_by, FactorAddrs, GpuContext, GpuRun};
+use super::common::{load_u32s, scale_by, FactorAddrs, GpuContext, GpuRun};
 use crate::reference::check_shapes;
 
 /// Nonzeros handled by one warp (rank across lanes; nonzeros serial).
@@ -38,8 +38,10 @@ pub fn run(ctx: &GpuContext, t: &CooTensor, factors: &[Matrix], mode: usize) -> 
     let product_modes: Vec<usize> = (0..3).filter(|&m| m != mode).collect();
     let nnz_per_block = NNZ_PER_WARP * ctx.warps_per_block;
 
+    let mut sink = ctx.abft_sink("parti-coo-gpu", y.rows());
     let mut acc = vec![0.0f32; r];
     for block_start in (0..t.nnz()).step_by(nnz_per_block) {
+        sink.begin_block(&mut y, launch.blocks.len());
         let mut block = BlockWork::new();
         let block_end = (block_start + nnz_per_block).min(t.nnz());
         for warp_start in (block_start..block_end).step_by(NNZ_PER_WARP) {
@@ -66,14 +68,14 @@ pub fn run(ctx: &GpuContext, t: &CooTensor, factors: &[Matrix], mode: usize) -> 
                 }
                 let i = t.mode_indices(mode)[z] as usize;
                 fa.atomic_y(&mut w, i);
-                axpy_into(y.row_mut(i), 1.0, &acc);
+                sink.contribute(&mut y, i, &acc);
             }
             block.warps.push(w);
         }
         launch.blocks.push(block);
     }
 
-    ctx.finish(y, &launch)
+    ctx.finish_abft(y, &launch, sink)
 }
 
 #[cfg(test)]

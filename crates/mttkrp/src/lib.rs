@@ -27,6 +27,7 @@
 // iterator forms Clippy suggests obscure that symmetry.
 #![allow(clippy::needless_range_loop)]
 
+pub mod abft;
 pub mod cpd;
 pub mod cpu;
 pub mod gpu;
@@ -34,9 +35,10 @@ pub mod preprocess;
 pub mod reference;
 pub mod ttm;
 
+pub use abft::{run_verified, AbftOptions, KernelReport};
 pub use cpd::{
-    cpd_als, cpd_als_nonneg, cpd_als_nonneg_profiled, cpd_als_profiled, factor_match_score,
-    CpdOptions, CpdResult,
+    cpd_als, cpd_als_nonneg, cpd_als_nonneg_profiled, cpd_als_profiled, cpd_als_resilient,
+    factor_match_score, CpdOptions, CpdResult, ResilienceOptions, ResilienceStats,
 };
 pub use reference::mttkrp as mttkrp_reference;
 

@@ -42,6 +42,50 @@ pub fn mttkrp(t: &CooTensor, factors: &[Matrix], mode: usize) -> Matrix {
     y
 }
 
+/// Recomputes mode-`mode` MTTKRP for a subset of output rows only.
+///
+/// Used by the ABFT degrade path: after retries are exhausted, the rows
+/// still flagged as corrupted are recomputed on the "host" with this
+/// sequential kernel and patched over the GPU output. Rows not listed in
+/// `rows` are left at zero in the returned matrix.
+///
+/// # Panics
+/// If factor shapes are inconsistent with the tensor.
+pub fn mttkrp_rows(t: &CooTensor, factors: &[Matrix], mode: usize, rows: &[u32]) -> Matrix {
+    let (order, r) = check_shapes(t, factors, mode);
+    let mut y = Matrix::zeros(t.dims()[mode] as usize, r);
+    if rows.is_empty() {
+        return y;
+    }
+    let wanted: std::collections::HashSet<u32> = rows.iter().copied().collect();
+    let vals = t.values();
+    let mut acc = vec![0.0f32; r];
+    for z in 0..t.nnz() {
+        let i = t.mode_indices(mode)[z];
+        if !wanted.contains(&i) {
+            continue;
+        }
+        let v = vals[z];
+        for a in acc.iter_mut() {
+            *a = v;
+        }
+        for m in 0..order {
+            if m == mode {
+                continue;
+            }
+            let row = factors[m].row(t.mode_indices(m)[z] as usize);
+            for (a, &f) in acc.iter_mut().zip(row) {
+                *a *= f;
+            }
+        }
+        let out = y.row_mut(i as usize);
+        for (o, &a) in out.iter_mut().zip(&acc) {
+            *o += a;
+        }
+    }
+    y
+}
+
 /// Validates tensor/factor shape agreement; returns `(order, rank)`.
 pub fn check_shapes(t: &CooTensor, factors: &[Matrix], mode: usize) -> (usize, usize) {
     let order = t.order();

@@ -34,6 +34,50 @@ pub struct IterationRecord {
     pub seconds: f64,
 }
 
+/// Fault-tolerance event counts accumulated over a run: what the fault
+/// plan injected, what ABFT detected, and what the self-healing layers
+/// (kernel retries, CPU degrades, ALS rollbacks) did about it. All zeros
+/// for a fault-free run.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
+pub struct ResilienceRecord {
+    /// Scheduler-level faults injected by the simulator (bit flips, block
+    /// aborts, stragglers).
+    pub faults_injected: u64,
+    /// Output rows the ABFT checksum verification flagged as corrupted.
+    pub rows_detected: u64,
+    /// Whole-kernel re-executions triggered by failed verification.
+    pub kernel_retries: u64,
+    /// Rows that exhausted retries and were recomputed on the CPU.
+    pub degraded_rows: u64,
+    /// ALS checkpoint rollbacks after a fit regression.
+    pub rollbacks: u64,
+    /// Non-finite factor entries sanitized by the NaN/Inf guard.
+    pub nan_resets: u64,
+    /// Normal-equations solves that fell back to Tikhonov regularization.
+    pub tikhonov_fallbacks: u64,
+    /// ALS checkpoints taken.
+    pub checkpoints: u64,
+}
+
+impl ResilienceRecord {
+    /// Whether any fault, detection, or recovery event was recorded.
+    pub fn any(&self) -> bool {
+        *self != ResilienceRecord::default()
+    }
+
+    /// Accumulates another record's counts into this one.
+    pub fn merge(&mut self, other: &ResilienceRecord) {
+        self.faults_injected += other.faults_injected;
+        self.rows_detected += other.rows_detected;
+        self.kernel_retries += other.kernel_retries;
+        self.degraded_rows += other.degraded_rows;
+        self.rollbacks += other.rollbacks;
+        self.nan_resets += other.nan_resets;
+        self.tikhonov_fallbacks += other.tikhonov_fallbacks;
+        self.checkpoints += other.checkpoints;
+    }
+}
+
 /// Telemetry of a full CPD-ALS run.
 #[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct RunManifest {
@@ -51,6 +95,9 @@ pub struct RunManifest {
     pub total_seconds: f64,
     pub final_fit: f64,
     pub iterations_run: usize,
+    /// Fault-injection and recovery event counts (all zeros when the run
+    /// executed without a fault plan).
+    pub resilience: ResilienceRecord,
 }
 
 impl RunManifest {
@@ -76,6 +123,7 @@ impl RunManifest {
             total_seconds: 0.0,
             final_fit: 0.0,
             iterations_run: 0,
+            resilience: ResilienceRecord::default(),
         }
     }
 
@@ -173,6 +221,31 @@ mod tests {
         let phases = v["format_construction"].as_array().unwrap();
         assert_eq!(phases.len(), 3);
         assert_eq!(phases[0]["label"], "build hbcsf mode 0");
+        // The resilience record is always present (all zeros when clean).
+        assert_eq!(v["resilience"]["faults_injected"].as_u64(), Some(0));
+        assert_eq!(v["resilience"]["rollbacks"].as_u64(), Some(0));
+    }
+
+    #[test]
+    fn resilience_record_merges_and_detects_events() {
+        let mut r = ResilienceRecord::default();
+        assert!(!r.any());
+        let other = ResilienceRecord {
+            faults_injected: 3,
+            rows_detected: 2,
+            kernel_retries: 1,
+            degraded_rows: 1,
+            rollbacks: 1,
+            nan_resets: 4,
+            tikhonov_fallbacks: 2,
+            checkpoints: 5,
+        };
+        r.merge(&other);
+        r.merge(&other);
+        assert!(r.any());
+        assert_eq!(r.faults_injected, 6);
+        assert_eq!(r.nan_resets, 8);
+        assert_eq!(r.checkpoints, 10);
     }
 
     #[test]

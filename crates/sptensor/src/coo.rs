@@ -145,16 +145,17 @@ impl CooTensor {
 
     /// Checks the structural invariants. All constructors already enforce
     /// them; this exists for tests and for data read from external files.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), crate::TensorError> {
+        let fail = |msg: String| Err(crate::TensorError::invalid("coo", msg));
         if self.dims.is_empty() {
-            return Err("empty dims".into());
+            return fail("empty dims".into());
         }
         for (m, arr) in self.inds.iter().enumerate() {
             if arr.len() != self.vals.len() {
-                return Err(format!("mode {m} index array length mismatch"));
+                return fail(format!("mode {m} index array length mismatch"));
             }
             if let Some(&bad) = arr.iter().find(|&&i| i >= self.dims[m]) {
-                return Err(format!("mode {m} index {bad} >= extent {}", self.dims[m]));
+                return fail(format!("mode {m} index {bad} >= extent {}", self.dims[m]));
             }
         }
         Ok(())

@@ -1,0 +1,113 @@
+//! Shared typed errors for tensor I/O and structural validation.
+//!
+//! One enum serves both layers that can reject data: the readers in
+//! [`crate::io`] (malformed text/binary input) and the `validate()`
+//! methods on [`crate::CooTensor`] and the compressed formats in the
+//! `tensor-formats` crate (violated structural invariants). Before this
+//! existed every failure was a bare `String`; callers could print but
+//! never branch. The enum is `thiserror`-shaped by hand — the workspace
+//! vendors its dependencies and deliberately carries no proc-macro error
+//! crate.
+
+use std::fmt;
+
+/// Result alias for fallible tensor operations.
+pub type TensorResult<T> = Result<T, TensorError>;
+
+/// Why a tensor could not be read or failed validation.
+#[derive(Debug)]
+pub enum TensorError {
+    /// An underlying I/O failure (short read, broken pipe, ...).
+    Io(std::io::Error),
+    /// A malformed line in text input. `line` is 1-based, pointing at the
+    /// offending line of the `.tns` file.
+    Parse { line: usize, msg: String },
+    /// A structural invariant violation: in-memory data (or a decoded
+    /// binary file) that no valid tensor/format instance can have.
+    /// `context` names the structure, e.g. `"coo"` or `"csf"`.
+    Invalid { context: &'static str, msg: String },
+}
+
+impl TensorError {
+    /// A parse error at 0-based line `lineno` (stored 1-based).
+    pub fn parse_at(lineno: usize, msg: impl Into<String>) -> Self {
+        TensorError::Parse {
+            line: lineno + 1,
+            msg: msg.into(),
+        }
+    }
+
+    /// An invariant violation in structure `context`.
+    pub fn invalid(context: &'static str, msg: impl Into<String>) -> Self {
+        TensorError::Invalid {
+            context,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::Io(e) => write!(f, "i/o error: {e}"),
+            TensorError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+            TensorError::Invalid { context, msg } => write!(f, "invalid {context}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TensorError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TensorError {
+    fn from(e: std::io::Error) -> Self {
+        TensorError::Io(e)
+    }
+}
+
+/// Lets `TensorResult` flow into `io::Result` call chains unchanged.
+impl From<TensorError> for std::io::Error {
+    fn from(e: TensorError) -> Self {
+        match e {
+            TensorError::Io(inner) => inner,
+            other => std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = TensorError::parse_at(4, "bad value");
+        assert_eq!(e.to_string(), "line 5: bad value");
+        let e = TensorError::invalid("csf", "pointer not monotone");
+        assert_eq!(e.to_string(), "invalid csf: pointer not monotone");
+    }
+
+    #[test]
+    fn io_round_trip_preserves_kind() {
+        let io_err = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "short");
+        let te: TensorError = io_err.into();
+        let back: std::io::Error = te.into();
+        assert_eq!(back.kind(), std::io::ErrorKind::UnexpectedEof);
+        let back2: std::io::Error = TensorError::parse_at(0, "x").into();
+        assert_eq!(back2.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn source_chains_io() {
+        use std::error::Error;
+        let te = TensorError::from(std::io::Error::other("inner"));
+        assert!(te.source().is_some());
+        assert!(TensorError::parse_at(0, "x").source().is_none());
+    }
+}

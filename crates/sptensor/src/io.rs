@@ -9,12 +9,16 @@
 
 use std::io::{self, BufRead, Write};
 
-use crate::{CooTensor, Index, Value};
+use crate::{CooTensor, Index, TensorError, TensorResult, Value};
 
 /// Reads a tensor from `.tns` text. Order is inferred from the first data
 /// line; extents are per-mode maxima (so empty trailing hyperplanes are not
 /// representable, same as FROSTT itself).
-pub fn read_tns<R: BufRead>(reader: R) -> io::Result<CooTensor> {
+///
+/// Every malformed line — bad token, 0 or out-of-range index, non-finite
+/// value — is rejected with a [`TensorError::Parse`] naming the offending
+/// line; this function never panics on hostile input.
+pub fn read_tns<R: BufRead>(reader: R) -> TensorResult<CooTensor> {
     let mut inds: Vec<Vec<Index>> = Vec::new();
     let mut vals: Vec<Value> = Vec::new();
     let mut order: Option<usize> = None;
@@ -53,11 +57,13 @@ pub fn read_tns<R: BufRead>(reader: R) -> io::Result<CooTensor> {
         let v: Value = toks[n]
             .parse()
             .map_err(|_| bad_line(lineno, "invalid value"))?;
+        if !v.is_finite() {
+            return Err(bad_line(lineno, "non-finite value (NaN/inf) rejected"));
+        }
         vals.push(v);
     }
 
-    let order = order
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no data lines in .tns input"))?;
+    let order = order.ok_or_else(|| TensorError::invalid("tns", "no data lines in input"))?;
     let dims: Vec<Index> = (0..order)
         .map(|m| inds[m].iter().copied().max().unwrap_or(0) + 1)
         .collect();
@@ -81,11 +87,8 @@ pub fn write_tns<W: Write>(t: &CooTensor, mut writer: W) -> io::Result<()> {
     Ok(())
 }
 
-fn bad_line(lineno: usize, msg: &str) -> io::Error {
-    io::Error::new(
-        io::ErrorKind::InvalidData,
-        format!(".tns line {}: {}", lineno + 1, msg),
-    )
+fn bad_line(lineno: usize, msg: &str) -> TensorError {
+    TensorError::parse_at(lineno, msg)
 }
 
 /// Magic prefix of the binary tensor format.
@@ -115,20 +118,17 @@ pub fn write_bin<W: Write>(t: &CooTensor, mut w: W) -> io::Result<()> {
 }
 
 /// Reads a tensor written by [`write_bin`].
-pub fn read_bin<R: io::Read>(mut r: R) -> io::Result<CooTensor> {
+pub fn read_bin<R: io::Read>(mut r: R) -> TensorResult<CooTensor> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != BIN_MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "not an SPT1 binary tensor",
-        ));
+        return Err(TensorError::invalid("spt1", "not an SPT1 binary tensor"));
     }
     let mut b1 = [0u8; 1];
     r.read_exact(&mut b1)?;
     let order = b1[0] as usize;
     if order == 0 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "zero order"));
+        return Err(TensorError::invalid("spt1", "zero order"));
     }
     let mut u32buf = [0u8; 4];
     let mut dims = Vec::with_capacity(order);
@@ -153,11 +153,11 @@ pub fn read_bin<R: io::Read>(mut r: R) -> io::Result<CooTensor> {
         r.read_exact(&mut u32buf)?;
         vals.push(f32::from_le_bytes(u32buf));
     }
-    // from_parts validates ranges; map the panic to an IO error instead.
+    // from_parts validates ranges; map the panic to a typed error instead.
     for (m, arr) in inds.iter().enumerate() {
         if let Some(&bad) = arr.iter().find(|&&i| i >= dims[m]) {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
+            return Err(TensorError::invalid(
+                "spt1",
                 format!("mode {m} index {bad} out of range"),
             ));
         }
@@ -208,6 +208,31 @@ mod tests {
     fn rejects_empty_input() {
         let text = "# only comments\n";
         assert!(read_tns(BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_values_with_line_number() {
+        for bad in ["NaN", "inf", "-inf", "Infinity"] {
+            let text = format!("# header\n1 1 1 3.0\n2 2 2 {bad}\n");
+            let err =
+                read_tns(BufReader::new(text.as_bytes())).expect_err("non-finite must be rejected");
+            match err {
+                TensorError::Parse { line, ref msg } => {
+                    assert_eq!(line, 3, "{bad}: wrong line in {err}");
+                    assert!(msg.contains("non-finite"), "{bad}: {msg}");
+                }
+                other => panic!("{bad}: expected Parse error, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn errors_carry_one_based_line_numbers() {
+        let text = "1 1 1 3.0\n0 1 1 2.0\n";
+        match read_tns(BufReader::new(text.as_bytes())) {
+            Err(TensorError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected Parse error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 pub mod coo;
 pub mod dims;
+pub mod error;
 pub mod io;
 pub mod reorder;
 pub mod stats;
@@ -28,6 +29,7 @@ pub mod synth;
 
 pub use coo::{CooTensor, Entry};
 pub use dims::{identity_perm, mode_orientation, ModePerm};
+pub use error::{TensorError, TensorResult};
 pub use stats::{ModeStats, TensorStats};
 pub use synth::{standins, DatasetSpec, SynthConfig};
 

@@ -18,6 +18,7 @@
 //!   slices shared between blocks.
 
 use sptensor::dims::ModePerm;
+use sptensor::TensorError;
 use sptensor::{CooTensor, Index};
 
 use crate::csf::Csf;
@@ -122,11 +123,15 @@ impl Bcsf {
             csf
         };
         let blocks = assign_blocks(&csf, &options);
-        Bcsf {
+        let out = Bcsf {
             csf,
             options,
             blocks,
-        }
+        };
+        // Malformed builds must fail at creation, not at kernel time.
+        #[cfg(debug_assertions)]
+        out.validate().expect("freshly built B-CSF must validate");
+        out
     }
 
     #[inline]
@@ -149,14 +154,15 @@ impl Bcsf {
     }
 
     /// Structural invariants beyond the inner CSF's own.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), TensorError> {
+        let fail = |msg: String| Err(TensorError::invalid("b-csf", msg));
         self.csf.validate()?;
         let fl = self.csf.order() - 2;
         if self.options.fiber_split {
             let thr = self.options.fiber_split_threshold;
             for (g, len) in self.csf.fiber_lengths().iter().enumerate() {
                 if *len > thr {
-                    return Err(format!("fiber-segment {g} has {len} > threshold {thr}"));
+                    return fail(format!("fiber-segment {g} has {len} > threshold {thr}"));
                 }
             }
         }
@@ -164,19 +170,19 @@ impl Bcsf {
         let mut next = 0u32;
         for (i, b) in self.blocks.iter().enumerate() {
             if b.fiber_begin != next {
-                return Err(format!(
+                return fail(format!(
                     "block {i} starts at {} expected {next}",
                     b.fiber_begin
                 ));
             }
             if b.fiber_end <= b.fiber_begin {
-                return Err(format!("block {i} empty"));
+                return fail(format!("block {i} empty"));
             }
             next = b.fiber_end;
         }
         let num_fibers = self.csf.level_idx[fl].len() as u32;
         if next != num_fibers {
-            return Err(format!("blocks cover {next} of {num_fibers} fibers"));
+            return fail(format!("blocks cover {next} of {num_fibers} fibers"));
         }
         // Atomic flags: set iff the slice appears in more than one block.
         let mut per_slice = vec![0u32; self.csf.num_slices()];
@@ -185,7 +191,7 @@ impl Bcsf {
         }
         for (i, b) in self.blocks.iter().enumerate() {
             if (per_slice[b.slice as usize] > 1) != b.needs_atomic {
-                return Err(format!("block {i} atomic flag inconsistent"));
+                return fail(format!("block {i} atomic flag inconsistent"));
             }
         }
         Ok(())

@@ -10,6 +10,7 @@
 //! `N = 3`: `slicePtr/sliceInds`, `fiberPtr/fiberInds`, `indK/vals`.
 
 use sptensor::dims::{invert_perm, is_valid_perm, ModePerm};
+use sptensor::TensorError;
 use sptensor::{CooTensor, Index, Value};
 
 /// An order-`N` CSF tensor. Fields are public (read-only by convention) so
@@ -106,14 +107,18 @@ impl Csf {
             level_ptr[l].push(end as u32);
         }
 
-        Csf {
+        let out = Csf {
             dims: t.dims().to_vec(),
             perm: perm.clone(),
             level_idx,
             level_ptr,
             leaf_idx,
             vals,
-        }
+        };
+        // Malformed builds must fail at creation, not at kernel time.
+        #[cfg(debug_assertions)]
+        out.validate().expect("freshly built CSF must validate");
+        out
     }
 
     /// Tensor order `N`.
@@ -230,15 +235,16 @@ impl Csf {
     }
 
     /// Structural invariant check (tests and post-construction audits).
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), TensorError> {
+        let fail = |msg: String| Err(TensorError::invalid("csf", msg));
         let nlev = self.order() - 1;
         if self.level_idx.len() != nlev || self.level_ptr.len() != nlev {
-            return Err("level array count mismatch".into());
+            return fail("level array count mismatch".into());
         }
         for l in 0..nlev {
             let n = self.level_idx[l].len();
             if self.level_ptr[l].len() != n + 1 {
-                return Err(format!("level {l} ptr length must be idx length + 1"));
+                return fail(format!("level {l} ptr length must be idx length + 1"));
             }
             let child_count = if l + 1 < nlev {
                 self.level_idx[l + 1].len()
@@ -246,22 +252,22 @@ impl Csf {
                 self.nnz()
             };
             if self.level_ptr[l][0] != 0 || self.level_ptr[l][n] as usize != child_count {
-                return Err(format!("level {l} ptr endpoints wrong"));
+                return fail(format!("level {l} ptr endpoints wrong"));
             }
             if !self.level_ptr[l].windows(2).all(|w| w[0] <= w[1]) {
-                return Err(format!("level {l} ptr not monotone"));
+                return fail(format!("level {l} ptr not monotone"));
             }
             let extent = self.dims[self.perm[l]];
             if self.level_idx[l].iter().any(|&i| i >= extent) {
-                return Err(format!("level {l} coordinate out of range"));
+                return fail(format!("level {l} coordinate out of range"));
             }
         }
         let extent = self.dims[self.perm[nlev]];
         if self.leaf_idx.iter().any(|&i| i >= extent) {
-            return Err("leaf coordinate out of range".into());
+            return fail("leaf coordinate out of range".into());
         }
         if self.leaf_idx.len() != self.vals.len() {
-            return Err("leaf/vals length mismatch".into());
+            return fail("leaf/vals length mismatch".into());
         }
         Ok(())
     }

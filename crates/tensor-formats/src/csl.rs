@@ -9,6 +9,7 @@
 //! per-fiber reduction.
 
 use sptensor::dims::{invert_perm, is_valid_perm, ModePerm};
+use sptensor::TensorError;
 use sptensor::{CooTensor, Index, Value};
 
 use crate::csf::Csf;
@@ -62,14 +63,18 @@ impl Csl {
             .iter()
             .map(|&mo| t.mode_indices(mo).to_vec())
             .collect();
-        Csl {
+        let out = Csl {
             dims: t.dims().to_vec(),
             perm: perm.clone(),
             slice_ptr,
             slice_idx,
             coord,
             vals: t.values().to_vec(),
-        }
+        };
+        // Malformed builds must fail at creation, not at kernel time.
+        #[cfg(debug_assertions)]
+        out.validate().expect("freshly built CSL must validate");
+        out
     }
 
     /// Extracts the given slices of a CSF tree into CSL form (the HB-CSF
@@ -88,14 +93,18 @@ impl Csl {
             collect_slice(csf, s, nlev, &mut coord, &mut vals);
             slice_ptr.push(vals.len() as u32);
         }
-        Csl {
+        let out = Csl {
             dims: csf.dims.clone(),
             perm: csf.perm.clone(),
             slice_ptr,
             slice_idx,
             coord,
             vals,
-        }
+        };
+        // Malformed builds must fail at creation, not at kernel time.
+        #[cfg(debug_assertions)]
+        out.validate().expect("freshly built CSL must validate");
+        out
     }
 
     #[inline]
@@ -140,28 +149,29 @@ impl Csl {
     }
 
     /// Structural invariant check.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), TensorError> {
+        let fail = |msg: String| Err(TensorError::invalid("csl", msg));
         if self.slice_ptr.len() != self.slice_idx.len() + 1 {
-            return Err("slice_ptr length must be slice_idx length + 1".into());
+            return fail("slice_ptr length must be slice_idx length + 1".into());
         }
         if self.slice_ptr.first() != Some(&0)
             || *self.slice_ptr.last().unwrap() as usize != self.nnz()
         {
-            return Err("slice_ptr endpoints wrong".into());
+            return fail("slice_ptr endpoints wrong".into());
         }
         if !self.slice_ptr.windows(2).all(|w| w[0] <= w[1]) {
-            return Err("slice_ptr not monotone".into());
+            return fail("slice_ptr not monotone".into());
         }
         if self.coord.len() != self.order() - 1 {
-            return Err("coordinate array count mismatch".into());
+            return fail("coordinate array count mismatch".into());
         }
         for (l, arr) in self.coord.iter().enumerate() {
             if arr.len() != self.nnz() {
-                return Err(format!("coordinate array {l} length mismatch"));
+                return fail(format!("coordinate array {l} length mismatch"));
             }
             let extent = self.dims[self.perm[l + 1]];
             if arr.iter().any(|&i| i >= extent) {
-                return Err(format!("coordinate array {l} out of range"));
+                return fail(format!("coordinate array {l} out of range"));
             }
         }
         Ok(())

@@ -11,6 +11,7 @@
 //! the storage trade Fig. 16 measures.
 
 use sptensor::dims::{invert_perm, is_valid_perm, ModePerm};
+use sptensor::TensorError;
 use sptensor::{CooTensor, Index, Value};
 
 use crate::bitvec::BitVec;
@@ -98,7 +99,7 @@ impl Fcoo {
             .map(|&mo| t.mode_indices(mo).to_vec())
             .collect();
 
-        Fcoo {
+        let out = Fcoo {
             dims: t.dims().to_vec(),
             perm: perm.clone(),
             threadlen,
@@ -108,7 +109,11 @@ impl Fcoo {
             fiber_flag,
             slice_ids,
             chunk_start_slice,
-        }
+        };
+        // Malformed builds must fail at creation, not at kernel time.
+        #[cfg(debug_assertions)]
+        out.validate().expect("freshly built F-COO must validate");
+        out
     }
 
     #[inline]
@@ -157,25 +162,26 @@ impl Fcoo {
     }
 
     /// Structural invariants.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), TensorError> {
+        let fail = |msg: String| Err(TensorError::invalid("f-coo", msg));
         let m = self.nnz();
         if self.slice_flag.len() != m || self.fiber_flag.len() != m {
-            return Err("flag array length mismatch".into());
+            return fail("flag array length mismatch".into());
         }
         if m > 0 && (!self.slice_flag.get(0) || !self.fiber_flag.get(0)) {
-            return Err("first nonzero must start a slice and a fiber".into());
+            return fail("first nonzero must start a slice and a fiber".into());
         }
         // A new slice always implies a new fiber.
         for z in 0..m {
             if self.slice_flag.get(z) && !self.fiber_flag.get(z) {
-                return Err(format!("nonzero {z}: slice start without fiber start"));
+                return fail(format!("nonzero {z}: slice start without fiber start"));
             }
         }
         if self.slice_flag.count_ones() != self.slice_ids.len() {
-            return Err("slice_ids length disagrees with flag count".into());
+            return fail("slice_ids length disagrees with flag count".into());
         }
         if self.num_chunks() != m.div_ceil(self.threadlen) {
-            return Err("chunk metadata length wrong".into());
+            return fail("chunk metadata length wrong".into());
         }
         Ok(())
     }

@@ -16,6 +16,7 @@
 //! like flick-3d and fr_s (Fig. 8).
 
 use sptensor::dims::{invert_perm, ModePerm};
+use sptensor::TensorError;
 use sptensor::{CooTensor, Index, Value};
 
 use crate::bcsf::{Bcsf, BcsfOptions};
@@ -126,7 +127,7 @@ impl Hbcsf {
         let bcsf_csf = extract_slices(&csf, &csf_slices);
         let bcsf = Bcsf::from_csf(bcsf_csf, options);
 
-        Hbcsf {
+        let out = Hbcsf {
             dims: csf.dims.clone(),
             perm: csf.perm.clone(),
             options,
@@ -135,7 +136,11 @@ impl Hbcsf {
             coo_vals,
             csl,
             bcsf,
-        }
+        };
+        // Malformed builds must fail at creation, not at kernel time.
+        #[cfg(debug_assertions)]
+        out.validate().expect("freshly built HB-CSF must validate");
+        out
     }
 
     #[inline]
@@ -182,15 +187,16 @@ impl Hbcsf {
 
     /// Structural invariants: groups are disjoint, cover everything, and
     /// each group satisfies its defining property.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), TensorError> {
+        let fail = |msg: String| Err(TensorError::invalid("hb-csf", msg));
         self.csl.validate()?;
         self.bcsf.validate()?;
         if self.coo_coord.len() != self.order() {
-            return Err("COO group must store all coordinates".into());
+            return fail("COO group must store all coordinates".into());
         }
         for arr in &self.coo_coord {
             if arr.len() != self.coo_vals.len() {
-                return Err("COO group array length mismatch".into());
+                return fail("COO group array length mismatch".into());
             }
         }
         // Every CSL slice: all fibers singleton means nnz per (slice,
@@ -205,7 +211,7 @@ impl Hbcsf {
                     .map(|arr| arr[z])
                     .collect();
                 if !seen.insert(key) {
-                    return Err(format!("CSL slice {s} has a non-singleton fiber"));
+                    return fail(format!("CSL slice {s} has a non-singleton fiber"));
                 }
             }
         }
@@ -216,7 +222,7 @@ impl Hbcsf {
             .filter(|&&c| c == SliceClass::Coo)
             .count();
         if coo_n != self.coo_vals.len() {
-            return Err("COO class count mismatch".into());
+            return fail("COO class count mismatch".into());
         }
         let csl_n = self
             .classes
@@ -224,7 +230,7 @@ impl Hbcsf {
             .filter(|&&c| c == SliceClass::Csl)
             .count();
         if csl_n != self.csl.num_slices() {
-            return Err("CSL class count mismatch".into());
+            return fail("CSL class count mismatch".into());
         }
         let csf_n = self
             .classes
@@ -232,7 +238,7 @@ impl Hbcsf {
             .filter(|&&c| c == SliceClass::Csf)
             .count();
         if csf_n != self.bcsf.csf.num_slices() {
-            return Err("CSF class count mismatch".into());
+            return fail("CSF class count mismatch".into());
         }
         Ok(())
     }

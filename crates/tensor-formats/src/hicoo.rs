@@ -12,6 +12,7 @@
 //! accounting and the per-block privatized kernel structure (the two
 //! properties the comparison exercises).
 
+use sptensor::TensorError;
 use sptensor::{CooTensor, Index, Value};
 
 /// A tensor in HiCOO (block-compressed COO) form.
@@ -93,14 +94,18 @@ impl Hicoo {
         }
         bptr.push(m as u32);
 
-        Hicoo {
+        let out = Hicoo {
             dims: t.dims().to_vec(),
             block_bits,
             bptr,
             bidx,
             eidx,
             vals,
-        }
+        };
+        // Malformed builds must fail at creation, not at kernel time.
+        #[cfg(debug_assertions)]
+        out.validate().expect("freshly built HiCOO must validate");
+        out
     }
 
     #[inline]
@@ -147,20 +152,21 @@ impl Hicoo {
     }
 
     /// Structural invariants.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), TensorError> {
+        let fail = |msg: String| Err(TensorError::invalid("hicoo", msg));
         let nb = self.num_blocks();
         if self.bptr.first() != Some(&0) || *self.bptr.last().unwrap() as usize != self.nnz() {
-            return Err("bptr endpoints wrong".into());
+            return fail("bptr endpoints wrong".into());
         }
         if !self.bptr.windows(2).all(|w| w[0] < w[1]) {
-            return Err("bptr must be strictly increasing (no empty blocks)".into());
+            return fail("bptr must be strictly increasing (no empty blocks)".into());
         }
         for mode in 0..self.order() {
             if self.bidx[mode].len() != nb {
-                return Err("bidx length mismatch".into());
+                return fail("bidx length mismatch".into());
             }
             if self.eidx[mode].len() != self.nnz() {
-                return Err("eidx length mismatch".into());
+                return fail("eidx length mismatch".into());
             }
         }
         // Reconstructed coordinates must be in range.
@@ -168,7 +174,7 @@ impl Hicoo {
             for z in self.block_range(b) {
                 for mode in 0..self.order() {
                     if self.coord(b, z, mode) >= self.dims[mode] {
-                        return Err(format!("block {b} nnz {z} out of range"));
+                        return fail(format!("block {b} nnz {z} out of range"));
                     }
                 }
             }

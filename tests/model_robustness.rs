@@ -4,7 +4,7 @@
 //! overlaps co-resident blocks for free (optimistic). Real hardware sits
 //! between. Every conclusion below must hold at BOTH bounds.
 
-use mttkrp_repro::gpu_sim::co_resident_makespan;
+use mttkrp_repro::gpu_sim::{co_resident_makespan, simulate_faulted, FaultPlan};
 use mttkrp_repro::mttkrp::gpu::{bcsf::emit_launch, GpuContext};
 use mttkrp_repro::mttkrp::reference::random_factors;
 use mttkrp_repro::sptensor::mode_orientation;
@@ -71,5 +71,85 @@ fn balanced_launches_are_insensitive_to_the_bound() {
     assert!(
         ss / sc.max(1.0) < 4.5,
         "split kernel bounds too far apart: {ss} vs {sc}"
+    );
+}
+
+#[test]
+fn disabled_fault_plans_do_not_perturb_the_schedule() {
+    // The fault path must be invisible when no fault can fire: an inert
+    // plan through `simulate_faulted` must reproduce `simulate` exactly
+    // and inject nothing.
+    let ctx = GpuContext::default();
+    let t = standin("darpa")
+        .unwrap()
+        .generate(&SynthConfig::tiny().with_nnz(20_000));
+    let factors = random_factors(&t, 16, 4);
+    let perm = mode_orientation(3, 0);
+    let launch = emit_launch(
+        &ctx,
+        &Bcsf::build(&t, &perm, BcsfOptions::default()),
+        &factors,
+    );
+    let (serial, co) = both_bounds(&ctx, &launch);
+    let (inert, profile) = simulate_faulted(
+        &ctx.device,
+        &ctx.cost,
+        &launch,
+        &ctx.registry,
+        &FaultPlan::disabled(),
+    );
+    assert_eq!(
+        inert.makespan_cycles, serial,
+        "inert plan must match the plain simulation bit-for-bit"
+    );
+    assert!(profile.faults.is_empty(), "inert plan must inject nothing");
+    assert!(co <= serial + 1e-6, "bounds must still bracket");
+}
+
+#[test]
+fn splitting_still_wins_under_timing_faults() {
+    // The paper's headline ordering (split beats unsplit) must survive
+    // fault injection: stragglers and ECC aborts stretch the makespan but
+    // never shrink it, and hit both launches even-handedly.
+    let ctx = GpuContext::default();
+    let t = standin("darpa")
+        .unwrap()
+        .generate(&SynthConfig::tiny().with_nnz(20_000));
+    let factors = random_factors(&t, 16, 5);
+    let perm = mode_orientation(3, 0);
+    let unsplit = emit_launch(
+        &ctx,
+        &Bcsf::build(&t, &perm, BcsfOptions::unsplit()),
+        &factors,
+    );
+    let split = emit_launch(
+        &ctx,
+        &Bcsf::build(&t, &perm, BcsfOptions::default()),
+        &factors,
+    );
+    let plan = FaultPlan::parse("straggler:0.3,abort:0.05,slowdown:2.0", 11)
+        .expect("fault spec must parse");
+    let (uf, up) = simulate_faulted(&ctx.device, &ctx.cost, &unsplit, &ctx.registry, &plan);
+    let (sf, sp) = simulate_faulted(&ctx.device, &ctx.cost, &split, &ctx.registry, &plan);
+    let (us, _) = both_bounds(&ctx, &unsplit);
+    let (ss, _) = both_bounds(&ctx, &split);
+
+    assert!(
+        !up.faults.is_empty() || !sp.faults.is_empty(),
+        "this plan and seed must actually inject timing faults"
+    );
+    assert!(
+        uf.makespan_cycles >= us && sf.makespan_cycles >= ss,
+        "timing faults can only lengthen the pessimistic bound"
+    );
+    assert!(
+        sf.makespan_cycles <= ss * 2.0 * plan.straggler_slowdown + 1e-6,
+        "faulted makespan must stay within the abort+straggler stretch bound"
+    );
+    assert!(
+        sf.makespan_cycles < uf.makespan_cycles,
+        "split {} must still beat unsplit {} under faults",
+        sf.makespan_cycles,
+        uf.makespan_cycles
     );
 }
