@@ -1,1 +1,4 @@
-//! Criterion benchmark crate; see `benches/`.
+//! Criterion benchmark crate (see `benches/`) plus the tracked
+//! plan-replay harness behind `sptk bench plan-replay`.
+
+pub mod plan_replay;

@@ -1,0 +1,190 @@
+//! Tracked benchmark for the launch capture & replay split: host
+//! wall-time of a CPD-ALS run that re-emits every kernel launch each
+//! iteration (the pre-capture behavior) vs. one that captures per-mode
+//! plans once and replays them. Results are written as JSON
+//! (`BENCH_plan_replay.json` at the repo root in CI) so speedups are
+//! tracked across commits.
+
+use std::time::Instant;
+
+use mttkrp::cpd::{cpd_als, CpdOptions, CpdResult};
+use mttkrp::gpu::{self, GpuContext, ModePlans};
+use sptensor::synth::{standin, SynthConfig};
+use sptensor::CooTensor;
+use tensor_formats::{BcsfOptions, Hbcsf};
+
+/// Harness configuration; `Default` matches the CI smoke invocation.
+#[derive(Debug, Clone)]
+pub struct PlanReplayConfig {
+    /// Stand-in dataset names (must exist in [`sptensor::synth`]).
+    pub datasets: Vec<String>,
+    /// Nonzeros per generated stand-in.
+    pub nnz: usize,
+    /// CPD rank.
+    pub rank: usize,
+    /// ALS iterations (tol 0 so both arms run the same count).
+    pub iters: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for PlanReplayConfig {
+    fn default() -> Self {
+        PlanReplayConfig {
+            // 1M nonzeros keeps the stand-in's nnz-to-largest-dim ratio
+            // near the real darpa tensor's (Table III), so emission and
+            // factor-update costs are weighted representatively.
+            datasets: vec!["darpa".into()],
+            nnz: 1_000_000,
+            rank: 8,
+            iters: 10,
+            seed: 0xBE7C,
+        }
+    }
+}
+
+/// One dataset's measurements.
+#[derive(Debug, Clone)]
+pub struct DatasetReport {
+    pub dataset: String,
+    pub nnz: usize,
+    /// Arm A: formats prebuilt, every MTTKRP call emits + simulates.
+    pub emit_every_iter_s: f64,
+    /// Arm B one-time cost: format build + plan capture (all modes).
+    pub plan_build_s: f64,
+    /// Arm B hot loop: CPD driven by plan replays only.
+    pub replay_s: f64,
+    /// `emit_every_iter_s / replay_s`.
+    pub speedup: f64,
+    /// Whether the two arms' fit trajectories are bit-for-bit equal.
+    pub fits_match: bool,
+    pub final_fit: f64,
+    pub iterations: usize,
+}
+
+impl DatasetReport {
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "dataset": self.dataset,
+            "nnz": self.nnz,
+            "emit_every_iter_s": self.emit_every_iter_s,
+            "plan_build_s": self.plan_build_s,
+            "replay_s": self.replay_s,
+            "speedup": self.speedup,
+            "fits_match": self.fits_match,
+            "final_fit": self.final_fit,
+            "iterations": self.iterations,
+        })
+    }
+}
+
+fn cpd_opts(cfg: &PlanReplayConfig) -> CpdOptions {
+    CpdOptions {
+        rank: cfg.rank,
+        max_iters: cfg.iters,
+        tol: 0.0, // fixed iteration count: both arms do identical work
+        seed: 42,
+    }
+}
+
+/// Arm A: per-mode HB-CSF formats are prebuilt (construction was already
+/// amortized before this PR), but every MTTKRP call re-emits the launch
+/// and re-simulates it — the pre-capture hot loop.
+fn run_emit_every_iter(
+    ctx: &GpuContext,
+    t: &CooTensor,
+    cfg: &PlanReplayConfig,
+) -> (CpdResult, f64) {
+    let formats: Vec<Hbcsf> = (0..t.order())
+        .map(|m| {
+            let perm = sptensor::mode_orientation(t.order(), m);
+            Hbcsf::build(t, &perm, BcsfOptions::default())
+        })
+        .collect();
+    let start = Instant::now();
+    let res = cpd_als(t, &cpd_opts(cfg), |factors, mode| {
+        gpu::hbcsf::run(ctx, &formats[mode], factors).y
+    });
+    (res, start.elapsed().as_secs_f64())
+}
+
+/// Arm B: capture once, replay every iteration.
+fn run_plan_replay(
+    ctx: &GpuContext,
+    t: &CooTensor,
+    cfg: &PlanReplayConfig,
+) -> (CpdResult, f64, f64) {
+    let build_start = Instant::now();
+    let plans = ModePlans::build_hbcsf(ctx, t, cfg.rank, BcsfOptions::default());
+    let plan_build_s = build_start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let res = cpd_als(t, &cpd_opts(cfg), |factors, mode| {
+        plans.execute(ctx, factors, mode).y
+    });
+    (res, plan_build_s, start.elapsed().as_secs_f64())
+}
+
+/// Benchmarks one dataset: both arms on the same generated tensor, fit
+/// trajectories compared bit-for-bit.
+pub fn bench_dataset(name: &str, cfg: &PlanReplayConfig) -> Result<DatasetReport, String> {
+    let spec = standin(name).ok_or_else(|| format!("unknown dataset '{name}'"))?;
+    let t = spec.generate(&SynthConfig::default().with_nnz(cfg.nnz).with_seed(cfg.seed));
+    let ctx = GpuContext::default();
+    let (res_a, emit_every_iter_s) = run_emit_every_iter(&ctx, &t, cfg);
+    let (res_b, plan_build_s, replay_s) = run_plan_replay(&ctx, &t, cfg);
+    Ok(DatasetReport {
+        dataset: name.to_string(),
+        nnz: t.nnz(),
+        emit_every_iter_s,
+        plan_build_s,
+        replay_s,
+        speedup: emit_every_iter_s / replay_s.max(1e-12),
+        fits_match: res_a.fits == res_b.fits,
+        final_fit: res_b.final_fit(),
+        iterations: res_b.iterations,
+    })
+}
+
+/// Runs the full harness and renders the tracked JSON document.
+pub fn run(cfg: &PlanReplayConfig) -> Result<serde_json::Value, String> {
+    let mut reports = Vec::new();
+    for name in &cfg.datasets {
+        reports.push(bench_dataset(name, cfg)?);
+    }
+    let min_speedup = reports
+        .iter()
+        .map(|r| r.speedup)
+        .fold(f64::INFINITY, f64::min);
+    Ok(serde_json::json!({
+        "benchmark": "plan_replay",
+        "config": serde_json::json!({
+            "nnz": cfg.nnz,
+            "rank": cfg.rank,
+            "iters": cfg.iters,
+            "seed": cfg.seed,
+        }),
+        "datasets": reports.iter().map(DatasetReport::to_json).collect::<Vec<_>>(),
+        "min_speedup": if min_speedup.is_finite() { min_speedup } else { 0.0 },
+        "all_fits_match": reports.iter().all(|r| r.fits_match),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arms_agree_bitwise_on_small_standin() {
+        let cfg = PlanReplayConfig {
+            datasets: vec!["darpa".into()],
+            nnz: 5_000,
+            rank: 4,
+            iters: 3,
+            seed: 7,
+        };
+        let report = bench_dataset("darpa", &cfg).unwrap();
+        assert!(report.fits_match, "plan replay changed the fit trajectory");
+        assert_eq!(report.iterations, 3);
+        assert!(report.final_fit.is_finite());
+    }
+}

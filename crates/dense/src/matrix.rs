@@ -103,13 +103,25 @@ impl Matrix {
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
+        let n = other.cols;
+        // k-outer accumulation: every output element still sums its terms
+        // in ascending-k order (bit-for-bit identical to the textbook
+        // triple loop), but the inner loop walks two contiguous slices
+        // with independent accumulators, which vectorizes — the tall-×-tiny
+        // products CPD-ALS issues per mode are the hot case.
+        let mut accrow = vec![0.0f64; n];
         for i in 0..self.rows {
-            for j in 0..other.cols {
-                let mut acc = 0.0f64;
-                for k in 0..self.cols {
-                    acc += self.get(i, k) as f64 * other.get(k, j) as f64;
+            let a = self.row(i);
+            accrow.fill(0.0);
+            for (k, &av) in a.iter().enumerate() {
+                let av = av as f64;
+                let brow = &other.data[k * n..(k + 1) * n];
+                for (acc, &bv) in accrow.iter_mut().zip(brow) {
+                    *acc += av * bv as f64;
                 }
-                out.set(i, j, acc as f32);
+            }
+            for (o, &acc) in out.data[i * n..(i + 1) * n].iter_mut().zip(&accrow) {
+                *o = acc as f32;
             }
         }
         out
@@ -118,13 +130,20 @@ impl Matrix {
     /// Gram matrix `selfᵀ · self` (`cols × cols`), the `BᵀB` of Eq. (3).
     pub fn gram(&self) -> Matrix {
         let r = self.cols;
+        if r == 0 {
+            return Matrix::zeros(0, 0);
+        }
         let mut acc = vec![0.0f64; r * r];
-        for row in 0..self.rows {
-            let v = self.row(row);
-            for a in 0..r {
-                let va = v[a] as f64;
-                for b in a..r {
-                    acc[a * r + b] += va * v[b] as f64;
+        // Upper triangle only, rows streamed once. Each accumulator sees
+        // the same ascending-row addition sequence as the naive loop, so
+        // the result is bit-for-bit unchanged; slice iteration just lets
+        // the compiler drop the bounds checks on the hot tall-skinny case.
+        for v in self.data.chunks_exact(r) {
+            for (a, &va) in v.iter().enumerate() {
+                let va = va as f64;
+                let row_acc = &mut acc[a * r + a..(a + 1) * r];
+                for (dst, &vb) in row_acc.iter_mut().zip(&v[a..]) {
+                    *dst += va * vb as f64;
                 }
             }
         }
@@ -204,19 +223,20 @@ impl Matrix {
     /// (the `λ` vector of CPD-ALS line 5). Zero columns are left untouched
     /// and report norm 0.
     pub fn normalize_columns(&mut self) -> Vec<f32> {
+        if self.cols == 0 {
+            return Vec::new();
+        }
         let mut norms = vec![0.0f64; self.cols];
-        for r in 0..self.rows {
-            for (c, n) in norms.iter_mut().enumerate() {
-                let v = self.get(r, c) as f64;
-                *n += v * v;
+        for row in self.data.chunks_exact(self.cols) {
+            for (n, &v) in norms.iter_mut().zip(row) {
+                *n += v as f64 * v as f64;
             }
         }
         let norms: Vec<f32> = norms.iter().map(|&n| n.sqrt() as f32).collect();
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                if norms[c] > 0.0 {
-                    let v = self.get(r, c) / norms[c];
-                    self.set(r, c, v);
+        for row in self.data.chunks_exact_mut(self.cols) {
+            for (v, &n) in row.iter_mut().zip(&norms) {
+                if n > 0.0 {
+                    *v /= n;
                 }
             }
         }

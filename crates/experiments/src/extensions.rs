@@ -4,11 +4,12 @@
 
 use gpu_sim::FaultPlan;
 use mttkrp::abft::{run_verified, AbftOptions};
-use mttkrp::cpd::{cpd_als, cpd_als_resilient, CpdOptions, ResilienceOptions};
+use mttkrp::cpd::{cpd_als_planned, cpd_als_resilient, CpdOptions, ResilienceOptions};
 use mttkrp::cpu::onemode::SplattOneMode;
 use mttkrp::cpu::splatt::{SplattAllMode, SplattOptions};
 use mttkrp::gpu::{self, GpuContext};
 use mttkrp::reference::random_factors;
+use rayon::prelude::*;
 use serde_json::{json, Value};
 use sptensor::reorder;
 use sptensor::{mode_orientation, CooTensor};
@@ -231,20 +232,27 @@ pub fn ext_resilience(cfg: &ExpConfig) -> Value {
     let name = "darpa";
     let t = cfg.gen(name);
     let factors = cfg.factors(&t);
-    let formats: Vec<Hbcsf> = (0..t.order())
-        .map(|m| Hbcsf::build(&t, &mode_orientation(t.order(), m), BcsfOptions::default()))
-        .collect();
-    let clean_ctx = cfg.gpu();
-    let clean = gpu::hbcsf::run(&clean_ctx, &formats[0], &factors);
     let opts = CpdOptions {
         rank: cfg.rank.min(8),
         max_iters: 5,
         tol: 0.0,
         seed: cfg.seed,
     };
+    let clean_ctx = cfg.gpu();
+    // Build the per-mode formats once (fanned across modes), then capture
+    // launch plans at both ranks in play: every MTTKRP below — clean,
+    // verified, resilient — replays a captured plan.
+    let formats: Vec<Hbcsf> = (0..t.order())
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|m| Hbcsf::build(&t, &mode_orientation(t.order(), m), BcsfOptions::default()))
+        .collect();
+    let mttkrp_plans = gpu::ModePlans::from_formats(&clean_ctx, &formats, cfg.rank);
+    let cpd_plans = gpu::ModePlans::from_formats(&clean_ctx, &formats, opts.rank);
+    let clean = mttkrp_plans.execute(&clean_ctx, &factors, 0);
     let clean_fit = {
         let ctx = cfg.gpu();
-        cpd_als(&t, &opts, |f, m| gpu::hbcsf::run(&ctx, &formats[m], f).y).final_fit()
+        cpd_als_planned(&t, &opts, &ctx, &cpd_plans).final_fit()
     };
 
     let mut rows = Vec::new();
@@ -256,7 +264,7 @@ pub fn ext_resilience(cfg: &ExpConfig) -> Value {
 
         // One verified MTTKRP: detection and recovery accounting.
         let (run, report) = run_verified(&ctx, &t, &factors, 0, &AbftOptions::default(), |c| {
-            gpu::hbcsf::run(c, &formats[0], &factors)
+            mttkrp_plans.execute(c, &factors, 0)
         });
         let overhead = f64::from(report.attempts) * run.sim.time_s / clean.sim.time_s.max(1e-30);
         let out_diff = run.y.rel_fro_diff(&clean.y);
@@ -268,7 +276,7 @@ pub fn ext_resilience(cfg: &ExpConfig) -> Value {
             &ResilienceOptions::default(),
             |f, m| {
                 run_verified(&ctx, &t, f, m, &AbftOptions::default(), |c| {
-                    gpu::hbcsf::run(c, &formats[m], f)
+                    cpd_plans.execute(c, f, m)
                 })
                 .0
                 .y

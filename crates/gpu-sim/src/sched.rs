@@ -246,96 +246,71 @@ fn compute_block_costs(
         }
     }
 
-    // ---- Pass 2: per-block costs (cache replayed in launch order). ----
-    let mut blocks: Vec<BlockCost> = Vec::with_capacity(launch.blocks.len());
-    let mut total_flops: u64 = 0;
-    let mut mem_segments: u64 = 0;
-    let mut atomic_ops: u64 = 0;
-    let mut num_warps = 0usize;
+    // ---- Pass 2a: L2 replay, sequential in launch order. ----
+    // The cache is a set-associative LRU whose hit/miss answers depend on
+    // the *global* access order, so this walk cannot be parallelized; it
+    // records one verdict per memory op for pass 2b to consume. Per-row
+    // atomic charges are also folded here so their f64 summation order is
+    // exactly the historical one-pass order.
+    let mut hits: Vec<bool> = Vec::new();
+    let mut hit_ptr: Vec<usize> = Vec::with_capacity(launch.blocks.len() + 1);
     // row -> (ops, conflict cycles); filled only when detail is requested.
     let mut row_charges: HashMap<u32, (u64, f64)> = HashMap::new();
-
     for block in &launch.blocks {
-        let mut sum_compute = 0.0f64;
-        let mut sum_tp = 0.0f64;
-        let mut max_warp = 0.0f64;
-        let mut warps_in_block = 0usize;
-        let mut block_flops: u64 = 0;
-        let mut block_segments: u64 = 0;
-        let mut block_atomics: u64 = 0;
-        let mut block_conflict = 0.0f64;
+        hit_ptr.push(hits.len());
         for warp in &block.warps {
-            if warp.is_empty() {
-                continue;
-            }
-            warps_in_block += 1;
-            let mut compute = 0.0f64;
-            let mut latency = 0.0f64;
             for op in &warp.ops {
                 match *op {
-                    Op::Fma(n) => {
-                        compute += n as f64 * cost.fma_cycles;
-                        block_flops += n as u64 * dev.warp_size as u64 * 2;
-                    }
-                    Op::Alu(n) => compute += n as f64,
-                    Op::Load(seg) | Op::Store(seg) => {
-                        let hit = cache.access(seg);
-                        latency += cost.mem_latency(hit);
-                        sum_tp += cost.mem_throughput(hit);
-                        block_segments += 1;
-                    }
+                    Op::Load(seg) | Op::Store(seg) => hits.push(cache.access(seg)),
                     Op::AtomicAdd { row, seg } => {
-                        let hit = cache.access(seg);
-                        let conflict =
-                            cost.conflict_surcharge(writers.get(&row).map_or(1, |e| e.1));
-                        latency += cost.mem_latency(hit) + cost.atomic_latency + conflict;
-                        sum_tp += cost.mem_throughput(hit) + cost.atomic_throughput + conflict;
-                        block_segments += 1;
-                        block_atomics += 1;
-                        block_conflict += conflict;
+                        hits.push(cache.access(seg));
                         if detail {
+                            let conflict =
+                                cost.conflict_surcharge(writers.get(&row).map_or(1, |e| e.1));
                             let e = row_charges.entry(row).or_insert((0, 0.0));
                             e.0 += 1;
                             e.1 += conflict;
                         }
                     }
-                    Op::Replay(n) => {
-                        // Extra transactions against resident lines: pure
-                        // LSU pressure plus pipelined-hit latency.
-                        latency += n as f64 * cost.mem_latency(true);
-                        sum_tp += n as f64 * cost.l2_hit_throughput;
-                        block_segments += n as u64;
-                    }
-                    Op::Sync(n) => {
-                        compute += n as f64;
-                    }
+                    _ => {}
                 }
             }
-            let warp_cost = compute + latency;
-            sum_compute += compute;
-            max_warp = max_warp.max(warp_cost);
         }
-        total_flops += block_flops;
-        mem_segments += block_segments;
-        atomic_ops += block_atomics;
-        if warps_in_block == 0 {
-            continue;
-        }
-        num_warps += warps_in_block;
-        let compute_leg = sum_compute / dev.compute_width_warps;
-        let cycles = compute_leg.max(sum_tp).max(max_warp) + cost.block_overhead_cycles;
-        blocks.push(BlockCost {
-            compute_cycles: compute_leg,
-            mem_throughput_cycles: sum_tp,
-            critical_warp_cycles: max_warp,
-            overhead_cycles: cost.block_overhead_cycles,
-            cycles,
-            warps: warps_in_block,
-            flops: block_flops,
-            mem_segments: block_segments,
-            atomic_ops: block_atomics,
-            atomic_conflict_cycles: block_conflict,
-        });
+    }
+    hit_ptr.push(hits.len());
+
+    // ---- Pass 2b: per-block roofline folds, independent given the cache
+    // verdicts — fanned out over rayon. Each fold accumulates its f64 terms
+    // in the same op order as the historical single pass, so every
+    // `BlockCost` is bit-for-bit identical to the sequential result.
+    use rayon::prelude::*;
+    let folded: Vec<Option<BlockCost>> = launch
+        .blocks
+        .par_iter()
+        .enumerate()
+        .map(|(b, block)| {
+            fold_block(
+                dev,
+                cost,
+                block,
+                &writers,
+                &hits[hit_ptr[b]..hit_ptr[b + 1]],
+            )
+        })
+        .collect();
+
+    // Deterministic sequential merge in launch order.
+    let mut blocks: Vec<BlockCost> = Vec::with_capacity(launch.blocks.len());
+    let mut total_flops: u64 = 0;
+    let mut mem_segments: u64 = 0;
+    let mut atomic_ops: u64 = 0;
+    let mut num_warps = 0usize;
+    for bc in folded.into_iter().flatten() {
+        total_flops += bc.flops;
+        mem_segments += bc.mem_segments;
+        atomic_ops += bc.atomic_ops;
+        num_warps += bc.warps;
+        blocks.push(bc);
     }
 
     let mut atomic_rows: Vec<AtomicRowCharge> = row_charges
@@ -363,6 +338,90 @@ fn compute_block_costs(
         l2_hit_rate: cache.hit_rate(),
         atomic_rows,
     }
+}
+
+/// Folds one block's instruction stream into its roofline [`BlockCost`],
+/// consuming the pre-replayed cache verdicts for its memory ops (`hits`,
+/// one entry per `Load`/`Store`/`AtomicAdd` in op order). Pure per-block
+/// given those verdicts; `None` for blocks with no non-empty warps.
+fn fold_block(
+    dev: &DeviceProfile,
+    cost: &CostModel,
+    block: &crate::grid::BlockWork,
+    writers: &HashMap<u32, (u32, u32)>,
+    hits: &[bool],
+) -> Option<BlockCost> {
+    let mut next_hit = hits.iter().copied();
+    let mut sum_compute = 0.0f64;
+    let mut sum_tp = 0.0f64;
+    let mut max_warp = 0.0f64;
+    let mut warps_in_block = 0usize;
+    let mut block_flops: u64 = 0;
+    let mut block_segments: u64 = 0;
+    let mut block_atomics: u64 = 0;
+    let mut block_conflict = 0.0f64;
+    for warp in &block.warps {
+        if warp.is_empty() {
+            continue;
+        }
+        warps_in_block += 1;
+        let mut compute = 0.0f64;
+        let mut latency = 0.0f64;
+        for op in &warp.ops {
+            match *op {
+                Op::Fma(n) => {
+                    compute += n as f64 * cost.fma_cycles;
+                    block_flops += n as u64 * dev.warp_size as u64 * 2;
+                }
+                Op::Alu(n) => compute += n as f64,
+                Op::Load(_) | Op::Store(_) => {
+                    let hit = next_hit.next().expect("cache verdict per memory op");
+                    latency += cost.mem_latency(hit);
+                    sum_tp += cost.mem_throughput(hit);
+                    block_segments += 1;
+                }
+                Op::AtomicAdd { row, .. } => {
+                    let hit = next_hit.next().expect("cache verdict per memory op");
+                    let conflict = cost.conflict_surcharge(writers.get(&row).map_or(1, |e| e.1));
+                    latency += cost.mem_latency(hit) + cost.atomic_latency + conflict;
+                    sum_tp += cost.mem_throughput(hit) + cost.atomic_throughput + conflict;
+                    block_segments += 1;
+                    block_atomics += 1;
+                    block_conflict += conflict;
+                }
+                Op::Replay(n) => {
+                    // Extra transactions against resident lines: pure
+                    // LSU pressure plus pipelined-hit latency.
+                    latency += n as f64 * cost.mem_latency(true);
+                    sum_tp += n as f64 * cost.l2_hit_throughput;
+                    block_segments += n as u64;
+                }
+                Op::Sync(n) => {
+                    compute += n as f64;
+                }
+            }
+        }
+        let warp_cost = compute + latency;
+        sum_compute += compute;
+        max_warp = max_warp.max(warp_cost);
+    }
+    if warps_in_block == 0 {
+        return None;
+    }
+    let compute_leg = sum_compute / dev.compute_width_warps;
+    let cycles = compute_leg.max(sum_tp).max(max_warp) + cost.block_overhead_cycles;
+    Some(BlockCost {
+        compute_cycles: compute_leg,
+        mem_throughput_cycles: sum_tp,
+        critical_warp_cycles: max_warp,
+        overhead_cycles: cost.block_overhead_cycles,
+        cycles,
+        warps: warps_in_block,
+        flops: block_flops,
+        mem_segments: block_segments,
+        atomic_ops: block_atomics,
+        atomic_conflict_cycles: block_conflict,
+    })
 }
 
 /// Runs a kernel launch through the machine model. Deterministic.

@@ -98,6 +98,20 @@ pub fn cpd_als_profiled(
     cpd_als_impl(t, opts, mttkrp, Some(manifest))
 }
 
+/// [`cpd_als`] driven by pre-captured launch plans: one
+/// [`ModePlans`](crate::gpu::ModePlans) replay per (iteration, mode)
+/// instead of a fresh kernel emission. Numerically identical to wiring
+/// `plans.execute` into [`cpd_als`] by hand — this is the convenience
+/// spelling of the plan/execute split.
+pub fn cpd_als_planned(
+    t: &CooTensor,
+    opts: &CpdOptions,
+    ctx: &crate::gpu::GpuContext,
+    plans: &crate::gpu::ModePlans,
+) -> CpdResult {
+    cpd_als(t, opts, |factors, mode| plans.execute(ctx, factors, mode).y)
+}
+
 /// Stamps `opts` into the manifest so the document matches the run.
 fn sync_manifest(manifest: &mut RunManifest, opts: &CpdOptions) {
     manifest.rank = opts.rank;

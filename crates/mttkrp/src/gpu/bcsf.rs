@@ -18,7 +18,8 @@ use gpu_sim::{AddressSpace, ArraySpan, BlockWork, KernelLaunch, Op, WarpWork};
 use sptensor::Index;
 use tensor_formats::{Bcsf, BcsfOptions};
 
-use super::common::{axpy_into, load_u32s, scale_by, AbftSink, FactorAddrs, GpuContext, GpuRun};
+use super::common::{load_u32s, FactorAddrs, GpuContext, GpuRun};
+use super::plan::{Plan, PlanBuilder};
 
 /// Synthetic addresses of the B-CSF arrays.
 pub(crate) struct BcsfSpans {
@@ -55,56 +56,50 @@ pub fn run(ctx: &GpuContext, bcsf: &Bcsf, factors: &[Matrix]) -> GpuRun {
 }
 
 pub(crate) fn run_named(ctx: &GpuContext, bcsf: &Bcsf, factors: &[Matrix], name: &str) -> GpuRun {
-    let r = factors[0].cols();
-    let mode = bcsf.csf.perm[0];
-    let mut space = AddressSpace::new();
-    let fa = FactorAddrs::layout(&mut space, &bcsf.csf.dims, r, mode);
-    let spans = BcsfSpans::alloc(&mut space, bcsf);
-    let mut y = Matrix::zeros(bcsf.csf.dims[mode] as usize, r);
-    let mut launch = KernelLaunch::new(name);
-    let mut sink = ctx.abft_sink(name, y.rows());
-    emit(
-        ctx,
-        bcsf,
-        factors,
-        &fa,
-        &spans,
-        &mut y,
-        &mut launch,
-        &mut sink,
-    );
-    ctx.finish_abft(y, &launch, sink)
+    plan_named(ctx, bcsf, factors[0].cols(), name).execute(ctx, factors)
 }
 
-/// Emits the kernel's blocks into `launch` and accumulates the real output
-/// into `y` (callable from the HB-CSF composite kernel).
-#[allow(clippy::too_many_arguments)]
+/// Captures the B-CSF kernel as a replayable [`Plan`] for rank `rank`.
+pub fn plan(ctx: &GpuContext, bcsf: &Bcsf, rank: usize) -> Plan {
+    plan_named(ctx, bcsf, rank, "b-csf")
+}
+
+pub(crate) fn plan_named(ctx: &GpuContext, bcsf: &Bcsf, rank: usize, name: &str) -> Plan {
+    let mode = bcsf.csf.perm[0];
+    let mut space = AddressSpace::new();
+    let fa = FactorAddrs::layout(&mut space, &bcsf.csf.dims, rank, mode);
+    let spans = BcsfSpans::alloc(&mut space, bcsf);
+    let mut pb = PlanBuilder::new(name, mode, rank, bcsf.csf.dims[mode] as usize);
+    emit(ctx, bcsf, &fa, &spans, &mut pb);
+    pb.finish()
+}
+
+/// Emits the kernel's blocks into the builder's launch and records the
+/// replay schedule (callable from the HB-CSF composite kernel).
 pub(crate) fn emit(
     ctx: &GpuContext,
     bcsf: &Bcsf,
-    factors: &[Matrix],
     fa: &FactorAddrs,
     spans: &BcsfSpans,
-    y: &mut Matrix,
-    launch: &mut KernelLaunch,
-    sink: &mut AbftSink,
+    pb: &mut PlanBuilder,
 ) {
     let csf = &bcsf.csf;
     let order = csf.order();
     let fl = order - 2;
-    let r = factors[0].cols();
     let leaf_mode = csf.perm[order - 1];
+    pb.set_leaf_mode(leaf_mode);
     let anc = fiber_ancestors(bcsf);
 
-    let mut leafsum = vec![0.0f32; r];
     for asg in &bcsf.blocks {
-        sink.begin_block(y, launch.blocks.len());
+        pb.begin_block();
         let mut block = BlockWork::new();
         let i = csf.level_idx[0][asg.slice as usize] as usize;
         let fibers = asg.fibers();
         let nfibers = fibers.len();
         let nwarps = ctx.warps_per_block.min(nfibers).max(1);
-        let per_warp = nfibers.div_ceil(nwarps);
+        // `.max(1)`: a zero-fiber assignment must not turn into
+        // `step_by(0)` (panic) — it emits an empty block instead.
+        let per_warp = nfibers.div_ceil(nwarps).max(1);
         let mut warps: Vec<WarpWork> = Vec::with_capacity(nwarps);
 
         // Contiguous fiber ranges per warp: metadata and leaf streams are
@@ -136,40 +131,41 @@ pub(crate) fn emit(
                 let hi = csf.level_ptr[fl][f + 1] as usize;
                 // Leaf reduction against the last-mode factor (rank on
                 // lanes, Alg. 3 line 11).
-                leafsum.fill(0.0);
+                pb.contrib(i, 0.0);
                 for z in lo..hi {
                     let k = csf.leaf_idx[z] as usize;
                     fa.load_row(&mut w, leaf_mode, k);
                     w.push(Op::Fma(fa.rank_steps));
-                    axpy_into(&mut leafsum, csf.vals[z], factors[leaf_mode].row(k));
+                    pb.leaf(csf.vals[z], k);
                 }
                 // Fold through the fiber's own row and its ancestors' rows
                 // (Alg. 3 line 13, generalized to order N).
                 let j = csf.level_idx[fl][f] as usize;
                 fa.load_row(&mut w, csf.perm[fl], j);
                 w.push(Op::Fma(fa.rank_steps));
-                scale_by(&mut leafsum, factors[csf.perm[fl]].row(j));
+                pb.chain(csf.perm[fl], j);
                 for l in (1..fl).rev() {
                     let c = anc[l - 1][f] as usize;
                     fa.load_row(&mut w, csf.perm[l], c);
                     w.push(Op::Fma(fa.rank_steps));
-                    scale_by(&mut leafsum, factors[csf.perm[l]].row(c));
+                    pb.chain(csf.perm[l], c);
                 }
-                sink.contribute(y, i, &leafsum);
             }
             warps.push(w);
         }
 
-        // Cross-warp reduction of the slice partial, committed by warp 0.
-        let commit = &mut warps[0];
-        commit.push(Op::Sync(2 * nwarps as u32 * fa.rank_steps));
-        if asg.needs_atomic {
-            fa.atomic_y(commit, i);
-        } else {
-            fa.store_y(commit, i);
+        // Cross-warp reduction of the slice partial, committed by warp 0
+        // (absent for a zero-fiber block, which emitted no warps at all).
+        if let Some(commit) = warps.first_mut() {
+            commit.push(Op::Sync(2 * nwarps as u32 * fa.rank_steps));
+            if asg.needs_atomic {
+                fa.atomic_y(commit, i);
+            } else {
+                fa.store_y(commit, i);
+            }
         }
         block.warps = warps;
-        launch.blocks.push(block);
+        pb.launch.blocks.push(block);
     }
 }
 
@@ -202,27 +198,10 @@ fn fiber_ancestors(bcsf: &Bcsf) -> Vec<Vec<Index>> {
 
 /// Emits the B-CSF kernel launch without simulating it — for tools that
 /// want to drive [`gpu_sim::simulate_with_timeline`] themselves (e.g. the
-/// `balance_viz` example). The semantic output is discarded.
+/// `balance_viz` example). Deduplicated through the plan path: this is the
+/// captured launch with the replay schedule discarded.
 pub fn emit_launch(ctx: &GpuContext, bcsf: &Bcsf, factors: &[Matrix]) -> KernelLaunch {
-    let r = factors[0].cols();
-    let mode = bcsf.csf.perm[0];
-    let mut space = AddressSpace::new();
-    let fa = FactorAddrs::layout(&mut space, &bcsf.csf.dims, r, mode);
-    let spans = BcsfSpans::alloc(&mut space, bcsf);
-    let mut y = Matrix::zeros(bcsf.csf.dims[mode] as usize, r);
-    let mut launch = KernelLaunch::new("b-csf");
-    let mut sink = AbftSink::inactive();
-    emit(
-        ctx,
-        bcsf,
-        factors,
-        &fa,
-        &spans,
-        &mut y,
-        &mut launch,
-        &mut sink,
-    );
-    launch
+    plan_named(ctx, bcsf, factors[0].cols(), "b-csf").into_launch()
 }
 
 /// Builds B-CSF with `opts` and runs the kernel (convenience for
@@ -320,5 +299,29 @@ mod tests {
         let run = build_and_run(&ctx, &t, &factors, 0, BcsfOptions::default());
         assert!(run.y.data().iter().all(|&v| v == 0.0));
         assert_eq!(run.sim.num_blocks, 0);
+    }
+
+    #[test]
+    fn zero_fiber_block_assignment_does_not_panic() {
+        // Regression: an empty fiber range used to make `per_warp == 0`
+        // and panic in `step_by(0)`. It must emit an empty block instead.
+        let ctx = GpuContext::tiny();
+        let t = uniform_random(&[10, 12, 14], 300, 63);
+        let factors = reference::random_factors(&t, 4, 36);
+        let perm = sptensor::mode_orientation(3, 0);
+        let mut bcsf = Bcsf::build(&t, &perm, BcsfOptions::default());
+        let f = bcsf.blocks[0].fiber_begin;
+        bcsf.blocks.insert(
+            0,
+            tensor_formats::BlockAssignment {
+                slice: 0,
+                fiber_begin: f,
+                fiber_end: f,
+                needs_atomic: true,
+            },
+        );
+        let run = super::run(&ctx, &bcsf, &factors);
+        let seq = reference::mttkrp(&t, &factors, 0);
+        assert!(crate::outputs_match(&run.y, &seq));
     }
 }

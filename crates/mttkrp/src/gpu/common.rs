@@ -286,7 +286,7 @@ impl AbftSink {
 
     /// Retires the in-flight block: replaces its latched cell's true
     /// partial with the bit-flipped partial (`y[r][c] += flip(p) − p`).
-    fn flush(&mut self, y: &mut Matrix) {
+    pub(crate) fn flush(&mut self, y: &mut Matrix) {
         self.pending = None;
         if let Some(fl) = self.inflight.take() {
             let corrupted = f32::from_bits(fl.partial.to_bits() ^ (1u32 << fl.bit));
@@ -297,8 +297,9 @@ impl AbftSink {
     }
 
     /// The finished checksum record (`None` for inactive sinks). Callers
-    /// must have flushed the final block first (`finish_abft` does).
-    fn into_data(mut self) -> Option<AbftData> {
+    /// must have flushed the final block first (`finish_abft` and
+    /// [`crate::gpu::plan::Plan::execute`] do).
+    pub(crate) fn into_data(mut self) -> Option<AbftData> {
         self.plan.as_ref()?;
         self.corrupted_rows.sort_unstable();
         self.corrupted_rows.dedup();

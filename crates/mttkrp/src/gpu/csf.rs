@@ -16,6 +16,12 @@ pub fn run(ctx: &GpuContext, csf: &Csf, factors: &[Matrix]) -> GpuRun {
     super::bcsf::run_named(ctx, &bcsf, factors, "gpu-csf")
 }
 
+/// Captures the unsplit GPU-CSF kernel as a replayable plan.
+pub fn plan(ctx: &GpuContext, csf: &Csf, rank: usize) -> super::plan::Plan {
+    let bcsf = Bcsf::from_csf(csf.clone(), BcsfOptions::unsplit());
+    super::bcsf::plan_named(ctx, &bcsf, rank, "gpu-csf")
+}
+
 /// Builds the mode-`mode` CSF and runs the kernel.
 pub fn build_and_run(ctx: &GpuContext, t: &CooTensor, factors: &[Matrix], mode: usize) -> GpuRun {
     let perm = sptensor::mode_orientation(t.order(), mode);

@@ -9,10 +9,11 @@
 //! chunked across warps with atomic commits.
 
 use dense::Matrix;
-use gpu_sim::{AddressSpace, ArraySpan, BlockWork, KernelLaunch, Op, WarpWork};
+use gpu_sim::{AddressSpace, ArraySpan, BlockWork, Op, WarpWork};
 use tensor_formats::Csl;
 
-use super::common::{load_u32s, scale_by, AbftSink, FactorAddrs, GpuContext, GpuRun};
+use super::common::{load_u32s, FactorAddrs, GpuContext, GpuRun};
+use super::plan::{Plan, PlanBuilder};
 
 /// Target nonzeros per warp. One 32-wide chunk keeps CSL's block
 /// granularity (16 warps × 32 = 512 nonzeros) identical to B-CSF's binning,
@@ -81,46 +82,33 @@ fn pack_warps(csl: &Csl, quota: usize) -> Vec<WarpJob> {
 
 /// Runs the CSL kernel; output mode is `csl.perm[0]`.
 pub fn run(ctx: &GpuContext, csl: &Csl, factors: &[Matrix]) -> GpuRun {
-    let r = factors[0].cols();
-    let mode = csl.perm[0];
-    let mut space = AddressSpace::new();
-    let fa = FactorAddrs::layout(&mut space, &csl.dims, r, mode);
-    let spans = CslSpans::alloc(&mut space, csl);
-    let mut y = Matrix::zeros(csl.dims[mode] as usize, r);
-    let mut launch = KernelLaunch::new("csl");
-    let mut sink = ctx.abft_sink("csl", y.rows());
-    emit(
-        ctx,
-        csl,
-        factors,
-        &fa,
-        &spans,
-        &mut y,
-        &mut launch,
-        &mut sink,
-    );
-    ctx.finish_abft(y, &launch, sink)
+    plan(ctx, csl, factors[0].cols()).execute(ctx, factors)
 }
 
-/// Emits the CSL kernel into `launch`, accumulating the real output.
-#[allow(clippy::too_many_arguments)]
+/// Captures the CSL kernel as a replayable [`Plan`] for rank `rank`.
+pub fn plan(ctx: &GpuContext, csl: &Csl, rank: usize) -> Plan {
+    let mode = csl.perm[0];
+    let mut space = AddressSpace::new();
+    let fa = FactorAddrs::layout(&mut space, &csl.dims, rank, mode);
+    let spans = CslSpans::alloc(&mut space, csl);
+    let mut pb = PlanBuilder::new("csl", mode, rank, csl.dims[mode] as usize);
+    emit(ctx, csl, &fa, &spans, &mut pb);
+    pb.finish()
+}
+
+/// Emits the CSL kernel into the builder's launch and replay schedule.
 pub(crate) fn emit(
     ctx: &GpuContext,
     csl: &Csl,
-    factors: &[Matrix],
     fa: &FactorAddrs,
     spans: &CslSpans,
-    y: &mut Matrix,
-    launch: &mut KernelLaunch,
-    sink: &mut AbftSink,
+    pb: &mut PlanBuilder,
 ) {
     let order = csl.order();
-    let r = factors[0].cols();
     let jobs = pack_warps(csl, NNZ_PER_WARP);
-    let mut acc = vec![0.0f32; r];
 
     for block_jobs in jobs.chunks(ctx.warps_per_block) {
-        sink.begin_block(y, launch.blocks.len());
+        pb.begin_block();
         let mut block = BlockWork::new();
         for job in block_jobs {
             let mut w = WarpWork::new();
@@ -140,17 +128,13 @@ pub(crate) fn emit(
                 for z in lo..hi {
                     // Alg. 4 line 9: Y(i,:) += val × Π product-mode rows —
                     // no per-fiber reduction, no extra addition.
-                    let v = csl.vals[z];
-                    for a in acc.iter_mut() {
-                        *a = v;
-                    }
+                    pb.contrib(i, csl.vals[z]);
                     for (l, span_mode) in csl.perm[1..].iter().enumerate() {
                         let c = csl.coord[l][z] as usize;
                         fa.load_row(&mut w, *span_mode, c);
                         w.push(Op::Fma(fa.rank_steps));
-                        scale_by(&mut acc, factors[*span_mode].row(c));
+                        pb.chain(*span_mode, c);
                     }
-                    sink.contribute(y, i, &acc);
                 }
                 if atomic {
                     fa.atomic_y(&mut w, i);
@@ -160,7 +144,7 @@ pub(crate) fn emit(
             }
             block.warps.push(w);
         }
-        launch.blocks.push(block);
+        pb.launch.blocks.push(block);
     }
     let _ = order;
 }

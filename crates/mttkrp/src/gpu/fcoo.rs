@@ -20,10 +20,11 @@
 //! Third-order only, like the real framework (missing 4-D bars in Fig. 15).
 
 use dense::Matrix;
-use gpu_sim::{AddressSpace, ArraySpan, BlockWork, KernelLaunch, Op, WarpWork};
+use gpu_sim::{AddressSpace, ArraySpan, BlockWork, Op, WarpWork};
 use tensor_formats::Fcoo;
 
-use super::common::{scale_by, FactorAddrs, GpuContext, GpuRun};
+use super::common::{FactorAddrs, GpuContext, GpuRun};
+use super::plan::{Plan, PlanBuilder};
 
 /// Default per-thread chunk length (the framework's tuning sweet spot in
 /// our packing; the paper tunes over {8, 16, 32, 64}).
@@ -34,12 +35,20 @@ pub const DEFAULT_THREADLEN: usize = 8;
 /// # Panics
 /// If the tensor is not third-order.
 pub fn run(ctx: &GpuContext, fcoo: &Fcoo, factors: &[Matrix]) -> GpuRun {
+    plan(ctx, fcoo, factors[0].cols()).execute(ctx, factors)
+}
+
+/// Captures the F-COO kernel (both passes) as a replayable [`Plan`].
+///
+/// # Panics
+/// If the tensor is not third-order.
+pub fn plan(ctx: &GpuContext, fcoo: &Fcoo, rank: usize) -> Plan {
     assert_eq!(
         fcoo.order(),
         3,
         "F-COO supports only third-order tensors (paper Fig. 15)"
     );
-    let r = factors[0].cols();
+    let r = rank;
     let mode = fcoo.perm[0];
     let mut space = AddressSpace::new();
     let fa = FactorAddrs::layout(&mut space, &fcoo.dims, r, mode);
@@ -58,22 +67,19 @@ pub fn run(ctx: &GpuContext, fcoo: &Fcoo, factors: &[Matrix]) -> GpuRun {
     let num_warps = fcoo.nnz().div_ceil(warp_span_len.max(1));
     let partials_span = space.alloc(2 * num_warps as u64 * r as u64 * 4);
 
-    let mut y = Matrix::zeros(fcoo.dims[mode] as usize, r);
-    let mut launch = KernelLaunch::new("f-coo-gpu");
     let tl = fcoo.threadlen;
     let warp_span = 32 * tl;
-    let mut acc = vec![0.0f32; r];
 
-    let mut sink = ctx.abft_sink("f-coo-gpu", y.rows());
+    let mut pb = PlanBuilder::new("f-coo-gpu", mode, rank, fcoo.dims[mode] as usize);
     let mut warp_base = 0usize;
     let mut boundary_rows: Vec<u32> = Vec::new();
     'outer: loop {
-        sink.begin_block(&mut y, launch.blocks.len());
+        pb.begin_block();
         let mut block = BlockWork::new();
         for _ in 0..ctx.warps_per_block {
             if warp_base >= fcoo.nnz() {
                 if !block.warps.is_empty() {
-                    launch.blocks.push(block);
+                    pb.launch.blocks.push(block);
                 }
                 break 'outer;
             }
@@ -149,14 +155,10 @@ pub fn run(ctx: &GpuContext, fcoo: &Fcoo, factors: &[Matrix]) -> GpuRun {
                     ordinal += 1;
                 }
                 let i = fcoo.slice_ids[ordinal as usize] as usize;
-                let v = fcoo.vals[z];
-                for a in acc.iter_mut() {
-                    *a = v;
-                }
+                pb.contrib(i, fcoo.vals[z]);
                 for (l, &pm) in fcoo.perm[1..].iter().enumerate() {
-                    scale_by(&mut acc, factors[pm].row(fcoo.coord[l][z] as usize));
+                    pb.chain(pm, fcoo.coord[l][z] as usize);
                 }
-                sink.contribute(&mut y, i, &acc);
                 if ordinal != committed {
                     if ordinal == first_ordinal || ordinal == last_ordinal {
                         // Boundary partial: spill one R-wide row per end.
@@ -173,18 +175,18 @@ pub fn run(ctx: &GpuContext, fcoo: &Fcoo, factors: &[Matrix]) -> GpuRun {
             block.warps.push(w);
             warp_base = warp_end;
         }
-        launch.blocks.push(block);
+        pb.launch.blocks.push(block);
     }
 
     // ---- Pass 2: global segmented reduction of the spilled boundary
     // partials (F-COO's second kernel): load each partial row, fold it
     // into Y atomically.
-    // These reduction blocks commit no semantic contributions through the
-    // sink, so a flip drawn for one of them lands in dead state — the
-    // realistic fate of a flip hitting a block with no live accumulator.
+    // These reduction blocks commit no semantic contributions, so a flip
+    // drawn for one of them lands in dead state — the realistic fate of a
+    // flip hitting a block with no live accumulator.
     let mut idx = 0usize;
     while idx < boundary_rows.len() {
-        sink.begin_block(&mut y, launch.blocks.len());
+        pb.begin_block();
         let mut block = BlockWork::new();
         for _ in 0..ctx.warps_per_block {
             if idx >= boundary_rows.len() {
@@ -202,10 +204,10 @@ pub fn run(ctx: &GpuContext, fcoo: &Fcoo, factors: &[Matrix]) -> GpuRun {
             block.warps.push(w);
             idx = end;
         }
-        launch.blocks.push(block);
+        pb.launch.blocks.push(block);
     }
 
-    ctx.finish_abft(y, &launch, sink)
+    pb.finish()
 }
 
 /// Emits the segments touched when 32 lanes read 4-byte entries at

@@ -12,20 +12,26 @@
 //! atomics are B-CSF's slc-split commits.
 
 use dense::Matrix;
-use gpu_sim::{AddressSpace, BlockWork, KernelLaunch, Op, WarpWork};
+use gpu_sim::{AddressSpace, BlockWork, Op, WarpWork};
 use sptensor::CooTensor;
 use tensor_formats::{BcsfOptions, Hbcsf};
 
 use super::bcsf::BcsfSpans;
-use super::common::{load_u32s, scale_by, AbftSink, FactorAddrs, GpuContext, GpuRun};
+use super::common::{load_u32s, FactorAddrs, GpuContext, GpuRun};
 use super::csl::CslSpans;
+use super::plan::{Plan, PlanBuilder};
 
 /// Runs the composite kernel; output mode is `h.perm[0]`.
 pub fn run(ctx: &GpuContext, h: &Hbcsf, factors: &[Matrix]) -> GpuRun {
-    let r = factors[0].cols();
+    plan(ctx, h, factors[0].cols()).execute(ctx, factors)
+}
+
+/// Captures the composite kernel as a replayable [`Plan`] for rank `rank`:
+/// one fused launch, block indices running across the three groups.
+pub fn plan(ctx: &GpuContext, h: &Hbcsf, rank: usize) -> Plan {
     let mode = h.perm[0];
     let mut space = AddressSpace::new();
-    let fa = FactorAddrs::layout(&mut space, &h.dims, r, mode);
+    let fa = FactorAddrs::layout(&mut space, &h.dims, rank, mode);
     let bcsf_spans = BcsfSpans::alloc(&mut space, &h.bcsf);
     let csl_spans = CslSpans::alloc(&mut space, &h.csl);
     let coo_spans: Vec<_> = h
@@ -35,68 +41,31 @@ pub fn run(ctx: &GpuContext, h: &Hbcsf, factors: &[Matrix]) -> GpuRun {
         .collect();
     let coo_vals_span = space.alloc_elems(h.coo_vals.len(), 4);
 
-    let mut y = Matrix::zeros(h.dims[mode] as usize, r);
-    let mut launch = KernelLaunch::new("hb-csf");
-    // One sink across all three groups: fault draws key on the fused
+    // One builder across all three groups: fault draws key on the fused
     // launch's name and launch-wide block index, matching the scheduler.
-    let mut sink = ctx.abft_sink("hb-csf", y.rows());
+    let mut pb = PlanBuilder::new("hb-csf", mode, rank, h.dims[mode] as usize);
 
     // Heavy group first: the longest blocks enter the SM schedule earliest,
     // which is the standard heavy-first heuristic a real launch order uses.
-    super::bcsf::emit(
-        ctx,
-        &h.bcsf,
-        factors,
-        &fa,
-        &bcsf_spans,
-        &mut y,
-        &mut launch,
-        &mut sink,
-    );
-    super::csl::emit(
-        ctx,
-        &h.csl,
-        factors,
-        &fa,
-        &csl_spans,
-        &mut y,
-        &mut launch,
-        &mut sink,
-    );
-    emit_coo_group(
-        ctx,
-        h,
-        factors,
-        &fa,
-        &coo_spans,
-        coo_vals_span,
-        &mut y,
-        &mut launch,
-        &mut sink,
-    );
-
-    ctx.finish_abft(y, &launch, sink)
+    super::bcsf::emit(ctx, &h.bcsf, &fa, &bcsf_spans, &mut pb);
+    super::csl::emit(ctx, &h.csl, &fa, &csl_spans, &mut pb);
+    emit_coo_group(ctx, h, &fa, &coo_spans, coo_vals_span, &mut pb);
+    pb.finish()
 }
 
 /// COO group: warps of 32 single-nonzero slices, plain stores.
-#[allow(clippy::too_many_arguments)]
 fn emit_coo_group(
     ctx: &GpuContext,
     h: &Hbcsf,
-    factors: &[Matrix],
     fa: &FactorAddrs,
     coord_spans: &[gpu_sim::ArraySpan],
     vals_span: gpu_sim::ArraySpan,
-    y: &mut Matrix,
-    launch: &mut KernelLaunch,
-    sink: &mut AbftSink,
+    pb: &mut PlanBuilder,
 ) {
-    let r = factors[0].cols();
     let m = h.coo_vals.len();
     let per_block = 32 * ctx.warps_per_block;
-    let mut acc = vec![0.0f32; r];
     for block_start in (0..m).step_by(per_block) {
-        sink.begin_block(y, launch.blocks.len());
+        pb.begin_block();
         let mut block = BlockWork::new();
         let block_end = (block_start + per_block).min(m);
         for warp_start in (block_start..block_end).step_by(32) {
@@ -108,24 +77,20 @@ fn emit_coo_group(
             }
             load_u32s(&mut w, vals_span, warp_start, len);
             for e in warp_start..warp_end {
-                let v = h.coo_vals[e];
-                for a in acc.iter_mut() {
-                    *a = v;
-                }
+                let i = h.coo_coord[0][e] as usize;
+                pb.contrib(i, h.coo_vals[e]);
                 for (l, &pm) in h.perm[1..].iter().enumerate() {
                     let c = h.coo_coord[l + 1][e] as usize;
                     fa.load_row(&mut w, pm, c);
                     w.push(Op::Fma(fa.rank_steps));
-                    scale_by(&mut acc, factors[pm].row(c));
+                    pb.chain(pm, c);
                 }
-                let i = h.coo_coord[0][e] as usize;
                 // Single-nonzero slice: the row is written exactly once.
                 fa.store_y(&mut w, i);
-                sink.contribute(y, i, &acc);
             }
             block.warps.push(w);
         }
-        launch.blocks.push(block);
+        pb.launch.blocks.push(block);
     }
 }
 

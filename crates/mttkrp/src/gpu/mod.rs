@@ -28,5 +28,7 @@ pub mod csl;
 pub mod fcoo;
 pub mod hbcsf;
 pub mod parti_coo;
+pub mod plan;
 
 pub use common::{AbftData, AbftSink, GpuContext, GpuRun};
+pub use plan::{ModePlans, Plan, ReplaySchedule};

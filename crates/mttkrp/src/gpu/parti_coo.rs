@@ -7,10 +7,11 @@
 //! the missing 4-D bars of Fig. 14 are reproduced by construction.
 
 use dense::Matrix;
-use gpu_sim::{AddressSpace, BlockWork, KernelLaunch, Op, WarpWork};
+use gpu_sim::{AddressSpace, BlockWork, Op, WarpWork};
 use sptensor::CooTensor;
 
-use super::common::{load_u32s, scale_by, FactorAddrs, GpuContext, GpuRun};
+use super::common::{load_u32s, FactorAddrs, GpuContext, GpuRun};
+use super::plan::{Plan, PlanBuilder};
 use crate::reference::check_shapes;
 
 /// Nonzeros handled by one warp (rank across lanes; nonzeros serial).
@@ -22,26 +23,31 @@ const NNZ_PER_WARP: usize = 32;
 /// If the tensor is not third-order (the ParTI-GPU limitation) or factor
 /// shapes are wrong.
 pub fn run(ctx: &GpuContext, t: &CooTensor, factors: &[Matrix], mode: usize) -> GpuRun {
+    let (_, r) = check_shapes(t, factors, mode);
+    plan(ctx, t, mode, r).execute(ctx, factors)
+}
+
+/// Captures the ParTI-COO kernel as a replayable [`Plan`] for rank `rank`.
+///
+/// # Panics
+/// If the tensor is not third-order (the ParTI-GPU limitation).
+pub fn plan(ctx: &GpuContext, t: &CooTensor, mode: usize, rank: usize) -> Plan {
     assert_eq!(
         t.order(),
         3,
         "ParTI-GPU supports only third-order tensors (paper Fig. 14)"
     );
-    let (_, r) = check_shapes(t, factors, mode);
     let mut space = AddressSpace::new();
-    let fa = FactorAddrs::layout(&mut space, t.dims(), r, mode);
+    let fa = FactorAddrs::layout(&mut space, t.dims(), rank, mode);
     let idx_spans: Vec<_> = (0..3).map(|_| space.alloc_elems(t.nnz(), 4)).collect();
     let vals_span = space.alloc_elems(t.nnz(), 4);
 
-    let mut y = Matrix::zeros(t.dims()[mode] as usize, r);
-    let mut launch = KernelLaunch::new("parti-coo-gpu");
     let product_modes: Vec<usize> = (0..3).filter(|&m| m != mode).collect();
     let nnz_per_block = NNZ_PER_WARP * ctx.warps_per_block;
 
-    let mut sink = ctx.abft_sink("parti-coo-gpu", y.rows());
-    let mut acc = vec![0.0f32; r];
+    let mut pb = PlanBuilder::new("parti-coo-gpu", mode, rank, t.dims()[mode] as usize);
     for block_start in (0..t.nnz()).step_by(nnz_per_block) {
-        sink.begin_block(&mut y, launch.blocks.len());
+        pb.begin_block();
         let mut block = BlockWork::new();
         let block_end = (block_start + nnz_per_block).min(t.nnz());
         for warp_start in (block_start..block_end).step_by(NNZ_PER_WARP) {
@@ -56,26 +62,21 @@ pub fn run(ctx: &GpuContext, t: &CooTensor, factors: &[Matrix], mode: usize) -> 
             for z in warp_start..warp_end {
                 // Product across the non-output factor rows, rank across
                 // lanes, then one atomic row update per nonzero.
-                let v = t.values()[z];
-                for a in acc.iter_mut() {
-                    *a = v;
-                }
+                let i = t.mode_indices(mode)[z] as usize;
+                pb.contrib(i, t.values()[z]);
                 for &m in &product_modes {
                     let j = t.mode_indices(m)[z] as usize;
                     fa.load_row(&mut w, m, j);
                     w.push(Op::Fma(fa.rank_steps));
-                    scale_by(&mut acc, factors[m].row(j));
+                    pb.chain(m, j);
                 }
-                let i = t.mode_indices(mode)[z] as usize;
                 fa.atomic_y(&mut w, i);
-                sink.contribute(&mut y, i, &acc);
             }
             block.warps.push(w);
         }
-        launch.blocks.push(block);
+        pb.launch.blocks.push(block);
     }
-
-    ctx.finish_abft(y, &launch, sink)
+    pb.finish()
 }
 
 #[cfg(test)]

@@ -1,0 +1,457 @@
+//! Launch capture & replay: the plan/execute split for the simulated GPU
+//! kernels (CUDA-graph style).
+//!
+//! A kernel's instruction stream, address layout, and traversal order
+//! depend only on *structure* — the tensor's format, the rank, and the
+//! [`GpuContext`]'s block geometry — never on factor values. A [`Plan`]
+//! captures all of that once: the emitted [`KernelLaunch`] plus a
+//! [`ReplaySchedule`], a flat record of every semantic output contribution
+//! (which output row, which leaf reductions, which factor-row scalings, in
+//! emission order). [`Plan::execute`] then replays the schedule against
+//! fresh factor matrices, computing only the value-dependent output `y`,
+//! and reuses a memoized [`SimResult`] instead of re-simulating.
+//!
+//! Replay is bit-for-bit identical to emit-and-run by construction: the
+//! per-contribution accumulators are computed by the same `fill` /
+//! [`axpy_into`] / [`scale_by`] sequences the emitting kernels perform,
+//! and the fold into `y` happens one contribution at a time in exact
+//! emission order. The accumulator computation itself never reads `y`, so
+//! it fans out over rayon in per-block batches; only the (cheap) ordered
+//! fold stays sequential.
+//!
+//! Under an active [`FaultPlan`] the replay routes through an [`AbftSink`]
+//! exactly as the emitting kernels do (checksums, latched bit flips), and
+//! the faulted simulation is cached keyed on the plan — `run_verified`'s
+//! retries carry a different `attempt`, which re-keys the cache.
+
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use dense::Matrix;
+use gpu_sim::{
+    simulate_faulted, simulate_profiled, FaultPlan, KernelLaunch, SimProfile, SimResult,
+};
+use rayon::prelude::*;
+use sptensor::CooTensor;
+use tensor_formats::{BcsfOptions, Hbcsf};
+
+use super::common::{axpy_into, scale_by, AbftSink, GpuContext, GpuRun};
+
+/// Accumulator elements per parallel replay batch (≈4 MB of partials):
+/// bounds scratch memory while giving rayon enough blocks per batch.
+const BATCH_ELEMS: usize = 1 << 20;
+
+/// The value-dependent half of a captured kernel, stored structure-of-
+/// arrays: every semantic output contribution in emission order, grouped
+/// by thread block (CSR-style `block_ptr`).
+///
+/// One contribution `c` replays as:
+/// 1. leaf range empty → `acc.fill(init_vals[c])` (flat kernels seed the
+///    accumulator with the nonzero value); otherwise `acc.fill(0.0)` then
+///    `axpy_into(acc, leaf_vals[k], factors[leaf_mode].row(leaf_rows[k]))`
+///    per leaf (the fiber kernels' leaf reduction);
+/// 2. `scale_by(acc, factors[chain_modes[j]].row(chain_rows[j]))` per
+///    chain entry (the Hadamard fold through the remaining modes);
+/// 3. `y[rows[c]] += acc` — folded sequentially in emission order.
+#[derive(Debug, Clone)]
+pub struct ReplaySchedule {
+    /// Factor mode the leaf reduction reads (fiber kernels only).
+    leaf_mode: usize,
+    /// Contribution range starts per block; `block_ptr[b]..block_ptr[b+1]`.
+    block_ptr: Vec<u32>,
+    /// Output row per contribution.
+    rows: Vec<u32>,
+    /// Accumulator seed per contribution (used when its leaf range is empty).
+    init_vals: Vec<f32>,
+    /// Leaf range starts per contribution (into `leaf_vals`/`leaf_rows`).
+    leaf_ptr: Vec<u32>,
+    leaf_vals: Vec<f32>,
+    leaf_rows: Vec<u32>,
+    /// Chain range starts per contribution (into `chain_modes`/`chain_rows`).
+    chain_ptr: Vec<u32>,
+    chain_modes: Vec<u32>,
+    chain_rows: Vec<u32>,
+}
+
+impl ReplaySchedule {
+    /// Number of captured thread blocks (== `begin_block` calls, which can
+    /// exceed the launch's block count when a kernel probes past its last
+    /// block — fault draws key on this same ordinal either way).
+    pub fn num_blocks(&self) -> usize {
+        self.block_ptr.len() - 1
+    }
+
+    /// Total semantic contributions.
+    pub fn num_contributions(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Recomputes contribution `c`'s accumulator into `acc` (length R),
+    /// performing exactly the emitting kernel's value arithmetic.
+    #[inline]
+    fn replay_into(&self, c: usize, factors: &[Matrix], acc: &mut [f32]) {
+        let (lo, hi) = (self.leaf_ptr[c] as usize, self.leaf_ptr[c + 1] as usize);
+        if lo == hi {
+            acc.fill(self.init_vals[c]);
+        } else {
+            acc.fill(0.0);
+            for z in lo..hi {
+                let row = self.leaf_rows[z] as usize;
+                axpy_into(acc, self.leaf_vals[z], factors[self.leaf_mode].row(row));
+            }
+        }
+        for j in self.chain_ptr[c] as usize..self.chain_ptr[c + 1] as usize {
+            let (m, row) = (self.chain_modes[j] as usize, self.chain_rows[j] as usize);
+            scale_by(acc, factors[m].row(row));
+        }
+    }
+}
+
+/// Capture-time recorder the kernels emit into: collects the
+/// [`KernelLaunch`] (blocks/warps/ops) and the [`ReplaySchedule`]
+/// side by side, replacing the historical `(launch, y, sink)` triple.
+pub(crate) struct PlanBuilder {
+    name: String,
+    mode: usize,
+    rank: usize,
+    out_rows: usize,
+    /// The simulated instruction stream; kernels push blocks directly.
+    pub launch: KernelLaunch,
+    sched: ReplaySchedule,
+}
+
+impl PlanBuilder {
+    pub fn new(name: &str, mode: usize, rank: usize, out_rows: usize) -> PlanBuilder {
+        PlanBuilder {
+            name: name.to_string(),
+            mode,
+            rank,
+            out_rows,
+            launch: KernelLaunch::new(name),
+            sched: ReplaySchedule {
+                leaf_mode: 0,
+                block_ptr: Vec::new(),
+                rows: Vec::new(),
+                init_vals: Vec::new(),
+                leaf_ptr: Vec::new(),
+                leaf_vals: Vec::new(),
+                leaf_rows: Vec::new(),
+                chain_ptr: Vec::new(),
+                chain_modes: Vec::new(),
+                chain_rows: Vec::new(),
+            },
+        }
+    }
+
+    /// Declares the factor mode leaf reductions read (fiber kernels).
+    pub fn set_leaf_mode(&mut self, mode: usize) {
+        self.sched.leaf_mode = mode;
+    }
+
+    /// Marks the start of the next thread block — called exactly where the
+    /// kernels called `sink.begin_block` (once per block ordinal, in
+    /// emission order), so fault draws key identically at replay.
+    pub fn begin_block(&mut self) {
+        self.sched.block_ptr.push(self.sched.rows.len() as u32);
+    }
+
+    /// Starts a contribution to output row `row` with accumulator seed
+    /// `init` (used only if no leaves follow).
+    pub fn contrib(&mut self, row: usize, init: f32) {
+        self.sched.rows.push(row as u32);
+        self.sched.init_vals.push(init);
+        self.sched.leaf_ptr.push(self.sched.leaf_vals.len() as u32);
+        self.sched
+            .chain_ptr
+            .push(self.sched.chain_modes.len() as u32);
+    }
+
+    /// Appends a leaf term `val × factors[leaf_mode].row(row)` to the
+    /// current contribution.
+    pub fn leaf(&mut self, val: f32, row: usize) {
+        self.sched.leaf_vals.push(val);
+        self.sched.leaf_rows.push(row as u32);
+    }
+
+    /// Appends a Hadamard scaling by `factors[mode].row(row)` to the
+    /// current contribution.
+    pub fn chain(&mut self, mode: usize, row: usize) {
+        self.sched.chain_modes.push(mode as u32);
+        self.sched.chain_rows.push(row as u32);
+    }
+
+    /// Seals the capture into an executable [`Plan`].
+    pub fn finish(mut self) -> Plan {
+        self.sched.block_ptr.push(self.sched.rows.len() as u32);
+        self.sched.leaf_ptr.push(self.sched.leaf_vals.len() as u32);
+        self.sched
+            .chain_ptr
+            .push(self.sched.chain_modes.len() as u32);
+        Plan {
+            name: self.name,
+            mode: self.mode,
+            rank: self.rank,
+            out_rows: self.out_rows,
+            launch: self.launch,
+            sched: self.sched,
+            sim_clean: OnceLock::new(),
+            sim_faulted: Mutex::new(None),
+        }
+    }
+}
+
+/// A captured kernel launch: replayable against any factor values of the
+/// captured rank, with the structure-dependent simulation memoized.
+///
+/// A plan is specific to the `(format, rank, ctx)` it was captured under:
+/// replaying it through a context with a different device, cost model, or
+/// `warps_per_block` would pair the wrong simulation with the output.
+/// Fault plans are the exception — they vary per execute (see
+/// [`Plan::execute`]).
+#[derive(Debug)]
+pub struct Plan {
+    name: String,
+    mode: usize,
+    rank: usize,
+    out_rows: usize,
+    launch: KernelLaunch,
+    sched: ReplaySchedule,
+    /// Fault-free simulation, computed once on first execute.
+    sim_clean: OnceLock<(SimResult, SimProfile)>,
+    /// Last faulted simulation keyed by its [`FaultPlan`] — `run_verified`
+    /// retries re-execute under `plan.with_attempt(n)`, a different key.
+    sim_faulted: Mutex<Option<(FaultPlan, SimResult, SimProfile)>>,
+}
+
+impl Plan {
+    /// Kernel (launch) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Output mode the capture computes.
+    pub fn mode(&self) -> usize {
+        self.mode
+    }
+
+    /// Factor rank the capture is valid for.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The captured instruction stream.
+    pub fn launch(&self) -> &KernelLaunch {
+        &self.launch
+    }
+
+    /// Consumes the plan, yielding the captured launch (for tools that
+    /// drive the simulator themselves, e.g. `balance_viz`).
+    pub fn into_launch(self) -> KernelLaunch {
+        self.launch
+    }
+
+    /// The captured replay schedule.
+    pub fn schedule(&self) -> &ReplaySchedule {
+        &self.sched
+    }
+
+    /// Replays the capture against `factors`, producing the same [`GpuRun`]
+    /// the emitting kernel would: identical `y` bits, identical (memoized)
+    /// `SimResult`, and — under `ctx`'s fault plan — identical ABFT data.
+    pub fn execute(&self, ctx: &GpuContext, factors: &[Matrix]) -> GpuRun {
+        let r = factors.first().map_or(0, |f| f.cols());
+        assert_eq!(
+            r, self.rank,
+            "plan '{}' captured for rank {}, factors have rank {r}",
+            self.name, self.rank
+        );
+        let mut y = Matrix::zeros(self.out_rows, r);
+        let abft = if ctx.fault_plan().is_some() {
+            // Faulted path: sequential, routing every contribution through
+            // the sink so checksums and latched flips match emission.
+            let mut sink = ctx.abft_sink(&self.name, self.out_rows);
+            self.replay_sequential(&mut y, factors, &mut sink);
+            sink.flush(&mut y);
+            sink.into_data()
+        } else {
+            self.replay_parallel(&mut y, factors);
+            None
+        };
+        let (sim, profile) = self.sim_for(ctx);
+        if ctx.profiling() {
+            ctx.registry.add("plan.replays", 1);
+        }
+        GpuRun {
+            y,
+            sim,
+            profile,
+            abft,
+        }
+    }
+
+    /// The memoized simulation for `ctx`'s fault state. Faulted runs always
+    /// keep the profile (the injected-fault ledger lives there); clean runs
+    /// keep it only when profiling, matching `finish_abft`.
+    fn sim_for(&self, ctx: &GpuContext) -> (SimResult, Option<SimProfile>) {
+        match ctx.fault_plan() {
+            Some(plan) => {
+                let mut cached = self.sim_faulted.lock().expect("sim cache poisoned");
+                if cached.as_ref().is_none_or(|(key, _, _)| key != plan) {
+                    let (sim, profile) =
+                        simulate_faulted(&ctx.device, &ctx.cost, &self.launch, &ctx.registry, plan);
+                    *cached = Some((plan.clone(), sim, profile));
+                }
+                let (_, sim, profile) = cached.as_ref().expect("just filled");
+                (sim.clone(), Some(profile.clone()))
+            }
+            None => {
+                let (sim, profile) = self.sim_clean.get_or_init(|| {
+                    simulate_profiled(&ctx.device, &ctx.cost, &self.launch, &ctx.registry)
+                });
+                (sim.clone(), ctx.profiling().then(|| profile.clone()))
+            }
+        }
+    }
+
+    /// Fault-free replay: per-contribution accumulators computed in
+    /// parallel (they never read `y`), then folded into `y` one at a time
+    /// in emission order — the exact f32 summation order of the inactive
+    /// sink's `axpy_into` path.
+    fn replay_parallel(&self, y: &mut Matrix, factors: &[Matrix]) {
+        let r = self.rank;
+        if r == 0 {
+            return;
+        }
+        let nblocks = self.sched.num_blocks();
+        let mut buf: Vec<f32> = Vec::new();
+        let mut b0 = 0usize;
+        while b0 < nblocks {
+            // Grow the batch until it covers ~BATCH_ELEMS accumulator
+            // elements (always at least one block).
+            let mut b1 = b0 + 1;
+            while b1 < nblocks
+                && (self.sched.block_ptr[b1] - self.sched.block_ptr[b0]) as usize * r < BATCH_ELEMS
+            {
+                b1 += 1;
+            }
+            let base = self.sched.block_ptr[b0] as usize;
+            let count = self.sched.block_ptr[b1] as usize - base;
+            buf.clear();
+            buf.resize(count * r, 0.0);
+
+            // Disjoint per-block scratch slices: blocks replay in parallel.
+            let mut chunks: Vec<(usize, &mut [f32])> = Vec::with_capacity(b1 - b0);
+            let mut rest = buf.as_mut_slice();
+            for b in b0..b1 {
+                let n = (self.sched.block_ptr[b + 1] - self.sched.block_ptr[b]) as usize * r;
+                let (head, tail) = rest.split_at_mut(n);
+                chunks.push((b, head));
+                rest = tail;
+            }
+            chunks.into_par_iter().for_each(|(b, chunk)| {
+                let lo = self.sched.block_ptr[b] as usize;
+                for (k, acc) in chunk.chunks_mut(r).enumerate() {
+                    self.sched.replay_into(lo + k, factors, acc);
+                }
+            });
+
+            // Ordered sequential fold — bit-for-bit the emission order.
+            for c in 0..count {
+                let i = self.sched.rows[base + c] as usize;
+                axpy_into(y.row_mut(i), 1.0, &buf[c * r..(c + 1) * r]);
+            }
+            b0 = b1;
+        }
+    }
+
+    /// Faulted replay: fully sequential, calling `begin_block`/`contribute`
+    /// with the same ordinals and accumulators as emission.
+    fn replay_sequential(&self, y: &mut Matrix, factors: &[Matrix], sink: &mut AbftSink) {
+        let mut acc = vec![0.0f32; self.rank];
+        for b in 0..self.sched.num_blocks() {
+            sink.begin_block(y, b);
+            let (lo, hi) = (
+                self.sched.block_ptr[b] as usize,
+                self.sched.block_ptr[b + 1] as usize,
+            );
+            for c in lo..hi {
+                self.sched.replay_into(c, factors, &mut acc);
+                sink.contribute(y, self.sched.rows[c] as usize, &acc);
+            }
+        }
+    }
+}
+
+/// Per-mode HB-CSF plans for a CPD hot loop: build all formats and capture
+/// all plans once (fanned over rayon — mode builds are independent), then
+/// replay one plan per MTTKRP call.
+pub struct ModePlans {
+    plans: Vec<Plan>,
+    /// Wall-clock seconds each mode's build+capture took (for manifests).
+    pub build_seconds: Vec<f64>,
+}
+
+impl ModePlans {
+    /// Builds the mode-`m` HB-CSF format and captures its plan, for every
+    /// mode of `t`, in parallel.
+    pub fn build_hbcsf(
+        ctx: &GpuContext,
+        t: &CooTensor,
+        rank: usize,
+        opts: BcsfOptions,
+    ) -> ModePlans {
+        let built: Vec<(Plan, f64)> = (0..t.order())
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|m| {
+                let start = Instant::now();
+                let perm = sptensor::mode_orientation(t.order(), m);
+                let h = Hbcsf::build(t, &perm, opts);
+                let plan = super::hbcsf::plan(ctx, &h, rank);
+                (plan, start.elapsed().as_secs_f64())
+            })
+            .collect();
+        let (plans, build_seconds) = built.into_iter().unzip();
+        ModePlans {
+            plans,
+            build_seconds,
+        }
+    }
+
+    /// Captures plans for pre-built per-mode HB-CSF formats
+    /// (`formats[m].perm[0] == m` expected).
+    pub fn from_formats(ctx: &GpuContext, formats: &[Hbcsf], rank: usize) -> ModePlans {
+        let built: Vec<(Plan, f64)> = formats
+            .par_iter()
+            .map(|h| {
+                let start = Instant::now();
+                let plan = super::hbcsf::plan(ctx, h, rank);
+                (plan, start.elapsed().as_secs_f64())
+            })
+            .collect();
+        let (plans, build_seconds) = built.into_iter().unzip();
+        ModePlans {
+            plans,
+            build_seconds,
+        }
+    }
+
+    /// Number of captured modes.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// The mode-`mode` plan.
+    pub fn plan(&self, mode: usize) -> &Plan {
+        &self.plans[mode]
+    }
+
+    /// Replays the mode-`mode` plan against `factors`.
+    pub fn execute(&self, ctx: &GpuContext, factors: &[Matrix], mode: usize) -> GpuRun {
+        self.plans[mode].execute(ctx, factors)
+    }
+}

@@ -1,0 +1,219 @@
+//! Launch capture & replay property tests: for every simulated-GPU
+//! kernel, a captured [`Plan`] replayed against factor matrices must be
+//! bit-for-bit indistinguishable from the pre-capture emit-and-simulate
+//! path — output `y`, memoized [`SimResult`], injected fault stream, and
+//! ABFT checksum data alike.
+
+use mttkrp_repro::dense::Matrix;
+use mttkrp_repro::gpu_sim::FaultPlan;
+use mttkrp_repro::mttkrp::gpu::{self, GpuContext, Plan};
+use mttkrp_repro::mttkrp::reference::random_factors;
+use mttkrp_repro::sptensor::synth::uniform_random;
+use mttkrp_repro::sptensor::{mode_orientation, CooTensor};
+use mttkrp_repro::tensor_formats::{Bcsf, BcsfOptions, Csf, Csl, Fcoo, Hbcsf};
+
+/// One kernel's capture and legacy entry points, over a COO tensor.
+struct KernelCase {
+    name: &'static str,
+    /// Tensor orders the kernel supports (F-COO/ParTI-COO are 3-D only).
+    orders: &'static [usize],
+    plan: fn(&GpuContext, &CooTensor, usize, usize) -> Plan,
+    run: fn(&GpuContext, &CooTensor, &[Matrix], usize) -> gpu::GpuRun,
+}
+
+const CASES: &[KernelCase] = &[
+    KernelCase {
+        name: "parti-coo",
+        orders: &[3],
+        plan: |ctx, t, mode, rank| gpu::parti_coo::plan(ctx, t, mode, rank),
+        run: |ctx, t, f, mode| gpu::parti_coo::run(ctx, t, f, mode),
+    },
+    KernelCase {
+        name: "f-coo",
+        orders: &[3],
+        plan: |ctx, t, mode, rank| {
+            let fcoo = Fcoo::build(t, &mode_orientation(t.order(), mode), 8);
+            gpu::fcoo::plan(ctx, &fcoo, rank)
+        },
+        run: |ctx, t, f, mode| gpu::fcoo::build_and_run(ctx, t, f, mode, 8),
+    },
+    KernelCase {
+        name: "gpu-csf",
+        orders: &[3, 4],
+        plan: |ctx, t, mode, rank| {
+            let csf = Csf::build(t, &mode_orientation(t.order(), mode));
+            gpu::csf::plan(ctx, &csf, rank)
+        },
+        run: |ctx, t, f, mode| gpu::csf::build_and_run(ctx, t, f, mode),
+    },
+    KernelCase {
+        name: "b-csf",
+        orders: &[3, 4],
+        plan: |ctx, t, mode, rank| {
+            let b = Bcsf::build(
+                t,
+                &mode_orientation(t.order(), mode),
+                BcsfOptions::default(),
+            );
+            gpu::bcsf::plan(ctx, &b, rank)
+        },
+        run: |ctx, t, f, mode| gpu::bcsf::build_and_run(ctx, t, f, mode, BcsfOptions::default()),
+    },
+    KernelCase {
+        name: "csl",
+        orders: &[3, 4],
+        plan: |ctx, t, mode, rank| {
+            let c = Csl::build(t, &mode_orientation(t.order(), mode));
+            gpu::csl::plan(ctx, &c, rank)
+        },
+        run: |ctx, t, f, mode| gpu::csl::build_and_run(ctx, t, f, mode),
+    },
+    KernelCase {
+        name: "hb-csf",
+        orders: &[3, 4],
+        plan: |ctx, t, mode, rank| {
+            let h = Hbcsf::build(
+                t,
+                &mode_orientation(t.order(), mode),
+                BcsfOptions::default(),
+            );
+            gpu::hbcsf::plan(ctx, &h, rank)
+        },
+        run: |ctx, t, f, mode| gpu::hbcsf::build_and_run(ctx, t, f, mode, BcsfOptions::default()),
+    },
+];
+
+const RANK: usize = 8;
+
+fn tensor(order: usize) -> CooTensor {
+    match order {
+        3 => uniform_random(&[15, 18, 21], 900, 171),
+        4 => uniform_random(&[10, 8, 12, 9], 700, 172),
+        _ => unreachable!(),
+    }
+}
+
+/// Bit-level f32/f64 slice equality (`==` would treat flipped-to-NaN
+/// entries as unequal to themselves).
+fn bits32(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn bits64(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Full bit-for-bit comparison of two kernel executions.
+fn assert_runs_equal(a: &gpu::GpuRun, b: &gpu::GpuRun, what: &str) {
+    assert_eq!(bits32(a.y.data()), bits32(b.y.data()), "{what}: y differs");
+    assert_eq!(a.sim, b.sim, "{what}: SimResult differs");
+    match (&a.profile, &b.profile) {
+        (Some(pa), Some(pb)) => {
+            assert_eq!(pa.faults, pb.faults, "{what}: fault stream differs")
+        }
+        (None, None) => {}
+        _ => panic!("{what}: profile presence differs"),
+    }
+    match (&a.abft, &b.abft) {
+        (Some(xa), Some(xb)) => {
+            assert_eq!(xa.kernel, xb.kernel, "{what}: abft kernel differs");
+            assert_eq!(bits64(&xa.check), bits64(&xb.check), "{what}: abft check");
+            assert_eq!(bits64(&xa.abs), bits64(&xb.abs), "{what}: abft abs");
+            assert_eq!(
+                xa.corrupted_rows, xb.corrupted_rows,
+                "{what}: abft corrupted rows"
+            );
+            assert_eq!(
+                xa.flips_applied, xb.flips_applied,
+                "{what}: abft flips applied"
+            );
+        }
+        (None, None) => {}
+        _ => panic!("{what}: abft presence differs"),
+    }
+}
+
+/// Runs `check` for every (kernel, order, mode) the kernel supports.
+fn for_all_cases(mut check: impl FnMut(&KernelCase, &CooTensor, usize, String)) {
+    for case in CASES {
+        for &order in case.orders {
+            let t = tensor(order);
+            for mode in 0..order {
+                let what = format!("{} order-{order} mode-{mode}", case.name);
+                check(case, &t, mode, what);
+            }
+        }
+    }
+}
+
+#[test]
+fn replay_matches_fresh_emission_clean() {
+    let ctx = GpuContext::tiny();
+    for_all_cases(|case, t, mode, what| {
+        let factors = random_factors(t, RANK, 91 + mode as u64);
+        let plan = (case.plan)(&ctx, t, mode, RANK);
+        let replayed = plan.execute(&ctx, &factors);
+        let fresh = (case.run)(&ctx, t, &factors, mode);
+        assert_runs_equal(&replayed, &fresh, &what);
+    });
+}
+
+#[test]
+fn replay_is_deterministic_and_sim_is_memoized() {
+    let ctx = GpuContext::tiny();
+    for_all_cases(|case, t, mode, what| {
+        let factors = random_factors(t, RANK, 92 + mode as u64);
+        let plan = (case.plan)(&ctx, t, mode, RANK);
+        let first = plan.execute(&ctx, &factors);
+        let second = plan.execute(&ctx, &factors);
+        assert_runs_equal(&first, &second, &format!("{what} repeat"));
+
+        // New factor values through the same plan still match a fresh
+        // emission with those values: capture is value-independent.
+        let other = random_factors(t, RANK, 920 + mode as u64);
+        let replayed = plan.execute(&ctx, &other);
+        let fresh = (case.run)(&ctx, t, &other, mode);
+        assert_runs_equal(&replayed, &fresh, &format!("{what} new factors"));
+    });
+}
+
+#[test]
+fn replay_matches_fresh_emission_under_faults() {
+    let plan_spec =
+        FaultPlan::parse("bitflip:0.5,abort:0.2,straggler:0.2", 0xFA17).expect("spec parses");
+    let ctx = GpuContext::tiny().with_faults(plan_spec);
+    for_all_cases(|case, t, mode, what| {
+        let factors = random_factors(t, RANK, 93 + mode as u64);
+        let plan = (case.plan)(&ctx, t, mode, RANK);
+        let replayed = plan.execute(&ctx, &factors);
+        let fresh = (case.run)(&ctx, t, &factors, mode);
+        assert_runs_equal(&replayed, &fresh, &format!("{what} faulted"));
+    });
+}
+
+#[test]
+fn faulted_sim_cache_rekeys_across_retry_attempts() {
+    // run_verified's retries execute the same plan under a *different*
+    // FaultPlan (attempt is mixed into every draw); the memoized faulted
+    // simulation must re-key, and flipping back must still be exact.
+    let base = FaultPlan::parse("bitflip:0.5,abort:0.2", 0xFA17).expect("spec parses");
+    let ctx0 = GpuContext::tiny().with_faults(base.clone());
+    let ctx1 = GpuContext::tiny().with_faults(base.with_attempt(1));
+    for_all_cases(|case, t, mode, what| {
+        let factors = random_factors(t, RANK, 94 + mode as u64);
+        let plan = (case.plan)(&ctx0, t, mode, RANK);
+        let a0 = plan.execute(&ctx0, &factors);
+        let a1 = plan.execute(&ctx1, &factors);
+        let a0_again = plan.execute(&ctx0, &factors);
+        assert_runs_equal(&a0, &a0_again, &format!("{what} attempt-0 re-key"));
+        assert_runs_equal(
+            &a1,
+            &(case.run)(&ctx1, t, &factors, mode),
+            &format!("{what} attempt-1"),
+        );
+        assert_ne!(
+            a0.sim.makespan_cycles, 0.0,
+            "{what}: simulated makespan must be populated"
+        );
+    });
+}
