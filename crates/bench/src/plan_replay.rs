@@ -5,10 +5,13 @@
 //! (`BENCH_plan_replay.json` at the repo root in CI) so speedups are
 //! tracked across commits.
 
+use std::cell::RefCell;
+use std::sync::Arc;
 use std::time::Instant;
 
+use gpu_sim::DeviceMemory;
 use mttkrp::cpd::{cpd_als, CpdOptions, CpdResult};
-use mttkrp::gpu::{self, GpuContext, ModePlans};
+use mttkrp::gpu::{self, GpuContext, ModePlans, OocOptions};
 use sptensor::synth::{standin, SynthConfig};
 use sptensor::CooTensor;
 use tensor_formats::{BcsfOptions, Hbcsf};
@@ -60,6 +63,22 @@ pub struct DatasetReport {
     pub fits_match: bool,
     pub final_fit: f64,
     pub iterations: usize,
+    /// Worst per-mode plan footprint (factors + output + format).
+    pub footprint_bytes: u64,
+    /// Device capacity the out-of-core arm ran under (90% of worst).
+    pub mem_capacity_bytes: u64,
+    /// Device high-water mark of the out-of-core arm.
+    pub mem_high_water_bytes: u64,
+    /// Tiles streamed across the out-of-core arm's launches.
+    pub ooc_tiles: u64,
+    /// Launches that took the tiled rung (0 = everything still fit).
+    pub ooc_tiled_launches: u64,
+    /// Arm C hot loop: capacity-capped CPD on the same captured plans.
+    pub ooc_replay_s: f64,
+    /// `ooc_replay_s / replay_s` — the cost of streaming tiles.
+    pub ooc_overhead: f64,
+    /// Whether arm C's fit trajectory is bit-for-bit equal to arm B's.
+    pub ooc_fits_match: bool,
 }
 
 impl DatasetReport {
@@ -74,6 +93,14 @@ impl DatasetReport {
             "fits_match": self.fits_match,
             "final_fit": self.final_fit,
             "iterations": self.iterations,
+            "footprint_bytes": self.footprint_bytes,
+            "mem_capacity_bytes": self.mem_capacity_bytes,
+            "mem_high_water_bytes": self.mem_high_water_bytes,
+            "ooc_tiles": self.ooc_tiles,
+            "ooc_tiled_launches": self.ooc_tiled_launches,
+            "ooc_replay_s": self.ooc_replay_s,
+            "ooc_overhead": self.ooc_overhead,
+            "ooc_fits_match": self.ooc_fits_match,
         })
     }
 }
@@ -113,7 +140,7 @@ fn run_plan_replay(
     ctx: &GpuContext,
     t: &CooTensor,
     cfg: &PlanReplayConfig,
-) -> (CpdResult, f64, f64) {
+) -> (CpdResult, f64, f64, ModePlans) {
     let build_start = Instant::now();
     let plans = ModePlans::build_hbcsf(ctx, t, cfg.rank, BcsfOptions::default());
     let plan_build_s = build_start.elapsed().as_secs_f64();
@@ -121,7 +148,43 @@ fn run_plan_replay(
     let res = cpd_als(t, &cpd_opts(cfg), |factors, mode| {
         plans.execute(ctx, factors, mode).y
     });
-    (res, plan_build_s, start.elapsed().as_secs_f64())
+    (res, plan_build_s, start.elapsed().as_secs_f64(), plans)
+}
+
+/// Arm C: the same captured plans replayed on a capacity-capped device,
+/// so the biggest launches must stream tiles through the out-of-core
+/// ladder. The cap keeps every mode's resident set (factors + output,
+/// which tiling cannot shrink) plus half its format bytes — strictly
+/// below the worst mode's full footprint, so that mode always tiles, and
+/// never below any mode's tiling floor, so the CPU rung (whose different
+/// summation order would break bit-exactness) stays unreachable. Tiling
+/// only re-batches the captured schedule, so the trajectory must stay
+/// bit-for-bit equal to arm B.
+fn run_ooc_replay(
+    t: &CooTensor,
+    cfg: &PlanReplayConfig,
+    plans: &ModePlans,
+) -> (CpdResult, f64, simprof::MemoryRecord, u64) {
+    let capacity = (0..t.order())
+        .map(|m| {
+            let fp = plans.plan(m).footprint();
+            fp.resident_bytes() + fp.format_bytes / 2
+        })
+        .max()
+        .unwrap_or(0);
+    let ctx = GpuContext::default().with_memory(Arc::new(DeviceMemory::with_capacity(capacity)));
+    let oopts = OocOptions::default();
+    let memrec: RefCell<simprof::MemoryRecord> = RefCell::new(Default::default());
+    let start = Instant::now();
+    let res = cpd_als(t, &cpd_opts(cfg), |factors, mode| {
+        let (run, mem) = gpu::execute_adaptive(&ctx, plans.plan(mode), factors, t, &oopts);
+        mem.absorb_into(&mut memrec.borrow_mut());
+        run.y
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let mut rec = memrec.into_inner();
+    rec.high_water_bytes = rec.high_water_bytes.max(ctx.memory.high_water());
+    (res, secs, rec, capacity)
 }
 
 /// Benchmarks one dataset: both arms on the same generated tensor, fit
@@ -131,7 +194,8 @@ pub fn bench_dataset(name: &str, cfg: &PlanReplayConfig) -> Result<DatasetReport
     let t = spec.generate(&SynthConfig::default().with_nnz(cfg.nnz).with_seed(cfg.seed));
     let ctx = GpuContext::default();
     let (res_a, emit_every_iter_s) = run_emit_every_iter(&ctx, &t, cfg);
-    let (res_b, plan_build_s, replay_s) = run_plan_replay(&ctx, &t, cfg);
+    let (res_b, plan_build_s, replay_s, plans) = run_plan_replay(&ctx, &t, cfg);
+    let (res_c, ooc_replay_s, memrec, mem_capacity_bytes) = run_ooc_replay(&t, cfg, &plans);
     Ok(DatasetReport {
         dataset: name.to_string(),
         nnz: t.nnz(),
@@ -142,6 +206,14 @@ pub fn bench_dataset(name: &str, cfg: &PlanReplayConfig) -> Result<DatasetReport
         fits_match: res_a.fits == res_b.fits,
         final_fit: res_b.final_fit(),
         iterations: res_b.iterations,
+        footprint_bytes: memrec.footprint_bytes,
+        mem_capacity_bytes,
+        mem_high_water_bytes: memrec.high_water_bytes,
+        ooc_tiles: memrec.tiles_run,
+        ooc_tiled_launches: memrec.tiled_launches,
+        ooc_replay_s,
+        ooc_overhead: ooc_replay_s / replay_s.max(1e-12),
+        ooc_fits_match: res_c.fits == res_b.fits,
     })
 }
 
@@ -166,6 +238,7 @@ pub fn run(cfg: &PlanReplayConfig) -> Result<serde_json::Value, String> {
         "datasets": reports.iter().map(DatasetReport::to_json).collect::<Vec<_>>(),
         "min_speedup": if min_speedup.is_finite() { min_speedup } else { 0.0 },
         "all_fits_match": reports.iter().all(|r| r.fits_match),
+        "all_ooc_fits_match": reports.iter().all(|r| r.ooc_fits_match),
     }))
 }
 
@@ -186,5 +259,11 @@ mod tests {
         assert!(report.fits_match, "plan replay changed the fit trajectory");
         assert_eq!(report.iterations, 3);
         assert!(report.final_fit.is_finite());
+        assert!(
+            report.ooc_fits_match,
+            "out-of-core replay changed the fit trajectory"
+        );
+        assert!(report.mem_capacity_bytes < report.footprint_bytes);
+        assert!(report.mem_high_water_bytes <= report.mem_capacity_bytes);
     }
 }

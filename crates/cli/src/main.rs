@@ -19,20 +19,21 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
-use gpu_sim::FaultPlan;
-use mttkrp::abft::{run_verified, AbftOptions};
+use gpu_sim::{DeviceMemory, FaultPlan};
+use mttkrp::abft::{run_verified, run_verified_adaptive, AbftOptions};
 use mttkrp::cpd::{
-    cpd_als, cpd_als_nonneg, cpd_als_nonneg_profiled, cpd_als_profiled, cpd_als_resilient,
-    CpdOptions, ResilienceOptions,
+    cpd_als, cpd_als_adaptive, cpd_als_nonneg, cpd_als_nonneg_profiled, cpd_als_profiled,
+    cpd_als_resilient, CpdOptions, ResilienceOptions,
 };
 use mttkrp::cpu::splatt::{SplattCsf, SplattOptions};
-use mttkrp::gpu::{self, GpuContext};
+use mttkrp::gpu::{self, GpuContext, MemReport, OocOptions};
 use mttkrp::reference::random_factors;
 use sptensor::stats::ModeStats;
 use sptensor::{io as tio, mode_orientation, CooTensor};
-use tensor_formats::{BcsfOptions, Csf, Csl, Fcoo, Hbcsf, Hicoo, IndexBytes};
+use tensor_formats::{Bcsf, BcsfOptions, Csf, Csl, Fcoo, Hbcsf, Hicoo, IndexBytes};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -78,6 +79,12 @@ fn usage() {
     eprintln!("  --faults SPEC [--fault-seed S] injects deterministic faults into simulated-GPU");
     eprintln!("      kernels with ABFT detection and recovery; SPEC is comma-separated kind:rate");
     eprintln!("      terms, e.g. bitflip:1e-3,abort:1e-4,straggler:0.05,slowdown:2.5 (or 'none')");
+    eprintln!("  --mem-capacity B caps simulated device memory: bytes with an optional k/m/g");
+    eprintln!("      suffix (e.g. 64m), or a footprint fraction like 0.7x; launches that do not");
+    eprintln!("      fit degrade to out-of-core tiled replay, then to the CPU reference");
+    eprintln!("  --mem-faults SPEC injects allocator faults (oom:RATE, frag:FRAC); shares");
+    eprintln!("      --fault-seed with --faults and may be combined with it");
+    eprintln!("  --expect-tiled (cpd) fails unless at least one launch took the tiled path");
     eprintln!(
         "datasets: {}",
         sptensor::synth::standins()
@@ -105,15 +112,90 @@ fn flag_parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> 
     }
 }
 
-/// Parses `--faults SPEC [--fault-seed S]` into an active plan (or `None`
-/// when the flag is absent or the spec is `none`).
+/// Parses `--faults SPEC [--mem-faults SPEC] [--fault-seed S]` into one
+/// active plan (or `None` when both flags are absent or spell `none`).
+/// Execution faults (bitflip/abort/straggler) and allocator faults
+/// (oom/frag) share the grammar and the seed; keeping them as separate
+/// flags only documents intent.
 fn parse_faults(args: &[String]) -> Result<Option<FaultPlan>> {
-    let Some(spec) = flag(args, "--faults") else {
-        return Ok(None);
+    let spec = match (flag(args, "--faults"), flag(args, "--mem-faults")) {
+        (None, None) => return Ok(None),
+        (Some(a), None) => a,
+        (None, Some(b)) => b,
+        (Some(a), Some(b)) => format!("{a},{b}"),
     };
     let seed = flag_parse(args, "--fault-seed", 0xFA17u64)?;
     let plan = FaultPlan::parse(&spec, seed).map_err(|e| format!("--faults: {e}"))?;
     Ok(plan.is_active().then_some(plan))
+}
+
+/// A `--mem-capacity` value, before the footprint it may be relative to
+/// is known.
+enum MemCapacity {
+    /// Absolute bytes (`123456`, `64m`, `2g`).
+    Bytes(u64),
+    /// A multiple of the run's worst per-launch footprint (`0.7x`).
+    FootprintFraction(f64),
+}
+
+fn parse_mem_capacity(args: &[String]) -> Result<Option<MemCapacity>> {
+    let Some(raw) = flag(args, "--mem-capacity") else {
+        return Ok(None);
+    };
+    let s = raw.trim().to_ascii_lowercase();
+    let bad =
+        || format!("--mem-capacity wants bytes (with k/m/g) or a fraction like 0.7x, got '{raw}'");
+    if let Some(frac) = s.strip_suffix('x') {
+        let f: f64 = frac.parse().map_err(|_| bad())?;
+        if !(f.is_finite() && f > 0.0) {
+            return Err(bad());
+        }
+        return Ok(Some(MemCapacity::FootprintFraction(f)));
+    }
+    let (digits, mult) = match s.as_bytes().last() {
+        Some(b'k') => (&s[..s.len() - 1], 1u64 << 10),
+        Some(b'm') => (&s[..s.len() - 1], 1u64 << 20),
+        Some(b'g') => (&s[..s.len() - 1], 1u64 << 30),
+        _ => (s.as_str(), 1),
+    };
+    let n: f64 = digits.parse().map_err(|_| bad())?;
+    if !(n.is_finite() && n > 0.0) {
+        return Err(bad());
+    }
+    Ok(Some(MemCapacity::Bytes((n * mult as f64) as u64)))
+}
+
+impl MemCapacity {
+    /// Resolves to bytes against the worst single-launch footprint.
+    fn resolve(&self, worst_footprint: u64) -> u64 {
+        match *self {
+            MemCapacity::Bytes(b) => b,
+            MemCapacity::FootprintFraction(f) => (worst_footprint as f64 * f).ceil() as u64,
+        }
+    }
+}
+
+/// One human line per degradation-ladder rung of an adaptive launch.
+fn print_ladder(mem: &MemReport) {
+    println!(
+        "memory[{} mode {}]: footprint {} B, capacity {}, high water {} B, {} oom events",
+        mem.kernel,
+        mem.mode + 1,
+        mem.footprint_bytes,
+        if mem.capacity_bytes == u64::MAX {
+            "unlimited".to_string()
+        } else {
+            format!("{} B", mem.capacity_bytes)
+        },
+        mem.high_water_bytes,
+        mem.oom_events,
+    );
+    for step in &mem.ladder {
+        println!(
+            "  rung {:<11} budget {:>12} B, {:>4} tiles -> {}",
+            step.rung, step.budget_bytes, step.tiles, step.outcome
+        );
+    }
 }
 
 fn load(path: &str) -> Result<CooTensor> {
@@ -243,6 +325,8 @@ fn cmd_mttkrp(args: &[String]) -> Result<()> {
     if let Some(plan) = &faults {
         ctx = ctx.with_faults(plan.clone());
     }
+    let mem_capacity = parse_mem_capacity(args)?;
+    let adaptive = mem_capacity.is_some() || faults.as_ref().is_some_and(|p| p.has_mem_faults());
     let factors = random_factors(&t, rank, 42);
     let flops = t.order() as f64 * t.nnz() as f64 * rank as f64;
 
@@ -265,6 +349,11 @@ fn cmd_mttkrp(args: &[String]) -> Result<()> {
     if faults.is_some() && is_cpu_kernel {
         return Err(format!(
             "--faults supports the simulated GPU kernels only ('{kernel}' is a CPU kernel)"
+        ));
+    }
+    if adaptive && is_cpu_kernel {
+        return Err(format!(
+            "--mem-capacity/--mem-faults model device memory; '{kernel}' is a CPU kernel"
         ));
     }
 
@@ -317,6 +406,68 @@ fn cmd_mttkrp(args: &[String]) -> Result<()> {
                 "hbcsf" | "bcsf" | "csf" | "csl" | "coo" | "fcoo"
             ) {
                 return Err(format!("unknown kernel '{gpu_kernel}'"));
+            }
+            if adaptive {
+                if profile_dir.is_some() {
+                    return Err(
+                        "--profile does not combine with --mem-capacity/--mem-faults: \
+                         tiled sub-launch timelines do not concatenate into one trace"
+                            .into(),
+                    );
+                }
+                // Capture the launch once, size it, cap the device, then
+                // run the full-device -> tiled -> CPU degradation ladder.
+                let perm = mode_orientation(t.order(), mode);
+                let plan = match gpu_kernel {
+                    "hbcsf" => gpu::hbcsf::plan(
+                        &ctx,
+                        &Hbcsf::build(&t, &perm, BcsfOptions::default()),
+                        rank,
+                    ),
+                    "bcsf" => {
+                        gpu::bcsf::plan(&ctx, &Bcsf::build(&t, &perm, BcsfOptions::default()), rank)
+                    }
+                    "csf" => gpu::csf::plan(&ctx, &Csf::build(&t, &perm), rank),
+                    "csl" => gpu::csl::plan(&ctx, &Csl::build(&t, &perm), rank),
+                    "coo" => gpu::parti_coo::plan(&ctx, &t, mode, rank),
+                    _ => gpu::fcoo::plan(&ctx, &Fcoo::build(&t, &perm, 8), rank),
+                };
+                if let Some(spec) = &mem_capacity {
+                    let cap = spec.resolve(plan.footprint().total_bytes());
+                    ctx = ctx.with_memory(Arc::new(DeviceMemory::with_capacity(cap)));
+                }
+                let oopts = OocOptions::default();
+                let (run, mems) = if ctx.fault_plan().is_some() {
+                    let (run, report, mems) = run_verified_adaptive(
+                        &ctx,
+                        &t,
+                        &factors,
+                        &AbftOptions::default(),
+                        &oopts,
+                        &plan,
+                    );
+                    println!(
+                        "faults: {} injected, {} rows detected; {} retries, {} rows degraded",
+                        report.faults_injected,
+                        report.detected_rows.len(),
+                        report.retries,
+                        report.degraded_rows
+                    );
+                    (run, mems)
+                } else {
+                    let (run, mem) = gpu::execute_adaptive(&ctx, &plan, &factors, &t, &oopts);
+                    (run, vec![mem])
+                };
+                for mem in &mems {
+                    print_ladder(mem);
+                }
+                println!(
+                    "{gpu_kernel} (simulated {}, adaptive): {:.3} ms, ||Y|| = {:.6e}",
+                    ctx.device.name,
+                    run.sim.time_s * 1e3,
+                    checksum(&run.y)
+                );
+                return Ok(());
             }
             // ABFT wrapper: with no fault plan this is exactly one plain
             // execution; under faults it verifies, retries, and degrades.
@@ -438,6 +589,18 @@ fn cmd_bench(args: &[String]) -> Result<()> {
             r["speedup"].as_f64().unwrap_or(0.0),
             r["fits_match"],
         );
+        println!(
+            "  out-of-core @ {} B (footprint {} B): {:.3}s ({:.2}x of replay), \
+             {} tiled launches / {} tiles, high water {} B (fits match: {})",
+            r["mem_capacity_bytes"],
+            r["footprint_bytes"],
+            r["ooc_replay_s"].as_f64().unwrap_or(0.0),
+            r["ooc_overhead"].as_f64().unwrap_or(0.0),
+            r["ooc_tiled_launches"],
+            r["ooc_tiles"],
+            r["mem_high_water_bytes"],
+            r["ooc_fits_match"],
+        );
     }
     std::fs::write(
         &out,
@@ -447,6 +610,9 @@ fn cmd_bench(args: &[String]) -> Result<()> {
     println!("wrote {out}");
     if !doc["all_fits_match"].as_bool().unwrap_or(false) {
         return Err("plan replay diverged from per-iteration emission".into());
+    }
+    if !doc["all_ooc_fits_match"].as_bool().unwrap_or(false) {
+        return Err("out-of-core tiled replay diverged from in-core replay".into());
     }
     let measured = doc["min_speedup"].as_f64().unwrap_or(0.0);
     if measured < min_speedup {
@@ -477,6 +643,19 @@ fn cmd_cpd(args: &[String]) -> Result<()> {
             "--faults drives the resilient standard ALS; combine it without --nonneg".into(),
         );
     }
+    let mem_capacity = parse_mem_capacity(args)?;
+    let expect_tiled = args.iter().any(|a| a == "--expect-tiled");
+    let adaptive = mem_capacity.is_some() || faults.as_ref().is_some_and(|p| p.has_mem_faults());
+    if adaptive && nonneg {
+        return Err(
+            "--mem-capacity/--mem-faults drive the adaptive standard ALS; \
+             combine them without --nonneg"
+                .into(),
+        );
+    }
+    if expect_tiled && !adaptive {
+        return Err("--expect-tiled needs --mem-capacity or --mem-faults".into());
+    }
     let mut ctx = GpuContext::default();
     if profile_dir.is_some() {
         ctx = ctx.with_profiling();
@@ -503,6 +682,16 @@ fn cmd_cpd(args: &[String]) -> Result<()> {
     let plans = gpu::ModePlans::build_hbcsf(&ctx, &t, rank, BcsfOptions::default());
     for (m, secs) in plans.build_seconds.iter().enumerate() {
         manifest.push_phase(&format!("build hbcsf mode {}", m + 1), *secs);
+    }
+    // Cap the simulated device *after* capture: footprints live in the
+    // plans, and `0.7x`-style capacities resolve against the worst mode.
+    let worst_footprint = (0..t.order())
+        .map(|m| plans.plan(m).footprint().total_bytes())
+        .max()
+        .unwrap_or(0);
+    if let Some(spec) = &mem_capacity {
+        let cap = spec.resolve(worst_footprint);
+        ctx = ctx.with_memory(Arc::new(DeviceMemory::with_capacity(cap)));
     }
     // The last profiled MTTKRP run of each mode, kept so the profile
     // artifacts show a representative launch per mode.
@@ -539,7 +728,20 @@ fn cmd_cpd(args: &[String]) -> Result<()> {
         y
     };
     let start = Instant::now();
-    let res = if faults.is_some() {
+    let mut memrec: Option<simprof::MemoryRecord> = None;
+    let res = if adaptive {
+        let (res, _stats, mem) = cpd_als_adaptive(
+            &t,
+            &opts,
+            &ResilienceOptions::default(),
+            &ctx,
+            &plans,
+            &OocOptions::default(),
+            Some(&mut manifest),
+        );
+        memrec = Some(mem);
+        res
+    } else if faults.is_some() {
         let (res, _stats) = cpd_als_resilient(
             &t,
             &opts,
@@ -583,6 +785,38 @@ fn cmd_cpd(args: &[String]) -> Result<()> {
             r.checkpoints
         );
     }
+    if let Some(mem) = &memrec {
+        println!(
+            "memory: capacity {}, worst footprint {} B, high water {} B",
+            if ctx.memory.is_unlimited() {
+                "unlimited".to_string()
+            } else {
+                format!("{} B", ctx.memory.capacity())
+            },
+            mem.footprint_bytes,
+            mem.high_water_bytes
+        );
+        println!(
+            "  launches: {} in-core, {} tiled ({} tiles), {} ladder shrinks, \
+             {} cpu fallbacks, {} oom events",
+            mem.in_core_launches,
+            mem.tiled_launches,
+            mem.tiles_run,
+            mem.ladder_shrinks,
+            mem.cpu_fallbacks,
+            mem.oom_events
+        );
+        if expect_tiled && mem.tiled_launches == 0 {
+            return Err(format!(
+                "--expect-tiled: no launch took the tiled path \
+                 ({} in-core, {} cpu fallbacks)",
+                mem.in_core_launches, mem.cpu_fallbacks
+            ));
+        }
+    }
+    // Full precision for bit-exactness comparisons across runs (CI diffs
+    // the constrained run against the unconstrained one).
+    println!("final_fit_exact {:.15e}", res.final_fit());
     if let Some(min) = expect_fit {
         if res.final_fit() < min {
             return Err(format!(

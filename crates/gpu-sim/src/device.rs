@@ -18,6 +18,8 @@ pub struct DeviceProfile {
     pub compute_width_warps: f64,
     /// Core clock in GHz used to convert cycles to seconds.
     pub clock_ghz: f64,
+    /// Device (global) memory capacity in bytes.
+    pub mem_bytes: u64,
     /// L2 capacity in bytes.
     pub l2_bytes: usize,
     /// L2 line size in bytes; also the coalescing segment size.
@@ -37,6 +39,7 @@ impl DeviceProfile {
             max_blocks_per_sm: 32,
             compute_width_warps: 2.0,
             clock_ghz: 1.33,
+            mem_bytes: 16 * 1024 * 1024 * 1024,
             l2_bytes: 4 * 1024 * 1024,
             line_bytes: 128,
             l2_assoc: 16,
@@ -54,6 +57,7 @@ impl DeviceProfile {
             max_blocks_per_sm: 32,
             compute_width_warps: 2.0,
             clock_ghz: 1.53,
+            mem_bytes: 16 * 1024 * 1024 * 1024,
             l2_bytes: 6 * 1024 * 1024,
             line_bytes: 128,
             l2_assoc: 16,
@@ -71,6 +75,7 @@ impl DeviceProfile {
             max_blocks_per_sm: 8,
             compute_width_warps: 1.0,
             clock_ghz: 1.0,
+            mem_bytes: 256 * 1024,
             l2_bytes: 16 * 1024,
             line_bytes: 128,
             l2_assoc: 4,

@@ -1,8 +1,10 @@
 //! simfault: deterministic, seed-driven fault injection.
 //!
-//! A [`FaultPlan`] describes *which* transient faults a launch suffers:
-//! bit flips in per-block accumulation results, block aborts that force an
-//! ECC-style re-execution, and straggler SMs running at a reduced clock.
+//! A [`FaultPlan`] describes *which* faults a launch suffers: bit flips
+//! in per-block accumulation results, block aborts that force an
+//! ECC-style re-execution, straggler SMs running at a reduced clock, and
+//! — through [`crate::mem::DeviceMemory`] — allocation failures (`oom`)
+//! and fragmentation pressure (`frag`) on the device heap.
 //! Every draw is a pure hash of `(seed, kernel, attempt, site)` — no RNG
 //! state — so the same plan replayed over the same launch injects the
 //! same faults, two independent observers of the same site (the scheduler
@@ -95,6 +97,12 @@ pub struct FaultPlan {
     pub straggler_rate: f64,
     /// Cycle multiplier applied to blocks placed on straggler SMs.
     pub straggler_slowdown: f64,
+    /// Probability a checked device-memory allocation spuriously fails
+    /// (per allocation site; see [`crate::mem::DeviceMemory::try_lease`]).
+    pub oom_rate: f64,
+    /// Fraction of device-memory capacity held back by fragmentation
+    /// (`0.0..1.0`); shrinks the effective capacity, not a per-site draw.
+    pub frag_frac: f64,
     /// Retry attempt number; mixed into every draw.
     pub attempt: u32,
 }
@@ -108,6 +116,8 @@ impl FaultPlan {
             abort_rate: 0.0,
             straggler_rate: 0.0,
             straggler_slowdown: 2.0,
+            oom_rate: 0.0,
+            frag_frac: 0.0,
             attempt: 0,
         }
     }
@@ -124,7 +134,22 @@ impl FaultPlan {
     /// Whether any fault can ever fire. Inactive plans take the exact
     /// fault-free code paths.
     pub fn is_active(&self) -> bool {
+        self.has_exec_faults() || self.has_mem_faults()
+    }
+
+    /// Whether any *execution* fault (bit flip, abort, straggler) can
+    /// fire. These are the faults that perturb kernel output or timing —
+    /// the ones ABFT checksumming and the faulted simulator care about.
+    pub fn has_exec_faults(&self) -> bool {
         self.bitflip_rate > 0.0 || self.abort_rate > 0.0 || self.straggler_rate > 0.0
+    }
+
+    /// Whether any *memory* fault (allocation failure, fragmentation) can
+    /// fire. Memory faults never corrupt data — they refuse allocations —
+    /// so plans with only memory faults keep the bit-exact parallel
+    /// replay path.
+    pub fn has_mem_faults(&self) -> bool {
+        self.oom_rate > 0.0 || self.frag_frac > 0.0
     }
 
     /// The same plan with a different retry attempt (re-rolls all draws).
@@ -136,7 +161,8 @@ impl FaultPlan {
     }
 
     /// Parses a CLI fault spec: comma-separated `kind:rate` terms, e.g.
-    /// `bitflip:1e-3,abort:1e-4,straggler:0.05,slowdown:2.5`, or `none`.
+    /// `bitflip:1e-3,abort:1e-4,straggler:0.05,slowdown:2.5,oom:0.01,frag:0.2`,
+    /// or `none`.
     pub fn parse(spec: &str, seed: u64) -> Result<Self, String> {
         let mut plan = FaultPlan {
             seed,
@@ -165,16 +191,26 @@ impl FaultPlan {
                 "abort" => plan.abort_rate = v,
                 "straggler" => plan.straggler_rate = v,
                 "slowdown" => plan.straggler_slowdown = v,
+                "oom" => plan.oom_rate = v,
+                "frag" => plan.frag_frac = v,
                 other => return Err(format!("unknown fault kind '{other}'")),
             }
         }
-        for rate in [plan.bitflip_rate, plan.abort_rate, plan.straggler_rate] {
+        for rate in [
+            plan.bitflip_rate,
+            plan.abort_rate,
+            plan.straggler_rate,
+            plan.oom_rate,
+        ] {
             if rate > 1.0 {
                 return Err("fault rates are probabilities; must be <= 1".to_string());
             }
         }
         if plan.straggler_slowdown < 1.0 {
             return Err("straggler slowdown must be >= 1".to_string());
+        }
+        if plan.frag_frac >= 1.0 {
+            return Err("fragmentation fraction must be < 1".to_string());
         }
         Ok(plan)
     }
@@ -204,6 +240,14 @@ impl FaultPlan {
     pub fn sm_straggler(&self, kernel: &str, sm: usize) -> bool {
         self.straggler_rate > 0.0
             && u01(self.site_hash(kernel, 0x3, sm as u64)) < self.straggler_rate
+    }
+
+    /// Whether the checked device-memory allocation at `site` of kernel
+    /// `kernel` spuriously fails. Sites are chosen by the caller (e.g. the
+    /// out-of-core executor keys them on `(ladder rung, tile index)`);
+    /// like every draw, the outcome re-rolls when `attempt` changes.
+    pub fn alloc_fails(&self, kernel: &str, site: u64) -> bool {
+        self.oom_rate > 0.0 && u01(self.site_hash(kernel, 0x4, site)) < self.oom_rate
     }
 
     /// One hash per (plan, kernel, stream, site): the whole entropy source.
@@ -250,6 +294,7 @@ mod tests {
             assert!(p.block_bitflip("k", b).is_none());
             assert!(!p.block_aborts("k", b));
             assert!(!p.sm_straggler("k", b));
+            assert!(!p.alloc_fails("k", b as u64));
         }
     }
 
@@ -308,6 +353,32 @@ mod tests {
         assert!(FaultPlan::parse("bitflip:2.0", 0).is_err());
         assert!(FaultPlan::parse("bitflip:nope", 0).is_err());
         assert!(FaultPlan::parse("slowdown:0.5", 0).is_err());
+        assert!(FaultPlan::parse("oom:1.5", 0).is_err());
+        assert!(FaultPlan::parse("frag:1.0", 0).is_err());
+    }
+
+    #[test]
+    fn memory_faults_are_split_from_exec_faults() {
+        let mem_only = FaultPlan::parse("oom:0.2,frag:0.1", 5).expect("valid spec");
+        assert!(mem_only.is_active());
+        assert!(mem_only.has_mem_faults());
+        assert!(!mem_only.has_exec_faults());
+        assert!((mem_only.oom_rate - 0.2).abs() < 1e-12);
+        assert!((mem_only.frag_frac - 0.1).abs() < 1e-12);
+
+        let exec_only = FaultPlan::bitflips(0.1, 5);
+        assert!(exec_only.has_exec_faults() && !exec_only.has_mem_faults());
+
+        // OOM draws are deterministic, site-keyed, and re-rolled by attempt.
+        let a: Vec<bool> = (0..200).map(|s| mem_only.alloc_fails("k", s)).collect();
+        let b: Vec<bool> = (0..200).map(|s| mem_only.alloc_fails("k", s)).collect();
+        assert_eq!(a, b);
+        let c: Vec<bool> = (0..200)
+            .map(|s| mem_only.with_attempt(1).alloc_fails("k", s))
+            .collect();
+        assert_ne!(a, c, "retry attempt re-rolls OOM draws");
+        let hits = a.iter().filter(|&&x| x).count();
+        assert!(hits > 10 && hits < 80, "rate 0.2 over 200 sites: {hits}");
     }
 
     #[test]

@@ -155,7 +155,13 @@ impl AddressSpace {
 
     /// Reserves space for `n` elements of `elem` bytes.
     pub fn alloc_elems(&mut self, n: usize, elem: u64) -> ArraySpan {
-        self.alloc(n as u64 * elem)
+        self.alloc((n as u64).saturating_mul(elem))
+    }
+
+    /// Total bytes reserved so far (segment-padded) — a plan's complete
+    /// device-memory footprint once every array has been laid out.
+    pub fn total_bytes(&self) -> u64 {
+        self.next
     }
 }
 
@@ -178,6 +184,12 @@ impl ArraySpan {
     #[inline]
     pub fn row(&self, r: usize, row_bytes: u64) -> u64 {
         self.base + r as u64 * row_bytes
+    }
+
+    /// Bytes this span occupies in an [`AddressSpace`]: the request padded
+    /// to whole 128-B segments (matching [`AddressSpace::alloc`]).
+    pub fn padded_bytes(&self) -> u64 {
+        (self.bytes.div_ceil(SEG_BYTES).saturating_mul(SEG_BYTES)).max(SEG_BYTES)
     }
 }
 

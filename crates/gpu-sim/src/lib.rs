@@ -36,6 +36,7 @@ pub mod cost;
 pub mod device;
 pub mod fault;
 pub mod grid;
+pub mod mem;
 pub mod sched;
 pub mod trace;
 
@@ -44,6 +45,7 @@ pub use cost::CostModel;
 pub use device::DeviceProfile;
 pub use fault::{BitFlip, FaultKind, FaultPlan, InjectedFault};
 pub use grid::{AddressSpace, ArraySpan, BlockWork, KernelLaunch, Op, WarpWork};
+pub use mem::{AllocRecord, DeviceMemory, MemError, MemLease, OomEvent};
 pub use sched::{
     co_resident_makespan, simulate, simulate_faulted, simulate_profiled, simulate_with_timeline,
     AtomicRowCharge, BlockCost, BlockPlacement, SimProfile, SimResult, StallReason, Timeline,

@@ -425,6 +425,80 @@ pub fn cpd_als_resilient(
     )
 }
 
+/// [`cpd_als_resilient`] with every MTTKRP routed through the out-of-core
+/// degradation ladder — the memory-aware layer of the simfault stack.
+///
+/// Each (iteration, mode) MTTKRP executes the captured plan via
+/// [`crate::gpu::ooc::execute_adaptive`]: in-core when the plan's
+/// [`MemoryFootprint`](crate::gpu::MemoryFootprint) fits the context's
+/// [`DeviceMemory`](gpu_sim::DeviceMemory), tiled when it does not, CPU
+/// reference when injected OOMs exhaust the tile budget ladder. When the
+/// context also carries exec faults (bit flips / aborts / stragglers) the
+/// attempt additionally runs under
+/// [`run_verified`](crate::abft::run_verified), so checksum repair and
+/// memory degradation compose per attempt.
+///
+/// Returns the aggregated [`simprof::MemoryRecord`] (one ladder story per
+/// kernel execution) alongside the usual result and stats; with a
+/// manifest, kernel-level ABFT events are merged into
+/// [`RunManifest::resilience`] and the memory record into
+/// [`RunManifest::memory`]. On an unconstrained, fault-free context every
+/// execution takes the full-device rung and the result is bit-identical
+/// to [`cpd_als_planned`].
+pub fn cpd_als_adaptive(
+    t: &CooTensor,
+    opts: &CpdOptions,
+    ropts: &ResilienceOptions,
+    ctx: &crate::gpu::GpuContext,
+    plans: &crate::gpu::ModePlans,
+    oopts: &crate::gpu::OocOptions,
+    mut manifest: Option<&mut RunManifest>,
+) -> (CpdResult, ResilienceStats, simprof::MemoryRecord) {
+    use std::cell::RefCell;
+
+    let kernel_events: RefCell<ResilienceRecord> = RefCell::new(ResilienceRecord::default());
+    let memrec: RefCell<simprof::MemoryRecord> = RefCell::new(simprof::MemoryRecord::default());
+    let abft_opts = crate::abft::AbftOptions::default();
+    let exec_faulted = ctx.fault_plan().is_some();
+
+    let backend = |factors: &[Matrix], mode: usize| -> Matrix {
+        let plan = plans.plan(mode);
+        if exec_faulted {
+            let (run, rep, mems) =
+                crate::abft::run_verified_adaptive(ctx, t, factors, &abft_opts, oopts, plan);
+            {
+                let mut ev = kernel_events.borrow_mut();
+                ev.faults_injected += rep.faults_injected;
+                ev.rows_detected += rep.detected_rows.len() as u64;
+                ev.kernel_retries += u64::from(rep.retries);
+                ev.degraded_rows += rep.degraded_rows;
+            }
+            let mut mr = memrec.borrow_mut();
+            for m in &mems {
+                m.absorb_into(&mut mr);
+            }
+            run.y
+        } else {
+            let (run, mem) = crate::gpu::ooc::execute_adaptive(ctx, plan, factors, t, oopts);
+            mem.absorb_into(&mut memrec.borrow_mut());
+            run.y
+        }
+    };
+
+    let (result, stats) = cpd_als_resilient(t, opts, ropts, backend, manifest.as_deref_mut());
+
+    let mut mem = memrec.into_inner();
+    mem.high_water_bytes = mem.high_water_bytes.max(ctx.memory.high_water());
+    if !ctx.memory.is_unlimited() {
+        mem.capacity_bytes = mem.capacity_bytes.max(ctx.memory.capacity());
+    }
+    if let Some(m) = manifest {
+        m.resilience.merge(&kernel_events.into_inner());
+        m.memory.merge(&mem);
+    }
+    (result, stats, mem)
+}
+
 /// Non-negative CPD via multiplicative updates (Lee–Seung generalized to
 /// tensors): `Aₙ ← Aₙ ∗ MTTKRP(X, n) ⊘ (Aₙ · Vₙ)` with
 /// `Vₙ = ∗ₘ≠ₙ AₘᵀAₘ`. Keeps every factor entry ≥ 0 — the constraint the
@@ -851,6 +925,67 @@ mod tests {
         t.values_mut()[0] = -1.0;
         let opts = CpdOptions::default();
         let _ = cpd_als_nonneg(&t, &opts, |f, m| reference::mttkrp(&t, f, m));
+    }
+
+    #[test]
+    fn adaptive_matches_planned_in_core_and_under_pressure() {
+        use crate::gpu::{GpuContext, ModePlans, OocOptions};
+        use gpu_sim::DeviceMemory;
+        use std::sync::Arc;
+        use tensor_formats::BcsfOptions;
+
+        let t = sptensor::synth::uniform_random(&[12, 14, 16], 600, 31);
+        let opts = CpdOptions {
+            rank: 4,
+            max_iters: 4,
+            tol: 0.0,
+            seed: 17,
+        };
+        let ropts = ResilienceOptions::default();
+        let oopts = OocOptions::default();
+        let ctx = GpuContext::tiny();
+        let plans = ModePlans::build_hbcsf(&ctx, &t, opts.rank, BcsfOptions::default());
+        let plain = cpd_als_planned(&t, &opts, &ctx, &plans);
+
+        // Unconstrained: every launch takes the full-device rung and the
+        // decomposition is bit-identical to the plain planned driver.
+        let (res, stats, mem) = cpd_als_adaptive(&t, &opts, &ropts, &ctx, &plans, &oopts, None);
+        assert_eq!(res.fits, plain.fits, "in-core adaptive must be bit-exact");
+        // Proactive checkpoints still fire on a clean run; every corrective
+        // counter must stay at zero.
+        assert_eq!(stats.nan_resets, 0);
+        assert_eq!(stats.tikhonov_fallbacks, 0);
+        assert_eq!(stats.rollbacks, 0);
+        assert!(mem.in_core_launches > 0);
+        assert_eq!(mem.tiled_launches + mem.cpu_fallbacks + mem.oom_events, 0);
+
+        // Capacity below the worst plan's footprint: the tiled rung must
+        // engage, and the clean tiled fold is still bit-exact.
+        let worst = (0..t.order())
+            .map(|m| *plans.plan(m).footprint())
+            .max_by_key(|fp| fp.total_bytes())
+            .unwrap();
+        let capacity = worst.total_bytes() - worst.format_bytes / 8;
+        let small = GpuContext::tiny().with_memory(Arc::new(DeviceMemory::with_capacity(capacity)));
+        let (res2, _, mem2) = cpd_als_adaptive(&t, &opts, &ropts, &small, &plans, &oopts, None);
+        assert_eq!(res2.fits, plain.fits, "tiled adaptive must be bit-exact");
+        assert!(mem2.tiled_launches > 0, "tiling never engaged: {mem2:?}");
+        assert_eq!(mem2.cpu_fallbacks, 0);
+        assert!(mem2.high_water_bytes <= capacity, "capacity was breached");
+
+        // The manifest absorbs the same memory story.
+        let mut manifest = RunManifest::new("hb-csf", "synth", 0, 0, 0.0, 0);
+        let (_, _, mem3) = cpd_als_adaptive(
+            &t,
+            &opts,
+            &ropts,
+            &small,
+            &plans,
+            &oopts,
+            Some(&mut manifest),
+        );
+        assert_eq!(manifest.memory.tiled_launches, mem3.tiled_launches);
+        assert!(manifest.memory.any());
     }
 
     #[test]

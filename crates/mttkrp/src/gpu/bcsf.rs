@@ -19,7 +19,7 @@ use sptensor::Index;
 use tensor_formats::{Bcsf, BcsfOptions};
 
 use super::common::{load_u32s, FactorAddrs, GpuContext, GpuRun};
-use super::plan::{Plan, PlanBuilder};
+use super::plan::{MemoryFootprint, Plan, PlanBuilder};
 
 /// Synthetic addresses of the B-CSF arrays.
 pub(crate) struct BcsfSpans {
@@ -70,6 +70,7 @@ pub(crate) fn plan_named(ctx: &GpuContext, bcsf: &Bcsf, rank: usize, name: &str)
     let fa = FactorAddrs::layout(&mut space, &bcsf.csf.dims, rank, mode);
     let spans = BcsfSpans::alloc(&mut space, bcsf);
     let mut pb = PlanBuilder::new(name, mode, rank, bcsf.csf.dims[mode] as usize);
+    pb.set_footprint(MemoryFootprint::from_layout(&space, &fa));
     emit(ctx, bcsf, &fa, &spans, &mut pb);
     pb.finish()
 }

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use dense::Matrix;
 use gpu_sim::{
     simulate, simulate_faulted, simulate_profiled, AddressSpace, ArraySpan, BitFlip, CostModel,
-    DeviceProfile, FaultPlan, KernelLaunch, SimProfile, SimResult, WarpWork,
+    DeviceMemory, DeviceProfile, FaultPlan, KernelLaunch, SimProfile, SimResult, WarpWork,
 };
 use sptensor::Index;
 
@@ -33,6 +33,11 @@ pub struct GpuContext {
     /// every kernel on the exact fault-free code path — bit-for-bit
     /// identical output and timing. Set via [`GpuContext::with_faults`].
     pub faults: Option<FaultPlan>,
+    /// Tracked device memory every plan execution leases its buffers
+    /// from. Unlimited by default (pure observation: ledger + high-water
+    /// mark); cap it via [`GpuContext::with_memory`] to make footprints
+    /// binding and enable out-of-core execution.
+    pub memory: Arc<DeviceMemory>,
 }
 
 impl Default for GpuContext {
@@ -43,6 +48,7 @@ impl Default for GpuContext {
             warps_per_block: 16,
             registry: Arc::new(simprof::Registry::disabled()),
             faults: None,
+            memory: Arc::new(DeviceMemory::unlimited()),
         }
     }
 }
@@ -71,14 +77,30 @@ impl GpuContext {
         self
     }
 
+    /// Same context drawing allocations from `memory`.
+    pub fn with_memory(mut self, memory: Arc<DeviceMemory>) -> GpuContext {
+        self.memory = memory;
+        self
+    }
+
     /// Whether launches through this context collect profiles.
     pub fn profiling(&self) -> bool {
         self.registry.enabled()
     }
 
-    /// The active fault plan, if any.
+    /// The active *execution*-fault plan (bit flips, aborts, stragglers),
+    /// if any. Plans carrying only memory faults (`oom`/`frag`) return
+    /// `None` here: they refuse allocations but never perturb kernel
+    /// output or timing, so the bit-exact fault-free paths stay in force.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
-        self.faults.as_ref().filter(|p| p.is_active())
+        self.faults.as_ref().filter(|p| p.has_exec_faults())
+    }
+
+    /// The active *memory*-fault plan (allocation failures,
+    /// fragmentation), if any — consumed by [`DeviceMemory::try_lease`]
+    /// on the out-of-core path.
+    pub fn mem_fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().filter(|p| p.has_mem_faults())
     }
 
     /// An ABFT sink for a kernel named `kernel` producing `rows` output
@@ -329,13 +351,18 @@ pub struct FactorAddrs {
 
 impl FactorAddrs {
     /// Reserves address space for all factors and the mode-`mode` output.
+    ///
+    /// Sizes are computed with saturating arithmetic: a `dims × rank`
+    /// product that overflows u64 yields a span of `u64::MAX` bytes,
+    /// which no [`DeviceMemory`] capacity can satisfy — the overflow
+    /// surfaces as a typed OOM instead of a silent wrap.
     pub fn layout(space: &mut AddressSpace, dims: &[Index], r: usize, mode: usize) -> FactorAddrs {
-        let row_bytes = r as u64 * 4;
+        let row_bytes = (r as u64).saturating_mul(4);
         let factors = dims
             .iter()
-            .map(|&d| space.alloc(d as u64 * row_bytes))
+            .map(|&d| space.alloc(u64::from(d).saturating_mul(row_bytes)))
             .collect();
-        let y = space.alloc(dims[mode] as u64 * row_bytes);
+        let y = space.alloc(u64::from(dims[mode]).saturating_mul(row_bytes));
         FactorAddrs {
             factors,
             y,
@@ -368,7 +395,7 @@ impl FactorAddrs {
 #[inline]
 pub fn load_u32s(w: &mut WarpWork, span: ArraySpan, start: usize, count: usize) {
     if count > 0 {
-        w.load_span(span.elem(start, 4), count as u64 * 4);
+        w.load_span(span.elem(start, 4), (count as u64).saturating_mul(4));
     }
 }
 

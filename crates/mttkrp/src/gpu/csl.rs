@@ -13,7 +13,7 @@ use gpu_sim::{AddressSpace, ArraySpan, BlockWork, Op, WarpWork};
 use tensor_formats::Csl;
 
 use super::common::{load_u32s, FactorAddrs, GpuContext, GpuRun};
-use super::plan::{Plan, PlanBuilder};
+use super::plan::{MemoryFootprint, Plan, PlanBuilder};
 
 /// Target nonzeros per warp. One 32-wide chunk keeps CSL's block
 /// granularity (16 warps × 32 = 512 nonzeros) identical to B-CSF's binning,
@@ -92,6 +92,7 @@ pub fn plan(ctx: &GpuContext, csl: &Csl, rank: usize) -> Plan {
     let fa = FactorAddrs::layout(&mut space, &csl.dims, rank, mode);
     let spans = CslSpans::alloc(&mut space, csl);
     let mut pb = PlanBuilder::new("csl", mode, rank, csl.dims[mode] as usize);
+    pb.set_footprint(MemoryFootprint::from_layout(&space, &fa));
     emit(ctx, csl, &fa, &spans, &mut pb);
     pb.finish()
 }

@@ -24,7 +24,7 @@ use gpu_sim::{AddressSpace, ArraySpan, BlockWork, Op, WarpWork};
 use tensor_formats::Fcoo;
 
 use super::common::{FactorAddrs, GpuContext, GpuRun};
-use super::plan::{Plan, PlanBuilder};
+use super::plan::{MemoryFootprint, Plan, PlanBuilder};
 
 /// Default per-thread chunk length (the framework's tuning sweet spot in
 /// our packing; the paper tunes over {8, 16, 32, 64}).
@@ -65,12 +65,17 @@ pub fn plan(ctx: &GpuContext, fcoo: &Fcoo, rank: usize) -> Plan {
     // reduction pass folds them into Y.
     let warp_span_len = 32 * fcoo.threadlen;
     let num_warps = fcoo.nnz().div_ceil(warp_span_len.max(1));
-    let partials_span = space.alloc(2 * num_warps as u64 * r as u64 * 4);
+    let partials_span = space.alloc(
+        (num_warps as u64)
+            .saturating_mul(r as u64)
+            .saturating_mul(2 * 4),
+    );
 
     let tl = fcoo.threadlen;
     let warp_span = 32 * tl;
 
     let mut pb = PlanBuilder::new("f-coo-gpu", mode, rank, fcoo.dims[mode] as usize);
+    pb.set_footprint(MemoryFootprint::from_layout(&space, &fa));
     let mut warp_base = 0usize;
     let mut boundary_rows: Vec<u32> = Vec::new();
     'outer: loop {
@@ -163,7 +168,8 @@ pub fn plan(ctx: &GpuContext, fcoo: &Fcoo, rank: usize) -> Plan {
                     if ordinal == first_ordinal || ordinal == last_ordinal {
                         // Boundary partial: spill one R-wide row per end.
                         let slot = 2 * warp_id + usize::from(ordinal == last_ordinal);
-                        w.store_span(partials_span.base + (slot * r * 4) as u64, fa.row_bytes);
+                        let off = (slot as u64).saturating_mul(r as u64).saturating_mul(4);
+                        w.store_span(partials_span.base + off, fa.row_bytes);
                         boundary_rows.push(i as u32);
                     } else {
                         fa.store_y(&mut w, i);
@@ -195,10 +201,10 @@ pub fn plan(ctx: &GpuContext, fcoo: &Fcoo, rank: usize) -> Plan {
             let end = (idx + 32).min(boundary_rows.len());
             let mut w = WarpWork::new();
             for (off, &row) in boundary_rows[idx..end].iter().enumerate() {
-                w.load_span(
-                    partials_span.base + ((idx + off) * r * 4) as u64,
-                    fa.row_bytes,
-                );
+                let poff = ((idx + off) as u64)
+                    .saturating_mul(r as u64)
+                    .saturating_mul(4);
+                w.load_span(partials_span.base + poff, fa.row_bytes);
                 fa.atomic_y(&mut w, row as usize);
             }
             block.warps.push(w);

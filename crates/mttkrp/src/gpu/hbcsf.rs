@@ -19,7 +19,7 @@ use tensor_formats::{BcsfOptions, Hbcsf};
 use super::bcsf::BcsfSpans;
 use super::common::{load_u32s, FactorAddrs, GpuContext, GpuRun};
 use super::csl::CslSpans;
-use super::plan::{Plan, PlanBuilder};
+use super::plan::{MemoryFootprint, Plan, PlanBuilder};
 
 /// Runs the composite kernel; output mode is `h.perm[0]`.
 pub fn run(ctx: &GpuContext, h: &Hbcsf, factors: &[Matrix]) -> GpuRun {
@@ -44,6 +44,7 @@ pub fn plan(ctx: &GpuContext, h: &Hbcsf, rank: usize) -> Plan {
     // One builder across all three groups: fault draws key on the fused
     // launch's name and launch-wide block index, matching the scheduler.
     let mut pb = PlanBuilder::new("hb-csf", mode, rank, h.dims[mode] as usize);
+    pb.set_footprint(MemoryFootprint::from_layout(&space, &fa));
 
     // Heavy group first: the longest blocks enter the SM schedule earliest,
     // which is the standard heavy-first heuristic a real launch order uses.

@@ -27,8 +27,10 @@ pub mod csf;
 pub mod csl;
 pub mod fcoo;
 pub mod hbcsf;
+pub mod ooc;
 pub mod parti_coo;
 pub mod plan;
 
 pub use common::{AbftData, AbftSink, GpuContext, GpuRun};
-pub use plan::{ModePlans, Plan, ReplaySchedule};
+pub use ooc::{execute_adaptive, LadderStep, MemReport, OocOptions};
+pub use plan::{MemoryFootprint, ModePlans, Plan, ReplaySchedule};

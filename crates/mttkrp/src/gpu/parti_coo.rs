@@ -11,7 +11,7 @@ use gpu_sim::{AddressSpace, BlockWork, Op, WarpWork};
 use sptensor::CooTensor;
 
 use super::common::{load_u32s, FactorAddrs, GpuContext, GpuRun};
-use super::plan::{Plan, PlanBuilder};
+use super::plan::{MemoryFootprint, Plan, PlanBuilder};
 use crate::reference::check_shapes;
 
 /// Nonzeros handled by one warp (rank across lanes; nonzeros serial).
@@ -46,6 +46,7 @@ pub fn plan(ctx: &GpuContext, t: &CooTensor, mode: usize, rank: usize) -> Plan {
     let nnz_per_block = NNZ_PER_WARP * ctx.warps_per_block;
 
     let mut pb = PlanBuilder::new("parti-coo-gpu", mode, rank, t.dims()[mode] as usize);
+    pb.set_footprint(MemoryFootprint::from_layout(&space, &fa));
     for block_start in (0..t.nnz()).step_by(nnz_per_block) {
         pb.begin_block();
         let mut block = BlockWork::new();

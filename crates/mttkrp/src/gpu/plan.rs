@@ -24,22 +24,75 @@
 //! the faulted simulation is cached keyed on the plan — `run_verified`'s
 //! retries carry a different `attempt`, which re-keys the cache.
 
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::Instant;
 
 use dense::Matrix;
 use gpu_sim::{
-    simulate_faulted, simulate_profiled, FaultPlan, KernelLaunch, SimProfile, SimResult,
+    simulate_faulted, simulate_profiled, AddressSpace, FaultPlan, KernelLaunch, MemLease,
+    SimProfile, SimResult,
 };
 use rayon::prelude::*;
 use sptensor::CooTensor;
 use tensor_formats::{BcsfOptions, Hbcsf};
 
-use super::common::{axpy_into, scale_by, AbftSink, GpuContext, GpuRun};
+use super::common::{axpy_into, scale_by, AbftSink, FactorAddrs, GpuContext, GpuRun};
 
 /// Accumulator elements per parallel replay batch (≈4 MB of partials):
 /// bounds scratch memory while giving rayon enough blocks per batch.
 const BATCH_ELEMS: usize = 1 << 20;
+
+/// A plan's device-memory requirements, sized at capture time from the
+/// kernel's own [`AddressSpace`] layout. All sums saturate: a footprint
+/// that overflows u64 reads as `u64::MAX` bytes — never satisfiable, so
+/// overflow degrades into a typed OOM instead of wrapping silently.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct MemoryFootprint {
+    /// Factor matrices (segment-padded), all modes.
+    pub factor_bytes: u64,
+    /// The output matrix `Y` (segment-padded).
+    pub output_bytes: u64,
+    /// Everything else the kernel laid out: format pointer/index/value
+    /// arrays, flags, scratch. This is the streamable part — tiles carry
+    /// only their share of it.
+    pub format_bytes: u64,
+}
+
+impl MemoryFootprint {
+    /// Splits a finished layout into the resident arrays (factors,
+    /// output) and the streamable format remainder.
+    pub fn from_layout(space: &AddressSpace, fa: &FactorAddrs) -> MemoryFootprint {
+        let factor_bytes = fa
+            .factors
+            .iter()
+            .fold(0u64, |acc, s| acc.saturating_add(s.padded_bytes()));
+        let output_bytes = fa.y.padded_bytes();
+        let format_bytes = space
+            .total_bytes()
+            .saturating_sub(factor_bytes)
+            .saturating_sub(output_bytes);
+        MemoryFootprint {
+            factor_bytes,
+            output_bytes,
+            format_bytes,
+        }
+    }
+
+    /// Bytes that must stay resident for the whole launch (factors + Y).
+    pub fn resident_bytes(&self) -> u64 {
+        self.factor_bytes.saturating_add(self.output_bytes)
+    }
+
+    /// The full-device footprint: everything at once.
+    pub fn total_bytes(&self) -> u64 {
+        self.resident_bytes().saturating_add(self.format_bytes)
+    }
+
+    /// Whether the whole plan fits in `capacity` bytes at once.
+    pub fn fits_within(&self, capacity: u64) -> bool {
+        self.total_bytes() <= capacity
+    }
+}
 
 /// The value-dependent half of a captured kernel, stored structure-of-
 /// arrays: every semantic output contribution in emission order, grouped
@@ -118,6 +171,7 @@ pub(crate) struct PlanBuilder {
     /// The simulated instruction stream; kernels push blocks directly.
     pub launch: KernelLaunch,
     sched: ReplaySchedule,
+    footprint: MemoryFootprint,
 }
 
 impl PlanBuilder {
@@ -140,12 +194,19 @@ impl PlanBuilder {
                 chain_modes: Vec::new(),
                 chain_rows: Vec::new(),
             },
+            footprint: MemoryFootprint::default(),
         }
     }
 
     /// Declares the factor mode leaf reductions read (fiber kernels).
     pub fn set_leaf_mode(&mut self, mode: usize) {
         self.sched.leaf_mode = mode;
+    }
+
+    /// Records the capture's device-memory footprint (kernels call this
+    /// right after finishing their [`AddressSpace`] layout).
+    pub fn set_footprint(&mut self, footprint: MemoryFootprint) {
+        self.footprint = footprint;
     }
 
     /// Marks the start of the next thread block — called exactly where the
@@ -194,8 +255,10 @@ impl PlanBuilder {
             out_rows: self.out_rows,
             launch: self.launch,
             sched: self.sched,
+            footprint: self.footprint,
             sim_clean: OnceLock::new(),
             sim_faulted: Mutex::new(None),
+            sim_tiled: Mutex::new(None),
         }
     }
 }
@@ -216,11 +279,16 @@ pub struct Plan {
     out_rows: usize,
     launch: KernelLaunch,
     sched: ReplaySchedule,
+    /// Device-memory requirements, sized at capture time.
+    footprint: MemoryFootprint,
     /// Fault-free simulation, computed once on first execute.
     sim_clean: OnceLock<(SimResult, SimProfile)>,
     /// Last faulted simulation keyed by its [`FaultPlan`] — `run_verified`
     /// retries re-execute under `plan.with_attempt(n)`, a different key.
     sim_faulted: Mutex<Option<(FaultPlan, SimResult, SimProfile)>>,
+    /// Last aggregated tiled simulation, keyed by the tile byte budget
+    /// (tile ranges are a pure function of the budget).
+    sim_tiled: Mutex<Option<(u64, SimResult)>>,
 }
 
 impl Plan {
@@ -237,6 +305,16 @@ impl Plan {
     /// Factor rank the capture is valid for.
     pub fn rank(&self) -> usize {
         self.rank
+    }
+
+    /// Output rows (`dims[mode]`) the capture produces.
+    pub fn out_rows(&self) -> usize {
+        self.out_rows
+    }
+
+    /// Device-memory requirements, sized at capture time.
+    pub fn footprint(&self) -> &MemoryFootprint {
+        &self.footprint
     }
 
     /// The captured instruction stream.
@@ -259,6 +337,32 @@ impl Plan {
     /// the emitting kernel would: identical `y` bits, identical (memoized)
     /// `SimResult`, and — under `ctx`'s fault plan — identical ABFT data.
     pub fn execute(&self, ctx: &GpuContext, factors: &[Matrix]) -> GpuRun {
+        let _lease = self.lease_full(ctx);
+        self.execute_inner(ctx, factors)
+    }
+
+    /// Leases the plan's full footprint from `ctx`'s device memory
+    /// (unchecked observation — the checked path lives in
+    /// [`super::ooc::execute_adaptive`]).
+    pub(crate) fn lease_full(&self, ctx: &GpuContext) -> MemLease {
+        ctx.memory.lease(&self.footprint_parts())
+    }
+
+    /// `(label, bytes)` triplet describing the full footprint.
+    pub(crate) fn footprint_parts(&self) -> Vec<(String, u64)> {
+        vec![
+            (
+                format!("{}.factors", self.name),
+                self.footprint.factor_bytes,
+            ),
+            (format!("{}.output", self.name), self.footprint.output_bytes),
+            (format!("{}.format", self.name), self.footprint.format_bytes),
+        ]
+    }
+
+    /// [`Plan::execute`] without the memory lease — for callers that have
+    /// already leased (full-device or per-tile) through the checked path.
+    pub(crate) fn execute_inner(&self, ctx: &GpuContext, factors: &[Matrix]) -> GpuRun {
         let r = factors.first().map_or(0, |f| f.cols());
         assert_eq!(
             r, self.rank,
@@ -295,14 +399,28 @@ impl Plan {
     fn sim_for(&self, ctx: &GpuContext) -> (SimResult, Option<SimProfile>) {
         match ctx.fault_plan() {
             Some(plan) => {
-                let mut cached = self.sim_faulted.lock().expect("sim cache poisoned");
-                if cached.as_ref().is_none_or(|(key, _, _)| key != plan) {
-                    let (sim, profile) =
-                        simulate_faulted(&ctx.device, &ctx.cost, &self.launch, &ctx.registry, plan);
-                    *cached = Some((plan.clone(), sim, profile));
+                // Poisoning only means a panic elsewhere mid-fill; refill
+                // rather than cascading the panic out of a cache lookup.
+                let mut cached = self
+                    .sim_faulted
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                match cached.as_ref() {
+                    Some((key, sim, profile)) if key == plan => {
+                        (sim.clone(), Some(profile.clone()))
+                    }
+                    _ => {
+                        let (sim, profile) = simulate_faulted(
+                            &ctx.device,
+                            &ctx.cost,
+                            &self.launch,
+                            &ctx.registry,
+                            plan,
+                        );
+                        *cached = Some((plan.clone(), sim.clone(), profile.clone()));
+                        (sim, Some(profile))
+                    }
                 }
-                let (_, sim, profile) = cached.as_ref().expect("just filled");
-                (sim.clone(), Some(profile.clone()))
             }
             None => {
                 let (sim, profile) = self.sim_clean.get_or_init(|| {
@@ -318,13 +436,28 @@ impl Plan {
     /// in emission order — the exact f32 summation order of the inactive
     /// sink's `axpy_into` path.
     fn replay_parallel(&self, y: &mut Matrix, factors: &[Matrix]) {
+        self.replay_range_parallel(y, factors, 0, self.sched.num_blocks());
+    }
+
+    /// [`Plan::replay_parallel`] restricted to blocks `range_b0..range_b1`
+    /// of the schedule. Tiling only moves batch boundaries: the ordered
+    /// per-contribution fold is unchanged, so any tiling of `0..nblocks`
+    /// into consecutive ranges accumulates `y` bit-for-bit identically to
+    /// the untiled replay.
+    pub(crate) fn replay_range_parallel(
+        &self,
+        y: &mut Matrix,
+        factors: &[Matrix],
+        range_b0: usize,
+        range_b1: usize,
+    ) {
         let r = self.rank;
         if r == 0 {
             return;
         }
-        let nblocks = self.sched.num_blocks();
+        let nblocks = range_b1.min(self.sched.num_blocks());
         let mut buf: Vec<f32> = Vec::new();
-        let mut b0 = 0usize;
+        let mut b0 = range_b0;
         while b0 < nblocks {
             // Grow the batch until it covers ~BATCH_ELEMS accumulator
             // elements (always at least one block).
@@ -367,8 +500,23 @@ impl Plan {
     /// Faulted replay: fully sequential, calling `begin_block`/`contribute`
     /// with the same ordinals and accumulators as emission.
     fn replay_sequential(&self, y: &mut Matrix, factors: &[Matrix], sink: &mut AbftSink) {
+        self.replay_range_sequential(y, factors, sink, 0, self.sched.num_blocks());
+    }
+
+    /// [`Plan::replay_sequential`] restricted to blocks `b0..b1`. Block
+    /// ordinals passed to the sink are the *global* schedule ordinals, so
+    /// fault draws — which key on `(kernel, block)` — are identical
+    /// whether the schedule runs whole or tiled.
+    pub(crate) fn replay_range_sequential(
+        &self,
+        y: &mut Matrix,
+        factors: &[Matrix],
+        sink: &mut AbftSink,
+        b0: usize,
+        b1: usize,
+    ) {
         let mut acc = vec![0.0f32; self.rank];
-        for b in 0..self.sched.num_blocks() {
+        for b in b0..b1.min(self.sched.num_blocks()) {
             sink.begin_block(y, b);
             let (lo, hi) = (
                 self.sched.block_ptr[b] as usize,
@@ -377,6 +525,60 @@ impl Plan {
             for c in lo..hi {
                 self.sched.replay_into(c, factors, &mut acc);
                 sink.contribute(y, self.sched.rows[c] as usize, &acc);
+            }
+        }
+    }
+
+    /// Prefix sums of per-block tiling weights (`len == num_blocks + 1`).
+    /// A block's weight approximates its share of the format arrays: its
+    /// contribution, leaf, and chain entry counts, plus one so empty
+    /// blocks still make progress when packed.
+    pub(crate) fn block_weight_prefix(&self) -> Vec<u64> {
+        let s = &self.sched;
+        let nblocks = s.num_blocks();
+        let mut prefix = Vec::with_capacity(nblocks + 1);
+        prefix.push(0u64);
+        for b in 0..nblocks {
+            let (lo, hi) = (s.block_ptr[b] as usize, s.block_ptr[b + 1] as usize);
+            let mut w = 1 + (hi - lo) as u64;
+            if hi > lo {
+                w += u64::from(s.leaf_ptr[hi] - s.leaf_ptr[lo]);
+                w += u64::from(s.chain_ptr[hi] - s.chain_ptr[lo]);
+            }
+            prefix.push(prefix[b] + w);
+        }
+        prefix
+    }
+
+    /// The sub-launch covering schedule blocks `b0..b1` (clamped to the
+    /// launch's block count — the schedule can record a trailing probe
+    /// block past the last launched one).
+    pub(crate) fn sub_launch(&self, b0: usize, b1: usize) -> KernelLaunch {
+        let lo = b0.min(self.launch.blocks.len());
+        let hi = b1.min(self.launch.blocks.len());
+        KernelLaunch {
+            name: self.launch.name.clone(),
+            blocks: self.launch.blocks[lo..hi].to_vec(),
+        }
+    }
+
+    /// The memoized aggregated tiled simulation for `budget`, filling via
+    /// `compute` on miss (see `sim_tiled`).
+    pub(crate) fn tiled_sim_cached(
+        &self,
+        budget: u64,
+        compute: impl FnOnce() -> SimResult,
+    ) -> SimResult {
+        let mut cached = self
+            .sim_tiled
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        match cached.as_ref() {
+            Some((key, sim)) if *key == budget => sim.clone(),
+            _ => {
+                let sim = compute();
+                *cached = Some((budget, sim.clone()));
+                sim
             }
         }
     }

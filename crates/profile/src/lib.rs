@@ -30,6 +30,9 @@ pub mod registry;
 pub mod table;
 
 pub use chrome::{ChromeTrace, TraceEvent};
-pub use manifest::{IterationRecord, ModeTiming, PhaseTiming, ResilienceRecord, RunManifest};
+pub use manifest::{
+    IterationRecord, MemEventRecord, MemoryRecord, ModeTiming, PhaseTiming, ResilienceRecord,
+    RunManifest,
+};
 pub use registry::{Registry, ScopedSpan, SpanRecord};
 pub use table::{nvprof_table, MetricRow};

@@ -78,6 +78,71 @@ impl ResilienceRecord {
     }
 }
 
+/// One degradation-ladder event from the out-of-core executor: a rung
+/// attempted by one kernel execution.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct MemEventRecord {
+    pub kernel: String,
+    pub mode: usize,
+    /// `"full-device"`, `"tiled"`, or `"cpu"`.
+    pub rung: String,
+    pub budget_bytes: u64,
+    pub tiles: usize,
+    /// `"ok"`, `"oom-injected"`, `"exceeds-capacity"`, or
+    /// `"budget-too-small"`.
+    pub outcome: String,
+}
+
+/// Device-memory event counts accumulated over a run: footprints,
+/// pressure, OOM refusals, and what the out-of-core degradation ladder
+/// did about them. All zeros/empty for an unconstrained run.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
+pub struct MemoryRecord {
+    /// Configured device capacity in bytes (0 = unlimited).
+    pub capacity_bytes: u64,
+    /// Largest single-plan footprint executed.
+    pub footprint_bytes: u64,
+    /// Device high-water mark across the run.
+    pub high_water_bytes: u64,
+    /// Allocation refusals (injected + genuine capacity pressure).
+    pub oom_events: u64,
+    /// Kernel executions that completed on the full-device rung.
+    pub in_core_launches: u64,
+    /// Kernel executions that completed via tiling.
+    pub tiled_launches: u64,
+    /// Total tiles streamed by successful tiled executions.
+    pub tiles_run: u64,
+    /// Tiled attempts abandoned (injected OOM / budget too small) before
+    /// a rung succeeded.
+    pub ladder_shrinks: u64,
+    /// Kernel executions that fell back to the CPU reference.
+    pub cpu_fallbacks: u64,
+    /// Every ladder step of every execution, in order.
+    pub events: Vec<MemEventRecord>,
+}
+
+impl MemoryRecord {
+    /// Whether any memory pressure or out-of-core activity was recorded.
+    pub fn any(&self) -> bool {
+        *self != MemoryRecord::default()
+    }
+
+    /// Accumulates another record into this one (counts add, extrema max,
+    /// events concatenate).
+    pub fn merge(&mut self, other: &MemoryRecord) {
+        self.capacity_bytes = self.capacity_bytes.max(other.capacity_bytes);
+        self.footprint_bytes = self.footprint_bytes.max(other.footprint_bytes);
+        self.high_water_bytes = self.high_water_bytes.max(other.high_water_bytes);
+        self.oom_events += other.oom_events;
+        self.in_core_launches += other.in_core_launches;
+        self.tiled_launches += other.tiled_launches;
+        self.tiles_run += other.tiles_run;
+        self.ladder_shrinks += other.ladder_shrinks;
+        self.cpu_fallbacks += other.cpu_fallbacks;
+        self.events.extend(other.events.iter().cloned());
+    }
+}
+
 /// Telemetry of a full CPD-ALS run.
 #[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct RunManifest {
@@ -98,6 +163,9 @@ pub struct RunManifest {
     /// Fault-injection and recovery event counts (all zeros when the run
     /// executed without a fault plan).
     pub resilience: ResilienceRecord,
+    /// Device-memory pressure and out-of-core activity (all zeros when
+    /// the run executed unconstrained).
+    pub memory: MemoryRecord,
 }
 
 impl RunManifest {
@@ -124,6 +192,7 @@ impl RunManifest {
             final_fit: 0.0,
             iterations_run: 0,
             resilience: ResilienceRecord::default(),
+            memory: MemoryRecord::default(),
         }
     }
 
@@ -246,6 +315,44 @@ mod tests {
         assert_eq!(r.faults_injected, 6);
         assert_eq!(r.nan_resets, 8);
         assert_eq!(r.checkpoints, 10);
+    }
+
+    #[test]
+    fn memory_record_merges_and_round_trips() {
+        let mut m = MemoryRecord::default();
+        assert!(!m.any());
+        let other = MemoryRecord {
+            capacity_bytes: 1 << 20,
+            footprint_bytes: 3 << 20,
+            high_water_bytes: 900_000,
+            oom_events: 2,
+            in_core_launches: 1,
+            tiled_launches: 4,
+            tiles_run: 12,
+            ladder_shrinks: 1,
+            cpu_fallbacks: 1,
+            events: vec![MemEventRecord {
+                kernel: "hb-csf".to_string(),
+                mode: 0,
+                rung: "tiled".to_string(),
+                budget_bytes: 1 << 20,
+                tiles: 3,
+                outcome: "ok".to_string(),
+            }],
+        };
+        m.merge(&other);
+        m.merge(&other);
+        assert!(m.any());
+        assert_eq!(m.oom_events, 4);
+        assert_eq!(m.tiles_run, 24);
+        assert_eq!(m.capacity_bytes, 1 << 20, "capacities max, not add");
+        assert_eq!(m.events.len(), 2);
+
+        let mut run = sample();
+        run.memory = m;
+        let v = serde_json::from_str(&run.to_json_string()).expect("valid JSON");
+        assert_eq!(v["memory"]["tiled_launches"].as_u64(), Some(8));
+        assert_eq!(v["memory"]["events"][0]["rung"], "tiled");
     }
 
     #[test]

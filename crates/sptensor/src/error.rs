@@ -26,6 +26,12 @@ pub enum TensorError {
     /// binary file) that no valid tensor/format instance can have.
     /// `context` names the structure, e.g. `"coo"` or `"csf"`.
     Invalid { context: &'static str, msg: String },
+    /// Two nonzeros with identical coordinates in input whose duplicate
+    /// policy is [`crate::io::DuplicatePolicy::Reject`]. Which entry
+    /// "wins" is a semantic choice the caller must make explicitly
+    /// (sum? keep? abort?) — never a silent default. `line` is the
+    /// 1-based line of the *second* occurrence (0 for binary input).
+    Duplicate { line: usize, coords: Vec<u32> },
 }
 
 impl TensorError {
@@ -44,6 +50,12 @@ impl TensorError {
             msg: msg.into(),
         }
     }
+
+    /// A rejected duplicate coordinate (1-based `line` of the second
+    /// occurrence; pass 0 when the source has no line structure).
+    pub fn duplicate(line: usize, coords: Vec<u32>) -> Self {
+        TensorError::Duplicate { line, coords }
+    }
 }
 
 impl fmt::Display for TensorError {
@@ -52,6 +64,24 @@ impl fmt::Display for TensorError {
             TensorError::Io(e) => write!(f, "i/o error: {e}"),
             TensorError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
             TensorError::Invalid { context, msg } => write!(f, "invalid {context}: {msg}"),
+            TensorError::Duplicate { line, coords } => {
+                let ones: Vec<String> = coords.iter().map(|&c| (c + 1).to_string()).collect();
+                if *line > 0 {
+                    write!(
+                        f,
+                        "line {line}: duplicate coordinate ({}) — pass an explicit \
+                         DuplicatePolicy (Sum/Keep) to accept duplicates",
+                        ones.join(", ")
+                    )
+                } else {
+                    write!(
+                        f,
+                        "duplicate coordinate ({}) — pass an explicit DuplicatePolicy \
+                         (Sum/Keep) to accept duplicates",
+                        ones.join(", ")
+                    )
+                }
+            }
         }
     }
 }

@@ -7,21 +7,51 @@
 //! synthetic stand-ins by default, but real data can be dropped in through
 //! this module.
 
+use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
 
 use crate::{CooTensor, Index, TensorError, TensorResult, Value};
 
-/// Reads a tensor from `.tns` text. Order is inferred from the first data
-/// line; extents are per-mode maxima (so empty trailing hyperplanes are not
-/// representable, same as FROSTT itself).
+/// What to do when two input nonzeros carry identical coordinates.
+///
+/// FROSTT files are supposed to be duplicate-free, but real exports are
+/// not always clean, and which entry "wins" changes the tensor — so the
+/// choice is surfaced as an explicit policy instead of a silent default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DuplicatePolicy {
+    /// Fail with [`TensorError::Duplicate`] naming the line of the second
+    /// occurrence. The default: ambiguous input is an error.
+    #[default]
+    Reject,
+    /// Sum the values of coinciding nonzeros (the MTTKRP-consistent
+    /// interpretation: COO contributions add).
+    Sum,
+    /// Keep every entry as stored. Downstream kernels treat duplicates as
+    /// additive COO entries; formats may fold them.
+    Keep,
+}
+
+/// Reads a tensor from `.tns` text, rejecting duplicate coordinates
+/// (equivalent to [`read_tns_with`] under [`DuplicatePolicy::Reject`]).
 ///
 /// Every malformed line — bad token, 0 or out-of-range index, non-finite
 /// value — is rejected with a [`TensorError::Parse`] naming the offending
 /// line; this function never panics on hostile input.
 pub fn read_tns<R: BufRead>(reader: R) -> TensorResult<CooTensor> {
+    read_tns_with(reader, DuplicatePolicy::Reject)
+}
+
+/// Reads a tensor from `.tns` text under an explicit [`DuplicatePolicy`].
+/// Order is inferred from the first data line; extents are per-mode maxima
+/// (so empty trailing hyperplanes are not representable, same as FROSTT
+/// itself).
+pub fn read_tns_with<R: BufRead>(reader: R, policy: DuplicatePolicy) -> TensorResult<CooTensor> {
     let mut inds: Vec<Vec<Index>> = Vec::new();
     let mut vals: Vec<Value> = Vec::new();
     let mut order: Option<usize> = None;
+    // First-occurrence index of each coordinate tuple (Reject/Sum only).
+    let mut seen: HashMap<Vec<Index>, usize> = HashMap::new();
+    let mut coords: Vec<Index> = Vec::new();
 
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
@@ -44,15 +74,18 @@ pub fn read_tns<R: BufRead>(reader: R) -> TensorResult<CooTensor> {
             }
             _ => {}
         }
-        for (m, tok) in toks[..n].iter().enumerate() {
+        coords.clear();
+        for tok in &toks[..n] {
             let idx: u64 = tok.parse().map_err(|_| bad_line(lineno, "invalid index"))?;
             if idx == 0 {
                 return Err(bad_line(lineno, "indices are 1-based; got 0"));
             }
-            if idx > u64::from(Index::MAX) {
-                return Err(bad_line(lineno, "index exceeds u32 range"));
+            // Two guards: the Index (u32) range, and — on 32-bit hosts —
+            // the usize range every downstream row count flows through.
+            if idx > u64::from(Index::MAX) || usize::try_from(idx).is_err() {
+                return Err(bad_line(lineno, "index exceeds representable range"));
             }
-            inds[m].push((idx - 1) as Index);
+            coords.push((idx - 1) as Index);
         }
         let v: Value = toks[n]
             .parse()
@@ -60,13 +93,39 @@ pub fn read_tns<R: BufRead>(reader: R) -> TensorResult<CooTensor> {
         if !v.is_finite() {
             return Err(bad_line(lineno, "non-finite value (NaN/inf) rejected"));
         }
+        match policy {
+            DuplicatePolicy::Keep => {}
+            _ => {
+                if let Some(&first) = seen.get(&coords) {
+                    match policy {
+                        DuplicatePolicy::Reject => {
+                            return Err(TensorError::duplicate(lineno + 1, coords));
+                        }
+                        DuplicatePolicy::Sum => {
+                            vals[first] += v;
+                            continue;
+                        }
+                        DuplicatePolicy::Keep => unreachable!(),
+                    }
+                }
+                seen.insert(coords.clone(), vals.len());
+            }
+        }
+        for (arr, &c) in inds.iter_mut().zip(&coords) {
+            arr.push(c);
+        }
         vals.push(v);
     }
 
     let order = order.ok_or_else(|| TensorError::invalid("tns", "no data lines in input"))?;
-    let dims: Vec<Index> = (0..order)
-        .map(|m| inds[m].iter().copied().max().unwrap_or(0) + 1)
-        .collect();
+    let mut dims = Vec::with_capacity(order);
+    for arr in &inds {
+        let max = arr.iter().copied().max().unwrap_or(0);
+        let extent = max
+            .checked_add(1)
+            .ok_or_else(|| TensorError::invalid("tns", "mode extent overflows u32"))?;
+        dims.push(extent);
+    }
     Ok(CooTensor::from_parts(dims, inds, vals))
 }
 
@@ -118,6 +177,15 @@ pub fn write_bin<W: Write>(t: &CooTensor, mut w: W) -> io::Result<()> {
 }
 
 /// Reads a tensor written by [`write_bin`].
+///
+/// Hardened against hostile headers: a declared nonzero count that does
+/// not fit `usize` (32-bit hosts) or whose total byte size overflows is a
+/// typed error, not a wrap or an abort; preallocation is capped so a huge
+/// declared count on a tiny stream fails with `UnexpectedEof` instead of
+/// exhausting memory. Duplicate coordinates are preserved as stored (the
+/// writer is the only producer of this format; use
+/// [`CooTensor::fold_duplicates`] or [`read_tns_with`] when input
+/// provenance is untrusted).
 pub fn read_bin<R: io::Read>(mut r: R) -> TensorResult<CooTensor> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
@@ -132,23 +200,44 @@ pub fn read_bin<R: io::Read>(mut r: R) -> TensorResult<CooTensor> {
     }
     let mut u32buf = [0u8; 4];
     let mut dims = Vec::with_capacity(order);
-    for _ in 0..order {
+    for m in 0..order {
         r.read_exact(&mut u32buf)?;
-        dims.push(u32::from_le_bytes(u32buf));
+        let d = u32::from_le_bytes(u32buf);
+        if d == 0 {
+            return Err(TensorError::invalid(
+                "spt1",
+                format!("mode {m} extent is zero"),
+            ));
+        }
+        dims.push(d);
     }
     let mut u64buf = [0u8; 8];
     r.read_exact(&mut u64buf)?;
-    let nnz = u64::from_le_bytes(u64buf) as usize;
+    let nnz_u64 = u64::from_le_bytes(u64buf);
+    let nnz = usize::try_from(nnz_u64)
+        .map_err(|_| TensorError::invalid("spt1", "nonzero count exceeds usize"))?;
+    // (order + 1) arrays of 4-byte entries must be addressable.
+    if nnz_u64
+        .checked_mul(order as u64 + 1)
+        .and_then(|n| n.checked_mul(4))
+        .is_none()
+    {
+        return Err(TensorError::invalid("spt1", "total byte size overflows"));
+    }
+    // Cap the speculative preallocation: a hostile header declaring 2^50
+    // nonzeros over a 30-byte stream should die on a short read, not an
+    // allocation failure.
+    let prealloc = nnz.min(1 << 20);
     let mut inds: Vec<Vec<Index>> = Vec::with_capacity(order);
     for _ in 0..order {
-        let mut arr = Vec::with_capacity(nnz);
+        let mut arr = Vec::with_capacity(prealloc);
         for _ in 0..nnz {
             r.read_exact(&mut u32buf)?;
             arr.push(u32::from_le_bytes(u32buf));
         }
         inds.push(arr);
     }
-    let mut vals = Vec::with_capacity(nnz);
+    let mut vals = Vec::with_capacity(prealloc);
     for _ in 0..nnz {
         r.read_exact(&mut u32buf)?;
         vals.push(f32::from_le_bytes(u32buf));
@@ -285,5 +374,164 @@ mod tests {
         let back = read_bin(&buf[..]).unwrap();
         assert_eq!(back.nnz(), 0);
         assert_eq!(back.dims(), &[3, 3]);
+    }
+
+    #[test]
+    fn duplicates_are_typed_errors_by_default() {
+        let text = "1 2 3 1.0\n2 2 2 5.0\n1 2 3 4.0\n";
+        match read_tns(BufReader::new(text.as_bytes())) {
+            Err(TensorError::Duplicate { line, ref coords }) => {
+                assert_eq!(line, 3, "must name the second occurrence");
+                assert_eq!(coords, &[0, 1, 2], "0-based stored coordinates");
+            }
+            other => panic!("expected Duplicate error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_policy_sum_folds_in_place() {
+        let text = "1 2 3 1.0\n2 2 2 5.0\n1 2 3 4.0\n";
+        let t = read_tns_with(BufReader::new(text.as_bytes()), DuplicatePolicy::Sum).unwrap();
+        assert_eq!(t.nnz(), 2);
+        assert_eq!(t.coords_of(0), vec![0, 1, 2]);
+        assert_eq!(t.values(), &[5.0, 5.0], "sum lands at first occurrence");
+    }
+
+    #[test]
+    fn duplicate_policy_keep_preserves_entries() {
+        let text = "1 2 3 1.0\n1 2 3 4.0\n";
+        let t = read_tns_with(BufReader::new(text.as_bytes()), DuplicatePolicy::Keep).unwrap();
+        assert_eq!(t.nnz(), 2);
+        assert_eq!(t.values(), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn binary_rejects_zero_extent_and_huge_nnz() {
+        // Header claiming order 2, dims [3, 0]: invalid structure.
+        let mut buf = BIN_MAGIC.to_vec();
+        buf.push(2);
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            read_bin(&buf[..]),
+            Err(TensorError::Invalid { .. })
+        ));
+
+        // Header claiming 2^60 nonzeros over an empty body: must die on a
+        // short read (capped preallocation), not an allocation abort.
+        let mut buf = BIN_MAGIC.to_vec();
+        buf.push(2);
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(&(1u64 << 60).to_le_bytes());
+        assert!(matches!(read_bin(&buf[..]), Err(TensorError::Io(_))));
+
+        // A count whose total byte size overflows u64 is a typed error.
+        let mut buf = BIN_MAGIC.to_vec();
+        buf.push(255);
+        for _ in 0..255 {
+            buf.extend_from_slice(&1u32.to_le_bytes());
+        }
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        let err = read_bin(&buf[..]);
+        assert!(err.is_err(), "overflowing size must be rejected");
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::collection::vec as pvec;
+        use proptest::prelude::*;
+
+        /// A syntactically valid `.tns` document with unique coordinates,
+        /// as (text, sorted coordinate tuples, values).
+        fn arb_valid_tns() -> impl Strategy<Value = (String, usize, usize)> {
+            ((1usize..=4), (1usize..=30)).prop_flat_map(|(order, nnz)| {
+                pvec(pvec(1u32..=50, order), nnz)
+                    .prop_map(move |coords| {
+                        let mut uniq: Vec<Vec<u32>> = coords;
+                        uniq.sort();
+                        uniq.dedup();
+                        let mut text = String::from("# generated\n");
+                        for (z, c) in uniq.iter().enumerate() {
+                            for i in c {
+                                text.push_str(&format!("{i} "));
+                            }
+                            text.push_str(&format!("{}.5\n", z + 1));
+                        }
+                        (text, order, uniq.len())
+                    })
+                    .boxed()
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            #[test]
+            fn parser_never_panics_on_arbitrary_bytes(bytes in pvec(any::<u8>(), 0..200)) {
+                // Any outcome is fine; reaching it without a panic is the
+                // property (lines() surfaces invalid UTF-8 as io errors).
+                let _ = read_tns(BufReader::new(&bytes[..]));
+                let _ = read_bin(&bytes[..]);
+            }
+
+            #[test]
+            fn parser_never_panics_on_arbitrary_lines(
+                lines in pvec(pvec(prop_oneof![
+                    Just("1".to_string()),
+                    Just("0".to_string()),
+                    Just("4294967295".to_string()),
+                    Just("4294967296".to_string()),
+                    Just("-3".to_string()),
+                    Just("1.5".to_string()),
+                    Just("NaN".to_string()),
+                    Just("#".to_string()),
+                    Just("x".to_string()),
+                ], 0..6), 0..8),
+            ) {
+                let text = lines
+                    .iter()
+                    .map(|toks| toks.join(" "))
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                for policy in [DuplicatePolicy::Reject, DuplicatePolicy::Sum, DuplicatePolicy::Keep] {
+                    if let Ok(t) = read_tns_with(BufReader::new(text.as_bytes()), policy) {
+                        prop_assert!(t.validate().is_ok(), "parser accepted an invalid tensor");
+                    }
+                }
+            }
+
+            #[test]
+            fn valid_documents_round_trip(doc in arb_valid_tns()) {
+                let (text, order, nnz) = doc;
+                let t = read_tns(BufReader::new(text.as_bytes()))
+                    .expect("valid unique-coordinate document");
+                prop_assert_eq!(t.order(), order);
+                prop_assert_eq!(t.nnz(), nnz);
+                prop_assert!(t.validate().is_ok());
+                let mut out = Vec::new();
+                write_tns(&t, &mut out).expect("write to vec");
+                let back = read_tns(BufReader::new(&out[..])).expect("round trip");
+                prop_assert_eq!(back, t);
+            }
+
+            #[test]
+            fn corrupted_byte_never_panics_binary(
+                seed in 0u64..1000,
+                pos in 0usize..200,
+                byte in any::<u8>(),
+            ) {
+                let t = crate::synth::uniform_random(&[6, 7, 8], 40, seed);
+                let mut buf = Vec::new();
+                write_bin(&t, &mut buf).expect("write");
+                let pos = pos % buf.len();
+                buf[pos] = byte;
+                // Either a typed error or a structurally valid tensor.
+                if let Ok(back) = read_bin(&buf[..]) {
+                    prop_assert!(back.validate().is_ok());
+                }
+            }
+        }
     }
 }

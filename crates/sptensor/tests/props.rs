@@ -71,7 +71,13 @@ proptest! {
         prop_assume!(t.nnz() > 0);
         let mut buf = Vec::new();
         sptensor::io::write_tns(&t, &mut buf).unwrap();
-        let back = sptensor::io::read_tns(std::io::BufReader::new(&buf[..])).unwrap();
+        // arb_tensor() may emit duplicate coordinates; Keep preserves them
+        // verbatim (the default Reject policy is exercised in io's own tests).
+        let back = sptensor::io::read_tns_with(
+            std::io::BufReader::new(&buf[..]),
+            sptensor::io::DuplicatePolicy::Keep,
+        )
+        .unwrap();
         prop_assert_eq!(back.nnz(), t.nnz());
         // Extents are per-mode maxima, never larger than the original.
         for m in 0..t.order() {
