@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpu_sim::CostModel;
-use mttkrp::gpu::{self, GpuContext};
+use mttkrp::gpu::{
+    AnyFormat, BuildOptions, Executor, GpuContext, KernelKind, LaunchArgs, MttkrpKernel,
+};
 use mttkrp::reference::random_factors;
 use sptensor::synth::{standin, SynthConfig};
 use sptensor::{mode_orientation, CooTensor};
@@ -18,6 +20,19 @@ fn data(name: &str) -> (CooTensor, Vec<dense::Matrix>) {
         .generate(&SynthConfig::default().with_nnz(BENCH_NNZ));
     let f = random_factors(&t, 32, 7);
     (t, f)
+}
+
+/// Capture + execute through the unified API — the per-call work the old
+/// per-module `run` free functions did.
+fn run_kernel(
+    ctx: &GpuContext,
+    kernel: &dyn MttkrpKernel,
+    f: &[dense::Matrix],
+) -> mttkrp::gpu::GpuRun {
+    Executor::new(ctx.clone())
+        .run(kernel, &LaunchArgs::new(f))
+        .expect("valid launch")
+        .run
 }
 
 /// Ablation 1: slice-bin size (nonzeros per thread block) around the
@@ -35,7 +50,7 @@ fn ablation_slice_bin(c: &mut Criterion) {
         };
         let bcsf = Bcsf::build(&t, &perm, opts);
         g.bench_with_input(BenchmarkId::from_parameter(bin), &bcsf, |b, x| {
-            b.iter(|| gpu::bcsf::run(&ctx, x, &f))
+            b.iter(|| run_kernel(&ctx, x, &f))
         });
     }
     g.finish();
@@ -55,7 +70,7 @@ fn ablation_fiber_threshold(c: &mut Criterion) {
         };
         let bcsf = Bcsf::build(&t, &perm, opts);
         g.bench_with_input(BenchmarkId::from_parameter(thr), &bcsf, |b, x| {
-            b.iter(|| gpu::bcsf::run(&ctx, x, &f))
+            b.iter(|| run_kernel(&ctx, x, &f))
         });
     }
     g.finish();
@@ -73,9 +88,9 @@ fn ablation_classification(c: &mut Criterion) {
     let csl = tensor_formats::Csl::build(&t, &perm);
     let mut g = c.benchmark_group("ablation_classification_fr_m");
     g.sample_size(10);
-    g.bench_function("hybrid-3way", |b| b.iter(|| gpu::hbcsf::run(&ctx, &hb, &f)));
-    g.bench_function("bcsf-only", |b| b.iter(|| gpu::bcsf::run(&ctx, &bcsf, &f)));
-    g.bench_function("csl-only", |b| b.iter(|| gpu::csl::run(&ctx, &csl, &f)));
+    g.bench_function("hybrid-3way", |b| b.iter(|| run_kernel(&ctx, &hb, &f)));
+    g.bench_function("bcsf-only", |b| b.iter(|| run_kernel(&ctx, &bcsf, &f)));
+    g.bench_function("csl-only", |b| b.iter(|| run_kernel(&ctx, &csl, &f)));
     g.finish();
 }
 
@@ -98,14 +113,14 @@ fn ablation_latency_hiding(c: &mut Criterion) {
         };
         // Assert the headline ordering holds at every setting, then bench
         // the split kernel under it.
-        let a = gpu::bcsf::run(&ctx, &split, &f);
-        let b = gpu::bcsf::run(&ctx, &unsplit, &f);
+        let a = run_kernel(&ctx, &split, &f);
+        let b = run_kernel(&ctx, &unsplit, &f);
         assert!(
             a.sim.makespan_cycles < b.sim.makespan_cycles,
             "splitting must win at warp_mlp={mlp}"
         );
         g.bench_with_input(BenchmarkId::from_parameter(mlp), &mlp, |bch, _| {
-            bch.iter(|| gpu::bcsf::run(&ctx, &split, &f))
+            bch.iter(|| run_kernel(&ctx, &split, &f))
         });
     }
     g.finish();
@@ -114,6 +129,7 @@ fn ablation_latency_hiding(c: &mut Criterion) {
 /// Ablation 5: atomic-conflict surcharge on the ParTI-COO baseline.
 fn ablation_atomic_conflicts(c: &mut Criterion) {
     let (t, f) = data("nell2");
+    let coo = AnyFormat::build(KernelKind::Coo, &t, 0, &BuildOptions::default()).unwrap();
     let mut g = c.benchmark_group("ablation_atomic_conflicts_nell2");
     g.sample_size(10);
     for surcharge in [0.0f64, 18.0, 72.0] {
@@ -127,7 +143,7 @@ fn ablation_atomic_conflicts(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::from_parameter(surcharge as u64),
             &surcharge,
-            |b, _| b.iter(|| gpu::parti_coo::run(&ctx, &t, &f, 0)),
+            |b, _| b.iter(|| run_kernel(&ctx, &coo, &f)),
         );
     }
     g.finish();

@@ -11,7 +11,7 @@ use std::time::Instant;
 
 use gpu_sim::DeviceMemory;
 use mttkrp::cpd::{cpd_als, CpdOptions, CpdResult};
-use mttkrp::gpu::{self, GpuContext, ModePlans, OocOptions};
+use mttkrp::gpu::{self, GpuContext, ModePlans, MttkrpKernel, OocOptions};
 use sptensor::synth::{standin, SynthConfig};
 use sptensor::CooTensor;
 use tensor_formats::{BcsfOptions, Hbcsf};
@@ -130,7 +130,9 @@ fn run_emit_every_iter(
         .collect();
     let start = Instant::now();
     let res = cpd_als(t, &cpd_opts(cfg), |factors, mode| {
-        gpu::hbcsf::run(ctx, &formats[mode], factors).y
+        // Re-capture per call: the whole point of this arm is paying the
+        // emission cost every iteration.
+        formats[mode].capture(ctx, cfg.rank).execute(ctx, factors).y
     });
     (res, start.elapsed().as_secs_f64())
 }

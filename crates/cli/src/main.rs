@@ -22,18 +22,18 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
-use gpu_sim::{DeviceMemory, FaultPlan};
-use mttkrp::abft::{run_verified, run_verified_adaptive, AbftOptions};
+use gpu_sim::{DeviceMemory, FaultPlan, Interconnect};
+use mttkrp::abft::{run_verified, AbftOptions};
 use mttkrp::cpd::{
     cpd_als, cpd_als_adaptive, cpd_als_nonneg, cpd_als_nonneg_profiled, cpd_als_profiled,
-    cpd_als_resilient, CpdOptions, ResilienceOptions,
+    cpd_als_resilient, cpd_als_sharded, CpdOptions, ResilienceOptions,
 };
 use mttkrp::cpu::splatt::{SplattCsf, SplattOptions};
-use mttkrp::gpu::{self, GpuContext, MemReport, OocOptions};
+use mttkrp::gpu::{self, GpuContext, MemReport, MttkrpKernel, OocOptions};
 use mttkrp::reference::random_factors;
 use sptensor::stats::ModeStats;
 use sptensor::{io as tio, mode_orientation, CooTensor};
-use tensor_formats::{Bcsf, BcsfOptions, Csf, Csl, Fcoo, Hbcsf, Hicoo, IndexBytes};
+use tensor_formats::{BcsfOptions, Csf, Csl, Fcoo, Hbcsf, Hicoo, IndexBytes};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -64,11 +64,13 @@ fn usage() {
     eprintln!("  sptk gen <dataset> <out> [--nnz N] [--seed S]");
     eprintln!("  sptk info <file> ");
     eprintln!("  sptk convert <in> <out>");
-    eprintln!("  sptk mttkrp <file> [--mode N] [--rank R] [--kernel K] [--device p100|v100] [--profile DIR]");
+    eprintln!("  sptk mttkrp <file> [--mode N] [--rank R] [--kernel K] [--device p100|v100]");
+    eprintln!("      [--profile DIR] [--devices N] [--interconnect SPEC]");
     eprintln!("      kernels: hbcsf bcsf csf csl coo fcoo splatt splatt-tiled hicoo dfacto");
     eprintln!(
         "  sptk cpd <file> [--rank R] [--iters K] [--nonneg] [--profile DIR] [--expect-fit F]"
     );
+    eprintln!("      [--devices N] [--interconnect SPEC]");
     eprintln!(
         "  sptk bench plan-replay [--datasets a,b] [--nnz N] [--rank R] [--iters K] \
          [--min-speedup X] [--out PATH]"
@@ -85,6 +87,11 @@ fn usage() {
     eprintln!("  --mem-faults SPEC injects allocator faults (oom:RATE, frag:FRAC); shares");
     eprintln!("      --fault-seed with --faults and may be combined with it");
     eprintln!("  --expect-tiled (cpd) fails unless at least one launch took the tiled path");
+    eprintln!("  --devices N shards simulated-GPU launches across N modeled devices (weight-");
+    eprintln!("      balanced block ranges, per-device memory, modeled ring all-reduce);");
+    eprintln!("      bit-identical to a single device for any N");
+    eprintln!("  --interconnect SPEC prices the all-reduce: nvlink, pcie, or name:bwGBs:latus");
+    eprintln!("      (e.g. nvlink:25:1.5); default nvlink");
     eprintln!(
         "datasets: {}",
         sptensor::synth::standins()
@@ -163,6 +170,28 @@ fn parse_mem_capacity(args: &[String]) -> Result<Option<MemCapacity>> {
         return Err(bad());
     }
     Ok(Some(MemCapacity::Bytes((n * mult as f64) as u64)))
+}
+
+/// Parses `--devices N [--interconnect SPEC]` into a grid request:
+/// `None` when `--devices` is absent (single-device paths), otherwise the
+/// device count plus the priced interconnect (default nvlink).
+fn parse_grid(args: &[String]) -> Result<(Option<usize>, Interconnect)> {
+    let devices = match flag(args, "--devices") {
+        None => None,
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| format!("--devices wants a count, got '{v}'"))?;
+            if n == 0 {
+                return Err("--devices wants at least 1".into());
+            }
+            Some(n)
+        }
+    };
+    let interconnect =
+        Interconnect::parse(&flag(args, "--interconnect").unwrap_or_else(|| "nvlink".into()))
+            .map_err(|e| format!("--interconnect: {e}"))?;
+    Ok((devices, interconnect))
 }
 
 impl MemCapacity {
@@ -326,6 +355,7 @@ fn cmd_mttkrp(args: &[String]) -> Result<()> {
         ctx = ctx.with_faults(plan.clone());
     }
     let mem_capacity = parse_mem_capacity(args)?;
+    let (devices, interconnect) = parse_grid(args)?;
     let adaptive = mem_capacity.is_some() || faults.as_ref().is_some_and(|p| p.has_mem_faults());
     let factors = random_factors(&t, rank, 42);
     let flops = t.order() as f64 * t.nnz() as f64 * rank as f64;
@@ -354,6 +384,11 @@ fn cmd_mttkrp(args: &[String]) -> Result<()> {
     if adaptive && is_cpu_kernel {
         return Err(format!(
             "--mem-capacity/--mem-faults model device memory; '{kernel}' is a CPU kernel"
+        ));
+    }
+    if devices.is_some() && is_cpu_kernel {
+        return Err(format!(
+            "--devices shards the simulated GPU kernels; '{kernel}' is a CPU kernel"
         ));
     }
 
@@ -401,87 +436,59 @@ fn cmd_mttkrp(args: &[String]) -> Result<()> {
             );
         }
         gpu_kernel => {
-            if !matches!(
-                gpu_kernel,
-                "hbcsf" | "bcsf" | "csf" | "csl" | "coo" | "fcoo"
-            ) {
-                return Err(format!("unknown kernel '{gpu_kernel}'"));
+            // One typed entry for all six simulated kernels: parse the
+            // kind, build the format, capture the plan, and let the
+            // Executor dispatch the configured ladder.
+            let kind: gpu::KernelKind = gpu_kernel.parse().map_err(|e| format!("{e}"))?;
+            let format = gpu::AnyFormat::build(kind, &t, mode, &gpu::BuildOptions::default())
+                .map_err(|e| e.to_string())?;
+            let plan = format.capture(&ctx, rank);
+            if adaptive && profile_dir.is_some() {
+                return Err(
+                    "--profile does not combine with --mem-capacity/--mem-faults: \
+                     tiled sub-launch timelines do not concatenate into one trace"
+                        .into(),
+                );
             }
-            if adaptive {
-                if profile_dir.is_some() {
-                    return Err(
-                        "--profile does not combine with --mem-capacity/--mem-faults: \
-                         tiled sub-launch timelines do not concatenate into one trace"
-                            .into(),
-                    );
+            if devices.is_some() && profile_dir.is_some() {
+                return Err("--profile does not combine with --devices: per-device \
+                     timelines do not concatenate into one trace"
+                    .into());
+            }
+            // `0.7x`-style capacities resolve against the captured
+            // footprint; with a grid the cap applies per device.
+            let grid = devices.map(|n| {
+                let mut g = gpu::GridSpec::new(n, interconnect.clone());
+                if let Some(spec) = &mem_capacity {
+                    g = g.with_capacity(spec.resolve(plan.footprint().total_bytes()));
                 }
-                // Capture the launch once, size it, cap the device, then
-                // run the full-device -> tiled -> CPU degradation ladder.
-                let perm = mode_orientation(t.order(), mode);
-                let plan = match gpu_kernel {
-                    "hbcsf" => gpu::hbcsf::plan(
-                        &ctx,
-                        &Hbcsf::build(&t, &perm, BcsfOptions::default()),
-                        rank,
-                    ),
-                    "bcsf" => {
-                        gpu::bcsf::plan(&ctx, &Bcsf::build(&t, &perm, BcsfOptions::default()), rank)
-                    }
-                    "csf" => gpu::csf::plan(&ctx, &Csf::build(&t, &perm), rank),
-                    "csl" => gpu::csl::plan(&ctx, &Csl::build(&t, &perm), rank),
-                    "coo" => gpu::parti_coo::plan(&ctx, &t, mode, rank),
-                    _ => gpu::fcoo::plan(&ctx, &Fcoo::build(&t, &perm, 8), rank),
-                };
+                g
+            });
+            if grid.is_none() {
                 if let Some(spec) = &mem_capacity {
                     let cap = spec.resolve(plan.footprint().total_bytes());
                     ctx = ctx.with_memory(Arc::new(DeviceMemory::with_capacity(cap)));
                 }
-                let oopts = OocOptions::default();
-                let (run, mems) = if ctx.fault_plan().is_some() {
-                    let (run, report, mems) = run_verified_adaptive(
-                        &ctx,
-                        &t,
-                        &factors,
-                        &AbftOptions::default(),
-                        &oopts,
-                        &plan,
-                    );
-                    println!(
-                        "faults: {} injected, {} rows detected; {} retries, {} rows degraded",
-                        report.faults_injected,
-                        report.detected_rows.len(),
-                        report.retries,
-                        report.degraded_rows
-                    );
-                    (run, mems)
-                } else {
-                    let (run, mem) = gpu::execute_adaptive(&ctx, &plan, &factors, &t, &oopts);
-                    (run, vec![mem])
-                };
-                for mem in &mems {
-                    print_ladder(mem);
-                }
-                println!(
-                    "{gpu_kernel} (simulated {}, adaptive): {:.3} ms, ||Y|| = {:.6e}",
-                    ctx.device.name,
-                    run.sim.time_s * 1e3,
-                    checksum(&run.y)
-                );
-                return Ok(());
             }
-            // ABFT wrapper: with no fault plan this is exactly one plain
-            // execution; under faults it verifies, retries, and degrades.
-            let run_one = |c: &GpuContext| match gpu_kernel {
-                "hbcsf" => gpu::hbcsf::build_and_run(c, &t, &factors, mode, BcsfOptions::default()),
-                "bcsf" => gpu::bcsf::build_and_run(c, &t, &factors, mode, BcsfOptions::default()),
-                "csf" => gpu::csf::build_and_run(c, &t, &factors, mode),
-                "csl" => gpu::csl::build_and_run(c, &t, &factors, mode),
-                "coo" => gpu::parti_coo::run(c, &t, &factors, mode),
-                _ => gpu::fcoo::build_and_run(c, &t, &factors, mode, 8),
+            let mut exec = gpu::Executor::new(ctx.clone());
+            if faults.is_some() {
+                exec = exec.with_abft(AbftOptions::default());
+            }
+            let sharded = grid.is_some();
+            if let Some(g) = grid {
+                exec = exec.with_grid(g);
+            }
+            // Attach the tensor whenever a CPU rung is reachable (limited
+            // memory, faults, sharding); the plain in-core replay skips it
+            // and keeps its profile.
+            let largs = if adaptive || faults.is_some() || sharded {
+                gpu::LaunchArgs::new(&factors).with_tensor(&t)
+            } else {
+                gpu::LaunchArgs::new(&factors)
             };
-            let (run, report) =
-                run_verified(&ctx, &t, &factors, mode, &AbftOptions::default(), run_one);
-            if ctx.fault_plan().is_some() {
+            let execution = exec.execute(&plan, &largs).map_err(|e| e.to_string())?;
+            let run = &execution.run;
+            if let Some(report) = &execution.abft {
                 println!(
                     "faults: {} injected ({} flips landed), {} rows corrupted, {} detected; \
                      {} retries, {} rows recovered, {} degraded to CPU",
@@ -494,9 +501,48 @@ fn cmd_mttkrp(args: &[String]) -> Result<()> {
                     report.degraded_rows
                 );
             }
+            if adaptive {
+                for mem in &execution.mem {
+                    print_ladder(mem);
+                }
+            }
+            if let Some(g) = &execution.grid {
+                println!(
+                    "grid: {} devices over {}, compute {:.3} ms + allreduce {:.3} ms \
+                     ({} B on the wire){}",
+                    g.devices,
+                    g.interconnect,
+                    g.compute_seconds * 1e3,
+                    g.allreduce_seconds * 1e3,
+                    g.allreduce_bytes,
+                    if g.cpu_fallback { ", cpu fallback" } else { "" }
+                );
+                for s in &g.shards {
+                    println!(
+                        "  device {}: blocks [{}, {}), weight {}, {}, {} oom events, \
+                         high water {} B",
+                        s.device,
+                        s.block_begin,
+                        s.block_end,
+                        s.weight,
+                        if s.in_core {
+                            "in-core".to_string()
+                        } else {
+                            format!("{} tiles", s.tiles_run)
+                        },
+                        s.oom_events,
+                        s.high_water_bytes
+                    );
+                }
+            }
+            let variant = match (&execution.grid, adaptive) {
+                (Some(g), _) => format!(" x{} sharded", g.devices),
+                (None, true) => ", adaptive".to_string(),
+                _ => String::new(),
+            };
             println!(
-                "{gpu_kernel} (simulated {}): {:.3} ms, {:.2} GFLOPs, sm_eff {:.1}%, occ {:.1}%, \
-                 L2 {:.1}%, {} atomics, ||Y|| = {:.6e}",
+                "{gpu_kernel} (simulated {}{variant}): {:.3} ms, {:.2} GFLOPs, sm_eff {:.1}%, \
+                 occ {:.1}%, L2 {:.1}%, {} atomics, ||Y|| = {:.6e}",
                 ctx.device.name,
                 run.sim.time_s * 1e3,
                 flops / run.sim.time_s.max(1e-30) / 1e9,
@@ -644,6 +690,7 @@ fn cmd_cpd(args: &[String]) -> Result<()> {
         );
     }
     let mem_capacity = parse_mem_capacity(args)?;
+    let (devices, interconnect) = parse_grid(args)?;
     let expect_tiled = args.iter().any(|a| a == "--expect-tiled");
     let adaptive = mem_capacity.is_some() || faults.as_ref().is_some_and(|p| p.has_mem_faults());
     if adaptive && nonneg {
@@ -653,8 +700,18 @@ fn cmd_cpd(args: &[String]) -> Result<()> {
                 .into(),
         );
     }
+    if devices.is_some() && nonneg {
+        return Err(
+            "--devices drives the sharded standard ALS; combine it without --nonneg".into(),
+        );
+    }
     if expect_tiled && !adaptive {
         return Err("--expect-tiled needs --mem-capacity or --mem-faults".into());
+    }
+    if expect_tiled && devices.is_some() {
+        return Err("--expect-tiled reads the single-device ladder; \
+             with --devices check the per-device grid lines instead"
+            .into());
     }
     let mut ctx = GpuContext::default();
     if profile_dir.is_some() {
@@ -691,7 +748,11 @@ fn cmd_cpd(args: &[String]) -> Result<()> {
         .unwrap_or(0);
     if let Some(spec) = &mem_capacity {
         let cap = spec.resolve(worst_footprint);
-        ctx = ctx.with_memory(Arc::new(DeviceMemory::with_capacity(cap)));
+        // With a grid the cap models each device's memory instead of the
+        // (single) context device.
+        if devices.is_none() {
+            ctx = ctx.with_memory(Arc::new(DeviceMemory::with_capacity(cap)));
+        }
     }
     // The last profiled MTTKRP run of each mode, kept so the profile
     // artifacts show a representative launch per mode.
@@ -729,7 +790,27 @@ fn cmd_cpd(args: &[String]) -> Result<()> {
     };
     let start = Instant::now();
     let mut memrec: Option<simprof::MemoryRecord> = None;
-    let res = if adaptive {
+    let mut gridrec: Option<simprof::GridRecord> = None;
+    let res = if let Some(n) = devices {
+        // Sharded driver: one ShardModel per mode, replayed per
+        // iteration; bit-identical to the planned driver for any N.
+        let mut grid = gpu::GridSpec::new(n, interconnect.clone());
+        if let Some(spec) = &mem_capacity {
+            grid = grid.with_capacity(spec.resolve(worst_footprint));
+        }
+        let (res, _stats, rec) = cpd_als_sharded(
+            &t,
+            &opts,
+            &ResilienceOptions::default(),
+            &ctx,
+            &plans,
+            &grid,
+            &OocOptions::default(),
+            Some(&mut manifest),
+        );
+        gridrec = Some(rec);
+        res
+    } else if adaptive {
         let (res, _stats, mem) = cpd_als_adaptive(
             &t,
             &opts,
@@ -812,6 +893,24 @@ fn cmd_cpd(args: &[String]) -> Result<()> {
                  ({} in-core, {} cpu fallbacks)",
                 mem.in_core_launches, mem.cpu_fallbacks
             ));
+        }
+    }
+    if let Some(g) = &gridrec {
+        println!(
+            "grid: {} devices over {}, {} sharded launches, compute {:.3} ms + \
+             allreduce {:.3} ms ({} B on the wire)",
+            g.devices,
+            g.interconnect,
+            g.launches,
+            g.compute_seconds * 1e3,
+            g.allreduce_seconds * 1e3,
+            g.allreduce_bytes
+        );
+        for d in &g.per_device {
+            println!(
+                "  device {}: {} launches, {} tiles, {} oom events, high water {} B",
+                d.device, d.launches, d.tiles, d.oom_events, d.high_water_bytes
+            );
         }
     }
     // Full precision for bit-exactness comparisons across runs (CI diffs

@@ -5,7 +5,9 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use dense::Matrix;
-use mttkrp::gpu::GpuContext;
+use mttkrp::gpu::{
+    AnyFormat, BuildOptions, Executor, GpuContext, GpuRun, KernelKind, LaunchArgs, MttkrpKernel,
+};
 use mttkrp::reference::random_factors;
 use sptensor::synth::{standin, standins, DatasetSpec, SynthConfig};
 use sptensor::CooTensor;
@@ -186,6 +188,45 @@ pub fn geomean(vals: &[f64]) -> f64 {
         return 0.0;
     }
     (vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp()
+}
+
+/// Capture + execute one kernel through the unified [`Executor`] API —
+/// the replacement for the deprecated per-module `run` free functions
+/// every experiment used to call.
+pub fn run_kernel(ctx: &GpuContext, kernel: &dyn MttkrpKernel, factors: &[Matrix]) -> GpuRun {
+    Executor::new(ctx.clone())
+        .run(kernel, &LaunchArgs::new(factors))
+        .expect("valid launch")
+        .run
+}
+
+/// Build the `kind` layout for `mode` and run it — the replacement for
+/// the per-module `build_and_run` shims.
+pub fn build_run(
+    ctx: &GpuContext,
+    kind: KernelKind,
+    t: &CooTensor,
+    factors: &[Matrix],
+    mode: usize,
+    build: &BuildOptions,
+) -> GpuRun {
+    let format = AnyFormat::build(kind, t, mode, build).expect("valid build");
+    Executor::new(ctx.clone())
+        .run(&format, &LaunchArgs::new(factors))
+        .expect("valid launch")
+        .run
+}
+
+/// The ParTI-COO baseline on `t` via the unified API.
+pub fn run_coo(ctx: &GpuContext, t: &CooTensor, factors: &[Matrix], mode: usize) -> GpuRun {
+    build_run(
+        ctx,
+        KernelKind::Coo,
+        t,
+        factors,
+        mode,
+        &BuildOptions::default(),
+    )
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@ use sptensor::reorder;
 use sptensor::{mode_orientation, CooTensor};
 use tensor_formats::{Bcsf, BcsfOptions, Hbcsf, IndexBytes};
 
-use crate::common::ExpConfig;
+use crate::common::{run_coo, run_kernel, ExpConfig};
 use crate::report::{f, print_table};
 
 /// **ext-reorder** — the conclusion's "complementary reordering methods":
@@ -33,7 +33,7 @@ pub fn ext_reorder(cfg: &ExpConfig) -> Value {
         // (a) Slice-order ablation on B-CSF.
         let time_of = |tensor: &CooTensor, factors: &[dense::Matrix]| {
             let b = Bcsf::build(tensor, &perm, BcsfOptions::default());
-            gpu::bcsf::run(&ctx, &b, factors).sim.time_s
+            run_kernel(&ctx, &b, factors).sim.time_s
         };
         let base = time_of(&t, &factors);
         let (heavy, map) = reorder::relabel_mode_heavy_first(&t, 0);
@@ -45,8 +45,8 @@ pub fn ext_reorder(cfg: &ExpConfig) -> Value {
 
         // (b) Nonzero-order ablation on the COO kernel's L2 behaviour.
         let morton = reorder::morton_sort(&t);
-        let coo_base = gpu::parti_coo::run(&ctx, &t, &factors, 0);
-        let coo_morton = gpu::parti_coo::run(&ctx, &morton, &factors, 0);
+        let coo_base = run_coo(&ctx, &t, &factors, 0);
+        let coo_morton = run_coo(&ctx, &morton, &factors, 0);
 
         rows.push(vec![
             name.to_string(),
@@ -111,7 +111,7 @@ pub fn ext_rank(cfg: &ExpConfig) -> Value {
         let h = Hbcsf::build(&t, &perm, BcsfOptions::default());
         for r in [8usize, 16, 32, 64, 128] {
             let factors = random_factors(&t, r, cfg.seed ^ 0xFAC7);
-            let run = gpu::hbcsf::run(&ctx, &h, &factors);
+            let run = run_kernel(&ctx, &h, &factors);
             let gflops = (3.0 * t.nnz() as f64 * r as f64) / run.sim.time_s.max(1e-30) / 1e9;
             rows.push(vec![name.to_string(), r.to_string(), f(gflops)]);
             out.push(json!({ "name": name, "rank": r, "gflops": gflops }));
@@ -140,8 +140,8 @@ pub fn ext_scaling(cfg: &ExpConfig) -> Value {
     for sms in [14usize, 28, 56, 112, 224] {
         let mut ctx = base.clone();
         ctx.device.num_sms = sms;
-        let th = gpu::hbcsf::run(&ctx, &h, &factors).sim.time_s;
-        let tc = gpu::bcsf::run(&ctx, &plain, &factors).sim.time_s;
+        let th = run_kernel(&ctx, &h, &factors).sim.time_s;
+        let tc = run_kernel(&ctx, &plain, &factors).sim.time_s;
         let (h0, c0) = *first.get_or_insert((th, tc));
         let sh = h0 / th * 14.0 / sms as f64; // parallel efficiency vs 14 SMs
         let sc = c0 / tc * 14.0 / sms as f64;

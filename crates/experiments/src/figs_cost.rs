@@ -6,7 +6,7 @@ use serde_json::{json, Value};
 use sptensor::mode_orientation;
 use tensor_formats::{Bcsf, BcsfOptions, Csf, Fcoo, Hbcsf, IndexBytes};
 
-use crate::common::{names_all, ExpConfig};
+use crate::common::{names_all, run_kernel, ExpConfig};
 use crate::report::{f, print_table};
 
 /// **Fig. 9** — preprocessing (format construction, ALLMODE) time of
@@ -76,10 +76,10 @@ pub fn fig10(cfg: &ExpConfig) -> Value {
             let perm = mode_orientation(order, mode);
             let (b, tb) = preprocess::timed(|| Bcsf::build(&t, &perm, BcsfOptions::default()));
             pre_b += cfg.cpu_equiv_secs(tb);
-            iter_b += mttkrp::gpu::bcsf::run(&ctx, &b, &factors).sim.time_s;
+            iter_b += run_kernel(&ctx, &b, &factors).sim.time_s;
             let (h, th) = preprocess::timed(|| Hbcsf::build(&t, &perm, BcsfOptions::default()));
             pre_h += cfg.cpu_equiv_secs(th);
-            iter_h += mttkrp::gpu::hbcsf::run(&ctx, &h, &factors).sim.time_s;
+            iter_h += run_kernel(&ctx, &h, &factors).sim.time_s;
         }
 
         let n_b = preprocess::iterations_to_outperform(pre_b, iter_b, pre_base, iter_base);

@@ -1,10 +1,11 @@
 //! Figures 5-8: the performance effects of splitting and hybridization.
 
 use mttkrp::cpu::splatt::{SplattCsf, SplattOptions};
+use mttkrp::gpu::{BuildOptions, KernelKind};
 use serde_json::{json, Value};
 use tensor_formats::{Bcsf, BcsfOptions};
 
-use crate::common::{names_3d, ExpConfig};
+use crate::common::{build_run, names_3d, run_coo, run_kernel, ExpConfig};
 use crate::report::{f, print_table};
 
 /// **Fig. 5** — B-CSF mode-1 GFLOPs as the two splitting optimizations are
@@ -22,7 +23,11 @@ pub fn fig5(cfg: &ExpConfig) -> Value {
             BcsfOptions::fiber_split_only(),
             BcsfOptions::default(),
         ] {
-            let run = mttkrp::gpu::bcsf::build_and_run(&ctx, &t, &factors, 0, opts);
+            let build = BuildOptions {
+                bcsf: opts,
+                ..Default::default()
+            };
+            let run = build_run(&ctx, KernelKind::Bcsf, &t, &factors, 0, &build);
             gf.push(cfg.gflops(&t, run.sim.time_s));
         }
         let speedup = if gf[0] > 0.0 { gf[2] / gf[0] } else { 0.0 };
@@ -84,7 +89,7 @@ pub fn fig6(cfg: &ExpConfig) -> Value {
             let bcsf = Bcsf::build(&t, &perm, opts);
             let lengths = bcsf.csf.fiber_lengths();
             let stdev = sptensor::stats::SummaryStats::of(&lengths).stdev;
-            let run = mttkrp::gpu::bcsf::run(&ctx, &bcsf, &factors);
+            let run = run_kernel(&ctx, &bcsf, &factors);
             let gflops = cfg.gflops(&t, run.sim.time_s);
             let thr_label = if thr == usize::MAX {
                 "orig".to_string()
@@ -130,8 +135,14 @@ pub fn fig7(cfg: &ExpConfig) -> Value {
             let splatt = SplattCsf::build(&t, mode, SplattOptions::nontiled());
             let (_, secs) = cfg.time_cpu(|| splatt.mttkrp(&factors));
             let cpu_gflops = cfg.gflops(&t, cfg.cpu_equiv_secs(secs));
-            let run =
-                mttkrp::gpu::bcsf::build_and_run(&ctx, &t, &factors, mode, BcsfOptions::default());
+            let run = build_run(
+                &ctx,
+                KernelKind::Bcsf,
+                &t,
+                &factors,
+                mode,
+                &BuildOptions::default(),
+            );
             let gpu_gflops = cfg.gflops(&t, run.sim.time_s);
             rows.push(vec![
                 name.to_string(),
@@ -164,9 +175,23 @@ pub fn fig8(cfg: &ExpConfig) -> Value {
     for name in names_3d() {
         let t = cfg.gen(name);
         let factors = cfg.factors(&t);
-        let coo = mttkrp::gpu::parti_coo::run(&ctx, &t, &factors, 0);
-        let bcsf = mttkrp::gpu::bcsf::build_and_run(&ctx, &t, &factors, 0, BcsfOptions::default());
-        let hb = mttkrp::gpu::hbcsf::build_and_run(&ctx, &t, &factors, 0, BcsfOptions::default());
+        let coo = run_coo(&ctx, &t, &factors, 0);
+        let bcsf = build_run(
+            &ctx,
+            KernelKind::Bcsf,
+            &t,
+            &factors,
+            0,
+            &BuildOptions::default(),
+        );
+        let hb = build_run(
+            &ctx,
+            KernelKind::Hbcsf,
+            &t,
+            &factors,
+            0,
+            &BuildOptions::default(),
+        );
         let g = [
             cfg.gflops(&t, coo.sim.time_s),
             cfg.gflops(&t, bcsf.sim.time_s),

@@ -8,13 +8,13 @@
 
 use dense::Matrix;
 use mttkrp::cpu::splatt::{SplattAllMode, SplattOptions};
-use mttkrp::gpu::GpuContext;
+use mttkrp::gpu::{BuildOptions, GpuContext, KernelKind};
 use serde_json::{json, Value};
 use sptensor::mode_orientation;
 use sptensor::CooTensor;
 use tensor_formats::{BcsfOptions, Hbcsf, Hicoo};
 
-use crate::common::{geomean, names_all, ExpConfig};
+use crate::common::{build_run, geomean, names_all, run_coo, run_kernel, ExpConfig};
 use crate::report::print_table;
 
 /// Per-mode HB-CSF (simulated) seconds for a tensor.
@@ -23,7 +23,7 @@ fn hbcsf_seconds(ctx: &GpuContext, t: &CooTensor, factors: &[Matrix]) -> Vec<f64
         .map(|mode| {
             let perm = mode_orientation(t.order(), mode);
             let h = Hbcsf::build(t, &perm, BcsfOptions::default());
-            mttkrp::gpu::hbcsf::run(ctx, &h, factors).sim.time_s
+            run_kernel(ctx, &h, factors).sim.time_s
         })
         .collect()
 }
@@ -139,11 +139,7 @@ pub fn fig14(cfg: &ExpConfig) -> Value {
             if t.order() != 3 {
                 return None;
             }
-            Some(
-                mttkrp::gpu::parti_coo::run(&ctx, t, factors, mode)
-                    .sim
-                    .time_s,
-            )
+            Some(run_coo(&ctx, t, factors, mode).sim.time_s)
         },
     )
 }
@@ -160,12 +156,13 @@ pub fn fig15(cfg: &ExpConfig) -> Value {
                 return None;
             }
             Some(
-                mttkrp::gpu::fcoo::build_and_run(
+                build_run(
                     &ctx,
+                    KernelKind::Fcoo,
                     t,
                     factors,
                     mode,
-                    mttkrp::gpu::fcoo::DEFAULT_THREADLEN,
+                    &BuildOptions::default(),
                 )
                 .sim
                 .time_s,

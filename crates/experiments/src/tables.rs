@@ -1,9 +1,10 @@
 //! Table II (GPU-CSF load-imbalance profile) and Table III (datasets).
 
+use mttkrp::gpu::{BuildOptions, KernelKind};
 use serde_json::{json, Value};
 use sptensor::stats::ModeStats;
 
-use crate::common::{all_specs, names_3d, ExpConfig};
+use crate::common::{all_specs, build_run, names_3d, ExpConfig};
 use crate::report::{f, print_table};
 
 /// **Table III** — the dataset inventory: order, paper extents, scaled
@@ -69,7 +70,14 @@ pub fn table2(cfg: &ExpConfig) -> Value {
     for name in names_3d() {
         let t = cfg.gen(name);
         let factors = cfg.factors(&t);
-        let run = mttkrp::gpu::csf::build_and_run(&ctx, &t, &factors, 0);
+        let run = build_run(
+            &ctx,
+            KernelKind::Csf,
+            &t,
+            &factors,
+            0,
+            &BuildOptions::default(),
+        );
         let stats = ModeStats::compute(&t, 0);
         let gflops = cfg.gflops(&t, run.sim.time_s);
         rows.push(vec![

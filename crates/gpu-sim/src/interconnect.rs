@@ -1,0 +1,202 @@
+//! Interconnect cost model for multi-device (simgrid) execution.
+//!
+//! Models the node-level fabric connecting N simulated GPUs: every link
+//! has a fixed per-message latency and a sustained per-link bandwidth,
+//! the two-parameter (α-β) cost model standard for collective
+//! communication analysis. Like the rest of `gpu-sim` the model is
+//! deterministic — the same spec and byte counts always price the same.
+//!
+//! The one collective the sharded MTTKRP engine needs is an all-reduce
+//! of the dense partial outputs. It is priced as a bandwidth-optimal
+//! ring: `2·(n−1)` steps, each moving `bytes/n` per link, so
+//! `time = 2·(n−1)·(α + (bytes/n)/β)` and the total volume crossing
+//! links is `2·(n−1)·bytes/n·n = 2·(n−1)·bytes` … per-device volume
+//! `2·(n−1)/n·bytes` approaches `2·bytes` — the classic result. Both
+//! time and volume are strictly increasing in the device count for a
+//! fixed payload, and exactly zero for a single device.
+
+use std::fmt;
+
+/// A node interconnect: per-link bandwidth plus per-message latency.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct Interconnect {
+    /// Human-readable name (`"nvlink"`, `"pcie"`, or `"link"`).
+    pub name: String,
+    /// Sustained per-link bandwidth in bytes/second.
+    pub link_bandwidth: f64,
+    /// Per-message latency in seconds (the α term).
+    pub latency_s: f64,
+}
+
+impl Interconnect {
+    /// NVLink-class link: ~20 GB/s sustained per direction, ~1.3 µs
+    /// latency (P100-era NVLink 1.0, matching the paper's hardware).
+    pub fn nvlink() -> Interconnect {
+        Interconnect {
+            name: "nvlink".to_string(),
+            link_bandwidth: 20e9,
+            latency_s: 1.3e-6,
+        }
+    }
+
+    /// PCIe 3.0 x16-class link: ~12 GB/s sustained, ~5 µs latency.
+    pub fn pcie() -> Interconnect {
+        Interconnect {
+            name: "pcie".to_string(),
+            link_bandwidth: 12e9,
+            latency_s: 5e-6,
+        }
+    }
+
+    /// Parses an interconnect spec:
+    ///
+    /// * `"nvlink"` / `"pcie"` — the presets;
+    /// * `"nvlink:BW_GBPS:LAT_US"` / `"pcie:BW:LAT"` — a preset with both
+    ///   parameters overridden;
+    /// * `"link:BW_GBPS:LAT_US"` — a fully custom link, bandwidth in
+    ///   GB/s and latency in microseconds.
+    pub fn parse(spec: &str) -> Result<Interconnect, String> {
+        let mut parts = spec.split(':');
+        let name = parts.next().unwrap_or("").trim().to_ascii_lowercase();
+        let mut ic = match name.as_str() {
+            "nvlink" => Interconnect::nvlink(),
+            "pcie" => Interconnect::pcie(),
+            "link" => Interconnect {
+                name: "link".to_string(),
+                link_bandwidth: 0.0,
+                latency_s: 0.0,
+            },
+            other => {
+                return Err(format!(
+                    "unknown interconnect '{other}' (want nvlink, pcie, or link:BW_GBPS:LAT_US)"
+                ))
+            }
+        };
+        match (parts.next(), parts.next(), parts.next()) {
+            (None, _, _) if name != "link" => Ok(ic),
+            (Some(bw), Some(lat), None) => {
+                let bw: f64 = bw
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad bandwidth '{bw}' in '{spec}' (want GB/s)"))?;
+                let lat: f64 = lat
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad latency '{lat}' in '{spec}' (want µs)"))?;
+                if !(bw.is_finite() && bw > 0.0 && lat.is_finite() && lat >= 0.0) {
+                    return Err(format!("non-positive bandwidth or latency in '{spec}'"));
+                }
+                ic.link_bandwidth = bw * 1e9;
+                ic.latency_s = lat * 1e-6;
+                Ok(ic)
+            }
+            _ => Err(format!(
+                "bad interconnect spec '{spec}' (want NAME or NAME:BW_GBPS:LAT_US)"
+            )),
+        }
+    }
+
+    /// Seconds one point-to-point transfer of `bytes` takes.
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 / self.link_bandwidth
+    }
+
+    /// Seconds a ring all-reduce of `bytes` across `devices` takes
+    /// (0 for a single device — nothing moves).
+    pub fn all_reduce_seconds(&self, bytes: u64, devices: usize) -> f64 {
+        if devices <= 1 {
+            return 0.0;
+        }
+        let n = devices as f64;
+        let steps = 2.0 * (n - 1.0);
+        steps * (self.latency_s + (bytes as f64 / n) / self.link_bandwidth)
+    }
+
+    /// Total bytes crossing links during the ring all-reduce: each of the
+    /// `2·(n−1)` steps moves `bytes/n` on every one of the `n` links.
+    pub fn all_reduce_volume(&self, bytes: u64, devices: usize) -> u64 {
+        if devices <= 1 {
+            return 0;
+        }
+        let n = devices as u64;
+        (2 * (n - 1)).saturating_mul(bytes)
+    }
+}
+
+impl fmt::Display for Interconnect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({:.1} GB/s, {:.1} µs)",
+            self.name,
+            self.link_bandwidth / 1e9,
+            self.latency_s * 1e6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_parse() {
+        assert_eq!(
+            Interconnect::parse("nvlink").unwrap(),
+            Interconnect::nvlink()
+        );
+        assert_eq!(Interconnect::parse("pcie").unwrap(), Interconnect::pcie());
+        assert_eq!(Interconnect::parse("NVLink").unwrap().name, "nvlink");
+    }
+
+    #[test]
+    fn custom_and_overridden_specs_parse() {
+        let c = Interconnect::parse("link:50:2").unwrap();
+        assert_eq!(c.link_bandwidth, 50e9);
+        assert_eq!(c.latency_s, 2e-6);
+        let o = Interconnect::parse("nvlink:40:0.5").unwrap();
+        assert_eq!(o.name, "nvlink");
+        assert_eq!(o.link_bandwidth, 40e9);
+        assert_eq!(o.latency_s, 0.5e-6);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(Interconnect::parse("infiniband").is_err());
+        assert!(Interconnect::parse("link").is_err());
+        assert!(Interconnect::parse("link:0:1").is_err());
+        assert!(Interconnect::parse("link:a:b").is_err());
+        assert!(Interconnect::parse("nvlink:1:2:3").is_err());
+    }
+
+    #[test]
+    fn all_reduce_cost_is_zero_at_one_device_and_monotone() {
+        let ic = Interconnect::nvlink();
+        let bytes = 64 << 20;
+        assert_eq!(ic.all_reduce_seconds(bytes, 1), 0.0);
+        assert_eq!(ic.all_reduce_volume(bytes, 1), 0);
+        let mut prev_t = 0.0;
+        let mut prev_v = 0;
+        for n in 2..=16 {
+            let t = ic.all_reduce_seconds(bytes, n);
+            let v = ic.all_reduce_volume(bytes, n);
+            assert!(t > prev_t, "time must increase with devices ({n})");
+            assert!(v > prev_v, "volume must increase with devices ({n})");
+            prev_t = t;
+            prev_v = v;
+        }
+    }
+
+    #[test]
+    fn pcie_slower_than_nvlink() {
+        let bytes = 16 << 20;
+        assert!(
+            Interconnect::pcie().all_reduce_seconds(bytes, 4)
+                > Interconnect::nvlink().all_reduce_seconds(bytes, 4)
+        );
+        assert!(
+            Interconnect::pcie().transfer_seconds(bytes)
+                > Interconnect::nvlink().transfer_seconds(bytes)
+        );
+    }
+}

@@ -36,6 +36,7 @@ pub mod cost;
 pub mod device;
 pub mod fault;
 pub mod grid;
+pub mod interconnect;
 pub mod mem;
 pub mod sched;
 pub mod trace;
@@ -45,6 +46,7 @@ pub use cost::CostModel;
 pub use device::DeviceProfile;
 pub use fault::{BitFlip, FaultKind, FaultPlan, InjectedFault};
 pub use grid::{AddressSpace, ArraySpan, BlockWork, KernelLaunch, Op, WarpWork};
+pub use interconnect::Interconnect;
 pub use mem::{AllocRecord, DeviceMemory, MemError, MemLease, OomEvent};
 pub use sched::{
     co_resident_makespan, simulate, simulate_faulted, simulate_profiled, simulate_with_timeline,

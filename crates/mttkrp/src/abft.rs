@@ -229,8 +229,16 @@ pub fn run_verified_adaptive(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gpu::{Executor, KernelKind};
     use gpu_sim::FaultPlan;
     use sptensor::synth::uniform_random;
+
+    fn coo_run(c: &GpuContext, t: &CooTensor, factors: &[Matrix]) -> GpuRun {
+        Executor::new(c.clone())
+            .build_run(KernelKind::Coo, t, factors, 0)
+            .expect("valid launch")
+            .run
+    }
 
     fn checksums_for(y: &Matrix) -> AbftData {
         // An honest checksum record for an already-final output (one
@@ -266,7 +274,7 @@ mod tests {
         let seq = reference::mttkrp(&t, &factors, 0);
         let ctx = GpuContext::tiny().with_faults(FaultPlan::bitflips(0.2, 7));
         let (run, report) = run_verified(&ctx, &t, &factors, 0, &AbftOptions::default(), |c| {
-            crate::gpu::parti_coo::run(c, &t, &factors, 0)
+            coo_run(c, &t, &factors)
         });
         assert!(report.flips_applied > 0, "rate 5e-2 must land flips");
         assert!(!report.detected_rows.is_empty());
@@ -292,9 +300,9 @@ mod tests {
         let factors = reference::random_factors(&t, 4, 94);
         let ctx = GpuContext::tiny();
         let (run, report) = run_verified(&ctx, &t, &factors, 0, &AbftOptions::default(), |c| {
-            crate::gpu::parti_coo::run(c, &t, &factors, 0)
+            coo_run(c, &t, &factors)
         });
-        let plain = crate::gpu::parti_coo::run(&ctx, &t, &factors, 0);
+        let plain = coo_run(&ctx, &t, &factors);
         assert_eq!(run.y.data(), plain.y.data(), "must be bit-for-bit");
         assert_eq!(report.attempts, 1);
         assert_eq!(report.faults_injected, 0);

@@ -499,6 +499,91 @@ pub fn cpd_als_adaptive(
     (result, stats, mem)
 }
 
+/// [`cpd_als_resilient`] with every MTTKRP sharded across a simulated
+/// multi-GPU node — the `simgrid` CPD driver.
+///
+/// One [`ShardModel`](crate::gpu::ShardModel) is built per mode up front
+/// (the expensive phase: shard fit, per-device tiling, interconnect
+/// pricing), then replayed for every (iteration, mode) — the multi-device
+/// analogue of [`cpd_als_planned`]'s capture-once/replay-many split. Each
+/// replay folds the shards' contributions in global emission order, so the
+/// decomposition trajectory is bit-identical to [`cpd_als_planned`] for
+/// any device count, including `--devices 1`.
+///
+/// Under an active execution-fault plan every replay runs inside
+/// [`run_verified`](crate::abft::run_verified), composing checksum repair
+/// with sharding exactly as the single-device adaptive driver does.
+/// Memory-fault draws happen once at model build (leases are modeled per
+/// mode, not per iteration) — a model that degraded to the CPU reference
+/// stays degraded for the whole run.
+///
+/// Returns the accumulated [`simprof::GridRecord`] (one launch recorded
+/// per sharded MTTKRP) alongside the usual result and stats; with a
+/// manifest, the record is merged into [`RunManifest::grid`] and kernel
+/// ABFT events into [`RunManifest::resilience`].
+// The driver composes four subsystems (CPD, resilience, sharding,
+// profiling); its knobs are already grouped into option structs.
+#[allow(clippy::too_many_arguments)]
+pub fn cpd_als_sharded(
+    t: &CooTensor,
+    opts: &CpdOptions,
+    ropts: &ResilienceOptions,
+    ctx: &crate::gpu::GpuContext,
+    plans: &crate::gpu::ModePlans,
+    grid: &crate::gpu::GridSpec,
+    oopts: &crate::gpu::OocOptions,
+    mut manifest: Option<&mut RunManifest>,
+) -> (CpdResult, ResilienceStats, simprof::GridRecord) {
+    use std::cell::RefCell;
+
+    use crate::gpu::ShardModel;
+
+    // Model phase, once per mode: the per-iteration replays only clone
+    // values out of these.
+    let models: Vec<ShardModel> = (0..t.order())
+        .map(|m| ShardModel::build(ctx, plans.plan(m), grid, oopts))
+        .collect();
+
+    let grid_rec: RefCell<simprof::GridRecord> = RefCell::new(simprof::GridRecord::default());
+    let kernel_events: RefCell<ResilienceRecord> = RefCell::new(ResilienceRecord::default());
+    let abft_opts = crate::abft::AbftOptions::default();
+    let exec_faulted = ctx.fault_plan().is_some();
+
+    let backend = |factors: &[Matrix], mode: usize| -> Matrix {
+        let plan = plans.plan(mode);
+        let model = &models[mode];
+        if exec_faulted {
+            // Verified sharded replay: the sharded engine is the kernel
+            // under test, run_verified wraps it with checksum + retry.
+            let (run, rep) =
+                crate::abft::run_verified(ctx, t, factors, plan.mode(), &abft_opts, |c| {
+                    let (run, g) = model.execute(c, plan, factors, Some(t));
+                    grid_rec.borrow_mut().merge(&g.to_record());
+                    run
+                });
+            let mut ev = kernel_events.borrow_mut();
+            ev.faults_injected += rep.faults_injected;
+            ev.rows_detected += rep.detected_rows.len() as u64;
+            ev.kernel_retries += u64::from(rep.retries);
+            ev.degraded_rows += rep.degraded_rows;
+            run.y
+        } else {
+            let (run, g) = model.execute(ctx, plan, factors, Some(t));
+            grid_rec.borrow_mut().merge(&g.to_record());
+            run.y
+        }
+    };
+
+    let (result, stats) = cpd_als_resilient(t, opts, ropts, backend, manifest.as_deref_mut());
+
+    let rec = grid_rec.into_inner();
+    if let Some(m) = manifest {
+        m.resilience.merge(&kernel_events.into_inner());
+        m.grid.merge(&rec);
+    }
+    (result, stats, rec)
+}
+
 /// Non-negative CPD via multiplicative updates (Lee–Seung generalized to
 /// tensors): `Aₙ ← Aₙ ∗ MTTKRP(X, n) ⊘ (Aₙ · Vₙ)` with
 /// `Vₙ = ∗ₘ≠ₙ AₘᵀAₘ`. Keeps every factor entry ≥ 0 — the constraint the
@@ -986,6 +1071,59 @@ mod tests {
         );
         assert_eq!(manifest.memory.tiled_launches, mem3.tiled_launches);
         assert!(manifest.memory.any());
+    }
+
+    #[test]
+    fn sharded_matches_planned_for_any_device_count() {
+        use crate::gpu::{GpuContext, GridSpec, ModePlans, OocOptions};
+        use gpu_sim::Interconnect;
+        use tensor_formats::BcsfOptions;
+
+        let t = sptensor::synth::uniform_random(&[12, 14, 16], 600, 31);
+        let opts = CpdOptions {
+            rank: 4,
+            max_iters: 4,
+            tol: 0.0,
+            seed: 17,
+        };
+        let ropts = ResilienceOptions::default();
+        let oopts = OocOptions::default();
+        let ctx = GpuContext::tiny();
+        let plans = ModePlans::build_hbcsf(&ctx, &t, opts.rank, BcsfOptions::default());
+        let plain = cpd_als_planned(&t, &opts, &ctx, &plans);
+
+        let mut records = Vec::new();
+        for devices in [1usize, 3, 4] {
+            let grid = GridSpec::new(devices, Interconnect::nvlink());
+            let mut manifest = RunManifest::new("hb-csf", "synth", 0, 0, 0.0, 0);
+            let (res, stats, rec) = cpd_als_sharded(
+                &t,
+                &opts,
+                &ropts,
+                &ctx,
+                &plans,
+                &grid,
+                &oopts,
+                Some(&mut manifest),
+            );
+            assert_eq!(
+                res.fits, plain.fits,
+                "{devices}-device sharded CPD must be bit-exact"
+            );
+            assert_eq!(stats.nan_resets + stats.rollbacks, 0);
+            assert_eq!(rec.devices, devices);
+            // 4 iterations × 3 modes = 12 sharded launches recorded.
+            assert_eq!(rec.launches, 12);
+            assert_eq!(rec.per_device.len(), devices);
+            assert!(manifest.grid.any());
+            assert_eq!(manifest.grid.devices, devices);
+            records.push(rec);
+        }
+        // Interconnect cost is zero alone and strictly increases with
+        // device count for a fixed tensor.
+        assert_eq!(records[0].allreduce_seconds, 0.0);
+        assert!(records[1].allreduce_seconds > 0.0);
+        assert!(records[2].allreduce_seconds > records[1].allreduce_seconds);
     }
 
     #[test]

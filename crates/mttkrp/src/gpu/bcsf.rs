@@ -51,6 +51,7 @@ impl BcsfSpans {
 }
 
 /// Runs the B-CSF kernel; the output mode is `bcsf.csf.perm[0]`.
+#[deprecated(note = "use mttkrp::gpu::{Executor, MttkrpKernel} on a tensor_formats::Bcsf")]
 pub fn run(ctx: &GpuContext, bcsf: &Bcsf, factors: &[Matrix]) -> GpuRun {
     run_named(ctx, bcsf, factors, "b-csf")
 }
@@ -60,6 +61,7 @@ pub(crate) fn run_named(ctx: &GpuContext, bcsf: &Bcsf, factors: &[Matrix], name:
 }
 
 /// Captures the B-CSF kernel as a replayable [`Plan`] for rank `rank`.
+#[deprecated(note = "use mttkrp::gpu::MttkrpKernel::capture on a tensor_formats::Bcsf")]
 pub fn plan(ctx: &GpuContext, bcsf: &Bcsf, rank: usize) -> Plan {
     plan_named(ctx, bcsf, rank, "b-csf")
 }
@@ -201,12 +203,14 @@ fn fiber_ancestors(bcsf: &Bcsf) -> Vec<Vec<Index>> {
 /// want to drive [`gpu_sim::simulate_with_timeline`] themselves (e.g. the
 /// `balance_viz` example). Deduplicated through the plan path: this is the
 /// captured launch with the replay schedule discarded.
+#[deprecated(note = "use mttkrp::gpu::MttkrpKernel::capture and Plan::into_launch")]
 pub fn emit_launch(ctx: &GpuContext, bcsf: &Bcsf, factors: &[Matrix]) -> KernelLaunch {
     plan_named(ctx, bcsf, factors[0].cols(), "b-csf").into_launch()
 }
 
 /// Builds B-CSF with `opts` and runs the kernel (convenience for
 /// experiments; construction cost excluded from the simulation).
+#[deprecated(note = "use mttkrp::gpu::Executor::build_run (KernelKind::Bcsf)")]
 pub fn build_and_run(
     ctx: &GpuContext,
     t: &sptensor::CooTensor,
@@ -216,14 +220,33 @@ pub fn build_and_run(
 ) -> GpuRun {
     let perm = sptensor::mode_orientation(t.order(), mode);
     let bcsf = Bcsf::build(t, &perm, opts);
-    run(ctx, &bcsf, factors)
+    run_named(ctx, &bcsf, factors, "b-csf")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gpu::{BuildOptions, Executor, KernelKind, LaunchArgs};
     use crate::reference;
     use sptensor::synth::{standin, uniform_random, SynthConfig};
+
+    fn build_and_run(
+        ctx: &GpuContext,
+        t: &sptensor::CooTensor,
+        factors: &[Matrix],
+        mode: usize,
+        opts: BcsfOptions,
+    ) -> GpuRun {
+        let build = BuildOptions {
+            bcsf: opts,
+            ..BuildOptions::default()
+        };
+        Executor::new(ctx.clone())
+            .with_build(build)
+            .build_run(KernelKind::Bcsf, t, factors, mode)
+            .unwrap()
+            .run
+    }
 
     #[test]
     fn matches_reference_all_modes_3d() {
@@ -321,7 +344,10 @@ mod tests {
                 needs_atomic: true,
             },
         );
-        let run = super::run(&ctx, &bcsf, &factors);
+        let run = Executor::new(ctx)
+            .run(&bcsf, &LaunchArgs::new(&factors))
+            .unwrap()
+            .run;
         let seq = reference::mttkrp(&t, &factors, 0);
         assert!(crate::outputs_match(&run.y, &seq));
     }

@@ -456,18 +456,26 @@ mod tests {
 
     #[test]
     fn profiling_context_yields_profiles_and_counters() {
+        use crate::gpu::{AnyFormat, BuildOptions, Executor, KernelKind, LaunchArgs};
         use sptensor::synth::uniform_random;
 
         let t = uniform_random(&[10, 12, 14], 400, 17);
         let factors = crate::reference::random_factors(&t, 8, 18);
+        let coo = AnyFormat::build(KernelKind::Coo, &t, 0, &BuildOptions::default()).unwrap();
 
         let plain_ctx = GpuContext::tiny();
-        let plain = crate::gpu::parti_coo::run(&plain_ctx, &t, &factors, 0);
+        let plain = Executor::new(plain_ctx.clone())
+            .run(&coo, &LaunchArgs::new(&factors))
+            .unwrap()
+            .run;
         assert!(plain.profile.is_none(), "profiling off by default");
         assert!(plain_ctx.registry.counters().is_empty());
 
         let ctx = GpuContext::tiny().with_profiling();
-        let run = crate::gpu::parti_coo::run(&ctx, &t, &factors, 0);
+        let run = Executor::new(ctx.clone())
+            .run(&coo, &LaunchArgs::new(&factors))
+            .unwrap()
+            .run;
         assert_eq!(plain.sim, run.sim, "profiling must not perturb metrics");
         let profile = run.profile.expect("profiling context keeps the profile");
         assert_eq!(profile.blocks.len(), run.sim.num_blocks);

@@ -11,29 +11,45 @@ use tensor_formats::{Bcsf, BcsfOptions, Csf};
 use super::common::{GpuContext, GpuRun};
 
 /// Runs the unsplit GPU-CSF kernel on an existing CSF tree.
+#[deprecated(note = "use mttkrp::gpu::{Executor, MttkrpKernel} on a tensor_formats::Csf")]
 pub fn run(ctx: &GpuContext, csf: &Csf, factors: &[Matrix]) -> GpuRun {
-    let bcsf = Bcsf::from_csf(csf.clone(), BcsfOptions::unsplit());
-    super::bcsf::run_named(ctx, &bcsf, factors, "gpu-csf")
+    plan_impl(ctx, csf, factors[0].cols()).execute(ctx, factors)
 }
 
 /// Captures the unsplit GPU-CSF kernel as a replayable plan.
+#[deprecated(note = "use mttkrp::gpu::MttkrpKernel::capture on a tensor_formats::Csf")]
 pub fn plan(ctx: &GpuContext, csf: &Csf, rank: usize) -> super::plan::Plan {
+    plan_impl(ctx, csf, rank)
+}
+
+/// The capture body behind the deprecated [`plan`] shim and [`Csf`]'s
+/// `MttkrpKernel` impl.
+pub(crate) fn plan_impl(ctx: &GpuContext, csf: &Csf, rank: usize) -> super::plan::Plan {
     let bcsf = Bcsf::from_csf(csf.clone(), BcsfOptions::unsplit());
     super::bcsf::plan_named(ctx, &bcsf, rank, "gpu-csf")
 }
 
 /// Builds the mode-`mode` CSF and runs the kernel.
+#[deprecated(note = "use mttkrp::gpu::Executor::build_run (KernelKind::Csf)")]
 pub fn build_and_run(ctx: &GpuContext, t: &CooTensor, factors: &[Matrix], mode: usize) -> GpuRun {
     let perm = sptensor::mode_orientation(t.order(), mode);
     let csf = Csf::build(t, &perm);
-    run(ctx, &csf, factors)
+    plan_impl(ctx, &csf, factors[0].cols()).execute(ctx, factors)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gpu::{Executor, KernelKind, LaunchArgs};
     use crate::reference;
     use sptensor::synth::{standin, uniform_random, SynthConfig};
+
+    fn build_and_run(ctx: &GpuContext, t: &CooTensor, factors: &[Matrix], mode: usize) -> GpuRun {
+        Executor::new(ctx.clone())
+            .build_run(KernelKind::Csf, t, factors, mode)
+            .unwrap()
+            .run
+    }
 
     #[test]
     fn matches_reference() {
@@ -54,7 +70,10 @@ mod tests {
         let factors = reference::random_factors(&t, 4, 42);
         let perm = sptensor::mode_orientation(3, 0);
         let csf = Csf::build(&t, &perm);
-        let run = run(&ctx, &csf, &factors);
+        let run = Executor::new(ctx)
+            .run(&csf, &LaunchArgs::new(&factors))
+            .unwrap()
+            .run;
         assert_eq!(run.sim.num_blocks, csf.num_slices());
         assert_eq!(run.sim.atomic_ops, 0);
     }

@@ -81,12 +81,20 @@ fn pack_warps(csl: &Csl, quota: usize) -> Vec<WarpJob> {
 }
 
 /// Runs the CSL kernel; output mode is `csl.perm[0]`.
+#[deprecated(note = "use mttkrp::gpu::{Executor, MttkrpKernel} on a tensor_formats::Csl")]
 pub fn run(ctx: &GpuContext, csl: &Csl, factors: &[Matrix]) -> GpuRun {
-    plan(ctx, csl, factors[0].cols()).execute(ctx, factors)
+    plan_impl(ctx, csl, factors[0].cols()).execute(ctx, factors)
 }
 
 /// Captures the CSL kernel as a replayable [`Plan`] for rank `rank`.
+#[deprecated(note = "use mttkrp::gpu::MttkrpKernel::capture on a tensor_formats::Csl")]
 pub fn plan(ctx: &GpuContext, csl: &Csl, rank: usize) -> Plan {
+    plan_impl(ctx, csl, rank)
+}
+
+/// The capture body behind the deprecated [`plan`] shim and [`Csl`]'s
+/// `MttkrpKernel` impl.
+pub(crate) fn plan_impl(ctx: &GpuContext, csl: &Csl, rank: usize) -> Plan {
     let mode = csl.perm[0];
     let mut space = AddressSpace::new();
     let fa = FactorAddrs::layout(&mut space, &csl.dims, rank, mode);
@@ -151,6 +159,7 @@ pub(crate) fn emit(
 }
 
 /// Builds CSL for mode `mode` and runs (construction cost excluded).
+#[deprecated(note = "use mttkrp::gpu::Executor::build_run (KernelKind::Csl)")]
 pub fn build_and_run(
     ctx: &GpuContext,
     t: &sptensor::CooTensor,
@@ -159,14 +168,27 @@ pub fn build_and_run(
 ) -> GpuRun {
     let perm = sptensor::mode_orientation(t.order(), mode);
     let csl = Csl::build(t, &perm);
-    run(ctx, &csl, factors)
+    plan_impl(ctx, &csl, factors[0].cols()).execute(ctx, factors)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gpu::{Executor, KernelKind};
     use crate::reference;
     use sptensor::synth::{standin, uniform_random, SynthConfig};
+
+    fn build_and_run(
+        ctx: &GpuContext,
+        t: &sptensor::CooTensor,
+        factors: &[Matrix],
+        mode: usize,
+    ) -> GpuRun {
+        Executor::new(ctx.clone())
+            .build_run(KernelKind::Csl, t, factors, mode)
+            .unwrap()
+            .run
+    }
 
     #[test]
     fn matches_reference_all_modes() {

@@ -34,15 +34,23 @@ pub const DEFAULT_THREADLEN: usize = 8;
 ///
 /// # Panics
 /// If the tensor is not third-order.
+#[deprecated(note = "use mttkrp::gpu::{Executor, MttkrpKernel} on a tensor_formats::Fcoo")]
 pub fn run(ctx: &GpuContext, fcoo: &Fcoo, factors: &[Matrix]) -> GpuRun {
-    plan(ctx, fcoo, factors[0].cols()).execute(ctx, factors)
+    plan_impl(ctx, fcoo, factors[0].cols()).execute(ctx, factors)
 }
 
 /// Captures the F-COO kernel (both passes) as a replayable [`Plan`].
 ///
 /// # Panics
 /// If the tensor is not third-order.
+#[deprecated(note = "use mttkrp::gpu::MttkrpKernel::capture on a tensor_formats::Fcoo")]
 pub fn plan(ctx: &GpuContext, fcoo: &Fcoo, rank: usize) -> Plan {
+    plan_impl(ctx, fcoo, rank)
+}
+
+/// The capture body behind the deprecated [`plan`] shim and
+/// [`Fcoo`]'s `MttkrpKernel` impl.
+pub(crate) fn plan_impl(ctx: &GpuContext, fcoo: &Fcoo, rank: usize) -> Plan {
     assert_eq!(
         fcoo.order(),
         3,
@@ -242,6 +250,7 @@ fn emit_strided_step(
 }
 
 /// Builds F-COO for `mode` and runs (construction cost excluded).
+#[deprecated(note = "use mttkrp::gpu::Executor::build_run (KernelKind::Fcoo)")]
 pub fn build_and_run(
     ctx: &GpuContext,
     t: &sptensor::CooTensor,
@@ -251,14 +260,35 @@ pub fn build_and_run(
 ) -> GpuRun {
     let perm = sptensor::mode_orientation(t.order(), mode);
     let fcoo = Fcoo::build(t, &perm, threadlen);
-    run(ctx, &fcoo, factors)
+    plan_impl(ctx, &fcoo, factors[0].cols()).execute(ctx, factors)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gpu::{
+        AnyFormat, BuildOptions, Executor, KernelKind, LaunchArgs, LaunchError, MttkrpKernel,
+    };
     use crate::reference;
     use sptensor::synth::{standin, uniform_random, SynthConfig};
+
+    fn build_and_run(
+        ctx: &GpuContext,
+        t: &sptensor::CooTensor,
+        factors: &[Matrix],
+        mode: usize,
+        threadlen: usize,
+    ) -> GpuRun {
+        let opts = BuildOptions {
+            fcoo_threadlen: threadlen,
+            ..BuildOptions::default()
+        };
+        Executor::new(ctx.clone())
+            .with_build(opts)
+            .build_run(KernelKind::Fcoo, t, factors, mode)
+            .unwrap()
+            .run
+    }
 
     #[test]
     fn matches_reference_all_modes_and_threadlens() {
@@ -279,12 +309,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "third-order")]
     fn rejects_4d() {
-        let ctx = GpuContext::tiny();
+        // The unified builder turns the old panic into a typed error.
         let t = uniform_random(&[4, 4, 4, 4], 50, 92);
-        let factors = reference::random_factors(&t, 4, 62);
-        build_and_run(&ctx, &t, &factors, 0, 8);
+        assert!(matches!(
+            AnyFormat::build(KernelKind::Fcoo, &t, 0, &BuildOptions::default()),
+            Err(LaunchError::OrderUnsupported { order: 4, .. })
+        ));
     }
 
     #[test]
@@ -299,7 +330,12 @@ mod tests {
         }
         let factors = reference::random_factors(&t, 8, 63);
         let f = build_and_run(&ctx, &t, &factors, 0, 8);
-        let p = super::super::parti_coo::run(&ctx, &t, &factors, 0);
+        let coo = AnyFormat::build(KernelKind::Coo, &t, 0, &BuildOptions::default()).unwrap();
+        let p = Executor::new(ctx.clone())
+            .run(&coo, &LaunchArgs::new(&factors))
+            .unwrap()
+            .run;
+        assert_eq!(coo.kernel_name(), "parti-coo-gpu");
         assert!(crate::outputs_match(&f.y, &p.y));
         assert!(
             f.sim.atomic_ops * 4 < p.sim.atomic_ops,

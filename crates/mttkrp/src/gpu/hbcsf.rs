@@ -22,13 +22,21 @@ use super::csl::CslSpans;
 use super::plan::{MemoryFootprint, Plan, PlanBuilder};
 
 /// Runs the composite kernel; output mode is `h.perm[0]`.
+#[deprecated(note = "use mttkrp::gpu::{Executor, MttkrpKernel} on a tensor_formats::Hbcsf")]
 pub fn run(ctx: &GpuContext, h: &Hbcsf, factors: &[Matrix]) -> GpuRun {
-    plan(ctx, h, factors[0].cols()).execute(ctx, factors)
+    plan_impl(ctx, h, factors[0].cols()).execute(ctx, factors)
 }
 
 /// Captures the composite kernel as a replayable [`Plan`] for rank `rank`:
 /// one fused launch, block indices running across the three groups.
+#[deprecated(note = "use mttkrp::gpu::MttkrpKernel::capture on a tensor_formats::Hbcsf")]
 pub fn plan(ctx: &GpuContext, h: &Hbcsf, rank: usize) -> Plan {
+    plan_impl(ctx, h, rank)
+}
+
+/// The capture body behind the deprecated [`plan`] shim, [`Hbcsf`]'s
+/// `MttkrpKernel` impl, and [`super::plan::ModePlans`].
+pub(crate) fn plan_impl(ctx: &GpuContext, h: &Hbcsf, rank: usize) -> Plan {
     let mode = h.perm[0];
     let mut space = AddressSpace::new();
     let fa = FactorAddrs::layout(&mut space, &h.dims, rank, mode);
@@ -97,6 +105,7 @@ fn emit_coo_group(
 
 /// Builds HB-CSF for `mode` and runs (construction cost excluded; see
 /// [`crate::preprocess`] for Figs. 9-10).
+#[deprecated(note = "use mttkrp::gpu::Executor::build_run (KernelKind::Hbcsf)")]
 pub fn build_and_run(
     ctx: &GpuContext,
     t: &CooTensor,
@@ -106,14 +115,33 @@ pub fn build_and_run(
 ) -> GpuRun {
     let perm = sptensor::mode_orientation(t.order(), mode);
     let h = Hbcsf::build(t, &perm, opts);
-    run(ctx, &h, factors)
+    plan_impl(ctx, &h, factors[0].cols()).execute(ctx, factors)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gpu::{BuildOptions, Executor, KernelKind};
     use crate::reference;
     use sptensor::synth::{standin, uniform_random, SynthConfig};
+
+    fn build_and_run(
+        ctx: &GpuContext,
+        t: &CooTensor,
+        factors: &[Matrix],
+        mode: usize,
+        opts: BcsfOptions,
+    ) -> GpuRun {
+        let build = BuildOptions {
+            bcsf: opts,
+            ..BuildOptions::default()
+        };
+        Executor::new(ctx.clone())
+            .with_build(build)
+            .build_run(KernelKind::Hbcsf, t, factors, mode)
+            .unwrap()
+            .run
+    }
 
     #[test]
     fn matches_reference_all_modes_3d() {
@@ -168,7 +196,10 @@ mod tests {
         let t = standin("flick-3d").unwrap().generate(&SynthConfig::tiny());
         let factors = reference::random_factors(&t, 8, 74);
         let hb = build_and_run(&ctx, &t, &factors, 0, BcsfOptions::default());
-        let naive = super::super::csf::build_and_run(&ctx, &t, &factors, 0);
+        let naive = Executor::new(ctx.clone())
+            .build_run(KernelKind::Csf, &t, &factors, 0)
+            .unwrap()
+            .run;
         assert!(crate::outputs_match(&hb.y, &naive.y));
         assert!(
             hb.sim.makespan_cycles < naive.sim.makespan_cycles,

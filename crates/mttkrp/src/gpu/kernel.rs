@@ -1,0 +1,384 @@
+//! The unified kernel abstraction: one trait all six simulated-GPU
+//! MTTKRP kernels implement, plus a format-erased [`AnyFormat`] enum so
+//! routers, schedulers, and the multi-device engine can dispatch over
+//! kernels generically.
+//!
+//! Historically each kernel module exposed its own `run`/`plan` free
+//! functions with copy-pasted signatures; anything driving "some kernel"
+//! had to hand-wire a six-way match. [`MttkrpKernel`] replaces that:
+//! a format captures itself into a [`Plan`] (`capture`), and everything
+//! downstream — replay, out-of-core tiling, ABFT, sharding — already
+//! works on plans. The old free functions remain as `#[deprecated]`
+//! shims delegating to the same internals.
+
+use std::str::FromStr;
+
+use sptensor::{mode_orientation, CooTensor, Index};
+use tensor_formats::{Bcsf, BcsfOptions, Csf, Csl, Fcoo, Hbcsf};
+
+use super::common::GpuContext;
+use super::exec::LaunchError;
+use super::plan::Plan;
+
+/// A sparse-tensor layout that can capture a simulated-GPU MTTKRP launch
+/// over itself as a replayable [`Plan`].
+///
+/// Everything value-dependent lives in the plan's replay; everything
+/// structure-dependent is fixed at capture. Implementors are the format
+/// types themselves ([`Bcsf`], [`Csf`], [`Csl`], [`Fcoo`], [`Hbcsf`])
+/// plus the format-erased [`AnyFormat`].
+pub trait MttkrpKernel {
+    /// The launch name the capture will carry (e.g. `"hb-csf"`).
+    fn kernel_name(&self) -> &'static str;
+
+    /// The output mode the kernel computes (the layout's `perm[0]`).
+    fn output_mode(&self) -> usize;
+
+    /// The tensor dimensions the layout was built for.
+    fn dims(&self) -> &[Index];
+
+    /// Captures the kernel as a replayable [`Plan`] for rank `rank`.
+    fn capture(&self, ctx: &GpuContext, rank: usize) -> Plan;
+}
+
+impl MttkrpKernel for Bcsf {
+    fn kernel_name(&self) -> &'static str {
+        "b-csf"
+    }
+    fn output_mode(&self) -> usize {
+        Bcsf::output_mode(self)
+    }
+    fn dims(&self) -> &[Index] {
+        &self.csf.dims
+    }
+    fn capture(&self, ctx: &GpuContext, rank: usize) -> Plan {
+        super::bcsf::plan_named(ctx, self, rank, "b-csf")
+    }
+}
+
+impl MttkrpKernel for Csf {
+    fn kernel_name(&self) -> &'static str {
+        "gpu-csf"
+    }
+    fn output_mode(&self) -> usize {
+        Csf::output_mode(self)
+    }
+    fn dims(&self) -> &[Index] {
+        &self.dims
+    }
+    fn capture(&self, ctx: &GpuContext, rank: usize) -> Plan {
+        super::csf::plan_impl(ctx, self, rank)
+    }
+}
+
+impl MttkrpKernel for Csl {
+    fn kernel_name(&self) -> &'static str {
+        "csl"
+    }
+    fn output_mode(&self) -> usize {
+        Csl::output_mode(self)
+    }
+    fn dims(&self) -> &[Index] {
+        &self.dims
+    }
+    fn capture(&self, ctx: &GpuContext, rank: usize) -> Plan {
+        super::csl::plan_impl(ctx, self, rank)
+    }
+}
+
+impl MttkrpKernel for Fcoo {
+    fn kernel_name(&self) -> &'static str {
+        "f-coo-gpu"
+    }
+    fn output_mode(&self) -> usize {
+        Fcoo::output_mode(self)
+    }
+    fn dims(&self) -> &[Index] {
+        &self.dims
+    }
+    fn capture(&self, ctx: &GpuContext, rank: usize) -> Plan {
+        super::fcoo::plan_impl(ctx, self, rank)
+    }
+}
+
+impl MttkrpKernel for Hbcsf {
+    fn kernel_name(&self) -> &'static str {
+        "hb-csf"
+    }
+    fn output_mode(&self) -> usize {
+        Hbcsf::output_mode(self)
+    }
+    fn dims(&self) -> &[Index] {
+        &self.dims
+    }
+    fn capture(&self, ctx: &GpuContext, rank: usize) -> Plan {
+        super::hbcsf::plan_impl(ctx, self, rank)
+    }
+}
+
+/// Which of the six simulated-GPU kernels to build/run — the CLI string
+/// namespace (`--kernel`) and the generic constructors' selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+pub enum KernelKind {
+    /// ParTI-style nonzero-parallel COO (third-order only).
+    Coo,
+    /// F-COO segmented scan (third-order only).
+    Fcoo,
+    /// Naive GPU-CSF (block per slice).
+    Csf,
+    /// B-CSF with fiber/slice splitting.
+    Bcsf,
+    /// CSL warp-packed slices.
+    Csl,
+    /// The composite HB-CSF kernel.
+    Hbcsf,
+}
+
+impl KernelKind {
+    /// All six kinds, in the paper's presentation order.
+    pub const ALL: [KernelKind; 6] = [
+        KernelKind::Coo,
+        KernelKind::Fcoo,
+        KernelKind::Csf,
+        KernelKind::Bcsf,
+        KernelKind::Csl,
+        KernelKind::Hbcsf,
+    ];
+
+    /// The canonical CLI spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            KernelKind::Coo => "coo",
+            KernelKind::Fcoo => "fcoo",
+            KernelKind::Csf => "csf",
+            KernelKind::Bcsf => "bcsf",
+            KernelKind::Csl => "csl",
+            KernelKind::Hbcsf => "hbcsf",
+        }
+    }
+
+    /// Whether the kernel supports only third-order tensors.
+    pub fn third_order_only(&self) -> bool {
+        matches!(self, KernelKind::Coo | KernelKind::Fcoo)
+    }
+}
+
+impl FromStr for KernelKind {
+    type Err = LaunchError;
+
+    fn from_str(s: &str) -> Result<KernelKind, LaunchError> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "coo" | "parti-coo" | "parti" => Ok(KernelKind::Coo),
+            "fcoo" | "f-coo" => Ok(KernelKind::Fcoo),
+            "csf" | "gpu-csf" => Ok(KernelKind::Csf),
+            "bcsf" | "b-csf" => Ok(KernelKind::Bcsf),
+            "csl" => Ok(KernelKind::Csl),
+            "hbcsf" | "hb-csf" => Ok(KernelKind::Hbcsf),
+            other => Err(LaunchError::UnknownKernel(other.to_string())),
+        }
+    }
+}
+
+impl std::fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Format-construction knobs for [`AnyFormat::build`]. Defaults match
+/// the free functions the builder replaces.
+#[derive(Debug, Clone, Copy)]
+pub struct BuildOptions {
+    /// Splitting options for the B-CSF/HB-CSF family.
+    pub bcsf: BcsfOptions,
+    /// Per-thread chunk length for F-COO.
+    pub fcoo_threadlen: usize,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions {
+            bcsf: BcsfOptions::default(),
+            fcoo_threadlen: super::fcoo::DEFAULT_THREADLEN,
+        }
+    }
+}
+
+/// An owned, format-erased kernel input: any of the six layouts, built
+/// uniformly from a COO tensor. This is what generic drivers hold when
+/// the format is chosen at runtime (CLI flags, sweeps, the sharded CPD
+/// driver).
+// Variant sizes span raw COO to HB-CSF's three-part hybrid; the enum is
+// built once per (tensor, mode) and never stored in bulk, so boxing would
+// buy nothing but indirection.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum AnyFormat {
+    /// Raw COO for the ParTI-style kernel (third-order only).
+    Coo {
+        tensor: CooTensor,
+        mode: usize,
+    },
+    Fcoo(Fcoo),
+    Csf(Csf),
+    Bcsf(Bcsf),
+    Csl(Csl),
+    Hbcsf(Hbcsf),
+}
+
+impl AnyFormat {
+    /// Builds the `kind` layout of `t` oriented for output mode `mode`.
+    ///
+    /// Unlike the historical per-module constructors this is total: an
+    /// out-of-range mode or an order the kernel cannot handle comes back
+    /// as a typed [`LaunchError`] instead of a panic deep in the build.
+    pub fn build(
+        kind: KernelKind,
+        t: &CooTensor,
+        mode: usize,
+        opts: &BuildOptions,
+    ) -> Result<AnyFormat, LaunchError> {
+        let order = t.order();
+        if mode >= order {
+            return Err(LaunchError::ModeOutOfRange { mode, order });
+        }
+        if kind.third_order_only() && order != 3 {
+            return Err(LaunchError::OrderUnsupported {
+                kernel: kind.as_str(),
+                order,
+            });
+        }
+        let perm = mode_orientation(order, mode);
+        Ok(match kind {
+            KernelKind::Coo => AnyFormat::Coo {
+                tensor: t.clone(),
+                mode,
+            },
+            KernelKind::Fcoo => AnyFormat::Fcoo(Fcoo::build(t, &perm, opts.fcoo_threadlen)),
+            KernelKind::Csf => AnyFormat::Csf(Csf::build(t, &perm)),
+            KernelKind::Bcsf => AnyFormat::Bcsf(Bcsf::build(t, &perm, opts.bcsf)),
+            KernelKind::Csl => AnyFormat::Csl(Csl::build(t, &perm)),
+            KernelKind::Hbcsf => AnyFormat::Hbcsf(Hbcsf::build(t, &perm, opts.bcsf)),
+        })
+    }
+
+    /// Which kernel this layout drives.
+    pub fn kind(&self) -> KernelKind {
+        match self {
+            AnyFormat::Coo { .. } => KernelKind::Coo,
+            AnyFormat::Fcoo(_) => KernelKind::Fcoo,
+            AnyFormat::Csf(_) => KernelKind::Csf,
+            AnyFormat::Bcsf(_) => KernelKind::Bcsf,
+            AnyFormat::Csl(_) => KernelKind::Csl,
+            AnyFormat::Hbcsf(_) => KernelKind::Hbcsf,
+        }
+    }
+}
+
+impl MttkrpKernel for AnyFormat {
+    fn kernel_name(&self) -> &'static str {
+        match self {
+            AnyFormat::Coo { .. } => "parti-coo-gpu",
+            AnyFormat::Fcoo(f) => f.kernel_name(),
+            AnyFormat::Csf(f) => f.kernel_name(),
+            AnyFormat::Bcsf(f) => f.kernel_name(),
+            AnyFormat::Csl(f) => f.kernel_name(),
+            AnyFormat::Hbcsf(f) => f.kernel_name(),
+        }
+    }
+
+    fn output_mode(&self) -> usize {
+        match self {
+            AnyFormat::Coo { mode, .. } => *mode,
+            AnyFormat::Fcoo(f) => MttkrpKernel::output_mode(f),
+            AnyFormat::Csf(f) => MttkrpKernel::output_mode(f),
+            AnyFormat::Bcsf(f) => MttkrpKernel::output_mode(f),
+            AnyFormat::Csl(f) => MttkrpKernel::output_mode(f),
+            AnyFormat::Hbcsf(f) => MttkrpKernel::output_mode(f),
+        }
+    }
+
+    fn dims(&self) -> &[Index] {
+        match self {
+            AnyFormat::Coo { tensor, .. } => tensor.dims(),
+            AnyFormat::Fcoo(f) => MttkrpKernel::dims(f),
+            AnyFormat::Csf(f) => MttkrpKernel::dims(f),
+            AnyFormat::Bcsf(f) => MttkrpKernel::dims(f),
+            AnyFormat::Csl(f) => MttkrpKernel::dims(f),
+            AnyFormat::Hbcsf(f) => MttkrpKernel::dims(f),
+        }
+    }
+
+    fn capture(&self, ctx: &GpuContext, rank: usize) -> Plan {
+        match self {
+            AnyFormat::Coo { tensor, mode } => {
+                super::parti_coo::plan_impl(ctx, tensor, *mode, rank)
+            }
+            AnyFormat::Fcoo(f) => f.capture(ctx, rank),
+            AnyFormat::Csf(f) => f.capture(ctx, rank),
+            AnyFormat::Bcsf(f) => f.capture(ctx, rank),
+            AnyFormat::Csl(f) => f.capture(ctx, rank),
+            AnyFormat::Hbcsf(f) => f.capture(ctx, rank),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use sptensor::synth::uniform_random;
+
+    #[test]
+    fn kinds_round_trip_through_strings() {
+        for kind in KernelKind::ALL {
+            assert_eq!(kind.as_str().parse::<KernelKind>().unwrap(), kind);
+            assert_eq!(kind.to_string(), kind.as_str());
+        }
+        assert_eq!("hb-csf".parse::<KernelKind>().unwrap(), KernelKind::Hbcsf);
+        assert_eq!("parti-coo".parse::<KernelKind>().unwrap(), KernelKind::Coo);
+        assert!(matches!(
+            "splatt".parse::<KernelKind>(),
+            Err(LaunchError::UnknownKernel(_))
+        ));
+    }
+
+    #[test]
+    fn build_rejects_bad_mode_and_order() {
+        let t3 = uniform_random(&[6, 7, 8], 100, 7);
+        let t4 = uniform_random(&[4, 4, 4, 4], 80, 8);
+        let opts = BuildOptions::default();
+        assert!(matches!(
+            AnyFormat::build(KernelKind::Hbcsf, &t3, 3, &opts),
+            Err(LaunchError::ModeOutOfRange { mode: 3, order: 3 })
+        ));
+        for kind in [KernelKind::Coo, KernelKind::Fcoo] {
+            assert!(matches!(
+                AnyFormat::build(kind, &t4, 0, &opts),
+                Err(LaunchError::OrderUnsupported { order: 4, .. })
+            ));
+        }
+        assert!(AnyFormat::build(KernelKind::Csf, &t4, 2, &opts).is_ok());
+    }
+
+    #[test]
+    fn every_kind_captures_and_matches_reference() {
+        let ctx = GpuContext::tiny();
+        let t = uniform_random(&[12, 14, 16], 500, 9);
+        let factors = reference::random_factors(&t, 8, 10);
+        for kind in KernelKind::ALL {
+            for mode in 0..3 {
+                let f = AnyFormat::build(kind, &t, mode, &BuildOptions::default()).unwrap();
+                assert_eq!(f.kind(), kind);
+                assert_eq!(MttkrpKernel::output_mode(&f), mode);
+                assert_eq!(MttkrpKernel::dims(&f), t.dims());
+                let run = f.capture(&ctx, 8).execute(&ctx, &factors);
+                let seq = reference::mttkrp(&t, &factors, mode);
+                assert!(
+                    crate::outputs_match(&run.y, &seq),
+                    "{kind} mode {mode} diverged"
+                );
+            }
+        }
+    }
+}

@@ -21,16 +21,30 @@
 //! * [`hbcsf`] — the composite HB-CSF kernel (Algorithm 5 lines 18-20):
 //!   COO + CSL + B-CSF sub-launches fused into one grid (Figs. 8-15).
 
+//!
+//! All six kernels implement the unified [`MttkrpKernel`] trait and are
+//! normally driven through the [`Executor`] facade, which owns the
+//! context plus the full degradation ladder (in-core, out-of-core tiled,
+//! multi-device sharded, ABFT-verified, CPU fallback). The per-module
+//! `run`/`plan`/`build_and_run` free functions are deprecated shims kept
+//! for one release.
+
 pub mod bcsf;
 pub mod common;
 pub mod csf;
 pub mod csl;
+pub mod exec;
 pub mod fcoo;
 pub mod hbcsf;
+pub mod kernel;
 pub mod ooc;
 pub mod parti_coo;
 pub mod plan;
+pub mod sharded;
 
 pub use common::{AbftData, AbftSink, GpuContext, GpuRun};
+pub use exec::{Execution, Executor, LaunchArgs, LaunchError};
+pub use kernel::{AnyFormat, BuildOptions, KernelKind, MttkrpKernel};
 pub use ooc::{execute_adaptive, LadderStep, MemReport, OocOptions};
 pub use plan::{MemoryFootprint, ModePlans, Plan, ReplaySchedule};
+pub use sharded::{DeviceShardReport, GridReport, GridSpec, ShardModel};

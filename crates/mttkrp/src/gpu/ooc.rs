@@ -61,8 +61,9 @@ pub struct LadderStep {
     pub budget_bytes: u64,
     /// Tiles the rung planned (1 for full-device, 0 for CPU).
     pub tiles: usize,
-    /// `"ok"`, `"oom-injected"`, `"exceeds-capacity"`, or
-    /// `"budget-too-small"`.
+    /// `"ok"`, `"oom-injected"`, `"exceeds-capacity"`,
+    /// `"budget-too-small"`, or `"untileable"` (single-block schedule
+    /// that no budget could split further).
     pub outcome: String,
 }
 
@@ -139,10 +140,27 @@ pub fn plan_tiles(
     budget: u64,
     mem: &gpu_sim::DeviceMemory,
 ) -> Option<Vec<(usize, usize)>> {
+    let nblocks = plan.block_weight_prefix().len() - 1;
+    plan_tiles_range(plan, budget, mem, 0, nblocks)
+}
+
+/// [`plan_tiles`] restricted to the schedule-block range `range_b0 ..
+/// range_b1` — the per-device packer of the sharded engine, which carves
+/// one device's shard into tiles that fit that device's memory. The
+/// resident set (factors + output) is charged in full per tile; format
+/// bytes are charged by weight share exactly as in the whole-plan case.
+pub(crate) fn plan_tiles_range(
+    plan: &Plan,
+    budget: u64,
+    mem: &gpu_sim::DeviceMemory,
+    range_b0: usize,
+    range_b1: usize,
+) -> Option<Vec<(usize, usize)>> {
     let fp = plan.footprint();
     let prefix = plan.block_weight_prefix();
     let nblocks = prefix.len() - 1;
-    if nblocks == 0 {
+    let range_b1 = range_b1.min(nblocks);
+    if range_b0 >= range_b1 {
         return Some(vec![]);
     }
     let pad = |b: u64| mem.pad(b).unwrap_or(u64::MAX);
@@ -153,15 +171,15 @@ pub fn plan_tiles(
     let avail = budget - resident;
     let share = |b0: usize, b1: usize| pad(format_share(fp, &prefix, b0, b1));
     let mut tiles = Vec::new();
-    let mut b0 = 0usize;
-    while b0 < nblocks {
+    let mut b0 = range_b0;
+    while b0 < range_b1 {
         if share(b0, b0 + 1) > avail {
             return None;
         }
         // Greedy: extend while the format share still fits (the share is
         // monotone in b1, so the first overflow ends the tile).
         let mut b1 = b0 + 1;
-        while b1 < nblocks && share(b0, b1 + 1) <= avail {
+        while b1 < range_b1 && share(b0, b1 + 1) <= avail {
             b1 += 1;
         }
         tiles.push((b0, b1));
@@ -172,7 +190,7 @@ pub fn plan_tiles(
 
 /// Bytes of the format arrays attributed to schedule blocks `b0..b1`:
 /// `ceil(format_bytes × (W[b1] − W[b0]) / W_total)`, exact in u128.
-fn format_share(fp: &MemoryFootprint, prefix: &[u64], b0: usize, b1: usize) -> u64 {
+pub(crate) fn format_share(fp: &MemoryFootprint, prefix: &[u64], b0: usize, b1: usize) -> u64 {
     let total = prefix[prefix.len() - 1].max(1);
     let w = prefix[b1] - prefix[b0];
     let num = u128::from(fp.format_bytes) * u128::from(w);
@@ -240,7 +258,14 @@ pub fn execute_adaptive(
             budget /= 2;
         }
         let Some(tiles) = plan_tiles(plan, budget, &ctx.memory) else {
-            push_step(&mut report, "tiled", budget, 0, "budget-too-small");
+            // Distinguish "no budget would ever help" from "this budget is
+            // too small": a single-block schedule cannot be split, so the
+            // halving loop would only re-discover the same failure.
+            if plan.block_weight_prefix().len() - 1 <= 1 {
+                push_step(&mut report, "tiled", budget, 0, "untileable");
+            } else {
+                push_step(&mut report, "tiled", budget, 0, "budget-too-small");
+            }
             break;
         };
         match run_tiled(
@@ -373,7 +398,11 @@ fn run_tiled(
 /// run back-to-back, so cycle/time/flop counts add, rate metrics average
 /// time-weighted, and extrema take the max. Deterministic (tile order is
 /// fixed by the packing).
-fn aggregate_tiled_sim(ctx: &GpuContext, plan: &Plan, tiles: &[(usize, usize)]) -> SimResult {
+pub(crate) fn aggregate_tiled_sim(
+    ctx: &GpuContext,
+    plan: &Plan,
+    tiles: &[(usize, usize)],
+) -> SimResult {
     let mut agg = cpu_fallback_sim(plan);
     agg.kernel = format!("{}+tiled", plan.name());
     let mut weighted_eff = 0.0f64;
@@ -413,7 +442,7 @@ fn aggregate_tiled_sim(ctx: &GpuContext, plan: &Plan, tiles: &[(usize, usize)]) 
 
 /// A zeroed [`SimResult`] for executions that never reached the
 /// simulator (the CPU rung), and the aggregation seed for tiled runs.
-fn cpu_fallback_sim(plan: &Plan) -> SimResult {
+pub(crate) fn cpu_fallback_sim(plan: &Plan) -> SimResult {
     SimResult {
         kernel: format!("{}+cpu-fallback", plan.name()),
         makespan_cycles: 0.0,

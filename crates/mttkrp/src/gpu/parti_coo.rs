@@ -22,16 +22,24 @@ const NNZ_PER_WARP: usize = 32;
 /// # Panics
 /// If the tensor is not third-order (the ParTI-GPU limitation) or factor
 /// shapes are wrong.
+#[deprecated(note = "use mttkrp::gpu::{Executor, AnyFormat} (KernelKind::Coo)")]
 pub fn run(ctx: &GpuContext, t: &CooTensor, factors: &[Matrix], mode: usize) -> GpuRun {
     let (_, r) = check_shapes(t, factors, mode);
-    plan(ctx, t, mode, r).execute(ctx, factors)
+    plan_impl(ctx, t, mode, r).execute(ctx, factors)
 }
 
 /// Captures the ParTI-COO kernel as a replayable [`Plan`] for rank `rank`.
 ///
 /// # Panics
 /// If the tensor is not third-order (the ParTI-GPU limitation).
+#[deprecated(note = "use mttkrp::gpu::MttkrpKernel::capture via AnyFormat (KernelKind::Coo)")]
 pub fn plan(ctx: &GpuContext, t: &CooTensor, mode: usize, rank: usize) -> Plan {
+    plan_impl(ctx, t, mode, rank)
+}
+
+/// The capture body behind both the deprecated [`plan`] shim and
+/// [`AnyFormat::Coo`](super::AnyFormat)'s `MttkrpKernel` impl.
+pub(crate) fn plan_impl(ctx: &GpuContext, t: &CooTensor, mode: usize, rank: usize) -> Plan {
     assert_eq!(
         t.order(),
         3,
@@ -83,8 +91,16 @@ pub fn plan(ctx: &GpuContext, t: &CooTensor, mode: usize, rank: usize) -> Plan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gpu::{AnyFormat, BuildOptions, Executor, KernelKind, LaunchError};
     use crate::reference;
     use sptensor::synth::{standin, uniform_random, SynthConfig};
+
+    fn run(ctx: &GpuContext, t: &CooTensor, factors: &[Matrix], mode: usize) -> GpuRun {
+        Executor::new(ctx.clone())
+            .build_run(KernelKind::Coo, t, factors, mode)
+            .unwrap()
+            .run
+    }
 
     #[test]
     fn matches_reference_all_modes() {
@@ -104,12 +120,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "third-order")]
     fn rejects_4d_like_the_real_framework() {
-        let ctx = GpuContext::tiny();
+        // The unified builder turns the old panic into a typed error.
         let t = uniform_random(&[5, 5, 5, 5], 50, 52);
-        let factors = reference::random_factors(&t, 4, 22);
-        run(&ctx, &t, &factors, 0);
+        assert!(matches!(
+            AnyFormat::build(KernelKind::Coo, &t, 0, &BuildOptions::default()),
+            Err(LaunchError::OrderUnsupported { order: 4, .. })
+        ));
     }
 
     #[test]

@@ -609,7 +609,7 @@ impl ModePlans {
                 let start = Instant::now();
                 let perm = sptensor::mode_orientation(t.order(), m);
                 let h = Hbcsf::build(t, &perm, opts);
-                let plan = super::hbcsf::plan(ctx, &h, rank);
+                let plan = super::hbcsf::plan_impl(ctx, &h, rank);
                 (plan, start.elapsed().as_secs_f64())
             })
             .collect();
@@ -627,7 +627,7 @@ impl ModePlans {
             .par_iter()
             .map(|h| {
                 let start = Instant::now();
-                let plan = super::hbcsf::plan(ctx, h, rank);
+                let plan = super::hbcsf::plan_impl(ctx, h, rank);
                 (plan, start.elapsed().as_secs_f64())
             })
             .collect();

@@ -1,0 +1,578 @@
+//! `simgrid`: multi-device sharded MTTKRP over a modeled interconnect.
+//!
+//! A node of `N` identical simulated GPUs executes one captured [`Plan`]
+//! cooperatively: the replay schedule's block range is carved into `N`
+//! consecutive shards balanced by `Plan::block_weight_prefix` (the same
+//! weights the out-of-core packer tiles by), each device runs its shard's
+//! partial MTTKRP against its own [`DeviceMemory`] — tiling and shrinking
+//! locally when the shard exceeds the per-device capacity — and the dense
+//! partial outputs meet in a modeled ring all-reduce priced by the
+//! configured [`Interconnect`].
+//!
+//! # Bit-exactness
+//!
+//! Sharding must not change the answer, for any device count, clean or
+//! faulted. Elementwise summation of per-device partials would reorder
+//! the floating-point fold, so the *committed* numerics here follow the
+//! tiled engine instead: the model phase (shard fit, leases, per-device
+//! simulation, all-reduce pricing) runs per device in parallel, while the
+//! value phase folds every shard's contributions into one shared output
+//! in global emission order —
+//! [`replay_range_parallel`](Plan::execute) per shard for clean runs, and
+//! a single [`AbftSink`](super::AbftSink) spanning all shards with global
+//! block ordinals under execution faults. Consecutive-range folds are
+//! bit-identical to the untiled replay by construction, so
+//! `shard(N) == shard(1) == Plan::execute` exactly, and the all-reduce is
+//! pure accounting (time + volume) on the wire-level dense partials.
+//!
+//! Everything is deterministic: shard boundaries are arithmetic on the
+//! weight prefix, lease fault draws key on `(kernel, site)` with
+//! device-distinguished sites, and the rayon model phase only computes
+//! per-device records that are order-independent.
+
+use std::sync::Arc;
+
+use dense::Matrix;
+use gpu_sim::{DeviceMemory, Interconnect, SimResult};
+use rayon::prelude::*;
+use sptensor::CooTensor;
+
+use super::common::{GpuContext, GpuRun};
+use super::exec::LaunchError;
+use super::ooc::{self, OocOptions};
+use super::plan::Plan;
+
+/// Bytes per output value (f32) on the modeled wire.
+const VALUE_BYTES: u64 = 4;
+
+/// Shape of the simulated multi-GPU node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSpec {
+    /// Number of simulated devices (1 = the single-GPU path, still run
+    /// through the sharded engine for apples-to-apples comparisons).
+    pub devices: usize,
+    /// Inter-device link model pricing the all-reduce.
+    pub interconnect: Interconnect,
+    /// Per-device memory capacity in bytes (`u64::MAX` = unlimited).
+    pub capacity_per_device: u64,
+}
+
+impl GridSpec {
+    /// A node of `devices` GPUs with unlimited per-device memory.
+    pub fn new(devices: usize, interconnect: Interconnect) -> GridSpec {
+        assert!(devices >= 1, "a grid needs at least one device");
+        GridSpec {
+            devices,
+            interconnect,
+            capacity_per_device: u64::MAX,
+        }
+    }
+
+    /// Caps every device at `bytes` of memory.
+    pub fn with_capacity(mut self, bytes: u64) -> GridSpec {
+        self.capacity_per_device = bytes;
+        self
+    }
+}
+
+/// One device's share of a sharded execution.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct DeviceShardReport {
+    pub device: usize,
+    /// Schedule-block range `[block_begin, block_end)` this device owns.
+    pub block_begin: usize,
+    pub block_end: usize,
+    /// Load-balance weight of the shard (contributions + leaves + chains).
+    pub weight: u64,
+    /// Whether the shard fit the device whole (no tiling).
+    pub in_core: bool,
+    /// Tiles the shard was carved into (1 when `in_core`).
+    pub tiles_run: usize,
+    /// Injected allocation refusals absorbed while fitting the shard.
+    pub oom_events: u64,
+    /// Peak bytes leased on this device.
+    pub high_water_bytes: u64,
+    /// Modeled compute time of the shard on this device.
+    pub sim_time_s: f64,
+    pub makespan_cycles: f64,
+    pub total_flops: u64,
+}
+
+/// The communication + load-balance story of one sharded execution.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct GridReport {
+    pub devices: usize,
+    /// Human-readable interconnect description (name, bandwidth, latency).
+    pub interconnect: String,
+    pub shards: Vec<DeviceShardReport>,
+    /// Modeled node compute time: max over devices (they run in parallel).
+    pub compute_seconds: f64,
+    /// Modeled ring all-reduce time over the dense partial outputs.
+    pub allreduce_seconds: f64,
+    /// Bytes crossing the interconnect during the all-reduce.
+    pub allreduce_bytes: u64,
+    /// `compute_seconds + allreduce_seconds`.
+    pub total_seconds: f64,
+    /// Whether a device failed every GPU rung and the whole run fell back
+    /// to the CPU reference.
+    pub cpu_fallback: bool,
+}
+
+impl GridReport {
+    /// Converts to the simprof manifest record (one launch).
+    pub fn to_record(&self) -> simprof::GridRecord {
+        simprof::GridRecord {
+            devices: self.devices,
+            interconnect: self.interconnect.clone(),
+            allreduce_bytes: self.allreduce_bytes,
+            allreduce_seconds: self.allreduce_seconds,
+            compute_seconds: self.compute_seconds,
+            launches: 1,
+            per_device: self
+                .shards
+                .iter()
+                .map(|s| simprof::DeviceRecord {
+                    device: s.device,
+                    launches: 1,
+                    tiles: s.tiles_run as u64,
+                    sim_seconds: s.sim_time_s,
+                    total_flops: s.total_flops,
+                    oom_events: s.oom_events,
+                    high_water_bytes: s.high_water_bytes,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Splits schedule blocks `0..nblocks` into `devices` consecutive ranges
+/// with near-equal total weight: cut `d` lands at the first block whose
+/// prefix weight reaches `d/devices` of the total. Ranges may be empty
+/// (more devices than blocks); their union is always the full range, in
+/// order — the invariant the bit-exact fold relies on.
+pub(crate) fn shard_ranges(prefix: &[u64], devices: usize) -> Vec<(usize, usize)> {
+    let nblocks = prefix.len() - 1;
+    let total = prefix[nblocks];
+    let mut cuts = Vec::with_capacity(devices + 1);
+    cuts.push(0usize);
+    for d in 1..devices {
+        let target = (u128::from(total) * d as u128 / devices as u128) as u64;
+        let b = prefix.partition_point(|&w| w < target).min(nblocks);
+        cuts.push(b.max(*cuts.last().expect("cuts is non-empty")));
+    }
+    cuts.push(nblocks);
+    cuts.windows(2).map(|w| (w[0], w[1])).collect()
+}
+
+/// Fault-draw site for device `d`'s leases: the single-device site layout
+/// (`0` = whole shard, `((shrink+1) << 32) | tile` = tiled) shifted into
+/// a per-device namespace. Device 0 reuses the single-device sites, so a
+/// one-device grid draws the exact OOM stream of the adaptive path.
+fn device_site(device: usize, rung_site: u64) -> u64 {
+    ((device as u64) << 44) | rung_site
+}
+
+/// The captured model of one plan sharded across a grid: shard ranges,
+/// per-device tilings and memory ledgers, per-device simulations, and the
+/// priced all-reduce. Building the model is the expensive phase; cloning
+/// values out of it ([`ShardModel::execute`]) is cheap, so iterative
+/// drivers (CPD-ALS) build one model per mode and replay it every
+/// iteration.
+///
+/// Memory-fault draws happen at build time (the leases are modeled once),
+/// so a model reused across iterations commits to one OOM story — the
+/// same trade the plan-capture split already makes for structure.
+pub struct ShardModel {
+    spec: GridSpec,
+    ranges: Vec<(usize, usize)>,
+    device_mems: Vec<Arc<DeviceMemory>>,
+    shards: Vec<DeviceShardReport>,
+    node_sim: SimResult,
+    compute_seconds: f64,
+    allreduce_seconds: f64,
+    allreduce_bytes: u64,
+    cpu_fallback: bool,
+}
+
+/// Per-device model-phase result.
+struct DeviceFit {
+    report: DeviceShardReport,
+    sim: SimResult,
+    failed: bool,
+}
+
+impl ShardModel {
+    /// Phase A: shard, fit each shard to its device (tiling + shrink
+    /// ladder against the per-device capacity), simulate each device's
+    /// launches, and price the all-reduce. Runs the per-device work on
+    /// the rayon pool; every output is order-independent.
+    pub fn build(ctx: &GpuContext, plan: &Plan, spec: &GridSpec, opts: &OocOptions) -> ShardModel {
+        let prefix = plan.block_weight_prefix();
+        let ranges = shard_ranges(&prefix, spec.devices);
+        let device_mems: Vec<Arc<DeviceMemory>> = (0..spec.devices)
+            .map(|_| {
+                if spec.capacity_per_device == u64::MAX {
+                    Arc::new(DeviceMemory::unlimited())
+                } else {
+                    Arc::new(DeviceMemory::with_capacity(spec.capacity_per_device))
+                }
+            })
+            .collect();
+
+        let fits: Vec<DeviceFit> = ranges
+            .par_iter()
+            .enumerate()
+            .map(|(d, &(b0, b1))| fit_device(ctx, plan, opts, &prefix, d, b0, b1, &device_mems[d]))
+            .collect();
+
+        let cpu_fallback = fits.iter().any(|f| f.failed);
+        let mut shards = Vec::with_capacity(spec.devices);
+        let mut node_sim = ooc::cpu_fallback_sim(plan);
+        node_sim.kernel = format!("{}+sharded[{}]", plan.name(), spec.devices);
+        let mut weighted_eff = 0.0f64;
+        let mut weighted_occ = 0.0f64;
+        let mut weighted_l2 = 0.0f64;
+        let mut weighted_mean_block = 0.0f64;
+        let mut compute_seconds = 0.0f64;
+        let mut busy_seconds = 0.0f64;
+        for f in fits {
+            let sim = &f.sim;
+            // Devices run concurrently: the node's critical path is the
+            // slowest device; counters still add across the node.
+            compute_seconds = compute_seconds.max(sim.time_s);
+            node_sim.makespan_cycles = node_sim.makespan_cycles.max(sim.makespan_cycles);
+            node_sim.total_flops += sim.total_flops;
+            node_sim.num_blocks += sim.num_blocks;
+            node_sim.num_warps += sim.num_warps;
+            node_sim.mem_segments += sim.mem_segments;
+            node_sim.atomic_ops += sim.atomic_ops;
+            node_sim.max_block_cycles = node_sim.max_block_cycles.max(sim.max_block_cycles);
+            weighted_eff += sim.sm_efficiency * sim.time_s;
+            weighted_occ += sim.achieved_occupancy * sim.time_s;
+            weighted_l2 += sim.l2_hit_rate * sim.time_s;
+            weighted_mean_block += sim.mean_block_cycles * sim.num_blocks as f64;
+            busy_seconds += sim.time_s;
+            shards.push(f.report);
+        }
+        let out_bytes = (plan.out_rows() as u64)
+            .saturating_mul(plan.rank() as u64)
+            .saturating_mul(VALUE_BYTES);
+        let allreduce_seconds = spec
+            .interconnect
+            .all_reduce_seconds(out_bytes, spec.devices);
+        let allreduce_bytes = spec.interconnect.all_reduce_volume(out_bytes, spec.devices);
+        node_sim.time_s = compute_seconds + allreduce_seconds;
+        if busy_seconds > 0.0 {
+            node_sim.sm_efficiency = weighted_eff / busy_seconds;
+            node_sim.achieved_occupancy = weighted_occ / busy_seconds;
+            node_sim.l2_hit_rate = weighted_l2 / busy_seconds;
+        }
+        if node_sim.num_blocks > 0 {
+            node_sim.mean_block_cycles = weighted_mean_block / node_sim.num_blocks as f64;
+        }
+        if node_sim.time_s > 0.0 {
+            node_sim.gflops = node_sim.total_flops as f64 / node_sim.time_s / 1e9;
+        }
+
+        ShardModel {
+            spec: spec.clone(),
+            ranges,
+            device_mems,
+            shards,
+            node_sim,
+            compute_seconds,
+            allreduce_seconds,
+            allreduce_bytes,
+            cpu_fallback,
+        }
+    }
+
+    /// Whether a device failed every GPU rung; executing then requires
+    /// the COO tensor for the CPU reference fallback.
+    pub fn needs_tensor(&self) -> bool {
+        self.cpu_fallback
+    }
+
+    /// The shard block ranges, in device order.
+    pub fn ranges(&self) -> &[(usize, usize)] {
+        &self.ranges
+    }
+
+    /// Phase B: produce values. Clean runs fold each shard's block range
+    /// into one shared output in device order; faulted runs route every
+    /// contribution through a single ABFT sink with global block
+    /// ordinals. Either way the result is bit-identical to
+    /// [`Plan::execute`] on one device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model fell back to CPU and `tensor` is `None` —
+    /// `execute_sharded` surfaces that as a typed error instead.
+    pub fn execute(
+        &self,
+        ctx: &GpuContext,
+        plan: &Plan,
+        factors: &[Matrix],
+        tensor: Option<&CooTensor>,
+    ) -> (GpuRun, GridReport) {
+        let run = if self.cpu_fallback {
+            let t = tensor.expect("CPU fallback on a sharded run requires the COO tensor");
+            GpuRun {
+                y: crate::reference::mttkrp(t, factors, plan.mode()),
+                sim: ooc::cpu_fallback_sim(plan),
+                profile: None,
+                abft: None,
+            }
+        } else {
+            let mut y = Matrix::zeros(plan.out_rows(), plan.rank());
+            let mut sink = ctx
+                .fault_plan()
+                .is_some()
+                .then(|| ctx.abft_sink(plan.name(), plan.out_rows()));
+            for &(b0, b1) in &self.ranges {
+                match &mut sink {
+                    Some(s) => plan.replay_range_sequential(&mut y, factors, s, b0, b1),
+                    None => plan.replay_range_parallel(&mut y, factors, b0, b1),
+                }
+            }
+            let abft = match sink {
+                Some(mut s) => {
+                    s.flush(&mut y);
+                    s.into_data()
+                }
+                None => None,
+            };
+            GpuRun {
+                y,
+                sim: self.node_sim.clone(),
+                // Per-device timelines do not concatenate into one
+                // meaningful whole-node profile (same stance as tiling);
+                // per-device stats live in the GridReport instead.
+                profile: None,
+                abft,
+            }
+        };
+        if ctx.profiling() {
+            ctx.registry.add("sharded.executions", 1);
+            ctx.registry
+                .add("sharded.devices", self.spec.devices as u64);
+            let ooms: u64 = self.shards.iter().map(|s| s.oom_events).sum();
+            ctx.registry.add("sharded.oom_events", ooms);
+            if self.cpu_fallback {
+                ctx.registry.add("sharded.cpu_fallbacks", 1);
+            }
+        }
+        (run, self.report())
+    }
+
+    /// The grid report for the current model state (high-water marks are
+    /// read from the per-device ledgers at call time).
+    pub fn report(&self) -> GridReport {
+        let mut shards = self.shards.clone();
+        for s in &mut shards {
+            s.high_water_bytes = self.device_mems[s.device].high_water();
+        }
+        GridReport {
+            devices: self.spec.devices,
+            interconnect: self.spec.interconnect.to_string(),
+            shards,
+            compute_seconds: self.compute_seconds,
+            allreduce_seconds: self.allreduce_seconds,
+            allreduce_bytes: self.allreduce_bytes,
+            total_seconds: self.compute_seconds + self.allreduce_seconds,
+            cpu_fallback: self.cpu_fallback,
+        }
+    }
+}
+
+/// Fits one device's shard: whole-shard lease first, then tiles at the
+/// device capacity with budget halvings, mirroring the single-device
+/// out-of-core ladder (sites are device-distinguished so the injected
+/// OOM stream is stable under any device count).
+#[allow(clippy::too_many_arguments)]
+fn fit_device(
+    ctx: &GpuContext,
+    plan: &Plan,
+    opts: &OocOptions,
+    prefix: &[u64],
+    device: usize,
+    b0: usize,
+    b1: usize,
+    mem: &Arc<DeviceMemory>,
+) -> DeviceFit {
+    let fp = plan.footprint();
+    let weight = prefix[b1] - prefix[b0];
+    let mut report = DeviceShardReport {
+        device,
+        block_begin: b0,
+        block_end: b1,
+        weight,
+        in_core: false,
+        tiles_run: 0,
+        oom_events: 0,
+        high_water_bytes: 0,
+        sim_time_s: 0.0,
+        makespan_cycles: 0.0,
+        total_flops: 0,
+    };
+    // An empty shard (more devices than blocks) holds nothing and runs
+    // nothing.
+    if b0 >= b1 {
+        report.in_core = true;
+        let sim = ooc::aggregate_tiled_sim(ctx, plan, &[]);
+        return DeviceFit {
+            report,
+            sim,
+            failed: false,
+        };
+    }
+
+    let mem_plan = ctx.mem_fault_plan().cloned();
+    let capacity = mem.effective_capacity(mem_plan.as_ref());
+    let pad = |b: u64| mem.pad(b).unwrap_or(u64::MAX);
+    let share = ooc::format_share(fp, prefix, b0, b1);
+    let name = plan.name();
+
+    // Rung 0: the whole shard at once.
+    let padded = pad(fp.factor_bytes)
+        .saturating_add(pad(fp.output_bytes))
+        .saturating_add(pad(share));
+    if padded <= capacity {
+        let parts = vec![
+            (format!("{name}.factors"), fp.factor_bytes),
+            (format!("{name}.output"), fp.output_bytes),
+            (format!("{name}.shard{device}.format"), share),
+        ];
+        match mem.try_lease(name, &parts, mem_plan.as_ref(), device_site(device, 0)) {
+            Ok(_lease) => {
+                report.in_core = true;
+                report.tiles_run = 1;
+                let sim = finish_fit(ctx, plan, &mut report, &[(b0, b1)]);
+                return DeviceFit {
+                    report,
+                    sim,
+                    failed: false,
+                };
+            }
+            Err(_) => report.oom_events += 1,
+        }
+    }
+
+    // Tiled rungs: capacity budget, then halvings — the single-device
+    // ladder confined to this shard's block range.
+    let mut budget = capacity;
+    for shrink in 0..=u64::from(opts.max_shrinks) {
+        if shrink > 0 {
+            budget /= 2;
+        }
+        let Some(tiles) = ooc::plan_tiles_range(plan, budget, mem, b0, b1) else {
+            break;
+        };
+        let mut leased_all = true;
+        for (k, &(t0, t1)) in tiles.iter().enumerate() {
+            let parts = vec![
+                (format!("{name}.factors"), fp.factor_bytes),
+                (format!("{name}.output"), fp.output_bytes),
+                (
+                    format!("{name}.shard{device}.format.tile{k}"),
+                    ooc::format_share(fp, prefix, t0, t1),
+                ),
+            ];
+            let site = device_site(device, ((shrink + 1) << 32) | k as u64);
+            if mem
+                .try_lease(name, &parts, mem_plan.as_ref(), site)
+                .is_err()
+            {
+                report.oom_events += 1;
+                leased_all = false;
+                break;
+            }
+        }
+        if leased_all {
+            report.tiles_run = tiles.len();
+            let sim = finish_fit(ctx, plan, &mut report, &tiles);
+            return DeviceFit {
+                report,
+                sim,
+                failed: false,
+            };
+        }
+    }
+
+    // Every rung refused: the node degrades to the CPU reference.
+    let sim = ooc::aggregate_tiled_sim(ctx, plan, &[]);
+    DeviceFit {
+        report,
+        sim,
+        failed: true,
+    }
+}
+
+fn finish_fit(
+    ctx: &GpuContext,
+    plan: &Plan,
+    report: &mut DeviceShardReport,
+    tiles: &[(usize, usize)],
+) -> SimResult {
+    let sim = ooc::aggregate_tiled_sim(ctx, plan, tiles);
+    report.sim_time_s = sim.time_s;
+    report.makespan_cycles = sim.makespan_cycles;
+    report.total_flops = sim.total_flops;
+    sim
+}
+
+/// One-shot sharded execution: build the model, check the CPU-fallback
+/// precondition, execute. Iterative drivers should hold a [`ShardModel`]
+/// instead of paying the model phase per call.
+pub(crate) fn execute_sharded(
+    ctx: &GpuContext,
+    plan: &Plan,
+    factors: &[Matrix],
+    tensor: Option<&CooTensor>,
+    spec: &GridSpec,
+    opts: &OocOptions,
+) -> Result<(GpuRun, GridReport), LaunchError> {
+    let model = ShardModel::build(ctx, plan, spec, opts);
+    if model.needs_tensor() && tensor.is_none() {
+        return Err(LaunchError::TensorRequired);
+    }
+    Ok(model.execute(ctx, plan, factors, tensor))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_cover_and_balance() {
+        // Uniform weights: 12 blocks over 4 devices -> 3 each.
+        let prefix: Vec<u64> = (0..=12).map(|b| b as u64 * 5).collect();
+        let r = shard_ranges(&prefix, 4);
+        assert_eq!(r, vec![(0, 3), (3, 6), (6, 9), (9, 12)]);
+        // One device owns everything.
+        assert_eq!(shard_ranges(&prefix, 1), vec![(0, 12)]);
+        // More devices than blocks: trailing shards are empty, coverage
+        // stays exact and consecutive.
+        let small: Vec<u64> = vec![0, 7, 9];
+        let r = shard_ranges(&small, 4);
+        assert_eq!(r.first().unwrap().0, 0);
+        assert_eq!(r.last().unwrap().1, 2);
+        for w in r.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+    }
+
+    #[test]
+    fn skewed_weights_split_by_weight_not_count() {
+        // One huge block then many tiny ones: device 0 should get far
+        // fewer blocks than device 1.
+        let mut prefix = vec![0u64, 1000];
+        for b in 1..=10 {
+            prefix.push(1000 + b);
+        }
+        let r = shard_ranges(&prefix, 2);
+        assert_eq!(r[0].1, r[1].0);
+        assert!(r[0].1 <= 2, "heavy block should end the first shard early");
+        assert_eq!(r[1].1, 11);
+    }
+}

@@ -38,7 +38,7 @@ pub mod ttm;
 pub use abft::{run_verified, AbftOptions, KernelReport};
 pub use cpd::{
     cpd_als, cpd_als_nonneg, cpd_als_nonneg_profiled, cpd_als_profiled, cpd_als_resilient,
-    factor_match_score, CpdOptions, CpdResult, ResilienceOptions, ResilienceStats,
+    cpd_als_sharded, factor_match_score, CpdOptions, CpdResult, ResilienceOptions, ResilienceStats,
 };
 pub use reference::mttkrp as mttkrp_reference;
 

@@ -4,12 +4,12 @@
 
 use dense::Matrix;
 use mttkrp::cpu::splatt::{self, SplattOptions};
-use mttkrp::gpu::{self, GpuContext};
+use mttkrp::gpu::{AnyFormat, BuildOptions, Executor, GpuContext, KernelKind, LaunchArgs};
 use mttkrp::{outputs_match, reference};
 use proptest::prelude::*;
 use sptensor::dims::identity_perm;
 use sptensor::{CooTensor, Entry};
-use tensor_formats::{BcsfOptions, Hicoo};
+use tensor_formats::Hicoo;
 
 fn arb_case() -> impl Strategy<Value = (CooTensor, u64, usize)> {
     (3usize..=4)
@@ -36,6 +36,22 @@ fn arb_case() -> impl Strategy<Value = (CooTensor, u64, usize)> {
         .boxed()
 }
 
+/// Build-and-run through the unified Executor API.
+fn build_run(
+    ctx: &GpuContext,
+    kind: KernelKind,
+    t: &sptensor::CooTensor,
+    factors: &[dense::Matrix],
+    mode: usize,
+    build: &BuildOptions,
+) -> mttkrp::gpu::GpuRun {
+    let format = AnyFormat::build(kind, t, mode, build).expect("valid build");
+    Executor::new(ctx.clone())
+        .run(&format, &LaunchArgs::new(factors))
+        .expect("valid launch")
+        .run
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -51,16 +67,17 @@ proptest! {
         prop_assert!(outputs_match(&y, &expected), "splatt");
         let y = mttkrp::cpu::hicoo::mttkrp(&Hicoo::build(&t, 3), &factors, mode);
         prop_assert!(outputs_match(&y, &expected), "hicoo");
-        let y = gpu::bcsf::build_and_run(&ctx, &t, &factors, mode, BcsfOptions::default()).y;
+        let y = build_run(&ctx, KernelKind::Bcsf, &t, &factors, mode, &BuildOptions::default()).y;
         prop_assert!(outputs_match(&y, &expected), "bcsf");
-        let y = gpu::hbcsf::build_and_run(&ctx, &t, &factors, mode, BcsfOptions::default()).y;
+        let y = build_run(&ctx, KernelKind::Hbcsf, &t, &factors, mode, &BuildOptions::default()).y;
         prop_assert!(outputs_match(&y, &expected), "hbcsf");
-        let y = gpu::csl::build_and_run(&ctx, &t, &factors, mode).y;
+        let y = build_run(&ctx, KernelKind::Csl, &t, &factors, mode, &BuildOptions::default()).y;
         prop_assert!(outputs_match(&y, &expected), "csl");
         if t.order() == 3 {
-            let y = gpu::parti_coo::run(&ctx, &t, &factors, mode).y;
+            let y = build_run(&ctx, KernelKind::Coo, &t, &factors, mode, &BuildOptions::default()).y;
             prop_assert!(outputs_match(&y, &expected), "parti");
-            let y = gpu::fcoo::build_and_run(&ctx, &t, &factors, mode, 4).y;
+            let build = BuildOptions { fcoo_threadlen: 4, ..Default::default() };
+            let y = build_run(&ctx, KernelKind::Fcoo, &t, &factors, mode, &build).y;
             prop_assert!(outputs_match(&y, &expected), "fcoo");
         }
     }

@@ -3,10 +3,25 @@
 //! exact single-segment rows, and multi-segment rows respectively.
 
 use mttkrp::cpu::splatt::{self, SplattOptions};
-use mttkrp::gpu::{self, GpuContext};
+use mttkrp::gpu::{AnyFormat, BuildOptions, Executor, GpuContext, KernelKind, LaunchArgs};
 use mttkrp::{outputs_match, reference};
 use sptensor::synth::uniform_random;
-use tensor_formats::BcsfOptions;
+
+/// Build-and-run through the unified Executor API.
+fn build_run(
+    ctx: &GpuContext,
+    kind: KernelKind,
+    t: &sptensor::CooTensor,
+    factors: &[dense::Matrix],
+    mode: usize,
+    build: &BuildOptions,
+) -> mttkrp::gpu::GpuRun {
+    let format = AnyFormat::build(kind, t, mode, build).expect("valid build");
+    Executor::new(ctx.clone())
+        .run(&format, &LaunchArgs::new(factors))
+        .expect("valid launch")
+        .run
+}
 
 fn check_rank(r: usize) {
     let t = uniform_random(&[12, 14, 16], 600, 91 + r as u64);
@@ -14,9 +29,25 @@ fn check_rank(r: usize) {
     let ctx = GpuContext::tiny();
     for mode in 0..3 {
         let expected = reference::mttkrp(&t, &factors, mode);
-        let y = gpu::hbcsf::build_and_run(&ctx, &t, &factors, mode, BcsfOptions::default()).y;
+        let y = build_run(
+            &ctx,
+            KernelKind::Hbcsf,
+            &t,
+            &factors,
+            mode,
+            &BuildOptions::default(),
+        )
+        .y;
         assert!(outputs_match(&y, &expected), "hbcsf R={r} mode {mode}");
-        let y = gpu::parti_coo::run(&ctx, &t, &factors, mode).y;
+        let y = build_run(
+            &ctx,
+            KernelKind::Coo,
+            &t,
+            &factors,
+            mode,
+            &BuildOptions::default(),
+        )
+        .y;
         assert!(outputs_match(&y, &expected), "parti R={r} mode {mode}");
         let y = splatt::mttkrp(&t, &factors, mode, SplattOptions::nontiled());
         assert!(outputs_match(&y, &expected), "splatt R={r} mode {mode}");
@@ -48,8 +79,22 @@ fn wide_rank_rows_cost_more_segments() {
     let ctx = GpuContext::tiny();
     let f32_ = reference::random_factors(&t, 32, 3);
     let f64_ = reference::random_factors(&t, 64, 3);
-    let a = gpu::hbcsf::build_and_run(&ctx, &t, &f32_, 0, BcsfOptions::default());
-    let b = gpu::hbcsf::build_and_run(&ctx, &t, &f64_, 0, BcsfOptions::default());
+    let a = build_run(
+        &ctx,
+        KernelKind::Hbcsf,
+        &t,
+        &f32_,
+        0,
+        &BuildOptions::default(),
+    );
+    let b = build_run(
+        &ctx,
+        KernelKind::Hbcsf,
+        &t,
+        &f64_,
+        0,
+        &BuildOptions::default(),
+    );
     let ratio = b.sim.mem_segments as f64 / a.sim.mem_segments as f64;
     assert!(
         (1.5..2.5).contains(&ratio),

@@ -31,8 +31,8 @@ pub mod table;
 
 pub use chrome::{ChromeTrace, TraceEvent};
 pub use manifest::{
-    IterationRecord, MemEventRecord, MemoryRecord, ModeTiming, PhaseTiming, ResilienceRecord,
-    RunManifest,
+    DeviceRecord, GridRecord, IterationRecord, MemEventRecord, MemoryRecord, ModeTiming,
+    PhaseTiming, ResilienceRecord, RunManifest,
 };
 pub use registry::{Registry, ScopedSpan, SpanRecord};
 pub use table::{nvprof_table, MetricRow};

@@ -88,8 +88,8 @@ pub struct MemEventRecord {
     pub rung: String,
     pub budget_bytes: u64,
     pub tiles: usize,
-    /// `"ok"`, `"oom-injected"`, `"exceeds-capacity"`, or
-    /// `"budget-too-small"`.
+    /// `"ok"`, `"oom-injected"`, `"exceeds-capacity"`,
+    /// `"budget-too-small"`, or `"untileable"`.
     pub outcome: String,
 }
 
@@ -143,6 +143,89 @@ impl MemoryRecord {
     }
 }
 
+/// One simulated device's share of a multi-device (sharded) run.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
+pub struct DeviceRecord {
+    /// Device ordinal within the grid.
+    pub device: usize,
+    /// Sharded kernel launches this device modeled.
+    pub launches: u64,
+    /// Tiles streamed when the shard had to run out-of-core.
+    pub tiles: u64,
+    /// Modeled compute seconds accumulated on this device.
+    pub sim_seconds: f64,
+    /// Total floating-point operations attributed to this device.
+    pub total_flops: u64,
+    /// Allocation refusals against this device's memory.
+    pub oom_events: u64,
+    /// High-water mark of this device's memory, in bytes.
+    pub high_water_bytes: u64,
+}
+
+impl DeviceRecord {
+    /// Accumulates another device record (same ordinal expected).
+    pub fn merge(&mut self, other: &DeviceRecord) {
+        self.launches += other.launches;
+        self.tiles += other.tiles;
+        self.sim_seconds += other.sim_seconds;
+        self.total_flops += other.total_flops;
+        self.oom_events += other.oom_events;
+        self.high_water_bytes = self.high_water_bytes.max(other.high_water_bytes);
+    }
+}
+
+/// Multi-device sharding telemetry accumulated over a run: how many
+/// devices the grid modeled, what the interconnect cost, and each
+/// device's share. All zeros/empty for a single-device run.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
+pub struct GridRecord {
+    /// Devices in the modeled grid (0 when no sharded launch ran).
+    pub devices: usize,
+    /// Interconnect description, e.g. `"nvlink (20.0 GB/s, 1.3 µs)"`.
+    pub interconnect: String,
+    /// Total bytes crossing interconnect links in modeled all-reduces.
+    pub allreduce_bytes: u64,
+    /// Total modeled all-reduce seconds.
+    pub allreduce_seconds: f64,
+    /// Total modeled compute seconds (max over devices, summed across
+    /// launches — the node-level critical path without communication).
+    pub compute_seconds: f64,
+    /// Sharded kernel launches recorded.
+    pub launches: u64,
+    /// Per-device shares, indexed by device ordinal.
+    pub per_device: Vec<DeviceRecord>,
+}
+
+impl GridRecord {
+    /// Whether any sharded execution was recorded.
+    pub fn any(&self) -> bool {
+        *self != GridRecord::default()
+    }
+
+    /// Accumulates another grid record: counts and times add, the device
+    /// count takes the max, and per-device entries merge by ordinal.
+    pub fn merge(&mut self, other: &GridRecord) {
+        self.devices = self.devices.max(other.devices);
+        if self.interconnect.is_empty() {
+            self.interconnect = other.interconnect.clone();
+        }
+        self.allreduce_bytes += other.allreduce_bytes;
+        self.allreduce_seconds += other.allreduce_seconds;
+        self.compute_seconds += other.compute_seconds;
+        self.launches += other.launches;
+        for d in &other.per_device {
+            while self.per_device.len() <= d.device {
+                let device = self.per_device.len();
+                self.per_device.push(DeviceRecord {
+                    device,
+                    ..DeviceRecord::default()
+                });
+            }
+            self.per_device[d.device].merge(d);
+        }
+    }
+}
+
 /// Telemetry of a full CPD-ALS run.
 #[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct RunManifest {
@@ -166,6 +249,9 @@ pub struct RunManifest {
     /// Device-memory pressure and out-of-core activity (all zeros when
     /// the run executed unconstrained).
     pub memory: MemoryRecord,
+    /// Multi-device sharding and interconnect activity (all zeros when
+    /// the run executed on a single device).
+    pub grid: GridRecord,
 }
 
 impl RunManifest {
@@ -193,6 +279,7 @@ impl RunManifest {
             iterations_run: 0,
             resilience: ResilienceRecord::default(),
             memory: MemoryRecord::default(),
+            grid: GridRecord::default(),
         }
     }
 

@@ -139,6 +139,13 @@ impl Bcsf {
         self.csf.nnz()
     }
 
+    /// The output mode an MTTKRP over this layout computes
+    /// (`csf.perm[0]`).
+    #[inline]
+    pub fn output_mode(&self) -> usize {
+        self.csf.perm[0]
+    }
+
     /// Number of thread blocks the kernel will launch.
     #[inline]
     pub fn num_blocks(&self) -> usize {

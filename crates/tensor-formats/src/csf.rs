@@ -127,6 +127,12 @@ impl Csf {
         self.perm.len()
     }
 
+    /// The output mode an MTTKRP over this layout computes (`perm[0]`).
+    #[inline]
+    pub fn output_mode(&self) -> usize {
+        self.perm[0]
+    }
+
     /// Number of nonzeros `M`.
     #[inline]
     pub fn nnz(&self) -> usize {

@@ -121,6 +121,12 @@ impl Fcoo {
         self.perm.len()
     }
 
+    /// The output mode an MTTKRP over this layout computes (`perm[0]`).
+    #[inline]
+    pub fn output_mode(&self) -> usize {
+        self.perm[0]
+    }
+
     #[inline]
     pub fn nnz(&self) -> usize {
         self.vals.len()

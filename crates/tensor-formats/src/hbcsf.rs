@@ -148,6 +148,12 @@ impl Hbcsf {
         self.perm.len()
     }
 
+    /// The output mode an MTTKRP over this layout computes (`perm[0]`).
+    #[inline]
+    pub fn output_mode(&self) -> usize {
+        self.perm[0]
+    }
+
     /// Total nonzeros across the three groups.
     pub fn nnz(&self) -> usize {
         self.coo_vals.len() + self.csl.nnz() + self.bcsf.nnz()

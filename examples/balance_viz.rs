@@ -12,7 +12,7 @@
 //! Chrome-trace format (one process per variant) for Perfetto.
 
 use mttkrp_repro::gpu_sim::{append_chrome_trace, simulate_profiled, Timeline};
-use mttkrp_repro::mttkrp::gpu::{bcsf::emit_launch, GpuContext};
+use mttkrp_repro::mttkrp::gpu::{GpuContext, MttkrpKernel};
 use mttkrp_repro::mttkrp::reference::random_factors;
 use mttkrp_repro::simprof::{ChromeTrace, Registry};
 use mttkrp_repro::sptensor::{mode_orientation, synth};
@@ -55,7 +55,7 @@ fn main() {
     .enumerate()
     {
         let bcsf = Bcsf::build(&t, &perm, opts);
-        let launch = emit_launch(&ctx, &bcsf, &factors);
+        let launch = bcsf.capture(&ctx, factors[0].cols()).into_launch();
         let (sim, profile) = simulate_profiled(&ctx.device, &ctx.cost, &launch, &registry);
         println!(
             "— {label}: makespan {:.0}k cycles, sm_efficiency {:.0}%, {} blocks",

@@ -11,7 +11,7 @@
 //! ```
 
 use mttkrp_repro::mttkrp::cpd::{cpd_als, CpdOptions};
-use mttkrp_repro::mttkrp::gpu::GpuContext;
+use mttkrp_repro::mttkrp::gpu::{Executor, GpuContext, LaunchArgs};
 use mttkrp_repro::sptensor::{mode_orientation, synth};
 use mttkrp_repro::tensor_formats::{BcsfOptions, Hbcsf};
 
@@ -27,7 +27,7 @@ fn main() {
     // Pre-build one HB-CSF per mode (ALLMODE): CPD runs MTTKRP for every
     // mode each iteration, so the construction cost amortizes (paper
     // Figs. 9-10).
-    let ctx = GpuContext::default();
+    let exec = Executor::new(GpuContext::default());
     let formats: Vec<Hbcsf> = (0..tensor.order())
         .map(|m| {
             let perm = mode_orientation(tensor.order(), m);
@@ -43,7 +43,10 @@ fn main() {
     };
     let mut sim_seconds = 0.0f64;
     let result = cpd_als(&tensor, &opts, |factors, mode| {
-        let run = mttkrp_repro::mttkrp::gpu::hbcsf::run(&ctx, &formats[mode], factors);
+        let run = exec
+            .run(&formats[mode], &LaunchArgs::new(factors))
+            .expect("valid launch")
+            .run;
         sim_seconds += run.sim.time_s;
         run.y
     });

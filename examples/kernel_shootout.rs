@@ -6,10 +6,11 @@
 //! cargo run --release --example kernel_shootout -- darpa
 //! ```
 
-use mttkrp_repro::mttkrp::gpu::{self, GpuContext};
+use mttkrp_repro::mttkrp::gpu::{
+    AnyFormat, BuildOptions, Executor, GpuContext, GpuRun, KernelKind, LaunchArgs,
+};
 use mttkrp_repro::mttkrp::reference::{self, random_factors};
 use mttkrp_repro::sptensor::synth;
-use mttkrp_repro::tensor_formats::BcsfOptions;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,32 +45,26 @@ fn main() {
         "kernel", "GFLOPs", "occup%", "sm-eff%", "L2-hit%", "atomics", "rel-err"
     );
 
-    let runs: Vec<(&str, gpu::GpuRun)> = vec![
-        (
-            "parti-coo (atomics)",
-            gpu::parti_coo::run(&ctx, &t, &factors, 0),
-        ),
-        (
-            "f-coo (seg-scan)",
-            gpu::fcoo::build_and_run(&ctx, &t, &factors, 0, gpu::fcoo::DEFAULT_THREADLEN),
-        ),
-        (
-            "gpu-csf (unsplit)",
-            gpu::csf::build_and_run(&ctx, &t, &factors, 0),
-        ),
-        (
-            "b-csf (fbr+slc split)",
-            gpu::bcsf::build_and_run(&ctx, &t, &factors, 0, BcsfOptions::default()),
-        ),
-        (
-            "csl (packed warps)",
-            gpu::csl::build_and_run(&ctx, &t, &factors, 0),
-        ),
-        (
-            "hb-csf (hybrid)",
-            gpu::hbcsf::build_and_run(&ctx, &t, &factors, 0, BcsfOptions::default()),
-        ),
+    let exec = Executor::new(ctx);
+    let contenders = [
+        ("parti-coo (atomics)", KernelKind::Coo),
+        ("f-coo (seg-scan)", KernelKind::Fcoo),
+        ("gpu-csf (unsplit)", KernelKind::Csf),
+        ("b-csf (fbr+slc split)", KernelKind::Bcsf),
+        ("csl (packed warps)", KernelKind::Csl),
+        ("hb-csf (hybrid)", KernelKind::Hbcsf),
     ];
+    let runs: Vec<(&str, GpuRun)> = contenders
+        .iter()
+        .map(|&(label, kind)| {
+            let format =
+                AnyFormat::build(kind, &t, 0, &BuildOptions::default()).expect("valid build");
+            let launched = exec
+                .run(&format, &LaunchArgs::new(&factors))
+                .expect("valid launch");
+            (label, launched.run)
+        })
+        .collect();
 
     for (label, run) in runs {
         let gflops = flops / run.sim.time_s.max(1e-30) / 1e9;

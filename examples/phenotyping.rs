@@ -13,7 +13,7 @@
 //! ```
 
 use mttkrp_repro::mttkrp::cpd::{cpd_als_nonneg, CpdOptions};
-use mttkrp_repro::mttkrp::gpu::{self, GpuContext};
+use mttkrp_repro::mttkrp::gpu::{Executor, GpuContext, LaunchArgs};
 use mttkrp_repro::sptensor::{mode_orientation, CooTensor};
 use mttkrp_repro::tensor_formats::{BcsfOptions, Hbcsf};
 use rand::{Rng, SeedableRng};
@@ -32,7 +32,7 @@ fn main() {
         tensor.nnz()
     );
 
-    let ctx = GpuContext::default();
+    let exec = Executor::new(GpuContext::default());
     let formats: Vec<Hbcsf> = (0..3)
         .map(|m| Hbcsf::build(&tensor, &mode_orientation(3, m), BcsfOptions::default()))
         .collect();
@@ -43,7 +43,10 @@ fn main() {
         seed: 7,
     };
     let result = cpd_als_nonneg(&tensor, &opts, |factors, mode| {
-        gpu::hbcsf::run(&ctx, &formats[mode], factors).y
+        exec.run(&formats[mode], &LaunchArgs::new(factors))
+            .expect("valid launch")
+            .run
+            .y
     });
     println!(
         "non-negative CPD: fit {:.3} after {} iterations\n",

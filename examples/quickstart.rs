@@ -6,7 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use mttkrp_repro::mttkrp::gpu::GpuContext;
+use mttkrp_repro::mttkrp::gpu::{Executor, GpuContext, LaunchArgs};
 use mttkrp_repro::mttkrp::{mttkrp_reference, reference::random_factors};
 use mttkrp_repro::sptensor::{mode_orientation, synth};
 use mttkrp_repro::tensor_formats::{BcsfOptions, Hbcsf, IndexBytes};
@@ -39,8 +39,11 @@ fn main() {
     );
 
     // 4. Run the composite kernel on the simulated Tesla P100.
-    let ctx = GpuContext::default();
-    let run = mttkrp_repro::mttkrp::gpu::hbcsf::run(&ctx, &hb, &factors);
+    let exec = Executor::new(GpuContext::default());
+    let run = exec
+        .run(&hb, &LaunchArgs::new(&factors))
+        .expect("valid launch")
+        .run;
     println!(
         "simulated: {:.2} ms, sm_efficiency {:.0}%, occupancy {:.0}%, L2 hit {:.0}%",
         run.sim.time_s * 1e3,

@@ -2,11 +2,14 @@
 //! CPU kernels are order-generic — these tests pin that generality.
 
 use mttkrp_repro::mttkrp::cpu::splatt::{self, SplattOptions};
-use mttkrp_repro::mttkrp::gpu::{self, GpuContext};
+use mttkrp_repro::mttkrp::gpu::{GpuContext, KernelKind};
+
+mod util;
 use mttkrp_repro::mttkrp::{outputs_match, reference};
 use mttkrp_repro::sptensor::synth::uniform_random;
 use mttkrp_repro::sptensor::{identity_perm, mode_orientation};
 use mttkrp_repro::tensor_formats::{BcsfOptions, Csf, Fcoo, Hbcsf, Hicoo, IndexBytes};
+use util::build_run_default;
 
 #[test]
 fn order5_formats_round_trip() {
@@ -38,7 +41,7 @@ fn order5_kernels_match_reference() {
         let expected = reference::mttkrp(&t, &factors, mode);
         let y = splatt::mttkrp(&t, &factors, mode, SplattOptions::nontiled());
         assert!(outputs_match(&y, &expected), "splatt mode {mode}");
-        let run = gpu::hbcsf::build_and_run(&ctx, &t, &factors, mode, BcsfOptions::default());
+        let run = build_run_default(&ctx, KernelKind::Hbcsf, &t, &factors, mode);
         assert!(outputs_match(&run.y, &expected), "hbcsf mode {mode}");
         let y = mttkrp_repro::mttkrp::cpu::toolbox::mttkrp(&t, &factors, mode);
         assert!(outputs_match(&y, &expected), "toolbox mode {mode}");

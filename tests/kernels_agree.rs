@@ -3,11 +3,14 @@
 //! COO reference on every dataset stand-in and every mode.
 
 use mttkrp_repro::mttkrp::cpu::splatt::{self, SplattOptions};
-use mttkrp_repro::mttkrp::gpu::{self, GpuContext};
+use mttkrp_repro::mttkrp::gpu::{GpuContext, KernelKind};
 use mttkrp_repro::mttkrp::{self, outputs_match, reference};
 use mttkrp_repro::sptensor::synth::{standins, SynthConfig};
 use mttkrp_repro::sptensor::CooTensor;
-use mttkrp_repro::tensor_formats::{BcsfOptions, Hicoo};
+use mttkrp_repro::tensor_formats::Hicoo;
+
+mod util;
+use util::build_run_default;
 
 fn cases() -> Vec<(String, CooTensor)> {
     let cfg = SynthConfig::tiny();
@@ -58,25 +61,28 @@ fn gpu_backends_match_reference_on_all_standins() {
             };
             check(
                 "gpu-csf",
-                &gpu::csf::build_and_run(&ctx, &t, &factors, mode).y,
+                &build_run_default(&ctx, KernelKind::Csf, &t, &factors, mode).y,
             );
             check(
                 "b-csf",
-                &gpu::bcsf::build_and_run(&ctx, &t, &factors, mode, BcsfOptions::default()).y,
+                &build_run_default(&ctx, KernelKind::Bcsf, &t, &factors, mode).y,
             );
-            check("csl", &gpu::csl::build_and_run(&ctx, &t, &factors, mode).y);
+            check(
+                "csl",
+                &build_run_default(&ctx, KernelKind::Csl, &t, &factors, mode).y,
+            );
             check(
                 "hb-csf",
-                &gpu::hbcsf::build_and_run(&ctx, &t, &factors, mode, BcsfOptions::default()).y,
+                &build_run_default(&ctx, KernelKind::Hbcsf, &t, &factors, mode).y,
             );
             if t.order() == 3 {
                 check(
                     "parti-coo",
-                    &gpu::parti_coo::run(&ctx, &t, &factors, mode).y,
+                    &build_run_default(&ctx, KernelKind::Coo, &t, &factors, mode).y,
                 );
                 check(
                     "f-coo",
-                    &gpu::fcoo::build_and_run(&ctx, &t, &factors, mode, 8).y,
+                    &build_run_default(&ctx, KernelKind::Fcoo, &t, &factors, mode).y,
                 );
             }
         }
@@ -88,8 +94,8 @@ fn gpu_kernels_are_deterministic() {
     let ctx = GpuContext::tiny();
     let t = standins()[0].generate(&SynthConfig::tiny());
     let factors = reference::random_factors(&t, 8, 3);
-    let a = gpu::hbcsf::build_and_run(&ctx, &t, &factors, 0, BcsfOptions::default());
-    let b = gpu::hbcsf::build_and_run(&ctx, &t, &factors, 0, BcsfOptions::default());
+    let a = build_run_default(&ctx, KernelKind::Hbcsf, &t, &factors, 0);
+    let b = build_run_default(&ctx, KernelKind::Hbcsf, &t, &factors, 0);
     assert_eq!(a.sim.makespan_cycles, b.sim.makespan_cycles);
     assert_eq!(a.sim.l2_hit_rate, b.sim.l2_hit_rate);
     assert_eq!(a.y, b.y);

@@ -5,11 +5,20 @@
 //! between. Every conclusion below must hold at BOTH bounds.
 
 use mttkrp_repro::gpu_sim::{co_resident_makespan, simulate_faulted, FaultPlan};
-use mttkrp_repro::mttkrp::gpu::{bcsf::emit_launch, GpuContext};
+use mttkrp_repro::mttkrp::gpu::{GpuContext, MttkrpKernel};
 use mttkrp_repro::mttkrp::reference::random_factors;
 use mttkrp_repro::sptensor::mode_orientation;
 use mttkrp_repro::sptensor::synth::{standin, SynthConfig};
 use mttkrp_repro::tensor_formats::{Bcsf, BcsfOptions};
+
+/// Capture a B-CSF launch through the unified kernel API.
+fn emit_launch(
+    ctx: &GpuContext,
+    bcsf: &Bcsf,
+    factors: &[mttkrp_repro::dense::Matrix],
+) -> mttkrp_repro::gpu_sim::KernelLaunch {
+    bcsf.capture(ctx, factors[0].cols()).into_launch()
+}
 
 fn both_bounds(ctx: &GpuContext, launch: &mttkrp_repro::gpu_sim::KernelLaunch) -> (f64, f64) {
     let serial = mttkrp_repro::gpu_sim::simulate(&ctx.device, &ctx.cost, launch).makespan_cycles;

@@ -7,13 +7,14 @@
 //! under a fixed seed.
 
 use mttkrp_repro::gpu_sim::{DeviceMemory, FaultPlan};
-use mttkrp_repro::mttkrp::gpu::{self, GpuContext, OocOptions, Plan};
+use mttkrp_repro::mttkrp::gpu::{self, GpuContext, KernelKind, OocOptions, Plan};
 use mttkrp_repro::mttkrp::reference::{self, random_factors};
 use mttkrp_repro::sptensor::synth::uniform_random;
-use mttkrp_repro::sptensor::{mode_orientation, CooTensor};
-use mttkrp_repro::tensor_formats::{Bcsf, BcsfOptions, Csf, Csl, Fcoo, Hbcsf};
+use mttkrp_repro::sptensor::CooTensor;
+mod util;
 use proptest::prelude::*;
 use std::sync::Arc;
+use util::capture_plan;
 
 /// One kernel's capture entry point, over a COO tensor.
 struct KernelCase {
@@ -27,55 +28,32 @@ const CASES: &[KernelCase] = &[
     KernelCase {
         name: "parti-coo",
         orders: &[3],
-        plan: |ctx, t, mode, rank| gpu::parti_coo::plan(ctx, t, mode, rank),
+        plan: |ctx, t, mode, rank| capture_plan(ctx, KernelKind::Coo, t, mode, rank),
     },
     KernelCase {
         name: "f-coo",
         orders: &[3],
-        plan: |ctx, t, mode, rank| {
-            let fcoo = Fcoo::build(t, &mode_orientation(t.order(), mode), 8);
-            gpu::fcoo::plan(ctx, &fcoo, rank)
-        },
+        plan: |ctx, t, mode, rank| capture_plan(ctx, KernelKind::Fcoo, t, mode, rank),
     },
     KernelCase {
         name: "gpu-csf",
         orders: &[3, 4],
-        plan: |ctx, t, mode, rank| {
-            let csf = Csf::build(t, &mode_orientation(t.order(), mode));
-            gpu::csf::plan(ctx, &csf, rank)
-        },
+        plan: |ctx, t, mode, rank| capture_plan(ctx, KernelKind::Csf, t, mode, rank),
     },
     KernelCase {
         name: "b-csf",
         orders: &[3, 4],
-        plan: |ctx, t, mode, rank| {
-            let b = Bcsf::build(
-                t,
-                &mode_orientation(t.order(), mode),
-                BcsfOptions::default(),
-            );
-            gpu::bcsf::plan(ctx, &b, rank)
-        },
+        plan: |ctx, t, mode, rank| capture_plan(ctx, KernelKind::Bcsf, t, mode, rank),
     },
     KernelCase {
         name: "csl",
         orders: &[3, 4],
-        plan: |ctx, t, mode, rank| {
-            let c = Csl::build(t, &mode_orientation(t.order(), mode));
-            gpu::csl::plan(ctx, &c, rank)
-        },
+        plan: |ctx, t, mode, rank| capture_plan(ctx, KernelKind::Csl, t, mode, rank),
     },
     KernelCase {
         name: "hb-csf",
         orders: &[3, 4],
-        plan: |ctx, t, mode, rank| {
-            let h = Hbcsf::build(
-                t,
-                &mode_orientation(t.order(), mode),
-                BcsfOptions::default(),
-            );
-            gpu::hbcsf::plan(ctx, &h, rank)
-        },
+        plan: |ctx, t, mode, rank| capture_plan(ctx, KernelKind::Hbcsf, t, mode, rank),
     },
 ];
 

@@ -6,80 +6,58 @@
 
 use mttkrp_repro::dense::Matrix;
 use mttkrp_repro::gpu_sim::FaultPlan;
-use mttkrp_repro::mttkrp::gpu::{self, GpuContext, Plan};
+use mttkrp_repro::mttkrp::gpu::{GpuContext, GpuRun, KernelKind, Plan};
 use mttkrp_repro::mttkrp::reference::random_factors;
 use mttkrp_repro::sptensor::synth::uniform_random;
-use mttkrp_repro::sptensor::{mode_orientation, CooTensor};
-use mttkrp_repro::tensor_formats::{Bcsf, BcsfOptions, Csf, Csl, Fcoo, Hbcsf};
+use mttkrp_repro::sptensor::CooTensor;
+mod util;
+use util::{build_run_default, capture_plan};
 
-/// One kernel's capture and legacy entry points, over a COO tensor.
+/// One kernel's capture and one-shot entry points, over a COO tensor.
 struct KernelCase {
     name: &'static str,
     /// Tensor orders the kernel supports (F-COO/ParTI-COO are 3-D only).
     orders: &'static [usize],
     plan: fn(&GpuContext, &CooTensor, usize, usize) -> Plan,
-    run: fn(&GpuContext, &CooTensor, &[Matrix], usize) -> gpu::GpuRun,
+    run: fn(&GpuContext, &CooTensor, &[Matrix], usize) -> GpuRun,
 }
 
 const CASES: &[KernelCase] = &[
     KernelCase {
         name: "parti-coo",
         orders: &[3],
-        plan: |ctx, t, mode, rank| gpu::parti_coo::plan(ctx, t, mode, rank),
-        run: |ctx, t, f, mode| gpu::parti_coo::run(ctx, t, f, mode),
+        plan: |ctx, t, mode, rank| capture_plan(ctx, KernelKind::Coo, t, mode, rank),
+        run: |ctx, t, f, mode| build_run_default(ctx, KernelKind::Coo, t, f, mode),
     },
     KernelCase {
         name: "f-coo",
         orders: &[3],
-        plan: |ctx, t, mode, rank| {
-            let fcoo = Fcoo::build(t, &mode_orientation(t.order(), mode), 8);
-            gpu::fcoo::plan(ctx, &fcoo, rank)
-        },
-        run: |ctx, t, f, mode| gpu::fcoo::build_and_run(ctx, t, f, mode, 8),
+        plan: |ctx, t, mode, rank| capture_plan(ctx, KernelKind::Fcoo, t, mode, rank),
+        run: |ctx, t, f, mode| build_run_default(ctx, KernelKind::Fcoo, t, f, mode),
     },
     KernelCase {
         name: "gpu-csf",
         orders: &[3, 4],
-        plan: |ctx, t, mode, rank| {
-            let csf = Csf::build(t, &mode_orientation(t.order(), mode));
-            gpu::csf::plan(ctx, &csf, rank)
-        },
-        run: |ctx, t, f, mode| gpu::csf::build_and_run(ctx, t, f, mode),
+        plan: |ctx, t, mode, rank| capture_plan(ctx, KernelKind::Csf, t, mode, rank),
+        run: |ctx, t, f, mode| build_run_default(ctx, KernelKind::Csf, t, f, mode),
     },
     KernelCase {
         name: "b-csf",
         orders: &[3, 4],
-        plan: |ctx, t, mode, rank| {
-            let b = Bcsf::build(
-                t,
-                &mode_orientation(t.order(), mode),
-                BcsfOptions::default(),
-            );
-            gpu::bcsf::plan(ctx, &b, rank)
-        },
-        run: |ctx, t, f, mode| gpu::bcsf::build_and_run(ctx, t, f, mode, BcsfOptions::default()),
+        plan: |ctx, t, mode, rank| capture_plan(ctx, KernelKind::Bcsf, t, mode, rank),
+        run: |ctx, t, f, mode| build_run_default(ctx, KernelKind::Bcsf, t, f, mode),
     },
     KernelCase {
         name: "csl",
         orders: &[3, 4],
-        plan: |ctx, t, mode, rank| {
-            let c = Csl::build(t, &mode_orientation(t.order(), mode));
-            gpu::csl::plan(ctx, &c, rank)
-        },
-        run: |ctx, t, f, mode| gpu::csl::build_and_run(ctx, t, f, mode),
+        plan: |ctx, t, mode, rank| capture_plan(ctx, KernelKind::Csl, t, mode, rank),
+        run: |ctx, t, f, mode| build_run_default(ctx, KernelKind::Csl, t, f, mode),
     },
     KernelCase {
         name: "hb-csf",
         orders: &[3, 4],
-        plan: |ctx, t, mode, rank| {
-            let h = Hbcsf::build(
-                t,
-                &mode_orientation(t.order(), mode),
-                BcsfOptions::default(),
-            );
-            gpu::hbcsf::plan(ctx, &h, rank)
-        },
-        run: |ctx, t, f, mode| gpu::hbcsf::build_and_run(ctx, t, f, mode, BcsfOptions::default()),
+        plan: |ctx, t, mode, rank| capture_plan(ctx, KernelKind::Hbcsf, t, mode, rank),
+        run: |ctx, t, f, mode| build_run_default(ctx, KernelKind::Hbcsf, t, f, mode),
     },
 ];
 
@@ -104,7 +82,7 @@ fn bits64(v: &[f64]) -> Vec<u64> {
 }
 
 /// Full bit-for-bit comparison of two kernel executions.
-fn assert_runs_equal(a: &gpu::GpuRun, b: &gpu::GpuRun, what: &str) {
+fn assert_runs_equal(a: &GpuRun, b: &GpuRun, what: &str) {
     assert_eq!(bits32(a.y.data()), bits32(b.y.data()), "{what}: y differs");
     assert_eq!(a.sim, b.sim, "{what}: SimResult differs");
     match (&a.profile, &b.profile) {

@@ -6,7 +6,7 @@
 
 use mttkrp_repro::gpu_sim::FaultPlan;
 use mttkrp_repro::mttkrp::abft::{run_verified, AbftOptions};
-use mttkrp_repro::mttkrp::gpu::{self, GpuContext};
+use mttkrp_repro::mttkrp::gpu::{GpuContext, KernelKind};
 use mttkrp_repro::mttkrp::{
     cpd_als, cpd_als_resilient, outputs_match, reference, CpdOptions, ResilienceOptions,
 };
@@ -14,6 +14,9 @@ use mttkrp_repro::simprof::RunManifest;
 use mttkrp_repro::sptensor::mode_orientation;
 use mttkrp_repro::sptensor::synth::uniform_random;
 use mttkrp_repro::tensor_formats::{BcsfOptions, Hbcsf};
+
+mod util;
+use util::{build_run_default, run_kernel};
 
 /// Property: a rate-zero (inactive) fault plan leaves every GPU kernel's
 /// output AND simulator counters bit-for-bit identical to a plain run, and
@@ -26,38 +29,23 @@ fn disabled_faults_are_bit_for_bit_invisible_on_every_kernel() {
     let none = GpuContext::tiny()
         .with_faults(FaultPlan::parse("none", 0xFA17).expect("'none' spec must parse"));
 
-    type Runner = fn(&GpuContext, &mttkrp_repro::sptensor::CooTensor) -> gpu::GpuRun;
-    let kernels: Vec<(&str, Runner)> = vec![
-        ("gpu-csf", |c, t| {
-            let f = reference::random_factors(t, 8, 5);
-            gpu::csf::build_and_run(c, t, &f, 0)
-        }),
-        ("b-csf", |c, t| {
-            let f = reference::random_factors(t, 8, 5);
-            gpu::bcsf::build_and_run(c, t, &f, 0, BcsfOptions::default())
-        }),
-        ("csl", |c, t| {
-            let f = reference::random_factors(t, 8, 5);
-            gpu::csl::build_and_run(c, t, &f, 0)
-        }),
-        ("hb-csf", |c, t| {
-            let f = reference::random_factors(t, 8, 5);
-            gpu::hbcsf::build_and_run(c, t, &f, 0, BcsfOptions::default())
-        }),
-        ("parti-coo", |c, t| {
-            let f = reference::random_factors(t, 8, 5);
-            gpu::parti_coo::run(c, t, &f, 0)
-        }),
-        ("f-coo", |c, t| {
-            let f = reference::random_factors(t, 8, 5);
-            gpu::fcoo::build_and_run(c, t, &f, 0, 8)
-        }),
+    let kernels: Vec<(&str, KernelKind)> = vec![
+        ("gpu-csf", KernelKind::Csf),
+        ("b-csf", KernelKind::Bcsf),
+        ("csl", KernelKind::Csl),
+        ("hb-csf", KernelKind::Hbcsf),
+        ("parti-coo", KernelKind::Coo),
+        ("f-coo", KernelKind::Fcoo),
     ];
+    let run = |c: &GpuContext, t: &mttkrp_repro::sptensor::CooTensor, kind| {
+        let f = reference::random_factors(t, 8, 5);
+        build_run_default(c, kind, t, &f, 0)
+    };
 
-    for (name, run) in kernels {
-        let base = run(&plain, &t);
+    for (name, kind) in kernels {
+        let base = run(&plain, &t, kind);
         for (label, ctx) in [("rate-0", &zeroed), ("spec 'none'", &none)] {
-            let faulted = run(ctx, &t);
+            let faulted = run(ctx, &t, kind);
             assert_eq!(
                 base.y.data(),
                 faulted.y.data(),
@@ -91,7 +79,7 @@ fn abft_detects_flips_and_recovery_restores_reference_output() {
     for seed in [7u64, 11, 13] {
         let ctx = GpuContext::tiny().with_faults(FaultPlan::bitflips(0.15, seed));
         let (run, report) = run_verified(&ctx, &t, &factors, 0, &AbftOptions::default(), |c| {
-            gpu::hbcsf::run(c, &h, &factors)
+            run_kernel(c, &h, &factors)
         });
         total_flips += report.flips_applied;
         total_corrupted += report.corrupted_rows.len();
@@ -134,10 +122,7 @@ fn resilient_cpd_under_faults_stays_within_one_percent_of_clean_fit() {
     };
 
     let clean_ctx = GpuContext::tiny();
-    let clean_fit = cpd_als(&t, &opts, |f, m| {
-        gpu::hbcsf::run(&clean_ctx, &formats[m], f).y
-    })
-    .final_fit();
+    let clean_fit = cpd_als(&t, &opts, |f, m| run_kernel(&clean_ctx, &formats[m], f).y).final_fit();
 
     let ctx = GpuContext::tiny().with_faults(FaultPlan::bitflips(1e-3, 0xFA17));
     let mut manifest = RunManifest::new("hbcsf", "uniform", opts.rank, opts.max_iters, 0.0, 3);
@@ -147,7 +132,7 @@ fn resilient_cpd_under_faults_stays_within_one_percent_of_clean_fit() {
         &ResilienceOptions::default(),
         |f, m| {
             run_verified(&ctx, &t, f, m, &AbftOptions::default(), |c| {
-                gpu::hbcsf::run(c, &formats[m], f)
+                run_kernel(c, &formats[m], f)
             })
             .0
             .y

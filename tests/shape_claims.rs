@@ -1,11 +1,14 @@
 //! End-to-end assertions of the paper's headline claims, at miniature
 //! scale: these are the conclusions every figure exists to support.
 
-use mttkrp_repro::mttkrp::gpu::{self, GpuContext};
+use mttkrp_repro::mttkrp::gpu::{BuildOptions, GpuContext, KernelKind};
 use mttkrp_repro::mttkrp::reference;
 use mttkrp_repro::sptensor::synth::{standin, SynthConfig};
 use mttkrp_repro::sptensor::{identity_perm, mode_orientation};
 use mttkrp_repro::tensor_formats::{Bcsf, BcsfOptions, Csf, Hbcsf, IndexBytes};
+
+mod util;
+use util::{build_run, build_run_default, run_kernel};
 
 fn cfg() -> SynthConfig {
     SynthConfig::tiny().with_nnz(20_000)
@@ -18,8 +21,12 @@ fn splitting_rebalances_skewed_tensors() {
     let ctx = GpuContext::default();
     let t = standin("darpa").unwrap().generate(&cfg());
     let factors = reference::random_factors(&t, 16, 1);
-    let unsplit = gpu::bcsf::build_and_run(&ctx, &t, &factors, 0, BcsfOptions::unsplit());
-    let split = gpu::bcsf::build_and_run(&ctx, &t, &factors, 0, BcsfOptions::default());
+    let nosplit = BuildOptions {
+        bcsf: BcsfOptions::unsplit(),
+        ..Default::default()
+    };
+    let unsplit = build_run(&ctx, KernelKind::Bcsf, &t, &factors, 0, &nosplit);
+    let split = build_run_default(&ctx, KernelKind::Bcsf, &t, &factors, 0);
     assert!(
         split.sim.makespan_cycles * 2.0 < unsplit.sim.makespan_cycles,
         "expected >=2x from splitting: {} vs {}",
@@ -37,8 +44,8 @@ fn hybrid_wins_on_ultra_sparse_and_never_collapses() {
     let ctx = GpuContext::default();
     let t = standin("fr_s").unwrap().generate(&cfg());
     let factors = reference::random_factors(&t, 16, 2);
-    let bcsf = gpu::bcsf::build_and_run(&ctx, &t, &factors, 0, BcsfOptions::default());
-    let hb = gpu::hbcsf::build_and_run(&ctx, &t, &factors, 0, BcsfOptions::default());
+    let bcsf = build_run_default(&ctx, KernelKind::Bcsf, &t, &factors, 0);
+    let hb = build_run_default(&ctx, KernelKind::Hbcsf, &t, &factors, 0);
     assert!(
         hb.sim.time_s * 1.5 < bcsf.sim.time_s,
         "hybrid should clearly beat B-CSF on fr_s: {} vs {}",
@@ -48,8 +55,8 @@ fn hybrid_wins_on_ultra_sparse_and_never_collapses() {
     for name in ["deli", "nell2", "darpa"] {
         let t = standin(name).unwrap().generate(&cfg());
         let factors = reference::random_factors(&t, 16, 3);
-        let bcsf = gpu::bcsf::build_and_run(&ctx, &t, &factors, 0, BcsfOptions::default());
-        let hb = gpu::hbcsf::build_and_run(&ctx, &t, &factors, 0, BcsfOptions::default());
+        let bcsf = build_run_default(&ctx, KernelKind::Bcsf, &t, &factors, 0);
+        let hb = build_run_default(&ctx, KernelKind::Hbcsf, &t, &factors, 0);
         assert!(
             hb.sim.time_s < 1.2 * bcsf.sim.time_s,
             "{name}: hybrid must not collapse ({} vs {})",
@@ -105,8 +112,8 @@ fn hybrid_beats_fcoo_on_fibrous_tensors() {
     for name in ["deli", "nell2"] {
         let t = standin(name).unwrap().generate(&cfg());
         let factors = reference::random_factors(&t, 16, 4);
-        let hb = gpu::hbcsf::build_and_run(&ctx, &t, &factors, 0, BcsfOptions::default());
-        let fc = gpu::fcoo::build_and_run(&ctx, &t, &factors, 0, gpu::fcoo::DEFAULT_THREADLEN);
+        let hb = build_run_default(&ctx, KernelKind::Hbcsf, &t, &factors, 0);
+        let fc = build_run_default(&ctx, KernelKind::Fcoo, &t, &factors, 0);
         assert!(
             hb.sim.time_s < fc.sim.time_s,
             "{name}: HB-CSF {} should beat F-COO {}",
@@ -133,7 +140,7 @@ fn cpd_with_gpu_backend_converges() {
         seed: 5,
     };
     let res = cpd_als(&t, &opts, |factors, mode| {
-        gpu::hbcsf::run(&ctx, &formats[mode], factors).y
+        run_kernel(&ctx, &formats[mode], factors).y
     });
     assert_eq!(res.iterations, 8);
     for w in res.fits.windows(2) {

@@ -1,0 +1,56 @@
+//! Shared helpers for the integration tests: every simulated-GPU launch
+//! goes through the unified [`Executor`]/[`MttkrpKernel`] API so the
+//! tests exercise exactly what library users call.
+#![allow(dead_code)] // each test binary uses a subset of these helpers
+
+use mttkrp_repro::dense::Matrix;
+use mttkrp_repro::mttkrp::gpu::{
+    AnyFormat, BuildOptions, Executor, GpuContext, GpuRun, KernelKind, LaunchArgs, MttkrpKernel,
+    Plan,
+};
+use mttkrp_repro::sptensor::CooTensor;
+
+/// Run an already-built format through the Executor.
+pub fn run_kernel(ctx: &GpuContext, kernel: &dyn MttkrpKernel, factors: &[Matrix]) -> GpuRun {
+    Executor::new(ctx.clone())
+        .run(kernel, &LaunchArgs::new(factors))
+        .expect("valid launch")
+        .run
+}
+
+/// Build the `kind` layout for `mode` and run it.
+pub fn build_run(
+    ctx: &GpuContext,
+    kind: KernelKind,
+    t: &CooTensor,
+    factors: &[Matrix],
+    mode: usize,
+    build: &BuildOptions,
+) -> GpuRun {
+    let format = AnyFormat::build(kind, t, mode, build).expect("valid build");
+    run_kernel(ctx, &format, factors)
+}
+
+/// [`build_run`] with default build options.
+pub fn build_run_default(
+    ctx: &GpuContext,
+    kind: KernelKind,
+    t: &CooTensor,
+    factors: &[Matrix],
+    mode: usize,
+) -> GpuRun {
+    build_run(ctx, kind, t, factors, mode, &BuildOptions::default())
+}
+
+/// Build the `kind` layout for `mode` and capture it as a replayable plan.
+pub fn capture_plan(
+    ctx: &GpuContext,
+    kind: KernelKind,
+    t: &CooTensor,
+    mode: usize,
+    rank: usize,
+) -> Plan {
+    AnyFormat::build(kind, t, mode, &BuildOptions::default())
+        .expect("valid build")
+        .capture(ctx, rank)
+}
