@@ -1,4 +1,6 @@
 //! Criterion benchmark crate (see `benches/`) plus the tracked
-//! plan-replay harness behind `sptk bench plan-replay`.
+//! plan-replay harness behind `sptk bench plan-replay` and the
+//! paper-calibration fleet behind `sptk calibrate`.
 
+pub mod fleet;
 pub mod plan_replay;

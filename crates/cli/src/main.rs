@@ -44,6 +44,8 @@ fn main() -> ExitCode {
         Some("mttkrp") => cmd_mttkrp(&args[1..]),
         Some("cpd") => cmd_cpd(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("calibrate") => cmd_calibrate(&args[1..]),
+        Some("trace-replay") => cmd_trace_replay(&args[1..]),
         _ => {
             usage();
             return ExitCode::from(2);
@@ -76,8 +78,19 @@ fn usage() {
          [--min-speedup X] [--out PATH]"
     );
     eprintln!("      times emit-every-iteration vs. capture-once-replay CPD and writes JSON");
+    eprintln!("  sptk calibrate [--datasets a,b] [--nnz N] [--rank R] [--seed S] [--out PATH]");
+    eprintln!("      runs all six formats over the stand-in fleet, checks the paper's metric");
+    eprintln!("      orderings (Table II / Figs. 5-8), and writes BENCH_fleet.json");
+    eprintln!("  sptk trace-replay <trace.jsonl>");
+    eprintln!("      replays a --mem-trace file through a cold cache and re-derives L2 rates");
     eprintln!("  --profile DIR writes trace.json (Perfetto), nvprof_table.txt, counters.json,");
-    eprintln!("      and (for cpd) manifest.json into DIR; simulated-GPU kernels only");
+    eprintln!("      histograms.txt, and (for cpd) manifest.json into DIR; simulated-GPU");
+    eprintln!("      kernels only");
+    eprintln!("  --events PATH streams versioned JSONL telemetry events (kernel launches and");
+    eprintln!("      replays, ladder steps, shard compute, faults, iterations) to PATH");
+    eprintln!("  --mem-trace PATH (mttkrp) records the per-warp L2 address stream to PATH as");
+    eprintln!("      JSONL; --trace-sample N keeps every N-th access (default 1 = replayable");
+    eprintln!("      exactly via sptk trace-replay)");
     eprintln!("  --faults SPEC [--fault-seed S] injects deterministic faults into simulated-GPU");
     eprintln!("      kernels with ABFT detection and recovery; SPEC is comma-separated kind:rate");
     eprintln!("      terms, e.g. bitflip:1e-3,abort:1e-4,straggler:0.05,slowdown:2.5 (or 'none')");
@@ -339,6 +352,12 @@ fn cmd_mttkrp(args: &[String]) -> Result<()> {
     let kernel = flag(args, "--kernel").unwrap_or_else(|| "hbcsf".into());
     let device = flag(args, "--device").unwrap_or_else(|| "p100".into());
     let profile_dir = flag(args, "--profile").map(PathBuf::from);
+    let events_path = flag(args, "--events").map(PathBuf::from);
+    let memtrace_path = flag(args, "--mem-trace").map(PathBuf::from);
+    let trace_sample = flag_parse(args, "--trace-sample", 1u64)?;
+    if trace_sample == 0 {
+        return Err("--trace-sample wants at least 1".into());
+    }
     let mut ctx = GpuContext {
         device: match device.as_str() {
             "p100" => gpu_sim::DeviceProfile::p100(),
@@ -349,6 +368,17 @@ fn cmd_mttkrp(args: &[String]) -> Result<()> {
     };
     if profile_dir.is_some() {
         ctx = ctx.with_profiling();
+    }
+    if let Some(path) = &events_path {
+        let tel =
+            simprof::Telemetry::to_file(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        ctx = ctx.with_events(Arc::new(tel));
+    }
+    let memtrace = memtrace_path
+        .as_ref()
+        .map(|_| Arc::new(gpu_sim::MemTraceRecorder::new(trace_sample)));
+    if let Some(rec) = &memtrace {
+        ctx = ctx.with_memtrace(Arc::clone(rec));
     }
     let faults = parse_faults(args)?;
     if let Some(plan) = &faults {
@@ -379,6 +409,12 @@ fn cmd_mttkrp(args: &[String]) -> Result<()> {
     if faults.is_some() && is_cpu_kernel {
         return Err(format!(
             "--faults supports the simulated GPU kernels only ('{kernel}' is a CPU kernel)"
+        ));
+    }
+    if (events_path.is_some() || memtrace_path.is_some()) && is_cpu_kernel {
+        return Err(format!(
+            "--events/--mem-trace record the simulated GPU pipeline only \
+             ('{kernel}' is a CPU kernel)"
         ));
     }
     if adaptive && is_cpu_kernel {
@@ -559,8 +595,22 @@ fn cmd_mttkrp(args: &[String]) -> Result<()> {
                     .expect("profiling context keeps the profile");
                 write_kernel_profile(dir, &ctx, &run.sim, profile)?;
                 println!(
-                    "profile: {} (trace.json, nvprof_table.txt, counters.json)",
+                    "profile: {} (trace.json, nvprof_table.txt, counters.json, histograms.txt)",
                     dir.display()
+                );
+            }
+            if let Some(path) = &events_path {
+                ctx.telemetry.flush();
+                println!("events: {}", path.display());
+            }
+            if let (Some(rec), Some(path)) = (&memtrace, &memtrace_path) {
+                rec.write_jsonl(path)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                println!(
+                    "mem trace: {} ({} launches, every {} accesses)",
+                    path.display(),
+                    rec.len(),
+                    rec.sample_every()
                 );
             }
         }
@@ -589,6 +639,12 @@ fn write_kernel_profile(
     std::fs::write(
         dir.join("counters.json"),
         serde_json::to_string_pretty(&snapshot).expect("counters serialize"),
+    )
+    .map_err(io_err)?;
+    let hists = ctx.registry.histograms();
+    std::fs::write(
+        dir.join("histograms.txt"),
+        simprof::histogram_table("distribution metrics (simulated)", &hists),
     )
     .map_err(io_err)?;
     Ok(())
@@ -669,6 +725,122 @@ fn cmd_bench(args: &[String]) -> Result<()> {
     Ok(())
 }
 
+/// `sptk calibrate` — the paper-calibration harness: all six simulated
+/// formats over the stand-in fleet, per-format latency distributions,
+/// the full-rate memory-trace replay check, and the encoded Table II /
+/// Figs. 5-8 ordering expectations. Fails (non-zero exit) when any
+/// ordering breaks, so CI catches model drift.
+fn cmd_calibrate(args: &[String]) -> Result<()> {
+    let defaults = bench::fleet::FleetConfig::default();
+    let datasets = match flag(args, "--datasets") {
+        Some(csv) => csv.split(',').map(str::to_string).collect(),
+        None => defaults.datasets.clone(),
+    };
+    let cfg = bench::fleet::FleetConfig {
+        datasets,
+        nnz: flag_parse(args, "--nnz", defaults.nnz)?,
+        rank: flag_parse(args, "--rank", defaults.rank)?,
+        seed: flag_parse(args, "--seed", defaults.seed)?,
+    };
+    let out = flag(args, "--out").unwrap_or_else(|| "BENCH_fleet.json".into());
+    let report = bench::fleet::run(&cfg)?;
+    println!(
+        "{:<10} {:<6} {:>10} {:>8} {:>8} {:>8} {:>8}",
+        "dataset", "format", "time_us", "gflops", "sm_eff", "occ", "l2_hit"
+    );
+    for c in &report.cells {
+        println!(
+            "{:<10} {:<6} {:>10.1} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            c.dataset,
+            c.format,
+            c.mean_time_us,
+            c.gflops,
+            c.sm_efficiency,
+            c.occupancy,
+            c.l2_hit_rate
+        );
+    }
+    for (format, dataset) in &report.skipped {
+        println!("{dataset:<10} {format:<6} skipped (third-order kernel)");
+    }
+    println!();
+    print!(
+        "{}",
+        simprof::histogram_table(
+            "per-format kernel latency distributions (us, one sample per mode per dataset)",
+            &report.latency_histograms,
+        )
+    );
+    println!();
+    for v in &report.verdicts {
+        println!(
+            "{} {:<32} [{}] {}",
+            if v.pass { "PASS" } else { "FAIL" },
+            v.id,
+            v.metric,
+            v.detail
+        );
+    }
+    let t = &report.trace_check;
+    println!(
+        "{} mem-trace replay: {} ({} accesses) live L2 {:.2}% vs replayed {:.2}%",
+        if t.exact { "PASS" } else { "FAIL" },
+        t.kernel,
+        t.accesses,
+        t.live_hit_rate,
+        t.replay_hit_rate
+    );
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&report.to_json(&cfg)).expect("fleet doc serializes"),
+    )
+    .map_err(|e| format!("{out}: {e}"))?;
+    println!("wrote {out}");
+    if !report.all_pass() {
+        return Err("calibration failed: a paper ordering does not hold".into());
+    }
+    Ok(())
+}
+
+/// `sptk trace-replay <file>` — feeds a recorded memory trace back
+/// through a cold cache and re-derives the L2 statistics from the trace
+/// alone. Full-rate traces (`--trace-sample 1`) must reproduce the live
+/// hit/miss counters exactly; sampled traces report the replayed rate.
+fn cmd_trace_replay(args: &[String]) -> Result<()> {
+    let path = args.first().ok_or("trace-replay: missing trace file")?;
+    let launches = gpu_sim::memtrace::read_jsonl(Path::new(path))?;
+    if launches.is_empty() {
+        return Err(format!("{path}: no launches in trace"));
+    }
+    let mut failed = false;
+    for (i, trace) in launches.iter().enumerate() {
+        let check = gpu_sim::replay_launch(trace);
+        let ok = !check.exact
+            || (check.verdict_mismatches == 0
+                && check.set_mismatches == 0
+                && check.hits == trace.live_hits
+                && check.misses == trace.live_misses);
+        failed |= !ok;
+        println!(
+            "launch {i} [{}]: {} accesses (every {}), live L2 {:.2}% -> replayed {:.2}% \
+             ({} verdict / {} set mismatches){}{}",
+            trace.kernel,
+            trace.accesses.len(),
+            trace.sample_every,
+            trace.live_hit_rate(),
+            check.hit_rate,
+            check.verdict_mismatches,
+            check.set_mismatches,
+            if check.exact { ", exact" } else { ", sampled" },
+            if ok { "" } else { " MISMATCH" },
+        );
+    }
+    if failed {
+        return Err("trace replay diverged from the live simulation".into());
+    }
+    Ok(())
+}
+
 fn cmd_cpd(args: &[String]) -> Result<()> {
     let path = args.first().ok_or("cpd: missing file")?;
     let t = load(path)?;
@@ -716,6 +888,11 @@ fn cmd_cpd(args: &[String]) -> Result<()> {
     let mut ctx = GpuContext::default();
     if profile_dir.is_some() {
         ctx = ctx.with_profiling();
+    }
+    if let Some(path) = flag(args, "--events").map(PathBuf::from) {
+        let tel =
+            simprof::Telemetry::to_file(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        ctx = ctx.with_events(Arc::new(tel));
     }
     if let Some(plan) = &faults {
         ctx = ctx.with_faults(plan.clone());
@@ -829,13 +1006,20 @@ fn cmd_cpd(args: &[String]) -> Result<()> {
             &ResilienceOptions::default(),
             fault_backend,
             Some(&mut manifest),
+            Some(&ctx),
         );
         res
     } else {
         match (nonneg, profile_dir.is_some()) {
+            // With an event stream the impl path still runs so iteration
+            // events carry the simulated clock; the manifest is simply
+            // not written unless --profile asked for it.
+            (false, false) if ctx.telemetry.enabled() => {
+                cpd_als_profiled(&t, &opts, backend, &mut manifest, Some(&ctx))
+            }
             (false, false) => cpd_als(&t, &opts, backend),
             (true, false) => cpd_als_nonneg(&t, &opts, backend),
-            (false, true) => cpd_als_profiled(&t, &opts, backend, &mut manifest),
+            (false, true) => cpd_als_profiled(&t, &opts, backend, &mut manifest, Some(&ctx)),
             (true, true) => cpd_als_nonneg_profiled(&t, &opts, backend, &mut manifest),
         }
     };
@@ -925,12 +1109,19 @@ fn cmd_cpd(args: &[String]) -> Result<()> {
         }
         println!("fit check: {:.4} >= {min} ok", res.final_fit());
     }
+    manifest.events_path = ctx.telemetry.events_path().map(String::from);
+    manifest.histograms = ctx.registry.histograms();
     if let Some(dir) = &profile_dir {
         write_cpd_profile(dir, &ctx, &manifest, &last_runs.into_inner())?;
         println!(
-            "profile: {} (manifest.json, trace.json, nvprof_table.txt, counters.json)",
+            "profile: {} (manifest.json, trace.json, nvprof_table.txt, counters.json, \
+             histograms.txt)",
             dir.display()
         );
+    }
+    if let Some(path) = ctx.telemetry.events_path() {
+        ctx.telemetry.flush();
+        println!("events: {path}");
     }
     Ok(())
 }
@@ -967,6 +1158,11 @@ fn write_cpd_profile(
     std::fs::write(
         dir.join("counters.json"),
         serde_json::to_string_pretty(&ctx.registry.snapshot_json()).expect("counters serialize"),
+    )
+    .map_err(io_err)?;
+    std::fs::write(
+        dir.join("histograms.txt"),
+        simprof::histogram_table("distribution metrics (simulated)", &manifest.histograms),
     )
     .map_err(io_err)?;
     Ok(())

@@ -191,7 +191,7 @@ pub fn geomean(vals: &[f64]) -> f64 {
 }
 
 /// Capture + execute one kernel through the unified [`Executor`] API —
-/// the replacement for the deprecated per-module `run` free functions
+/// the replacement for the removed per-module `run` free functions
 /// every experiment used to call.
 pub fn run_kernel(ctx: &GpuContext, kernel: &dyn MttkrpKernel, factors: &[Matrix]) -> GpuRun {
     Executor::new(ctx.clone())

@@ -282,6 +282,7 @@ pub fn ext_resilience(cfg: &ExpConfig) -> Value {
                 .y
             },
             None,
+            Some(&ctx),
         )
         .0
         .final_fit();

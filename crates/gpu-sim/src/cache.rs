@@ -57,6 +57,18 @@ impl L2Cache {
         }
     }
 
+    /// Number of sets in this geometry.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Set a segment id maps to (the modulo indexing [`L2Cache::access`]
+    /// uses) — exposed so memory traces can record placement without
+    /// touching cache state.
+    pub fn set_index(&self, seg: u64) -> usize {
+        (seg % self.sets.len() as u64) as usize
+    }
+
     pub fn hits(&self) -> u64 {
         self.hits
     }

@@ -38,6 +38,7 @@ pub mod fault;
 pub mod grid;
 pub mod interconnect;
 pub mod mem;
+pub mod memtrace;
 pub mod sched;
 pub mod trace;
 
@@ -48,8 +49,10 @@ pub use fault::{BitFlip, FaultKind, FaultPlan, InjectedFault};
 pub use grid::{AddressSpace, ArraySpan, BlockWork, KernelLaunch, Op, WarpWork};
 pub use interconnect::Interconnect;
 pub use mem::{AllocRecord, DeviceMemory, MemError, MemLease, OomEvent};
+pub use memtrace::{replay_launch, LaunchTrace, MemTraceRecorder, ReplayCheck, TraceAccess};
 pub use sched::{
-    co_resident_makespan, simulate, simulate_faulted, simulate_profiled, simulate_with_timeline,
-    AtomicRowCharge, BlockCost, BlockPlacement, SimProfile, SimResult, StallReason, Timeline,
+    co_resident_makespan, simulate, simulate_faulted, simulate_instrumented, simulate_profiled,
+    simulate_with_timeline, AtomicRowCharge, BlockCost, BlockPlacement, SimInstruments, SimProfile,
+    SimResult, StallReason, Timeline,
 };
 pub use trace::{append_chrome_trace, chrome_trace};

@@ -24,13 +24,25 @@
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
 
-use simprof::Registry;
+use simprof::{FieldValue, Registry, Telemetry};
 
 use crate::cache::L2Cache;
 use crate::cost::CostModel;
 use crate::device::DeviceProfile;
 use crate::fault::{FaultKind, FaultPlan, InjectedFault};
 use crate::grid::{KernelLaunch, Op};
+use crate::memtrace::{LaunchTrace, MemTraceRecorder, TraceAccess};
+
+/// Optional observability hooks threaded through
+/// [`simulate_instrumented`]: a telemetry event stream and a memory-trace
+/// recorder. Both are purely observational — attaching either never
+/// changes a single simulated number (the bit-for-bit equivalence tests
+/// below enforce it).
+#[derive(Clone, Copy, Default)]
+pub struct SimInstruments<'a> {
+    pub telemetry: Option<&'a Telemetry>,
+    pub trace: Option<&'a MemTraceRecorder>,
+}
 
 /// Simulation output: the nvprof-style metrics Table II reports, plus
 /// derived throughput.
@@ -223,6 +235,7 @@ fn compute_block_costs(
     cost: &CostModel,
     launch: &KernelLaunch,
     detail: bool,
+    trace: Option<&MemTraceRecorder>,
 ) -> CostPass {
     assert_eq!(
         dev.line_bytes as u64,
@@ -230,6 +243,24 @@ fn compute_block_costs(
         "device line size must match the coalescing segment size"
     );
     let mut cache = L2Cache::new(dev.l2_bytes, dev.line_bytes, dev.l2_assoc);
+    // Address-stream recording buffer: filled alongside the L2 replay and
+    // pushed to the recorder wholesale at the end of the pass, so the
+    // replay loop itself takes no lock and the cache walk is untouched.
+    let mut recording: Option<(LaunchTrace, u64)> = trace.map(|r| {
+        (
+            LaunchTrace {
+                kernel: launch.name.clone(),
+                capacity_bytes: dev.l2_bytes,
+                line_bytes: dev.line_bytes,
+                assoc: dev.l2_assoc,
+                sample_every: r.sample_every(),
+                live_hits: 0,
+                live_misses: 0,
+                accesses: Vec::new(),
+            },
+            0u64,
+        )
+    });
 
     // ---- Pass 1: distinct writer blocks per atomic output row. ----
     let mut writers: HashMap<u32, (u32, u32)> = HashMap::new(); // row -> (last block, count)
@@ -256,14 +287,13 @@ fn compute_block_costs(
     let mut hit_ptr: Vec<usize> = Vec::with_capacity(launch.blocks.len() + 1);
     // row -> (ops, conflict cycles); filled only when detail is requested.
     let mut row_charges: HashMap<u32, (u64, f64)> = HashMap::new();
-    for block in &launch.blocks {
+    for (b, block) in launch.blocks.iter().enumerate() {
         hit_ptr.push(hits.len());
-        for warp in &block.warps {
+        for (w, warp) in block.warps.iter().enumerate() {
             for op in &warp.ops {
-                match *op {
-                    Op::Load(seg) | Op::Store(seg) => hits.push(cache.access(seg)),
+                let seg = match *op {
+                    Op::Load(seg) | Op::Store(seg) => seg,
                     Op::AtomicAdd { row, seg } => {
-                        hits.push(cache.access(seg));
                         if detail {
                             let conflict =
                                 cost.conflict_surcharge(writers.get(&row).map_or(1, |e| e.1));
@@ -271,13 +301,33 @@ fn compute_block_costs(
                             e.0 += 1;
                             e.1 += conflict;
                         }
+                        seg
                     }
-                    _ => {}
+                    _ => continue,
+                };
+                let hit = cache.access(seg);
+                hits.push(hit);
+                if let Some((tr, seen)) = recording.as_mut() {
+                    if *seen % tr.sample_every == 0 {
+                        tr.accesses.push(TraceAccess {
+                            block: b as u32,
+                            warp: w as u32,
+                            seg,
+                            set: cache.set_index(seg) as u32,
+                            hit,
+                        });
+                    }
+                    *seen += 1;
                 }
             }
         }
     }
     hit_ptr.push(hits.len());
+    if let (Some((mut tr, _)), Some(recorder)) = (recording.take(), trace) {
+        tr.live_hits = cache.hits();
+        tr.live_misses = cache.misses();
+        recorder.push(tr);
+    }
 
     // ---- Pass 2b: per-block roofline folds, independent given the cache
     // verdicts — fanned out over rayon. Each fold accumulates its f64 terms
@@ -468,7 +518,26 @@ pub fn simulate_profiled(
     launch: &KernelLaunch,
     registry: &Registry,
 ) -> (SimResult, SimProfile) {
-    simulate_inner(dev, cost, launch, registry, None)
+    simulate_inner(dev, cost, launch, registry, None, SimInstruments::default())
+}
+
+/// The fully-instrumented entry point: [`simulate_profiled`] plus an
+/// optional [`FaultPlan`] and the [`SimInstruments`] hooks — a telemetry
+/// event stream (one `kernel-launch` event per simulation) and a memory
+/// trace recorder capturing the sampled L2 address stream. An inactive or
+/// absent fault plan takes exactly the fault-free code path, and the
+/// instruments are purely observational: the returned numbers are
+/// bit-for-bit those of [`simulate`] / [`simulate_faulted`].
+pub fn simulate_instrumented(
+    dev: &DeviceProfile,
+    cost: &CostModel,
+    launch: &KernelLaunch,
+    registry: &Registry,
+    plan: Option<&FaultPlan>,
+    instruments: SimInstruments<'_>,
+) -> (SimResult, SimProfile) {
+    let plan = plan.filter(|p| p.is_active());
+    simulate_inner(dev, cost, launch, registry, plan, instruments)
 }
 
 /// [`simulate_profiled`] under a [`FaultPlan`]: straggler SMs stretch the
@@ -486,7 +555,7 @@ pub fn simulate_faulted(
     plan: &FaultPlan,
 ) -> (SimResult, SimProfile) {
     let plan = if plan.is_active() { Some(plan) } else { None };
-    simulate_inner(dev, cost, launch, registry, plan)
+    simulate_inner(dev, cost, launch, registry, plan, SimInstruments::default())
 }
 
 fn simulate_inner(
@@ -495,6 +564,7 @@ fn simulate_inner(
     launch: &KernelLaunch,
     registry: &Registry,
     plan: Option<&FaultPlan>,
+    instruments: SimInstruments<'_>,
 ) -> (SimResult, SimProfile) {
     let profiling = registry.enabled();
     let _span = if profiling {
@@ -510,7 +580,7 @@ fn simulate_inner(
         num_warps,
         l2_hit_rate,
         atomic_rows,
-    } = compute_block_costs(dev, cost, launch, profiling);
+    } = compute_block_costs(dev, cost, launch, profiling, instruments.trace);
 
     // ---- Pass 3: greedy list scheduling of blocks onto SMs. ----
     #[derive(PartialEq)]
@@ -661,6 +731,14 @@ fn simulate_inner(
                 },
                 1,
             );
+            // Distribution metrics: per-block duration, and the cycles a
+            // block spent beyond its pure-compute roofline leg — the
+            // block's stall time, whatever leg caused it.
+            registry.observe("sim.block_cycles", b.cycles.round() as u64);
+            registry.observe(
+                "sim.block_stall_cycles",
+                (b.cycles - b.compute_cycles).max(0.0).round() as u64,
+            );
         }
         registry.add("sim.atomic_conflict_cycles", conflict_cycles.round() as u64);
         if plan.is_some() {
@@ -676,6 +754,25 @@ fn simulate_inner(
                 count(|k| matches!(k, FaultKind::Straggler { .. })),
             );
             registry.add("sim.fault.extra_cycles", fault_extra_cycles.round() as u64);
+        }
+    }
+
+    if let Some(tel) = instruments.telemetry {
+        if tel.enabled() {
+            tel.emit(
+                "kernel-launch",
+                None,
+                tel.new_span(),
+                &[
+                    ("kernel", FieldValue::from(result.kernel.as_str())),
+                    ("blocks", FieldValue::from(result.num_blocks)),
+                    ("warps", FieldValue::from(result.num_warps)),
+                    ("sim_kernel_us", FieldValue::from(result.time_s * 1e6)),
+                    ("sm_efficiency", FieldValue::from(result.sm_efficiency)),
+                    ("l2_hit_rate", FieldValue::from(result.l2_hit_rate)),
+                    ("faulted", FieldValue::from(plan.is_some())),
+                ],
+            );
         }
     }
 
@@ -710,7 +807,7 @@ pub fn co_resident_makespan(
         .clamp(1, dev.max_blocks_per_sm)
         .max(1);
     let executors = dev.num_sms * k;
-    let pass = compute_block_costs(dev, cost, launch, false);
+    let pass = compute_block_costs(dev, cost, launch, false, None);
     let mut finish_times = vec![0.0f64; executors];
     let mut heap: BinaryHeap<std::cmp::Reverse<(u64, usize)>> =
         (0..executors).map(|i| std::cmp::Reverse((0, i))).collect();
@@ -1121,6 +1218,93 @@ mod tests {
         // (timeline, blocks, placements) is always available.
         assert!(profile.atomic_rows.is_empty());
         assert_eq!(profile.blocks.len(), r.num_blocks);
+    }
+
+    #[test]
+    fn instrumented_sim_is_bit_for_bit_and_trace_replays_exactly() {
+        let d = dev();
+        let c = CostModel::default();
+        let launch = mixed_launch();
+        let plain = simulate(&d, &c, &launch);
+
+        let reg = Registry::new();
+        let ring = std::sync::Arc::new(simprof::RingSink::new(64));
+        let tel = Telemetry::with_sink(ring.clone() as std::sync::Arc<dyn simprof::TelemetrySink>);
+        let rec = MemTraceRecorder::new(1);
+        let (instrumented, _) = simulate_instrumented(
+            &d,
+            &c,
+            &launch,
+            &reg,
+            None,
+            SimInstruments {
+                telemetry: Some(&tel),
+                trace: Some(&rec),
+            },
+        );
+        assert_eq!(
+            plain, instrumented,
+            "instruments must not perturb the model"
+        );
+
+        // One kernel-launch event, valid JSON, carrying the sim numbers.
+        let lines = ring.lines();
+        assert_eq!(lines.len(), 1);
+        let ev = serde_json::from_str(&lines[0]).expect("event line parses");
+        assert_eq!(ev["kind"].as_str(), Some("kernel-launch"));
+        assert_eq!(ev["kernel"].as_str(), Some("mixed"));
+        assert_eq!(ev["blocks"].as_u64(), Some(plain.num_blocks as u64));
+        assert_eq!(ev["faulted"].as_bool(), Some(false));
+
+        // Per-block distributions were recorded.
+        let h = reg.histogram("sim.block_cycles").expect("histogram");
+        assert_eq!(h.count, plain.num_blocks as u64);
+
+        // Replaying the emitted address stream re-derives the live L2
+        // statistics exactly.
+        let traces = rec.launches();
+        assert_eq!(traces.len(), 1);
+        let tr = &traces[0];
+        assert_eq!(tr.accesses.len() as u64, tr.live_hits + tr.live_misses);
+        let check = crate::memtrace::replay_launch(tr);
+        assert!(check.exact);
+        assert_eq!(check.verdict_mismatches, 0);
+        assert_eq!(check.set_mismatches, 0);
+        assert_eq!(check.hits, tr.live_hits);
+        assert_eq!(check.misses, tr.live_misses);
+        assert!((check.hit_rate - plain.l2_hit_rate).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_trace_records_every_kth_access() {
+        let d = dev();
+        let c = CostModel::default();
+        let launch = mixed_launch();
+        let full = MemTraceRecorder::new(1);
+        let sampled = MemTraceRecorder::new(4);
+        for rec in [&full, &sampled] {
+            simulate_instrumented(
+                &d,
+                &c,
+                &launch,
+                &Registry::disabled(),
+                None,
+                SimInstruments {
+                    telemetry: None,
+                    trace: Some(rec),
+                },
+            );
+        }
+        let f = &full.launches()[0];
+        let s = &sampled.launches()[0];
+        assert_eq!(s.accesses.len(), f.accesses.len().div_ceil(4));
+        // The sampled stream is a strided subset of the full one.
+        for (i, a) in s.accesses.iter().enumerate() {
+            assert_eq!(*a, f.accesses[i * 4]);
+        }
+        // Live counters still cover the full stream.
+        assert_eq!(s.live_hits, f.live_hits);
+        assert_eq!(s.live_misses, f.live_misses);
     }
 
     #[test]

@@ -158,6 +158,29 @@ where
     let mut flagged = verify(&run.y, &abft, opts.tol_scale);
     report.detected_rows = flagged.clone();
 
+    // One span covers the whole verification episode: the detection and
+    // every retry it triggers. Detection is checksum-driven, so the event
+    // carries what the verifier saw (flagged rows), not the injection
+    // ground truth.
+    let tel = &ctx.telemetry;
+    let span = tel.new_span();
+    if tel.enabled() && !flagged.is_empty() {
+        tel.emit(
+            "fault-detected",
+            None,
+            span,
+            &[
+                ("kernel", simprof::FieldValue::from(abft.kernel.as_str())),
+                ("mode", simprof::FieldValue::from(mode)),
+                ("detected_rows", simprof::FieldValue::from(flagged.len())),
+                (
+                    "flips_applied",
+                    simprof::FieldValue::from(abft.flips_applied),
+                ),
+            ],
+        );
+    }
+
     if let Some(plan) = ctx.fault_plan() {
         let mut attempt = plan.attempt;
         while !flagged.is_empty() && report.retries < opts.max_retries {
@@ -184,6 +207,23 @@ where
                 report.recovered_rows += 1;
                 false
             });
+            if tel.enabled() {
+                tel.emit(
+                    "fault-retry",
+                    None,
+                    span,
+                    &[
+                        ("kernel", simprof::FieldValue::from(abft.kernel.as_str())),
+                        ("mode", simprof::FieldValue::from(mode)),
+                        ("retry", simprof::FieldValue::from(report.retries)),
+                        (
+                            "recovered_rows",
+                            simprof::FieldValue::from(report.recovered_rows),
+                        ),
+                        ("still_flagged", simprof::FieldValue::from(flagged.len())),
+                    ],
+                );
+            }
         }
     }
 

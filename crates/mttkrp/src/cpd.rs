@@ -81,7 +81,7 @@ pub fn cpd_als(
     opts: &CpdOptions,
     mttkrp: impl FnMut(&[Matrix], usize) -> Matrix,
 ) -> CpdResult {
-    cpd_als_impl(t, opts, mttkrp, None)
+    cpd_als_impl(t, opts, mttkrp, None, None)
 }
 
 /// [`cpd_als`] with iteration telemetry: per-mode MTTKRP wall time, fit
@@ -89,13 +89,17 @@ pub fn cpd_als(
 /// [`IterationRecord`](simprof::IterationRecord) per ALS iteration). The
 /// manifest's `rank`/`max_iters`/`tol`/`seed` are overwritten from `opts`
 /// so the written document always describes the run that produced it.
+/// With a `ctx`, per-iteration simulated timings are observed into its
+/// registry (`cpd.iter_sim_us`) and `iteration` events are emitted when
+/// its telemetry stream is enabled.
 pub fn cpd_als_profiled(
     t: &CooTensor,
     opts: &CpdOptions,
     mttkrp: impl FnMut(&[Matrix], usize) -> Matrix,
     manifest: &mut RunManifest,
+    ctx: Option<&crate::gpu::GpuContext>,
 ) -> CpdResult {
-    cpd_als_impl(t, opts, mttkrp, Some(manifest))
+    cpd_als_impl(t, opts, mttkrp, Some(manifest), ctx)
 }
 
 /// [`cpd_als`] driven by pre-captured launch plans: one
@@ -109,7 +113,13 @@ pub fn cpd_als_planned(
     ctx: &crate::gpu::GpuContext,
     plans: &crate::gpu::ModePlans,
 ) -> CpdResult {
-    cpd_als(t, opts, |factors, mode| plans.execute(ctx, factors, mode).y)
+    cpd_als_impl(
+        t,
+        opts,
+        |factors, mode| plans.execute(ctx, factors, mode).y,
+        None,
+        Some(ctx),
+    )
 }
 
 /// Stamps `opts` into the manifest so the document matches the run.
@@ -120,11 +130,36 @@ fn sync_manifest(manifest: &mut RunManifest, opts: &CpdOptions) {
     manifest.seed = opts.seed;
 }
 
+/// Records one completed ALS iteration against the context's *simulated*
+/// clock: the `cpd.iter_sim_us` histogram plus an `iteration` event. The
+/// clock only moves when kernels replay through the context, so the
+/// delta is the iteration's total simulated kernel time — wall-clock
+/// timings stay in the manifest, deterministic timings live here.
+fn note_iteration(ctx: &crate::gpu::GpuContext, iteration: usize, fit: f64, start_us: f64) {
+    let tel = &ctx.telemetry;
+    let sim_us = (tel.now_us() - start_us).max(0.0);
+    ctx.registry
+        .observe("cpd.iter_sim_us", sim_us.round() as u64);
+    if tel.enabled() {
+        tel.emit(
+            "iteration",
+            None,
+            tel.new_span(),
+            &[
+                ("iteration", simprof::FieldValue::from(iteration)),
+                ("fit", simprof::FieldValue::from(fit)),
+                ("iter_sim_us", simprof::FieldValue::from(sim_us)),
+            ],
+        );
+    }
+}
+
 fn cpd_als_impl(
     t: &CooTensor,
     opts: &CpdOptions,
     mut mttkrp: impl FnMut(&[Matrix], usize) -> Matrix,
     mut manifest: Option<&mut RunManifest>,
+    ctx: Option<&crate::gpu::GpuContext>,
 ) -> CpdResult {
     let run_start = Instant::now();
     if let Some(m) = manifest.as_deref_mut() {
@@ -147,6 +182,7 @@ fn cpd_als_impl(
 
     for _iter in 0..opts.max_iters {
         let iter_start = Instant::now();
+        let iter_sim_start = ctx.map_or(0.0, |c| c.telemetry.now_us());
         let mut mode_timings: Vec<ModeTiming> = Vec::new();
         for mode in 0..order {
             let mttkrp_start = Instant::now();
@@ -182,6 +218,9 @@ fn cpd_als_impl(
         fits.push(fit);
         if let Some(m) = manifest.as_deref_mut() {
             m.push_iteration(fit, mode_timings, iter_start.elapsed().as_secs_f64());
+        }
+        if let Some(c) = ctx {
+            note_iteration(c, iterations - 1, fit, iter_sim_start);
         }
         if iterations > 1 && (fit - prev_fit).abs() < opts.tol {
             break;
@@ -292,6 +331,7 @@ pub fn cpd_als_resilient(
     ropts: &ResilienceOptions,
     mut mttkrp: impl FnMut(&[Matrix], usize) -> Matrix,
     mut manifest: Option<&mut RunManifest>,
+    ctx: Option<&crate::gpu::GpuContext>,
 ) -> (CpdResult, ResilienceStats) {
     let run_start = Instant::now();
     if let Some(m) = manifest.as_deref_mut() {
@@ -317,6 +357,7 @@ pub fn cpd_als_resilient(
 
     for _iter in 0..opts.max_iters {
         let iter_start = Instant::now();
+        let iter_sim_start = ctx.map_or(0.0, |c| c.telemetry.now_us());
         let mut mode_timings: Vec<ModeTiming> = Vec::new();
         for mode in 0..order {
             let mttkrp_start = Instant::now();
@@ -361,6 +402,9 @@ pub fn cpd_als_resilient(
         fits.push(fit);
         if let Some(m) = manifest.as_deref_mut() {
             m.push_iteration(fit, mode_timings, iter_start.elapsed().as_secs_f64());
+        }
+        if let Some(c) = ctx {
+            note_iteration(c, iterations - 1, fit, iter_sim_start);
         }
 
         let regressed = fit.is_nan() || fit < best_fit - ropts.fit_drop_tol;
@@ -485,7 +529,8 @@ pub fn cpd_als_adaptive(
         }
     };
 
-    let (result, stats) = cpd_als_resilient(t, opts, ropts, backend, manifest.as_deref_mut());
+    let (result, stats) =
+        cpd_als_resilient(t, opts, ropts, backend, manifest.as_deref_mut(), Some(ctx));
 
     let mut mem = memrec.into_inner();
     mem.high_water_bytes = mem.high_water_bytes.max(ctx.memory.high_water());
@@ -574,7 +619,8 @@ pub fn cpd_als_sharded(
         }
     };
 
-    let (result, stats) = cpd_als_resilient(t, opts, ropts, backend, manifest.as_deref_mut());
+    let (result, stats) =
+        cpd_als_resilient(t, opts, ropts, backend, manifest.as_deref_mut(), Some(ctx));
 
     let rec = grid_rec.into_inner();
     if let Some(m) = manifest {
@@ -1137,7 +1183,13 @@ mod tests {
         };
         let plain = cpd_als(&t, &opts, |f, m| reference::mttkrp(&t, f, m));
         let mut manifest = RunManifest::new("reference", "uniform-200", 0, 0, 0.0, 0);
-        let prof = cpd_als_profiled(&t, &opts, |f, m| reference::mttkrp(&t, f, m), &mut manifest);
+        let prof = cpd_als_profiled(
+            &t,
+            &opts,
+            |f, m| reference::mttkrp(&t, f, m),
+            &mut manifest,
+            None,
+        );
         // Telemetry is observational: the math is unchanged.
         assert_eq!(plain.fits, prof.fits);
         assert_eq!(plain.iterations, prof.iterations);
@@ -1194,6 +1246,7 @@ mod tests {
             &ResilienceOptions::default(),
             |f, m| reference::mttkrp(&t, f, m),
             None,
+            None,
         );
         assert_eq!(plain.fits, res.fits, "clean backend: guards must be inert");
         assert_eq!(stats.nan_resets, 0);
@@ -1222,8 +1275,14 @@ mod tests {
             }
             y
         };
-        let (res, stats) =
-            cpd_als_resilient(&t, &opts, &ResilienceOptions::default(), poisoned, None);
+        let (res, stats) = cpd_als_resilient(
+            &t,
+            &opts,
+            &ResilienceOptions::default(),
+            poisoned,
+            None,
+            None,
+        );
         assert!(stats.nan_resets > 0, "poisoned entries must be scrubbed");
         assert!(
             res.final_fit().is_finite() && res.final_fit() > 0.0,
@@ -1266,6 +1325,7 @@ mod tests {
             &ResilienceOptions::default(),
             corrupting,
             Some(&mut manifest),
+            None,
         );
         assert!(stats.rollbacks >= 1, "regression must trigger a rollback");
         assert_eq!(manifest.resilience.rollbacks, stats.rollbacks);

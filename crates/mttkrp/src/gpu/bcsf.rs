@@ -10,15 +10,14 @@
 //! an `atomicAdd` when slc-split shared the slice across blocks — the
 //! "extra atomic operations … well tolerated" trade of Section IV-A.
 //!
-//! With [`BcsfOptions::unsplit`] this same kernel *is* the naive GPU-CSF of
-//! Table II (see [`crate::gpu::csf`]).
+//! With [`BcsfOptions::unsplit`](tensor_formats::BcsfOptions::unsplit) this
+//! same kernel *is* the naive GPU-CSF of Table II (see [`crate::gpu::csf`]).
 
-use dense::Matrix;
-use gpu_sim::{AddressSpace, ArraySpan, BlockWork, KernelLaunch, Op, WarpWork};
+use gpu_sim::{AddressSpace, ArraySpan, BlockWork, Op, WarpWork};
 use sptensor::Index;
-use tensor_formats::{Bcsf, BcsfOptions};
+use tensor_formats::Bcsf;
 
-use super::common::{load_u32s, FactorAddrs, GpuContext, GpuRun};
+use super::common::{load_u32s, FactorAddrs, GpuContext};
 use super::plan::{MemoryFootprint, Plan, PlanBuilder};
 
 /// Synthetic addresses of the B-CSF arrays.
@@ -50,22 +49,8 @@ impl BcsfSpans {
     }
 }
 
-/// Runs the B-CSF kernel; the output mode is `bcsf.csf.perm[0]`.
-#[deprecated(note = "use mttkrp::gpu::{Executor, MttkrpKernel} on a tensor_formats::Bcsf")]
-pub fn run(ctx: &GpuContext, bcsf: &Bcsf, factors: &[Matrix]) -> GpuRun {
-    run_named(ctx, bcsf, factors, "b-csf")
-}
-
-pub(crate) fn run_named(ctx: &GpuContext, bcsf: &Bcsf, factors: &[Matrix], name: &str) -> GpuRun {
-    plan_named(ctx, bcsf, factors[0].cols(), name).execute(ctx, factors)
-}
-
-/// Captures the B-CSF kernel as a replayable [`Plan`] for rank `rank`.
-#[deprecated(note = "use mttkrp::gpu::MttkrpKernel::capture on a tensor_formats::Bcsf")]
-pub fn plan(ctx: &GpuContext, bcsf: &Bcsf, rank: usize) -> Plan {
-    plan_named(ctx, bcsf, rank, "b-csf")
-}
-
+/// Captures the B-CSF kernel as a replayable [`Plan`] for rank `rank`;
+/// the output mode is `bcsf.csf.perm[0]`.
 pub(crate) fn plan_named(ctx: &GpuContext, bcsf: &Bcsf, rank: usize, name: &str) -> Plan {
     let mode = bcsf.csf.perm[0];
     let mut space = AddressSpace::new();
@@ -199,36 +184,14 @@ fn fiber_ancestors(bcsf: &Bcsf) -> Vec<Vec<Index>> {
     anc
 }
 
-/// Emits the B-CSF kernel launch without simulating it — for tools that
-/// want to drive [`gpu_sim::simulate_with_timeline`] themselves (e.g. the
-/// `balance_viz` example). Deduplicated through the plan path: this is the
-/// captured launch with the replay schedule discarded.
-#[deprecated(note = "use mttkrp::gpu::MttkrpKernel::capture and Plan::into_launch")]
-pub fn emit_launch(ctx: &GpuContext, bcsf: &Bcsf, factors: &[Matrix]) -> KernelLaunch {
-    plan_named(ctx, bcsf, factors[0].cols(), "b-csf").into_launch()
-}
-
-/// Builds B-CSF with `opts` and runs the kernel (convenience for
-/// experiments; construction cost excluded from the simulation).
-#[deprecated(note = "use mttkrp::gpu::Executor::build_run (KernelKind::Bcsf)")]
-pub fn build_and_run(
-    ctx: &GpuContext,
-    t: &sptensor::CooTensor,
-    factors: &[Matrix],
-    mode: usize,
-    opts: BcsfOptions,
-) -> GpuRun {
-    let perm = sptensor::mode_orientation(t.order(), mode);
-    let bcsf = Bcsf::build(t, &perm, opts);
-    run_named(ctx, &bcsf, factors, "b-csf")
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gpu::{BuildOptions, Executor, KernelKind, LaunchArgs};
+    use crate::gpu::{BuildOptions, Executor, GpuRun, KernelKind, LaunchArgs};
     use crate::reference;
+    use dense::Matrix;
     use sptensor::synth::{standin, uniform_random, SynthConfig};
+    use tensor_formats::BcsfOptions;
 
     fn build_and_run(
         ctx: &GpuContext,

@@ -11,8 +11,9 @@ use std::sync::Arc;
 
 use dense::Matrix;
 use gpu_sim::{
-    simulate, simulate_faulted, simulate_profiled, AddressSpace, ArraySpan, BitFlip, CostModel,
-    DeviceMemory, DeviceProfile, FaultPlan, KernelLaunch, SimProfile, SimResult, WarpWork,
+    simulate, simulate_instrumented, AddressSpace, ArraySpan, BitFlip, CostModel, DeviceMemory,
+    DeviceProfile, FaultPlan, KernelLaunch, MemTraceRecorder, SimInstruments, SimProfile,
+    SimResult, WarpWork,
 };
 use sptensor::Index;
 
@@ -38,6 +39,13 @@ pub struct GpuContext {
     /// mark); cap it via [`GpuContext::with_memory`] to make footprints
     /// binding and enable out-of-core execution.
     pub memory: Arc<DeviceMemory>,
+    /// Structured event stream (JSONL). A null handle by default: the
+    /// simulated clock still runs (CPD iteration timings derive from it)
+    /// but no events are rendered. Set via [`GpuContext::with_events`].
+    pub telemetry: Arc<simprof::Telemetry>,
+    /// Opt-in per-warp memory address-stream recorder; `None` by default.
+    /// Set via [`GpuContext::with_memtrace`].
+    pub memtrace: Option<Arc<MemTraceRecorder>>,
 }
 
 impl Default for GpuContext {
@@ -49,6 +57,8 @@ impl Default for GpuContext {
             registry: Arc::new(simprof::Registry::disabled()),
             faults: None,
             memory: Arc::new(DeviceMemory::unlimited()),
+            telemetry: Arc::new(simprof::Telemetry::null()),
+            memtrace: None,
         }
     }
 }
@@ -81,6 +91,31 @@ impl GpuContext {
     pub fn with_memory(mut self, memory: Arc<DeviceMemory>) -> GpuContext {
         self.memory = memory;
         self
+    }
+
+    /// Same context emitting structured events through `telemetry`.
+    pub fn with_events(mut self, telemetry: Arc<simprof::Telemetry>) -> GpuContext {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Same context recording the sampled L2 address stream of every
+    /// *canonical* simulation (plan captures and replayed sims — not the
+    /// throwaway tiling estimates) into `recorder`.
+    pub fn with_memtrace(mut self, recorder: Arc<MemTraceRecorder>) -> GpuContext {
+        self.memtrace = Some(recorder);
+        self
+    }
+
+    /// The observability hooks canonical (sequential) simulation sites
+    /// pass to [`simulate_instrumented`]. Parallel estimate sites (tile
+    /// sizing, shard fitting) must NOT use this: event order would become
+    /// scheduling-dependent.
+    pub(crate) fn instruments(&self) -> SimInstruments<'_> {
+        SimInstruments {
+            telemetry: Some(&self.telemetry),
+            trace: self.memtrace.as_deref(),
+        }
     }
 
     /// Whether launches through this context collect profiles.
@@ -129,30 +164,27 @@ impl GpuContext {
     /// the historical `finish` path.
     pub fn finish_abft(&self, mut y: Matrix, launch: &KernelLaunch, mut sink: AbftSink) -> GpuRun {
         sink.flush(&mut y);
-        match self.fault_plan() {
-            Some(plan) => {
-                let (sim, profile) =
-                    simulate_faulted(&self.device, &self.cost, launch, &self.registry, plan);
-                // Faulted runs always keep the profile: the injected-fault
-                // ledger lives there and resilience reporting needs it.
-                GpuRun {
-                    y,
-                    sim,
-                    profile: Some(profile),
-                    abft: sink.into_data(),
-                }
-            }
-            None => {
-                let (sim, profile) =
-                    simulate_profiled(&self.device, &self.cost, launch, &self.registry);
-                let profile = self.profiling().then_some(profile);
-                GpuRun {
-                    y,
-                    sim,
-                    profile,
-                    abft: None,
-                }
-            }
+        let plan = self.fault_plan();
+        let (sim, profile) = simulate_instrumented(
+            &self.device,
+            &self.cost,
+            launch,
+            &self.registry,
+            plan,
+            self.instruments(),
+        );
+        // Faulted runs always keep the profile: the injected-fault ledger
+        // lives there and resilience reporting needs it.
+        let keep = plan.is_some() || self.profiling();
+        GpuRun {
+            y,
+            sim,
+            profile: keep.then_some(profile),
+            abft: if plan.is_some() {
+                sink.into_data()
+            } else {
+                None
+            },
         }
     }
 }

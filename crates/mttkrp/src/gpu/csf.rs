@@ -4,45 +4,24 @@
 //! disabled, which is exactly how the paper frames it ("we term our GPU
 //! implementation of CSF as B-CSF" after fixing this kernel's imbalance).
 
-use dense::Matrix;
-use sptensor::CooTensor;
 use tensor_formats::{Bcsf, BcsfOptions, Csf};
 
-use super::common::{GpuContext, GpuRun};
+use super::common::GpuContext;
 
-/// Runs the unsplit GPU-CSF kernel on an existing CSF tree.
-#[deprecated(note = "use mttkrp::gpu::{Executor, MttkrpKernel} on a tensor_formats::Csf")]
-pub fn run(ctx: &GpuContext, csf: &Csf, factors: &[Matrix]) -> GpuRun {
-    plan_impl(ctx, csf, factors[0].cols()).execute(ctx, factors)
-}
-
-/// Captures the unsplit GPU-CSF kernel as a replayable plan.
-#[deprecated(note = "use mttkrp::gpu::MttkrpKernel::capture on a tensor_formats::Csf")]
-pub fn plan(ctx: &GpuContext, csf: &Csf, rank: usize) -> super::plan::Plan {
-    plan_impl(ctx, csf, rank)
-}
-
-/// The capture body behind the deprecated [`plan`] shim and [`Csf`]'s
-/// `MttkrpKernel` impl.
+/// The capture body behind [`Csf`]'s `MttkrpKernel` impl.
 pub(crate) fn plan_impl(ctx: &GpuContext, csf: &Csf, rank: usize) -> super::plan::Plan {
     let bcsf = Bcsf::from_csf(csf.clone(), BcsfOptions::unsplit());
     super::bcsf::plan_named(ctx, &bcsf, rank, "gpu-csf")
 }
 
-/// Builds the mode-`mode` CSF and runs the kernel.
-#[deprecated(note = "use mttkrp::gpu::Executor::build_run (KernelKind::Csf)")]
-pub fn build_and_run(ctx: &GpuContext, t: &CooTensor, factors: &[Matrix], mode: usize) -> GpuRun {
-    let perm = sptensor::mode_orientation(t.order(), mode);
-    let csf = Csf::build(t, &perm);
-    plan_impl(ctx, &csf, factors[0].cols()).execute(ctx, factors)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gpu::{Executor, KernelKind, LaunchArgs};
+    use crate::gpu::{Executor, GpuRun, KernelKind, LaunchArgs};
     use crate::reference;
+    use dense::Matrix;
     use sptensor::synth::{standin, uniform_random, SynthConfig};
+    use sptensor::CooTensor;
 
     fn build_and_run(ctx: &GpuContext, t: &CooTensor, factors: &[Matrix], mode: usize) -> GpuRun {
         Executor::new(ctx.clone())

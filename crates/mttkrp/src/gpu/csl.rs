@@ -8,11 +8,10 @@
 //! committed with a plain store; slices bigger than a warp's quota are
 //! chunked across warps with atomic commits.
 
-use dense::Matrix;
 use gpu_sim::{AddressSpace, ArraySpan, BlockWork, Op, WarpWork};
 use tensor_formats::Csl;
 
-use super::common::{load_u32s, FactorAddrs, GpuContext, GpuRun};
+use super::common::{load_u32s, FactorAddrs, GpuContext};
 use super::plan::{MemoryFootprint, Plan, PlanBuilder};
 
 /// Target nonzeros per warp. One 32-wide chunk keeps CSL's block
@@ -80,19 +79,8 @@ fn pack_warps(csl: &Csl, quota: usize) -> Vec<WarpJob> {
     jobs
 }
 
-/// Runs the CSL kernel; output mode is `csl.perm[0]`.
-#[deprecated(note = "use mttkrp::gpu::{Executor, MttkrpKernel} on a tensor_formats::Csl")]
-pub fn run(ctx: &GpuContext, csl: &Csl, factors: &[Matrix]) -> GpuRun {
-    plan_impl(ctx, csl, factors[0].cols()).execute(ctx, factors)
-}
-
-/// Captures the CSL kernel as a replayable [`Plan`] for rank `rank`.
-#[deprecated(note = "use mttkrp::gpu::MttkrpKernel::capture on a tensor_formats::Csl")]
-pub fn plan(ctx: &GpuContext, csl: &Csl, rank: usize) -> Plan {
-    plan_impl(ctx, csl, rank)
-}
-
-/// The capture body behind the deprecated [`plan`] shim and [`Csl`]'s
+/// Captures the CSL kernel as a replayable [`Plan`] for rank `rank`;
+/// output mode is `csl.perm[0]`. The capture body behind [`Csl`]'s
 /// `MttkrpKernel` impl.
 pub(crate) fn plan_impl(ctx: &GpuContext, csl: &Csl, rank: usize) -> Plan {
     let mode = csl.perm[0];
@@ -158,24 +146,12 @@ pub(crate) fn emit(
     let _ = order;
 }
 
-/// Builds CSL for mode `mode` and runs (construction cost excluded).
-#[deprecated(note = "use mttkrp::gpu::Executor::build_run (KernelKind::Csl)")]
-pub fn build_and_run(
-    ctx: &GpuContext,
-    t: &sptensor::CooTensor,
-    factors: &[Matrix],
-    mode: usize,
-) -> GpuRun {
-    let perm = sptensor::mode_orientation(t.order(), mode);
-    let csl = Csl::build(t, &perm);
-    plan_impl(ctx, &csl, factors[0].cols()).execute(ctx, factors)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gpu::{Executor, KernelKind};
+    use crate::gpu::{Executor, GpuRun, KernelKind};
     use crate::reference;
+    use dense::Matrix;
     use sptensor::synth::{standin, uniform_random, SynthConfig};
 
     fn build_and_run(

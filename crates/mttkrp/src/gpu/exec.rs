@@ -5,9 +5,9 @@
 //!
 //! [`Executor`] is what drivers hold. Configure it once (memory, faults,
 //! ABFT, grid, format options), then [`Executor::run`] any
-//! [`MttkrpKernel`] or [`Executor::execute`] any captured [`Plan`]. The
-//! historical per-module `run`/`plan`/`build_and_run` free functions are
-//! deprecated shims over the same internals.
+//! [`MttkrpKernel`] or [`Executor::execute`] any captured [`Plan`]. This
+//! is the only public entry point — the historical per-module
+//! `run`/`plan`/`build_and_run` free functions have been removed.
 
 use dense::Matrix;
 use sptensor::CooTensor;
@@ -203,6 +203,31 @@ impl Execution {
     pub fn y(&self) -> &Matrix {
         &self.run.y
     }
+
+    /// Folds every report this execution produced into an accumulating
+    /// run manifest: memory ladder stories into
+    /// [`RunManifest::memory`](simprof::RunManifest), the grid report
+    /// into [`RunManifest::grid`](simprof::RunManifest), and ABFT
+    /// verification counts into
+    /// [`RunManifest::resilience`](simprof::RunManifest). Call once per
+    /// launch — records are additive.
+    pub fn absorb_into(&self, manifest: &mut simprof::RunManifest) {
+        for mem in &self.mem {
+            mem.absorb_into(&mut manifest.memory);
+        }
+        if let Some(g) = &self.grid {
+            manifest.grid.merge(&g.to_record());
+        }
+        if let Some(r) = &self.abft {
+            manifest.resilience.merge(&simprof::ResilienceRecord {
+                faults_injected: r.faults_injected,
+                rows_detected: r.detected_rows.len() as u64,
+                kernel_retries: u64::from(r.retries),
+                degraded_rows: r.degraded_rows,
+                ..simprof::ResilienceRecord::default()
+            });
+        }
+    }
 }
 
 /// The unified executor: owns a [`GpuContext`] plus the launch policy
@@ -314,6 +339,7 @@ impl Executor {
     pub fn execute(&self, plan: &Plan, args: &LaunchArgs<'_>) -> Result<Execution, LaunchError> {
         args.validate_for_plan(plan)?;
         let ctx = &self.ctx;
+        self.note_dispatch(plan, args);
 
         if let Some(spec) = &self.grid {
             return self.execute_gridded(plan, args, spec);
@@ -362,6 +388,33 @@ impl Executor {
                 })
             }
         }
+    }
+
+    /// Emits a `dispatch` event naming the ladder rung the executor chose
+    /// for this launch, before the rung runs.
+    fn note_dispatch(&self, plan: &Plan, args: &LaunchArgs<'_>) {
+        let tel = &self.ctx.telemetry;
+        if !tel.enabled() {
+            return;
+        }
+        let rung = if self.grid.is_some() {
+            "gridded"
+        } else if args.tensor.is_some() && self.ctx.fault_plan().is_some() && self.abft.is_some() {
+            "verified-adaptive"
+        } else if args.tensor.is_some() {
+            "adaptive"
+        } else {
+            "plain"
+        };
+        let mut fields = vec![
+            ("kernel", simprof::FieldValue::from(plan.name())),
+            ("mode", simprof::FieldValue::from(plan.mode())),
+            ("rung", simprof::FieldValue::from(rung)),
+        ];
+        if let Some(spec) = &self.grid {
+            fields.push(("devices", simprof::FieldValue::from(spec.devices)));
+        }
+        tel.emit("dispatch", None, tel.new_span(), &fields);
     }
 
     fn execute_gridded(
@@ -423,9 +476,30 @@ impl Executor {
     }
 }
 
-/// Folds the grid reports of ABFT retries into one (attempt reports are
-/// identical in structure; OOM counts and high-water marks accumulate in
-/// the device ledgers, so the last report is the most complete).
-fn merge_grid_reports(mut reports: Vec<GridReport>) -> Option<GridReport> {
-    reports.pop()
+/// Folds the grid reports of ABFT retries into one: times, wire volume,
+/// and per-device counters accumulate across attempts (the attempts
+/// really ran back to back), high-water marks take the max, and a CPU
+/// fallback on any attempt marks the merged report. Attempt reports
+/// share the grid spec, so shards line up by position (= device
+/// ordinal).
+fn merge_grid_reports(reports: Vec<GridReport>) -> Option<GridReport> {
+    let mut it = reports.into_iter();
+    let mut acc = it.next()?;
+    for r in it {
+        acc.compute_seconds += r.compute_seconds;
+        acc.allreduce_seconds += r.allreduce_seconds;
+        acc.allreduce_bytes += r.allreduce_bytes;
+        acc.total_seconds += r.total_seconds;
+        acc.cpu_fallback |= r.cpu_fallback;
+        for (a, b) in acc.shards.iter_mut().zip(&r.shards) {
+            a.tiles_run += b.tiles_run;
+            a.oom_events += b.oom_events;
+            a.high_water_bytes = a.high_water_bytes.max(b.high_water_bytes);
+            a.sim_time_s += b.sim_time_s;
+            a.makespan_cycles += b.makespan_cycles;
+            a.total_flops += b.total_flops;
+            a.in_core &= b.in_core;
+        }
+    }
+    Some(acc)
 }

@@ -19,37 +19,22 @@
 //!
 //! Third-order only, like the real framework (missing 4-D bars in Fig. 15).
 
-use dense::Matrix;
 use gpu_sim::{AddressSpace, ArraySpan, BlockWork, Op, WarpWork};
 use tensor_formats::Fcoo;
 
-use super::common::{FactorAddrs, GpuContext, GpuRun};
+use super::common::{FactorAddrs, GpuContext};
 use super::plan::{MemoryFootprint, Plan, PlanBuilder};
 
 /// Default per-thread chunk length (the framework's tuning sweet spot in
 /// our packing; the paper tunes over {8, 16, 32, 64}).
 pub const DEFAULT_THREADLEN: usize = 8;
 
-/// Runs the F-COO kernel; output mode is `fcoo.perm[0]`.
+/// Captures the F-COO kernel (both passes) as a replayable [`Plan`];
+/// output mode is `fcoo.perm[0]`. The capture body behind [`Fcoo`]'s
+/// `MttkrpKernel` impl.
 ///
 /// # Panics
 /// If the tensor is not third-order.
-#[deprecated(note = "use mttkrp::gpu::{Executor, MttkrpKernel} on a tensor_formats::Fcoo")]
-pub fn run(ctx: &GpuContext, fcoo: &Fcoo, factors: &[Matrix]) -> GpuRun {
-    plan_impl(ctx, fcoo, factors[0].cols()).execute(ctx, factors)
-}
-
-/// Captures the F-COO kernel (both passes) as a replayable [`Plan`].
-///
-/// # Panics
-/// If the tensor is not third-order.
-#[deprecated(note = "use mttkrp::gpu::MttkrpKernel::capture on a tensor_formats::Fcoo")]
-pub fn plan(ctx: &GpuContext, fcoo: &Fcoo, rank: usize) -> Plan {
-    plan_impl(ctx, fcoo, rank)
-}
-
-/// The capture body behind the deprecated [`plan`] shim and
-/// [`Fcoo`]'s `MttkrpKernel` impl.
 pub(crate) fn plan_impl(ctx: &GpuContext, fcoo: &Fcoo, rank: usize) -> Plan {
     assert_eq!(
         fcoo.order(),
@@ -249,27 +234,15 @@ fn emit_strided_step(
     }
 }
 
-/// Builds F-COO for `mode` and runs (construction cost excluded).
-#[deprecated(note = "use mttkrp::gpu::Executor::build_run (KernelKind::Fcoo)")]
-pub fn build_and_run(
-    ctx: &GpuContext,
-    t: &sptensor::CooTensor,
-    factors: &[Matrix],
-    mode: usize,
-    threadlen: usize,
-) -> GpuRun {
-    let perm = sptensor::mode_orientation(t.order(), mode);
-    let fcoo = Fcoo::build(t, &perm, threadlen);
-    plan_impl(ctx, &fcoo, factors[0].cols()).execute(ctx, factors)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::gpu::{
-        AnyFormat, BuildOptions, Executor, KernelKind, LaunchArgs, LaunchError, MttkrpKernel,
+        AnyFormat, BuildOptions, Executor, GpuRun, KernelKind, LaunchArgs, LaunchError,
+        MttkrpKernel,
     };
     use crate::reference;
+    use dense::Matrix;
     use sptensor::synth::{standin, uniform_random, SynthConfig};
 
     fn build_and_run(

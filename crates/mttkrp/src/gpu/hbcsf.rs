@@ -11,31 +11,18 @@
 //! The three groups write disjoint output rows by construction, so the only
 //! atomics are B-CSF's slc-split commits.
 
-use dense::Matrix;
 use gpu_sim::{AddressSpace, BlockWork, Op, WarpWork};
-use sptensor::CooTensor;
-use tensor_formats::{BcsfOptions, Hbcsf};
+use tensor_formats::Hbcsf;
 
 use super::bcsf::BcsfSpans;
-use super::common::{load_u32s, FactorAddrs, GpuContext, GpuRun};
+use super::common::{load_u32s, FactorAddrs, GpuContext};
 use super::csl::CslSpans;
 use super::plan::{MemoryFootprint, Plan, PlanBuilder};
 
-/// Runs the composite kernel; output mode is `h.perm[0]`.
-#[deprecated(note = "use mttkrp::gpu::{Executor, MttkrpKernel} on a tensor_formats::Hbcsf")]
-pub fn run(ctx: &GpuContext, h: &Hbcsf, factors: &[Matrix]) -> GpuRun {
-    plan_impl(ctx, h, factors[0].cols()).execute(ctx, factors)
-}
-
-/// Captures the composite kernel as a replayable [`Plan`] for rank `rank`:
-/// one fused launch, block indices running across the three groups.
-#[deprecated(note = "use mttkrp::gpu::MttkrpKernel::capture on a tensor_formats::Hbcsf")]
-pub fn plan(ctx: &GpuContext, h: &Hbcsf, rank: usize) -> Plan {
-    plan_impl(ctx, h, rank)
-}
-
-/// The capture body behind the deprecated [`plan`] shim, [`Hbcsf`]'s
-/// `MttkrpKernel` impl, and [`super::plan::ModePlans`].
+/// Captures the composite kernel as a replayable [`Plan`] for rank
+/// `rank`: one fused launch, block indices running across the three
+/// groups, output mode `h.perm[0]`. The capture body behind [`Hbcsf`]'s
+/// `MttkrpKernel` impl and [`super::plan::ModePlans`].
 pub(crate) fn plan_impl(ctx: &GpuContext, h: &Hbcsf, rank: usize) -> Plan {
     let mode = h.perm[0];
     let mut space = AddressSpace::new();
@@ -103,27 +90,15 @@ fn emit_coo_group(
     }
 }
 
-/// Builds HB-CSF for `mode` and runs (construction cost excluded; see
-/// [`crate::preprocess`] for Figs. 9-10).
-#[deprecated(note = "use mttkrp::gpu::Executor::build_run (KernelKind::Hbcsf)")]
-pub fn build_and_run(
-    ctx: &GpuContext,
-    t: &CooTensor,
-    factors: &[Matrix],
-    mode: usize,
-    opts: BcsfOptions,
-) -> GpuRun {
-    let perm = sptensor::mode_orientation(t.order(), mode);
-    let h = Hbcsf::build(t, &perm, opts);
-    plan_impl(ctx, &h, factors[0].cols()).execute(ctx, factors)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gpu::{BuildOptions, Executor, KernelKind};
+    use crate::gpu::{BuildOptions, Executor, GpuRun, KernelKind};
     use crate::reference;
+    use dense::Matrix;
     use sptensor::synth::{standin, uniform_random, SynthConfig};
+    use sptensor::CooTensor;
+    use tensor_formats::BcsfOptions;
 
     fn build_and_run(
         ctx: &GpuContext,

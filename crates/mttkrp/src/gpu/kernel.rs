@@ -8,8 +8,8 @@
 //! had to hand-wire a six-way match. [`MttkrpKernel`] replaces that:
 //! a format captures itself into a [`Plan`] (`capture`), and everything
 //! downstream — replay, out-of-core tiling, ABFT, sharding — already
-//! works on plans. The old free functions remain as `#[deprecated]`
-//! shims delegating to the same internals.
+//! works on plans. The old free functions have been deleted; the capture
+//! bodies live on as `pub(crate)` implementation details.
 
 use std::str::FromStr;
 

@@ -25,9 +25,9 @@
 //! All six kernels implement the unified [`MttkrpKernel`] trait and are
 //! normally driven through the [`Executor`] facade, which owns the
 //! context plus the full degradation ladder (in-core, out-of-core tiled,
-//! multi-device sharded, ABFT-verified, CPU fallback). The per-module
-//! `run`/`plan`/`build_and_run` free functions are deprecated shims kept
-//! for one release.
+//! multi-device sharded, ABFT-verified, CPU fallback). The kernel modules
+//! only export their format/span types; capture bodies are `pub(crate)`
+//! behind the trait impls.
 
 pub mod bcsf;
 pub mod common;

@@ -33,6 +33,7 @@
 
 use dense::Matrix;
 use gpu_sim::{MemError, SimResult};
+use simprof::FieldValue;
 use sptensor::CooTensor;
 
 use super::common::{GpuContext, GpuRun};
@@ -332,6 +333,48 @@ fn finish(ctx: &GpuContext, run: GpuRun, mut report: MemReport) -> (GpuRun, MemR
         }
         ctx.registry.add("ooc.oom_events", report.oom_events);
     }
+    let tel = &ctx.telemetry;
+    if tel.enabled() {
+        // One span covers the whole adaptive decision: every rung
+        // attempted, in order, plus the replay event when a non-in-core
+        // rung produced the result.
+        let span = tel.new_span();
+        for step in &report.ladder {
+            tel.emit(
+                "ladder-step",
+                None,
+                span,
+                &[
+                    ("kernel", FieldValue::from(report.kernel.as_str())),
+                    ("mode", FieldValue::from(report.mode)),
+                    ("rung", FieldValue::from(step.rung.as_str())),
+                    ("budget_bytes", FieldValue::from(step.budget_bytes)),
+                    ("tiles", FieldValue::from(step.tiles)),
+                    ("outcome", FieldValue::from(step.outcome.as_str())),
+                ],
+            );
+        }
+        if !report.in_core && !report.cpu_fallback {
+            tel.emit(
+                "kernel-replay",
+                None,
+                span,
+                &[
+                    ("kernel", FieldValue::from(run.sim.kernel.as_str())),
+                    ("mode", FieldValue::from(report.mode)),
+                    ("sim_kernel_us", FieldValue::from(run.sim.time_s * 1e6)),
+                    ("tiles", FieldValue::from(report.tiles_run)),
+                    ("faulted", FieldValue::from(ctx.fault_plan().is_some())),
+                ],
+            );
+        }
+    }
+    // The in-core rung replays through `Plan::execute_inner`, which
+    // already advanced the simulated clock; tiled (and zero-time CPU)
+    // rungs bypass it, so account for their simulated time here.
+    if !report.in_core {
+        tel.advance_us(run.sim.time_s * 1e6);
+    }
     (run, report)
 }
 
@@ -415,6 +458,11 @@ pub(crate) fn aggregate_tiled_sim(
             continue;
         }
         let sim = ctx.simulate(&sub);
+        // Histogram-only (no events): bucket increments are
+        // order-independent, so this stays safe if tiles are ever
+        // estimated in parallel.
+        ctx.registry
+            .observe("ooc.tile_us", (sim.time_s * 1e6).round() as u64);
         agg.makespan_cycles += sim.makespan_cycles;
         agg.time_s += sim.time_s;
         agg.total_flops += sim.total_flops;

@@ -6,39 +6,21 @@
 //! Like the real framework, this kernel supports third-order tensors only —
 //! the missing 4-D bars of Fig. 14 are reproduced by construction.
 
-use dense::Matrix;
 use gpu_sim::{AddressSpace, BlockWork, Op, WarpWork};
 use sptensor::CooTensor;
 
-use super::common::{load_u32s, FactorAddrs, GpuContext, GpuRun};
+use super::common::{load_u32s, FactorAddrs, GpuContext};
 use super::plan::{MemoryFootprint, Plan, PlanBuilder};
-use crate::reference::check_shapes;
 
 /// Nonzeros handled by one warp (rank across lanes; nonzeros serial).
 const NNZ_PER_WARP: usize = 32;
 
-/// Runs mode-`mode` MTTKRP over a COO tensor on the simulated GPU.
-///
-/// # Panics
-/// If the tensor is not third-order (the ParTI-GPU limitation) or factor
-/// shapes are wrong.
-#[deprecated(note = "use mttkrp::gpu::{Executor, AnyFormat} (KernelKind::Coo)")]
-pub fn run(ctx: &GpuContext, t: &CooTensor, factors: &[Matrix], mode: usize) -> GpuRun {
-    let (_, r) = check_shapes(t, factors, mode);
-    plan_impl(ctx, t, mode, r).execute(ctx, factors)
-}
-
-/// Captures the ParTI-COO kernel as a replayable [`Plan`] for rank `rank`.
+/// Captures the ParTI-COO kernel as a replayable [`Plan`] for rank
+/// `rank`. The capture body behind
+/// [`AnyFormat::Coo`](super::AnyFormat)'s `MttkrpKernel` impl.
 ///
 /// # Panics
 /// If the tensor is not third-order (the ParTI-GPU limitation).
-#[deprecated(note = "use mttkrp::gpu::MttkrpKernel::capture via AnyFormat (KernelKind::Coo)")]
-pub fn plan(ctx: &GpuContext, t: &CooTensor, mode: usize, rank: usize) -> Plan {
-    plan_impl(ctx, t, mode, rank)
-}
-
-/// The capture body behind both the deprecated [`plan`] shim and
-/// [`AnyFormat::Coo`](super::AnyFormat)'s `MttkrpKernel` impl.
 pub(crate) fn plan_impl(ctx: &GpuContext, t: &CooTensor, mode: usize, rank: usize) -> Plan {
     assert_eq!(
         t.order(),
@@ -91,8 +73,9 @@ pub(crate) fn plan_impl(ctx: &GpuContext, t: &CooTensor, mode: usize, rank: usiz
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gpu::{AnyFormat, BuildOptions, Executor, KernelKind, LaunchError};
+    use crate::gpu::{AnyFormat, BuildOptions, Executor, GpuRun, KernelKind, LaunchError};
     use crate::reference;
+    use dense::Matrix;
     use sptensor::synth::{standin, uniform_random, SynthConfig};
 
     fn run(ctx: &GpuContext, t: &CooTensor, factors: &[Matrix], mode: usize) -> GpuRun {

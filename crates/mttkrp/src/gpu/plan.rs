@@ -29,10 +29,10 @@ use std::time::Instant;
 
 use dense::Matrix;
 use gpu_sim::{
-    simulate_faulted, simulate_profiled, AddressSpace, FaultPlan, KernelLaunch, MemLease,
-    SimProfile, SimResult,
+    simulate_instrumented, AddressSpace, FaultPlan, KernelLaunch, MemLease, SimProfile, SimResult,
 };
 use rayon::prelude::*;
+use simprof::FieldValue;
 use sptensor::CooTensor;
 use tensor_formats::{BcsfOptions, Hbcsf};
 
@@ -385,6 +385,24 @@ impl Plan {
         if ctx.profiling() {
             ctx.registry.add("plan.replays", 1);
         }
+        let tel = &ctx.telemetry;
+        if tel.enabled() {
+            tel.emit(
+                "kernel-replay",
+                None,
+                tel.new_span(),
+                &[
+                    ("kernel", FieldValue::from(self.name.as_str())),
+                    ("mode", FieldValue::from(self.mode)),
+                    ("sim_kernel_us", FieldValue::from(sim.time_s * 1e6)),
+                    ("faulted", FieldValue::from(ctx.fault_plan().is_some())),
+                ],
+            );
+        }
+        // The simulated clock advances by the replayed kernel's sim time
+        // whether or not events are being rendered — iteration timings in
+        // cpd.rs are derived from it.
+        tel.advance_us(sim.time_s * 1e6);
         GpuRun {
             y,
             sim,
@@ -407,15 +425,19 @@ impl Plan {
                     .unwrap_or_else(PoisonError::into_inner);
                 match cached.as_ref() {
                     Some((key, sim, profile)) if key == plan => {
-                        (sim.clone(), Some(profile.clone()))
+                        let out = (sim.clone(), Some(profile.clone()));
+                        drop(cached);
+                        self.note_cache_hit(ctx, "faulted");
+                        out
                     }
                     _ => {
-                        let (sim, profile) = simulate_faulted(
+                        let (sim, profile) = simulate_instrumented(
                             &ctx.device,
                             &ctx.cost,
                             &self.launch,
                             &ctx.registry,
-                            plan,
+                            Some(plan),
+                            ctx.instruments(),
                         );
                         *cached = Some((plan.clone(), sim.clone(), profile.clone()));
                         (sim, Some(profile))
@@ -423,11 +445,50 @@ impl Plan {
                 }
             }
             None => {
-                let (sim, profile) = self.sim_clean.get_or_init(|| {
-                    simulate_profiled(&ctx.device, &ctx.cost, &self.launch, &ctx.registry)
-                });
+                let (sim, profile) = self.clean_sim_cached(ctx);
                 (sim.clone(), ctx.profiling().then(|| profile.clone()))
             }
+        }
+    }
+
+    /// The memoized fault-free simulation, computing (and instrumenting)
+    /// it on first use. This is the *canonical* per-replay timing: it
+    /// depends only on the captured launch and the device model — never on
+    /// device count or fault state — so the telemetry clock advanced from
+    /// it is identical across `--devices 1` and `--devices N` runs.
+    pub(crate) fn clean_sim_cached(&self, ctx: &GpuContext) -> &(SimResult, SimProfile) {
+        let hit = self.sim_clean.get().is_some();
+        let pair = self.sim_clean.get_or_init(|| {
+            simulate_instrumented(
+                &ctx.device,
+                &ctx.cost,
+                &self.launch,
+                &ctx.registry,
+                None,
+                ctx.instruments(),
+            )
+        });
+        if hit {
+            self.note_cache_hit(ctx, "clean");
+        }
+        pair
+    }
+
+    /// Emits a `plan-cache-hit` event: a replay was served from the
+    /// memoized simulation instead of re-running the machine model.
+    fn note_cache_hit(&self, ctx: &GpuContext, cache: &str) {
+        let tel = &ctx.telemetry;
+        if tel.enabled() {
+            tel.emit(
+                "plan-cache-hit",
+                None,
+                tel.new_span(),
+                &[
+                    ("kernel", FieldValue::from(self.name.as_str())),
+                    ("mode", FieldValue::from(self.mode)),
+                    ("cache", FieldValue::from(cache)),
+                ],
+            );
         }
     }
 

@@ -35,6 +35,7 @@ use std::sync::Arc;
 use dense::Matrix;
 use gpu_sim::{DeviceMemory, Interconnect, SimResult};
 use rayon::prelude::*;
+use simprof::FieldValue;
 use sptensor::CooTensor;
 
 use super::common::{GpuContext, GpuRun};
@@ -361,6 +362,64 @@ impl ShardModel {
             if self.cpu_fallback {
                 ctx.registry.add("sharded.cpu_fallbacks", 1);
             }
+            for s in &self.shards {
+                ctx.registry
+                    .observe("shard.compute_us", (s.sim_time_s * 1e6).round() as u64);
+            }
+        }
+        if !self.cpu_fallback {
+            // The *canonical* replay timing is the memoized fault-free
+            // whole-launch simulation: it depends only on the captured
+            // launch, never on the device count, so the simulated clock —
+            // and every fold-order event stamped from it — is identical
+            // across `--devices 1` and `--devices N`. Device-dependent
+            // quantities (per-shard times, all-reduce pricing) are carried
+            // by `shard-*` events instead, which are excluded from the
+            // cross-device stability contract.
+            let tel = &ctx.telemetry;
+            let (clean_sim, _) = plan.clean_sim_cached(ctx);
+            let canonical_us = clean_sim.time_s * 1e6;
+            if tel.enabled() {
+                let span = tel.new_span();
+                tel.emit(
+                    "kernel-replay",
+                    None,
+                    span,
+                    &[
+                        ("kernel", FieldValue::from(plan.name())),
+                        ("mode", FieldValue::from(plan.mode())),
+                        ("sim_kernel_us", FieldValue::from(canonical_us)),
+                        ("faulted", FieldValue::from(ctx.fault_plan().is_some())),
+                    ],
+                );
+                for s in &self.shards {
+                    tel.emit(
+                        "shard-compute",
+                        Some(s.device),
+                        span,
+                        &[
+                            ("kernel", FieldValue::from(plan.name())),
+                            ("block_begin", FieldValue::from(s.block_begin)),
+                            ("block_end", FieldValue::from(s.block_end)),
+                            ("weight", FieldValue::from(s.weight)),
+                            ("tiles", FieldValue::from(s.tiles_run)),
+                            ("sim_us", FieldValue::from(s.sim_time_s * 1e6)),
+                        ],
+                    );
+                }
+                tel.emit(
+                    "shard-allreduce",
+                    None,
+                    span,
+                    &[
+                        ("kernel", FieldValue::from(plan.name())),
+                        ("devices", FieldValue::from(self.spec.devices)),
+                        ("bytes", FieldValue::from(self.allreduce_bytes)),
+                        ("seconds", FieldValue::from(self.allreduce_seconds)),
+                    ],
+                );
+            }
+            tel.advance_us(canonical_us);
         }
         (run, self.report())
     }

@@ -1,0 +1,459 @@
+//! Versioned structured event stream.
+//!
+//! Counters aggregate and histograms summarize; the event stream keeps
+//! the *sequence*: every kernel launch, plan replay, ladder step, fault
+//! retry, and shard all-reduce as one JSON line, in the order the
+//! simulated machine performed them. Timestamps are **simulated** time —
+//! a monotonic clock advanced only by kernel sim results, never the host
+//! wall clock — so two runs with the same seed produce byte-identical
+//! streams (the determinism tests in `crates/mttkrp/tests/telemetry.rs`
+//! hold us to that).
+//!
+//! Line shape (fixed field order, hand-rolled because the vendored serde
+//! derive has no enum-payload support):
+//!
+//! ```json
+//! {"v":1,"seq":7,"sim_us":42.5,"span":3,"kind":"kernel-replay","kernel":"hb-csf","mode":0}
+//! ```
+//!
+//! `v` is [`EVENT_SCHEMA_VERSION`], `seq` is a per-stream line counter
+//! (dense, starting at 0), `span` groups lines belonging to one logical
+//! operation, and `device` appears only on device-annotated events.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Version stamped into every event line as `"v"`. Bump when the
+/// envelope (not a per-kind payload) changes shape.
+pub const EVENT_SCHEMA_VERSION: u32 = 1;
+
+/// Destination for rendered event lines. Implementations must tolerate
+/// concurrent calls; [`Telemetry`] already serializes `write_line`s, so a
+/// sink only needs interior mutability.
+pub trait TelemetrySink: Send + Sync {
+    fn write_line(&self, line: &str);
+    fn flush(&self) {}
+}
+
+/// Sink that appends lines to a buffered file.
+pub struct FileSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl FileSink {
+    /// Creates (truncating) the file at `path`, making parent directories
+    /// as needed.
+    pub fn create(path: &Path) -> std::io::Result<FileSink> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(FileSink {
+            writer: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+}
+
+impl TelemetrySink for FileSink {
+    fn write_line(&self, line: &str) {
+        let mut w = self.writer.lock();
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.write_all(b"\n");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().flush();
+    }
+}
+
+impl Drop for FileSink {
+    fn drop(&mut self) {
+        let _ = self.writer.lock().flush();
+    }
+}
+
+/// Bounded in-memory sink for tests: keeps the most recent `capacity`
+/// lines and exposes them via [`RingSink::lines`].
+pub struct RingSink {
+    capacity: usize,
+    lines: Mutex<VecDeque<String>>,
+}
+
+impl RingSink {
+    pub fn new(capacity: usize) -> RingSink {
+        RingSink {
+            capacity: capacity.max(1),
+            lines: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The retained lines, oldest first.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().iter().cloned().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.lines.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lines.lock().is_empty()
+    }
+}
+
+impl TelemetrySink for RingSink {
+    fn write_line(&self, line: &str) {
+        let mut lines = self.lines.lock();
+        if lines.len() == self.capacity {
+            lines.pop_front();
+        }
+        lines.push_back(line.to_string());
+    }
+}
+
+/// Sink that discards everything — what un-instrumented runs carry.
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {
+    fn write_line(&self, _line: &str) {}
+}
+
+/// One typed field of an event payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Rust's shortest round-trip formatting: deterministic and valid
+        // JSON for every finite double.
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_field_value(out: &mut String, v: &FieldValue) {
+    match v {
+        FieldValue::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        FieldValue::F64(x) => push_json_f64(out, *x),
+        FieldValue::Str(s) => push_json_str(out, s),
+        FieldValue::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+    }
+}
+
+struct EmitState {
+    seq: u64,
+}
+
+/// Handle through which instrumented code emits events and reads the
+/// simulated clock.
+///
+/// The clock ([`Telemetry::now_us`] / [`Telemetry::advance_us`]) always
+/// runs, even on a [`Telemetry::null`] handle — CPD iteration timings are
+/// derived from it whether or not an event file was requested — but
+/// [`Telemetry::emit`] renders and writes only when the handle was built
+/// over a real sink.
+pub struct Telemetry {
+    enabled: bool,
+    sink: Arc<dyn TelemetrySink>,
+    state: Mutex<EmitState>,
+    /// Simulated time in integer nanoseconds (integer so concurrent
+    /// advances stay associative and runs stay bit-identical).
+    sim_ns: AtomicU64,
+    next_span: AtomicU64,
+    path: Option<String>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.enabled)
+            .field("sim_us", &self.now_us())
+            .field("path", &self.path)
+            .finish()
+    }
+}
+
+impl Telemetry {
+    fn over(sink: Arc<dyn TelemetrySink>, enabled: bool, path: Option<String>) -> Telemetry {
+        Telemetry {
+            enabled,
+            sink,
+            state: Mutex::new(EmitState { seq: 0 }),
+            sim_ns: AtomicU64::new(0),
+            next_span: AtomicU64::new(0),
+            path,
+        }
+    }
+
+    /// A disabled handle: the clock runs, events go nowhere.
+    pub fn null() -> Telemetry {
+        Telemetry::over(Arc::new(NullSink), false, None)
+    }
+
+    /// An enabled handle writing JSONL to `path`.
+    pub fn to_file(path: &Path) -> std::io::Result<Telemetry> {
+        let sink = FileSink::create(path)?;
+        Ok(Telemetry::over(
+            Arc::new(sink),
+            true,
+            Some(path.display().to_string()),
+        ))
+    }
+
+    /// An enabled handle over any sink (ring buffers in tests).
+    pub fn with_sink(sink: Arc<dyn TelemetrySink>) -> Telemetry {
+        Telemetry::over(sink, true, None)
+    }
+
+    /// Whether [`Telemetry::emit`] writes anywhere. Callers may consult
+    /// this to skip building payloads.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Path of the JSONL stream when file-backed.
+    pub fn events_path(&self) -> Option<&str> {
+        self.path.as_deref()
+    }
+
+    /// Current simulated time, microseconds.
+    pub fn now_us(&self) -> f64 {
+        self.sim_ns.load(Ordering::Relaxed) as f64 / 1000.0
+    }
+
+    /// Advances the simulated clock. Negative, NaN, and infinite inputs
+    /// are ignored.
+    pub fn advance_us(&self, us: f64) {
+        if us.is_finite() && us > 0.0 {
+            let ns = (us * 1000.0).round() as u64;
+            self.sim_ns.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Allocates a fresh span id (1-based; 0 is never issued).
+    pub fn new_span(&self) -> u64 {
+        self.next_span.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Emits one event line. `fields` are appended after the envelope in
+    /// the order given; `device` appears only when `Some`.
+    pub fn emit(
+        &self,
+        kind: &str,
+        device: Option<usize>,
+        span: u64,
+        fields: &[(&str, FieldValue)],
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let sim_us = self.now_us();
+        // Sequence allocation and the sink write share one lock so `seq`
+        // order always matches line order in the stream.
+        let mut state = self.state.lock();
+        let mut line = String::with_capacity(96);
+        let _ = write!(line, "{{\"v\":{EVENT_SCHEMA_VERSION},\"seq\":{}", state.seq);
+        line.push_str(",\"sim_us\":");
+        push_json_f64(&mut line, sim_us);
+        let _ = write!(line, ",\"span\":{span}");
+        line.push_str(",\"kind\":");
+        push_json_str(&mut line, kind);
+        if let Some(d) = device {
+            let _ = write!(line, ",\"device\":{d}");
+        }
+        for (name, value) in fields {
+            line.push(',');
+            push_json_str(&mut line, name);
+            line.push(':');
+            push_field_value(&mut line, value);
+        }
+        line.push('}');
+        self.sink.write_line(&line);
+        state.seq += 1;
+    }
+
+    /// Flushes the underlying sink.
+    pub fn flush(&self) {
+        self.sink.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_sink_keeps_lines_in_emit_order() {
+        let ring = Arc::new(RingSink::new(16));
+        let tel = Telemetry::with_sink(Arc::clone(&ring) as Arc<dyn TelemetrySink>);
+        tel.emit("alpha", None, tel.new_span(), &[("x", 1u64.into())]);
+        tel.advance_us(2.5);
+        tel.emit(
+            "beta",
+            Some(3),
+            tel.new_span(),
+            &[("name", "hb-csf".into()), ("ok", true.into())],
+        );
+        let lines = ring.lines();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"v\":1,\"seq\":0,\"sim_us\":0,\"span\":1,\"kind\":\"alpha\",\"x\":1}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"v\":1,\"seq\":1,\"sim_us\":2.5,\"span\":2,\"kind\":\"beta\",\"device\":3,\
+             \"name\":\"hb-csf\",\"ok\":true}"
+        );
+    }
+
+    #[test]
+    fn every_line_parses_as_json() {
+        let ring = Arc::new(RingSink::new(8));
+        let tel = Telemetry::with_sink(Arc::clone(&ring) as Arc<dyn TelemetrySink>);
+        tel.emit(
+            "weird",
+            None,
+            tel.new_span(),
+            &[
+                ("quote", "a\"b\\c\nd".into()),
+                ("nan", f64::NAN.into()),
+                ("neg", (-1.25f64).into()),
+            ],
+        );
+        for line in ring.lines() {
+            let v = serde_json::from_str(&line).expect("line must parse");
+            assert_eq!(v["v"].as_u64(), Some(1));
+            assert_eq!(v["kind"].as_str(), Some("weird"));
+            assert_eq!(v["quote"].as_str(), Some("a\"b\\c\nd"));
+            assert!(v["nan"].is_null());
+            assert_eq!(v["neg"].as_f64(), Some(-1.25));
+        }
+    }
+
+    #[test]
+    fn ring_sink_drops_oldest_beyond_capacity() {
+        let ring = RingSink::new(2);
+        ring.write_line("a");
+        ring.write_line("b");
+        ring.write_line("c");
+        assert_eq!(ring.lines(), vec!["b".to_string(), "c".to_string()]);
+        assert_eq!(ring.len(), 2);
+    }
+
+    #[test]
+    fn null_telemetry_keeps_clock_but_emits_nothing() {
+        let tel = Telemetry::null();
+        assert!(!tel.enabled());
+        tel.advance_us(10.0);
+        tel.advance_us(0.25);
+        assert_eq!(tel.now_us(), 10.25);
+        tel.advance_us(-5.0);
+        tel.advance_us(f64::NAN);
+        assert_eq!(tel.now_us(), 10.25);
+        tel.emit("ignored", None, tel.new_span(), &[]);
+        // Nothing observable; just must not panic.
+    }
+
+    #[test]
+    fn span_ids_are_dense_and_one_based() {
+        let tel = Telemetry::null();
+        assert_eq!(tel.new_span(), 1);
+        assert_eq!(tel.new_span(), 2);
+        assert_eq!(tel.new_span(), 3);
+    }
+
+    #[test]
+    fn file_sink_round_trips() {
+        let dir = std::env::temp_dir().join("simtelemetry-test");
+        let path = dir.join("events.jsonl");
+        let tel = Telemetry::to_file(&path).unwrap();
+        assert_eq!(tel.events_path(), Some(path.display().to_string().as_str()));
+        tel.emit("one", None, 1, &[("k", 7u64.into())]);
+        tel.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text,
+            "{\"v\":1,\"seq\":0,\"sim_us\":0,\"span\":1,\"kind\":\"one\",\"k\":7}\n"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -18,21 +18,34 @@
 //! - [`MetricRow`] / [`nvprof_table`] — an nvprof-style text table in the
 //!   paper's Table II column layout for any set of kernels.
 //! - [`RunManifest`] — machine-readable CPD-ALS telemetry: per-mode
-//!   MTTKRP time per iteration, format-construction time, and the fit
-//!   trajectory.
+//!   MTTKRP time per iteration, format-construction time, histogram
+//!   snapshots, and the fit trajectory.
+//! - [`Histogram`] — log-bucketed distribution metrics (p50/p90/p99/max)
+//!   recorded alongside counters; deterministic because every observation
+//!   is a simulated integer quantity, never wall time.
+//! - [`Telemetry`] / [`TelemetrySink`] — the versioned JSONL event
+//!   stream: typed events (kernel launch/replay, plan-cache hit, ladder
+//!   step, fault retry, shard all-reduce) on a monotonic *simulated*
+//!   clock, written to a file, an in-memory ring (tests), or nowhere.
 //!
 //! `simprof` deliberately knows nothing about `gpu-sim` or `mttkrp`; those
 //! crates depend on it and feed it data, never the reverse.
 
 pub mod chrome;
+pub mod events;
+pub mod histogram;
 pub mod manifest;
 pub mod registry;
 pub mod table;
 
 pub use chrome::{ChromeTrace, TraceEvent};
+pub use events::{
+    FieldValue, FileSink, NullSink, RingSink, Telemetry, TelemetrySink, EVENT_SCHEMA_VERSION,
+};
+pub use histogram::{Histogram, HistogramSnapshot};
 pub use manifest::{
     DeviceRecord, GridRecord, IterationRecord, MemEventRecord, MemoryRecord, ModeTiming,
     PhaseTiming, ResilienceRecord, RunManifest,
 };
 pub use registry::{Registry, ScopedSpan, SpanRecord};
-pub use table::{nvprof_table, MetricRow};
+pub use table::{histogram_table, nvprof_table, MetricRow};

@@ -252,6 +252,12 @@ pub struct RunManifest {
     /// Multi-device sharding and interconnect activity (all zeros when
     /// the run executed on a single device).
     pub grid: GridRecord,
+    /// Path of the JSONL event stream emitted alongside this run, when
+    /// one was requested (`None` otherwise).
+    pub events_path: Option<String>,
+    /// Distribution snapshots (per-block stall cycles, tile latencies,
+    /// shard compute times, iteration timings) keyed by metric name.
+    pub histograms: std::collections::BTreeMap<String, crate::HistogramSnapshot>,
 }
 
 impl RunManifest {
@@ -280,6 +286,8 @@ impl RunManifest {
             resilience: ResilienceRecord::default(),
             memory: MemoryRecord::default(),
             grid: GridRecord::default(),
+            events_path: None,
+            histograms: std::collections::BTreeMap::new(),
         }
     }
 

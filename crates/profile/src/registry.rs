@@ -6,6 +6,7 @@
 //! registry is disabled, so instrumented hot paths pay a single predicted
 //! branch and never touch the lock.
 
+use crate::histogram::{Histogram, HistogramSnapshot};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -27,6 +28,7 @@ pub struct SpanRecord {
 struct Inner {
     counters: BTreeMap<String, u64>,
     spans: Vec<SpanRecord>,
+    histograms: BTreeMap<String, Histogram>,
 }
 
 /// Thread-safe sink for counters and spans.
@@ -102,6 +104,44 @@ impl Registry {
         }
     }
 
+    /// Records one observation into the named histogram. Bucket
+    /// increments are order-independent, so concurrent observers always
+    /// converge on the same snapshot regardless of interleaving.
+    #[inline]
+    pub fn observe(&self, name: &str, value: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        match inner.histograms.get_mut(name) {
+            Some(h) => h.observe(value),
+            None => {
+                let mut h = Histogram::new();
+                h.observe(value);
+                inner.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Snapshot of a single histogram (`None` if never observed).
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.inner
+            .lock()
+            .histograms
+            .get(name)
+            .map(Histogram::snapshot)
+    }
+
+    /// Snapshots of all histograms, sorted by name.
+    pub fn histograms(&self) -> BTreeMap<String, HistogramSnapshot> {
+        self.inner
+            .lock()
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect()
+    }
+
     /// Current value of a counter (0 if never written).
     pub fn counter(&self, name: &str) -> u64 {
         self.inner.lock().counters.get(name).copied().unwrap_or(0)
@@ -156,12 +196,18 @@ impl Registry {
     }
 
     /// Everything recorded so far, as a JSON document:
-    /// `{"counters": {...}, "spans": [...]}`.
+    /// `{"counters": {...}, "spans": [...], "histograms": {...}}`.
     pub fn snapshot_json(&self) -> serde_json::Value {
         let inner = self.inner.lock();
+        let histograms: BTreeMap<String, HistogramSnapshot> = inner
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect();
         serde_json::json!({
             "counters": serde_json::to_value(&inner.counters),
             "spans": serde_json::to_value(&inner.spans),
+            "histograms": serde_json::to_value(&histograms),
         })
     }
 }
@@ -208,15 +254,38 @@ mod tests {
     fn disabled_registry_records_nothing() {
         let r = Registry::disabled();
         r.add("x", 10);
+        r.observe("h", 42);
         {
             let _s = r.span("quiet", "test");
         }
         r.record_span("quiet2", "test", 0.0, 1.0);
         assert_eq!(r.counter("x"), 0);
         assert!(r.spans().is_empty());
+        assert!(r.histogram("h").is_none());
         r.set_enabled(true);
         r.add("x", 10);
         assert_eq!(r.counter("x"), 10);
+    }
+
+    #[test]
+    fn histograms_accumulate_and_snapshot() {
+        let r = Registry::new();
+        for v in [1u64, 2, 4, 8, 1000] {
+            r.observe("sim.block_cycles", v);
+        }
+        r.observe("ooc.tile_us", 5);
+        let h = r.histogram("sim.block_cycles").unwrap();
+        assert_eq!(h.count, 5);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 1000);
+        let all = r.histograms();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all["ooc.tile_us"].count, 1);
+        let v = r.snapshot_json();
+        assert_eq!(
+            v["histograms"]["sim.block_cycles"]["count"].as_u64(),
+            Some(5)
+        );
     }
 
     #[test]

@@ -106,6 +106,70 @@ pub fn nvprof_table(title: &str, rows: &[MetricRow]) -> String {
     out
 }
 
+/// Renders histogram snapshots as an aligned text table in the same
+/// fixed-width idiom as [`nvprof_table`]: one line per metric, quantiles
+/// as columns. Input is a name → snapshot map (as produced by
+/// `Registry::histograms`), rendered in name order.
+pub fn histogram_table(
+    title: &str,
+    hists: &std::collections::BTreeMap<String, crate::HistogramSnapshot>,
+) -> String {
+    const HHEADERS: [&str; 7] = ["metric", "count", "min", "p50", "p90", "p99", "max"];
+    let cells: Vec<[String; 7]> = hists
+        .iter()
+        .map(|(name, h)| {
+            [
+                name.clone(),
+                h.count.to_string(),
+                h.min.to_string(),
+                h.p50.to_string(),
+                h.p90.to_string(),
+                h.p99.to_string(),
+                h.max.to_string(),
+            ]
+        })
+        .collect();
+    let mut widths: Vec<usize> = HHEADERS.iter().map(|h| h.len()).collect();
+    for row in &cells {
+        for (w, c) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(c.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (HHEADERS.len() - 1);
+    out.push_str(&"=".repeat(total));
+    out.push('\n');
+    for (i, (h, w)) in HHEADERS.iter().zip(&widths).enumerate() {
+        if i > 0 {
+            out.push_str("  ");
+        }
+        if i == 0 {
+            out.push_str(&format!("{h:<w$}"));
+        } else {
+            out.push_str(&format!("{h:>w$}"));
+        }
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in &cells {
+        for (i, (c, w)) in row.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            if i == 0 {
+                out.push_str(&format!("{c:<w$}"));
+            } else {
+                out.push_str(&format!("{c:>w$}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,5 +239,23 @@ mod tests {
         let text = nvprof_table("empty", &[]);
         assert!(text.contains("kernel"));
         assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    fn histogram_table_renders_quantiles() {
+        let mut h = crate::Histogram::new();
+        for v in [10u64, 20, 3000] {
+            h.observe(v);
+        }
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("sim.block_cycles".to_string(), h.snapshot());
+        let text = histogram_table("Latency distributions", &m);
+        assert!(text.starts_with("Latency distributions\n"));
+        for needle in ["metric", "count", "p50", "p99", "sim.block_cycles", "3000"] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[2].len(), lines[4].len());
     }
 }

@@ -138,6 +138,7 @@ fn resilient_cpd_under_faults_stays_within_one_percent_of_clean_fit() {
             .y
         },
         Some(&mut manifest),
+        Some(&ctx),
     );
 
     let fit = result.final_fit();

@@ -1,0 +1,169 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements exactly the harness surface this workspace's benches use:
+//! [`Criterion::benchmark_group`], group-level `sample_size` /
+//! `bench_function` / `bench_with_input` / `finish`, [`Bencher::iter`],
+//! [`BenchmarkId::from_parameter`], and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is a plain [`Instant`] loop printed
+//! as mean wall time per iteration — enough for `cargo bench` smoke runs
+//! and trend eyeballing, with none of the statistics machinery of the
+//! real crate (unreachable offline).
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    iterations: u64,
+    /// Total measured nanoseconds across all iterations.
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Runs `routine` `iterations` times, timing the whole batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream: number of statistical samples. Here: iterations per
+    /// benchmark (bounded to keep smoke runs quick).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u64).max(1);
+        self
+    }
+
+    fn run_one(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            iterations: self.sample_size,
+            elapsed_ns: 0,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed_ns as f64 / b.iterations.max(1) as f64;
+        println!(
+            "bench {}/{}: {:.1} ns/iter ({} iters)",
+            self.name, id, per_iter, b.iterations
+        );
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = id.id.clone();
+        self.run_one(&name, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point; one per `criterion_group!`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut g = BenchmarkGroup {
+            name: "bench".to_string(),
+            sample_size: 10,
+            _criterion: self,
+        };
+        g.run_one(id, f);
+        self
+    }
+}
+
+/// Declares a benchmark group runner, mirroring upstream's macro shape.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups; CLI arguments from
+/// `cargo bench` are accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        let mut calls = 0u64;
+        g.bench_function("count", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input_through() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2);
+        let mut seen = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter("x"), &21u64, |b, &v| {
+            b.iter(|| seen = v * 2)
+        });
+        assert_eq!(seen, 42);
+    }
+}
