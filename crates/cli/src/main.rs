@@ -31,6 +31,7 @@ use mttkrp::cpd::{
 use mttkrp::cpu::splatt::{SplattCsf, SplattOptions};
 use mttkrp::gpu::{self, GpuContext, MemReport, MttkrpKernel, OocOptions};
 use mttkrp::reference::random_factors;
+use serve::{Service, ServiceConfig, Workload, WorkloadConfig};
 use sptensor::stats::ModeStats;
 use sptensor::{io as tio, mode_orientation, CooTensor};
 use tensor_formats::{BcsfOptions, Csf, Csl, Fcoo, Hbcsf, Hicoo, IndexBytes};
@@ -46,6 +47,7 @@ fn main() -> ExitCode {
         Some("bench") => cmd_bench(&args[1..]),
         Some("calibrate") => cmd_calibrate(&args[1..]),
         Some("trace-replay") => cmd_trace_replay(&args[1..]),
+        Some("serve-sim") => cmd_serve_sim(&args[1..]),
         _ => {
             usage();
             return ExitCode::from(2);
@@ -83,6 +85,18 @@ fn usage() {
     eprintln!("      orderings (Table II / Figs. 5-8), and writes BENCH_fleet.json");
     eprintln!("  sptk trace-replay <trace.jsonl>");
     eprintln!("      replays a --mem-trace file through a cold cache and re-derives L2 rates");
+    eprintln!(
+        "  sptk serve-sim [--tenants N] [--jobs N] [--seed S] [--devices N] [--queue-depth N]"
+    );
+    eprintln!("      [--nnz N] [--rank R] [--arrival-us U] [--deadline-us U] [--timeout-us U]");
+    eprintln!("      [--cpd-frac PCT] [--backoff-us U] [--interconnect SPEC] [--faults SPEC]");
+    eprintln!("      [--mem-capacity B] [--out PATH] [--events PATH] [--profile DIR] [--verify]");
+    eprintln!("      [--expect-shed N] [--expect-device-loss N]");
+    eprintln!("      runs a deterministic multi-tenant CPD/MTTKRP service simulation: seeded");
+    eprintln!("      synthetic workload, shared plan cache, admission control with a bounded");
+    eprintln!("      queue, per-job deadlines with a degrading retry ladder, and device-loss");
+    eprintln!("      recovery; prints per-tenant latency percentiles and writes a");
+    eprintln!("      byte-reproducible JSON report with --out");
     eprintln!("  --profile DIR writes trace.json (Perfetto), nvprof_table.txt, counters.json,");
     eprintln!("      histograms.txt, and (for cpd) manifest.json into DIR; simulated-GPU");
     eprintln!("      kernels only");
@@ -592,7 +606,7 @@ fn cmd_mttkrp(args: &[String]) -> Result<()> {
                 let profile = run
                     .profile
                     .as_ref()
-                    .expect("profiling context keeps the profile");
+                    .ok_or("profiling context dropped the per-block profile")?;
                 write_kernel_profile(dir, &ctx, &run.sim, profile)?;
                 println!(
                     "profile: {} (trace.json, nvprof_table.txt, counters.json, histograms.txt)",
@@ -638,7 +652,7 @@ fn write_kernel_profile(
     snapshot["atomic_rows"] = serde_json::to_value(&profile.atomic_rows);
     std::fs::write(
         dir.join("counters.json"),
-        serde_json::to_string_pretty(&snapshot).expect("counters serialize"),
+        serde_json::to_string_pretty(&snapshot).map_err(|e| format!("counters.json: {e}"))?,
     )
     .map_err(io_err)?;
     let hists = ctx.registry.histograms();
@@ -706,7 +720,7 @@ fn cmd_bench(args: &[String]) -> Result<()> {
     }
     std::fs::write(
         &out,
-        serde_json::to_string_pretty(&doc).expect("bench doc serializes"),
+        serde_json::to_string_pretty(&doc).map_err(|e| format!("{out}: {e}"))?,
     )
     .map_err(|e| format!("{out}: {e}"))?;
     println!("wrote {out}");
@@ -792,7 +806,7 @@ fn cmd_calibrate(args: &[String]) -> Result<()> {
     );
     std::fs::write(
         &out,
-        serde_json::to_string_pretty(&report.to_json(&cfg)).expect("fleet doc serializes"),
+        serde_json::to_string_pretty(&report.to_json(&cfg)).map_err(|e| format!("{out}: {e}"))?,
     )
     .map_err(|e| format!("{out}: {e}"))?;
     println!("wrote {out}");
@@ -839,6 +853,173 @@ fn cmd_trace_replay(args: &[String]) -> Result<()> {
         return Err("trace replay diverged from the live simulation".into());
     }
     Ok(())
+}
+
+/// `sptk serve-sim`: a deterministic multi-tenant service simulation —
+/// seeded synthetic workload, shared plan cache, admission control,
+/// deadlines with a degrading retry ladder, device-loss recovery — with
+/// a byte-reproducible report.
+fn cmd_serve_sim(args: &[String]) -> Result<()> {
+    let seed = flag_parse(args, "--seed", 0x5EEDu64)?;
+    let tenants = flag_parse(args, "--tenants", 3usize)?;
+    let jobs = flag_parse(args, "--jobs", 24usize)?;
+    let nnz = flag_parse(args, "--nnz", 4000usize)?;
+    let rank = flag_parse(args, "--rank", 8usize)?;
+    let devices = flag_parse(args, "--devices", 4usize)?;
+    if devices == 0 || tenants == 0 {
+        return Err("serve-sim wants at least 1 device and 1 tenant".into());
+    }
+    let queue_depth = flag_parse(args, "--queue-depth", 8usize)?;
+    let arrival_us = flag_parse(args, "--arrival-us", 200.0f64)?;
+    let deadline_us = flag_parse(args, "--deadline-us", 500_000.0f64)?;
+    let timeout_us = flag_parse(args, "--timeout-us", 100_000.0f64)?;
+    let cpd_frac = flag_parse(args, "--cpd-frac", 25u32)?;
+    let backoff_us = flag_parse(args, "--backoff-us", 50.0f64)?;
+    let interconnect =
+        Interconnect::parse(&flag(args, "--interconnect").unwrap_or_else(|| "nvlink".into()))
+            .map_err(|e| format!("--interconnect: {e}"))?;
+    let faults = parse_faults(args)?;
+    let mem_capacity = parse_mem_capacity(args)?;
+    let expect_shed = flag_parse(args, "--expect-shed", 0u64)?;
+    let expect_loss = flag_parse(args, "--expect-device-loss", 0u64)?;
+    let verify = args.iter().any(|a| a == "--verify");
+    let out = flag(args, "--out");
+    let events_path = flag(args, "--events").map(PathBuf::from);
+    let profile_dir = flag(args, "--profile").map(PathBuf::from);
+
+    let wl = Workload::generate(&WorkloadConfig {
+        seed,
+        tenants,
+        jobs,
+        nnz,
+        rank,
+        arrival_mean_us: arrival_us,
+        deadline_us,
+        timeout_us,
+        max_devices: devices,
+        cpd_fraction_pct: cpd_frac,
+    });
+
+    let mut ctx = GpuContext::default().with_profiling();
+    if let Some(path) = &events_path {
+        let tel =
+            simprof::Telemetry::to_file(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        ctx = ctx.with_events(Arc::new(tel));
+    }
+    if let Some(plan) = &faults {
+        ctx = ctx.with_faults(plan.clone());
+    }
+
+    // Fractional --mem-capacity (e.g. 0.7x) resolves against the worst
+    // single-plan footprint the catalog implies.
+    let capacity = match &mem_capacity {
+        None => u64::MAX,
+        Some(mc) => mc.resolve(worst_catalog_footprint(&ctx, &wl, rank)?),
+    };
+
+    let mut service = Service::new(
+        ServiceConfig {
+            devices,
+            interconnect,
+            capacity_per_device: capacity,
+            queue_depth,
+            backoff_base_us: backoff_us,
+            cpu_slowdown: 25.0,
+        },
+        ctx,
+    );
+    for (name, t) in &wl.tensors {
+        service.register(name, t.clone());
+    }
+    let report = service.run(&wl.jobs);
+
+    let rec = &report.record;
+    println!(
+        "serve-sim: {} devices ({}), queue {} deep, {} tenants, {} jobs",
+        report.devices, report.interconnect, report.queue_depth, tenants, jobs
+    );
+    println!(
+        "outcomes: {} completed, {} rejected, {} shed | {} retries, {} device losses, \
+         {} deadline misses",
+        rec.completed, rec.rejected, rec.shed, rec.retries, rec.device_losses, rec.deadline_misses
+    );
+    println!(
+        "plan cache: {} hits, {} misses ({} distinct plans)",
+        rec.plan_cache_hits,
+        rec.plan_cache_misses,
+        service.cache().len()
+    );
+    for t in &rec.per_tenant {
+        println!(
+            "tenant {}: {}/{} completed, {} shed, {} rejected | latency p50 {} us, \
+             p90 {} us, p99 {} us",
+            t.tenant,
+            t.completed,
+            t.submitted,
+            t.shed,
+            t.rejected,
+            t.latency.p50,
+            t.latency.p90,
+            t.latency.p99
+        );
+    }
+
+    if verify {
+        let n = report.verify(&service, &wl.jobs, 1e-9)?;
+        println!("verify: {n} completed jobs match standalone execution within 1e-9");
+    }
+    if rec.shed < expect_shed {
+        return Err(format!(
+            "expected at least {expect_shed} shed jobs, saw {}",
+            rec.shed
+        ));
+    }
+    if rec.device_losses < expect_loss {
+        return Err(format!(
+            "expected at least {expect_loss} device losses, saw {}",
+            rec.device_losses
+        ));
+    }
+    if let Some(out) = &out {
+        let json = report.to_json_string().map_err(|e| format!("{out}: {e}"))?;
+        std::fs::write(out, json).map_err(|e| format!("{out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    if let Some(dir) = &profile_dir {
+        let io_err = |e: std::io::Error| format!("{}: {e}", dir.display());
+        std::fs::create_dir_all(dir).map_err(io_err)?;
+        let mut manifest = simprof::RunManifest::new("serve-sim", "synthetic", rank, 0, 0.0, seed);
+        manifest.service = rec.clone();
+        manifest.events_path = events_path.as_ref().map(|p| p.display().to_string());
+        manifest.histograms = service.ctx().registry.histograms();
+        manifest
+            .write_to(&dir.join("manifest.json"))
+            .map_err(io_err)?;
+        std::fs::write(
+            dir.join("histograms.txt"),
+            simprof::histogram_table(
+                "service distribution metrics (virtual us)",
+                &manifest.histograms,
+            ),
+        )
+        .map_err(io_err)?;
+        println!("profile: {} (manifest.json, histograms.txt)", dir.display());
+    }
+    Ok(())
+}
+
+/// The largest single-plan footprint (bytes) any catalog tensor implies
+/// — what fractional `--mem-capacity` values resolve against.
+fn worst_catalog_footprint(ctx: &GpuContext, wl: &Workload, rank: usize) -> Result<u64> {
+    let mut worst = 0u64;
+    for (name, t) in &wl.tensors {
+        let format =
+            gpu::AnyFormat::build(gpu::KernelKind::Hbcsf, t, 0, &gpu::BuildOptions::default())
+                .map_err(|e| format!("{name}: {e}"))?;
+        let plan = format.capture(ctx, rank);
+        worst = worst.max(plan.footprint().total_bytes());
+    }
+    Ok(worst)
 }
 
 fn cmd_cpd(args: &[String]) -> Result<()> {
@@ -1143,7 +1324,10 @@ fn write_cpd_profile(
     let mut rows = Vec::new();
     for (mode, run) in last_runs.iter().enumerate() {
         let Some(run) = run else { continue };
-        let profile = run.profile.as_ref().expect("profiled runs keep profiles");
+        let profile = run
+            .profile
+            .as_ref()
+            .ok_or_else(|| format!("mode {} run lost its per-block profile", mode + 1))?;
         gpu_sim::append_chrome_trace(&mut trace, mode as u64, &run.sim, profile);
         let mut row = run.sim.metric_row();
         row.kernel = format!("{} mode {}", row.kernel, mode + 1);
@@ -1157,7 +1341,8 @@ fn write_cpd_profile(
     std::fs::write(dir.join("nvprof_table.txt"), table).map_err(io_err)?;
     std::fs::write(
         dir.join("counters.json"),
-        serde_json::to_string_pretty(&ctx.registry.snapshot_json()).expect("counters serialize"),
+        serde_json::to_string_pretty(&ctx.registry.snapshot_json())
+            .map_err(|e| format!("counters.json: {e}"))?,
     )
     .map_err(io_err)?;
     std::fs::write(

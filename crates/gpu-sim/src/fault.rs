@@ -2,9 +2,11 @@
 //!
 //! A [`FaultPlan`] describes *which* faults a launch suffers: bit flips
 //! in per-block accumulation results, block aborts that force an
-//! ECC-style re-execution, straggler SMs running at a reduced clock, and
-//! — through [`crate::mem::DeviceMemory`] — allocation failures (`oom`)
-//! and fragmentation pressure (`frag`) on the device heap.
+//! ECC-style re-execution, straggler SMs running at a reduced clock,
+//! whole-device losses (`device-loss`) that a multi-device grid must
+//! re-shard around, and — through [`crate::mem::DeviceMemory`] —
+//! allocation failures (`oom`) and fragmentation pressure (`frag`) on
+//! the device heap.
 //! Every draw is a pure hash of `(seed, kernel, attempt, site)` — no RNG
 //! state — so the same plan replayed over the same launch injects the
 //! same faults, two independent observers of the same site (the scheduler
@@ -79,6 +81,51 @@ pub struct InjectedFault {
     pub kind: FaultKind,
 }
 
+/// A malformed fault spec, with enough structure for callers to format
+/// their own diagnostics (the CLI prefixes the flag name, the service
+/// layer maps it into a typed rejection).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultSpecError {
+    /// A term is not of the `kind:rate` shape.
+    NotKindRate { term: String },
+    /// A term's rate failed to parse as a number.
+    BadNumber { term: String },
+    /// A term's rate is outside the accepted `0..=1e6` range.
+    RateOutOfRange { term: String },
+    /// A term names no documented fault kind.
+    UnknownKind { kind: String },
+    /// A probability-valued rate exceeds 1.
+    ProbabilityAboveOne { kind: &'static str },
+    /// `slowdown` below 1 would make stragglers faster than the clock.
+    SlowdownBelowOne,
+    /// `frag` of 1 (or more) leaves no capacity at all.
+    FragAtLeastOne,
+}
+
+impl std::fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultSpecError::NotKindRate { term } => {
+                write!(f, "fault term '{term}' is not 'kind:rate'")
+            }
+            FaultSpecError::BadNumber { term } => {
+                write!(f, "fault term '{term}': bad number")
+            }
+            FaultSpecError::RateOutOfRange { term } => {
+                write!(f, "fault term '{term}': rate out of range")
+            }
+            FaultSpecError::UnknownKind { kind } => write!(f, "unknown fault kind '{kind}'"),
+            FaultSpecError::ProbabilityAboveOne { kind } => {
+                write!(f, "fault rate '{kind}' is a probability; must be <= 1")
+            }
+            FaultSpecError::SlowdownBelowOne => write!(f, "straggler slowdown must be >= 1"),
+            FaultSpecError::FragAtLeastOne => write!(f, "fragmentation fraction must be < 1"),
+        }
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
 /// A deterministic, serializable fault-injection plan.
 ///
 /// Rates are per-site probabilities: `bitflip_rate`/`abort_rate` per
@@ -103,6 +150,11 @@ pub struct FaultPlan {
     /// Fraction of device-memory capacity held back by fragmentation
     /// (`0.0..1.0`); shrinks the effective capacity, not a per-site draw.
     pub frag_frac: f64,
+    /// Probability a whole simulated device drops out of a multi-device
+    /// run (per device per launch). Device losses never corrupt data:
+    /// the grid re-shards around the dead device, so they are neither
+    /// execution nor memory faults (see [`FaultPlan::has_device_faults`]).
+    pub device_loss_rate: f64,
     /// Retry attempt number; mixed into every draw.
     pub attempt: u32,
 }
@@ -118,6 +170,7 @@ impl FaultPlan {
             straggler_slowdown: 2.0,
             oom_rate: 0.0,
             frag_frac: 0.0,
+            device_loss_rate: 0.0,
             attempt: 0,
         }
     }
@@ -134,7 +187,7 @@ impl FaultPlan {
     /// Whether any fault can ever fire. Inactive plans take the exact
     /// fault-free code paths.
     pub fn is_active(&self) -> bool {
-        self.has_exec_faults() || self.has_mem_faults()
+        self.has_exec_faults() || self.has_mem_faults() || self.has_device_faults()
     }
 
     /// Whether any *execution* fault (bit flip, abort, straggler) can
@@ -152,6 +205,16 @@ impl FaultPlan {
         self.oom_rate > 0.0 || self.frag_frac > 0.0
     }
 
+    /// Whether a whole device can drop out of a multi-device run. Like
+    /// memory faults, device losses never perturb committed values — the
+    /// grid re-shards the dead device's blocks onto the survivors, whose
+    /// consecutive-range fold is bit-identical to a clean run on the
+    /// surviving device set — so plans carrying only device losses keep
+    /// the bit-exact parallel replay path.
+    pub fn has_device_faults(&self) -> bool {
+        self.device_loss_rate > 0.0
+    }
+
     /// The same plan with a different retry attempt (re-rolls all draws).
     pub fn with_attempt(&self, attempt: u32) -> Self {
         FaultPlan {
@@ -161,9 +224,9 @@ impl FaultPlan {
     }
 
     /// Parses a CLI fault spec: comma-separated `kind:rate` terms, e.g.
-    /// `bitflip:1e-3,abort:1e-4,straggler:0.05,slowdown:2.5,oom:0.01,frag:0.2`,
+    /// `bitflip:1e-3,abort:1e-4,straggler:0.05,slowdown:2.5,oom:0.01,frag:0.2,device-loss:0.1`,
     /// or `none`.
-    pub fn parse(spec: &str, seed: u64) -> Result<Self, String> {
+    pub fn parse(spec: &str, seed: u64) -> Result<Self, FaultSpecError> {
         let mut plan = FaultPlan {
             seed,
             ..FaultPlan::disabled()
@@ -178,13 +241,16 @@ impl FaultPlan {
             }
             let (key, val) = term
                 .split_once(':')
-                .ok_or_else(|| format!("fault term '{term}' is not 'kind:rate'"))?;
-            let v: f64 = val
-                .trim()
-                .parse()
-                .map_err(|_| format!("fault term '{term}': bad number '{val}'"))?;
+                .ok_or_else(|| FaultSpecError::NotKindRate {
+                    term: term.to_string(),
+                })?;
+            let v: f64 = val.trim().parse().map_err(|_| FaultSpecError::BadNumber {
+                term: term.to_string(),
+            })?;
             if !(0.0..=1e6).contains(&v) {
-                return Err(format!("fault term '{term}': rate out of range"));
+                return Err(FaultSpecError::RateOutOfRange {
+                    term: term.to_string(),
+                });
             }
             match key.trim() {
                 "bitflip" => plan.bitflip_rate = v,
@@ -193,24 +259,30 @@ impl FaultPlan {
                 "slowdown" => plan.straggler_slowdown = v,
                 "oom" => plan.oom_rate = v,
                 "frag" => plan.frag_frac = v,
-                other => return Err(format!("unknown fault kind '{other}'")),
+                "device-loss" => plan.device_loss_rate = v,
+                other => {
+                    return Err(FaultSpecError::UnknownKind {
+                        kind: other.to_string(),
+                    })
+                }
             }
         }
-        for rate in [
-            plan.bitflip_rate,
-            plan.abort_rate,
-            plan.straggler_rate,
-            plan.oom_rate,
+        for (kind, rate) in [
+            ("bitflip", plan.bitflip_rate),
+            ("abort", plan.abort_rate),
+            ("straggler", plan.straggler_rate),
+            ("oom", plan.oom_rate),
+            ("device-loss", plan.device_loss_rate),
         ] {
             if rate > 1.0 {
-                return Err("fault rates are probabilities; must be <= 1".to_string());
+                return Err(FaultSpecError::ProbabilityAboveOne { kind });
             }
         }
         if plan.straggler_slowdown < 1.0 {
-            return Err("straggler slowdown must be >= 1".to_string());
+            return Err(FaultSpecError::SlowdownBelowOne);
         }
         if plan.frag_frac >= 1.0 {
-            return Err("fragmentation fraction must be < 1".to_string());
+            return Err(FaultSpecError::FragAtLeastOne);
         }
         Ok(plan)
     }
@@ -248,6 +320,23 @@ impl FaultPlan {
     /// like every draw, the outcome re-rolls when `attempt` changes.
     pub fn alloc_fails(&self, kernel: &str, site: u64) -> bool {
         self.oom_rate > 0.0 && u01(self.site_hash(kernel, 0x4, site)) < self.oom_rate
+    }
+
+    /// Whether device `device` drops out of this kernel's multi-device
+    /// launch. Like every draw it is a pure hash — the scheduler deciding
+    /// to re-shard and the reporter attributing the loss agree on which
+    /// devices died.
+    pub fn device_lost(&self, kernel: &str, device: usize) -> bool {
+        self.device_loss_rate > 0.0
+            && u01(self.site_hash(kernel, 0x5, device as u64)) < self.device_loss_rate
+    }
+
+    /// How far through its shard device `device` got before dying, in
+    /// `[0, 1)` — the fraction of the shard's modeled compute time that
+    /// was wasted. Drawn on an independent stream so the loss decision
+    /// and the loss point are uncorrelated.
+    pub fn device_loss_progress(&self, kernel: &str, device: usize) -> f64 {
+        u01(self.site_hash(kernel, 0x6, device as u64))
     }
 
     /// One hash per (plan, kernel, stream, site): the whole entropy source.
@@ -348,13 +437,110 @@ mod tests {
         assert!(!FaultPlan::parse("none", 0)
             .expect("none is valid")
             .is_active());
-        assert!(FaultPlan::parse("bitflip", 0).is_err());
-        assert!(FaultPlan::parse("gamma:0.1", 0).is_err());
-        assert!(FaultPlan::parse("bitflip:2.0", 0).is_err());
-        assert!(FaultPlan::parse("bitflip:nope", 0).is_err());
-        assert!(FaultPlan::parse("slowdown:0.5", 0).is_err());
-        assert!(FaultPlan::parse("oom:1.5", 0).is_err());
-        assert!(FaultPlan::parse("frag:1.0", 0).is_err());
+
+        // Every documented kind round-trips into its field.
+        let all = FaultPlan::parse(
+            "bitflip:0.01,abort:0.02,straggler:0.03,slowdown:3.0,oom:0.04,frag:0.05,device-loss:0.06",
+            1,
+        )
+        .expect("valid spec");
+        assert!((all.bitflip_rate - 0.01).abs() < 1e-12);
+        assert!((all.abort_rate - 0.02).abs() < 1e-12);
+        assert!((all.straggler_rate - 0.03).abs() < 1e-12);
+        assert!((all.straggler_slowdown - 3.0).abs() < 1e-12);
+        assert!((all.oom_rate - 0.04).abs() < 1e-12);
+        assert!((all.frag_frac - 0.05).abs() < 1e-12);
+        assert!((all.device_loss_rate - 0.06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn malformed_specs_yield_typed_errors() {
+        assert_eq!(
+            FaultPlan::parse("bitflip", 0),
+            Err(FaultSpecError::NotKindRate {
+                term: "bitflip".to_string()
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("gamma:0.1", 0),
+            Err(FaultSpecError::UnknownKind {
+                kind: "gamma".to_string()
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("bitflip:2.0", 0),
+            Err(FaultSpecError::ProbabilityAboveOne { kind: "bitflip" })
+        );
+        assert_eq!(
+            FaultPlan::parse("bitflip:nope", 0),
+            Err(FaultSpecError::BadNumber {
+                term: "bitflip:nope".to_string()
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("abort:-0.5", 0),
+            Err(FaultSpecError::RateOutOfRange {
+                term: "abort:-0.5".to_string()
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("slowdown:0.5", 0),
+            Err(FaultSpecError::SlowdownBelowOne)
+        );
+        assert_eq!(
+            FaultPlan::parse("oom:1.5", 0),
+            Err(FaultSpecError::ProbabilityAboveOne { kind: "oom" })
+        );
+        assert_eq!(
+            FaultPlan::parse("frag:1.0", 0),
+            Err(FaultSpecError::FragAtLeastOne)
+        );
+        assert_eq!(
+            FaultPlan::parse("device-loss:1.5", 0),
+            Err(FaultSpecError::ProbabilityAboveOne {
+                kind: "device-loss"
+            })
+        );
+        // The errors render as messages the CLI can print directly.
+        let msg = FaultPlan::parse("gamma:0.1", 0)
+            .expect_err("must fail")
+            .to_string();
+        assert!(msg.contains("gamma"), "message names the bad kind: {msg}");
+    }
+
+    #[test]
+    fn device_loss_is_its_own_fault_class() {
+        let p = FaultPlan::parse("device-loss:0.5", 3).expect("valid spec");
+        assert!(p.is_active());
+        assert!(p.has_device_faults());
+        assert!(
+            !p.has_exec_faults() && !p.has_mem_faults(),
+            "device losses must not activate ABFT or OOM paths"
+        );
+
+        // Draws are deterministic, kernel-keyed, and re-rolled by attempt.
+        let a: Vec<bool> = (0..200).map(|d| p.device_lost("hbcsf", d)).collect();
+        let b: Vec<bool> = (0..200).map(|d| p.device_lost("hbcsf", d)).collect();
+        assert_eq!(a, b, "same plan, same losses");
+        let c: Vec<bool> = (0..200)
+            .map(|d| p.with_attempt(1).device_lost("hbcsf", d))
+            .collect();
+        assert_ne!(a, c, "retry attempt re-rolls device losses");
+        let hits = a.iter().filter(|&&x| x).count();
+        assert!(
+            (60..140).contains(&hits),
+            "rate 0.5 over 200 devices: {hits}"
+        );
+
+        // Loss progress is a fraction in [0, 1).
+        for d in 0..50 {
+            let f = p.device_loss_progress("hbcsf", d);
+            assert!((0.0..1.0).contains(&f));
+        }
+
+        // An inert rate never fires.
+        let none = FaultPlan::disabled();
+        assert!((0..100).all(|d| !none.device_lost("hbcsf", d)));
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod trace;
 pub use cache::L2Cache;
 pub use cost::CostModel;
 pub use device::DeviceProfile;
-pub use fault::{BitFlip, FaultKind, FaultPlan, InjectedFault};
+pub use fault::{BitFlip, FaultKind, FaultPlan, FaultSpecError, InjectedFault};
 pub use grid::{AddressSpace, ArraySpan, BlockWork, KernelLaunch, Op, WarpWork};
 pub use interconnect::Interconnect;
 pub use mem::{AllocRecord, DeviceMemory, MemError, MemLease, OomEvent};

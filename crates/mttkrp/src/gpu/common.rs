@@ -138,6 +138,16 @@ impl GpuContext {
         self.faults.as_ref().filter(|p| p.has_mem_faults())
     }
 
+    /// The active *device*-fault plan (whole-device losses), if any —
+    /// consumed by the sharded engine when it decides which devices of a
+    /// grid die and get re-sharded around. Device losses never perturb
+    /// committed values (the surviving fold is bit-identical to a clean
+    /// run on the survivors), so they activate neither the ABFT nor the
+    /// OOM machinery.
+    pub fn device_fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().filter(|p| p.has_device_faults())
+    }
+
     /// An ABFT sink for a kernel named `kernel` producing `rows` output
     /// rows. Active (checksumming + injecting) only when this context
     /// carries an active fault plan; otherwise a zero-cost pass-through.

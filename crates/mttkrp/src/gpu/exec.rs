@@ -491,6 +491,13 @@ fn merge_grid_reports(reports: Vec<GridReport>) -> Option<GridReport> {
         acc.allreduce_bytes += r.allreduce_bytes;
         acc.total_seconds += r.total_seconds;
         acc.cpu_fallback |= r.cpu_fallback;
+        acc.wasted_seconds += r.wasted_seconds;
+        for d in r.lost_devices {
+            if !acc.lost_devices.contains(&d) {
+                acc.lost_devices.push(d);
+            }
+        }
+        acc.lost_devices.sort_unstable();
         for (a, b) in acc.shards.iter_mut().zip(&r.shards) {
             a.tiles_run += b.tiles_run;
             a.oom_events += b.oom_events;

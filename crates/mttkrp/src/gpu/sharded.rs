@@ -117,6 +117,14 @@ pub struct GridReport {
     /// Whether a device failed every GPU rung and the whole run fell back
     /// to the CPU reference.
     pub cpu_fallback: bool,
+    /// Original device ordinals that dropped out (`device-loss` faults)
+    /// and were re-sharded around. `devices` and `shards` describe the
+    /// *surviving* grid, which is exactly the clean grid of that size.
+    pub lost_devices: Vec<usize>,
+    /// Modeled compute time thrown away on lost devices (each ran its
+    /// original shard to its drawn progress fraction before dying).
+    /// Already included in `compute_seconds`/`total_seconds`.
+    pub wasted_seconds: f64,
 }
 
 impl GridReport {
@@ -129,6 +137,7 @@ impl GridReport {
             allreduce_seconds: self.allreduce_seconds,
             compute_seconds: self.compute_seconds,
             launches: 1,
+            device_losses: self.lost_devices.len() as u64,
             per_device: self
                 .shards
                 .iter()
@@ -156,10 +165,12 @@ pub(crate) fn shard_ranges(prefix: &[u64], devices: usize) -> Vec<(usize, usize)
     let total = prefix[nblocks];
     let mut cuts = Vec::with_capacity(devices + 1);
     cuts.push(0usize);
+    let mut last = 0usize;
     for d in 1..devices {
         let target = (u128::from(total) * d as u128 / devices as u128) as u64;
         let b = prefix.partition_point(|&w| w < target).min(nblocks);
-        cuts.push(b.max(*cuts.last().expect("cuts is non-empty")));
+        last = b.max(last);
+        cuts.push(last);
     }
     cuts.push(nblocks);
     cuts.windows(2).map(|w| (w[0], w[1])).collect()
@@ -193,6 +204,8 @@ pub struct ShardModel {
     allreduce_seconds: f64,
     allreduce_bytes: u64,
     cpu_fallback: bool,
+    lost_devices: Vec<usize>,
+    wasted_seconds: f64,
 }
 
 /// Per-device model-phase result.
@@ -207,7 +220,83 @@ impl ShardModel {
     /// ladder against the per-device capacity), simulate each device's
     /// launches, and price the all-reduce. Runs the per-device work on
     /// the rayon pool; every output is order-independent.
+    ///
+    /// When the context carries a `device-loss` fault plan, each device
+    /// of a multi-device grid may drop out (drawn per device, at least
+    /// one survivor guaranteed). Recovery is re-sharding: the model is
+    /// rebuilt for the surviving device count, whose shard ranges — and
+    /// therefore whose value fold — are *exactly* those of a clean run
+    /// on that many devices, so the output stays bit-identical. The dead
+    /// devices' partial work is charged as wasted compute time.
     pub fn build(ctx: &GpuContext, plan: &Plan, spec: &GridSpec, opts: &OocOptions) -> ShardModel {
+        if spec.devices > 1 {
+            if let Some(fp) = ctx.device_fault_plan() {
+                let mut lost: Vec<usize> = Vec::new();
+                for d in 0..spec.devices {
+                    // Liveness: never lose the last remaining survivor.
+                    if spec.devices - lost.len() <= 1 {
+                        break;
+                    }
+                    if fp.device_lost(plan.name(), d) {
+                        lost.push(d);
+                    }
+                }
+                if !lost.is_empty() {
+                    return Self::build_survivors(ctx, plan, spec, opts, lost);
+                }
+            }
+        }
+        Self::build_clean(ctx, plan, spec, opts)
+    }
+
+    /// Re-shards around `lost` devices: builds the clean model for the
+    /// surviving device count (bit-identical to a clean run of that
+    /// size — single level, survivors do not cascade-fail within one
+    /// launch) and charges the time the dead devices burned on their
+    /// original shards before dying.
+    fn build_survivors(
+        ctx: &GpuContext,
+        plan: &Plan,
+        spec: &GridSpec,
+        opts: &OocOptions,
+        lost: Vec<usize>,
+    ) -> ShardModel {
+        let survivor_spec = GridSpec {
+            devices: spec.devices - lost.len(),
+            interconnect: spec.interconnect.clone(),
+            capacity_per_device: spec.capacity_per_device,
+        };
+        let mut model = Self::build_clean(ctx, plan, &survivor_spec, opts);
+        // Wasted-time model: each lost device ran its share of the
+        // *original* N-way sharding up to its drawn progress fraction.
+        // Devices run concurrently, so the node loses the max, not the
+        // sum.
+        let prefix = plan.block_weight_prefix();
+        let ranges = shard_ranges(&prefix, spec.devices);
+        let total_weight = prefix[prefix.len() - 1].max(1);
+        let (clean_sim, _) = plan.clean_sim_cached(ctx);
+        let mut wasted = 0.0f64;
+        if let Some(fp) = ctx.device_fault_plan() {
+            for &d in &lost {
+                let (b0, b1) = ranges[d];
+                let share = (prefix[b1] - prefix[b0]) as f64 / total_weight as f64;
+                let progress = fp.device_loss_progress(plan.name(), d);
+                wasted = wasted.max(clean_sim.time_s * share * progress);
+            }
+        }
+        model.lost_devices = lost;
+        model.wasted_seconds = wasted;
+        model.compute_seconds += wasted;
+        model.node_sim.time_s += wasted;
+        model
+    }
+
+    fn build_clean(
+        ctx: &GpuContext,
+        plan: &Plan,
+        spec: &GridSpec,
+        opts: &OocOptions,
+    ) -> ShardModel {
         let prefix = plan.block_weight_prefix();
         let ranges = shard_ranges(&prefix, spec.devices);
         let device_mems: Vec<Arc<DeviceMemory>> = (0..spec.devices)
@@ -285,6 +374,8 @@ impl ShardModel {
             allreduce_seconds,
             allreduce_bytes,
             cpu_fallback,
+            lost_devices: Vec::new(),
+            wasted_seconds: 0.0,
         }
     }
 
@@ -299,25 +390,31 @@ impl ShardModel {
         &self.ranges
     }
 
+    /// Original device ordinals that dropped out at model build and were
+    /// re-sharded around (empty for a clean model).
+    pub fn lost_devices(&self) -> &[usize] {
+        &self.lost_devices
+    }
+
     /// Phase B: produce values. Clean runs fold each shard's block range
     /// into one shared output in device order; faulted runs route every
     /// contribution through a single ABFT sink with global block
     /// ordinals. Either way the result is bit-identical to
     /// [`Plan::execute`] on one device.
     ///
-    /// # Panics
-    ///
-    /// Panics if the model fell back to CPU and `tensor` is `None` —
-    /// `execute_sharded` surfaces that as a typed error instead.
+    /// Errors with [`LaunchError::TensorRequired`] if the model fell
+    /// back to the CPU reference and no COO tensor was attached.
     pub fn execute(
         &self,
         ctx: &GpuContext,
         plan: &Plan,
         factors: &[Matrix],
         tensor: Option<&CooTensor>,
-    ) -> (GpuRun, GridReport) {
+    ) -> Result<(GpuRun, GridReport), LaunchError> {
         let run = if self.cpu_fallback {
-            let t = tensor.expect("CPU fallback on a sharded run requires the COO tensor");
+            let Some(t) = tensor else {
+                return Err(LaunchError::TensorRequired);
+            };
             GpuRun {
                 y: crate::reference::mttkrp(t, factors, plan.mode()),
                 sim: ooc::cpu_fallback_sim(plan),
@@ -362,6 +459,10 @@ impl ShardModel {
             if self.cpu_fallback {
                 ctx.registry.add("sharded.cpu_fallbacks", 1);
             }
+            if !self.lost_devices.is_empty() {
+                ctx.registry
+                    .add("sharded.device_losses", self.lost_devices.len() as u64);
+            }
             for s in &self.shards {
                 ctx.registry
                     .observe("shard.compute_us", (s.sim_time_s * 1e6).round() as u64);
@@ -392,6 +493,18 @@ impl ShardModel {
                         ("faulted", FieldValue::from(ctx.fault_plan().is_some())),
                     ],
                 );
+                for &d in &self.lost_devices {
+                    tel.emit(
+                        "device-lost",
+                        Some(d),
+                        span,
+                        &[
+                            ("kernel", FieldValue::from(plan.name())),
+                            ("survivors", FieldValue::from(self.spec.devices)),
+                            ("wasted_us", FieldValue::from(self.wasted_seconds * 1e6)),
+                        ],
+                    );
+                }
                 for s in &self.shards {
                     tel.emit(
                         "shard-compute",
@@ -421,7 +534,7 @@ impl ShardModel {
             }
             tel.advance_us(canonical_us);
         }
-        (run, self.report())
+        Ok((run, self.report()))
     }
 
     /// The grid report for the current model state (high-water marks are
@@ -440,6 +553,8 @@ impl ShardModel {
             allreduce_bytes: self.allreduce_bytes,
             total_seconds: self.compute_seconds + self.allreduce_seconds,
             cpu_fallback: self.cpu_fallback,
+            lost_devices: self.lost_devices.clone(),
+            wasted_seconds: self.wasted_seconds,
         }
     }
 }
@@ -592,10 +707,7 @@ pub(crate) fn execute_sharded(
     opts: &OocOptions,
 ) -> Result<(GpuRun, GridReport), LaunchError> {
     let model = ShardModel::build(ctx, plan, spec, opts);
-    if model.needs_tensor() && tensor.is_none() {
-        return Err(LaunchError::TensorRequired);
-    }
-    Ok(model.execute(ctx, plan, factors, tensor))
+    model.execute(ctx, plan, factors, tensor)
 }
 
 #[cfg(test)]

@@ -99,7 +99,10 @@ impl Histogram {
             return 0;
         }
         // Rank of the target observation, 1-based, ceil(q% of count).
-        let rank = (self.count * q).div_ceil(100);
+        // Widened to u128: `count * q` overflows u64 for merged
+        // histograms with more than u64::MAX/100 observations, which
+        // used to wrap the rank and report a bogus p99.
+        let rank = (u128::from(self.count) * u128::from(q)).div_ceil(100) as u64;
         let rank = rank.clamp(1, self.count);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
@@ -245,6 +248,40 @@ mod tests {
         let mut empty = Histogram::new();
         empty.merge(&before);
         assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn two_observations_split_the_quantiles() {
+        let mut h = Histogram::new();
+        h.observe(10);
+        h.observe(1 << 20);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        // p50 is the first observation's bucket (clamped to min), p99
+        // the second's; neither is zero, NaN has no integer analogue.
+        assert_eq!(s.p50, 15, "upper bound of the [8,15] bucket");
+        assert_eq!(s.p99, 1 << 20, "clamped to max");
+        assert!(s.min <= s.p50 && s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn huge_counts_do_not_overflow_the_rank() {
+        // Repeated self-merges double the count past u64::MAX / 100,
+        // where the old u64 rank arithmetic wrapped and reported a p99
+        // below p50.
+        let mut h = Histogram::new();
+        h.observe(100);
+        h.observe(200_000);
+        for _ in 0..60 {
+            let other = h.clone();
+            h.merge(&other);
+        }
+        assert!(h.count() > u64::MAX / 100, "count {} too small", h.count());
+        let s = h.snapshot();
+        assert!(s.min <= s.p50, "p50 {} below min {}", s.p50, s.min);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99, "{s:?}");
+        assert!(s.p99 <= s.max, "p99 {} above max {}", s.p99, s.max);
+        assert!(s.p99 >= 200_000 / 2, "p99 {} lost the upper mass", s.p99);
     }
 
     #[test]

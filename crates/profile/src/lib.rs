@@ -45,7 +45,7 @@ pub use events::{
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use manifest::{
     DeviceRecord, GridRecord, IterationRecord, MemEventRecord, MemoryRecord, ModeTiming,
-    PhaseTiming, ResilienceRecord, RunManifest,
+    PhaseTiming, ResilienceRecord, RunManifest, ServiceRecord, TenantRecord,
 };
 pub use registry::{Registry, ScopedSpan, SpanRecord};
 pub use table::{histogram_table, nvprof_table, MetricRow};

@@ -192,6 +192,8 @@ pub struct GridRecord {
     pub compute_seconds: f64,
     /// Sharded kernel launches recorded.
     pub launches: u64,
+    /// Devices lost mid-run (`device-loss` faults) and re-sharded around.
+    pub device_losses: u64,
     /// Per-device shares, indexed by device ordinal.
     pub per_device: Vec<DeviceRecord>,
 }
@@ -213,6 +215,7 @@ impl GridRecord {
         self.allreduce_seconds += other.allreduce_seconds;
         self.compute_seconds += other.compute_seconds;
         self.launches += other.launches;
+        self.device_losses += other.device_losses;
         for d in &other.per_device {
             while self.per_device.len() <= d.device {
                 let device = self.per_device.len();
@@ -223,6 +226,54 @@ impl GridRecord {
             }
             self.per_device[d.device].merge(d);
         }
+    }
+}
+
+/// One tenant's share of a multi-tenant service run: job outcome counts
+/// and the latency distribution of its completed jobs (virtual
+/// microseconds, log-bucket percentiles).
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
+pub struct TenantRecord {
+    pub tenant: usize,
+    pub submitted: u64,
+    pub completed: u64,
+    pub rejected: u64,
+    pub shed: u64,
+    pub deadline_misses: u64,
+    /// Completed-job latency snapshot (p50/p90/p99 in virtual µs).
+    pub latency: crate::HistogramSnapshot,
+}
+
+/// Multi-tenant service telemetry accumulated over a `serve-sim` run:
+/// admission, shedding, retries, device losses, plan-cache behavior, and
+/// per-tenant latency percentiles. All zeros/empty outside service runs.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
+pub struct ServiceRecord {
+    pub submitted: u64,
+    /// Jobs that passed admission (validation + memory + queue bounds).
+    pub admitted: u64,
+    pub completed: u64,
+    /// Jobs refused at admission (invalid launch, unknown dataset, or a
+    /// footprint no device could ever hold).
+    pub rejected: u64,
+    /// Jobs dropped by load shedding (queue full / deadline expired).
+    pub shed: u64,
+    /// Retry-ladder attempts abandoned on timeout.
+    pub retries: u64,
+    /// Device losses absorbed by re-sharding during service jobs.
+    pub device_losses: u64,
+    /// Completed jobs that finished after their deadline.
+    pub deadline_misses: u64,
+    pub plan_cache_hits: u64,
+    pub plan_cache_misses: u64,
+    /// Per-tenant outcome counts and latency percentiles, by tenant id.
+    pub per_tenant: Vec<TenantRecord>,
+}
+
+impl ServiceRecord {
+    /// Whether any service activity was recorded.
+    pub fn any(&self) -> bool {
+        *self != ServiceRecord::default()
     }
 }
 
@@ -252,6 +303,8 @@ pub struct RunManifest {
     /// Multi-device sharding and interconnect activity (all zeros when
     /// the run executed on a single device).
     pub grid: GridRecord,
+    /// Multi-tenant service activity (all zeros outside `serve-sim`).
+    pub service: ServiceRecord,
     /// Path of the JSONL event stream emitted alongside this run, when
     /// one was requested (`None` otherwise).
     pub events_path: Option<String>,
@@ -286,6 +339,7 @@ impl RunManifest {
             resilience: ResilienceRecord::default(),
             memory: MemoryRecord::default(),
             grid: GridRecord::default(),
+            service: ServiceRecord::default(),
             events_path: None,
             histograms: std::collections::BTreeMap::new(),
         }

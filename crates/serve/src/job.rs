@@ -1,0 +1,198 @@
+//! Job specifications and typed outcomes.
+//!
+//! Every job the service sees ends in exactly one of three typed
+//! outcomes — [`JobOutcome::Completed`], [`JobOutcome::Rejected`] (it
+//! never entered the queue), or [`JobOutcome::Shed`] (admitted work
+//! dropped to protect liveness). Nothing in the service path panics on a
+//! bad job; the reasons carry enough structure for callers to react and
+//! for the report to explain.
+
+use mttkrp::gpu::{KernelKind, LaunchError};
+
+/// What a job computes once dispatched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// One MTTKRP along `mode`.
+    Mttkrp { mode: usize },
+    /// A CPD-ALS decomposition of `iters` iterations (every mode's
+    /// MTTKRP per iteration).
+    Cpd { iters: usize },
+}
+
+impl JobKind {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JobKind::Mttkrp { .. } => "mttkrp",
+            JobKind::Cpd { .. } => "cpd",
+        }
+    }
+}
+
+/// One tenant's job request, in virtual time.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Unique, monotone job id (the report sorts by it).
+    pub id: u64,
+    pub tenant: usize,
+    /// Name of a tensor registered with the service.
+    pub dataset: String,
+    pub kernel: KernelKind,
+    pub kind: JobKind,
+    pub rank: usize,
+    /// Devices requested (clamped to the service's grid size).
+    pub devices: usize,
+    /// Factor-initialization seed (determines the job's numbers).
+    pub seed: u64,
+    /// Virtual arrival time, µs.
+    pub arrival_us: f64,
+    /// Absolute virtual deadline, µs. Queued jobs past it are shed;
+    /// completed jobs past it count as deadline misses.
+    pub deadline_us: f64,
+    /// Per-attempt execution budget, µs: a rung that models longer is
+    /// killed and the ladder degrades.
+    pub timeout_us: f64,
+}
+
+/// Why admission refused a job outright.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The named dataset is not registered.
+    UnknownDataset(String),
+    /// The launch failed validation or format construction.
+    InvalidLaunch(LaunchError),
+    /// The plan's resident set (factors + output) exceeds per-device
+    /// capacity — no rung, not even OOC tiling, can hold it.
+    InsufficientMemory {
+        resident_bytes: u64,
+        capacity_bytes: u64,
+    },
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::UnknownDataset(name) => write!(f, "unknown dataset '{name}'"),
+            RejectReason::InvalidLaunch(e) => write!(f, "invalid launch: {e}"),
+            RejectReason::InsufficientMemory {
+                resident_bytes,
+                capacity_bytes,
+            } => write!(
+                f,
+                "resident footprint {resident_bytes} B exceeds device capacity {capacity_bytes} B"
+            ),
+        }
+    }
+}
+
+/// Why load shedding dropped an admitted (or admissible) job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded queue was full at arrival — backpressure.
+    QueueFull { depth: usize },
+    /// The deadline passed while the job waited in the queue.
+    DeadlineExpired,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedReason::QueueFull { depth } => write!(f, "queue full (depth {depth})"),
+            ShedReason::DeadlineExpired => write!(f, "deadline expired while queued"),
+        }
+    }
+}
+
+/// How a job ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    Completed {
+        /// Ladder rung that produced the result (`"sharded"`,
+        /// `"single-device"`, `"ooc-tiled"`, `"cpu-reference"`).
+        rung: &'static str,
+        /// Attempts abandoned on timeout before this rung.
+        retries: u32,
+        /// Device losses absorbed (re-sharded around) across attempts.
+        device_losses: u64,
+        /// Arrival-to-completion virtual latency, µs.
+        latency_us: f64,
+        deadline_met: bool,
+        /// The job's numeric fingerprint: `‖Y‖_F` for MTTKRP, the final
+        /// fit for CPD — what verification compares against a
+        /// standalone run.
+        check: f64,
+    },
+    Rejected(RejectReason),
+    Shed(ShedReason),
+}
+
+impl JobOutcome {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JobOutcome::Completed { .. } => "completed",
+            JobOutcome::Rejected(_) => "rejected",
+            JobOutcome::Shed(_) => "shed",
+        }
+    }
+}
+
+/// One job's row in the deterministic service report (serializable,
+/// stringly-typed where the typed enums don't derive).
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct JobRecord {
+    pub id: u64,
+    pub tenant: usize,
+    pub dataset: String,
+    pub kernel: String,
+    pub kind: String,
+    pub devices: usize,
+    pub outcome: String,
+    /// Reject/shed reason, or the completing rung.
+    pub detail: String,
+    pub retries: u32,
+    pub device_losses: u64,
+    pub arrival_us: f64,
+    pub latency_us: f64,
+    pub deadline_met: bool,
+    pub check: f64,
+}
+
+impl JobRecord {
+    /// Builds the report row for a finished job.
+    pub fn new(spec: &JobSpec, outcome: &JobOutcome) -> JobRecord {
+        let (detail, retries, losses, latency, met, check) = match outcome {
+            JobOutcome::Completed {
+                rung,
+                retries,
+                device_losses,
+                latency_us,
+                deadline_met,
+                check,
+            } => (
+                (*rung).to_string(),
+                *retries,
+                *device_losses,
+                *latency_us,
+                *deadline_met,
+                *check,
+            ),
+            JobOutcome::Rejected(r) => (r.to_string(), 0, 0, 0.0, false, 0.0),
+            JobOutcome::Shed(s) => (s.to_string(), 0, 0, 0.0, false, 0.0),
+        };
+        JobRecord {
+            id: spec.id,
+            tenant: spec.tenant,
+            dataset: spec.dataset.clone(),
+            kernel: spec.kernel.as_str().to_string(),
+            kind: spec.kind.as_str().to_string(),
+            devices: spec.devices,
+            outcome: outcome.as_str().to_string(),
+            detail,
+            retries,
+            device_losses: losses,
+            arrival_us: spec.arrival_us,
+            latency_us: latency,
+            deadline_met: met,
+            check,
+        }
+    }
+}

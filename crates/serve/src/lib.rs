@@ -1,0 +1,40 @@
+//! simserve: a resilient multi-tenant CPD/MTTKRP job service over the
+//! simulated GPU grid.
+//!
+//! The library turns the capture/replay split ([`mttkrp::gpu::Plan`])
+//! and the [`mttkrp::gpu::Executor`] ladder into a long-running service
+//! abstraction: many tenants submit MTTKRP and CPD jobs against a
+//! catalog of registered tensors, and the service stays *correct* (every
+//! completed job's numbers match a standalone run) and *live* (overload
+//! sheds jobs with typed outcomes, lost devices are re-sharded around,
+//! slow rungs degrade down the ladder) no matter what the fault plan and
+//! the arrival pattern throw at it.
+//!
+//! Everything is a deterministic discrete-event simulation in virtual
+//! time: job durations come from the GPU model's simulated seconds,
+//! arrivals from the seeded workload generator, and fault draws from the
+//! pure-hash [`gpu_sim::FaultPlan`] — so a whole service run, report
+//! included, is reproducible byte for byte. See DESIGN.md §14.
+//!
+//! - [`cache`]: the shared plan cache keyed on tensor structure hashes.
+//! - [`job`]: job specs and typed `Completed`/`Rejected`/`Shed` outcomes.
+//! - [`service`]: admission control, the bounded queue, the retry
+//!   ladder, deadlines, and per-tenant accounting.
+//! - [`workload`]: the seeded synthetic multi-tenant workload.
+//! - [`report`]: the deterministic JSON report and standalone
+//!   re-verification of completed jobs.
+
+#![deny(clippy::unwrap_used)]
+#![deny(clippy::expect_used)]
+
+pub mod cache;
+pub mod job;
+pub mod report;
+pub mod service;
+pub mod workload;
+
+pub use cache::{structure_hash, PlanCache, PlanKey};
+pub use job::{JobKind, JobOutcome, JobRecord, JobSpec, RejectReason, ShedReason};
+pub use report::ServiceReport;
+pub use service::{Service, ServiceConfig};
+pub use workload::{Workload, WorkloadConfig};

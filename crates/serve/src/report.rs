@@ -1,0 +1,69 @@
+//! The deterministic service report and standalone re-verification.
+//!
+//! A [`ServiceReport`] is everything one service run produced: the
+//! aggregate [`simprof::ServiceRecord`] (admission/shed/retry counts,
+//! plan-cache behavior, per-tenant latency percentiles) plus one
+//! [`JobRecord`] per submitted job, sorted by id. Serialized through
+//! [`ServiceReport::to_json_string`] it is byte-identical across runs of
+//! the same seed — the `serve-smoke` CI job diffs two runs to prove it.
+
+use crate::job::JobRecord;
+use crate::job::JobSpec;
+use crate::service::Service;
+
+/// The full outcome of one [`Service::run`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct ServiceReport {
+    /// Devices in the service grid.
+    pub devices: usize,
+    /// Bounded queue depth the run enforced.
+    pub queue_depth: usize,
+    /// Human-readable interconnect description.
+    pub interconnect: String,
+    /// Aggregate counters and per-tenant percentiles (the same record
+    /// that lands in `RunManifest.service`).
+    pub record: simprof::ServiceRecord,
+    /// Every submitted job's typed outcome, sorted by job id.
+    pub jobs: Vec<JobRecord>,
+}
+
+impl ServiceReport {
+    /// Pretty JSON; deterministic for a deterministic run.
+    pub fn to_json_string(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Completed jobs only.
+    pub fn completed(&self) -> impl Iterator<Item = &JobRecord> {
+        self.jobs.iter().filter(|j| j.outcome == "completed")
+    }
+
+    /// Re-executes every completed job standalone — same service
+    /// context, no queue, no other tenants — and checks each recorded
+    /// check value (`‖Y‖_F` / final fit) matches within `tol` relative.
+    /// This is the multi-tenant isolation invariant: concurrency and
+    /// queueing must never change a job's numbers.
+    ///
+    /// `specs` are the submitted jobs (the report alone doesn't carry
+    /// seeds/modes). Returns the number of jobs verified.
+    pub fn verify(&self, service: &Service, specs: &[JobSpec], tol: f64) -> Result<usize, String> {
+        let mut verified = 0usize;
+        for rec in self.completed() {
+            let Some(spec) = specs.iter().find(|s| s.id == rec.id) else {
+                return Err(format!("job {} missing from the submitted specs", rec.id));
+            };
+            let solo = service.standalone_check(spec);
+            let scale = rec.check.abs().max(solo.abs()).max(1.0);
+            let rel = (rec.check - solo).abs() / scale;
+            if rel > tol {
+                return Err(format!(
+                    "job {} ({} on {}): service check {} vs standalone {} \
+                     (relative error {rel:.3e} > {tol:.1e})",
+                    rec.id, rec.kind, rec.dataset, rec.check, solo
+                ));
+            }
+            verified += 1;
+        }
+        Ok(verified)
+    }
+}

@@ -1,0 +1,297 @@
+//! Service-layer invariants: device-loss recovery must be bit-exact —
+//! alone and under concurrent tenant load — overload must shed with
+//! typed outcomes instead of panicking, and a seeded service run must
+//! reproduce its report byte for byte.
+
+use serve::{JobKind, JobSpec, Service, ServiceConfig, ShedReason, Workload, WorkloadConfig};
+
+use mttkrp_repro::dense::Matrix;
+use mttkrp_repro::gpu_sim::{FaultPlan, Interconnect};
+use mttkrp_repro::mttkrp::gpu::{
+    AnyFormat, BuildOptions, Executor, GpuContext, GridSpec, KernelKind, LaunchArgs,
+};
+use mttkrp_repro::mttkrp::reference::random_factors;
+use mttkrp_repro::sptensor::synth::uniform_random;
+
+const RANK: usize = 8;
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.data().iter().map(|x| x.to_bits()).collect()
+}
+
+fn job(
+    id: u64,
+    tenant: usize,
+    dataset: &str,
+    kernel: KernelKind,
+    mode: usize,
+    devices: usize,
+    arrival_us: f64,
+) -> JobSpec {
+    JobSpec {
+        id,
+        tenant,
+        dataset: dataset.to_string(),
+        kernel,
+        kind: JobKind::Mttkrp { mode },
+        rank: RANK,
+        devices,
+        seed: 0xAB0 + id,
+        arrival_us,
+        deadline_us: arrival_us + 1e9,
+        timeout_us: 1e9,
+    }
+}
+
+/// An N-device execution that loses devices mid-run must produce output
+/// bit-identical to a *clean* run on the surviving device count — and
+/// therefore to the single-device untiled replay.
+#[test]
+fn device_loss_recovery_is_bit_exact() {
+    let t = uniform_random(&[15, 18, 21], 900, 271);
+    let factors = random_factors(&t, RANK, 42);
+    let format =
+        AnyFormat::build(KernelKind::Hbcsf, &t, 0, &BuildOptions::default()).expect("hbcsf builds");
+    let single = Executor::new(GpuContext::tiny())
+        .run(&format, &LaunchArgs::new(&factors).with_tensor(&t))
+        .expect("single-device run");
+
+    let mut losses_seen = 0usize;
+    for seed in 0..200u64 {
+        let plan = FaultPlan::parse("device-loss:0.5", seed).expect("spec parses");
+        let exec = Executor::new(GpuContext::tiny().with_faults(plan))
+            .with_grid(GridSpec::new(4, Interconnect::nvlink()));
+        let done = exec
+            .run(&format, &LaunchArgs::new(&factors).with_tensor(&t))
+            .expect("faulted sharded run");
+        let grid = done.grid.as_ref().expect("grid report");
+        let lost = grid.lost_devices.len();
+        if lost == 0 {
+            continue;
+        }
+        losses_seen += 1;
+        assert!(lost <= 3, "liveness: the last survivor never dies");
+        assert_eq!(grid.devices, 4 - lost, "report describes the survivors");
+        assert!(
+            grid.wasted_seconds > 0.0,
+            "dying devices burned modeled time"
+        );
+        assert!(
+            grid.compute_seconds >= grid.wasted_seconds,
+            "waste is folded into the compute story"
+        );
+
+        // Bit-identical to a clean run on the surviving device count...
+        let clean = Executor::new(GpuContext::tiny())
+            .with_grid(GridSpec::new(4 - lost, Interconnect::nvlink()))
+            .run(&format, &LaunchArgs::new(&factors).with_tensor(&t))
+            .expect("clean survivor-count run");
+        assert_eq!(bits(done.y()), bits(clean.y()), "seed {seed}: survivors");
+        // ...and to the single-device replay (the base invariant).
+        assert_eq!(bits(done.y()), bits(single.y()), "seed {seed}: single");
+        if losses_seen >= 5 {
+            break;
+        }
+    }
+    assert!(
+        losses_seen > 0,
+        "device-loss:0.5 over 200 seeds never fired"
+    );
+}
+
+fn loaded_service(faults: Option<&str>, queue_depth: usize) -> (Service, Vec<JobSpec>) {
+    let mut ctx = GpuContext::tiny();
+    if let Some(spec) = faults {
+        ctx = ctx.with_faults(FaultPlan::parse(spec, 0xFA17).expect("spec parses"));
+    }
+    let mut service = Service::new(
+        ServiceConfig {
+            devices: 3,
+            queue_depth,
+            ..ServiceConfig::default()
+        },
+        ctx,
+    );
+    let a = uniform_random(&[15, 18, 21], 900, 271);
+    let b = uniform_random(&[12, 20, 16], 800, 272);
+    service.register("a", a);
+    service.register("b", b);
+    let kernels = [KernelKind::Hbcsf, KernelKind::Bcsf, KernelKind::Csl];
+    let jobs: Vec<JobSpec> = (0..18u64)
+        .map(|i| {
+            job(
+                i,
+                (i % 3) as usize,
+                if i % 2 == 0 { "a" } else { "b" },
+                kernels[(i % 3) as usize],
+                (i % 3) as usize,
+                1 + (i % 3) as usize,
+                1.0 + i as f64, // arrivals far faster than service times
+            )
+        })
+        .collect();
+    (service, jobs)
+}
+
+/// Device losses absorbed while other tenants' jobs queue and run must
+/// not change any completed job's numbers: every check value matches a
+/// standalone (no-queue, no-tenants) execution within 1e-9.
+#[test]
+fn device_loss_under_concurrent_load_stays_correct() {
+    let (service, jobs) = loaded_service(Some("device-loss:0.4"), 32);
+    let report = service.run(&jobs);
+    assert!(
+        report.record.device_losses > 0,
+        "device-loss:0.4 never fired across 18 multi-device jobs"
+    );
+    assert_eq!(report.record.completed, 18, "deep queue: everything runs");
+    let verified = report
+        .verify(&service, &jobs, 1e-9)
+        .expect("every completed job matches its standalone run");
+    assert_eq!(verified, 18);
+}
+
+/// Overload backpressure: a shallow queue sheds with typed reasons, the
+/// books balance, and nothing panics.
+#[test]
+fn overload_sheds_with_typed_outcomes() {
+    let (service, jobs) = loaded_service(None, 2);
+    let report = service.run(&jobs);
+    let r = &report.record;
+    assert_eq!(r.submitted, 18);
+    assert_eq!(
+        r.completed + r.rejected + r.shed,
+        18,
+        "every job ends in exactly one typed outcome"
+    );
+    assert!(r.shed > 0, "a depth-2 queue under burst arrivals must shed");
+    let queue_full = ShedReason::QueueFull { depth: 2 }.to_string();
+    for j in &report.jobs {
+        if j.outcome == "shed" {
+            assert_eq!(j.detail, queue_full);
+        }
+    }
+    // Tenant accounting adds back up to the totals.
+    let per: u64 = r.per_tenant.iter().map(|t| t.submitted).sum();
+    assert_eq!(per, 18);
+    let shed: u64 = r.per_tenant.iter().map(|t| t.shed).sum();
+    assert_eq!(shed, r.shed);
+}
+
+/// Admission rejections are typed, not panics: unknown datasets, kernels
+/// that cannot handle the tensor order, and footprints no device holds.
+#[test]
+fn rejections_are_typed() {
+    let mut service = Service::new(
+        ServiceConfig {
+            devices: 2,
+            capacity_per_device: 512, // smaller than any resident set
+            ..ServiceConfig::default()
+        },
+        GpuContext::tiny(),
+    );
+    service.register("t3", uniform_random(&[15, 18, 21], 900, 271));
+    service.register("t4", uniform_random(&[10, 8, 12, 9], 700, 272));
+    let jobs = vec![
+        job(0, 0, "missing", KernelKind::Hbcsf, 0, 1, 1.0),
+        job(1, 0, "t4", KernelKind::Coo, 0, 1, 2.0), // COO is third-order only
+        job(2, 1, "t3", KernelKind::Hbcsf, 0, 2, 3.0), // resident set > 512 B
+    ];
+    let report = service.run(&jobs);
+    assert_eq!(report.record.rejected, 3);
+    assert!(report.jobs[0].detail.contains("unknown dataset"));
+    assert!(report.jobs[1].detail.contains("invalid launch"));
+    assert!(report.jobs[2].detail.contains("exceeds device capacity"));
+}
+
+/// A queued job whose deadline passes before devices free up is shed as
+/// `DeadlineExpired`, not launched into guaranteed-late work.
+#[test]
+fn expired_deadlines_shed_queued_jobs() {
+    let mut service = Service::new(
+        ServiceConfig {
+            devices: 1,
+            ..ServiceConfig::default()
+        },
+        GpuContext::tiny(),
+    );
+    service.register("a", uniform_random(&[15, 18, 21], 900, 271));
+    let mut hog = job(0, 0, "a", KernelKind::Hbcsf, 0, 1, 1.0);
+    hog.deadline_us = 1e9;
+    let mut doomed = job(1, 1, "a", KernelKind::Hbcsf, 1, 1, 2.0);
+    doomed.deadline_us = 3.0; // expires while the hog holds the device
+    let report = service.run(&[hog, doomed]);
+    assert_eq!(report.record.completed, 1);
+    assert_eq!(report.record.shed, 1);
+    assert_eq!(
+        report.jobs[1].detail,
+        ShedReason::DeadlineExpired.to_string()
+    );
+}
+
+/// The plan cache is shared across tenants: same structure + kernel +
+/// mode + rank = one capture, every later request a hit.
+#[test]
+fn plan_cache_is_shared_across_tenants() {
+    let (service, _) = loaded_service(None, 8);
+    let jobs: Vec<JobSpec> = (0..6u64)
+        .map(|i| {
+            job(
+                i,
+                i as usize % 3,
+                "a",
+                KernelKind::Hbcsf,
+                0,
+                1,
+                1.0 + i as f64,
+            )
+        })
+        .collect();
+    let report = service.run(&jobs);
+    assert_eq!(report.record.completed, 6);
+    assert_eq!(report.record.plan_cache_misses, 1, "one capture");
+    assert!(
+        report.record.plan_cache_hits >= 5,
+        "five replays, all cache hits (saw {})",
+        report.record.plan_cache_hits
+    );
+}
+
+/// Same seed, same config — byte-identical report JSON, fault draws,
+/// percentiles and all.
+#[test]
+fn seeded_service_runs_reproduce_reports_byte_for_byte() {
+    let render = || {
+        let cfg = WorkloadConfig {
+            jobs: 16,
+            nnz: 1200,
+            arrival_mean_us: 10.0,
+            ..WorkloadConfig::default()
+        };
+        let wl = Workload::generate(&cfg);
+        let ctx = GpuContext::tiny()
+            .with_faults(FaultPlan::parse("device-loss:0.3", 7).expect("spec parses"));
+        let mut service = Service::new(
+            ServiceConfig {
+                devices: 3,
+                queue_depth: 4,
+                ..ServiceConfig::default()
+            },
+            ctx,
+        );
+        for (name, t) in &wl.tensors {
+            service.register(name, t.clone());
+        }
+        service
+            .run(&wl.jobs)
+            .to_json_string()
+            .expect("report serializes")
+    };
+    let first = render();
+    let second = render();
+    assert_eq!(first, second, "service runs must be deterministic");
+    assert!(
+        first.contains("\"p99\""),
+        "percentiles surface in the report"
+    );
+}
