@@ -4,3 +4,4 @@
 
 pub mod fleet;
 pub mod plan_replay;
+pub mod replay_fleet;

@@ -132,7 +132,11 @@ fn run_emit_every_iter(
     let res = cpd_als(t, &cpd_opts(cfg), |factors, mode| {
         // Re-capture per call: the whole point of this arm is paying the
         // emission cost every iteration.
-        formats[mode].capture(ctx, cfg.rank).execute(ctx, factors).y
+        formats[mode]
+            .capture(ctx, cfg.rank)
+            .execute(ctx, factors)
+            .expect("bench factors match the captured rank")
+            .y
     });
     (res, start.elapsed().as_secs_f64())
 }
@@ -148,7 +152,10 @@ fn run_plan_replay(
     let plan_build_s = build_start.elapsed().as_secs_f64();
     let start = Instant::now();
     let res = cpd_als(t, &cpd_opts(cfg), |factors, mode| {
-        plans.execute(ctx, factors, mode).y
+        plans
+            .execute(ctx, factors, mode)
+            .expect("bench factors match the captured rank")
+            .y
     });
     (res, plan_build_s, start.elapsed().as_secs_f64(), plans)
 }

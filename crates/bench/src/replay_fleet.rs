@@ -1,0 +1,328 @@
+//! Tracked fleet benchmark for the rank-specialized replay value phase:
+//! for every stand-in dataset, time pure replay sweeps (all modes, fixed
+//! iteration count) through the generic value phase vs. the
+//! const-generic rank specialization, and prove the two arms bit-equal
+//! (per-mode `y` and full CPD fit trajectories). The JSON lands at the
+//! repo root as `BENCH_replay_fleet.json`, one refresh per PR, so the
+//! perf trajectory is visible in history and the CI `bench-gate` job can
+//! fail on speedup regressions — the speedup is a same-machine ratio of
+//! the two arms, so it compares across machines and scales.
+
+use std::time::Instant;
+
+use mttkrp::cpd::{cpd_als_planned, CpdOptions};
+use mttkrp::gpu::{GpuContext, ModePlans};
+use mttkrp::reference::random_factors;
+use sptensor::synth::{standin, SynthConfig};
+use tensor_formats::BcsfOptions;
+
+/// Harness configuration; `Default` is the full-scale tracked run, CI
+/// runs a reduced-`nnz` variant against the committed baseline.
+#[derive(Debug, Clone)]
+pub struct ReplayFleetConfig {
+    /// Stand-in dataset names (must exist in [`sptensor::synth`]).
+    pub datasets: Vec<String>,
+    /// Nonzeros per generated stand-in.
+    pub nnz: usize,
+    /// Factor rank (16 exercises the R=16 specialization).
+    pub rank: usize,
+    /// Timed replay sweeps per arm (each sweep replays every mode once).
+    pub iters: usize,
+    /// ALS iterations for the fit bit-equality check.
+    pub cpd_iters: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl ReplayFleetConfig {
+    /// The paper's 3-way fleet plus two 4-way cases.
+    pub fn default_datasets() -> Vec<String> {
+        [
+            "darpa", "nell2", "flick-3d", "fr_m", "fr_s", "deli", "uber", "flick-4d",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    }
+}
+
+impl Default for ReplayFleetConfig {
+    fn default() -> Self {
+        ReplayFleetConfig {
+            datasets: Self::default_datasets(),
+            nnz: 1_000_000,
+            rank: 16,
+            iters: 10,
+            cpd_iters: 5,
+            seed: 0xF1EE7,
+        }
+    }
+}
+
+/// One dataset's measurements.
+#[derive(Debug, Clone)]
+pub struct FleetDatasetReport {
+    pub dataset: String,
+    pub order: usize,
+    pub nnz: usize,
+    pub rank: usize,
+    /// Dispatch label of the specialized arm (`specialized-r16` etc.).
+    pub dispatch: String,
+    /// One-time format build + plan capture, all modes.
+    pub plan_build_s: f64,
+    /// `iters` all-mode replay sweeps through the generic value phase.
+    pub generic_replay_s: f64,
+    /// The same sweeps through the const-generic value phase.
+    pub specialized_replay_s: f64,
+    /// `generic_replay_s / specialized_replay_s`.
+    pub speedup: f64,
+    /// Per-mode replay outputs bit-equal between the arms.
+    pub y_match: bool,
+    /// CPD fit trajectories bit-equal between the arms.
+    pub fits_match: bool,
+    pub final_fit: f64,
+}
+
+impl FleetDatasetReport {
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "dataset": self.dataset,
+            "order": self.order,
+            "nnz": self.nnz,
+            "rank": self.rank,
+            "dispatch": self.dispatch,
+            "plan_build_s": self.plan_build_s,
+            "generic_replay_s": self.generic_replay_s,
+            "specialized_replay_s": self.specialized_replay_s,
+            "speedup": self.speedup,
+            "y_match": self.y_match,
+            "fits_match": self.fits_match,
+            "final_fit": self.final_fit,
+        })
+    }
+}
+
+fn bits(m: &dense::Matrix) -> Vec<u32> {
+    m.data().iter().map(|x| x.to_bits()).collect()
+}
+
+/// Times `iters` all-mode replay sweeps against `factors`.
+fn time_sweeps(
+    ctx: &GpuContext,
+    plans: &ModePlans,
+    factors: &[dense::Matrix],
+    iters: usize,
+) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        for mode in 0..plans.len() {
+            let run = plans
+                .execute(ctx, factors, mode)
+                .expect("bench factors match the captured rank");
+            std::hint::black_box(&run.y);
+        }
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Benchmarks one dataset: same captured plans, value phase toggled
+/// between the generic fallback and the rank specialization.
+pub fn bench_dataset(name: &str, cfg: &ReplayFleetConfig) -> Result<FleetDatasetReport, String> {
+    let spec = standin(name).ok_or_else(|| format!("unknown dataset '{name}'"))?;
+    let t = spec.generate(&SynthConfig::default().with_nnz(cfg.nnz).with_seed(cfg.seed));
+    let ctx = GpuContext::default();
+
+    let build_start = Instant::now();
+    let mut plans = ModePlans::build_hbcsf(&ctx, &t, cfg.rank, BcsfOptions::default());
+    let plan_build_s = build_start.elapsed().as_secs_f64();
+    let dispatch = plans.plan(0).dispatch().label().to_string();
+
+    let factors = random_factors(&t, cfg.rank, cfg.seed ^ 0xFAC7);
+
+    // Warm both arms once per mode: memoizes the structure simulation and
+    // checks the outputs bit-equal before anything is timed.
+    plans.set_rank_specialization(true);
+    let spec_y: Vec<Vec<u32>> = (0..t.order())
+        .map(|m| {
+            let run = plans
+                .execute(&ctx, &factors, m)
+                .expect("bench factors match the captured rank");
+            bits(&run.y)
+        })
+        .collect();
+    plans.set_rank_specialization(false);
+    let y_match = (0..t.order()).all(|m| {
+        let run = plans
+            .execute(&ctx, &factors, m)
+            .expect("bench factors match the captured rank");
+        bits(&run.y) == spec_y[m]
+    });
+
+    // Timed sweeps: generic first (specialization is already off), then
+    // specialized — identical work either way, only the value phase moves.
+    let generic_replay_s = time_sweeps(&ctx, &plans, &factors, cfg.iters);
+    plans.set_rank_specialization(true);
+    let specialized_replay_s = time_sweeps(&ctx, &plans, &factors, cfg.iters);
+
+    // End-to-end trajectory check: a short CPD per arm, fits compared
+    // bit-for-bit (the dense side is shared, so any divergence indicts
+    // the value phase).
+    let cpd_opts = CpdOptions {
+        rank: cfg.rank,
+        max_iters: cfg.cpd_iters,
+        tol: 0.0,
+        seed: 42,
+    };
+    let res_spec = cpd_als_planned(&t, &cpd_opts, &ctx, &plans);
+    plans.set_rank_specialization(false);
+    let res_gen = cpd_als_planned(&t, &cpd_opts, &ctx, &plans);
+
+    Ok(FleetDatasetReport {
+        dataset: name.to_string(),
+        order: t.order(),
+        nnz: t.nnz(),
+        rank: cfg.rank,
+        dispatch,
+        plan_build_s,
+        generic_replay_s,
+        specialized_replay_s,
+        speedup: generic_replay_s / specialized_replay_s.max(1e-12),
+        y_match,
+        fits_match: res_gen.fits == res_spec.fits,
+        final_fit: res_spec.final_fit(),
+    })
+}
+
+/// Runs the full fleet and renders the tracked JSON document.
+pub fn run(cfg: &ReplayFleetConfig) -> Result<serde_json::Value, String> {
+    let mut reports = Vec::new();
+    for name in &cfg.datasets {
+        reports.push(bench_dataset(name, cfg)?);
+    }
+    let min_speedup = reports
+        .iter()
+        .map(|r| r.speedup)
+        .fold(f64::INFINITY, f64::min);
+    let max_speedup = reports.iter().map(|r| r.speedup).fold(0.0f64, f64::max);
+    Ok(serde_json::json!({
+        "benchmark": "replay_fleet",
+        "config": serde_json::json!({
+            "nnz": cfg.nnz,
+            "rank": cfg.rank,
+            "iters": cfg.iters,
+            "cpd_iters": cfg.cpd_iters,
+            "seed": cfg.seed,
+        }),
+        "datasets": reports.iter().map(FleetDatasetReport::to_json).collect::<Vec<_>>(),
+        "min_speedup": if min_speedup.is_finite() { min_speedup } else { 0.0 },
+        "max_speedup": max_speedup,
+        "all_fits_match": reports.iter().all(|r| r.fits_match && r.y_match),
+    }))
+}
+
+/// Gates a fresh run against a committed baseline: every baseline dataset
+/// must be present, bit-equal (`y_match`/`fits_match`), and within
+/// `tolerance` (fractional) of its baseline replay speedup. Returns the
+/// list of violations (empty = pass). Speedups are same-machine ratios of
+/// the two arms over identical work, so baseline-vs-CI comparisons hold
+/// even when CI runs the fleet at reduced `nnz` on different hardware.
+pub fn gate(
+    current: &serde_json::Value,
+    baseline: &serde_json::Value,
+    tolerance: f64,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    let empty = Vec::new();
+    let cur_sets = current["datasets"].as_array().unwrap_or(&empty);
+    let base_sets = baseline["datasets"].as_array().unwrap_or(&empty);
+    if base_sets.is_empty() {
+        violations.push("baseline has no datasets".to_string());
+    }
+    for base in base_sets {
+        let name = base["dataset"].as_str().unwrap_or("?");
+        let Some(cur) = cur_sets
+            .iter()
+            .find(|c| c["dataset"].as_str() == base["dataset"].as_str())
+        else {
+            violations.push(format!("dataset '{name}' missing from current run"));
+            continue;
+        };
+        if cur["y_match"].as_bool() != Some(true) {
+            violations.push(format!("dataset '{name}': replay outputs not bit-equal"));
+        }
+        if cur["fits_match"].as_bool() != Some(true) {
+            violations.push(format!("dataset '{name}': fit trajectories not bit-equal"));
+        }
+        let base_speedup = base["speedup"].as_f64().unwrap_or(0.0);
+        let cur_speedup = cur["speedup"].as_f64().unwrap_or(0.0);
+        let floor = base_speedup * (1.0 - tolerance);
+        if cur_speedup < floor {
+            violations.push(format!(
+                "dataset '{name}': replay speedup regressed \
+                 ({cur_speedup:.3}x < {floor:.3}x = {base_speedup:.3}x - {:.0}%)",
+                tolerance * 100.0
+            ));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg(datasets: &[&str]) -> ReplayFleetConfig {
+        ReplayFleetConfig {
+            datasets: datasets.iter().map(|s| s.to_string()).collect(),
+            nnz: 4_000,
+            rank: 16,
+            iters: 2,
+            cpd_iters: 2,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn arms_agree_bitwise_on_small_standins() {
+        // One 3rd-order and one 4th-order case through the R=16 path.
+        for name in ["darpa", "uber"] {
+            let report = bench_dataset(name, &tiny_cfg(&[name])).unwrap();
+            assert!(report.y_match, "{name}: replay outputs diverged");
+            assert!(report.fits_match, "{name}: fit trajectories diverged");
+            assert_eq!(report.dispatch, "specialized-r16");
+            assert!(report.final_fit.is_finite());
+        }
+    }
+
+    #[test]
+    fn odd_rank_falls_back_to_generic() {
+        let mut cfg = tiny_cfg(&["darpa"]);
+        cfg.rank = 12;
+        let report = bench_dataset("darpa", &cfg).unwrap();
+        assert_eq!(report.dispatch, "generic");
+        assert!(report.y_match && report.fits_match);
+    }
+
+    #[test]
+    fn gate_flags_regressions_and_mismatches() {
+        let doc = |speedup: f64, fits: bool| {
+            let entry = serde_json::json!({
+                "dataset": "darpa",
+                "speedup": speedup,
+                "y_match": fits,
+                "fits_match": fits,
+            });
+            serde_json::json!({ "datasets": [entry] })
+        };
+        assert!(gate(&doc(1.5, true), &doc(1.5, true), 0.10).is_empty());
+        // Within tolerance.
+        assert!(gate(&doc(1.40, true), &doc(1.5, true), 0.10).is_empty());
+        // Speedup regressed past tolerance.
+        assert_eq!(gate(&doc(1.2, true), &doc(1.5, true), 0.10).len(), 1);
+        // Bit mismatch: two violations (y + fits).
+        assert_eq!(gate(&doc(1.5, false), &doc(1.5, true), 0.10).len(), 2);
+        // Missing dataset.
+        let none = serde_json::json!({"datasets": Vec::<serde_json::Value>::new()});
+        assert_eq!(gate(&none, &doc(1.5, true), 0.10).len(), 1);
+    }
+}

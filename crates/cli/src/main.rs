@@ -80,6 +80,13 @@ fn usage() {
          [--min-speedup X] [--out PATH]"
     );
     eprintln!("      times emit-every-iteration vs. capture-once-replay CPD and writes JSON");
+    eprintln!(
+        "  sptk bench replay-fleet [--datasets a,b] [--nnz N] [--rank R] [--iters K] \
+         [--cpd-iters K] [--seed S] [--out PATH] [--baseline PATH] [--tolerance F]"
+    );
+    eprintln!("      times generic vs. rank-specialized replay over the stand-in fleet,");
+    eprintln!("      checks bit-equality, writes BENCH_replay_fleet.json, and (with");
+    eprintln!("      --baseline) fails on any fit mismatch or >tolerance speedup regression");
     eprintln!("  sptk calibrate [--datasets a,b] [--nnz N] [--rank R] [--seed S] [--out PATH]");
     eprintln!("      runs all six formats over the stand-in fleet, checks the paper's metric");
     eprintln!("      orderings (Table II / Figs. 5-8), and writes BENCH_fleet.json");
@@ -664,20 +671,22 @@ fn write_kernel_profile(
     Ok(())
 }
 
-/// `sptk bench plan-replay` — the tracked launch-capture benchmark:
-/// CPD-ALS with per-iteration kernel emission vs. capture-once/replay,
-/// written as JSON so CI can archive the speedup trajectory.
+/// `sptk bench <name>` — the tracked benchmarks, each written as JSON so
+/// CI can archive and gate the perf trajectory.
 fn cmd_bench(args: &[String]) -> Result<()> {
     match args.first().map(String::as_str) {
-        Some("plan-replay") => {}
-        other => {
-            return Err(format!(
-                "bench: unknown benchmark {:?} (available: plan-replay)",
-                other.unwrap_or("<missing>")
-            ))
-        }
+        Some("plan-replay") => cmd_bench_plan_replay(&args[1..]),
+        Some("replay-fleet") => cmd_bench_replay_fleet(&args[1..]),
+        other => Err(format!(
+            "bench: unknown benchmark {:?} (available: plan-replay, replay-fleet)",
+            other.unwrap_or("<missing>")
+        )),
     }
-    let args = &args[1..];
+}
+
+/// `sptk bench plan-replay` — the tracked launch-capture benchmark:
+/// CPD-ALS with per-iteration kernel emission vs. capture-once/replay.
+fn cmd_bench_plan_replay(args: &[String]) -> Result<()> {
     let defaults = bench::plan_replay::PlanReplayConfig::default();
     let datasets = match flag(args, "--datasets") {
         Some(csv) => csv.split(',').map(str::to_string).collect(),
@@ -735,6 +744,77 @@ fn cmd_bench(args: &[String]) -> Result<()> {
         return Err(format!(
             "speedup {measured:.2}x below --min-speedup {min_speedup}"
         ));
+    }
+    Ok(())
+}
+
+/// `sptk bench replay-fleet` — the rank-specialization benchmark: pure
+/// replay sweeps (generic vs. const-generic value phase) over the whole
+/// stand-in fleet, with bit-equality checks and an optional regression
+/// gate against a committed baseline JSON.
+fn cmd_bench_replay_fleet(args: &[String]) -> Result<()> {
+    let defaults = bench::replay_fleet::ReplayFleetConfig::default();
+    let datasets = match flag(args, "--datasets") {
+        Some(csv) => csv.split(',').map(str::to_string).collect(),
+        None => defaults.datasets.clone(),
+    };
+    let cfg = bench::replay_fleet::ReplayFleetConfig {
+        datasets,
+        nnz: flag_parse(args, "--nnz", defaults.nnz)?,
+        rank: flag_parse(args, "--rank", defaults.rank)?,
+        iters: flag_parse(args, "--iters", defaults.iters)?,
+        cpd_iters: flag_parse(args, "--cpd-iters", defaults.cpd_iters)?,
+        seed: flag_parse(args, "--seed", defaults.seed)?,
+    };
+    let out = flag(args, "--out").unwrap_or_else(|| "BENCH_replay_fleet.json".into());
+    let baseline = flag(args, "--baseline");
+    let tolerance = flag_parse(args, "--tolerance", 0.10f64)?;
+
+    let doc = bench::replay_fleet::run(&cfg)?;
+    for r in doc["datasets"].as_array().into_iter().flatten() {
+        println!(
+            "{} (order {}, {} nnz): build {:.3}s, generic {:.3}s, {} {:.3}s -> {:.2}x \
+             (y match: {}, fits match: {})",
+            r["dataset"].as_str().unwrap_or("?"),
+            r["order"],
+            r["nnz"],
+            r["plan_build_s"].as_f64().unwrap_or(0.0),
+            r["generic_replay_s"].as_f64().unwrap_or(0.0),
+            r["dispatch"].as_str().unwrap_or("?"),
+            r["specialized_replay_s"].as_f64().unwrap_or(0.0),
+            r["speedup"].as_f64().unwrap_or(0.0),
+            r["y_match"],
+            r["fits_match"],
+        );
+    }
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&doc).map_err(|e| format!("{out}: {e}"))?,
+    )
+    .map_err(|e| format!("{out}: {e}"))?;
+    println!("wrote {out}");
+    if !doc["all_fits_match"].as_bool().unwrap_or(false) {
+        return Err("specialized replay diverged from the generic value phase".into());
+    }
+    if let Some(path) = baseline {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+        let base: serde_json::Value =
+            serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+        let violations = bench::replay_fleet::gate(&doc, &base, tolerance);
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("bench-gate: {v}");
+            }
+            return Err(format!(
+                "replay-fleet regressed against {path} ({} violation(s))",
+                violations.len()
+            ));
+        }
+        println!(
+            "bench-gate: all {} baseline dataset(s) within {:.0}% of baseline speedup",
+            base["datasets"].as_array().map_or(0, Vec::len),
+            tolerance * 100.0
+        );
     }
     Ok(())
 }
@@ -1116,7 +1196,9 @@ fn cmd_cpd(args: &[String]) -> Result<()> {
     // artifacts show a representative launch per mode.
     let last_runs: RefCell<Vec<Option<gpu::GpuRun>>> = RefCell::new(vec![None; t.order()]);
     let backend = |factors: &[dense::Matrix], mode: usize| {
-        let run = plans.execute(&ctx, factors, mode);
+        let run = plans
+            .execute(&ctx, factors, mode)
+            .expect("CPD factors match the captured plan rank");
         if run.profile.is_some() {
             let y = run.y.clone();
             last_runs.borrow_mut()[mode] = Some(run);
@@ -1133,7 +1215,9 @@ fn cmd_cpd(args: &[String]) -> Result<()> {
     let kernel_events: RefCell<simprof::ResilienceRecord> = RefCell::new(Default::default());
     let fault_backend = |factors: &[dense::Matrix], mode: usize| {
         let (run, report) = run_verified(&ctx, &t, factors, mode, &AbftOptions::default(), |c| {
-            plans.execute(c, factors, mode)
+            plans
+                .execute(c, factors, mode)
+                .expect("CPD factors match the captured plan rank")
         });
         {
             let mut rec = kernel_events.borrow_mut();

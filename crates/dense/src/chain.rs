@@ -1,0 +1,216 @@
+//! Prefix/suffix caching for the gram-Hadamard products of an ALS mode
+//! sweep (the multiplication-order trick of Phan, Tichavský, Cichocki,
+//! *Fast Alternating LS Algorithms for High Order CANDECOMP/PARAFAC*,
+//! IEEE TSP 2013, applied to the `R × R` gram side).
+//!
+//! Every ALS mode update needs `V_n = ∗_{m≠n} AₘᵀAₘ`. Rebuilding each
+//! `V_n` from scratch costs `N·(N−1)` Hadamard products per iteration;
+//! the sweep structure makes most of them redundant. A [`HadamardChain`]
+//! holds a *left* running product of the already-updated grams
+//! (`∗_{m<n} Gₘ`, grown one multiply per completed mode) and a *suffix*
+//! table of the not-yet-updated grams (`suffix[n] = ∗_{m>n} Gₘ`, built
+//! once per sweep right-to-left), so each `V_n` is at most one Hadamard:
+//! `left ∗ suffix[n]`. Total per iteration: `N−2` suffix multiplies +
+//! `≤N` joins + `N−1` advances ≈ `3N`, instead of `N²−N`.
+//!
+//! **Bit-exactness:** f32 multiplication is commutative but not
+//! associative, so regrouping can change result bits. For 3-way tensors
+//! every `V_n` here is a product of exactly two grams — no grouping
+//! freedom exists and the chain is bit-identical to the historical
+//! ascending fold. For order ≥ 4 the suffix's right-association rounds
+//! differently than the old left fold; all CPD drivers share this chain,
+//! so cross-driver bit-equality contracts (plain vs resilient vs planned
+//! vs sharded) are unaffected.
+
+use crate::matrix::Matrix;
+
+/// Cached partial gram-Hadamard products for one ALS mode sweep.
+///
+/// Usage per iteration:
+/// ```
+/// # use dense::{HadamardChain, Matrix};
+/// # let grams = vec![Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]); 3];
+/// # let rank = 2;
+/// # let update = |_m: usize| Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+/// let mut chain = HadamardChain::new(&grams, rank);
+/// let mut grams = grams;
+/// for mode in 0..grams.len() {
+///     let v = chain.v(mode);           // ∗_{m≠mode} grams[m]
+///     // ... solve against v, update factors[mode] ...
+///     grams[mode] = update(mode);      // new AₘᵀAₘ
+///     chain.advance(&grams[mode]);     // fold it into the left product
+/// }
+/// ```
+/// `None` entries stand for the (elementwise) identity, so no all-ones
+/// matrix is ever multiplied in — `1.0 * x` is exact, and skipping it
+/// entirely matches the historical ones-seeded fold bit-for-bit.
+pub struct HadamardChain {
+    /// `∗_{m<cursor} grams[m]` over the *updated* grams; `None` = identity.
+    left: Option<Matrix>,
+    /// `suffix[n] = ∗_{m>n} grams[m]` over the sweep-start grams.
+    suffix: Vec<Option<Matrix>>,
+    /// How many modes have been folded into `left`.
+    cursor: usize,
+    rank: usize,
+}
+
+impl HadamardChain {
+    /// Builds the suffix table for one sweep over `grams` (each `R × R`).
+    pub fn new(grams: &[Matrix], rank: usize) -> HadamardChain {
+        let n = grams.len();
+        let mut suffix: Vec<Option<Matrix>> = vec![None; n];
+        for m in (0..n.saturating_sub(1)).rev() {
+            suffix[m] = Some(match &suffix[m + 1] {
+                Some(s) => grams[m + 1].hadamard(s),
+                None => grams[m + 1].clone(),
+            });
+        }
+        HadamardChain {
+            left: None,
+            suffix,
+            cursor: 0,
+            rank,
+        }
+    }
+
+    /// `V_mode = ∗_{m≠mode} Gₘ`, with `Gₘ` the updated gram for
+    /// `m < mode` and the sweep-start gram for `m > mode`. Callable only
+    /// for the cursor's mode — the sweep must advance in order.
+    pub fn v(&self, mode: usize) -> Matrix {
+        assert_eq!(
+            mode, self.cursor,
+            "HadamardChain sweeps modes in order: expected mode {}, got {mode}",
+            self.cursor
+        );
+        match (&self.left, &self.suffix[mode]) {
+            (Some(l), Some(s)) => l.hadamard(s),
+            (Some(l), None) => l.clone(),
+            (None, Some(s)) => s.clone(),
+            (None, None) => {
+                Matrix::from_vec(self.rank, self.rank, vec![1.0; self.rank * self.rank])
+            }
+        }
+    }
+
+    /// Folds the freshly updated gram of the cursor's mode into the left
+    /// product and moves the cursor to the next mode.
+    pub fn advance(&mut self, updated_gram: &Matrix) {
+        self.left = Some(match &self.left {
+            Some(l) => l.hadamard(updated_gram),
+            None => updated_gram.clone(),
+        });
+        self.cursor += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gram(rank: usize, seed: u64) -> Matrix {
+        // Small deterministic pseudo-random symmetric-ish matrix.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1u64 << 24) as f32 + 0.1
+        };
+        Matrix::from_vec(rank, rank, (0..rank * rank).map(|_| next()).collect())
+    }
+
+    /// The historical computation: ones-seeded ascending fold over m≠mode.
+    fn naive_v(grams: &[Matrix], mode: usize, rank: usize) -> Matrix {
+        let mut v = Matrix::from_vec(rank, rank, vec![1.0; rank * rank]);
+        for (m, g) in grams.iter().enumerate() {
+            if m != mode {
+                v = v.hadamard(g);
+            }
+        }
+        v
+    }
+
+    fn bits(m: &Matrix) -> Vec<u32> {
+        m.data().iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn order3_sweep_is_bit_identical_to_naive_fold() {
+        let rank = 8;
+        let mut grams: Vec<Matrix> = (0..3).map(|m| gram(rank, 100 + m)).collect();
+        let mut chain = HadamardChain::new(&grams, rank);
+        for mode in 0..3 {
+            // Every V_n for a 3-way tensor is a 2-gram product: no
+            // grouping freedom, so the chain must match the fold exactly.
+            assert_eq!(
+                bits(&chain.v(mode)),
+                bits(&naive_v(&grams, mode, rank)),
+                "mode {mode}"
+            );
+            grams[mode] = gram(rank, 200 + mode as u64);
+            chain.advance(&grams[mode]);
+        }
+    }
+
+    #[test]
+    fn higher_order_sweep_matches_naive_fold_numerically() {
+        let rank = 4;
+        for order in [4usize, 5] {
+            let mut grams: Vec<Matrix> = (0..order as u64).map(|m| gram(rank, 300 + m)).collect();
+            let mut chain = HadamardChain::new(&grams, rank);
+            for mode in 0..order {
+                let v = chain.v(mode);
+                let naive = naive_v(&grams, mode, rank);
+                // Regrouping a longer product may round differently; it
+                // must still agree to f32 relative precision.
+                for (a, b) in v.data().iter().zip(naive.data()) {
+                    let tol = 1e-5 * b.abs().max(1e-10);
+                    assert!(
+                        (a - b).abs() <= tol,
+                        "order {order} mode {mode}: {a} vs {b}"
+                    );
+                }
+                grams[mode] = gram(rank, 400 + mode as u64);
+                chain.advance(&grams[mode]);
+            }
+        }
+    }
+
+    #[test]
+    fn uses_updated_grams_left_of_the_cursor() {
+        let rank = 4;
+        let mut grams: Vec<Matrix> = (0..4u64).map(|m| gram(rank, 500 + m)).collect();
+        let mut chain = HadamardChain::new(&grams, rank);
+        // Walk two modes with updates, then check mode 2 sees new 0/1 and
+        // old 3.
+        for mode in 0..2 {
+            let _ = chain.v(mode);
+            grams[mode] = gram(rank, 600 + mode as u64);
+            chain.advance(&grams[mode]);
+        }
+        let expect = grams[0].hadamard(&grams[1]).hadamard(&grams[3]);
+        let got = chain.v(2);
+        for (a, b) in got.data().iter().zip(expect.data()) {
+            let tol = 1e-5 * b.abs().max(1e-10);
+            assert!((a - b).abs() <= tol, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sweeps modes in order")]
+    fn out_of_order_query_panics() {
+        let rank = 2;
+        let grams: Vec<Matrix> = (0..3u64).map(|m| gram(rank, 700 + m)).collect();
+        let chain = HadamardChain::new(&grams, rank);
+        let _ = chain.v(1);
+    }
+
+    #[test]
+    fn single_mode_yields_identity_ones() {
+        let rank = 3;
+        let grams = vec![gram(rank, 800)];
+        let chain = HadamardChain::new(&grams, rank);
+        let v = chain.v(0);
+        assert!(v.data().iter().all(|&x| x == 1.0));
+    }
+}

@@ -16,10 +16,12 @@
 // iterator forms Clippy suggests obscure that symmetry.
 #![allow(clippy::needless_range_loop)]
 
+pub mod chain;
 pub mod kr;
 pub mod matrix;
 pub mod solve;
 
+pub use chain::HadamardChain;
 pub use kr::khatri_rao;
 pub use matrix::Matrix;
 pub use solve::{cholesky_solve, pseudo_inverse, spd_condition, symmetric_eigen};

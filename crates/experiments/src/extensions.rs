@@ -249,7 +249,9 @@ pub fn ext_resilience(cfg: &ExpConfig) -> Value {
         .collect();
     let mttkrp_plans = gpu::ModePlans::from_formats(&clean_ctx, &formats, cfg.rank);
     let cpd_plans = gpu::ModePlans::from_formats(&clean_ctx, &formats, opts.rank);
-    let clean = mttkrp_plans.execute(&clean_ctx, &factors, 0);
+    let clean = mttkrp_plans
+        .execute(&clean_ctx, &factors, 0)
+        .expect("factors match the captured plan rank");
     let clean_fit = {
         let ctx = cfg.gpu();
         cpd_als_planned(&t, &opts, &ctx, &cpd_plans).final_fit()
@@ -264,7 +266,9 @@ pub fn ext_resilience(cfg: &ExpConfig) -> Value {
 
         // One verified MTTKRP: detection and recovery accounting.
         let (run, report) = run_verified(&ctx, &t, &factors, 0, &AbftOptions::default(), |c| {
-            mttkrp_plans.execute(c, &factors, 0)
+            mttkrp_plans
+                .execute(c, &factors, 0)
+                .expect("factors match the captured plan rank")
         });
         let overhead = f64::from(report.attempts) * run.sim.time_s / clean.sim.time_s.max(1e-30);
         let out_diff = run.y.rel_fro_diff(&clean.y);
@@ -276,7 +280,9 @@ pub fn ext_resilience(cfg: &ExpConfig) -> Value {
             &ResilienceOptions::default(),
             |f, m| {
                 run_verified(&ctx, &t, f, m, &AbftOptions::default(), |c| {
-                    cpd_plans.execute(c, f, m)
+                    cpd_plans
+                        .execute(c, f, m)
+                        .expect("factors match the captured plan rank")
                 })
                 .0
                 .y

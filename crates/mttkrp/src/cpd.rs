@@ -9,7 +9,7 @@
 
 use std::time::Instant;
 
-use dense::{pseudo_inverse, spd_condition, Matrix};
+use dense::{pseudo_inverse, spd_condition, HadamardChain, Matrix};
 use simprof::{ModeTiming, ResilienceRecord, RunManifest};
 use sptensor::CooTensor;
 
@@ -116,7 +116,12 @@ pub fn cpd_als_planned(
     cpd_als_impl(
         t,
         opts,
-        |factors, mode| plans.execute(ctx, factors, mode).y,
+        |factors, mode| {
+            plans
+                .execute(ctx, factors, mode)
+                .expect("CPD factors match the captured plan rank")
+                .y
+        },
         None,
         Some(ctx),
     )
@@ -184,6 +189,10 @@ fn cpd_als_impl(
         let iter_start = Instant::now();
         let iter_sim_start = ctx.map_or(0.0, |c| c.telemetry.now_us());
         let mut mode_timings: Vec<ModeTiming> = Vec::new();
+        // V = ∗_{m≠n} AₘᵀAₘ  (Eq. 3's gram-Hadamard), served from cached
+        // prefix/suffix partial products across the sweep (Phan et al.
+        // 2013) instead of an O(order²) per-iteration refold.
+        let mut chain = HadamardChain::new(&grams, opts.rank);
         for mode in 0..order {
             let mttkrp_start = Instant::now();
             let y = mttkrp(&factors, mode);
@@ -193,14 +202,7 @@ fn cpd_als_impl(
                     mttkrp_seconds: mttkrp_start.elapsed().as_secs_f64(),
                 });
             }
-            // V = ∗_{m≠n} AₘᵀAₘ  (Eq. 3's gram-Hadamard), folded from an
-            // all-ones seed so any number of modes composes uniformly.
-            let mut v = Matrix::from_vec(opts.rank, opts.rank, vec![1.0; opts.rank * opts.rank]);
-            for (m, g) in grams.iter().enumerate() {
-                if m != mode {
-                    v = v.hadamard(g);
-                }
-            }
+            let v = chain.v(mode);
             let mut a_new = y.matmul(&pseudo_inverse(&v));
             lambda = a_new.normalize_columns();
             // Guard against zero columns collapsing the decomposition.
@@ -210,6 +212,7 @@ fn cpd_als_impl(
                 }
             }
             grams[mode] = a_new.gram();
+            chain.advance(&grams[mode]);
             factors[mode] = a_new;
         }
         iterations += 1;
@@ -359,6 +362,7 @@ pub fn cpd_als_resilient(
         let iter_start = Instant::now();
         let iter_sim_start = ctx.map_or(0.0, |c| c.telemetry.now_us());
         let mut mode_timings: Vec<ModeTiming> = Vec::new();
+        let mut chain = HadamardChain::new(&grams, opts.rank);
         for mode in 0..order {
             let mttkrp_start = Instant::now();
             let mut y = mttkrp(&factors, mode);
@@ -369,12 +373,10 @@ pub fn cpd_als_resilient(
                 });
             }
             stats.nan_resets += scrub_nonfinite(&mut y);
-            let mut v = Matrix::from_vec(opts.rank, opts.rank, vec![1.0; opts.rank * opts.rank]);
-            for (m, g) in grams.iter().enumerate() {
-                if m != mode {
-                    v = v.hadamard(g);
-                }
-            }
+            // Scrubbing applies to the joined product only — the chain's
+            // cached partials stay as computed, exactly like the old
+            // refold scrubbed its per-mode result and left `grams` alone.
+            let mut v = chain.v(mode);
             stats.nan_resets += scrub_nonfinite(&mut v);
             if spd_condition(&v) > ropts.cond_limit {
                 // Relative ridge: λI scaled to the matrix's own magnitude.
@@ -394,6 +396,7 @@ pub fn cpd_als_resilient(
                 }
             }
             grams[mode] = a_new.gram();
+            chain.advance(&grams[mode]);
             factors[mode] = a_new;
         }
         iterations += 1;
@@ -713,6 +716,7 @@ fn cpd_als_nonneg_impl(
     for _iter in 0..opts.max_iters {
         let iter_start = Instant::now();
         let mut mode_timings: Vec<ModeTiming> = Vec::new();
+        let mut chain = HadamardChain::new(&grams, opts.rank);
         for mode in 0..order {
             let mttkrp_start = Instant::now();
             let y = mttkrp(&factors, mode);
@@ -722,12 +726,7 @@ fn cpd_als_nonneg_impl(
                     mttkrp_seconds: mttkrp_start.elapsed().as_secs_f64(),
                 });
             }
-            let mut v = Matrix::from_vec(opts.rank, opts.rank, vec![1.0; opts.rank * opts.rank]);
-            for (m, g) in grams.iter().enumerate() {
-                if m != mode {
-                    v = v.hadamard(g);
-                }
-            }
+            let v = chain.v(mode);
             // Denominator A·V, then the multiplicative update.
             let denom = factors[mode].matmul(&v);
             let a = &mut factors[mode];
@@ -738,6 +737,7 @@ fn cpd_als_nonneg_impl(
                 }
             }
             grams[mode] = factors[mode].gram();
+            chain.advance(&grams[mode]);
         }
         iterations += 1;
         let lambda_ones = vec![1.0f32; opts.rank];

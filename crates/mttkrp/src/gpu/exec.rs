@@ -379,7 +379,7 @@ impl Executor {
                 if !ctx.memory.is_unlimited() || ctx.mem_fault_plan().is_some() {
                     return Err(LaunchError::TensorRequired);
                 }
-                let run = plan.execute(ctx, args.factors);
+                let run = plan.execute(ctx, args.factors)?;
                 Ok(Execution {
                     run,
                     mem: Vec::new(),

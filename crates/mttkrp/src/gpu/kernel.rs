@@ -372,7 +372,7 @@ mod tests {
                 assert_eq!(f.kind(), kind);
                 assert_eq!(MttkrpKernel::output_mode(&f), mode);
                 assert_eq!(MttkrpKernel::dims(&f), t.dims());
-                let run = f.capture(&ctx, 8).execute(&ctx, &factors);
+                let run = f.capture(&ctx, 8).execute(&ctx, &factors).unwrap();
                 let seq = reference::mttkrp(&t, &factors, mode);
                 assert!(
                     crate::outputs_match(&run.y, &seq),

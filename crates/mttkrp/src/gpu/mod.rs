@@ -46,5 +46,5 @@ pub use common::{AbftData, AbftSink, GpuContext, GpuRun};
 pub use exec::{Execution, Executor, LaunchArgs, LaunchError};
 pub use kernel::{AnyFormat, BuildOptions, KernelKind, MttkrpKernel};
 pub use ooc::{execute_adaptive, LadderStep, MemReport, OocOptions};
-pub use plan::{MemoryFootprint, ModePlans, Plan, ReplaySchedule};
+pub use plan::{MemoryFootprint, ModePlans, Plan, RankDispatch, ReplaySchedule};
 pub use sharded::{DeviceShardReport, GridReport, GridSpec, ShardModel};

@@ -36,11 +36,58 @@ use simprof::FieldValue;
 use sptensor::CooTensor;
 use tensor_formats::{BcsfOptions, Hbcsf};
 
-use super::common::{axpy_into, scale_by, AbftSink, FactorAddrs, GpuContext, GpuRun};
+use super::common::{
+    axpy_into, axpy_into_fixed, scale_by, scale_by_fixed, AbftSink, FactorAddrs, GpuContext, GpuRun,
+};
+use super::exec::LaunchError;
 
 /// Accumulator elements per parallel replay batch (≈4 MB of partials):
 /// bounds scratch memory while giving rayon enough blocks per batch.
 const BATCH_ELEMS: usize = 1 << 20;
+
+/// Which value-phase implementation a plan replays through, keyed off the
+/// captured rank. The specialized variants run the *same* per-element f32
+/// operation sequence as the generic path but with `[f32; R]` accumulators
+/// and compile-time trip counts, so the inner loops fully unroll and
+/// vectorize while every fold stays bit-identical (see DESIGN §15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankDispatch {
+    /// Const-generic path, `R = 8`.
+    R8,
+    /// Const-generic path, `R = 16`.
+    R16,
+    /// Const-generic path, `R = 32`.
+    R32,
+    /// Dynamically-sized fallback for every other rank.
+    Generic,
+}
+
+impl RankDispatch {
+    /// The dispatch a freshly captured plan of `rank` gets.
+    pub fn for_rank(rank: usize) -> RankDispatch {
+        match rank {
+            8 => RankDispatch::R8,
+            16 => RankDispatch::R16,
+            32 => RankDispatch::R32,
+            _ => RankDispatch::Generic,
+        }
+    }
+
+    /// Stable label for benches/telemetry.
+    pub fn label(self) -> &'static str {
+        match self {
+            RankDispatch::R8 => "specialized-r8",
+            RankDispatch::R16 => "specialized-r16",
+            RankDispatch::R32 => "specialized-r32",
+            RankDispatch::Generic => "generic",
+        }
+    }
+
+    /// Whether this is one of the const-generic fast paths.
+    pub fn is_specialized(self) -> bool {
+        self != RankDispatch::Generic
+    }
+}
 
 /// A plan's device-memory requirements, sized at capture time from the
 /// kernel's own [`AddressSpace`] layout. All sums saturate: a footprint
@@ -158,6 +205,28 @@ impl ReplaySchedule {
             scale_by(acc, factors[m].row(row));
         }
     }
+
+    /// [`ReplaySchedule::replay_into`] with a compile-time rank: the same
+    /// seed/leaf/chain sequence over a `[f32; R]` accumulator. Each step
+    /// performs per lane exactly the f32 ops of the generic helpers, so
+    /// the accumulator bits match [`ReplaySchedule::replay_into`] exactly.
+    #[inline]
+    fn replay_into_fixed<const R: usize>(&self, c: usize, factors: &[Matrix], acc: &mut [f32; R]) {
+        let (lo, hi) = (self.leaf_ptr[c] as usize, self.leaf_ptr[c + 1] as usize);
+        if lo == hi {
+            *acc = [self.init_vals[c]; R];
+        } else {
+            *acc = [0.0; R];
+            for z in lo..hi {
+                let row = self.leaf_rows[z] as usize;
+                axpy_into_fixed(acc, self.leaf_vals[z], factors[self.leaf_mode].row(row));
+            }
+        }
+        for j in self.chain_ptr[c] as usize..self.chain_ptr[c + 1] as usize {
+            let (m, row) = (self.chain_modes[j] as usize, self.chain_rows[j] as usize);
+            scale_by_fixed(acc, factors[m].row(row));
+        }
+    }
 }
 
 /// Capture-time recorder the kernels emit into: collects the
@@ -253,6 +322,7 @@ impl PlanBuilder {
             mode: self.mode,
             rank: self.rank,
             out_rows: self.out_rows,
+            dispatch: RankDispatch::for_rank(self.rank),
             launch: self.launch,
             sched: self.sched,
             footprint: self.footprint,
@@ -277,6 +347,10 @@ pub struct Plan {
     mode: usize,
     rank: usize,
     out_rows: usize,
+    /// Which value-phase implementation replays run through; defaults to
+    /// the rank-keyed specialization and can be forced generic (benches,
+    /// bit-identity tests).
+    dispatch: RankDispatch,
     launch: KernelLaunch,
     sched: ReplaySchedule,
     /// Device-memory requirements, sized at capture time.
@@ -312,6 +386,23 @@ impl Plan {
         self.out_rows
     }
 
+    /// The value-phase implementation replays run through.
+    pub fn dispatch(&self) -> RankDispatch {
+        self.dispatch
+    }
+
+    /// Toggles the const-generic value phase: `true` restores the
+    /// rank-keyed default, `false` forces the generic fallback (the two
+    /// produce bit-identical output — this exists so benches and tests can
+    /// time/compare the arms).
+    pub fn set_rank_specialization(&mut self, on: bool) {
+        self.dispatch = if on {
+            RankDispatch::for_rank(self.rank)
+        } else {
+            RankDispatch::Generic
+        };
+    }
+
     /// Device-memory requirements, sized at capture time.
     pub fn footprint(&self) -> &MemoryFootprint {
         &self.footprint
@@ -336,9 +427,33 @@ impl Plan {
     /// Replays the capture against `factors`, producing the same [`GpuRun`]
     /// the emitting kernel would: identical `y` bits, identical (memoized)
     /// `SimResult`, and — under `ctx`'s fault plan — identical ABFT data.
-    pub fn execute(&self, ctx: &GpuContext, factors: &[Matrix]) -> GpuRun {
+    ///
+    /// Factors whose rank disagrees with the captured rank are rejected
+    /// with [`LaunchError::RankMismatch`] (service-facing paths must not
+    /// panic on tenant input).
+    pub fn execute(&self, ctx: &GpuContext, factors: &[Matrix]) -> Result<GpuRun, LaunchError> {
+        self.validate_factors(factors)?;
         let _lease = self.lease_full(ctx);
-        self.execute_inner(ctx, factors)
+        Ok(self.execute_inner(ctx, factors))
+    }
+
+    /// Checks every factor's column count against the captured rank.
+    pub fn validate_factors(&self, factors: &[Matrix]) -> Result<(), LaunchError> {
+        if factors.is_empty() && self.rank != 0 {
+            return Err(LaunchError::RankMismatch {
+                expected: self.rank,
+                got: 0,
+            });
+        }
+        for f in factors {
+            if f.cols() != self.rank {
+                return Err(LaunchError::RankMismatch {
+                    expected: self.rank,
+                    got: f.cols(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Leases the plan's full footprint from `ctx`'s device memory
@@ -360,16 +475,17 @@ impl Plan {
         ]
     }
 
-    /// [`Plan::execute`] without the memory lease — for callers that have
-    /// already leased (full-device or per-tile) through the checked path.
+    /// [`Plan::execute`] without the memory lease or factor validation —
+    /// for callers that have already leased (full-device or per-tile) and
+    /// validated through the checked path.
     pub(crate) fn execute_inner(&self, ctx: &GpuContext, factors: &[Matrix]) -> GpuRun {
-        let r = factors.first().map_or(0, |f| f.cols());
-        assert_eq!(
-            r, self.rank,
-            "plan '{}' captured for rank {}, factors have rank {r}",
-            self.name, self.rank
+        debug_assert!(
+            self.validate_factors(factors).is_ok(),
+            "plan '{}' captured for rank {}, factors disagree",
+            self.name,
+            self.rank
         );
-        let mut y = Matrix::zeros(self.out_rows, r);
+        let mut y = Matrix::zeros(self.out_rows, self.rank);
         let abft = if ctx.fault_plan().is_some() {
             // Faulted path: sequential, routing every contribution through
             // the sink so checksums and latched flips match emission.
@@ -384,6 +500,9 @@ impl Plan {
         let (sim, profile) = self.sim_for(ctx);
         if ctx.profiling() {
             ctx.registry.add("plan.replays", 1);
+            if self.dispatch.is_specialized() {
+                ctx.registry.add("plan.replays_specialized", 1);
+            }
         }
         let tel = &ctx.telemetry;
         if tel.enabled() {
@@ -396,6 +515,7 @@ impl Plan {
                     ("mode", FieldValue::from(self.mode)),
                     ("sim_kernel_us", FieldValue::from(sim.time_s * 1e6)),
                     ("faulted", FieldValue::from(ctx.fault_plan().is_some())),
+                    ("dispatch", FieldValue::from(self.dispatch.label())),
                 ],
             );
         }
@@ -505,7 +625,37 @@ impl Plan {
     /// per-contribution fold is unchanged, so any tiling of `0..nblocks`
     /// into consecutive ranges accumulates `y` bit-for-bit identically to
     /// the untiled replay.
+    ///
+    /// Dispatch shim: routes to the const-generic value phase when the
+    /// captured rank has one (8/16/32), else the dynamically-sized
+    /// fallback. Both arms run the identical batching loop and fold order,
+    /// so the choice never changes output bits — OOC tiles and shard
+    /// ranges (which call this per range) inherit the fast path for free.
     pub(crate) fn replay_range_parallel(
+        &self,
+        y: &mut Matrix,
+        factors: &[Matrix],
+        range_b0: usize,
+        range_b1: usize,
+    ) {
+        match self.dispatch {
+            RankDispatch::R8 => {
+                self.replay_range_parallel_spec::<8>(y, factors, range_b0, range_b1)
+            }
+            RankDispatch::R16 => {
+                self.replay_range_parallel_spec::<16>(y, factors, range_b0, range_b1)
+            }
+            RankDispatch::R32 => {
+                self.replay_range_parallel_spec::<32>(y, factors, range_b0, range_b1)
+            }
+            RankDispatch::Generic => {
+                self.replay_range_parallel_generic(y, factors, range_b0, range_b1)
+            }
+        }
+    }
+
+    /// The dynamically-sized parallel value phase (any rank).
+    fn replay_range_parallel_generic(
         &self,
         y: &mut Matrix,
         factors: &[Matrix],
@@ -558,6 +708,59 @@ impl Plan {
         }
     }
 
+    /// [`Plan::replay_range_parallel_generic`] with a compile-time rank:
+    /// same batching, same disjoint scratch, same emission-order fold —
+    /// only the accumulator type changes to `[f32; R]`, which hands the
+    /// compiler fixed trip counts for the leaf/chain inner loops.
+    fn replay_range_parallel_spec<const R: usize>(
+        &self,
+        y: &mut Matrix,
+        factors: &[Matrix],
+        range_b0: usize,
+        range_b1: usize,
+    ) {
+        debug_assert_eq!(self.rank, R);
+        let nblocks = range_b1.min(self.sched.num_blocks());
+        let mut buf: Vec<[f32; R]> = Vec::new();
+        let mut b0 = range_b0;
+        while b0 < nblocks {
+            let mut b1 = b0 + 1;
+            while b1 < nblocks
+                && (self.sched.block_ptr[b1] - self.sched.block_ptr[b0]) as usize * R < BATCH_ELEMS
+            {
+                b1 += 1;
+            }
+            let base = self.sched.block_ptr[b0] as usize;
+            let count = self.sched.block_ptr[b1] as usize - base;
+            buf.clear();
+            buf.resize(count, [0.0; R]);
+
+            let mut chunks: Vec<(usize, &mut [[f32; R]])> = Vec::with_capacity(b1 - b0);
+            let mut rest = buf.as_mut_slice();
+            for b in b0..b1 {
+                let n = (self.sched.block_ptr[b + 1] - self.sched.block_ptr[b]) as usize;
+                let (head, tail) = rest.split_at_mut(n);
+                chunks.push((b, head));
+                rest = tail;
+            }
+            chunks.into_par_iter().for_each(|(b, chunk)| {
+                let lo = self.sched.block_ptr[b] as usize;
+                for (k, acc) in chunk.iter_mut().enumerate() {
+                    self.sched.replay_into_fixed(lo + k, factors, acc);
+                }
+            });
+
+            // Ordered sequential fold — bit-for-bit the emission order
+            // (`y[i][c] += 1.0 * acc[c]`, same per-lane op as the generic
+            // fold's `axpy_into`).
+            for (c, acc) in buf.iter().enumerate() {
+                let i = self.sched.rows[base + c] as usize;
+                axpy_into(y.row_mut(i), 1.0, acc);
+            }
+            b0 = b1;
+        }
+    }
+
     /// Faulted replay: fully sequential, calling `begin_block`/`contribute`
     /// with the same ordinals and accumulators as emission.
     fn replay_sequential(&self, y: &mut Matrix, factors: &[Matrix], sink: &mut AbftSink) {
@@ -568,7 +771,28 @@ impl Plan {
     /// ordinals passed to the sink are the *global* schedule ordinals, so
     /// fault draws — which key on `(kernel, block)` — are identical
     /// whether the schedule runs whole or tiled.
+    ///
+    /// Same dispatch shim as [`Plan::replay_range_parallel`]: the faulted
+    /// path stays fully sequential through the sink either way; only the
+    /// accumulator computation specializes.
     pub(crate) fn replay_range_sequential(
+        &self,
+        y: &mut Matrix,
+        factors: &[Matrix],
+        sink: &mut AbftSink,
+        b0: usize,
+        b1: usize,
+    ) {
+        match self.dispatch {
+            RankDispatch::R8 => self.replay_range_sequential_spec::<8>(y, factors, sink, b0, b1),
+            RankDispatch::R16 => self.replay_range_sequential_spec::<16>(y, factors, sink, b0, b1),
+            RankDispatch::R32 => self.replay_range_sequential_spec::<32>(y, factors, sink, b0, b1),
+            RankDispatch::Generic => self.replay_range_sequential_generic(y, factors, sink, b0, b1),
+        }
+    }
+
+    /// The dynamically-sized sequential (faulted) value phase.
+    fn replay_range_sequential_generic(
         &self,
         y: &mut Matrix,
         factors: &[Matrix],
@@ -585,6 +809,31 @@ impl Plan {
             );
             for c in lo..hi {
                 self.sched.replay_into(c, factors, &mut acc);
+                sink.contribute(y, self.sched.rows[c] as usize, &acc);
+            }
+        }
+    }
+
+    /// [`Plan::replay_range_sequential_generic`] with a compile-time rank;
+    /// the sink sees the same block ordinals, rows, and accumulator bits.
+    fn replay_range_sequential_spec<const R: usize>(
+        &self,
+        y: &mut Matrix,
+        factors: &[Matrix],
+        sink: &mut AbftSink,
+        b0: usize,
+        b1: usize,
+    ) {
+        debug_assert_eq!(self.rank, R);
+        let mut acc = [0.0f32; R];
+        for b in b0..b1.min(self.sched.num_blocks()) {
+            sink.begin_block(y, b);
+            let (lo, hi) = (
+                self.sched.block_ptr[b] as usize,
+                self.sched.block_ptr[b + 1] as usize,
+            );
+            for c in lo..hi {
+                self.sched.replay_into_fixed(c, factors, &mut acc);
                 sink.contribute(y, self.sched.rows[c] as usize, &acc);
             }
         }
@@ -713,8 +962,21 @@ impl ModePlans {
         &self.plans[mode]
     }
 
+    /// Toggles the const-generic value phase on every captured plan (see
+    /// [`Plan::set_rank_specialization`]).
+    pub fn set_rank_specialization(&mut self, on: bool) {
+        for p in &mut self.plans {
+            p.set_rank_specialization(on);
+        }
+    }
+
     /// Replays the mode-`mode` plan against `factors`.
-    pub fn execute(&self, ctx: &GpuContext, factors: &[Matrix], mode: usize) -> GpuRun {
+    pub fn execute(
+        &self,
+        ctx: &GpuContext,
+        factors: &[Matrix],
+        mode: usize,
+    ) -> Result<GpuRun, LaunchError> {
         self.plans[mode].execute(ctx, factors)
     }
 }

@@ -105,7 +105,7 @@ fn tiled_replay_is_bit_identical_to_untiled_clean() {
     for_all_cases(|case, t, mode, what| {
         let factors = random_factors(t, RANK, 171 + mode as u64);
         let plan = (case.plan)(&unlimited, t, mode, RANK);
-        let untiled = plan.execute(&unlimited, &factors);
+        let untiled = plan.execute(&unlimited, &factors).unwrap();
 
         // Shrinking capacities: ever more of the format bytes must be
         // streamed, so tile counts grow; the output must never change.
@@ -174,7 +174,7 @@ fn unconstrained_adaptive_runs_in_core_and_matches_execute() {
     for_all_cases(|case, t, mode, what| {
         let factors = random_factors(t, RANK, 172 + mode as u64);
         let plan = (case.plan)(&ctx, t, mode, RANK);
-        let direct = plan.execute(&ctx, &factors);
+        let direct = plan.execute(&ctx, &factors).unwrap();
         let (run, report) = gpu::execute_adaptive(&ctx, &plan, &factors, t, &oopts);
         assert!(report.in_core, "{what}: unlimited memory must run in-core");
         assert_eq!(report.tiles_run, 0);
@@ -199,7 +199,7 @@ fn tiled_replay_under_exec_faults_matches_untiled_fault_stream() {
     for_all_cases(|case, t, mode, what| {
         let factors = random_factors(t, RANK, 173 + mode as u64);
         let plan = (case.plan)(&unlimited, t, mode, RANK);
-        let untiled = plan.execute(&unlimited, &factors);
+        let untiled = plan.execute(&unlimited, &factors).unwrap();
 
         let mem = Arc::new(DeviceMemory::with_capacity(u64::MAX));
         let cap = capacity_with_format_fraction(&plan, &mem, 1, 2);
@@ -288,7 +288,7 @@ fn fragmentation_shrinks_effective_capacity_deterministically() {
         let clean = GpuContext::tiny();
         let plan = (case.plan)(&clean, t, mode, RANK);
         let factors = random_factors(t, RANK, 175 + mode as u64);
-        let untiled = plan.execute(&clean, &factors);
+        let untiled = plan.execute(&clean, &factors).unwrap();
 
         let mem = Arc::new(DeviceMemory::with_capacity(u64::MAX));
         let fp = plan.footprint();
@@ -336,7 +336,7 @@ proptest! {
         let ctx = GpuContext::tiny();
         let factors = random_factors(&t, RANK, 176 + mode as u64);
         let plan = (case.plan)(&ctx, &t, mode, RANK);
-        let untiled = plan.execute(&ctx, &factors);
+        let untiled = plan.execute(&ctx, &factors).unwrap();
 
         let mem = Arc::new(DeviceMemory::with_capacity(u64::MAX));
         let cap = capacity_with_format_fraction(&plan, &mem, sixteenths, 16);

@@ -6,10 +6,11 @@
 
 use mttkrp_repro::dense::Matrix;
 use mttkrp_repro::gpu_sim::FaultPlan;
-use mttkrp_repro::mttkrp::gpu::{GpuContext, GpuRun, KernelKind, Plan};
+use mttkrp_repro::mttkrp::gpu::{GpuContext, GpuRun, KernelKind, LaunchError, Plan, RankDispatch};
 use mttkrp_repro::mttkrp::reference::random_factors;
 use mttkrp_repro::sptensor::synth::uniform_random;
 use mttkrp_repro::sptensor::CooTensor;
+use proptest::prelude::*;
 mod util;
 use util::{build_run_default, capture_plan};
 
@@ -130,7 +131,7 @@ fn replay_matches_fresh_emission_clean() {
     for_all_cases(|case, t, mode, what| {
         let factors = random_factors(t, RANK, 91 + mode as u64);
         let plan = (case.plan)(&ctx, t, mode, RANK);
-        let replayed = plan.execute(&ctx, &factors);
+        let replayed = plan.execute(&ctx, &factors).unwrap();
         let fresh = (case.run)(&ctx, t, &factors, mode);
         assert_runs_equal(&replayed, &fresh, &what);
     });
@@ -142,14 +143,14 @@ fn replay_is_deterministic_and_sim_is_memoized() {
     for_all_cases(|case, t, mode, what| {
         let factors = random_factors(t, RANK, 92 + mode as u64);
         let plan = (case.plan)(&ctx, t, mode, RANK);
-        let first = plan.execute(&ctx, &factors);
-        let second = plan.execute(&ctx, &factors);
+        let first = plan.execute(&ctx, &factors).unwrap();
+        let second = plan.execute(&ctx, &factors).unwrap();
         assert_runs_equal(&first, &second, &format!("{what} repeat"));
 
         // New factor values through the same plan still match a fresh
         // emission with those values: capture is value-independent.
         let other = random_factors(t, RANK, 920 + mode as u64);
-        let replayed = plan.execute(&ctx, &other);
+        let replayed = plan.execute(&ctx, &other).unwrap();
         let fresh = (case.run)(&ctx, t, &other, mode);
         assert_runs_equal(&replayed, &fresh, &format!("{what} new factors"));
     });
@@ -163,7 +164,7 @@ fn replay_matches_fresh_emission_under_faults() {
     for_all_cases(|case, t, mode, what| {
         let factors = random_factors(t, RANK, 93 + mode as u64);
         let plan = (case.plan)(&ctx, t, mode, RANK);
-        let replayed = plan.execute(&ctx, &factors);
+        let replayed = plan.execute(&ctx, &factors).unwrap();
         let fresh = (case.run)(&ctx, t, &factors, mode);
         assert_runs_equal(&replayed, &fresh, &format!("{what} faulted"));
     });
@@ -180,9 +181,9 @@ fn faulted_sim_cache_rekeys_across_retry_attempts() {
     for_all_cases(|case, t, mode, what| {
         let factors = random_factors(t, RANK, 94 + mode as u64);
         let plan = (case.plan)(&ctx0, t, mode, RANK);
-        let a0 = plan.execute(&ctx0, &factors);
-        let a1 = plan.execute(&ctx1, &factors);
-        let a0_again = plan.execute(&ctx0, &factors);
+        let a0 = plan.execute(&ctx0, &factors).unwrap();
+        let a1 = plan.execute(&ctx1, &factors).unwrap();
+        let a0_again = plan.execute(&ctx0, &factors).unwrap();
         assert_runs_equal(&a0, &a0_again, &format!("{what} attempt-0 re-key"));
         assert_runs_equal(
             &a1,
@@ -194,4 +195,134 @@ fn faulted_sim_cache_rekeys_across_retry_attempts() {
             "{what}: simulated makespan must be populated"
         );
     });
+}
+
+/// Ranks with a const-generic value phase (the dispatch table's keys).
+const SPECIALIZED_RANKS: &[usize] = &[8, 16, 32];
+
+/// Executes `plan` twice — specialized dispatch vs. forced generic — and
+/// asserts the full runs (y bits, sim, faults, ABFT) are identical.
+fn assert_dispatch_arms_equal(
+    ctx: &GpuContext,
+    mut plan: Plan,
+    factors: &[Matrix],
+    rank: usize,
+    what: &str,
+) {
+    plan.set_rank_specialization(true);
+    assert_eq!(
+        plan.dispatch(),
+        RankDispatch::for_rank(rank),
+        "{what}: rank {rank} must key a specialized dispatch"
+    );
+    assert!(plan.dispatch().is_specialized(), "{what}: rank {rank}");
+    let specialized = plan.execute(ctx, factors).unwrap();
+    plan.set_rank_specialization(false);
+    assert_eq!(plan.dispatch(), RankDispatch::Generic, "{what}");
+    let generic = plan.execute(ctx, factors).unwrap();
+    assert_runs_equal(&specialized, &generic, what);
+}
+
+#[test]
+fn specialized_replay_is_bit_identical_to_generic_clean() {
+    let ctx = GpuContext::tiny();
+    for &rank in SPECIALIZED_RANKS {
+        for_all_cases(|case, t, mode, what| {
+            let factors = random_factors(t, rank, 95 + mode as u64);
+            let plan = (case.plan)(&ctx, t, mode, rank);
+            assert_dispatch_arms_equal(&ctx, plan, &factors, rank, &format!("{what} r{rank}"));
+        });
+    }
+}
+
+#[test]
+fn specialized_replay_is_bit_identical_to_generic_under_faults() {
+    let plan_spec =
+        FaultPlan::parse("bitflip:0.5,abort:0.2,straggler:0.2", 0xFA17).expect("spec parses");
+    let ctx = GpuContext::tiny().with_faults(plan_spec);
+    for &rank in SPECIALIZED_RANKS {
+        for_all_cases(|case, t, mode, what| {
+            let factors = random_factors(t, rank, 96 + mode as u64);
+            let plan = (case.plan)(&ctx, t, mode, rank);
+            assert_dispatch_arms_equal(
+                &ctx,
+                plan,
+                &factors,
+                rank,
+                &format!("{what} r{rank} faulted"),
+            );
+        });
+    }
+}
+
+#[test]
+fn odd_ranks_dispatch_generic() {
+    let ctx = GpuContext::tiny();
+    let t = tensor(3);
+    for rank in [1usize, 7, 12, 17, 33] {
+        let plan = capture_plan(&ctx, KernelKind::Hbcsf, &t, 0, rank);
+        assert_eq!(plan.dispatch(), RankDispatch::Generic, "rank {rank}");
+        let factors = random_factors(&t, rank, 97);
+        let run = plan.execute(&ctx, &factors).unwrap();
+        let fresh = build_run_default(&ctx, KernelKind::Hbcsf, &t, &factors, 0);
+        assert_runs_equal(&run, &fresh, &format!("generic rank {rank}"));
+    }
+}
+
+#[test]
+fn rank_mismatch_is_a_typed_error_not_a_panic() {
+    let ctx = GpuContext::tiny();
+    let t = tensor(3);
+    let plan = capture_plan(&ctx, KernelKind::Hbcsf, &t, 0, 16);
+    let wrong = random_factors(&t, 8, 98);
+    match plan.execute(&ctx, &wrong) {
+        Err(LaunchError::RankMismatch { expected, got }) => {
+            assert_eq!((expected, got), (16, 8));
+        }
+        other => panic!("expected RankMismatch, got {other:?}"),
+    }
+    // Empty factor lists are a rank mismatch too, not an index panic.
+    match plan.execute(&ctx, &[]) {
+        Err(LaunchError::RankMismatch { expected, got }) => {
+            assert_eq!((expected, got), (16, 0));
+        }
+        other => panic!("expected RankMismatch on empty factors, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any (kernel, order, mode, specialized rank, factor seed): the
+    /// const-generic value phase replays the generic path's exact bits,
+    /// clean and faulted.
+    #[test]
+    fn specialized_dispatch_is_bit_exact_for_any_case(
+        case_idx in 0usize..6,
+        order_sel in 0usize..2,
+        mode_sel in 0usize..4,
+        rank_sel in 0usize..3,
+        seed in 0u64..1_000,
+        faulted in any::<bool>(),
+    ) {
+        let case = &CASES[case_idx];
+        let order = case.orders[order_sel % case.orders.len()];
+        let mode = mode_sel % order;
+        let rank = SPECIALIZED_RANKS[rank_sel];
+        let ctx = if faulted {
+            let spec = FaultPlan::parse("bitflip:0.3,abort:0.1", 0xFA17 ^ seed)
+                .expect("spec parses");
+            GpuContext::tiny().with_faults(spec)
+        } else {
+            GpuContext::tiny()
+        };
+        let t = tensor(order);
+        let factors = random_factors(&t, rank, seed);
+        let plan = (case.plan)(&ctx, &t, mode, rank);
+        let what = format!(
+            "{} order-{order} mode-{mode} r{rank} seed {seed} faulted {faulted}",
+            case.name
+        );
+        assert_dispatch_arms_equal(&ctx, plan, &factors, rank, &what);
+    }
 }
