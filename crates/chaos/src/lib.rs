@@ -1,0 +1,39 @@
+//! simchaos: the composed-fault chaos harness.
+//!
+//! Every fault class in the stack — execution (`bitflip`/`abort`/
+//! `straggler`), memory (`oom`/`frag`), whole devices (`device-loss`),
+//! interconnect links (`link-degrade`/`link-loss`), and mid-write
+//! checkpoint crashes (`crash`) — composes through one seeded
+//! [`gpu_sim::FaultPlan`]. This crate turns that composition into a
+//! harness: generate a batch of [`ChaosSchedule`]s from one seed, drive
+//! a full multi-tenant [`serve::Service`] workload under each, and check
+//! the invariants that define "survived":
+//!
+//! 1. **Typed terminal states** — every submitted job ends `completed`,
+//!    `rejected`, or `shed`; the aggregate counts reconcile.
+//! 2. **Verification** — every completed job's check value reproduces
+//!    standalone within 1e-9 relative, crashes and retries included.
+//! 3. **Ledger balance** — the [`gpu_sim::DeviceMemory`] ledger ends
+//!    with zero bytes in use and every allocation freed.
+//! 4. **Determinism** — two same-seed passes produce byte-identical
+//!    report JSON and telemetry event streams.
+//!
+//! Alongside the service runs, [`crash_restart_cycle`] exercises the
+//! durable-checkpoint path the hard way: `halt_on_crash` treats every
+//! injected mid-write crash as process death, and the harness restarts
+//! until the run completes — proving the warm-restarted trajectory
+//! reaches the uninterrupted run's final fit exactly. See DESIGN.md §16.
+//!
+//! Nothing in a [`ChaosReport`] depends on wall time or filesystem
+//! paths, so reports are comparable byte for byte across machines.
+
+#![deny(clippy::unwrap_used)]
+#![deny(clippy::expect_used)]
+
+pub mod report;
+pub mod run;
+pub mod schedule;
+
+pub use report::{ChaosReport, CrashCycleReport, ScheduleReport};
+pub use run::{crash_restart_cycle, run_chaos, ChaosError};
+pub use schedule::{ChaosConfig, ChaosSchedule};

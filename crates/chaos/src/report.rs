@@ -1,0 +1,101 @@
+//! The deterministic chaos report.
+//!
+//! One [`ChaosReport`] per harness run: a row per schedule, the
+//! crash-restart cycle's outcome, and the flat list of invariant
+//! violations (empty = the run survived). Nothing here carries wall
+//! time or filesystem paths, so same-seed reports are byte-identical —
+//! the `chaos-smoke` CI job diffs two of them to prove it.
+
+/// Aggregated outcome of one schedule's double run (pass "a" measured,
+/// pass "b" only compared for determinism).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ScheduleReport {
+    pub name: String,
+    /// The composed fault spec the schedule ran under.
+    pub spec: String,
+    pub submitted: u64,
+    pub completed: u64,
+    pub rejected: u64,
+    pub shed: u64,
+    pub retries: u64,
+    pub device_losses: u64,
+    /// Interconnect links repriced by `link-degrade` draws.
+    pub link_degrades: u64,
+    /// Interconnect links dropped by `link-loss` draws (single-device
+    /// fallbacks).
+    pub link_losses: u64,
+    /// Durable checkpoint files written atomically.
+    pub checkpoint_writes: u64,
+    /// Injected mid-write crashes (torn files left on disk).
+    pub checkpoint_crashes: u64,
+    /// Warm restarts from a valid checkpoint.
+    pub checkpoint_resumes: u64,
+    /// Torn/corrupt files the resume scan skipped.
+    pub torn_skipped: u64,
+    /// Telemetry lines the run emitted.
+    pub events: u64,
+    /// Completed jobs that re-verified standalone.
+    pub verified: u64,
+    /// Same-seed passes produced byte-identical reports and events.
+    pub deterministic: bool,
+    /// The memory ledger balanced to zero with every allocation freed.
+    pub ledger_balanced: bool,
+    /// Invariant violations this schedule produced (empty = green).
+    pub violations: Vec<String>,
+}
+
+/// Outcome of the crash-restart cycle: durable checkpointing with
+/// `halt_on_crash`, restarted until the run completes.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct CrashCycleReport {
+    /// Process starts it took to finish (1 = never crashed).
+    pub restarts: u64,
+    /// Injected mid-write crashes across all starts.
+    pub crashes: u64,
+    /// Torn files skipped by resume scans.
+    pub torn_skipped: u64,
+    /// Successful warm restarts from a valid checkpoint.
+    pub resumes: u64,
+    /// Final fit of the uninterrupted same-seed run.
+    pub fit_uninterrupted: f64,
+    /// Final fit after the crash-restart cycle.
+    pub fit_restarted: f64,
+    /// `|fit_restarted - fit_uninterrupted|`.
+    pub fit_delta: f64,
+    /// Whether the delta is within 1e-9 (the resumed trajectory is in
+    /// fact bit-identical on clean backends, so this is exact equality
+    /// in practice).
+    pub within_tol: bool,
+}
+
+/// Everything one chaos harness run produced.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ChaosReport {
+    /// The harness master seed.
+    pub seed: u64,
+    pub schedules: Vec<ScheduleReport>,
+    pub crash_cycle: CrashCycleReport,
+    /// Every invariant violation across schedules and the crash cycle.
+    pub violations: Vec<String>,
+    /// Fault kinds the run demonstrably exercised but didn't need to —
+    /// e.g. a seed whose draws never tore a file. Gaps don't fail
+    /// invariants, but CI treats them as a failed smoke run.
+    pub coverage_gaps: Vec<String>,
+}
+
+impl ChaosReport {
+    /// Pretty JSON; byte-identical for same-seed runs.
+    pub fn to_json_string(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// All invariants green.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Green *and* every fault class actually fired.
+    pub fn ok_with_coverage(&self) -> bool {
+        self.ok() && self.coverage_gaps.is_empty()
+    }
+}

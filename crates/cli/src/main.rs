@@ -26,7 +26,8 @@ use gpu_sim::{DeviceMemory, FaultPlan, Interconnect};
 use mttkrp::abft::{run_verified, AbftOptions};
 use mttkrp::cpd::{
     cpd_als, cpd_als_adaptive, cpd_als_nonneg, cpd_als_nonneg_profiled, cpd_als_profiled,
-    cpd_als_resilient, cpd_als_sharded, CpdOptions, ResilienceOptions,
+    cpd_als_resilient, cpd_als_resilient_durable, cpd_als_sharded, CpdOptions, DurableOptions,
+    ResilienceOptions,
 };
 use mttkrp::cpu::splatt::{SplattCsf, SplattOptions};
 use mttkrp::gpu::{self, GpuContext, MemReport, MttkrpKernel, OocOptions};
@@ -48,6 +49,7 @@ fn main() -> ExitCode {
         Some("calibrate") => cmd_calibrate(&args[1..]),
         Some("trace-replay") => cmd_trace_replay(&args[1..]),
         Some("serve-sim") => cmd_serve_sim(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         _ => {
             usage();
             return ExitCode::from(2);
@@ -75,6 +77,11 @@ fn usage() {
         "  sptk cpd <file> [--rank R] [--iters K] [--nonneg] [--profile DIR] [--expect-fit F]"
     );
     eprintln!("      [--devices N] [--interconnect SPEC]");
+    eprintln!("      [--checkpoint-dir DIR [--resume] [--halt-on-crash]]");
+    eprintln!("      --checkpoint-dir writes a versioned, checksummed checkpoint per iteration");
+    eprintln!("      (temp + rename); --resume warm-restarts from the last valid one, scanning");
+    eprintln!("      past torn files; --halt-on-crash makes an injected crash:RATE fault kill");
+    eprintln!("      the run (exit 1) so a shell loop with --resume models process restarts");
     eprintln!(
         "  sptk bench plan-replay [--datasets a,b] [--nnz N] [--rank R] [--iters K] \
          [--min-speedup X] [--out PATH]"
@@ -98,12 +105,21 @@ fn usage() {
     eprintln!("      [--nnz N] [--rank R] [--arrival-us U] [--deadline-us U] [--timeout-us U]");
     eprintln!("      [--cpd-frac PCT] [--backoff-us U] [--interconnect SPEC] [--faults SPEC]");
     eprintln!("      [--mem-capacity B] [--out PATH] [--events PATH] [--profile DIR] [--verify]");
-    eprintln!("      [--expect-shed N] [--expect-device-loss N]");
+    eprintln!("      [--expect-shed N] [--expect-device-loss N] [--checkpoint-dir DIR]");
     eprintln!("      runs a deterministic multi-tenant CPD/MTTKRP service simulation: seeded");
     eprintln!("      synthetic workload, shared plan cache, admission control with a bounded");
     eprintln!("      queue, per-job deadlines with a degrading retry ladder, and device-loss");
     eprintln!("      recovery; prints per-tenant latency percentiles and writes a");
     eprintln!("      byte-reproducible JSON report with --out");
+    eprintln!("  sptk chaos [--seed S] [--schedules N] [--jobs N] [--devices N] [--dir DIR]");
+    eprintln!("      [--out PATH]");
+    eprintln!("      runs the seeded composed-fault chaos harness: every schedule mixes >=3");
+    eprintln!("      fault kinds (always one interconnect fault and one mid-write crash rate),");
+    eprintln!("      drives a full service workload twice per schedule, runs a crash-restart");
+    eprintln!("      cycle against durable checkpoints, and exits nonzero on any invariant");
+    eprintln!("      violation (untyped terminal state, failed standalone verification,");
+    eprintln!("      unbalanced memory ledger, nondeterministic same-seed passes) or on a");
+    eprintln!("      coverage gap (a fault class that never fired)");
     eprintln!("  --profile DIR writes trace.json (Perfetto), nvprof_table.txt, counters.json,");
     eprintln!("      histograms.txt, and (for cpd) manifest.json into DIR; simulated-GPU");
     eprintln!("      kernels only");
@@ -966,6 +982,7 @@ fn cmd_serve_sim(args: &[String]) -> Result<()> {
     let out = flag(args, "--out");
     let events_path = flag(args, "--events").map(PathBuf::from);
     let profile_dir = flag(args, "--profile").map(PathBuf::from);
+    let checkpoint_dir = flag(args, "--checkpoint-dir").map(PathBuf::from);
 
     let wl = Workload::generate(&WorkloadConfig {
         seed,
@@ -1005,6 +1022,7 @@ fn cmd_serve_sim(args: &[String]) -> Result<()> {
             queue_depth,
             backoff_base_us: backoff_us,
             cpu_slowdown: 25.0,
+            checkpoint_dir,
         },
         ctx,
     );
@@ -1029,6 +1047,16 @@ fn cmd_serve_sim(args: &[String]) -> Result<()> {
         rec.plan_cache_misses,
         service.cache().len()
     );
+    let reg = &service.ctx().registry;
+    if reg.counter("serve.checkpoint.writes") > 0 || reg.counter("serve.checkpoint.crashes") > 0 {
+        println!(
+            "checkpoints: {} writes, {} crashes, {} resumes, {} torn skipped",
+            reg.counter("serve.checkpoint.writes"),
+            reg.counter("serve.checkpoint.crashes"),
+            reg.counter("serve.checkpoint.resumes"),
+            reg.counter("serve.checkpoint.torn_skipped")
+        );
+    }
     for t in &rec.per_tenant {
         println!(
             "tenant {}: {}/{} completed, {} shed, {} rejected | latency p50 {} us, \
@@ -1102,6 +1130,91 @@ fn worst_catalog_footprint(ctx: &GpuContext, wl: &Workload, rank: usize) -> Resu
     Ok(worst)
 }
 
+/// `sptk chaos` — the seeded composed-fault chaos harness: generated
+/// schedules mixing every fault class (interconnect and mid-write
+/// crashes always included) drive full service workloads twice each,
+/// plus a crash-restart cycle against durable checkpoints; exits
+/// nonzero on any invariant violation or coverage gap.
+fn cmd_chaos(args: &[String]) -> Result<()> {
+    let defaults = chaos::ChaosConfig::default();
+    let cfg = chaos::ChaosConfig {
+        seed: flag_parse(args, "--seed", defaults.seed)?,
+        schedules: flag_parse(args, "--schedules", defaults.schedules)?,
+        jobs: flag_parse(args, "--jobs", defaults.jobs)?,
+        devices: flag_parse(args, "--devices", defaults.devices)?,
+        verify_tol: defaults.verify_tol,
+    };
+    if cfg.schedules == 0 || cfg.jobs == 0 || cfg.devices == 0 {
+        return Err("chaos wants at least 1 schedule, job, and device".into());
+    }
+    let dir = flag(args, "--dir")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("sptk-chaos"));
+    let out = flag(args, "--out");
+
+    let report = chaos::run_chaos(&cfg, &dir).map_err(|e| e.to_string())?;
+
+    println!(
+        "chaos: seed {:#x}, {} schedules x 2 passes, {} jobs each over {} devices",
+        cfg.seed, cfg.schedules, cfg.jobs, cfg.devices
+    );
+    for s in &report.schedules {
+        println!("{} [{}]", s.name, s.spec);
+        println!(
+            "  jobs: {} completed, {} rejected, {} shed of {} | {} retries, {} device losses",
+            s.completed, s.rejected, s.shed, s.submitted, s.retries, s.device_losses
+        );
+        println!(
+            "  faults: {} link degrades, {} link losses | checkpoints: {} writes, \
+             {} crashes, {} resumes, {} torn skipped",
+            s.link_degrades,
+            s.link_losses,
+            s.checkpoint_writes,
+            s.checkpoint_crashes,
+            s.checkpoint_resumes,
+            s.torn_skipped
+        );
+        println!(
+            "  invariants: {}/{} verified, deterministic {}, ledger balanced {}",
+            s.verified, s.completed, s.deterministic, s.ledger_balanced
+        );
+    }
+    let c = &report.crash_cycle;
+    println!(
+        "crash cycle: {} restarts, {} crashes, {} torn skipped, {} resumes",
+        c.restarts, c.crashes, c.torn_skipped, c.resumes
+    );
+    println!(
+        "  fit restarted {:.15e} vs uninterrupted {:.15e} (delta {:.3e}, within 1e-9: {})",
+        c.fit_restarted, c.fit_uninterrupted, c.fit_delta, c.within_tol
+    );
+
+    if let Some(out) = &out {
+        let json = report.to_json_string().map_err(|e| format!("{out}: {e}"))?;
+        std::fs::write(out, json).map_err(|e| format!("{out}: {e}"))?;
+        println!("wrote {out}");
+    }
+
+    for v in &report.violations {
+        eprintln!("violation: {v}");
+    }
+    for g in &report.coverage_gaps {
+        eprintln!("coverage gap: {g}");
+    }
+    if !report.ok_with_coverage() {
+        return Err(format!(
+            "chaos run failed: {} invariant violations, {} coverage gaps",
+            report.violations.len(),
+            report.coverage_gaps.len()
+        ));
+    }
+    println!(
+        "all invariants green: typed terminal states, standalone verification within 1e-9, \
+         balanced memory ledger, byte-identical same-seed passes"
+    );
+    Ok(())
+}
+
 fn cmd_cpd(args: &[String]) -> Result<()> {
     let path = args.first().ok_or("cpd: missing file")?;
     let t = load(path)?;
@@ -1125,6 +1238,12 @@ fn cmd_cpd(args: &[String]) -> Result<()> {
     let mem_capacity = parse_mem_capacity(args)?;
     let (devices, interconnect) = parse_grid(args)?;
     let expect_tiled = args.iter().any(|a| a == "--expect-tiled");
+    let checkpoint_dir = flag(args, "--checkpoint-dir").map(PathBuf::from);
+    let resume = args.iter().any(|a| a == "--resume");
+    let halt_on_crash = args.iter().any(|a| a == "--halt-on-crash");
+    if checkpoint_dir.is_none() && (resume || halt_on_crash) {
+        return Err("--resume/--halt-on-crash need --checkpoint-dir".into());
+    }
     let adaptive = mem_capacity.is_some() || faults.as_ref().is_some_and(|p| p.has_mem_faults());
     if adaptive && nonneg {
         return Err(
@@ -1145,6 +1264,13 @@ fn cmd_cpd(args: &[String]) -> Result<()> {
         return Err("--expect-tiled reads the single-device ladder; \
              with --devices check the per-device grid lines instead"
             .into());
+    }
+    if checkpoint_dir.is_some() && (nonneg || adaptive || devices.is_some()) {
+        return Err(
+            "--checkpoint-dir drives the durable resilient standard ALS; combine it \
+             without --nonneg, --devices, --mem-capacity, or --mem-faults"
+                .into(),
+        );
     }
     let mut ctx = GpuContext::default();
     if profile_dir.is_some() {
@@ -1196,15 +1322,17 @@ fn cmd_cpd(args: &[String]) -> Result<()> {
     // artifacts show a representative launch per mode.
     let last_runs: RefCell<Vec<Option<gpu::GpuRun>>> = RefCell::new(vec![None; t.order()]);
     let backend = |factors: &[dense::Matrix], mode: usize| {
-        let run = plans
-            .execute(&ctx, factors, mode)
-            .expect("CPD factors match the captured plan rank");
-        if run.profile.is_some() {
-            let y = run.y.clone();
-            last_runs.borrow_mut()[mode] = Some(run);
-            y
-        } else {
-            run.y
+        // Replay validation only compares factor shapes against the
+        // captured rank; a mismatch degrades to the CPU reference
+        // instead of panicking.
+        match plans.execute(&ctx, factors, mode) {
+            Ok(run) if run.profile.is_some() => {
+                let y = run.y.clone();
+                last_runs.borrow_mut()[mode] = Some(run);
+                y
+            }
+            Ok(run) => run.y,
+            Err(_) => mttkrp::reference::mttkrp(&t, factors, mode),
         }
     };
     // Under a fault plan every per-mode MTTKRP goes through the ABFT
@@ -1214,10 +1342,15 @@ fn cmd_cpd(args: &[String]) -> Result<()> {
     // contexts carry different fault plans, which the plan re-simulates.
     let kernel_events: RefCell<simprof::ResilienceRecord> = RefCell::new(Default::default());
     let fault_backend = |factors: &[dense::Matrix], mode: usize| {
+        // Validation is context-independent, so one up-front check
+        // covers every retry context the ABFT wrapper passes in and the
+        // replay closure below is infallible; a shape mismatch degrades
+        // to the CPU reference instead of panicking.
+        if plans.plan(mode).validate_factors(factors).is_err() {
+            return mttkrp::reference::mttkrp(&t, factors, mode);
+        }
         let (run, report) = run_verified(&ctx, &t, factors, mode, &AbftOptions::default(), |c| {
-            plans
-                .execute(c, factors, mode)
-                .expect("CPD factors match the captured plan rank")
+            plans.plan(mode).execute_validated(c, factors)
         });
         {
             let mut rec = kernel_events.borrow_mut();
@@ -1263,6 +1396,60 @@ fn cmd_cpd(args: &[String]) -> Result<()> {
             Some(&mut manifest),
         );
         memrec = Some(mem);
+        res
+    } else if let Some(dir) = &checkpoint_dir {
+        // Durable driver: a versioned, checksummed checkpoint per
+        // iteration, written atomically (temp + rename); --resume scans
+        // back past torn files to the last valid one and warm-restarts.
+        let dopts = DurableOptions {
+            dir: dir.clone(),
+            label: "cpd".to_string(),
+            resume,
+            halt_on_crash,
+        };
+        let ropts = ResilienceOptions::default();
+        let (res, _stats, rec) = if faults.is_some() {
+            cpd_als_resilient_durable(
+                &t,
+                &opts,
+                &ropts,
+                &dopts,
+                fault_backend,
+                Some(&mut manifest),
+                Some(&ctx),
+            )
+        } else {
+            cpd_als_resilient_durable(
+                &t,
+                &opts,
+                &ropts,
+                &dopts,
+                backend,
+                Some(&mut manifest),
+                Some(&ctx),
+            )
+        }
+        .map_err(|e| format!("checkpoint store: {e}"))?;
+        println!(
+            "checkpoints: {} writes ({} B), {} crashes, {} resumes, {} torn skipped{}",
+            rec.writes,
+            rec.bytes_written,
+            rec.crashes,
+            rec.resumes,
+            rec.torn_skipped,
+            if rec.resumes > 0 {
+                format!(", resumed at iteration {}", rec.resumed_iteration)
+            } else {
+                String::new()
+            }
+        );
+        if rec.halted {
+            return Err(format!(
+                "injected crash halted the run after {} durable writes; \
+                 rerun with --resume to warm-restart from the last valid checkpoint",
+                rec.writes
+            ));
+        }
         res
     } else if faults.is_some() {
         let (res, _stats) = cpd_als_resilient(

@@ -4,9 +4,11 @@
 //! in per-block accumulation results, block aborts that force an
 //! ECC-style re-execution, straggler SMs running at a reduced clock,
 //! whole-device losses (`device-loss`) that a multi-device grid must
-//! re-shard around, and — through [`crate::mem::DeviceMemory`] —
-//! allocation failures (`oom`) and fragmentation pressure (`frag`) on
-//! the device heap.
+//! re-shard around, interconnect link faults (`link-degrade`,
+//! `link-loss`) that re-price or disable the ring all-reduce, mid-write
+//! checkpoint crashes (`crash`) that tear durable checkpoint files, and
+//! — through [`crate::mem::DeviceMemory`] — allocation failures (`oom`)
+//! and fragmentation pressure (`frag`) on the device heap.
 //! Every draw is a pure hash of `(seed, kernel, attempt, site)` — no RNG
 //! state — so the same plan replayed over the same launch injects the
 //! same faults, two independent observers of the same site (the scheduler
@@ -100,6 +102,8 @@ pub enum FaultSpecError {
     SlowdownBelowOne,
     /// `frag` of 1 (or more) leaves no capacity at all.
     FragAtLeastOne,
+    /// `link-degrade` factor below 1 would make degraded links faster.
+    DegradeFactorBelowOne,
 }
 
 impl std::fmt::Display for FaultSpecError {
@@ -120,6 +124,9 @@ impl std::fmt::Display for FaultSpecError {
             }
             FaultSpecError::SlowdownBelowOne => write!(f, "straggler slowdown must be >= 1"),
             FaultSpecError::FragAtLeastOne => write!(f, "fragmentation fraction must be < 1"),
+            FaultSpecError::DegradeFactorBelowOne => {
+                write!(f, "link-degrade factor must be >= 1")
+            }
         }
     }
 }
@@ -155,6 +162,22 @@ pub struct FaultPlan {
     /// the grid re-shards around the dead device, so they are neither
     /// execution nor memory faults (see [`FaultPlan::has_device_faults`]).
     pub device_loss_rate: f64,
+    /// Probability an interconnect link runs degraded for a collective
+    /// (per link per launch). A ring all-reduce is bottlenecked by its
+    /// slowest link, so one degraded link re-prices the whole collective;
+    /// degradation never perturbs values, only modeled time.
+    pub link_degrade_rate: f64,
+    /// Bandwidth division factor applied to degraded links (`>= 1`).
+    pub link_degrade_factor: f64,
+    /// Probability an interconnect link is down for a collective (per
+    /// link per launch). A lost link breaks the ring, so the grid falls
+    /// back to the bit-exact single-device execution path.
+    pub link_loss_rate: f64,
+    /// Probability a durable checkpoint write crashes mid-write (per
+    /// write), leaving a torn file at the final path — modeling a rename
+    /// that was not yet durable when the process died. Crash faults touch
+    /// only the checkpoint filesystem, never kernel state.
+    pub crash_rate: f64,
     /// Retry attempt number; mixed into every draw.
     pub attempt: u32,
 }
@@ -171,6 +194,10 @@ impl FaultPlan {
             oom_rate: 0.0,
             frag_frac: 0.0,
             device_loss_rate: 0.0,
+            link_degrade_rate: 0.0,
+            link_degrade_factor: 4.0,
+            link_loss_rate: 0.0,
+            crash_rate: 0.0,
             attempt: 0,
         }
     }
@@ -187,7 +214,11 @@ impl FaultPlan {
     /// Whether any fault can ever fire. Inactive plans take the exact
     /// fault-free code paths.
     pub fn is_active(&self) -> bool {
-        self.has_exec_faults() || self.has_mem_faults() || self.has_device_faults()
+        self.has_exec_faults()
+            || self.has_mem_faults()
+            || self.has_device_faults()
+            || self.has_link_faults()
+            || self.has_crash_faults()
     }
 
     /// Whether any *execution* fault (bit flip, abort, straggler) can
@@ -215,6 +246,22 @@ impl FaultPlan {
         self.device_loss_rate > 0.0
     }
 
+    /// Whether an interconnect link can degrade or drop. Link faults
+    /// never perturb committed values: degradation only re-prices the
+    /// all-reduce on the modeled clock, and loss falls back to the
+    /// bit-exact single-device path — so plans carrying only link faults
+    /// keep the bit-exact parallel replay path.
+    pub fn has_link_faults(&self) -> bool {
+        self.link_degrade_rate > 0.0 || self.link_loss_rate > 0.0
+    }
+
+    /// Whether a durable checkpoint write can crash mid-write. Crash
+    /// faults touch only checkpoint files on disk — kernel execution,
+    /// memory, and timing are untouched.
+    pub fn has_crash_faults(&self) -> bool {
+        self.crash_rate > 0.0
+    }
+
     /// The same plan with a different retry attempt (re-rolls all draws).
     pub fn with_attempt(&self, attempt: u32) -> Self {
         FaultPlan {
@@ -224,8 +271,10 @@ impl FaultPlan {
     }
 
     /// Parses a CLI fault spec: comma-separated `kind:rate` terms, e.g.
-    /// `bitflip:1e-3,abort:1e-4,straggler:0.05,slowdown:2.5,oom:0.01,frag:0.2,device-loss:0.1`,
-    /// or `none`.
+    /// `bitflip:1e-3,abort:1e-4,straggler:0.05,slowdown:2.5,oom:0.01,frag:0.2,device-loss:0.1,link-loss:0.05,crash:0.1`,
+    /// or `none`. `link-degrade` additionally accepts a bandwidth factor
+    /// as a third component: `link-degrade:RATE:FACTOR` (factor >= 1,
+    /// default 4).
     pub fn parse(spec: &str, seed: u64) -> Result<Self, FaultSpecError> {
         let mut plan = FaultPlan {
             seed,
@@ -244,10 +293,36 @@ impl FaultPlan {
                 .ok_or_else(|| FaultSpecError::NotKindRate {
                     term: term.to_string(),
                 })?;
+            let in_range = |v: f64| (0.0..=1e6).contains(&v);
+            // `link-degrade` is the one three-part term: its value may be
+            // `RATE` or `RATE:FACTOR`, so it is split again before the
+            // generic `kind:rate` number parse below.
+            if key.trim() == "link-degrade" {
+                let (rate_s, factor_s) = match val.trim().split_once(':') {
+                    Some((r, fac)) => (r, Some(fac)),
+                    None => (val.trim(), None),
+                };
+                let bad = || FaultSpecError::BadNumber {
+                    term: term.to_string(),
+                };
+                let rate: f64 = rate_s.trim().parse().map_err(|_| bad())?;
+                let factor: f64 = match factor_s {
+                    Some(s) => s.trim().parse().map_err(|_| bad())?,
+                    None => plan.link_degrade_factor,
+                };
+                if !in_range(rate) || !in_range(factor) {
+                    return Err(FaultSpecError::RateOutOfRange {
+                        term: term.to_string(),
+                    });
+                }
+                plan.link_degrade_rate = rate;
+                plan.link_degrade_factor = factor;
+                continue;
+            }
             let v: f64 = val.trim().parse().map_err(|_| FaultSpecError::BadNumber {
                 term: term.to_string(),
             })?;
-            if !(0.0..=1e6).contains(&v) {
+            if !in_range(v) {
                 return Err(FaultSpecError::RateOutOfRange {
                     term: term.to_string(),
                 });
@@ -260,6 +335,8 @@ impl FaultPlan {
                 "oom" => plan.oom_rate = v,
                 "frag" => plan.frag_frac = v,
                 "device-loss" => plan.device_loss_rate = v,
+                "link-loss" => plan.link_loss_rate = v,
+                "crash" => plan.crash_rate = v,
                 other => {
                     return Err(FaultSpecError::UnknownKind {
                         kind: other.to_string(),
@@ -273,6 +350,9 @@ impl FaultPlan {
             ("straggler", plan.straggler_rate),
             ("oom", plan.oom_rate),
             ("device-loss", plan.device_loss_rate),
+            ("link-degrade", plan.link_degrade_rate),
+            ("link-loss", plan.link_loss_rate),
+            ("crash", plan.crash_rate),
         ] {
             if rate > 1.0 {
                 return Err(FaultSpecError::ProbabilityAboveOne { kind });
@@ -283,6 +363,9 @@ impl FaultPlan {
         }
         if plan.frag_frac >= 1.0 {
             return Err(FaultSpecError::FragAtLeastOne);
+        }
+        if plan.link_degrade_factor < 1.0 {
+            return Err(FaultSpecError::DegradeFactorBelowOne);
         }
         Ok(plan)
     }
@@ -337,6 +420,36 @@ impl FaultPlan {
     /// and the loss point are uncorrelated.
     pub fn device_loss_progress(&self, kernel: &str, device: usize) -> f64 {
         u01(self.site_hash(kernel, 0x6, device as u64))
+    }
+
+    /// Whether ring link `link` runs degraded (bandwidth divided by
+    /// [`FaultPlan::link_degrade_factor`]) for this kernel's collective.
+    pub fn link_degraded(&self, kernel: &str, link: usize) -> bool {
+        self.link_degrade_rate > 0.0
+            && u01(self.site_hash(kernel, 0x7, link as u64)) < self.link_degrade_rate
+    }
+
+    /// Whether ring link `link` is down for this kernel's collective,
+    /// breaking the ring and forcing single-device fallback.
+    pub fn link_lost(&self, kernel: &str, link: usize) -> bool {
+        self.link_loss_rate > 0.0
+            && u01(self.site_hash(kernel, 0x8, link as u64)) < self.link_loss_rate
+    }
+
+    /// Whether the durable checkpoint write `seq` under `label` crashes
+    /// mid-write. `Some(frac)` means the write died after committing
+    /// `frac` (in `[0, 1)`) of the file's bytes — the torn fraction is
+    /// drawn on a chained hash so the crash decision and the tear point
+    /// are uncorrelated.
+    pub fn write_crash(&self, label: &str, seq: u64) -> Option<f64> {
+        if self.crash_rate <= 0.0 {
+            return None;
+        }
+        let h = self.site_hash(label, 0x9, seq);
+        if u01(h) >= self.crash_rate {
+            return None;
+        }
+        Some(u01(splitmix64(h ^ 0x9e37_79b9_7f4a_7c15)))
     }
 
     /// One hash per (plan, kernel, stream, site): the whole entropy source.
@@ -440,7 +553,7 @@ mod tests {
 
         // Every documented kind round-trips into its field.
         let all = FaultPlan::parse(
-            "bitflip:0.01,abort:0.02,straggler:0.03,slowdown:3.0,oom:0.04,frag:0.05,device-loss:0.06",
+            "bitflip:0.01,abort:0.02,straggler:0.03,slowdown:3.0,oom:0.04,frag:0.05,device-loss:0.06,link-degrade:0.07:5.0,link-loss:0.08,crash:0.09",
             1,
         )
         .expect("valid spec");
@@ -451,6 +564,16 @@ mod tests {
         assert!((all.oom_rate - 0.04).abs() < 1e-12);
         assert!((all.frag_frac - 0.05).abs() < 1e-12);
         assert!((all.device_loss_rate - 0.06).abs() < 1e-12);
+        assert!((all.link_degrade_rate - 0.07).abs() < 1e-12);
+        assert!((all.link_degrade_factor - 5.0).abs() < 1e-12);
+        assert!((all.link_loss_rate - 0.08).abs() < 1e-12);
+        assert!((all.crash_rate - 0.09).abs() < 1e-12);
+
+        // `link-degrade` without a factor keeps the default factor.
+        let short = FaultPlan::parse("link-degrade:0.25", 1).expect("valid spec");
+        assert!((short.link_degrade_rate - 0.25).abs() < 1e-12);
+        assert!((short.link_degrade_factor - 4.0).abs() < 1e-12);
+        assert!(short.is_active() && short.has_link_faults());
     }
 
     #[test]
@@ -501,11 +624,103 @@ mod tests {
                 kind: "device-loss"
             })
         );
+        assert_eq!(
+            FaultPlan::parse("link-loss:1.5", 0),
+            Err(FaultSpecError::ProbabilityAboveOne { kind: "link-loss" })
+        );
+        assert_eq!(
+            FaultPlan::parse("crash:2.0", 0),
+            Err(FaultSpecError::ProbabilityAboveOne { kind: "crash" })
+        );
+        assert_eq!(
+            FaultPlan::parse("link-degrade:1.5", 0),
+            Err(FaultSpecError::ProbabilityAboveOne {
+                kind: "link-degrade"
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("link-degrade:0.5:0.5", 0),
+            Err(FaultSpecError::DegradeFactorBelowOne)
+        );
+        assert_eq!(
+            FaultPlan::parse("link-degrade:0.5:nope", 0),
+            Err(FaultSpecError::BadNumber {
+                term: "link-degrade:0.5:nope".to_string()
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("link-degrade:nope:2", 0),
+            Err(FaultSpecError::BadNumber {
+                term: "link-degrade:nope:2".to_string()
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("link-degrade:-0.1", 0),
+            Err(FaultSpecError::RateOutOfRange {
+                term: "link-degrade:-0.1".to_string()
+            })
+        );
         // The errors render as messages the CLI can print directly.
         let msg = FaultPlan::parse("gamma:0.1", 0)
             .expect_err("must fail")
             .to_string();
         assert!(msg.contains("gamma"), "message names the bad kind: {msg}");
+    }
+
+    #[test]
+    fn link_and_crash_faults_are_their_own_classes() {
+        let link = FaultPlan::parse("link-degrade:0.5:3,link-loss:0.2", 11).expect("valid spec");
+        assert!(link.is_active() && link.has_link_faults());
+        assert!(
+            !link.has_exec_faults() && !link.has_mem_faults() && !link.has_device_faults(),
+            "link faults must not activate ABFT, OOM, or re-shard paths"
+        );
+
+        let crash = FaultPlan::parse("crash:0.5", 11).expect("valid spec");
+        assert!(crash.is_active() && crash.has_crash_faults());
+        assert!(
+            !crash.has_exec_faults()
+                && !crash.has_mem_faults()
+                && !crash.has_device_faults()
+                && !crash.has_link_faults(),
+            "crash faults touch only the checkpoint filesystem"
+        );
+
+        // Link draws are deterministic and re-rolled by attempt.
+        let a: Vec<bool> = (0..200).map(|l| link.link_degraded("hbcsf", l)).collect();
+        let b: Vec<bool> = (0..200).map(|l| link.link_degraded("hbcsf", l)).collect();
+        assert_eq!(a, b, "same plan, same degraded links");
+        let c: Vec<bool> = (0..200)
+            .map(|l| link.with_attempt(1).link_degraded("hbcsf", l))
+            .collect();
+        assert_ne!(a, c, "retry attempt re-rolls link degradation");
+        let lost: Vec<bool> = (0..200).map(|l| link.link_lost("hbcsf", l)).collect();
+        assert_ne!(a, lost, "degrade and loss draw on independent streams");
+        let hits = lost.iter().filter(|&&x| x).count();
+        assert!((20..70).contains(&hits), "rate 0.2 over 200 links: {hits}");
+
+        // Crash draws fire at the configured rate and report a torn
+        // fraction in [0, 1).
+        let crashes: Vec<Option<f64>> = (0..200).map(|s| crash.write_crash("job3", s)).collect();
+        let fired = crashes.iter().flatten().count();
+        assert!(
+            (60..140).contains(&fired),
+            "rate 0.5 over 200 writes: {fired}"
+        );
+        for frac in crashes.iter().flatten() {
+            assert!((0.0..1.0).contains(frac));
+        }
+        assert_eq!(
+            crashes,
+            (0..200)
+                .map(|s| crash.write_crash("job3", s))
+                .collect::<Vec<_>>(),
+            "crash draws are deterministic"
+        );
+        assert!(
+            (0..200).all(|s| FaultPlan::disabled().write_crash("job3", s).is_none()),
+            "inert plans never crash a write"
+        );
     }
 
     #[test]

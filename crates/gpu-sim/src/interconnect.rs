@@ -112,6 +112,20 @@ impl Interconnect {
         steps * (self.latency_s + (bytes as f64 / n) / self.link_bandwidth)
     }
 
+    /// The same fabric with every link's bandwidth divided by `factor`
+    /// (`>= 1`). A ring collective is bottlenecked by its slowest link,
+    /// so pricing a collective on the degraded fabric is exactly how one
+    /// degraded link re-prices the whole ring; latency is unchanged (link
+    /// degradation models congestion/retraining, not longer wires).
+    pub fn degraded(&self, factor: f64) -> Interconnect {
+        let factor = factor.max(1.0);
+        Interconnect {
+            name: self.name.clone(),
+            link_bandwidth: self.link_bandwidth / factor,
+            latency_s: self.latency_s,
+        }
+    }
+
     /// Total bytes crossing links during the ring all-reduce: each of the
     /// `2·(n−1)` steps moves `bytes/n` on every one of the `n` links.
     pub fn all_reduce_volume(&self, bytes: u64, devices: usize) -> u64 {
@@ -185,6 +199,24 @@ mod tests {
             prev_t = t;
             prev_v = v;
         }
+    }
+
+    #[test]
+    fn degraded_fabric_reprices_but_keeps_latency() {
+        let ic = Interconnect::nvlink();
+        let slow = ic.degraded(4.0);
+        assert_eq!(slow.link_bandwidth, ic.link_bandwidth / 4.0);
+        assert_eq!(slow.latency_s, ic.latency_s);
+        assert_eq!(slow.name, ic.name);
+        let bytes = 16 << 20;
+        assert!(slow.all_reduce_seconds(bytes, 4) > ic.all_reduce_seconds(bytes, 4));
+        // Volume is a function of payload and topology, not bandwidth.
+        assert_eq!(
+            slow.all_reduce_volume(bytes, 4),
+            ic.all_reduce_volume(bytes, 4)
+        );
+        // Factors below 1 are clamped: degradation never speeds a link up.
+        assert_eq!(ic.degraded(0.5), ic);
     }
 
     #[test]

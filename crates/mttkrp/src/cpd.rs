@@ -116,11 +116,12 @@ pub fn cpd_als_planned(
     cpd_als_impl(
         t,
         opts,
-        |factors, mode| {
-            plans
-                .execute(ctx, factors, mode)
-                .expect("CPD factors match the captured plan rank")
-                .y
+        |factors, mode| match plans.execute(ctx, factors, mode) {
+            Ok(run) => run.y,
+            // A launch refusal (rank/shape mismatch against the captured
+            // plan) cannot be retried at this layer; degrade to the
+            // reference kernel rather than poison the whole run.
+            Err(_) => crate::reference::mttkrp(t, factors, mode),
         },
         None,
         Some(ctx),
@@ -328,13 +329,133 @@ struct Checkpoint {
 /// manifest is supplied — merged into [`RunManifest::resilience`]. With a
 /// fault-free backend every guard is inert: the result equals
 /// [`cpd_als`]'s exactly.
+///
+/// Checkpoints here are in-memory rollback targets. Setting
+/// [`ResilienceOptions::checkpoint_every`] to `0` disables checkpointing
+/// entirely: no checkpoints are taken, so a fit regression has no
+/// rollback target and the run rides it out (rollbacks stay at zero).
+/// For durable, crash-consistent checkpoints on disk see
+/// [`cpd_als_resilient_durable`].
 pub fn cpd_als_resilient(
+    t: &CooTensor,
+    opts: &CpdOptions,
+    ropts: &ResilienceOptions,
+    mttkrp: impl FnMut(&[Matrix], usize) -> Matrix,
+    manifest: Option<&mut RunManifest>,
+    ctx: Option<&crate::gpu::GpuContext>,
+) -> (CpdResult, ResilienceStats) {
+    cpd_als_resilient_inner(t, opts, ropts, mttkrp, manifest, ctx, None)
+}
+
+/// How [`cpd_als_resilient_durable`] persists and resumes state.
+#[derive(Debug, Clone)]
+pub struct DurableOptions {
+    /// Directory the checkpoint files live in (created if missing).
+    pub dir: std::path::PathBuf,
+    /// Run label keying the crash-fault draws — same label, same plan,
+    /// same crashes. Service jobs use `"job<id>"`.
+    pub label: String,
+    /// Scan the directory for the newest *valid* checkpoint (skipping
+    /// torn/corrupt files) and warm-restart from it.
+    pub resume: bool,
+    /// Treat an injected mid-write crash as process death: stop the run
+    /// right there (the torn file stays on disk for the next restart to
+    /// scan past). When `false` the crash only loses that checkpoint —
+    /// the computation itself continues, like a failed async snapshot.
+    pub halt_on_crash: bool,
+}
+
+/// Durable-checkpoint state threaded through one resilient ALS run.
+struct DurableSession {
+    store: crate::checkpoint::CheckpointStore,
+    record: simprof::CheckpointRecord,
+    resume: Option<crate::checkpoint::CheckpointState>,
+    halt_on_crash: bool,
+    halted: bool,
+    error: Option<crate::checkpoint::CheckpointError>,
+}
+
+/// [`cpd_als_resilient`] with durable, crash-consistent checkpoints: at
+/// every in-memory checkpoint a versioned, checksummed file is written
+/// atomically (temp + fsync + rename) through a
+/// [`CheckpointStore`](crate::checkpoint::CheckpointStore), and with
+/// `resume` set the run warm-restarts from the newest valid file —
+/// scanning back past any torn files a `crash:RATE` fault (drawn from
+/// the context's [`crash_fault_plan`](crate::gpu::GpuContext::crash_fault_plan))
+/// left behind.
+///
+/// ALS is deterministic, so with a fault-free backend a resumed run
+/// replays the identical remaining iterations: its final fit equals the
+/// uninterrupted run's **exactly** — the invariant the chaos harness
+/// asserts at 1e-9.
+///
+/// Returns the checkpoint activity alongside the usual result and stats
+/// (also merged into [`RunManifest::checkpointing`] when a manifest is
+/// supplied); `record.halted` reports whether an injected crash stopped
+/// the run early under [`DurableOptions::halt_on_crash`]. `Err` is
+/// reserved for genuine I/O failures — injected crashes are data, not
+/// errors.
+pub fn cpd_als_resilient_durable(
+    t: &CooTensor,
+    opts: &CpdOptions,
+    ropts: &ResilienceOptions,
+    dopts: &DurableOptions,
+    mttkrp: impl FnMut(&[Matrix], usize) -> Matrix,
+    mut manifest: Option<&mut RunManifest>,
+    ctx: Option<&crate::gpu::GpuContext>,
+) -> Result<
+    (CpdResult, ResilienceStats, simprof::CheckpointRecord),
+    crate::checkpoint::CheckpointError,
+> {
+    let crash = ctx.and_then(|c| c.crash_fault_plan());
+    let store =
+        crate::checkpoint::CheckpointStore::open(&dopts.dir, &dopts.label)?.with_crash_plan(crash);
+    let mut record = simprof::CheckpointRecord::default();
+    let mut resume = None;
+    if dopts.resume {
+        let scan = store.latest_valid()?;
+        record.torn_skipped += scan.skipped;
+        if let Some(state) = scan.state {
+            record.resumes += 1;
+            record.resumed_iteration = state.iteration as u64;
+            resume = Some(state);
+        }
+    }
+    let mut session = DurableSession {
+        store,
+        record,
+        resume,
+        halt_on_crash: dopts.halt_on_crash,
+        halted: false,
+        error: None,
+    };
+    let (result, stats) = cpd_als_resilient_inner(
+        t,
+        opts,
+        ropts,
+        mttkrp,
+        manifest.as_deref_mut(),
+        ctx,
+        Some(&mut session),
+    );
+    if let Some(e) = session.error {
+        return Err(e);
+    }
+    session.record.halted = session.halted;
+    if let Some(m) = manifest {
+        m.checkpointing.merge(&session.record);
+    }
+    Ok((result, stats, session.record))
+}
+
+fn cpd_als_resilient_inner(
     t: &CooTensor,
     opts: &CpdOptions,
     ropts: &ResilienceOptions,
     mut mttkrp: impl FnMut(&[Matrix], usize) -> Matrix,
     mut manifest: Option<&mut RunManifest>,
     ctx: Option<&crate::gpu::GpuContext>,
+    mut durable: Option<&mut DurableSession>,
 ) -> (CpdResult, ResilienceStats) {
     let run_start = Instant::now();
     if let Some(m) = manifest.as_deref_mut() {
@@ -358,7 +479,46 @@ pub fn cpd_als_resilient(
     let mut prev_fit = 0.0f64;
     let mut iterations = 0;
 
-    for _iter in 0..opts.max_iters {
+    // Warm restart: adopt the checkpointed trajectory wholesale. Grams
+    // are recomputed from the restored factors (they are pure functions
+    // of them), `prev_fit`/`best_fit` are re-derived from the restored
+    // fit trajectory, and the restored state doubles as the in-memory
+    // rollback target — exactly the state an uninterrupted run had right
+    // after taking that checkpoint, so the continuation is bit-identical.
+    if let Some(state) = durable.as_deref_mut().and_then(|d| d.resume.take()) {
+        factors = state.factors;
+        lambda = state.lambda;
+        fits = state.fits;
+        iterations = state.iteration;
+        prev_fit = fits.last().copied().unwrap_or(0.0);
+        best_fit = fits
+            .iter()
+            .copied()
+            .filter(|f| f.is_finite())
+            .fold(f64::NEG_INFINITY, f64::max);
+        checkpoint = Some(Checkpoint {
+            factors: factors.clone(),
+            lambda: lambda.clone(),
+            fit: prev_fit,
+        });
+        grams = factors.iter().map(Matrix::gram).collect();
+        if let Some(c) = ctx {
+            let tel = &c.telemetry;
+            if tel.enabled() {
+                tel.emit(
+                    "checkpoint-resume",
+                    None,
+                    tel.new_span(),
+                    &[
+                        ("seq", simprof::FieldValue::from(state.seq)),
+                        ("iteration", simprof::FieldValue::from(iterations)),
+                    ],
+                );
+            }
+        }
+    }
+
+    while iterations < opts.max_iters {
         let iter_start = Instant::now();
         let iter_sim_start = ctx.map_or(0.0, |c| c.telemetry.now_us());
         let mut mode_timings: Vec<ModeTiming> = Vec::new();
@@ -444,6 +604,56 @@ pub fn cpd_als_resilient(
                 fit,
             });
             stats.checkpoints += 1;
+            if let Some(d) = durable.as_deref_mut() {
+                use crate::checkpoint::WriteOutcome;
+                match d.store.write(iterations, &factors, &lambda, &fits) {
+                    Ok(WriteOutcome::Written { seq, bytes }) => {
+                        d.record.writes += 1;
+                        d.record.bytes_written += bytes;
+                        if let Some(c) = ctx {
+                            let tel = &c.telemetry;
+                            if tel.enabled() {
+                                tel.emit(
+                                    "checkpoint-write",
+                                    None,
+                                    tel.new_span(),
+                                    &[
+                                        ("seq", simprof::FieldValue::from(seq)),
+                                        ("iteration", simprof::FieldValue::from(iterations)),
+                                        ("bytes", simprof::FieldValue::from(bytes)),
+                                    ],
+                                );
+                            }
+                        }
+                    }
+                    Ok(WriteOutcome::Crashed { seq, torn_bytes }) => {
+                        d.record.crashes += 1;
+                        if let Some(c) = ctx {
+                            let tel = &c.telemetry;
+                            if tel.enabled() {
+                                tel.emit(
+                                    "checkpoint-crash",
+                                    None,
+                                    tel.new_span(),
+                                    &[
+                                        ("seq", simprof::FieldValue::from(seq)),
+                                        ("iteration", simprof::FieldValue::from(iterations)),
+                                        ("torn_bytes", simprof::FieldValue::from(torn_bytes)),
+                                    ],
+                                );
+                            }
+                        }
+                        if d.halt_on_crash {
+                            d.halted = true;
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        d.error = Some(e);
+                        break;
+                    }
+                }
+            }
         }
         if iterations > 1 && (fit - prev_fit).abs() < opts.tol {
             break;
@@ -1277,6 +1487,109 @@ mod tests {
         assert_eq!(stats.rollbacks, 0);
         assert_eq!(stats.tikhonov_fallbacks, 0);
         assert!(stats.checkpoints > 0);
+    }
+
+    #[test]
+    fn checkpoint_every_zero_disables_checkpointing() {
+        let t = sptensor::synth::uniform_random(&[10, 12, 14], 300, 9);
+        let opts = CpdOptions {
+            rank: 3,
+            max_iters: 8,
+            tol: 0.0,
+            seed: 21,
+        };
+        let ropts = ResilienceOptions {
+            checkpoint_every: 0,
+            ..ResilienceOptions::default()
+        };
+        let plain = cpd_als(&t, &opts, |f, m| reference::mttkrp(&t, f, m));
+        let (res, stats) = cpd_als_resilient(
+            &t,
+            &opts,
+            &ropts,
+            |f, m| reference::mttkrp(&t, f, m),
+            None,
+            None,
+        );
+        assert_eq!(
+            stats.checkpoints, 0,
+            "checkpoint_every: 0 must take no checkpoints"
+        );
+        assert_eq!(
+            stats.rollbacks, 0,
+            "without checkpoints there is no rollback target"
+        );
+        assert_eq!(
+            plain.fits, res.fits,
+            "disabling checkpoints changes nothing"
+        );
+        assert_eq!(plain.factors, res.factors);
+    }
+
+    #[test]
+    fn durable_crash_restart_reaches_the_uninterrupted_fit_exactly() {
+        let t = sptensor::synth::uniform_random(&[10, 12, 14], 300, 9);
+        let opts = CpdOptions {
+            rank: 3,
+            max_iters: 8,
+            tol: 0.0,
+            seed: 21,
+        };
+        let ropts = ResilienceOptions::default();
+        let (uninterrupted, _) = cpd_als_resilient(
+            &t,
+            &opts,
+            &ropts,
+            |f, m| reference::mttkrp(&t, f, m),
+            None,
+            None,
+        );
+
+        let dir = std::env::temp_dir().join("sptk_cpd_durable_restart");
+        let _ = std::fs::remove_dir_all(&dir);
+        let ctx = crate::gpu::GpuContext::tiny()
+            .with_faults(gpu_sim::FaultPlan::parse("crash:0.6", 0xC4A5).unwrap());
+        let dopts = DurableOptions {
+            dir: dir.clone(),
+            label: "restart-test".to_string(),
+            resume: true,
+            halt_on_crash: true,
+        };
+        let mut crashes = 0u64;
+        let mut torn_skipped = 0u64;
+        let mut resumes = 0u64;
+        let mut last = None;
+        for _restart in 0..32 {
+            let (res, _, record) = cpd_als_resilient_durable(
+                &t,
+                &opts,
+                &ropts,
+                &dopts,
+                |f, m| reference::mttkrp(&t, f, m),
+                None,
+                Some(&ctx),
+            )
+            .expect("no genuine I/O errors in temp dir");
+            crashes += record.crashes;
+            torn_skipped += record.torn_skipped;
+            resumes += record.resumes;
+            if !record.halted {
+                last = Some(res);
+                break;
+            }
+        }
+        let resumed = last.expect("restart cycle must eventually complete");
+        assert!(crashes >= 1, "crash:0.6 must tear at least one write");
+        assert!(torn_skipped >= 1, "resume must scan past the torn file(s)");
+        assert!(resumes >= 1, "at least one warm restart must happen");
+        assert_eq!(
+            resumed.final_fit(),
+            uninterrupted.final_fit(),
+            "warm restart must converge to the uninterrupted fit exactly"
+        );
+        assert_eq!(resumed.fits, uninterrupted.fits);
+        assert_eq!(resumed.factors, uninterrupted.factors);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

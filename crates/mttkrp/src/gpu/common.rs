@@ -148,6 +148,22 @@ impl GpuContext {
         self.faults.as_ref().filter(|p| p.has_device_faults())
     }
 
+    /// The active *link*-fault plan (interconnect degradation/loss), if
+    /// any — consumed by the sharded engine when it prices the ring
+    /// all-reduce. Link faults never perturb committed values: degraded
+    /// links only stretch the modeled collective time, and a lost link
+    /// drops the grid to the bit-exact single-device path.
+    pub fn link_fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().filter(|p| p.has_link_faults())
+    }
+
+    /// The active *crash*-fault plan (mid-write checkpoint crashes), if
+    /// any — consumed by the durable checkpoint store. Crash faults tear
+    /// checkpoint files on disk and touch nothing else.
+    pub fn crash_fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().filter(|p| p.has_crash_faults())
+    }
+
     /// An ABFT sink for a kernel named `kernel` producing `rows` output
     /// rows. Active (checksumming + injecting) only when this context
     /// carries an active fault plan; otherwise a zero-cost pass-through.

@@ -437,6 +437,16 @@ impl Plan {
         Ok(self.execute_inner(ctx, factors))
     }
 
+    /// [`Plan::execute`] for callers that already ran
+    /// [`Plan::validate_factors`]. Validation is context-independent
+    /// (factor shapes against the captured rank), so one up-front check
+    /// covers every replay of the same factors — including ABFT retry
+    /// contexts — and the replay itself is infallible.
+    pub fn execute_validated(&self, ctx: &GpuContext, factors: &[Matrix]) -> GpuRun {
+        let _lease = self.lease_full(ctx);
+        self.execute_inner(ctx, factors)
+    }
+
     /// Checks every factor's column count against the captured rank.
     pub fn validate_factors(&self, factors: &[Matrix]) -> Result<(), LaunchError> {
         if factors.is_empty() && self.rank != 0 {

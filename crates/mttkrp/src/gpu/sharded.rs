@@ -125,6 +125,14 @@ pub struct GridReport {
     /// original shard to its drawn progress fraction before dying).
     /// Already included in `compute_seconds`/`total_seconds`.
     pub wasted_seconds: f64,
+    /// Ring links that ran degraded (`link-degrade` faults): the
+    /// all-reduce was priced on the degraded fabric (a ring is
+    /// bottlenecked by its slowest link). Values are untouched.
+    pub degraded_links: Vec<usize>,
+    /// Ring links that were down (`link-loss` faults). A broken ring has
+    /// no collective: the grid fell back to the bit-exact single-device
+    /// path, so `devices`/`shards` describe that one-device execution.
+    pub lost_links: Vec<usize>,
 }
 
 impl GridReport {
@@ -138,6 +146,8 @@ impl GridReport {
             compute_seconds: self.compute_seconds,
             launches: 1,
             device_losses: self.lost_devices.len() as u64,
+            link_degrades: self.degraded_links.len() as u64,
+            link_losses: self.lost_links.len() as u64,
             per_device: self
                 .shards
                 .iter()
@@ -206,6 +216,8 @@ pub struct ShardModel {
     cpu_fallback: bool,
     lost_devices: Vec<usize>,
     wasted_seconds: f64,
+    degraded_links: Vec<usize>,
+    lost_links: Vec<usize>,
 }
 
 /// Per-device model-phase result.
@@ -291,11 +303,59 @@ impl ShardModel {
         model
     }
 
+    /// Clean build with link-fault handling: a multi-device grid first
+    /// draws the state of its `n` ring links (link `l` connects device
+    /// `l` to `(l+1) % n`). Any lost link breaks the ring — there is no
+    /// collective — so the grid falls back to the bit-exact single-device
+    /// path. Otherwise any degraded link re-prices the all-reduce on the
+    /// degraded fabric (a ring moves every step over every link, so the
+    /// slowest link sets the pace). Neither outcome perturbs committed
+    /// values.
     fn build_clean(
         ctx: &GpuContext,
         plan: &Plan,
         spec: &GridSpec,
         opts: &OocOptions,
+    ) -> ShardModel {
+        if spec.devices > 1 {
+            if let Some(fp) = ctx.link_fault_plan() {
+                let name = plan.name();
+                let lost: Vec<usize> = (0..spec.devices)
+                    .filter(|&l| fp.link_lost(name, l))
+                    .collect();
+                if !lost.is_empty() {
+                    let single = GridSpec {
+                        devices: 1,
+                        interconnect: spec.interconnect.clone(),
+                        capacity_per_device: spec.capacity_per_device,
+                    };
+                    let mut model = Self::build_fabric(ctx, plan, &single, opts, None);
+                    model.lost_links = lost;
+                    return model;
+                }
+                let degraded: Vec<usize> = (0..spec.devices)
+                    .filter(|&l| fp.link_degraded(name, l))
+                    .collect();
+                if !degraded.is_empty() {
+                    let fabric = spec.interconnect.degraded(fp.link_degrade_factor);
+                    let mut model = Self::build_fabric(ctx, plan, spec, opts, Some(fabric));
+                    model.degraded_links = degraded;
+                    return model;
+                }
+            }
+        }
+        Self::build_fabric(ctx, plan, spec, opts, None)
+    }
+
+    /// The fabric-parameterized model build: `fabric` (when present)
+    /// prices the all-reduce in place of the configured interconnect —
+    /// everything else (shards, leases, simulations) is fabric-blind.
+    fn build_fabric(
+        ctx: &GpuContext,
+        plan: &Plan,
+        spec: &GridSpec,
+        opts: &OocOptions,
+        fabric: Option<Interconnect>,
     ) -> ShardModel {
         let prefix = plan.block_weight_prefix();
         let ranges = shard_ranges(&prefix, spec.devices);
@@ -347,10 +407,9 @@ impl ShardModel {
         let out_bytes = (plan.out_rows() as u64)
             .saturating_mul(plan.rank() as u64)
             .saturating_mul(VALUE_BYTES);
-        let allreduce_seconds = spec
-            .interconnect
-            .all_reduce_seconds(out_bytes, spec.devices);
-        let allreduce_bytes = spec.interconnect.all_reduce_volume(out_bytes, spec.devices);
+        let pricing = fabric.as_ref().unwrap_or(&spec.interconnect);
+        let allreduce_seconds = pricing.all_reduce_seconds(out_bytes, spec.devices);
+        let allreduce_bytes = pricing.all_reduce_volume(out_bytes, spec.devices);
         node_sim.time_s = compute_seconds + allreduce_seconds;
         if busy_seconds > 0.0 {
             node_sim.sm_efficiency = weighted_eff / busy_seconds;
@@ -376,6 +435,8 @@ impl ShardModel {
             cpu_fallback,
             lost_devices: Vec::new(),
             wasted_seconds: 0.0,
+            degraded_links: Vec::new(),
+            lost_links: Vec::new(),
         }
     }
 
@@ -394,6 +455,18 @@ impl ShardModel {
     /// re-sharded around (empty for a clean model).
     pub fn lost_devices(&self) -> &[usize] {
         &self.lost_devices
+    }
+
+    /// Ring links that ran degraded for this model (empty when the fabric
+    /// was clean).
+    pub fn degraded_links(&self) -> &[usize] {
+        &self.degraded_links
+    }
+
+    /// Ring links that were down for this model; non-empty means the grid
+    /// fell back to the bit-exact single-device path.
+    pub fn lost_links(&self) -> &[usize] {
+        &self.lost_links
     }
 
     /// Phase B: produce values. Clean runs fold each shard's block range
@@ -463,6 +536,14 @@ impl ShardModel {
                 ctx.registry
                     .add("sharded.device_losses", self.lost_devices.len() as u64);
             }
+            if !self.degraded_links.is_empty() {
+                ctx.registry
+                    .add("sharded.link_degrades", self.degraded_links.len() as u64);
+            }
+            if !self.lost_links.is_empty() {
+                ctx.registry
+                    .add("sharded.link_losses", self.lost_links.len() as u64);
+            }
             for s in &self.shards {
                 ctx.registry
                     .observe("shard.compute_us", (s.sim_time_s * 1e6).round() as u64);
@@ -502,6 +583,33 @@ impl ShardModel {
                             ("kernel", FieldValue::from(plan.name())),
                             ("survivors", FieldValue::from(self.spec.devices)),
                             ("wasted_us", FieldValue::from(self.wasted_seconds * 1e6)),
+                        ],
+                    );
+                }
+                for &l in &self.lost_links {
+                    tel.emit(
+                        "link-lost",
+                        None,
+                        span,
+                        &[
+                            ("kernel", FieldValue::from(plan.name())),
+                            ("link", FieldValue::from(l)),
+                            ("fallback_devices", FieldValue::from(self.spec.devices)),
+                        ],
+                    );
+                }
+                for &l in &self.degraded_links {
+                    tel.emit(
+                        "link-degraded",
+                        None,
+                        span,
+                        &[
+                            ("kernel", FieldValue::from(plan.name())),
+                            ("link", FieldValue::from(l)),
+                            (
+                                "allreduce_us",
+                                FieldValue::from(self.allreduce_seconds * 1e6),
+                            ),
                         ],
                     );
                 }
@@ -555,6 +663,8 @@ impl ShardModel {
             cpu_fallback: self.cpu_fallback,
             lost_devices: self.lost_devices.clone(),
             wasted_seconds: self.wasted_seconds,
+            degraded_links: self.degraded_links.clone(),
+            lost_links: self.lost_links.clone(),
         }
     }
 }

@@ -28,6 +28,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod abft;
+pub mod checkpoint;
 pub mod cpd;
 pub mod cpu;
 pub mod gpu;
@@ -36,9 +37,11 @@ pub mod reference;
 pub mod ttm;
 
 pub use abft::{run_verified, AbftOptions, KernelReport};
+pub use checkpoint::{CheckpointError, CheckpointState, CheckpointStore, Scan, WriteOutcome};
 pub use cpd::{
     cpd_als, cpd_als_nonneg, cpd_als_nonneg_profiled, cpd_als_profiled, cpd_als_resilient,
-    cpd_als_sharded, factor_match_score, CpdOptions, CpdResult, ResilienceOptions, ResilienceStats,
+    cpd_als_resilient_durable, cpd_als_sharded, factor_match_score, CpdOptions, CpdResult,
+    DurableOptions, ResilienceOptions, ResilienceStats,
 };
 pub use reference::mttkrp as mttkrp_reference;
 

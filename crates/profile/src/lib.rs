@@ -44,8 +44,8 @@ pub use events::{
 };
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use manifest::{
-    DeviceRecord, GridRecord, IterationRecord, MemEventRecord, MemoryRecord, ModeTiming,
-    PhaseTiming, ResilienceRecord, RunManifest, ServiceRecord, TenantRecord,
+    CheckpointRecord, DeviceRecord, GridRecord, IterationRecord, MemEventRecord, MemoryRecord,
+    ModeTiming, PhaseTiming, ResilienceRecord, RunManifest, ServiceRecord, TenantRecord,
 };
 pub use registry::{Registry, ScopedSpan, SpanRecord};
 pub use table::{histogram_table, nvprof_table, MetricRow};

@@ -194,6 +194,12 @@ pub struct GridRecord {
     pub launches: u64,
     /// Devices lost mid-run (`device-loss` faults) and re-sharded around.
     pub device_losses: u64,
+    /// Ring links that ran degraded (`link-degrade` faults); each
+    /// re-priced its launch's all-reduce on the degraded fabric.
+    pub link_degrades: u64,
+    /// Ring links that were down (`link-loss` faults); each broke the
+    /// ring and dropped its launch to the single-device path.
+    pub link_losses: u64,
     /// Per-device shares, indexed by device ordinal.
     pub per_device: Vec<DeviceRecord>,
 }
@@ -216,6 +222,8 @@ impl GridRecord {
         self.compute_seconds += other.compute_seconds;
         self.launches += other.launches;
         self.device_losses += other.device_losses;
+        self.link_degrades += other.link_degrades;
+        self.link_losses += other.link_losses;
         for d in &other.per_device {
             while self.per_device.len() <= d.device {
                 let device = self.per_device.len();
@@ -226,6 +234,49 @@ impl GridRecord {
             }
             self.per_device[d.device].merge(d);
         }
+    }
+}
+
+/// Durable-checkpoint activity accumulated over a run: writes, injected
+/// mid-write crashes (torn files), scan-backs, and resumes. All zeros
+/// for runs without a checkpoint directory.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
+pub struct CheckpointRecord {
+    /// Checkpoint files written durably (temp + rename completed).
+    pub writes: u64,
+    /// Writes that crashed mid-write, leaving a torn file at the final
+    /// path (injected `crash` faults).
+    pub crashes: u64,
+    /// Bytes committed by durable writes (torn bytes excluded).
+    pub bytes_written: u64,
+    /// Warm restarts that loaded state from a valid checkpoint.
+    pub resumes: u64,
+    /// Torn/corrupt files skipped while scanning back to a valid
+    /// checkpoint.
+    pub torn_skipped: u64,
+    /// ALS iteration the most recent resume restarted from.
+    pub resumed_iteration: u64,
+    /// Whether the most recent durable run halted on an injected crash
+    /// (process-death semantics) instead of running to completion.
+    pub halted: bool,
+}
+
+impl CheckpointRecord {
+    /// Whether any durable-checkpoint activity was recorded.
+    pub fn any(&self) -> bool {
+        *self != CheckpointRecord::default()
+    }
+
+    /// Accumulates another record: counts add, the resume iteration takes
+    /// the latest (max), and `halted` sticks if either run halted.
+    pub fn merge(&mut self, other: &CheckpointRecord) {
+        self.writes += other.writes;
+        self.crashes += other.crashes;
+        self.bytes_written += other.bytes_written;
+        self.resumes += other.resumes;
+        self.torn_skipped += other.torn_skipped;
+        self.resumed_iteration = self.resumed_iteration.max(other.resumed_iteration);
+        self.halted |= other.halted;
     }
 }
 
@@ -305,6 +356,9 @@ pub struct RunManifest {
     pub grid: GridRecord,
     /// Multi-tenant service activity (all zeros outside `serve-sim`).
     pub service: ServiceRecord,
+    /// Durable-checkpoint activity (all zeros when the run had no
+    /// checkpoint directory).
+    pub checkpointing: CheckpointRecord,
     /// Path of the JSONL event stream emitted alongside this run, when
     /// one was requested (`None` otherwise).
     pub events_path: Option<String>,
@@ -340,6 +394,7 @@ impl RunManifest {
             memory: MemoryRecord::default(),
             grid: GridRecord::default(),
             service: ServiceRecord::default(),
+            checkpointing: CheckpointRecord::default(),
             events_path: None,
             histograms: std::collections::BTreeMap::new(),
         }
@@ -464,6 +519,38 @@ mod tests {
         assert_eq!(r.faults_injected, 6);
         assert_eq!(r.nan_resets, 8);
         assert_eq!(r.checkpoints, 10);
+    }
+
+    #[test]
+    fn checkpoint_record_merges_and_detects_activity() {
+        let mut c = CheckpointRecord::default();
+        assert!(!c.any());
+        let other = CheckpointRecord {
+            writes: 4,
+            crashes: 1,
+            bytes_written: 2048,
+            resumes: 1,
+            torn_skipped: 1,
+            resumed_iteration: 6,
+            halted: true,
+        };
+        c.merge(&other);
+        c.merge(&CheckpointRecord {
+            resumed_iteration: 2,
+            ..other.clone()
+        });
+        assert!(c.any());
+        assert_eq!(c.writes, 8);
+        assert_eq!(c.crashes, 2);
+        assert_eq!(c.bytes_written, 4096);
+        assert_eq!(c.resumed_iteration, 6, "latest resume wins");
+        assert!(c.halted);
+
+        let mut run = sample();
+        run.checkpointing = c;
+        let v = serde_json::from_str(&run.to_json_string()).expect("valid JSON");
+        assert_eq!(v["checkpointing"]["writes"].as_u64(), Some(8));
+        assert_eq!(v["checkpointing"]["torn_skipped"].as_u64(), Some(2));
     }
 
     #[test]

@@ -40,8 +40,8 @@ use gpu_sim::Interconnect;
 use mttkrp::gpu::{
     Executor, GpuContext, GridSpec, KernelKind, LaunchArgs, OocOptions, Plan, ShardModel,
 };
-use mttkrp::{cpd_als, CpdOptions};
-use simprof::{FieldValue, Histogram, ServiceRecord, TenantRecord};
+use mttkrp::{cpd_als, cpd_als_resilient_durable, CpdOptions, DurableOptions, ResilienceOptions};
+use simprof::{CheckpointRecord, FieldValue, Histogram, ServiceRecord, TenantRecord};
 use sptensor::CooTensor;
 
 use crate::cache::{structure_hash, PlanCache, PlanKey};
@@ -63,6 +63,14 @@ pub struct ServiceConfig {
     pub backoff_base_us: f64,
     /// CPU-reference rung slowdown relative to the modeled GPU time.
     pub cpu_slowdown: f64,
+    /// When set, CPD jobs write durable, crash-consistent checkpoints
+    /// under this directory (per-job subdirectories) and warm-restart
+    /// from the newest valid file on every attempt. Each [`Service::run`]
+    /// starts from a clean `run/` namespace so same-seed runs stay
+    /// byte-identical; [`Service::standalone_check`] replays against its
+    /// own cleaned `check/` namespace so verification holds exactly even
+    /// when `crash:RATE` faults tear files mid-write.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -74,6 +82,7 @@ impl Default for ServiceConfig {
             queue_depth: 8,
             backoff_base_us: 50.0,
             cpu_slowdown: 25.0,
+            checkpoint_dir: None,
         }
     }
 }
@@ -149,6 +158,13 @@ impl Service {
     /// `(arrival_us, id)` order; completions at time `t` free their
     /// devices before arrivals at the same `t` are admitted.
     pub fn run(&self, jobs: &[JobSpec]) -> ServiceReport {
+        // Durable checkpoints are scratch state scoped to one run; start
+        // from an empty namespace so crash draws (keyed on file sequence
+        // numbers) and warm restarts evolve identically on every
+        // same-seed run.
+        if let Some(root) = &self.cfg.checkpoint_dir {
+            let _ = std::fs::remove_dir_all(root.join("run"));
+        }
         let mut arrivals: Vec<&JobSpec> = jobs.iter().collect();
         arrivals.sort_by(|a, b| a.arrival_us.total_cmp(&b.arrival_us).then(a.id.cmp(&b.id)));
         let mut next_arrival = 0usize;
@@ -249,7 +265,7 @@ impl Service {
                     None => break,
                 };
                 free -= want;
-                let ladder = self.run_ladder(&spec, want);
+                let ladder = self.run_ladder(&spec, want, "run");
                 let finish_us = now + ladder.charged_us + ladder.duration_us;
                 let latency_us = finish_us - spec.arrival_us;
                 let outcome = JobOutcome::Completed {
@@ -279,8 +295,15 @@ impl Service {
     /// exactly; [`ServiceReport::verify`](crate::ServiceReport::verify)
     /// compares the two within 1e-9 relative.
     pub fn standalone_check(&self, spec: &JobSpec) -> f64 {
+        // Replay against a fresh per-job checkpoint namespace: starting
+        // from the same empty state the service run started from makes
+        // the crash-draw and warm-restart sequence — and therefore the
+        // check value — reproduce exactly.
+        if let Some(root) = &self.cfg.checkpoint_dir {
+            let _ = std::fs::remove_dir_all(root.join("check").join(format!("job{}", spec.id)));
+        }
         let want = spec.devices.clamp(1, self.cfg.devices);
-        self.run_ladder(spec, want).check
+        self.run_ladder(spec, want, "check").check
     }
 
     /// Admission checks, in documented order. `Ok(())` means enqueue.
@@ -345,8 +368,10 @@ impl Service {
     }
 
     /// Walks the degradation ladder for one dispatched job. The terminal
-    /// CPU rung always completes, so this cannot fail.
-    fn run_ladder(&self, spec: &JobSpec, want: usize) -> LadderResult {
+    /// CPU rung always completes, so this cannot fail. `scope` names the
+    /// checkpoint namespace (`"run"` for service runs, `"check"` for
+    /// standalone replays) so the two never share files.
+    fn run_ladder(&self, spec: &JobSpec, want: usize, scope: &str) -> LadderResult {
         let mut retries: u32 = 0;
         let mut device_losses: u64 = 0;
         let mut charged_us: f64 = 0.0;
@@ -363,7 +388,8 @@ impl Service {
 
         for (i, rung) in rungs.iter().enumerate() {
             let last = i + 1 == rungs.len();
-            let Some((seconds, losses, check)) = self.run_rung(spec, want, rung, retries) else {
+            let Some((seconds, losses, check)) = self.run_rung(spec, want, rung, retries, scope)
+            else {
                 continue; // rung not applicable (e.g. footprint too big)
             };
             device_losses += losses;
@@ -412,6 +438,7 @@ impl Service {
         want: usize,
         rung: &str,
         retries: u32,
+        scope: &str,
     ) -> Option<(f64, u64, f64)> {
         let t = Arc::clone(self.tensors.get(&spec.dataset)?);
         let ctx = self.attempt_ctx(spec, retries);
@@ -436,7 +463,7 @@ impl Service {
                 let mut seconds = 0.0f64;
                 let mut losses = 0u64;
                 let mut failed = false;
-                let result = cpd_als(&t, &opts, |factors, mode| {
+                let mut mttkrp_fn = |factors: &[Matrix], mode: usize| {
                     if failed {
                         return Matrix::zeros(plans[mode].out_rows(), spec.rank);
                     }
@@ -451,13 +478,81 @@ impl Service {
                             Matrix::zeros(plans[mode].out_rows(), spec.rank)
                         }
                     }
-                });
+                };
+                let result = match self.durable_opts(spec, scope) {
+                    Some((ropts, dopts)) => {
+                        match cpd_als_resilient_durable(
+                            &t,
+                            &opts,
+                            &ropts,
+                            &dopts,
+                            &mut mttkrp_fn,
+                            None,
+                            Some(&ctx),
+                        ) {
+                            Ok((result, _stats, record)) => {
+                                self.record_checkpointing(&record);
+                                result
+                            }
+                            Err(e) => {
+                                // Checkpoint I/O failed outright (not an
+                                // injected crash — those are absorbed).
+                                // Losing durability must not lose the job.
+                                self.emit_event(
+                                    "checkpoint-error",
+                                    spec,
+                                    &[("detail", FieldValue::from(e.to_string()))],
+                                );
+                                cpd_als(&t, &opts, &mut mttkrp_fn)
+                            }
+                        }
+                    }
+                    None => cpd_als(&t, &opts, &mut mttkrp_fn),
+                };
                 if failed {
                     return None;
                 }
                 Some((seconds, losses, result.final_fit()))
             }
         }
+    }
+
+    /// Checkpointing knobs for one CPD attempt, or `None` when the
+    /// service runs without a checkpoint directory. The label keys the
+    /// crash-fault draws per job; `resume` makes every attempt (retry or
+    /// standalone replay) warm-restart from the newest valid file.
+    fn durable_opts(
+        &self,
+        spec: &JobSpec,
+        scope: &str,
+    ) -> Option<(ResilienceOptions, DurableOptions)> {
+        let root = self.cfg.checkpoint_dir.as_ref()?;
+        let label = format!("job{}", spec.id);
+        let ropts = ResilienceOptions {
+            checkpoint_every: 1,
+            ..ResilienceOptions::default()
+        };
+        let dopts = DurableOptions {
+            dir: root.join(scope).join(&label),
+            label,
+            resume: true,
+            // A torn write is a lost snapshot, not a dead job: the
+            // computation keeps going so every admitted job still
+            // reaches a typed terminal state.
+            halt_on_crash: false,
+        };
+        Some((ropts, dopts))
+    }
+
+    fn record_checkpointing(&self, rec: &CheckpointRecord) {
+        let reg = &self.ctx.registry;
+        if !reg.enabled() {
+            return;
+        }
+        reg.add("serve.checkpoint.writes", rec.writes);
+        reg.add("serve.checkpoint.crashes", rec.crashes);
+        reg.add("serve.checkpoint.resumes", rec.resumes);
+        reg.add("serve.checkpoint.torn_skipped", rec.torn_skipped);
     }
 
     /// One MTTKRP through the named rung. `None` = rung not applicable.

@@ -1,0 +1,210 @@
+//! simchaos acceptance: a seeded chaos run composing every fault class
+//! (interconnect and mid-write crashes included) must finish with all
+//! machine-verified invariants green; warm restart from a torn
+//! checkpoint must reach the uninterrupted fit; link faults must never
+//! perturb committed values; and malformed fault/interconnect specs
+//! must fail typed, never panic.
+
+use chaos::{crash_restart_cycle, run_chaos, ChaosConfig};
+use proptest::prelude::*;
+
+use mttkrp_repro::dense::Matrix;
+use mttkrp_repro::gpu_sim::{FaultPlan, Interconnect};
+use mttkrp_repro::mttkrp::gpu::{
+    AnyFormat, BuildOptions, Executor, GpuContext, GridSpec, KernelKind, LaunchArgs,
+};
+use mttkrp_repro::mttkrp::reference::random_factors;
+use mttkrp_repro::sptensor::synth::uniform_random;
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.data().iter().map(|x| x.to_bits()).collect()
+}
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("sptk_chaos_{name}"))
+}
+
+/// The tentpole invariant: the default seeded batch — every schedule
+/// composing ≥3 fault kinds, always one link fault and one crash rate —
+/// drives full service workloads and survives every invariant: typed
+/// terminal states, standalone re-verification within 1e-9, a balanced
+/// memory ledger, and byte-identical same-seed double runs.
+#[test]
+fn composed_chaos_run_survives_all_invariants() {
+    let cfg = ChaosConfig::default();
+    let dir = scratch("invariants");
+    let report = run_chaos(&cfg, &dir).expect("harness runs");
+
+    assert!(
+        report.violations.is_empty(),
+        "invariant violations: {:?}",
+        report.violations
+    );
+    assert!(
+        report.coverage_gaps.is_empty(),
+        "coverage gaps: {:?}",
+        report.coverage_gaps
+    );
+    assert_eq!(report.schedules.len(), cfg.schedules);
+    for s in &report.schedules {
+        assert!(s.spec.split(',').count() >= 3, "{} under-composed", s.name);
+        assert!(s.deterministic, "{} diverged across passes", s.name);
+        assert!(s.ledger_balanced, "{} leaked device memory", s.name);
+        assert_eq!(
+            s.verified, s.completed,
+            "{}: every completed job re-verifies",
+            s.name
+        );
+        assert_eq!(s.submitted, s.completed + s.rejected + s.shed);
+    }
+    // The acceptance bar: at least one link fault and one mid-write
+    // crash actually fired somewhere in the batch.
+    let links: u64 = report
+        .schedules
+        .iter()
+        .map(|s| s.link_degrades + s.link_losses)
+        .sum();
+    assert!(links >= 1, "no link fault fired");
+    let crashes: u64 = report
+        .schedules
+        .iter()
+        .map(|s| s.checkpoint_crashes)
+        .sum::<u64>()
+        + report.crash_cycle.crashes;
+    assert!(crashes >= 1, "no mid-write crash fired");
+    assert!(report.crash_cycle.within_tol);
+
+    // The report itself is a deterministic artifact: a second harness
+    // run from the same seed (different scratch directory — paths never
+    // enter the report) serializes byte-identically.
+    let again = run_chaos(&cfg, &scratch("invariants_again")).expect("second harness runs");
+    assert_eq!(
+        report.to_json_string().expect("serializes"),
+        again.to_json_string().expect("serializes"),
+        "same-seed chaos reports must be byte-identical"
+    );
+}
+
+/// Durable crash consistency end to end: a CPD-ALS run whose checkpoint
+/// writes crash mid-write (torn files on disk, process halt) restarted
+/// until completion reaches the uninterrupted same-seed run's final fit
+/// within 1e-9 — exactly, in fact, since resume restores bit-identical
+/// state.
+#[test]
+fn crash_restart_reaches_the_uninterrupted_fit() {
+    let cycle = crash_restart_cycle(&scratch("crash_cycle"), 0xC4A5).expect("cycle runs");
+    assert!(cycle.crashes >= 1, "the hostile plan must tear a file");
+    assert!(cycle.torn_skipped >= 1, "resume must scan past torn files");
+    assert!(cycle.resumes >= 1, "at least one warm restart");
+    assert!(cycle.restarts >= 2, "halt_on_crash must have fired");
+    assert!(
+        cycle.fit_delta <= 1e-9,
+        "restarted fit {} vs uninterrupted {} (delta {})",
+        cycle.fit_restarted,
+        cycle.fit_uninterrupted,
+        cycle.fit_delta
+    );
+}
+
+/// Link faults are pricing-only: a degraded link stretches the modeled
+/// all-reduce (a ring is bottlenecked by its slowest link) and a lost
+/// link drops to the single-device path — in both cases the committed
+/// output is bit-identical to the clean run.
+#[test]
+fn link_faults_never_perturb_committed_values() {
+    let t = uniform_random(&[15, 18, 21], 900, 271);
+    let factors = random_factors(&t, 8, 42);
+    let format =
+        AnyFormat::build(KernelKind::Hbcsf, &t, 0, &BuildOptions::default()).expect("hbcsf builds");
+    let clean = Executor::new(GpuContext::tiny())
+        .with_grid(GridSpec::new(4, Interconnect::nvlink()))
+        .run(&format, &LaunchArgs::new(&factors).with_tensor(&t))
+        .expect("clean sharded run");
+    let clean_grid = clean.grid.as_ref().expect("grid report");
+
+    let mut degrades_seen = 0usize;
+    let mut losses_seen = 0usize;
+    for seed in 0..40u64 {
+        let plan = FaultPlan::parse("link-degrade:0.6:4.0", seed).expect("spec parses");
+        let done = Executor::new(GpuContext::tiny().with_faults(plan))
+            .with_grid(GridSpec::new(4, Interconnect::nvlink()))
+            .run(&format, &LaunchArgs::new(&factors).with_tensor(&t))
+            .expect("degraded sharded run");
+        let grid = done.grid.as_ref().expect("grid report");
+        if !grid.degraded_links.is_empty() {
+            degrades_seen += 1;
+            assert_eq!(bits(done.y()), bits(clean.y()), "degrade is pricing-only");
+            assert!(
+                grid.allreduce_seconds > clean_grid.allreduce_seconds,
+                "slowest link bottlenecks the ring: {} vs clean {}",
+                grid.allreduce_seconds,
+                clean_grid.allreduce_seconds
+            );
+        }
+
+        let plan = FaultPlan::parse("link-loss:0.6", seed).expect("spec parses");
+        let done = Executor::new(GpuContext::tiny().with_faults(plan))
+            .with_grid(GridSpec::new(4, Interconnect::nvlink()))
+            .run(&format, &LaunchArgs::new(&factors).with_tensor(&t))
+            .expect("link-lost sharded run");
+        let grid = done.grid.as_ref().expect("grid report");
+        if !grid.lost_links.is_empty() {
+            losses_seen += 1;
+            assert_eq!(grid.devices, 1, "broken ring falls back to one device");
+            assert_eq!(bits(done.y()), bits(clean.y()), "fallback is bit-exact");
+            assert_eq!(grid.allreduce_bytes, 0, "one device, no collective");
+        }
+    }
+    assert!(degrades_seen >= 5, "only {degrades_seen} degrade draws");
+    assert!(losses_seen >= 5, "only {losses_seen} loss draws");
+}
+
+/// Spec-shaped garbage: known and unknown keys, numbers in and out of
+/// range, stray separators — glued together with random separators.
+fn arb_spec() -> impl Strategy<Value = String> {
+    let token = prop_oneof![
+        Just("bitflip"),
+        Just("straggler"),
+        Just("device-loss"),
+        Just("link-degrade"),
+        Just("link-loss"),
+        Just("crash"),
+        Just("nvlink"),
+        Just("nope"),
+        Just(""),
+        Just("0.5"),
+        Just("4.0"),
+        Just("-1"),
+        Just("1e99"),
+        Just("nan"),
+        Just("1.5.2"),
+        Just("99999999999999999999"),
+    ];
+    let sep = prop_oneof![Just(":"), Just(","), Just("::"), Just("")];
+    proptest::collection::vec((token, sep), 0..8).prop_map(|parts| {
+        parts
+            .iter()
+            .map(|(t, s)| format!("{t}{s}"))
+            .collect::<String>()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Malformed fault specs — including the new `link-degrade:R:F`,
+    /// `link-loss:R`, and `crash:R` terms — and malformed interconnect
+    /// specs must produce typed errors, never panic.
+    #[test]
+    fn malformed_specs_never_panic(spec in arb_spec(), seed in any::<u64>()) {
+        let _ = FaultPlan::parse(&spec, seed);
+        let _ = Interconnect::parse(&spec);
+    }
+
+    /// Torn-prefix decoding never panics either: arbitrary bytes fed to
+    /// the checkpoint decoder yield typed errors.
+    #[test]
+    fn checkpoint_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = mttkrp_repro::mttkrp::checkpoint::decode(&bytes, std::path::Path::new("prop"));
+    }
+}
