@@ -3,5 +3,6 @@
 //! paper-calibration fleet behind `sptk calibrate`.
 
 pub mod fleet;
+pub mod ingest;
 pub mod plan_replay;
 pub mod replay_fleet;

@@ -41,6 +41,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("gen") => cmd_gen(&args[1..]),
+        Some("ingest") => cmd_ingest(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("convert") => cmd_convert(&args[1..]),
         Some("mttkrp") => cmd_mttkrp(&args[1..]),
@@ -67,7 +68,18 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!("sptk — sparse tensor toolkit");
     eprintln!("usage:");
-    eprintln!("  sptk gen <dataset> <out> [--nnz N] [--seed S]");
+    eprintln!("  sptk gen <dataset> <out> [--nnz N] [--seed S] [--stream]");
+    eprintln!("      --stream generates chunk by chunk straight to a .tns file (bounded");
+    eprintln!("      memory, any size); re-ingesting with the sum policy reproduces the");
+    eprintln!("      non-streamed tensor exactly");
+    eprintln!("  sptk ingest <file> [--rank R] [--iters K] [--devices N] [--chunk-nnz N]");
+    eprintln!("      [--host-budget B] [--policy sum|keep|reject] [--scratch DIR]");
+    eprintln!("      [--profile DIR]");
+    eprintln!("      bounded-memory end-to-end CPD: chunked parse + external-sort spill,");
+    eprintln!("      out-of-core HB-CSF construction, shard-by-shard plan capture to disk");
+    eprintln!("      (--devices shards per mode), streaming ALS; --host-budget B (bytes,");
+    eprintln!("      k/m/g suffix) derates chunk sizes and fails the run if the host peak");
+    eprintln!("      RSS ends above B");
     eprintln!("  sptk info <file> ");
     eprintln!("  sptk convert <in> <out>");
     eprintln!("  sptk mttkrp <file> [--mode N] [--rank R] [--kernel K] [--device p100|v100]");
@@ -87,6 +99,16 @@ fn usage() {
          [--min-speedup X] [--out PATH]"
     );
     eprintln!("      times emit-every-iteration vs. capture-once-replay CPD and writes JSON");
+    eprintln!(
+        "  sptk bench ingest [--dataset NAME] [--nnz N] [--rank R] [--iters K] \
+         [--devices N] [--chunk-nnz N] [--seed S] [--compare-incore] [--scratch DIR] \
+         [--out PATH]"
+    );
+    eprintln!("      times the streaming pipeline (.tns generation -> spill -> out-of-core");
+    eprintln!("      formats -> sharded capture -> streaming ALS), records the host peak");
+    eprintln!("      RSS against the analytic resident-pipeline floor, and writes");
+    eprintln!("      BENCH_ingest.json; --compare-incore also runs the resident pipeline");
+    eprintln!("      and fails on any fit-trajectory divergence");
     eprintln!(
         "  sptk bench replay-fleet [--datasets a,b] [--nnz N] [--rank R] [--iters K] \
          [--cpd-iters K] [--seed S] [--out PATH] [--baseline PATH] [--tolerance F]"
@@ -186,6 +208,24 @@ fn parse_faults(args: &[String]) -> Result<Option<FaultPlan>> {
     Ok(plan.is_active().then_some(plan))
 }
 
+/// Parses a byte count with an optional `k`/`m`/`g` suffix (`123456`,
+/// `512m`, `2g`).
+fn parse_byte_size(raw: &str, flag_name: &str) -> Result<u64> {
+    let s = raw.trim().to_ascii_lowercase();
+    let bad = || format!("{flag_name} wants bytes (with k/m/g), got '{raw}'");
+    let (digits, mult) = match s.as_bytes().last() {
+        Some(b'k') => (&s[..s.len() - 1], 1u64 << 10),
+        Some(b'm') => (&s[..s.len() - 1], 1u64 << 20),
+        Some(b'g') => (&s[..s.len() - 1], 1u64 << 30),
+        _ => (s.as_str(), 1),
+    };
+    let n: f64 = digits.parse().map_err(|_| bad())?;
+    if !(n.is_finite() && n > 0.0) {
+        return Err(bad());
+    }
+    Ok((n * mult as f64) as u64)
+}
+
 /// A `--mem-capacity` value, before the footprint it may be relative to
 /// is known.
 enum MemCapacity {
@@ -278,11 +318,21 @@ fn print_ladder(mem: &MemReport) {
 }
 
 fn load(path: &str) -> Result<CooTensor> {
-    let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    load_with(path, &sptensor::IngestOptions::new())
+}
+
+/// Loads through the typed `TensorSource` ingestion API. `.tns` honors the
+/// configured duplicate policy (default: reject); binary files keep entries
+/// verbatim, matching the legacy reader's semantics.
+fn load_with(path: &str, opts: &sptensor::IngestOptions) -> Result<CooTensor> {
     let t = if path.ends_with(".tns") {
-        tio::read_tns(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))?
+        let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        sptensor::ingest(sptensor::TnsSource::new(BufReader::new(f)), opts)
+            .map_err(|e| format!("{path}: {e}"))?
     } else {
-        tio::read_bin(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))?
+        let src = sptensor::BinSource::open(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+        let opts = opts.clone().with_policy(sptensor::DuplicatePolicy::Keep);
+        sptensor::ingest(src, &opts).map_err(|e| format!("{path}: {e}"))?
     };
     Ok(t)
 }
@@ -302,14 +352,189 @@ fn cmd_gen(args: &[String]) -> Result<()> {
     let out = args.get(1).ok_or("gen: missing output path")?;
     let nnz = flag_parse(args, "--nnz", 200_000usize)?;
     let seed = flag_parse(args, "--seed", sptensor::synth::SynthConfig::default().seed)?;
+    let stream = args.iter().any(|a| a == "--stream");
     let spec = sptensor::synth::standin(name).ok_or_else(|| format!("unknown dataset '{name}'"))?;
-    let t = spec.generate(
-        &sptensor::synth::SynthConfig::default()
-            .with_nnz(nnz)
-            .with_seed(seed),
-    );
+    let cfg = sptensor::synth::SynthConfig::default()
+        .with_nnz(nnz)
+        .with_seed(seed);
+    if stream {
+        // Bounded-memory path: raw entries chunk by chunk straight to
+        // `.tns`, duplicates included — Sum-policy re-ingestion folds them
+        // into exactly the tensor the in-core generator produces.
+        if !out.ends_with(".tns") {
+            return Err("gen --stream writes .tns text (the binary header needs \
+                 the folded nonzero count upfront); use a .tns output path"
+                .into());
+        }
+        use sptensor::TensorSource;
+        let mut source = spec.source(&cfg);
+        let f = File::create(out.as_str()).map_err(|e| format!("{out}: {e}"))?;
+        let mut w = BufWriter::with_capacity(1 << 20, f);
+        let mut chunk = sptensor::CooChunk::default();
+        let mut written = 0usize;
+        loop {
+            let n = source
+                .fill_chunk(1 << 20, &mut chunk)
+                .map_err(|e| format!("{out}: {e}"))?;
+            if n == 0 {
+                break;
+            }
+            written += n;
+            tio::write_tns_chunk(&chunk, n, &mut w).map_err(|e| format!("{out}: {e}"))?;
+        }
+        use std::io::Write;
+        w.flush().map_err(|e| format!("{out}: {e}"))?;
+        println!("wrote {out}: {written} raw entries (streamed)");
+        return Ok(());
+    }
+    let t = spec.generate(&cfg);
     save(&t, out)?;
     println!("wrote {out}: {:?}, {} nonzeros", t.dims(), t.nnz());
+    Ok(())
+}
+
+/// `sptk ingest <file>` — bounded-memory end-to-end CPD: the tensor goes
+/// from bytes on disk to a finished decomposition without ever being
+/// resident. Chunked parse feeds an external-sort spill; per-mode HB-CSF
+/// formats are built out-of-core from the sorted stream; launch plans are
+/// captured shard by shard to disk; every ALS MTTKRP replays the shards
+/// sequentially. `--host-budget` both derates the chunk sizes and gates
+/// the run on the measured host peak RSS (`VmHWM`).
+fn cmd_ingest(args: &[String]) -> Result<()> {
+    let path = args.first().ok_or("ingest: missing file")?;
+    let rank = flag_parse(args, "--rank", 8usize)?;
+    let iters = flag_parse(args, "--iters", 15usize)?;
+    let devices = flag_parse(args, "--devices", 4usize)?;
+    if devices == 0 {
+        return Err("--devices wants at least 1".into());
+    }
+    let host_budget = match flag(args, "--host-budget") {
+        None => None,
+        Some(v) => Some(parse_byte_size(&v, "--host-budget")?),
+    };
+    let policy = match flag(args, "--policy").as_deref() {
+        None | Some("sum") => sptensor::DuplicatePolicy::Sum,
+        Some("keep") => sptensor::DuplicatePolicy::Keep,
+        Some("reject") => sptensor::DuplicatePolicy::Reject,
+        Some(other) => return Err(format!("--policy wants sum|keep|reject, got '{other}'")),
+    };
+    let profile_dir = flag(args, "--profile").map(PathBuf::from);
+    let (scratch, own_scratch) = match flag(args, "--scratch") {
+        Some(dir) => (PathBuf::from(dir), false),
+        None => (
+            std::env::temp_dir().join(format!("sptk_ingest_{}", std::process::id())),
+            true,
+        ),
+    };
+    std::fs::create_dir_all(&scratch).map_err(|e| format!("{}: {e}", scratch.display()))?;
+
+    let mut iopts = sptensor::IngestOptions::new().with_policy(policy);
+    if let Some(v) = flag(args, "--chunk-nnz") {
+        iopts = iopts.with_chunk_nnz(
+            v.parse()
+                .map_err(|_| format!("--chunk-nnz wants a count, got '{v}'"))?,
+        );
+    }
+    if let Some(b) = host_budget {
+        iopts = iopts.with_host_budget(b);
+    }
+
+    let ingest_start = Instant::now();
+    let spill = if path.ends_with(".tns") {
+        let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        sptensor::SpilledTensor::ingest(
+            sptensor::TnsSource::new(BufReader::with_capacity(1 << 20, f)),
+            &iopts,
+            &scratch,
+        )
+    } else {
+        let src = sptensor::BinSource::open(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+        sptensor::SpilledTensor::ingest(src, &iopts, &scratch)
+    }
+    .map_err(|e| format!("{path}: {e}"))?;
+    let ingest_s = ingest_start.elapsed().as_secs_f64();
+    let order = spill.dims().len();
+    println!(
+        "{path}: order {order}, dims {:?}, {} nonzeros after {:?} policy \
+         ({ingest_s:.2}s chunked parse + spill)",
+        spill.dims(),
+        spill.nnz(),
+        policy,
+    );
+
+    let ctx = GpuContext::default();
+    let opts = CpdOptions {
+        rank,
+        max_iters: iters,
+        tol: 1e-6, // same convergence rule as `sptk cpd`
+        seed: 42,
+    };
+    let sopts = gpu::StreamOptions {
+        cpd: opts,
+        devices,
+        chunk_nnz: iopts.effective_chunk_nnz(order),
+        bcsf: BcsfOptions::default(),
+    };
+    let cpd_start = Instant::now();
+    let res = gpu::cpd_als_streamed(&ctx, &spill, &sopts, &scratch)
+        .map_err(|e| format!("streamed cpd: {e}"))?;
+    let cpd_s = cpd_start.elapsed().as_secs_f64();
+
+    println!(
+        "streamed CPD rank {rank}: fit {:.4} after {} iterations \
+         ({cpd_s:.2}s capture + ALS, {} shards/mode)",
+        res.result.fits.last().copied().unwrap_or(0.0),
+        res.result.iterations,
+        res.shards_per_mode
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join("/"),
+    );
+    for (i, fit) in res.result.fits.iter().enumerate() {
+        println!("  iter {:>2}: fit {fit:.5}", i + 1);
+    }
+    println!("plan store on disk: {} bytes", res.store_bytes);
+
+    if let Some(dir) = &profile_dir {
+        let mut manifest =
+            simprof::RunManifest::new("hbcsf-streamed", path, rank, iters, opts.tol, opts.seed);
+        manifest.push_phase("chunked parse + spill", ingest_s);
+        manifest.push_phase("sharded capture + streaming ALS", cpd_s);
+        for &fit in &res.result.fits {
+            manifest.push_iteration(fit, Vec::new(), 0.0);
+        }
+        manifest.total_seconds = ingest_s + cpd_s;
+        manifest.record_host_peak_rss();
+        let out = dir.join("manifest.json");
+        manifest
+            .write_to(&out)
+            .map_err(|e| format!("{}: {e}", out.display()))?;
+        println!("wrote {}", out.display());
+    }
+
+    drop(spill);
+    if own_scratch {
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+
+    let peak = simprof::peak_rss_bytes().unwrap_or(0);
+    println!(
+        "host peak rss: {peak} bytes ({:.1} MB)",
+        peak as f64 / (1u64 << 20) as f64
+    );
+    println!(
+        "final_fit_exact {:.15e}",
+        res.result.fits.last().copied().unwrap_or(0.0)
+    );
+    if let Some(budget) = host_budget {
+        if peak > budget {
+            return Err(format!(
+                "host peak RSS {peak} bytes exceeds --host-budget {budget} bytes"
+            ));
+        }
+        println!("host budget check: {peak} <= {budget} ok");
+    }
     Ok(())
 }
 
@@ -693,8 +918,9 @@ fn cmd_bench(args: &[String]) -> Result<()> {
     match args.first().map(String::as_str) {
         Some("plan-replay") => cmd_bench_plan_replay(&args[1..]),
         Some("replay-fleet") => cmd_bench_replay_fleet(&args[1..]),
+        Some("ingest") => cmd_bench_ingest(&args[1..]),
         other => Err(format!(
-            "bench: unknown benchmark {:?} (available: plan-replay, replay-fleet)",
+            "bench: unknown benchmark {:?} (available: plan-replay, replay-fleet, ingest)",
             other.unwrap_or("<missing>")
         )),
     }
@@ -760,6 +986,59 @@ fn cmd_bench_plan_replay(args: &[String]) -> Result<()> {
         return Err(format!(
             "speedup {measured:.2}x below --min-speedup {min_speedup}"
         ));
+    }
+    Ok(())
+}
+
+/// `sptk bench ingest` — the tracked streaming-ingestion benchmark: the
+/// full bounded-memory pipeline timed end to end, host peak RSS recorded
+/// against the analytic resident-pipeline floor.
+fn cmd_bench_ingest(args: &[String]) -> Result<()> {
+    let defaults = bench::ingest::IngestConfig::default();
+    let cfg = bench::ingest::IngestConfig {
+        dataset: flag(args, "--dataset").unwrap_or(defaults.dataset),
+        nnz: flag_parse(args, "--nnz", defaults.nnz)?,
+        rank: flag_parse(args, "--rank", defaults.rank)?,
+        iters: flag_parse(args, "--iters", defaults.iters)?,
+        devices: flag_parse(args, "--devices", defaults.devices)?,
+        chunk_nnz: flag_parse(args, "--chunk-nnz", defaults.chunk_nnz)?,
+        seed: flag_parse(args, "--seed", defaults.seed)?,
+        compare_incore: args.iter().any(|a| a == "--compare-incore"),
+        scratch: flag(args, "--scratch").map(PathBuf::from),
+    };
+    let out = flag(args, "--out").unwrap_or_else(|| "BENCH_ingest.json".into());
+
+    let doc = bench::ingest::run(&cfg)?;
+    let r = &doc["report"];
+    println!(
+        "{} ({} nnz -> {} after sum-fold, {} B .tns): generate {:.2}s, \
+         ingest {:.2}s, capture+als {:.2}s",
+        r["dataset"].as_str().unwrap_or("?"),
+        r["generated_nnz"],
+        r["ingested_nnz"],
+        r["tns_bytes"],
+        r["generate_s"].as_f64().unwrap_or(0.0),
+        r["ingest_s"].as_f64().unwrap_or(0.0),
+        r["cpd_s"].as_f64().unwrap_or(0.0),
+    );
+    println!(
+        "  peak rss {} B vs in-core floor {} B ({:.2}x) -> gate {} \
+         (plan store {} B, fit {:.6})",
+        r["peak_rss_bytes"],
+        r["incore_baseline_bytes"],
+        r["rss_vs_incore"].as_f64().unwrap_or(0.0),
+        doc["rss_gate"].as_str().unwrap_or("?"),
+        r["plan_store_bytes"],
+        r["final_fit"].as_f64().unwrap_or(0.0),
+    );
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&doc).map_err(|e| format!("{out}: {e}"))?,
+    )
+    .map_err(|e| format!("{out}: {e}"))?;
+    println!("wrote {out}");
+    if doc["rss_gate"] == "fail" {
+        return Err("streaming peak RSS did not beat the in-core pipeline floor".into());
     }
     Ok(())
 }

@@ -1011,6 +1011,16 @@ fn compute_fit(
         }
         inner += t.values()[z] as f64 * prod.iter().map(|&p| p as f64).sum::<f64>();
     }
+    fit_from_inner(inner, lambda, grams, norm_x)
+}
+
+/// The data-independent tail of the fit formula: given the streaming- or
+/// resident-computed `⟨X, X̃⟩`, folds in `‖X̃‖²` from the grams and closes
+/// `1 − ‖X − X̃‖ / ‖X‖`. Shared by [`compute_fit`] and the out-of-core
+/// driver (`gpu::stream`), which computes `inner` over a chunk stream in
+/// the identical entry order — so the two fits agree bit for bit.
+pub(crate) fn fit_from_inner(inner: f64, lambda: &[f32], grams: &[Matrix], norm_x: f64) -> f64 {
+    let r = lambda.len();
     // ‖X̃‖²
     let mut model_sq = 0.0f64;
     for a in 0..r {

@@ -25,6 +25,18 @@ use super::plan::{MemoryFootprint, Plan, PlanBuilder};
 /// `MttkrpKernel` impl and [`super::plan::ModePlans`].
 pub(crate) fn plan_impl(ctx: &GpuContext, h: &Hbcsf, rank: usize) -> Plan {
     let mode = h.perm[0];
+    let mut pb = PlanBuilder::new("hb-csf", mode, rank, h.dims[mode] as usize);
+    capture_into(ctx, h, rank, &mut pb);
+    pb.finish()
+}
+
+/// The capture body behind [`plan_impl`], parameterized over the builder
+/// so the streaming capture (`super::stream`) can run it with a
+/// weights-only or shard-filtered builder. The emit sequence — and with
+/// it every block ordinal and weight — is identical regardless of what
+/// the builder retains.
+pub(crate) fn capture_into(ctx: &GpuContext, h: &Hbcsf, rank: usize, pb: &mut PlanBuilder) {
+    let mode = h.perm[0];
     let mut space = AddressSpace::new();
     let fa = FactorAddrs::layout(&mut space, &h.dims, rank, mode);
     let bcsf_spans = BcsfSpans::alloc(&mut space, &h.bcsf);
@@ -38,15 +50,13 @@ pub(crate) fn plan_impl(ctx: &GpuContext, h: &Hbcsf, rank: usize) -> Plan {
 
     // One builder across all three groups: fault draws key on the fused
     // launch's name and launch-wide block index, matching the scheduler.
-    let mut pb = PlanBuilder::new("hb-csf", mode, rank, h.dims[mode] as usize);
     pb.set_footprint(MemoryFootprint::from_layout(&space, &fa));
 
     // Heavy group first: the longest blocks enter the SM schedule earliest,
     // which is the standard heavy-first heuristic a real launch order uses.
-    super::bcsf::emit(ctx, &h.bcsf, &fa, &bcsf_spans, &mut pb);
-    super::csl::emit(ctx, &h.csl, &fa, &csl_spans, &mut pb);
-    emit_coo_group(ctx, h, &fa, &coo_spans, coo_vals_span, &mut pb);
-    pb.finish()
+    super::bcsf::emit(ctx, &h.bcsf, &fa, &bcsf_spans, pb);
+    super::csl::emit(ctx, &h.csl, &fa, &csl_spans, pb);
+    emit_coo_group(ctx, h, &fa, &coo_spans, coo_vals_span, pb);
 }
 
 /// COO group: warps of 32 single-nonzero slices, plain stores.

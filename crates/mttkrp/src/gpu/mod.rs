@@ -41,6 +41,7 @@ pub mod ooc;
 pub mod parti_coo;
 pub mod plan;
 pub mod sharded;
+pub mod stream;
 
 pub use common::{AbftData, AbftSink, GpuContext, GpuRun};
 pub use exec::{Execution, Executor, LaunchArgs, LaunchError};
@@ -48,3 +49,4 @@ pub use kernel::{AnyFormat, BuildOptions, KernelKind, MttkrpKernel};
 pub use ooc::{execute_adaptive, LadderStep, MemReport, OocOptions};
 pub use plan::{MemoryFootprint, ModePlans, Plan, RankDispatch, ReplaySchedule};
 pub use sharded::{DeviceShardReport, GridReport, GridSpec, ShardModel};
+pub use stream::{cpd_als_streamed, ShardStore, StreamOptions, StreamedCpd};

@@ -229,6 +229,41 @@ impl ReplaySchedule {
     }
 }
 
+/// What a [`PlanBuilder`] retains of the capture. The kernels' emit code
+/// is mode-blind — it calls the same `begin_block`/`contrib`/`leaf`/
+/// `chain` sequence either way — so the block ordinals, weights, and kept
+/// schedules are identical across modes by construction. This is what lets
+/// the streaming capture (`super::stream`) run the emit body a few times
+/// with small builders instead of once with a whole-schedule builder.
+pub(crate) enum CaptureMode {
+    /// Retain everything (the classic capture).
+    Full,
+    /// Retain only a per-block weight (`1 + contribs + leaves + chains`,
+    /// the [`Plan::block_weight_prefix`] formula); schedule arrays and
+    /// launch blocks are discarded block by block, so the builder's
+    /// footprint is one block, not one schedule.
+    WeightsOnly {
+        weights: Vec<u64>,
+        started: bool,
+        contribs: u64,
+        leaves: u64,
+        chains: u64,
+    },
+    /// Retain only blocks with global ordinal in `keep_begin..keep_end`
+    /// (block ordinal = `begin_block` call count, exactly the ordinals
+    /// [`Plan::block_weight_prefix`] weights). Out-of-range contributions
+    /// are dropped as they arrive, and launch blocks are dropped for
+    /// *every* block — shard plans are values-only replay artifacts
+    /// (only the schedule is serialized), so keeping the simulation
+    /// instruction stream would only inflate capture-time peak memory.
+    ShardFilter {
+        keep_begin: usize,
+        keep_end: usize,
+        seen: usize,
+        active: bool,
+    },
+}
+
 /// Capture-time recorder the kernels emit into: collects the
 /// [`KernelLaunch`] (blocks/warps/ops) and the [`ReplaySchedule`]
 /// side by side, replacing the historical `(launch, y, sink)` triple.
@@ -241,10 +276,61 @@ pub(crate) struct PlanBuilder {
     pub launch: KernelLaunch,
     sched: ReplaySchedule,
     footprint: MemoryFootprint,
+    capture: CaptureMode,
 }
 
 impl PlanBuilder {
     pub fn new(name: &str, mode: usize, rank: usize, out_rows: usize) -> PlanBuilder {
+        Self::with_capture(name, mode, rank, out_rows, CaptureMode::Full)
+    }
+
+    /// A builder that records only per-block weights (streaming pass 1).
+    pub fn new_weights_only(name: &str, mode: usize, rank: usize, out_rows: usize) -> PlanBuilder {
+        Self::with_capture(
+            name,
+            mode,
+            rank,
+            out_rows,
+            CaptureMode::WeightsOnly {
+                weights: Vec::new(),
+                started: false,
+                contribs: 0,
+                leaves: 0,
+                chains: 0,
+            },
+        )
+    }
+
+    /// A builder that keeps only blocks `range.0..range.1` (streaming
+    /// pass 2, one shard).
+    pub fn new_shard_filter(
+        name: &str,
+        mode: usize,
+        rank: usize,
+        out_rows: usize,
+        range: (usize, usize),
+    ) -> PlanBuilder {
+        Self::with_capture(
+            name,
+            mode,
+            rank,
+            out_rows,
+            CaptureMode::ShardFilter {
+                keep_begin: range.0,
+                keep_end: range.1,
+                seen: 0,
+                active: true,
+            },
+        )
+    }
+
+    fn with_capture(
+        name: &str,
+        mode: usize,
+        rank: usize,
+        out_rows: usize,
+        capture: CaptureMode,
+    ) -> PlanBuilder {
         PlanBuilder {
             name: name.to_string(),
             mode,
@@ -264,6 +350,7 @@ impl PlanBuilder {
                 chain_rows: Vec::new(),
             },
             footprint: MemoryFootprint::default(),
+            capture,
         }
     }
 
@@ -282,12 +369,53 @@ impl PlanBuilder {
     /// kernels called `sink.begin_block` (once per block ordinal, in
     /// emission order), so fault draws key identically at replay.
     pub fn begin_block(&mut self) {
-        self.sched.block_ptr.push(self.sched.rows.len() as u32);
+        match &mut self.capture {
+            CaptureMode::Full => self.sched.block_ptr.push(self.sched.rows.len() as u32),
+            CaptureMode::WeightsOnly {
+                weights,
+                started,
+                contribs,
+                leaves,
+                chains,
+            } => {
+                if *started {
+                    weights.push(1 + *contribs + *leaves + *chains);
+                }
+                *started = true;
+                *contribs = 0;
+                *leaves = 0;
+                *chains = 0;
+                // Launch blocks are pushed by the kernels between our
+                // calls; a weights pass has no use for them.
+                self.launch.blocks.clear();
+            }
+            CaptureMode::ShardFilter {
+                keep_begin,
+                keep_end,
+                seen,
+                active,
+            } => {
+                self.launch.blocks.clear();
+                *active = (*keep_begin..*keep_end).contains(seen);
+                *seen += 1;
+                if *active {
+                    self.sched.block_ptr.push(self.sched.rows.len() as u32);
+                }
+            }
+        }
     }
 
     /// Starts a contribution to output row `row` with accumulator seed
     /// `init` (used only if no leaves follow).
     pub fn contrib(&mut self, row: usize, init: f32) {
+        match &mut self.capture {
+            CaptureMode::WeightsOnly { contribs, .. } => {
+                *contribs += 1;
+                return;
+            }
+            CaptureMode::ShardFilter { active: false, .. } => return,
+            _ => {}
+        }
         self.sched.rows.push(row as u32);
         self.sched.init_vals.push(init);
         self.sched.leaf_ptr.push(self.sched.leaf_vals.len() as u32);
@@ -299,6 +427,14 @@ impl PlanBuilder {
     /// Appends a leaf term `val × factors[leaf_mode].row(row)` to the
     /// current contribution.
     pub fn leaf(&mut self, val: f32, row: usize) {
+        match &mut self.capture {
+            CaptureMode::WeightsOnly { leaves, .. } => {
+                *leaves += 1;
+                return;
+            }
+            CaptureMode::ShardFilter { active: false, .. } => return,
+            _ => {}
+        }
         self.sched.leaf_vals.push(val);
         self.sched.leaf_rows.push(row as u32);
     }
@@ -306,12 +442,28 @@ impl PlanBuilder {
     /// Appends a Hadamard scaling by `factors[mode].row(row)` to the
     /// current contribution.
     pub fn chain(&mut self, mode: usize, row: usize) {
+        match &mut self.capture {
+            CaptureMode::WeightsOnly { chains, .. } => {
+                *chains += 1;
+                return;
+            }
+            CaptureMode::ShardFilter { active: false, .. } => return,
+            _ => {}
+        }
         self.sched.chain_modes.push(mode as u32);
         self.sched.chain_rows.push(row as u32);
     }
 
     /// Seals the capture into an executable [`Plan`].
+    ///
+    /// For a [`CaptureMode::ShardFilter`] builder the plan covers only the
+    /// kept block range, with *local* block ordinals — correct for clean
+    /// replay (the ordered fold is position-independent) but not for
+    /// fault draws, which key on global ordinals.
     pub fn finish(mut self) -> Plan {
+        if let CaptureMode::ShardFilter { .. } = self.capture {
+            self.launch.blocks.clear();
+        }
         self.sched.block_ptr.push(self.sched.rows.len() as u32);
         self.sched.leaf_ptr.push(self.sched.leaf_vals.len() as u32);
         self.sched
@@ -330,6 +482,34 @@ impl PlanBuilder {
             sim_faulted: Mutex::new(None),
             sim_tiled: Mutex::new(None),
         }
+    }
+
+    /// Seals a [`CaptureMode::WeightsOnly`] capture into the block-weight
+    /// prefix sums — `len == begin_block calls + 1`, entry for entry what
+    /// [`Plan::block_weight_prefix`] computes from a full capture.
+    ///
+    /// # Panics
+    /// If the builder was not created with [`PlanBuilder::new_weights_only`].
+    pub fn finish_weight_prefix(self) -> Vec<u64> {
+        let CaptureMode::WeightsOnly {
+            mut weights,
+            started,
+            contribs,
+            leaves,
+            chains,
+        } = self.capture
+        else {
+            panic!("finish_weight_prefix on a non-weights capture");
+        };
+        if started {
+            weights.push(1 + contribs + leaves + chains);
+        }
+        let mut prefix = Vec::with_capacity(weights.len() + 1);
+        prefix.push(0u64);
+        for (b, w) in weights.into_iter().enumerate() {
+            prefix.push(prefix[b] + w);
+        }
+        prefix
     }
 }
 
@@ -902,6 +1082,146 @@ impl Plan {
             }
         }
     }
+
+    /// Serializes the *replayable* core of the plan (identity + schedule
+    /// SoA arrays, little-endian) for the streaming shard store. The
+    /// captured instruction stream and footprint are deliberately not
+    /// persisted: a deserialized plan replays values bit-identically but
+    /// carries an empty launch (no machine-model simulation) — the
+    /// streaming CPD driver computes values only.
+    pub(crate) fn write_schedule(&self, w: &mut impl std::io::Write) -> std::io::Result<()> {
+        w.write_all(SCHED_MAGIC)?;
+        let name = self.name.as_bytes();
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name)?;
+        w.write_all(&(self.mode as u32).to_le_bytes())?;
+        w.write_all(&(self.rank as u32).to_le_bytes())?;
+        w.write_all(&(self.out_rows as u64).to_le_bytes())?;
+        w.write_all(&(self.sched.leaf_mode as u32).to_le_bytes())?;
+        write_u32s(w, &self.sched.block_ptr)?;
+        write_u32s(w, &self.sched.rows)?;
+        write_f32s(w, &self.sched.init_vals)?;
+        write_u32s(w, &self.sched.leaf_ptr)?;
+        write_f32s(w, &self.sched.leaf_vals)?;
+        write_u32s(w, &self.sched.leaf_rows)?;
+        write_u32s(w, &self.sched.chain_ptr)?;
+        write_u32s(w, &self.sched.chain_modes)?;
+        write_u32s(w, &self.sched.chain_rows)?;
+        Ok(())
+    }
+
+    /// Reconstructs a value-replayable plan written by
+    /// [`Plan::write_schedule`].
+    pub(crate) fn read_schedule(r: &mut impl std::io::Read) -> std::io::Result<Plan> {
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != SCHED_MAGIC {
+            return Err(bad("not a serialized replay schedule"));
+        }
+        let name_len = read_u32(r)? as usize;
+        if name_len > 1 << 16 {
+            return Err(bad("implausible kernel name length"));
+        }
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name).map_err(|_| bad("kernel name not utf-8"))?;
+        let mode = read_u32(r)? as usize;
+        let rank = read_u32(r)? as usize;
+        let out_rows = read_u64(r)? as usize;
+        let leaf_mode = read_u32(r)? as usize;
+        let sched = ReplaySchedule {
+            leaf_mode,
+            block_ptr: read_u32s(r)?,
+            rows: read_u32s(r)?,
+            init_vals: read_f32s(r)?,
+            leaf_ptr: read_u32s(r)?,
+            leaf_vals: read_f32s(r)?,
+            leaf_rows: read_u32s(r)?,
+            chain_ptr: read_u32s(r)?,
+            chain_modes: read_u32s(r)?,
+            chain_rows: read_u32s(r)?,
+        };
+        if sched.block_ptr.is_empty() || sched.leaf_ptr.len() != sched.rows.len() + 1 {
+            return Err(bad("truncated replay schedule"));
+        }
+        Ok(Plan {
+            name: name.clone(),
+            mode,
+            rank,
+            out_rows,
+            dispatch: RankDispatch::for_rank(rank),
+            launch: KernelLaunch::new(&name),
+            sched,
+            footprint: MemoryFootprint::default(),
+            sim_clean: OnceLock::new(),
+            sim_faulted: Mutex::new(None),
+            sim_tiled: Mutex::new(None),
+        })
+    }
+}
+
+/// Magic prefix of a serialized [`ReplaySchedule`] ("sptk plan, v1").
+const SCHED_MAGIC: &[u8; 4] = b"SPL1";
+
+fn write_u32s(w: &mut impl std::io::Write, v: &[u32]) -> std::io::Result<()> {
+    w.write_all(&(v.len() as u64).to_le_bytes())?;
+    let mut buf = Vec::with_capacity(4 * v.len().min(1 << 18));
+    for chunk in v.chunks(1 << 18) {
+        buf.clear();
+        for &x in chunk {
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        w.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+fn write_f32s(w: &mut impl std::io::Write, v: &[f32]) -> std::io::Result<()> {
+    w.write_all(&(v.len() as u64).to_le_bytes())?;
+    let mut buf = Vec::with_capacity(4 * v.len().min(1 << 18));
+    for chunk in v.chunks(1 << 18) {
+        buf.clear();
+        for &x in chunk {
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        w.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+fn read_u32(r: &mut impl std::io::Read) -> std::io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl std::io::Read) -> std::io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_u32s(r: &mut impl std::io::Read) -> std::io::Result<Vec<u32>> {
+    let n = read_u64(r)? as usize;
+    let mut out = Vec::new();
+    let mut buf = vec![0u8; 4 * n.min(1 << 18)];
+    let mut left = n;
+    while left > 0 {
+        let take = left.min(1 << 18);
+        r.read_exact(&mut buf[..4 * take])?;
+        out.extend(
+            buf[..4 * take]
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+        );
+        left -= take;
+    }
+    Ok(out)
+}
+
+fn read_f32s(r: &mut impl std::io::Read) -> std::io::Result<Vec<f32>> {
+    Ok(read_u32s(r)?.into_iter().map(f32::from_bits).collect())
 }
 
 /// Per-mode HB-CSF plans for a CPD hot loop: build all formats and capture

@@ -106,8 +106,14 @@ pub fn check_shapes(t: &CooTensor, factors: &[Matrix], mode: usize) -> (usize, u
 /// Seeded random factor matrices for a tensor — the standard test/benchmark
 /// input (`factors[m]` is `dims[m] × r`).
 pub fn random_factors(t: &CooTensor, r: usize, seed: u64) -> Vec<Matrix> {
-    t.dims()
-        .iter()
+    random_factors_for_dims(t.dims(), r, seed)
+}
+
+/// [`random_factors`] from dimensions alone — for drivers (e.g. the
+/// streaming CPD) that never materialize the tensor. Identical seeding, so
+/// the factors match `random_factors` on a tensor of the same shape.
+pub fn random_factors_for_dims(dims: &[sptensor::Index], r: usize, seed: u64) -> Vec<Matrix> {
+    dims.iter()
         .enumerate()
         .map(|(m, &d)| Matrix::random(d as usize, r, seed.wrapping_add(m as u64)))
         .collect()

@@ -36,6 +36,7 @@ pub mod events;
 pub mod histogram;
 pub mod manifest;
 pub mod registry;
+pub mod rss;
 pub mod table;
 
 pub use chrome::{ChromeTrace, TraceEvent};
@@ -48,4 +49,5 @@ pub use manifest::{
     ModeTiming, PhaseTiming, ResilienceRecord, RunManifest, ServiceRecord, TenantRecord,
 };
 pub use registry::{Registry, ScopedSpan, SpanRecord};
+pub use rss::{current_rss_bytes, peak_rss_bytes};
 pub use table::{histogram_table, nvprof_table, MetricRow};

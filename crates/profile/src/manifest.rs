@@ -359,6 +359,10 @@ pub struct RunManifest {
     /// Durable-checkpoint activity (all zeros when the run had no
     /// checkpoint directory).
     pub checkpointing: CheckpointRecord,
+    /// Host peak resident set size at the end of the run, in bytes
+    /// (`VmHWM` on Linux; 0 where the platform offers no probe). The
+    /// headline number of bounded-memory streaming runs.
+    pub host_peak_rss_bytes: u64,
     /// Path of the JSONL event stream emitted alongside this run, when
     /// one was requested (`None` otherwise).
     pub events_path: Option<String>,
@@ -395,6 +399,7 @@ impl RunManifest {
             grid: GridRecord::default(),
             service: ServiceRecord::default(),
             checkpointing: CheckpointRecord::default(),
+            host_peak_rss_bytes: 0,
             events_path: None,
             histograms: std::collections::BTreeMap::new(),
         }
@@ -419,6 +424,15 @@ impl RunManifest {
         });
         self.final_fit = fit;
         self.iterations_run = iteration;
+    }
+
+    /// Stamps the host peak RSS from the OS probe (keeps the larger of
+    /// the probe and any already-recorded value; no-op where the probe is
+    /// unavailable).
+    pub fn record_host_peak_rss(&mut self) {
+        if let Some(peak) = crate::rss::peak_rss_bytes() {
+            self.host_peak_rss_bytes = self.host_peak_rss_bytes.max(peak);
+        }
     }
 
     pub fn to_json_string(&self) -> String {
@@ -589,6 +603,19 @@ mod tests {
         let v = serde_json::from_str(&run.to_json_string()).expect("valid JSON");
         assert_eq!(v["memory"]["tiled_launches"].as_u64(), Some(8));
         assert_eq!(v["memory"]["events"][0]["rung"], "tiled");
+    }
+
+    #[test]
+    fn host_peak_rss_is_stamped_and_serialized() {
+        let mut m = sample();
+        assert_eq!(m.host_peak_rss_bytes, 0);
+        m.record_host_peak_rss();
+        assert!(m.host_peak_rss_bytes > 0, "VmHWM should probe on Linux");
+        let v = serde_json::from_str(&m.to_json_string()).unwrap();
+        assert_eq!(
+            v["host_peak_rss_bytes"].as_u64(),
+            Some(m.host_peak_rss_bytes)
+        );
     }
 
     #[test]

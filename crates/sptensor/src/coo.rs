@@ -191,6 +191,38 @@ impl CooTensor {
         self.apply_order(&order);
     }
 
+    /// Like [`CooTensor::sort_by_perm`], but entries with identical
+    /// coordinate tuples keep their original relative order. This makes
+    /// the canonical sort a *total*, algorithm-independent order for
+    /// data still carrying duplicates — the same (coords, arrival) key
+    /// the external spill-merge sorts by, so in-core and out-of-core
+    /// pipelines fold duplicates in the same value order bit for bit.
+    ///
+    /// # Panics
+    /// If `perm` is not a permutation of the modes.
+    pub fn sort_by_perm_stable(&mut self, perm: &ModePerm) {
+        assert!(
+            is_valid_perm(perm, self.order()),
+            "invalid mode permutation"
+        );
+        let n = self.nnz();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        {
+            let inds = &self.inds;
+            order.sort_unstable_by(|&a, &b| {
+                for &m in perm {
+                    let (ia, ib) = (inds[m][a as usize], inds[m][b as usize]);
+                    match ia.cmp(&ib) {
+                        core::cmp::Ordering::Equal => continue,
+                        other => return other,
+                    }
+                }
+                a.cmp(&b)
+            });
+        }
+        self.apply_order(&order);
+    }
+
     /// True if the nonzeros are sorted under `perm` (ties allowed).
     pub fn is_sorted_by_perm(&self, perm: &ModePerm) -> bool {
         (1..self.nnz()).all(|z| {

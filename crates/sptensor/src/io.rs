@@ -7,10 +7,9 @@
 //! synthetic stand-ins by default, but real data can be dropped in through
 //! this module.
 
-use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
 
-use crate::{CooTensor, Index, TensorError, TensorResult, Value};
+use crate::{CooTensor, Index, TensorError, TensorResult};
 
 /// What to do when two input nonzeros carry identical coordinates.
 ///
@@ -31,13 +30,17 @@ pub enum DuplicatePolicy {
     Keep,
 }
 
-/// Reads a tensor from `.tns` text, rejecting duplicate coordinates
-/// (equivalent to [`read_tns_with`] under [`DuplicatePolicy::Reject`]).
+/// Reads a tensor from `.tns` text, rejecting duplicate coordinates.
 ///
 /// Every malformed line — bad token, 0 or out-of-range index, non-finite
 /// value — is rejected with a [`TensorError::Parse`] naming the offending
 /// line; this function never panics on hostile input.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `sptensor::ingest(TnsSource::new(reader), &IngestOptions::new())`"
+)]
 pub fn read_tns<R: BufRead>(reader: R) -> TensorResult<CooTensor> {
+    #[allow(deprecated)]
     read_tns_with(reader, DuplicatePolicy::Reject)
 }
 
@@ -45,91 +48,21 @@ pub fn read_tns<R: BufRead>(reader: R) -> TensorResult<CooTensor> {
 /// Order is inferred from the first data line; extents are per-mode maxima
 /// (so empty trailing hyperplanes are not representable, same as FROSTT
 /// itself).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `sptensor::ingest(TnsSource::new(reader), &IngestOptions::new().with_policy(policy))`"
+)]
 pub fn read_tns_with<R: BufRead>(reader: R, policy: DuplicatePolicy) -> TensorResult<CooTensor> {
-    let mut inds: Vec<Vec<Index>> = Vec::new();
-    let mut vals: Vec<Value> = Vec::new();
-    let mut order: Option<usize> = None;
-    // First-occurrence index of each coordinate tuple (Reject/Sum only).
-    let mut seen: HashMap<Vec<Index>, usize> = HashMap::new();
-    let mut coords: Vec<Index> = Vec::new();
-
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        let toks: Vec<&str> = trimmed.split_whitespace().collect();
-        if toks.len() < 2 {
-            return Err(bad_line(lineno, "need at least one index and a value"));
-        }
-        let n = toks.len() - 1;
-        match order {
-            None => {
-                order = Some(n);
-                inds = vec![Vec::new(); n];
-            }
-            Some(o) if o != n => {
-                return Err(bad_line(lineno, "inconsistent number of columns"));
-            }
-            _ => {}
-        }
-        coords.clear();
-        for tok in &toks[..n] {
-            let idx: u64 = tok.parse().map_err(|_| bad_line(lineno, "invalid index"))?;
-            if idx == 0 {
-                return Err(bad_line(lineno, "indices are 1-based; got 0"));
-            }
-            // Two guards: the Index (u32) range, and — on 32-bit hosts —
-            // the usize range every downstream row count flows through.
-            if idx > u64::from(Index::MAX) || usize::try_from(idx).is_err() {
-                return Err(bad_line(lineno, "index exceeds representable range"));
-            }
-            coords.push((idx - 1) as Index);
-        }
-        let v: Value = toks[n]
-            .parse()
-            .map_err(|_| bad_line(lineno, "invalid value"))?;
-        if !v.is_finite() {
-            return Err(bad_line(lineno, "non-finite value (NaN/inf) rejected"));
-        }
-        match policy {
-            DuplicatePolicy::Keep => {}
-            _ => {
-                if let Some(&first) = seen.get(&coords) {
-                    match policy {
-                        DuplicatePolicy::Reject => {
-                            return Err(TensorError::duplicate(lineno + 1, coords));
-                        }
-                        DuplicatePolicy::Sum => {
-                            vals[first] += v;
-                            continue;
-                        }
-                        DuplicatePolicy::Keep => unreachable!(),
-                    }
-                }
-                seen.insert(coords.clone(), vals.len());
-            }
-        }
-        for (arr, &c) in inds.iter_mut().zip(&coords) {
-            arr.push(c);
-        }
-        vals.push(v);
-    }
-
-    let order = order.ok_or_else(|| TensorError::invalid("tns", "no data lines in input"))?;
-    let mut dims = Vec::with_capacity(order);
-    for arr in &inds {
-        let max = arr.iter().copied().max().unwrap_or(0);
-        let extent = max
-            .checked_add(1)
-            .ok_or_else(|| TensorError::invalid("tns", "mode extent overflows u32"))?;
-        dims.push(extent);
-    }
-    Ok(CooTensor::from_parts(dims, inds, vals))
+    crate::source::ingest(
+        crate::source::TnsSource::new(reader),
+        &crate::source::IngestOptions::new().with_policy(policy),
+    )
 }
 
-/// Writes a tensor in `.tns` text (1-based indices).
+/// Writes a tensor in `.tns` text (1-based indices). Values use Rust's
+/// shortest round-trip `f32` formatting, so a re-read reproduces every
+/// bit; non-finite values (which the reader rejects) are refused here
+/// rather than silently producing an unreadable file.
 pub fn write_tns<W: Write>(t: &CooTensor, mut writer: W) -> io::Result<()> {
     let order = t.order();
     let mut buf = String::new();
@@ -139,15 +72,50 @@ pub fn write_tns<W: Write>(t: &CooTensor, mut writer: W) -> io::Result<()> {
             buf.push_str(&(t.mode_indices(m)[z] + 1).to_string());
             buf.push(' ');
         }
-        buf.push_str(&format!("{}", t.values()[z]));
+        let v = t.values()[z];
+        if !v.is_finite() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("non-finite value at nonzero {z} cannot be written as .tns"),
+            ));
+        }
+        buf.push_str(&format!("{v}"));
         buf.push('\n');
         writer.write_all(buf.as_bytes())?;
     }
     Ok(())
 }
 
-fn bad_line(lineno: usize, msg: &str) -> TensorError {
-    TensorError::parse_at(lineno, msg)
+/// Writes one ingestion chunk's first `n` entries in `.tns` text, with
+/// the exact formatting of [`write_tns`] (1-based indices, shortest
+/// round-trip `f32`). Chunked generators stream arbitrarily large files
+/// through this without a resident tensor; concatenating the chunks of a
+/// tensor reproduces `write_tns` of that tensor byte for byte.
+pub fn write_tns_chunk<W: Write>(
+    chunk: &crate::source::CooChunk,
+    n: usize,
+    writer: &mut W,
+) -> io::Result<()> {
+    let order = chunk.order();
+    let mut buf = String::new();
+    for z in 0..n {
+        buf.clear();
+        for m in 0..order {
+            buf.push_str(&(chunk.coords[m][z] + 1).to_string());
+            buf.push(' ');
+        }
+        let v = chunk.vals[z];
+        if !v.is_finite() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("non-finite value at chunk entry {z} cannot be written as .tns"),
+            ));
+        }
+        buf.push_str(&format!("{v}"));
+        buf.push('\n');
+        writer.write_all(buf.as_bytes())?;
+    }
+    Ok(())
 }
 
 /// Magic prefix of the binary tensor format.
@@ -184,46 +152,17 @@ pub fn write_bin<W: Write>(t: &CooTensor, mut w: W) -> io::Result<()> {
 /// declared count on a tiny stream fails with `UnexpectedEof` instead of
 /// exhausting memory. Duplicate coordinates are preserved as stored (the
 /// writer is the only producer of this format; use
-/// [`CooTensor::fold_duplicates`] or [`read_tns_with`] when input
-/// provenance is untrusted).
+/// [`CooTensor::fold_duplicates`] or ingestion with an explicit
+/// [`DuplicatePolicy`] when input provenance is untrusted).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `sptensor::ingest(BinSource::new(reader)?, &opts)` (seekable, chunked) instead"
+)]
 pub fn read_bin<R: io::Read>(mut r: R) -> TensorResult<CooTensor> {
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
-    if &magic != BIN_MAGIC {
-        return Err(TensorError::invalid("spt1", "not an SPT1 binary tensor"));
-    }
-    let mut b1 = [0u8; 1];
-    r.read_exact(&mut b1)?;
-    let order = b1[0] as usize;
-    if order == 0 {
-        return Err(TensorError::invalid("spt1", "zero order"));
-    }
+    let (dims, nnz_u64) = crate::source::read_bin_header(&mut r)?;
+    let order = dims.len();
+    let nnz = nnz_u64 as usize;
     let mut u32buf = [0u8; 4];
-    let mut dims = Vec::with_capacity(order);
-    for m in 0..order {
-        r.read_exact(&mut u32buf)?;
-        let d = u32::from_le_bytes(u32buf);
-        if d == 0 {
-            return Err(TensorError::invalid(
-                "spt1",
-                format!("mode {m} extent is zero"),
-            ));
-        }
-        dims.push(d);
-    }
-    let mut u64buf = [0u8; 8];
-    r.read_exact(&mut u64buf)?;
-    let nnz_u64 = u64::from_le_bytes(u64buf);
-    let nnz = usize::try_from(nnz_u64)
-        .map_err(|_| TensorError::invalid("spt1", "nonzero count exceeds usize"))?;
-    // (order + 1) arrays of 4-byte entries must be addressable.
-    if nnz_u64
-        .checked_mul(order as u64 + 1)
-        .and_then(|n| n.checked_mul(4))
-        .is_none()
-    {
-        return Err(TensorError::invalid("spt1", "total byte size overflows"));
-    }
     // Cap the speculative preallocation: a hostile header declaring 2^50
     // nonzeros over a 30-byte stream should die on a short read, not an
     // allocation failure.
@@ -256,6 +195,9 @@ pub fn read_bin<R: io::Read>(mut r: R) -> TensorResult<CooTensor> {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated shims stay under test for their release cycle: they
+    // must keep reproducing the exact legacy behavior they promise.
+    #![allow(deprecated)]
     use super::*;
     use std::io::BufReader;
 
@@ -271,6 +213,33 @@ mod tests {
         assert_eq!(back.dims(), &[3, 4, 5]);
         assert_eq!(back.coords_of(1), vec![2, 3, 4]);
         assert_eq!(back.values(), &[1.5, -2.0]);
+    }
+
+    #[test]
+    fn chunked_write_reproduces_write_tns_bytes() {
+        let t = crate::synth::uniform_random(&[6, 7, 8], 300, 3);
+        let mut whole = Vec::new();
+        write_tns(&t, &mut whole).unwrap();
+        // Stream the same tensor through uneven chunk boundaries.
+        let mut chunked = Vec::new();
+        let mut src = crate::source::CooSource::new(t);
+        let mut chunk = crate::source::CooChunk::default();
+        loop {
+            let n = crate::source::TensorSource::fill_chunk(&mut src, 17, &mut chunk).unwrap();
+            if n == 0 {
+                break;
+            }
+            write_tns_chunk(&chunk, n, &mut chunked).unwrap();
+        }
+        assert_eq!(whole, chunked);
+    }
+
+    #[test]
+    fn chunked_write_rejects_non_finite() {
+        let mut chunk = crate::source::CooChunk::with_order(3);
+        chunk.push(&[0, 0, 0], f32::NAN, 1);
+        let mut out = Vec::new();
+        assert!(write_tns_chunk(&chunk, 1, &mut out).is_err());
     }
 
     #[test]
@@ -514,6 +483,36 @@ mod tests {
                 write_tns(&t, &mut out).expect("write to vec");
                 let back = read_tns(BufReader::new(&out[..])).expect("round trip");
                 prop_assert_eq!(back, t);
+            }
+
+            #[test]
+            fn values_survive_tns_bin_tns_bit_exact(
+                bits in pvec(any::<u32>(), 1..40),
+            ) {
+                // Shortest round-trip text formatting must reproduce every
+                // finite f32 bit pattern through tns -> bin -> tns.
+                let vals: Vec<f32> = bits
+                    .iter()
+                    .map(|&b| f32::from_bits(b))
+                    .filter(|v| v.is_finite())
+                    .collect();
+                prop_assume!(!vals.is_empty());
+                let mut t = CooTensor::new(vec![vals.len() as u32, 2]);
+                for (z, &v) in vals.iter().enumerate() {
+                    t.push(&[z as u32, 1], v);
+                }
+                let mut text = Vec::new();
+                write_tns(&t, &mut text).expect("write tns");
+                let from_text = read_tns(BufReader::new(&text[..])).expect("re-read tns");
+                let mut bin = Vec::new();
+                write_bin(&from_text, &mut bin).expect("write bin");
+                let from_bin = read_bin(&bin[..]).expect("re-read bin");
+                let mut text2 = Vec::new();
+                write_tns(&from_bin, &mut text2).expect("write tns again");
+                prop_assert_eq!(&text2, &text, "tns -> bin -> tns drifted");
+                for (a, b) in from_bin.values().iter().zip(&vals) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "value bits drifted");
+                }
             }
 
             #[test]

@@ -24,14 +24,22 @@ pub mod dims;
 pub mod error;
 pub mod io;
 pub mod reorder;
+pub mod source;
+pub mod spill;
 pub mod stats;
 pub mod synth;
 
 pub use coo::{CooTensor, Entry};
 pub use dims::{identity_perm, mode_orientation, ModePerm};
 pub use error::{TensorError, TensorResult};
+pub use io::DuplicatePolicy;
+pub use source::{
+    ingest, BinSource, CooChunk, CooSource, IngestEvent, IngestOptions, ProgressSink, TensorSource,
+    TnsSource,
+};
+pub use spill::{MergeStream, SortedChunks, SpilledTensor};
 pub use stats::{ModeStats, TensorStats};
-pub use synth::{standins, DatasetSpec, SynthConfig};
+pub use synth::{standins, DatasetSpec, StructuredEntries, SynthConfig, SynthSource};
 
 /// Index type used for all tensor coordinates (paper: 32-bit unsigned).
 pub type Index = u32;

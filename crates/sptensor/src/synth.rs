@@ -141,23 +141,39 @@ impl DatasetSpec {
         self.paper_nnz as f64 / cells
     }
 
+    /// The distribution knobs this spec feeds the structured generator.
+    pub fn structure_params(&self) -> StructureParams {
+        StructureParams {
+            slice_alpha: self.slice_alpha,
+            slice_cv: self.slice_cv,
+            middle_alpha: self.middle_alpha,
+            fiber_beta: self.fiber_beta,
+            max_fiber_len: self.max_fiber_len,
+            p_singleton_fiber: self.p_singleton_fiber,
+        }
+    }
+
     /// Generates the stand-in tensor. Deterministic in `(self, cfg)`.
     pub fn generate(&self, cfg: &SynthConfig) -> CooTensor {
         let dims = self.scaled_dims(cfg.nnz);
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ fnv1a(self.name));
-        generate_structured(
+        generate_structured(&dims, cfg.nnz, &self.structure_params(), &mut rng)
+    }
+
+    /// Streaming counterpart of [`DatasetSpec::generate`]: a
+    /// [`crate::TensorSource`] that draws the same entries one chunk at a time,
+    /// so arbitrarily large stand-ins never materialize. Ingesting it
+    /// under [`crate::io::DuplicatePolicy::Sum`] through the spill
+    /// pipeline yields the exact tensor `generate` builds, bit for bit.
+    pub fn source(&self, cfg: &SynthConfig) -> SynthSource {
+        let dims = self.scaled_dims(cfg.nnz);
+        let rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ fnv1a(self.name));
+        SynthSource::new(StructuredEntries::new(
             &dims,
             cfg.nnz,
-            &StructureParams {
-                slice_alpha: self.slice_alpha,
-                slice_cv: self.slice_cv,
-                middle_alpha: self.middle_alpha,
-                fiber_beta: self.fiber_beta,
-                max_fiber_len: self.max_fiber_len,
-                p_singleton_fiber: self.p_singleton_fiber,
-            },
-            &mut rng,
-        )
+            &self.structure_params(),
+            rng,
+        ))
     }
 }
 
@@ -371,88 +387,251 @@ pub fn uniform_random(dims: &[Index], nnz: usize, seed: u64) -> CooTensor {
 /// Structured generator: slice volumes Zipf-distributed, fibers carved from
 /// each slice with power-law lengths, distinct last-mode coordinates within
 /// each fiber. This is the engine behind every [`DatasetSpec`].
+///
+/// Batch form of [`StructuredEntries`]: drains the pull generator into a
+/// resident tensor, then canonicalizes (stable sort + duplicate fold).
 pub fn generate_structured(
     dims: &[Index],
     nnz: usize,
     p: &StructureParams,
     rng: &mut ChaCha8Rng,
 ) -> CooTensor {
-    assert!(dims.len() >= 2, "structured generator needs order >= 2");
-    let order = dims.len();
-    let i_extent = dims[0] as usize;
-    let last_extent = dims[order - 1] as usize;
-
-    // 1. Assign each nonzero to a slice: Zipf over ranks (exponent
-    //    calibrated to the target coefficient of variation when one is
-    //    set), then a random rank -> slice-index shuffle so heavy slices
-    //    land anywhere.
-    let count_seed = rng.gen::<u64>();
-    let alpha = if p.slice_cv > 0.0 {
-        calibrate_slice_alpha(i_extent, nnz, p.slice_cv, count_seed)
-    } else {
-        p.slice_alpha
-    };
-    let slice_counts = sample_slice_counts(i_extent, nnz, alpha, count_seed);
-    let slice_ids = shuffled_identity(i_extent, rng);
-
-    // Middle-mode samplers (modes 1..order-1).
-    let zipf_middle: Vec<Zipf> = dims[1..order - 1]
-        .iter()
-        .map(|&d| Zipf::new(d as usize, p.middle_alpha))
-        .collect();
-    let fiber_len = PowerLawLen::new(p.fiber_beta, p.max_fiber_len.max(1));
-
-    // 2. Carve each slice into fibers. Middle coordinates are retried a few
-    //    times against a per-slice set so distinct fibers stay distinct —
-    //    otherwise Zipf concentration would silently merge singleton fibers
-    //    and distort the very distribution the experiments vary.
+    let mut entries = StructuredEntries::new(dims, nnz, p, rng.clone());
     let mut t = CooTensor::new(dims.to_vec());
-    let mut coord = vec![0 as Index; order];
-    let mut seen_middles: std::collections::HashSet<u64> = std::collections::HashSet::new();
-    for (rank, &count) in slice_counts.iter().enumerate() {
-        if count == 0 {
-            continue;
-        }
-        coord[0] = slice_ids[rank];
-        seen_middles.clear();
-        let mut remaining = count as usize;
-        while remaining > 0 {
-            let want = if rng.gen::<f64>() < p.p_singleton_fiber {
-                1
-            } else {
-                fiber_len.sample(rng)
-            };
-            let len = want.min(remaining).min(last_extent);
-            // Rejection-sample a middle tuple distinct within the slice.
-            // The budget must survive steep middle Zipfs (a 20%-mass top
-            // artist colliding inside a heavy slice): 128 draws pushes the
-            // residual collision probability below 1e-6 even when most of
-            // the popular mass is already used.
-            for attempt in 0..128 {
-                for (m, z) in zipf_middle.iter().enumerate() {
-                    coord[m + 1] = z.sample(rng) as Index;
-                }
-                let key = hash_middles(&coord[1..order - 1]);
-                if seen_middles.insert(key) || attempt == 127 {
-                    break;
-                }
-            }
-            // Distinct last-mode coordinates within the fiber.
-            let picks = rand::seq::index::sample(rng, last_extent, len);
-            for k in picks.iter() {
-                coord[order - 1] = k as Index;
-                t.push(&coord, random_value(rng));
-            }
-            remaining -= len;
-        }
+    while let Some((coord, v)) = entries.next_entry() {
+        t.push(coord, v);
     }
+    *rng = entries.into_rng();
     finish(t)
 }
 
-/// Sort canonically and fold coordinate collisions.
+/// Resumable pull form of [`generate_structured`]: draws entries one at
+/// a time with the *exact* RNG call sequence of the batch generator, so
+/// draining it reproduces the batch output entry for entry while never
+/// holding more than one fiber's last-mode picks in memory. The setup
+/// state (per-slice counts, slice-id shuffle, samplers) is
+/// `O(mode-0 extent)`, not `O(nnz)`.
+pub struct StructuredEntries {
+    rng: ChaCha8Rng,
+    dims: Vec<Index>,
+    p_singleton_fiber: f64,
+    slice_counts: Vec<u32>,
+    slice_ids: Vec<Index>,
+    zipf_middle: Vec<Zipf>,
+    fiber_len: PowerLawLen,
+    last_extent: usize,
+    /// Next slice rank to enter.
+    rank: usize,
+    /// Entries still owed by the current slice.
+    remaining: usize,
+    seen_middles: std::collections::HashSet<u64>,
+    coord: Vec<Index>,
+    /// Last-mode picks of the current fiber, partially emitted.
+    picks: Vec<usize>,
+    pick_pos: usize,
+}
+
+impl StructuredEntries {
+    /// Runs the generator setup: slice-count sampling (with CV
+    /// calibration), the rank → slice-id shuffle, and the middle-mode /
+    /// fiber-length samplers — drawing from `rng` in the batch
+    /// generator's order.
+    pub fn new(dims: &[Index], nnz: usize, p: &StructureParams, mut rng: ChaCha8Rng) -> Self {
+        assert!(dims.len() >= 2, "structured generator needs order >= 2");
+        let order = dims.len();
+        let i_extent = dims[0] as usize;
+
+        // 1. Assign each nonzero to a slice: Zipf over ranks (exponent
+        //    calibrated to the target coefficient of variation when one is
+        //    set), then a random rank -> slice-index shuffle so heavy slices
+        //    land anywhere.
+        let count_seed = rng.gen::<u64>();
+        let alpha = if p.slice_cv > 0.0 {
+            calibrate_slice_alpha(i_extent, nnz, p.slice_cv, count_seed)
+        } else {
+            p.slice_alpha
+        };
+        let slice_counts = sample_slice_counts(i_extent, nnz, alpha, count_seed);
+        let slice_ids = shuffled_identity(i_extent, &mut rng);
+
+        // Middle-mode samplers (modes 1..order-1).
+        let zipf_middle: Vec<Zipf> = dims[1..order - 1]
+            .iter()
+            .map(|&d| Zipf::new(d as usize, p.middle_alpha))
+            .collect();
+        let fiber_len = PowerLawLen::new(p.fiber_beta, p.max_fiber_len.max(1));
+
+        StructuredEntries {
+            rng,
+            p_singleton_fiber: p.p_singleton_fiber,
+            slice_counts,
+            slice_ids,
+            zipf_middle,
+            fiber_len,
+            last_extent: dims[order - 1] as usize,
+            rank: 0,
+            remaining: 0,
+            seen_middles: std::collections::HashSet::new(),
+            coord: vec![0 as Index; order],
+            picks: Vec::new(),
+            pick_pos: 0,
+            dims: dims.to_vec(),
+        }
+    }
+
+    pub fn dims(&self) -> &[Index] {
+        &self.dims
+    }
+
+    /// Raw entries a full drain yields (duplicates included): exactly the
+    /// configured nnz budget.
+    pub fn total_entries(&self) -> u64 {
+        self.slice_counts.iter().map(|&c| u64::from(c)).sum()
+    }
+
+    /// Recovers the RNG after a drain, in the exact state the batch
+    /// generator leaves it.
+    pub fn into_rng(self) -> ChaCha8Rng {
+        self.rng
+    }
+
+    /// Draws the next raw entry (duplicates possible), or `None` when the
+    /// nnz budget is exhausted. The returned coordinate slice is only
+    /// valid until the next call.
+    pub fn next_entry(&mut self) -> Option<(&[Index], Value)> {
+        loop {
+            if self.pick_pos < self.picks.len() {
+                let last = self.coord.len() - 1;
+                self.coord[last] = self.picks[self.pick_pos] as Index;
+                self.pick_pos += 1;
+                let v = random_value(&mut self.rng);
+                return Some((&self.coord, v));
+            }
+            if self.remaining == 0 {
+                // Advance to the next non-empty slice.
+                loop {
+                    if self.rank >= self.slice_counts.len() {
+                        return None;
+                    }
+                    let count = self.slice_counts[self.rank];
+                    let id = self.slice_ids[self.rank];
+                    self.rank += 1;
+                    if count > 0 {
+                        self.coord[0] = id;
+                        self.seen_middles.clear();
+                        self.remaining = count as usize;
+                        break;
+                    }
+                }
+            }
+            self.start_fiber();
+        }
+    }
+
+    /// Draws one fiber's middle tuple and last-mode picks — one
+    /// iteration of the batch generator's per-slice fiber loop.
+    fn start_fiber(&mut self) {
+        let Self {
+            ref mut rng,
+            ref zipf_middle,
+            ref fiber_len,
+            ref mut coord,
+            ref mut seen_middles,
+            ref mut picks,
+            ref mut pick_pos,
+            ref mut remaining,
+            p_singleton_fiber,
+            last_extent,
+            ..
+        } = *self;
+        let order = coord.len();
+        let want = if rng.gen::<f64>() < p_singleton_fiber {
+            1
+        } else {
+            fiber_len.sample(rng)
+        };
+        let len = want.min(*remaining).min(last_extent);
+        // Rejection-sample a middle tuple distinct within the slice.
+        // The budget must survive steep middle Zipfs (a 20%-mass top
+        // artist colliding inside a heavy slice): 128 draws pushes the
+        // residual collision probability below 1e-6 even when most of
+        // the popular mass is already used.
+        for attempt in 0..128 {
+            for (m, z) in zipf_middle.iter().enumerate() {
+                coord[m + 1] = z.sample(rng) as Index;
+            }
+            let key = hash_middles(&coord[1..order - 1]);
+            if seen_middles.insert(key) || attempt == 127 {
+                break;
+            }
+        }
+        // Distinct last-mode coordinates within the fiber.
+        *picks = rand::seq::index::sample(rng, last_extent, len).into_vec();
+        *pick_pos = 0;
+        *remaining -= len;
+    }
+}
+
+/// [`crate::TensorSource`] over [`StructuredEntries`]: benchmarks and the CLI
+/// ingest stand-ins of any size without the full tensor ever being
+/// resident. Entry ordinals serve as line numbers, so the spill-merge
+/// tie-break replicates the batch generator's insertion order — which is
+/// what makes the spilled Sum-policy stream bit-identical to
+/// [`DatasetSpec::generate`].
+pub struct SynthSource {
+    entries: StructuredEntries,
+    produced: u64,
+}
+
+impl SynthSource {
+    pub fn new(entries: StructuredEntries) -> Self {
+        SynthSource {
+            entries,
+            produced: 0,
+        }
+    }
+}
+
+impl crate::source::TensorSource for SynthSource {
+    fn format_name(&self) -> &'static str {
+        "synth"
+    }
+
+    fn declared_dims(&self) -> Option<Vec<Index>> {
+        Some(self.entries.dims().to_vec())
+    }
+
+    fn nnz_hint(&self) -> Option<u64> {
+        Some(self.entries.total_entries())
+    }
+
+    fn fill_chunk(
+        &mut self,
+        max_entries: usize,
+        out: &mut crate::source::CooChunk,
+    ) -> crate::TensorResult<usize> {
+        out.reset(self.entries.dims().len());
+        let mut appended = 0usize;
+        while appended < max_entries {
+            match self.entries.next_entry() {
+                None => break,
+                Some((coord, v)) => {
+                    self.produced += 1;
+                    out.push(coord, v, self.produced);
+                    appended += 1;
+                }
+            }
+        }
+        Ok(appended)
+    }
+}
+
+/// Sort canonically (stable, so duplicate groups keep insertion order —
+/// the order the spill pipeline's merge reproduces) and fold coordinate
+/// collisions.
 fn finish(mut t: CooTensor) -> CooTensor {
     let perm = crate::dims::identity_perm(t.order());
-    t.sort_by_perm(&perm);
+    t.sort_by_perm_stable(&perm);
     t.fold_duplicates();
     t
 }

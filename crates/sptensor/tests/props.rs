@@ -73,9 +73,9 @@ proptest! {
         sptensor::io::write_tns(&t, &mut buf).unwrap();
         // arb_tensor() may emit duplicate coordinates; Keep preserves them
         // verbatim (the default Reject policy is exercised in io's own tests).
-        let back = sptensor::io::read_tns_with(
-            std::io::BufReader::new(&buf[..]),
-            sptensor::io::DuplicatePolicy::Keep,
+        let back = sptensor::ingest(
+            sptensor::TnsSource::new(std::io::BufReader::new(&buf[..])),
+            &sptensor::IngestOptions::new().with_policy(sptensor::DuplicatePolicy::Keep),
         )
         .unwrap();
         prop_assert_eq!(back.nnz(), t.nnz());
@@ -93,15 +93,75 @@ proptest! {
     fn binary_round_trips_exactly(t in arb_tensor()) {
         let mut buf = Vec::new();
         sptensor::io::write_bin(&t, &mut buf).unwrap();
-        let back = sptensor::io::read_bin(&buf[..]).unwrap();
+        let src = sptensor::BinSource::new(std::io::Cursor::new(&buf)).unwrap();
+        let back = sptensor::ingest(
+            src,
+            &sptensor::IngestOptions::new().with_policy(sptensor::DuplicatePolicy::Keep),
+        )
+        .unwrap();
         prop_assert_eq!(back, t);
     }
 
     #[test]
     fn tns_parser_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
         // Arbitrary bytes must produce Ok or Err, never a panic.
-        let _ = sptensor::io::read_tns(std::io::BufReader::new(&bytes[..]));
-        let _ = sptensor::io::read_bin(&bytes[..]);
+        let opts = sptensor::IngestOptions::new();
+        let _ = sptensor::ingest(
+            sptensor::TnsSource::new(std::io::BufReader::new(&bytes[..])),
+            &opts,
+        );
+        if let Ok(src) = sptensor::BinSource::new(std::io::Cursor::new(&bytes)) {
+            let _ = sptensor::ingest(src, &opts);
+        }
+    }
+
+    #[test]
+    fn streaming_ingest_equals_incore_across_chunk_sizes(
+        t in arb_tensor(),
+        // 1 (worst case), a prime, and >= any generated nnz.
+        chunk_sel in 0usize..3,
+    ) {
+        prop_assume!(t.nnz() > 0);
+        let mut buf = Vec::new();
+        sptensor::io::write_tns(&t, &mut buf).unwrap();
+        let chunk = [1usize, 13, 1 << 16][chunk_sel];
+        for policy in [sptensor::DuplicatePolicy::Sum, sptensor::DuplicatePolicy::Keep] {
+            let opts = sptensor::IngestOptions::new().with_policy(policy);
+            let incore = sptensor::ingest(
+                sptensor::TnsSource::new(std::io::BufReader::new(&buf[..])),
+                &opts,
+            )
+            .unwrap();
+            let chunked = sptensor::ingest(
+                sptensor::TnsSource::new(std::io::BufReader::new(&buf[..])),
+                &opts.clone().with_chunk_nnz(chunk),
+            )
+            .unwrap();
+            prop_assert_eq!(&chunked, &incore, "chunk {} policy {:?}", chunk, policy);
+        }
+        // The spilled pipeline under Sum folds duplicates in first-seen
+        // order over globally sorted coordinates: exactly what a stable
+        // canonical sort + fold of the Keep tensor produces.
+        let dir = std::env::temp_dir().join(format!("sptk_props_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sum_opts = sptensor::IngestOptions::new()
+            .with_policy(sptensor::DuplicatePolicy::Sum)
+            .with_chunk_nnz(chunk);
+        let spilled = sptensor::SpilledTensor::ingest(
+            sptensor::TnsSource::new(std::io::BufReader::new(&buf[..])),
+            &sum_opts,
+            &dir,
+        )
+        .unwrap();
+        let streamed = spilled.to_coo().unwrap();
+        let mut expect = sptensor::ingest(
+            sptensor::TnsSource::new(std::io::BufReader::new(&buf[..])),
+            &sptensor::IngestOptions::new().with_policy(sptensor::DuplicatePolicy::Keep),
+        )
+        .unwrap();
+        expect.sort_by_perm_stable(&identity_perm(expect.order()));
+        expect.fold_duplicates();
+        prop_assert_eq!(streamed, expect, "spilled Sum != stable-sorted fold");
     }
 
     #[test]

@@ -10,8 +10,9 @@
 //! `N = 3`: `slicePtr/sliceInds`, `fiberPtr/fiberInds`, `indK/vals`.
 
 use sptensor::dims::{invert_perm, is_valid_perm, ModePerm};
-use sptensor::TensorError;
-use sptensor::{CooTensor, Index, Value};
+use sptensor::source::CooChunk;
+use sptensor::spill::SortedChunks;
+use sptensor::{CooTensor, Index, TensorError, TensorResult, Value};
 
 /// An order-`N` CSF tensor. Fields are public (read-only by convention) so
 /// MTTKRP kernels can stream the raw arrays.
@@ -119,6 +120,115 @@ impl Csf {
         #[cfg(debug_assertions)]
         out.validate().expect("freshly built CSF must validate");
         out
+    }
+
+    /// Builds a CSF tree out-of-core from a sorted chunk stream (the
+    /// spill pipeline's [`SortedChunks`]), never materializing a resident
+    /// sorted `CooTensor`. Two passes: the first counts the groups each
+    /// tree level needs (so every array is allocated exactly once), the
+    /// second fills them with the same boundary logic as
+    /// [`Csf::build_from_sorted`] — carrying the previous chunk's last
+    /// coordinates across chunk boundaries so the result is byte-identical
+    /// to the in-core build for any chunk size.
+    ///
+    /// The stream must be sorted under the permutation it reports
+    /// ([`SortedChunks::perm`]) and be duplicate-free (policy already
+    /// applied), which is what [`sptensor::SpilledTensor::resort`]
+    /// produces.
+    pub fn build_streamed(stream: &mut dyn SortedChunks, chunk_nnz: usize) -> TensorResult<Csf> {
+        let dims = stream.dims().to_vec();
+        let perm: ModePerm = stream.perm().to_vec();
+        let order = dims.len();
+        assert!(order >= 2, "CSF needs order >= 2");
+        assert!(is_valid_perm(&perm, order), "invalid mode permutation");
+        let nlev = order - 1;
+        let m = usize::try_from(stream.nnz())
+            .map_err(|_| TensorError::invalid("csf", "nonzero count exceeds usize"))?;
+        let chunk_nnz = chunk_nnz.max(1);
+
+        // Pass 1: count the groups opened at each internal level.
+        stream.rewind()?;
+        let mut counts = vec![0usize; nlev];
+        let mut prev: Option<Vec<Index>> = None;
+        let mut chunk = CooChunk::default();
+        loop {
+            let n = stream.next_chunk(chunk_nnz, &mut chunk)?;
+            if n == 0 {
+                break;
+            }
+            for i in 0..n {
+                let boundary = boundary_level(&chunk, &perm, i, nlev, prev.as_deref());
+                for c in counts.iter_mut().take(nlev).skip(boundary) {
+                    *c += 1;
+                }
+                let p = prev.get_or_insert_with(|| vec![0; nlev]);
+                for (l, slot) in p.iter_mut().enumerate() {
+                    *slot = chunk.coords[perm[l]][i];
+                }
+            }
+        }
+
+        // Pass 2: allocate exactly, then fill.
+        let mut level_idx: Vec<Vec<Index>> =
+            counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+        let mut level_ptr: Vec<Vec<u32>> =
+            counts.iter().map(|&c| Vec::with_capacity(c + 1)).collect();
+        let mut leaf_idx = Vec::with_capacity(m);
+        let mut vals = Vec::with_capacity(m);
+        stream.rewind()?;
+        prev = None;
+        let mut z = 0usize;
+        loop {
+            let n = stream.next_chunk(chunk_nnz, &mut chunk)?;
+            if n == 0 {
+                break;
+            }
+            for i in 0..n {
+                let boundary = boundary_level(&chunk, &perm, i, nlev, prev.as_deref());
+                for l in boundary..nlev {
+                    let child_start = if l + 1 < nlev {
+                        level_idx[l + 1].len()
+                    } else {
+                        z
+                    };
+                    level_ptr[l].push(child_start as u32);
+                    level_idx[l].push(chunk.coords[perm[l]][i]);
+                }
+                leaf_idx.push(chunk.coords[perm[nlev]][i]);
+                vals.push(chunk.vals[i]);
+                let p = prev.get_or_insert_with(|| vec![0; nlev]);
+                for (l, slot) in p.iter_mut().enumerate() {
+                    *slot = chunk.coords[perm[l]][i];
+                }
+                z += 1;
+            }
+        }
+        if z != m {
+            return Err(TensorError::invalid(
+                "csf",
+                format!("stream yielded {z} entries, declared {m}"),
+            ));
+        }
+        for l in 0..nlev {
+            let end = if l + 1 < nlev {
+                level_idx[l + 1].len()
+            } else {
+                m
+            };
+            level_ptr[l].push(end as u32);
+        }
+
+        let out = Csf {
+            dims,
+            perm,
+            level_idx,
+            level_ptr,
+            leaf_idx,
+            vals,
+        };
+        #[cfg(debug_assertions)]
+        out.validate().expect("freshly built CSF must validate");
+        Ok(out)
     }
 
     /// Tensor order `N`.
@@ -279,11 +389,52 @@ impl Csf {
     }
 }
 
+/// The shallowest tree level whose coordinate differs from the previous
+/// entry's (`nlev` = only the leaf changed; `0` = first entry or new
+/// slice). `prev` carries the previous entry's perm-space internal
+/// coordinates across chunk boundaries.
+fn boundary_level(
+    chunk: &CooChunk,
+    perm: &[usize],
+    i: usize,
+    nlev: usize,
+    prev: Option<&[Index]>,
+) -> usize {
+    match prev {
+        None => 0,
+        Some(p) => (0..nlev)
+            .find(|&l| chunk.coords[perm[l]][i] != p[l])
+            .unwrap_or(nlev),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use sptensor::dims::{identity_perm, mode_orientation};
     use sptensor::synth::uniform_random;
+    use sptensor::{CooSource, DuplicatePolicy, IngestOptions, SpilledTensor};
+
+    #[test]
+    fn streamed_build_is_byte_identical_to_incore() {
+        let t = uniform_random(&[9, 11, 13], 700, 21);
+        let dir = std::env::temp_dir().join(format!("csf_stream_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let opts = IngestOptions::new()
+            .with_policy(DuplicatePolicy::Keep)
+            .with_chunk_nnz(61);
+        let spilled = SpilledTensor::ingest(CooSource::new(t.clone()), &opts, &dir).unwrap();
+        for mode in 0..3 {
+            let perm = mode_orientation(3, mode);
+            let incore = Csf::build(&t, &perm);
+            let resorted = spilled.resort(&perm, &dir, &opts).unwrap();
+            for chunk in [1usize, 53, 100_000] {
+                let streamed = Csf::build_streamed(&mut resorted.stream().unwrap(), chunk).unwrap();
+                assert_eq!(streamed, incore, "mode {mode} chunk {chunk}");
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 
     fn sample3() -> CooTensor {
         // Matches the paper's running example scale: 3 slices, mixed fibers.

@@ -87,6 +87,21 @@ impl Hbcsf {
         Hbcsf::from_csf(csf, options)
     }
 
+    /// Builds HB-CSF out-of-core from a sorted chunk stream: the CSF tree
+    /// comes from [`Csf::build_streamed`] (no resident sorted COO copy);
+    /// classification and re-encoding are the in-core path, so the result
+    /// is byte-identical to [`Hbcsf::build`] on the same data.
+    pub fn build_streamed(
+        stream: &mut dyn sptensor::SortedChunks,
+        chunk_nnz: usize,
+        options: BcsfOptions,
+    ) -> sptensor::TensorResult<Hbcsf> {
+        Ok(Hbcsf::from_csf(
+            Csf::build_streamed(stream, chunk_nnz)?,
+            options,
+        ))
+    }
+
     /// Partitions an existing CSF tree.
     pub fn from_csf(csf: Csf, options: BcsfOptions) -> Hbcsf {
         let order = csf.order();
@@ -275,6 +290,30 @@ mod tests {
     use super::*;
     use sptensor::dims::identity_perm;
     use sptensor::synth::{standin, uniform_random, SynthConfig};
+
+    #[test]
+    fn streamed_build_matches_incore() {
+        let t = uniform_random(&[25, 35, 45], 800, 17);
+        let dir = std::env::temp_dir().join(format!("hbcsf_stream_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let opts = sptensor::IngestOptions::new()
+            .with_policy(sptensor::DuplicatePolicy::Keep)
+            .with_chunk_nnz(67);
+        let spilled =
+            sptensor::SpilledTensor::ingest(sptensor::CooSource::new(t.clone()), &opts, &dir)
+                .unwrap();
+        let incore = Hbcsf::build(&t, &identity_perm(3), BcsfOptions::default());
+        for chunk in [1usize, 97, 100_000] {
+            let streamed = Hbcsf::build_streamed(
+                &mut spilled.stream().unwrap(),
+                chunk,
+                BcsfOptions::default(),
+            )
+            .unwrap();
+            assert_eq!(streamed, incore, "chunk {chunk}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 
     /// Slice 0: one nonzero (COO). Slice 1: three singleton fibers (CSL).
     /// Slice 2: a 3-leaf fiber (CSF).

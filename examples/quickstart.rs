@@ -12,8 +12,9 @@ use mttkrp_repro::sptensor::{mode_orientation, synth};
 use mttkrp_repro::tensor_formats::{BcsfOptions, Hbcsf, IndexBytes};
 
 fn main() {
-    // 1. A synthetic power-law tensor (or read your own with
-    //    `sptensor::io::read_tns`).
+    // 1. A synthetic power-law tensor (or ingest your own:
+    //    `sptensor::ingest(TnsSource::new(reader), &IngestOptions::new())`,
+    //    or `SpilledTensor::ingest` for files larger than memory).
     let spec = synth::standin("deli").expect("built-in stand-in");
     let tensor = spec.generate(&synth::SynthConfig::default().with_nnz(100_000));
     println!(
